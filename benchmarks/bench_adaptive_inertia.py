@@ -1,0 +1,84 @@
+"""INERTIA — adaptive inertial weighting as a convex program (paper §III).
+
+The "M-GNU-O accelerant": per-generation inertia weights chosen by a QP
+("yet another convex optimization problem") versus the heuristic
+schedules.  Measures escape from local optima on multimodal objectives
+and the unfreezing of hard-rounded discrete swarms.
+"""
+
+import numpy as np
+
+from conftest import banner
+from repro.core import QPAdaptiveInertia
+from repro.pso import (
+    AdaptiveInertia,
+    ConstantInertia,
+    DiscreteSpace,
+    LinearDecayInertia,
+    PSOConfig,
+    RoundingDiscretePSO,
+    optimize,
+    rastrigin,
+)
+
+STRATEGIES = {
+    # 0.4 is the low-inertia setting where the §II-A-2 pathology bites:
+    # particles lack the momentum to move a full lattice step
+    "constant(0.4)": lambda: ConstantInertia(0.4),
+    "linear-decay": lambda: LinearDecayInertia(),
+    "adaptive(heuristic)": lambda: AdaptiveInertia(),
+    "adaptive(QP)": lambda: QPAdaptiveInertia(),
+}
+
+
+def _continuous_score(factory, n_trials=6):
+    vals = []
+    for seed in range(n_trials):
+        res = optimize(rastrigin, *rastrigin.bounds(3),
+                       config=PSOConfig(swarm_size=20, max_generations=120),
+                       inertia=factory(), seed=seed)
+        vals.append(res.best_value)
+    return float(np.mean(vals))
+
+
+def _discrete_score(factory, n_trials=6):
+    space = DiscreteSpace.integer_box(0, 30, 5)
+    target = np.array([7.0, 21.0, 3.0, 28.0, 14.0])
+    obj = lambda x: float(np.sum((np.asarray(x) - target) ** 2))
+    cfg = PSOConfig(swarm_size=8, max_generations=50, alpha1=0.5, alpha2=0.5)
+    vals, frozen = [], []
+    for seed in range(n_trials):
+        res = RoundingDiscretePSO(obj, space, config=cfg, hard=True,
+                                  inertia=factory(),
+                                  rng=np.random.default_rng(seed)).run()
+        vals.append(res.best_value)
+        frozen.append(res.stagnation_events)
+    return float(np.mean(vals)), float(np.mean(frozen))
+
+
+def test_adaptive_inertia(benchmark):
+    def run_all():
+        out = {}
+        for name, factory in STRATEGIES.items():
+            cont = _continuous_score(factory)
+            disc, froz = _discrete_score(factory)
+            out[name] = {"rastrigin": cont, "discrete": disc, "frozen": froz}
+        return out
+
+    results = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    banner("INERTIA", "Adaptive inertial weighting (the M-GNU-O accelerant)")
+    print(f"{'strategy':22s} | {'rastrigin(3D)':>13s} | {'discrete best':>13s} | {'frozen gens':>11s}")
+    print("-" * 70)
+    for name, r in results.items():
+        print(f"{name:22s} | {r['rastrigin']:13.3f} | {r['discrete']:13.1f} | {r['frozen']:11.1f}")
+
+    const = results["constant(0.4)"]
+    qp = results["adaptive(QP)"]
+    heur = results["adaptive(heuristic)"]
+    # on the hard-rounded discrete problem both adaptive variants beat the
+    # low-constant schedule in solution quality
+    assert qp["discrete"] < const["discrete"]
+    assert heur["discrete"] < const["discrete"]
+    # and both reduce freezing
+    assert qp["frozen"] < const["frozen"]
+    assert heur["frozen"] < const["frozen"]

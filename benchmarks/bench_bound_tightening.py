@@ -1,0 +1,55 @@
+"""TIGHT — layer-wise bound tightening under RCR training (paper Abstract).
+
+Claims reproduced:
+* "improve the bound tightening for each successive neural network
+  layer": CROWN boxes are tighter than IBP boxes at every layer, and the
+  tightening factor compounds with depth;
+* convex-relaxation adversarial training enlarges the certified radius
+  relative to standard training (the RCR feedback loop: the relaxation
+  used to train is the relaxation being tightened).
+"""
+
+import numpy as np
+
+from conftest import banner
+from repro.core import RobustConvexRelaxation
+from repro.verify import RobustTrainer, make_two_moons
+
+
+def test_layerwise_tightening(benchmark):
+    x, y = make_two_moons(140, rng=np.random.default_rng(0))
+
+    def run():
+        out = {}
+        for mode in ("standard", "relaxation"):
+            trainer = RobustTrainer(hidden=12, depth=3, mode=mode,
+                                    eps_train=0.15, seed=1)
+            trainer.train(x, y, epochs=25)
+            rcr = RobustConvexRelaxation(trainer.net)
+            report = rcr.tightness_report(x[0], 0.1)
+            out[mode] = {
+                "widths_ibp": report.widths["ibp"],
+                "widths_crown": report.widths["crown"],
+                "factors": report.tightening_factor("ibp", "crown"),
+                "accuracy": trainer.accuracy(x, y),
+                "certified_radius": trainer.mean_certified_radius(x, y, n_points=12),
+            }
+        return out
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    banner("TIGHT", "Layer-wise bound tightening and RCR training (Abstract claim)")
+    for mode, r in results.items():
+        print(f"\ntraining mode: {mode} (clean accuracy {r['accuracy']:.2f}, "
+              f"mean certified radius {r['certified_radius']:.3f})")
+        print(f"{'layer':>5s} | {'IBP width':>10s} | {'CROWN width':>11s} | {'tightening x':>12s}")
+        print("-" * 48)
+        for i, (wi, wc, f) in enumerate(zip(r["widths_ibp"], r["widths_crown"], r["factors"])):
+            print(f"{i:5d} | {wi:10.4f} | {wc:11.4f} | {f:12.2f}")
+
+    for mode, r in results.items():
+        # CROWN tightens every layer
+        assert all(f >= 1.0 - 1e-9 for f in r["factors"])
+        # tightening compounds: the last layer's factor is at least the first's
+        assert r["factors"][-1] >= r["factors"][0] - 1e-9
+    # RCR training certifies at least as large a radius as standard training
+    assert results["relaxation"]["certified_radius"] >= results["standard"]["certified_radius"] - 0.01

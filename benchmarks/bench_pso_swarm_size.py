@@ -1,0 +1,65 @@
+"""EQ12-PSO — swarm-size sweep on multimodal objectives (paper §II-A-1).
+
+Claims reproduced:
+* "if the chosen swarm size is too small, the algorithm will more likely
+  gravitate to a local minimum";
+* "if the chosen swarm size is too large, the likelihood of ascertaining
+  a viable globally optimal solution increases, but the computational
+  overhead increases as well";
+* "even relatively small swarm sizes are fairly consistent in providing
+  'good enough' near-optimum solutions in relatively few iterations".
+"""
+
+import numpy as np
+
+from conftest import banner
+from repro.pso import PSOConfig, ackley, optimize, rastrigin
+
+SWARM_SIZES = (4, 8, 16, 32, 64)
+N_TRIALS = 6
+DIM = 3
+GENERATIONS = 150
+
+
+def _sweep(fn, threshold):
+    rows = []
+    for size in SWARM_SIZES:
+        values, evals = [], []
+        for seed in range(N_TRIALS):
+            res = optimize(fn, *fn.bounds(DIM),
+                           config=PSOConfig(swarm_size=size, max_generations=GENERATIONS),
+                           seed=seed)
+            values.append(res.best_value)
+            evals.append(res.evaluations)
+        rows.append({
+            "swarm": size,
+            "success": float(np.mean([v < threshold for v in values])),
+            "mean_best": float(np.mean(values)),
+            "mean_evals": float(np.mean(evals)),
+        })
+    return rows
+
+
+def test_pso_swarm_size_sweep(benchmark):
+    results = benchmark.pedantic(
+        lambda: {"rastrigin": _sweep(rastrigin, 2.0), "ackley": _sweep(ackley, 1.0)},
+        iterations=1, rounds=1,
+    )
+    banner("EQ12-PSO", "PSO swarm-size sweep (Eqs. 1-2, claims of §II-A-1)")
+    for fn_name, rows in results.items():
+        print(f"\n{fn_name} ({DIM}-D, {GENERATIONS} generations, {N_TRIALS} trials)")
+        print(f"{'swarm':>6s} | {'success':>8s} | {'mean best':>10s} | {'evaluations':>12s}")
+        print("-" * 46)
+        for r in rows:
+            print(f"{r['swarm']:6d} | {r['success']:8.2f} | {r['mean_best']:10.3f} | {r['mean_evals']:12.0f}")
+
+    for fn_name, rows in results.items():
+        success = [r["success"] for r in rows]
+        evals = [r["mean_evals"] for r in rows]
+        # too-small swarms fail more often than large ones
+        assert success[-1] >= success[0], f"{fn_name}: large swarm must not be worse"
+        # overhead grows with swarm size
+        assert evals[-1] > evals[0]
+        # 'good enough' with small-to-moderate swarms: 16 particles succeed
+        # in the majority of trials
+        assert rows[2]["success"] >= 0.5, f"{fn_name}: swarm 16 should usually succeed"

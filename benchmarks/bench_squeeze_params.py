@@ -1,0 +1,83 @@
+"""SQUEEZE — MSY3I parameter reduction vs detection quality (§II-B-1).
+
+Claims reproduced:
+* "the number of model parameters in MSY3I will be lower than that of
+  just YOLO v3" — parameter counts of matched squeezed/full pairs;
+* "with only the slightest degradation in performance" — detection
+  accuracy after identical training budgets;
+* the squeeze-ratio ablation from DESIGN.md §6.
+"""
+
+import numpy as np
+
+from conftest import banner
+from repro.core.tuning import train_detector
+from repro.nn import MSY3IConfig, make_detector, parameter_reduction, spectrogram_detection_batch
+
+GRID = 4
+CELL = 4
+TRAIN_STEPS = 60
+
+
+def _accuracy(detector, seed=500):
+    rng = np.random.default_rng(seed)
+    imgs, obj, cls = spectrogram_detection_batch(32, grid=GRID, cell_pixels=CELL, rng=rng)
+    return detector.cell_accuracy(imgs, obj, cls)
+
+
+def test_squeeze_vs_full(benchmark):
+    cfg = MSY3IConfig(base_channels=8, n_stages=2, n_classes=2)
+
+    def run():
+        out = {}
+        for squeezed in (True, False):
+            det = make_detector(cfg, squeezed=squeezed, rng=np.random.default_rng(0))
+            train_detector(det, steps=TRAIN_STEPS, lr=8e-3, grid=GRID,
+                           cell_pixels=CELL, seed=0)
+            metrics = _accuracy(det)
+            out["MSY3I (squeezed)" if squeezed else "Darknet-mini (full)"] = {
+                "params": det.n_params(),
+                **metrics,
+            }
+        return out
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    banner("SQUEEZE", "MSY3I vs full conv detector: parameters and accuracy (§II-B-1)")
+    print(f"{'model':22s} | {'params':>7s} | {'obj acc':>7s} | {'recall':>6s} | {'cls acc':>7s}")
+    print("-" * 62)
+    for name, r in results.items():
+        print(f"{name:22s} | {r['params']:7d} | {r['objectness_accuracy']:7.2f} | "
+              f"{r['recall']:6.2f} | {r['class_accuracy']:7.2f}")
+
+    sq = results["MSY3I (squeezed)"]
+    full = results["Darknet-mini (full)"]
+    # fewer parameters...
+    assert sq["params"] < full["params"]
+    # ...with only the slightest degradation (within 15 accuracy points)
+    assert sq["objectness_accuracy"] >= full["objectness_accuracy"] - 0.15
+
+    benchmark.extra_info["reduction_factor"] = full["params"] / sq["params"]
+
+
+def test_squeeze_ratio_ablation(benchmark):
+    ratios = (0.0625, 0.125, 0.25, 0.5)
+
+    def run():
+        rows = []
+        for ratio in ratios:
+            cfg = MSY3IConfig(base_channels=8, n_stages=2, squeeze_ratio=ratio)
+            red = parameter_reduction(cfg)
+            rows.append({"ratio": ratio, **red})
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\nsqueeze-ratio ablation (base_channels=8, 2 stages)")
+    print(f"{'ratio':>6s} | {'squeezed':>8s} | {'full':>6s} | {'reduction':>9s}")
+    print("-" * 40)
+    for r in rows:
+        print(f"{r['ratio']:6.4f} | {r['squeezed_params']:8d} | {r['full_params']:6d} | "
+              f"{r['reduction_factor']:9.2f}x")
+    # smaller squeeze ratio -> fewer parameters, monotonically
+    params = [r["squeezed_params"] for r in rows]
+    assert params == sorted(params)
+    assert all(r["reduction_factor"] > 1.0 for r in rows)

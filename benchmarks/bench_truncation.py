@@ -1,0 +1,83 @@
+"""TRUNC — truncation-error scaling (paper Eqs. 3-4).
+
+Claims reproduced: the Taylor-series approximation of exp (Eq. 3)
+converges at the factorial rate predicted by the Lagrange remainder, and
+the composite trapezoid rule (Eq. 4) converges at O(h^2), both until the
+round-off floor of the float format — the three error sources §IV-B
+enumerates (truncation, round-off, overflow/underflow), made visible.
+"""
+
+import math
+
+import numpy as np
+
+from conftest import banner
+from repro.numerics import (
+    taylor_exp,
+    taylor_exp_error_bound,
+    trapezoid,
+    trapezoid_error_bound,
+)
+
+
+def test_taylor_truncation(benchmark):
+    x = 2.0
+    orders = (2, 4, 8, 12, 16, 20, 24)
+
+    def run():
+        rows = []
+        for n in orders:
+            approx = taylor_exp(x, n)
+            err = abs(approx - math.exp(x))
+            bound = taylor_exp_error_bound(x, n)
+            rows.append({"order": n, "error": err, "bound": bound})
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    banner("TRUNC", "Taylor-exp truncation error vs Lagrange bound (Eq. 3)")
+    print(f"{'order':>5s} | {'observed error':>14s} | {'a-priori bound':>14s}")
+    print("-" * 42)
+    for r in rows:
+        print(f"{r['order']:5d} | {r['error']:14.3e} | {r['bound']:14.3e}")
+
+    errors = [r["error"] for r in rows]
+    # error decreases monotonically until the round-off floor
+    above_floor = [e for e in errors if e > 1e-14]
+    assert above_floor == sorted(above_floor, reverse=True)
+    # bound always holds
+    for r in rows:
+        assert r["error"] <= r["bound"] + 1e-12
+    # the round-off floor is reached: further terms cannot help
+    assert errors[-1] < 1e-13
+
+
+def test_trapezoid_truncation(benchmark):
+    exact = 1.0 - math.cos(1.0)
+    panel_counts = (4, 8, 16, 32, 64, 128, 256)
+
+    def run():
+        rows = []
+        for n in panel_counts:
+            err = abs(trapezoid(np.sin, 0.0, 1.0, n) - exact)
+            bound = trapezoid_error_bound(1.0, 0.0, 1.0, n)
+            rows.append({"panels": n, "error": err, "bound": bound})
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\ncomposite trapezoid (Eq. 4): error vs (b-a) h^2 max|f''| / 12 bound")
+    print(f"{'panels':>6s} | {'observed error':>14s} | {'bound':>10s} | {'order est':>9s}")
+    print("-" * 52)
+    prev = None
+    for r in rows:
+        order = math.log2(prev / r["error"]) if prev and r["error"] > 0 else float("nan")
+        print(f"{r['panels']:6d} | {r['error']:14.3e} | {r['bound']:10.3e} | {order:9.2f}")
+        prev = r["error"]
+
+    # O(h^2): doubling the panel count divides the error by ~4
+    for a, b in zip(rows[:-2], rows[1:-1]):
+        assert a["error"] / b["error"] == (
+            __import__("pytest").approx(4.0, rel=0.15)
+        )
+    # bound always holds
+    for r in rows:
+        assert r["error"] <= r["bound"]

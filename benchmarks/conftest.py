@@ -1,0 +1,14 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` module reproduces one experiment from DESIGN.md's
+index: it prints the rows/series the paper's figure or prose claim
+corresponds to, asserts the claim's *shape* (who wins, direction of the
+effect), and times the core computation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+
+def banner(exp_id: str, title: str) -> None:
+    line = "=" * 78
+    print(f"\n{line}\n[{exp_id}] {title}\n{line}")

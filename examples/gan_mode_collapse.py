@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Mode collapse and the mixture-of-generators remedy (paper §IV, Fig. 2).
+
+Trains three GAN configurations on the 8-mode Gaussian ring:
+
+  * a single generator without batch-norm (collapses to a few modes);
+  * a single generator with selective batch-norm (the paradigm-1,
+    stability-first configuration);
+  * the paper's DCGAN #3 remedy — a mixture of three generators sharing
+    one discriminator.
+
+Prints per-configuration mode coverage, sample quality, loss-oscillation
+audits, and the forward-stability probe ("a forward stable DCGAN does
+not amplify perturbations of the input set").
+
+Run:  python examples/gan_mode_collapse.py
+"""
+
+import numpy as np
+
+from repro.core import audit_training_trace, network_amplification
+from repro.nn import GANConfig, GANTrainer, MixtureOfGenerators
+
+STEPS = 3000
+
+
+def describe(name, trainer, trace, config) -> None:
+    audit = audit_training_trace(trace.g_losses)
+    gen = trainer.generator if hasattr(trainer, "generator") else trainer.generators[0]
+    amp = network_amplification(gen, np.zeros((4, config.latent_dim)))
+    print(f"\n--- {name} ---")
+    print(f"mode coverage over training : {trace.coverage}")
+    print(f"sample quality over training: {[round(q, 2) for q in trace.quality]}")
+    print(f"generator-loss oscillation  : {audit.oscillation:.3f} "
+          f"(stable={audit.is_stable})")
+    print(f"forward amplification       : {amp:.2f}")
+
+
+def main() -> None:
+    base = dict(batch_size=128, hidden=64, depth=3, latent_dim=8,
+                lr=1e-3, mode_sigma=0.1)
+
+    cfg_none = GANConfig(batchnorm="none", **base)
+    single = GANTrainer(cfg_none, seed=1)
+    trace = single.train(STEPS, metric_every=STEPS // 6)
+    describe("single generator, no batch-norm", single, trace, cfg_none)
+
+    cfg_sel = GANConfig(batchnorm="selective", **base)
+    stable = GANTrainer(cfg_sel, seed=1)
+    trace_s = stable.train(STEPS, metric_every=STEPS // 6)
+    describe("single generator, selective batch-norm (paradigm 1)", stable, trace_s, cfg_sel)
+
+    mixture = MixtureOfGenerators(3, cfg_none, seed=1)
+    trace_m = mixture.train(STEPS, metric_every=STEPS // 6)
+    describe("mixture of 3 generators (DCGAN #3 remedy)", mixture, trace_m, cfg_none)
+
+    print("\nsummary (best mode coverage of 8):")
+    print(f"  single/no-bn     : {max(trace.coverage)}")
+    print(f"  single/selective : {max(trace_s.coverage)}")
+    print(f"  mixture of 3     : {max(trace_m.coverage)}")
+    print("\nThe paper's claim — the additional generator 'assist[s] in "
+          "mitigating mode failure' — corresponds to the mixture row "
+          "covering more modes than the single no-bn generator.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Robustness verification through the RCR ladder (paper §II-B-2).
+
+Trains a small classifier three ways (standard, PGD, convex-relaxation
+adversarial), then for each model:
+
+  * walks one robustness spec up the exact/relaxed verifier ladder
+    (IBP -> CROWN-IBP -> CROWN -> LP -> exact MILP), printing the margin
+    bound, verdict, and cost at each grade;
+  * prints the layer-wise bound-tightening table;
+  * reports the mean certified radius.
+
+Run:  python examples/robust_verification.py
+"""
+
+import numpy as np
+
+from repro.core import RobustConvexRelaxation
+from repro.verify import RobustTrainer, classification_spec, make_two_moons
+
+
+def main() -> None:
+    x, y = make_two_moons(150, rng=np.random.default_rng(0))
+    eps = 0.12
+
+    for mode in ("standard", "pgd", "relaxation"):
+        trainer = RobustTrainer(hidden=12, depth=2, mode=mode, eps_train=eps, seed=3)
+        trainer.train(x, y, epochs=25)
+        acc = trainer.accuracy(x, y)
+        radius = trainer.mean_certified_radius(x, y, n_points=15)
+        print(f"\n=== training mode: {mode} ===")
+        print(f"clean accuracy       : {acc:.2f}")
+        print(f"mean certified radius: {radius:.3f}")
+
+        # pick a correctly classified point and verify a spec on it
+        logits = trainer.net.forward(x, training=False)
+        correct = np.argmax(logits, axis=1) == y
+        idx = int(np.argmax(correct))
+        spec = classification_spec(x[idx], eps=eps / 2, true_label=int(y[idx]),
+                                   other_label=1 - int(y[idx]), n_classes=2)
+        rcr = RobustConvexRelaxation(trainer.net)
+        chain = rcr.relaxation_chain(spec)
+        print(f"relaxation chain for one spec (eps = {eps / 2}):")
+        print(f"{'method':>10s} | {'grade':>18s} | {'margin bound':>12s} | {'time (s)':>8s}")
+        print("-" * 58)
+        for step in chain.steps:
+            print(f"{step.name:>10s} | {step.grade.name:>18s} | "
+                  f"{step.bound:12.4f} | {step.solve_time:8.4f}")
+        print(f"chain monotone (looser grade -> weaker bound): {chain.is_monotone()}")
+
+        report = rcr.tightness_report(x[idx], eps / 2)
+        factors = report.tightening_factor("ibp", "crown")
+        print("layer-wise tightening (IBP width / CROWN width): "
+              + ", ".join(f"L{i}={f:.2f}x" for i, f in enumerate(factors)))
+
+
+if __name__ == "__main__":
+    main()

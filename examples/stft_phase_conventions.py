@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""STFT phase conventions, skew, and correction (paper §IV-A/B, Eqs. 5-6).
+
+Demonstrates, on a chirp:
+
+  1. the three conventions produce identical magnitudes but different
+     phases;
+  2. the simplified (causal) convention carries a delay of floor(Lg/2)
+     samples plus a phase skew exp(-2 pi i m floor(Lg/2)/M) — and the
+     exact pointwise correction recovers the centered transform of the
+     advanced signal to machine precision;
+  3. the Fig. 3-style detector battery catalogues these (and other)
+     numerical issues automatically;
+  4. the gabphasederiv reliability caveat the paper quotes from LTFAT.
+
+Run:  python examples/stft_phase_conventions.py
+"""
+
+import numpy as np
+
+from repro.signal import (
+    GaborFrame,
+    convert_convention,
+    delay_of_simplified_convention,
+    gabor_transform,
+    gabphasederiv,
+    get_window,
+    linear_chirp,
+    magnitude_mismatch,
+    phase_skew,
+    run_detectors,
+    stft,
+)
+
+
+def main() -> None:
+    s = linear_chirp(1024, f0=0.05, f1=0.3)
+    lg, hop, n_fft = 32, 4, 64
+    g = get_window("hann", lg)
+
+    ti = stft(s, g, hop=hop, n_fft=n_fft, convention="time_invariant")
+    fi = stft(s, g, hop=hop, n_fft=n_fft, convention="frequency_invariant")
+    simp = stft(s, g, hop=hop, n_fft=n_fft, convention="simplified")
+
+    print("=== 1. magnitudes agree, phases differ ===")
+    print(f"|TI| vs |FI| mismatch   : {magnitude_mismatch(ti.coefficients, fi.coefficients):.2e}")
+    print(f"TI vs FI phase skew     : {phase_skew(ti.coefficients, fi.coefficients):.3f} rad")
+    print(f"FI vs simplified skew   : "
+          f"{phase_skew(fi.coefficients[:, 4:-12], simp.coefficients[:, 4:-12]):.3f} rad")
+
+    print("\n=== 2. the pointwise conversion matrix (exact) ===")
+    converted = convert_convention(fi, "time_invariant")
+    err = float(np.max(np.abs(converted.coefficients - ti.coefficients)))
+    print(f"FI -> TI conversion residual: {err:.2e}  (pointwise phase factors)")
+
+    half = delay_of_simplified_convention(lg)
+    fi_advanced = stft(s[half:], g, hop=hop, n_fft=n_fft,
+                       convention="frequency_invariant")
+    m = np.arange(n_fft)[:, None]
+    corrected = simp.coefficients * np.exp(2j * np.pi * m * half / n_fft)
+    nf = min(corrected.shape[1], fi_advanced.coefficients.shape[1]) - 8
+    rel = float(np.linalg.norm(corrected[:, 4:nf] - fi_advanced.coefficients[:, 4:nf])
+                / np.linalg.norm(fi_advanced.coefficients[:, 4:nf]))
+    print(f"simplified convention: delay = {half} samples (= floor(Lg/2)), "
+          f"skew factor exp(-2 pi i m {half}/{n_fft})")
+    print(f"after correction + advance, residual vs centered transform: {rel:.2e}")
+
+    print("\n=== 3. the Fig. 3 numerical-issue catalog ===")
+    for issue in run_detectors():
+        print("  " + issue.as_row())
+
+    print("\n=== 4. gabphasederiv reliability (the LTFAT caveat) ===")
+    frame = GaborFrame(window_length=32, hop=8, n_channels=64)
+    res = gabor_transform(s[:512], frame)
+    deriv, reliable = gabphasederiv(res, dflag="t")
+    print(f"bins flagged reliable : {reliable.mean():.1%}")
+    mag = np.abs(res.coefficients)
+    low = mag < 1e-8 * mag.max()
+    if np.any(low):
+        print(f"phase-derivative spread on near-zero bins: {np.std(deriv[low]):.2f} "
+              "(≈ random, as the paper warns)")
+    high = reliable & (mag > 0.1 * mag.max())
+    print(f"phase-derivative spread on strong bins   : {np.std(deriv[high]):.2f}")
+
+
+if __name__ == "__main__":
+    main()

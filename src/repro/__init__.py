@@ -1,0 +1,25 @@
+"""repro — Robust Convex Relaxations for diverse QoS in next-generation
+wireless systems.
+
+A from-scratch reproduction of Chan, Krunz & Griffin (ICDCS 2021):
+the RCR framework (:mod:`repro.core`) and every substrate it depends on —
+numerics (:mod:`repro.numerics`), linear algebra (:mod:`repro.linalg`),
+signal processing with explicit STFT phase conventions
+(:mod:`repro.signal`), convex optimization (:mod:`repro.convex`), MINLP
+(:mod:`repro.minlp`), particle swarms (:mod:`repro.pso`), neural networks
+(:mod:`repro.nn`), robustness verification (:mod:`repro.verify`), and 5G
+QoS workloads (:mod:`repro.qos`).
+
+Quickstart::
+
+    from repro.core import run_rcr_stack
+    report = run_rcr_stack()
+    for stage in report.stages:
+        print(stage.name, stage.metrics)
+"""
+
+__version__ = "1.0.0"
+
+from repro import exceptions
+
+__all__ = ["exceptions", "__version__"]

@@ -1,0 +1,53 @@
+"""``python -m repro`` — a one-minute tour of the library.
+
+Runs the Fig. 3 numerical-issue detector battery, a miniature RCR stack,
+and one QoS resource-allocation frame, printing a compact report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def main() -> None:
+    print("repro — Robust Convex Relaxations for diverse QoS (ICDCS 2021 reproduction)")
+    print("=" * 76)
+
+    print("\n[1/3] Fig. 3 numerical-issue detector battery")
+    from repro.signal import run_detectors
+
+    for issue in run_detectors():
+        print("   " + issue.as_row())
+
+    print("\n[2/3] RCR architectural stack (Fig. 1), minimal budgets")
+    from repro.core import run_rcr_stack
+
+    report = run_rcr_stack(swarm_size=4, generations=2,
+                           tuning_train_steps=6, robust_epochs=6, seed=0)
+    for stage in report.stages:
+        keys = ", ".join(f"{k}={v:.3g}" for k, v in list(stage.metrics.items())[:4])
+        print(f"   {stage.name:18s} ({stage.wall_time:5.2f}s)  {keys}")
+
+    print("\n[3/3] one QoS RRA frame (3 users x 6 blocks)")
+    from repro.qos import (
+        ChannelConfig, ChannelModel, QoSRequirement, RRAProblem, ServiceClass,
+        UserSession, solve_rra_greedy, solve_rra_relaxed,
+    )
+
+    rng = np.random.default_rng(0)
+    ch = ChannelModel(ChannelConfig(n_blocks=6), rng=rng)
+    users = [UserSession(i, ServiceClass.EMBB,
+                         QoSRequirement(1e5, 50.0, 0.99, 1)) for i in range(3)]
+    problem = RRAProblem(gains=ch.gains(3), users=users,
+                         power_levels_mw=np.array([50.0, 100.0]),
+                         total_power_mw=480.0, noise_mw=ch.noise_linear_mw)
+    for res in (solve_rra_relaxed(problem), solve_rra_greedy(problem)):
+        print(f"   {res.method:>8s}: {res.total_rate / 1e6:6.2f} Mb/s, "
+              f"QoS ok={res.qos_ok}, {res.wall_time:.3f}s")
+
+    print("\nSee examples/ for full walkthroughs and benchmarks/ for the")
+    print("paper-figure reproductions (pytest benchmarks/ --benchmark-only).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Convex-optimization substrate: QP/QCQP/SDP/LP solvers, the
+rank->trace->SDP chain (paper Eqs. 7-10), envelopes, trust regions,
+BFGS proxies, ADMM, and relaxation-gradation accounting."""
+
+from repro.convex.admm import (
+    ADMMResult,
+    admm_consensus,
+    prox_box,
+    prox_indicator_affine,
+    prox_l1,
+    prox_l2_squared,
+    prox_nonconvex_l0,
+)
+from repro.convex.bfgs import OptimizeResult, minimize_bfgs, minimize_lbfgs, numerical_gradient
+from repro.convex.envelopes import (
+    Interval,
+    LinearBound,
+    concave_secant,
+    convex_tangent,
+    envelope_gap,
+    mccormick_bilinear,
+    quadratic_envelope,
+    relu_envelope,
+)
+from repro.convex.corr import CoRRConfig, CoRRResult, corr_minimize, fit_convex_quadratic
+from repro.convex.langevin import LangevinConfig, LangevinResult, langevin_minimize
+from repro.convex.lp import simplex_standard_form, solve_lp
+from repro.convex.problem import (
+    LPProblem,
+    QCQPProblem,
+    QPProblem,
+    QuadraticForm,
+    SDPProblem,
+    Solution,
+)
+from repro.convex.qcqp import ShorResult, shor_relaxation, solve_qcqp, solve_qcqp_barrier
+from repro.convex.qp import solve_box_qp, solve_equality_qp, solve_qp
+from repro.convex.rank import (
+    DecompositionResult,
+    make_decomposition_instance,
+    rank_minimization_reference,
+    trace_minimization,
+)
+from repro.convex.relaxation import (
+    RelaxationChain,
+    RelaxationGrade,
+    RelaxationStep,
+    tightness_ratio,
+)
+from repro.convex.sdp import AffineSubspaceProjector, solve_sdp
+from repro.convex.trust_region import TrustRegionResult, cauchy_point, solve_trust_region
+
+__all__ = [
+    "ADMMResult",
+    "CoRRConfig",
+    "CoRRResult",
+    "AffineSubspaceProjector",
+    "DecompositionResult",
+    "Interval",
+    "LangevinConfig",
+    "LangevinResult",
+    "LPProblem",
+    "LinearBound",
+    "OptimizeResult",
+    "QCQPProblem",
+    "QPProblem",
+    "QuadraticForm",
+    "RelaxationChain",
+    "RelaxationGrade",
+    "RelaxationStep",
+    "SDPProblem",
+    "ShorResult",
+    "Solution",
+    "TrustRegionResult",
+    "admm_consensus",
+    "cauchy_point",
+    "concave_secant",
+    "corr_minimize",
+    "convex_tangent",
+    "envelope_gap",
+    "fit_convex_quadratic",
+    "langevin_minimize",
+    "make_decomposition_instance",
+    "mccormick_bilinear",
+    "minimize_bfgs",
+    "minimize_lbfgs",
+    "numerical_gradient",
+    "prox_box",
+    "prox_indicator_affine",
+    "prox_l1",
+    "prox_l2_squared",
+    "prox_nonconvex_l0",
+    "quadratic_envelope",
+    "rank_minimization_reference",
+    "relu_envelope",
+    "shor_relaxation",
+    "simplex_standard_form",
+    "solve_box_qp",
+    "solve_equality_qp",
+    "solve_lp",
+    "solve_qcqp",
+    "solve_qcqp_barrier",
+    "solve_qp",
+    "solve_sdp",
+    "solve_trust_region",
+    "tightness_ratio",
+    "trace_minimization",
+]

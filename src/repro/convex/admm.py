@@ -1,0 +1,135 @@
+"""Generic ADMM for composite objectives ``f(x) + g(z)``, ``x = z``.
+
+Paper §I cites "Alternating Direction Method of Multipliers (ADMM) for
+nonconvex and nonsmooth functions" as one of the general-purpose
+approaches a nonconvex QoS problem can be decomposed into.  This module
+provides the scaled-dual consensus form with pluggable proximal
+operators, plus the standard prox library used by the rest of the stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+__all__ = [
+    "ADMMResult",
+    "admm_consensus",
+    "prox_l1",
+    "prox_l2_squared",
+    "prox_box",
+    "prox_indicator_affine",
+    "prox_nonconvex_l0",
+]
+
+ProxFn = Callable[[np.ndarray, float], np.ndarray]
+
+
+@dataclass(frozen=True)
+class ADMMResult:
+    """Consensus-ADMM output with residual history for convergence plots."""
+
+    x: np.ndarray
+    z: np.ndarray
+    iterations: int
+    converged: bool
+    primal_residuals: List[float]
+    dual_residuals: List[float]
+
+
+def admm_consensus(
+    prox_f: ProxFn,
+    prox_g: ProxFn,
+    n: int,
+    rho: float = 1.0,
+    max_iter: int = 2000,
+    tol: float = 1e-8,
+    x0: np.ndarray | None = None,
+) -> ADMMResult:
+    """Solve ``min f(x) + g(z) s.t. x = z`` with scaled-dual ADMM.
+
+    ``prox_f(v, t)`` must return ``argmin_x f(x) + (1/2t) ||x - v||^2``
+    and similarly for ``prox_g``.  For convex f, g this converges to the
+    global optimum; for the nonconvex proxes provided it is a heuristic
+    (matching the paper's framing of ADMM for nonconvex problems).
+    """
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    z = x.copy()
+    u = np.zeros(n)
+    prim_hist: List[float] = []
+    dual_hist: List[float] = []
+    for it in range(1, max_iter + 1):
+        x = prox_f(z - u, 1.0 / rho)
+        z_old = z
+        z = prox_g(x + u, 1.0 / rho)
+        u = u + x - z
+        prim = float(np.linalg.norm(x - z))
+        dual = float(rho * np.linalg.norm(z - z_old))
+        prim_hist.append(prim)
+        dual_hist.append(dual)
+        scale = max(1.0, float(np.linalg.norm(x)), float(np.linalg.norm(z)))
+        if prim <= tol * scale and dual <= tol * scale:
+            return ADMMResult(x=x, z=z, iterations=it, converged=True,
+                              primal_residuals=prim_hist, dual_residuals=dual_hist)
+    return ADMMResult(x=x, z=z, iterations=max_iter, converged=False,
+                      primal_residuals=prim_hist, dual_residuals=dual_hist)
+
+
+def prox_l1(weight: float = 1.0) -> ProxFn:
+    """Soft-thresholding: prox of ``weight * ||x||_1``."""
+
+    def prox(v: np.ndarray, t: float) -> np.ndarray:
+        thr = weight * t
+        return np.sign(v) * np.maximum(np.abs(v) - thr, 0.0)
+
+    return prox
+
+
+def prox_l2_squared(target: np.ndarray, weight: float = 1.0) -> ProxFn:
+    """Prox of ``(weight/2) ||x - target||^2``."""
+    target = np.asarray(target, dtype=np.float64)
+
+    def prox(v: np.ndarray, t: float) -> np.ndarray:
+        return (v + t * weight * target) / (1.0 + t * weight)
+
+    return prox
+
+
+def prox_box(lo: np.ndarray | float, hi: np.ndarray | float) -> ProxFn:
+    """Projection onto a box (prox of its indicator)."""
+
+    def prox(v: np.ndarray, t: float) -> np.ndarray:
+        return np.clip(v, lo, hi)
+
+    return prox
+
+
+def prox_indicator_affine(a: np.ndarray, b: np.ndarray) -> ProxFn:
+    """Projection onto ``{x : A x = b}``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64).ravel()
+    pinv = np.linalg.pinv(a)
+
+    def prox(v: np.ndarray, t: float) -> np.ndarray:
+        return v - pinv @ (a @ v - b)
+
+    return prox
+
+
+def prox_nonconvex_l0(weight: float = 1.0) -> ProxFn:
+    """Hard-thresholding: prox of the *nonconvex* ``weight * ||x||_0``.
+
+    Included to exercise the nonconvex-ADMM path; convergence is only
+    to a local solution, mirroring the paper's caveat about nonconvex
+    decompositions.
+    """
+
+    def prox(v: np.ndarray, t: float) -> np.ndarray:
+        thr = np.sqrt(2.0 * weight * t)
+        out = v.copy()
+        out[np.abs(v) < thr] = 0.0
+        return out
+
+    return prox

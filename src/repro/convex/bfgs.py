@@ -1,0 +1,215 @@
+"""BFGS / L-BFGS quasi-Newton minimizers with trust-region-aware
+initialization (paper §IV-C).
+
+"Given a particular Hessian matrix in a resolvable form, proxies (i.e.,
+approximations) of the Hessian matrix can be obtained in alternative
+ways, e.g., [the] BFGS algorithm.  However, to avoid false curvature
+information, additional initialization conditions are required."
+
+Both solvers implement the curvature guard (``s^T y > 0`` before any
+update) and the Rafati-Marcia-style initial scaling ``gamma_k I`` that
+keeps early steps inside a trust region.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError
+
+__all__ = ["OptimizeResult", "minimize_bfgs", "minimize_lbfgs", "numerical_gradient"]
+
+GradFn = Callable[[np.ndarray], np.ndarray]
+ObjFn = Callable[[np.ndarray], float]
+
+
+@dataclass(frozen=True)
+class OptimizeResult:
+    """Unconstrained-minimizer output."""
+
+    x: np.ndarray
+    fun: float
+    grad_norm: float
+    iterations: int
+    converged: bool
+    n_curvature_skips: int = 0
+
+
+def numerical_gradient(f: ObjFn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient for objectives without analytic grads."""
+    x = np.asarray(x, dtype=np.float64)
+    g = np.zeros_like(x)
+    for i in range(x.size):
+        e = np.zeros_like(x)
+        e[i] = eps
+        g[i] = (f(x + e) - f(x - e)) / (2.0 * eps)
+    return g
+
+
+def _wolfe_line_search(
+    f: ObjFn,
+    grad: GradFn,
+    x: np.ndarray,
+    p: np.ndarray,
+    fx: float,
+    gx: np.ndarray,
+    c1: float = 1e-4,
+    c2: float = 0.9,
+    max_iter: int = 30,
+) -> tuple[float, float, np.ndarray]:
+    """Backtracking-with-zoom line search enforcing the Wolfe conditions.
+
+    Returns ``(alpha, f(x + alpha p), grad(x + alpha p))``.
+    """
+    dphi0 = float(gx @ p)
+    alpha = 1.0
+    alpha_prev, f_prev = 0.0, fx
+    for it in range(max_iter):
+        x_new = x + alpha * p
+        f_new = f(x_new)
+        if f_new > fx + c1 * alpha * dphi0 or (it > 0 and f_new >= f_prev):
+            return _zoom(f, grad, x, p, fx, dphi0, alpha_prev, alpha, c1, c2)
+        g_new = grad(x_new)
+        dphi = float(g_new @ p)
+        if abs(dphi) <= -c2 * dphi0:
+            return alpha, f_new, g_new
+        if dphi >= 0:
+            return _zoom(f, grad, x, p, fx, dphi0, alpha, alpha_prev, c1, c2)
+        alpha_prev, f_prev = alpha, f_new
+        alpha *= 2.0
+    g_new = grad(x + alpha * p)
+    return alpha, f(x + alpha * p), g_new
+
+
+def _zoom(f, grad, x, p, fx, dphi0, lo, hi, c1, c2, max_iter: int = 25):
+    f_lo = f(x + lo * p)
+    for _ in range(max_iter):
+        alpha = 0.5 * (lo + hi)
+        x_new = x + alpha * p
+        f_new = f(x_new)
+        if f_new > fx + c1 * alpha * dphi0 or f_new >= f_lo:
+            hi = alpha
+        else:
+            g_new = grad(x_new)
+            dphi = float(g_new @ p)
+            if abs(dphi) <= -c2 * dphi0:
+                return alpha, f_new, g_new
+            if dphi * (hi - lo) >= 0:
+                hi = lo
+            lo, f_lo = alpha, f_new
+    x_new = x + lo * p
+    return lo, f(x_new), grad(x_new)
+
+
+def minimize_bfgs(
+    f: ObjFn,
+    x0: np.ndarray,
+    grad: GradFn | None = None,
+    tol: float = 1e-8,
+    max_iter: int = 500,
+    initial_trust_radius: float | None = None,
+) -> OptimizeResult:
+    """Full-matrix BFGS with curvature-guarded updates.
+
+    ``initial_trust_radius`` caps the very first step length; the paper
+    points to trust regions as the remedy for "false curvature
+    information" from a cold-started inverse-Hessian proxy.
+    """
+    grad = grad or (lambda x: numerical_gradient(f, x))
+    x = np.asarray(x0, dtype=np.float64).copy()
+    n = x.size
+    h = np.eye(n)
+    fx = f(x)
+    gx = grad(x)
+    skips = 0
+    for it in range(1, max_iter + 1):
+        gn = float(np.linalg.norm(gx))
+        if gn <= tol:
+            return OptimizeResult(x=x, fun=fx, grad_norm=gn, iterations=it - 1, converged=True, n_curvature_skips=skips)
+        p = -h @ gx
+        if it == 1 and initial_trust_radius is not None:
+            pn = float(np.linalg.norm(p))
+            if pn > initial_trust_radius:
+                p *= initial_trust_radius / pn
+        if float(gx @ p) >= 0:
+            p = -gx  # reset to steepest descent on a bad direction
+        alpha, f_new, g_new = _wolfe_line_search(f, grad, x, p, fx, gx)
+        s = alpha * p
+        y = g_new - gx
+        sy = float(s @ y)
+        if sy > 1e-12 * float(np.linalg.norm(s)) * float(np.linalg.norm(y) + 1e-300):
+            if it == 1:
+                # Rafati-Marcia initial scaling: gamma = s^T y / y^T y
+                h = (sy / max(float(y @ y), 1e-300)) * np.eye(n)
+            rho = 1.0 / sy
+            i_mat = np.eye(n)
+            v = i_mat - rho * np.outer(s, y)
+            h = v @ h @ v.T + rho * np.outer(s, s)
+        else:
+            skips += 1  # curvature guard: skip update to avoid indefiniteness
+        x, fx, gx = x + s, f_new, g_new
+    return OptimizeResult(
+        x=x, fun=fx, grad_norm=float(np.linalg.norm(gx)), iterations=max_iter,
+        converged=False, n_curvature_skips=skips,
+    )
+
+
+def minimize_lbfgs(
+    f: ObjFn,
+    x0: np.ndarray,
+    grad: GradFn | None = None,
+    memory: int = 10,
+    tol: float = 1e-8,
+    max_iter: int = 1000,
+) -> OptimizeResult:
+    """Limited-memory BFGS (two-loop recursion) with the standard
+    ``gamma_k = s^T y / y^T y`` initial Hessian scaling."""
+    grad = grad or (lambda x: numerical_gradient(f, x))
+    x = np.asarray(x0, dtype=np.float64).copy()
+    s_hist: deque[np.ndarray] = deque(maxlen=memory)
+    y_hist: deque[np.ndarray] = deque(maxlen=memory)
+    rho_hist: deque[float] = deque(maxlen=memory)
+    fx = f(x)
+    gx = grad(x)
+    skips = 0
+    for it in range(1, max_iter + 1):
+        gn = float(np.linalg.norm(gx))
+        if gn <= tol:
+            return OptimizeResult(x=x, fun=fx, grad_norm=gn, iterations=it - 1, converged=True, n_curvature_skips=skips)
+        # two-loop recursion
+        q = gx.copy()
+        alphas = []
+        for s, y, rho in zip(reversed(s_hist), reversed(y_hist), reversed(rho_hist)):
+            a = rho * float(s @ q)
+            alphas.append(a)
+            q -= a * y
+        if s_hist:
+            gamma = float(s_hist[-1] @ y_hist[-1]) / max(float(y_hist[-1] @ y_hist[-1]), 1e-300)
+        else:
+            gamma = 1.0
+        r = gamma * q
+        for (s, y, rho), a in zip(zip(s_hist, y_hist, rho_hist), reversed(alphas)):
+            b = rho * float(y @ r)
+            r += (a - b) * s
+        p = -r
+        if float(gx @ p) >= 0:
+            p = -gx
+        alpha, f_new, g_new = _wolfe_line_search(f, grad, x, p, fx, gx)
+        s = alpha * p
+        y = g_new - gx
+        sy = float(s @ y)
+        if sy > 1e-12 * float(np.linalg.norm(s)) * float(np.linalg.norm(y) + 1e-300):
+            s_hist.append(s)
+            y_hist.append(y)
+            rho_hist.append(1.0 / sy)
+        else:
+            skips += 1
+        x, fx, gx = x + s, f_new, g_new
+    return OptimizeResult(
+        x=x, fun=fx, grad_norm=float(np.linalg.norm(gx)), iterations=max_iter,
+        converged=False, n_curvature_skips=skips,
+    )

@@ -1,0 +1,162 @@
+"""Convex Relaxation Regression (CoRR).
+
+§I names "Convex Relaxation Regression (CoRR)" among the general-purpose
+approaches applicable once a nonconvex function has been decomposed.  The
+idea (Bhojanapalli et al. / the CoRR line): estimate the *convex
+envelope* of a nonconvex objective from function evaluations by fitting
+the best convex quadratic under-estimator over a trust region, minimize
+the surrogate, recenter, and shrink.  The fit is itself a convex program
+— here a least-squares fit followed by a PSD projection of the quadratic
+term, with the under-estimation constraint enforced by an offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.linalg.psd import project_psd
+
+__all__ = ["CoRRConfig", "CoRRResult", "corr_minimize", "fit_convex_quadratic"]
+
+
+def fit_convex_quadratic(
+    points: np.ndarray, values: np.ndarray, underestimate: bool = True
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Fit ``q(x) = 0.5 x^T P x + b^T x + c`` with ``P >= 0`` to samples.
+
+    Least-squares fit of a full quadratic, then projection of the
+    quadratic term onto the PSD cone; with ``underestimate`` the constant
+    is lowered so ``q(x_i) <= f(x_i)`` at every sample — a valid
+    (regression) convex under-estimator on the sampled region.
+    Returns ``(P, b, c)``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64).ravel()
+    n_samples, dim = points.shape
+    n_quad = dim * (dim + 1) // 2
+    if n_samples < n_quad + dim + 1:
+        raise ConfigurationError(
+            f"need at least {n_quad + dim + 1} samples to fit a {dim}-D quadratic"
+        )
+    # design matrix: [upper-tri quadratic monomials, linear, 1]
+    cols = []
+    idx_pairs = [(i, j) for i in range(dim) for j in range(i, dim)]
+    for i, j in idx_pairs:
+        factor = 0.5 if i == j else 1.0
+        cols.append(factor * points[:, i] * points[:, j])
+    for i in range(dim):
+        cols.append(points[:, i])
+    cols.append(np.ones(n_samples))
+    design = np.stack(cols, axis=1)
+    coef, *_ = np.linalg.lstsq(design, values, rcond=None)
+
+    p = np.zeros((dim, dim))
+    for (i, j), v in zip(idx_pairs, coef[: len(idx_pairs)]):
+        if i == j:
+            p[i, i] = v
+        else:
+            # the design column x_i x_j (i < j) carries P_ij + P_ji = 2 P_ij
+            # worth of the quadratic form, and q(x) uses 0.5 x^T P x, so the
+            # fitted coefficient equals P_ij directly
+            p[i, j] = p[j, i] = v
+    b = coef[len(idx_pairs) : len(idx_pairs) + dim]
+    c = float(coef[-1])
+    p = project_psd(p)
+    if underestimate:
+        fitted = 0.5 * np.einsum("si,ij,sj->s", points, p, points) + points @ b + c
+        overshoot = float(np.max(fitted - values, initial=0.0))
+        c -= overshoot
+    return p, b, c
+
+
+@dataclass(frozen=True)
+class CoRRConfig:
+    """CoRR loop parameters."""
+
+    n_samples: int = 40
+    n_rounds: int = 8
+    shrink: float = 0.6
+    ridge: float = 1e-8
+
+    def __post_init__(self):
+        if self.n_samples < 4 or self.n_rounds < 1:
+            raise ConfigurationError("invalid CoRR configuration")
+        if not 0.0 < self.shrink < 1.0:
+            raise ConfigurationError("shrink factor must be in (0, 1)")
+
+
+@dataclass
+class CoRRResult:
+    """CoRR outcome with the per-round surrogate minima."""
+
+    best_x: np.ndarray
+    best_value: float
+    evaluations: int
+    round_bests: List[float] = field(default_factory=list)
+
+
+def corr_minimize(
+    objective: Callable[[np.ndarray], float],
+    lo: np.ndarray,
+    hi: np.ndarray,
+    config: CoRRConfig | None = None,
+    seed: int = 0,
+) -> CoRRResult:
+    """Minimize a (nonconvex) objective over a box by iterated convex
+    quadratic regression surrogates.
+
+    Each round samples the current region, fits a convex under-estimating
+    quadratic, minimizes it in closed form (clipped to the region), and
+    recenters a shrunken region at the surrogate minimizer.
+    """
+    cfg = config or CoRRConfig()
+    lo = np.asarray(lo, dtype=np.float64).ravel()
+    hi = np.asarray(hi, dtype=np.float64).ravel()
+    if lo.size != hi.size or np.any(lo > hi):
+        raise ConfigurationError("invalid box bounds")
+    dim = lo.size
+    rng = np.random.default_rng(seed)
+
+    center = 0.5 * (lo + hi)
+    radius = 0.5 * (hi - lo)
+    best_x = center.copy()
+    best_value = float(objective(best_x))
+    evaluations = 1
+    round_bests: List[float] = []
+
+    for _ in range(cfg.n_rounds):
+        pts = center + radius * (rng.random((cfg.n_samples, dim)) * 2 - 1)
+        pts = np.clip(pts, lo, hi)
+        vals = np.array([objective(p) for p in pts])
+        evaluations += cfg.n_samples
+        i_best = int(np.argmin(vals))
+        if vals[i_best] < best_value:
+            best_value = float(vals[i_best])
+            best_x = pts[i_best].copy()
+        try:
+            p, b, c = fit_convex_quadratic(pts, vals)
+        except ConfigurationError:
+            round_bests.append(best_value)
+            continue
+        # minimize the surrogate over the region
+        p_reg = p + cfg.ridge * np.eye(dim)
+        try:
+            x_star = np.linalg.solve(p_reg, -b)
+        except np.linalg.LinAlgError:
+            x_star = center
+        x_star = np.clip(x_star, np.maximum(center - radius, lo),
+                         np.minimum(center + radius, hi))
+        val_star = float(objective(x_star))
+        evaluations += 1
+        if val_star < best_value:
+            best_value = val_star
+            best_x = x_star.copy()
+        round_bests.append(best_value)
+        center = best_x.copy()
+        radius = radius * cfg.shrink
+    return CoRRResult(best_x=best_x, best_value=best_value,
+                      evaluations=evaluations, round_bests=round_bests)

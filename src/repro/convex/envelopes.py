@@ -1,0 +1,170 @@
+"""Convex under-estimators and concave over-estimators.
+
+Paper §II-B: "the nonlinearities are typically replaced by convex
+under-estimators and concave over-estimators.  The tightest convex
+under-estimator and the tightest concave over-estimator are referred to
+as the convex envelope and the concave envelope of a function."
+
+These envelopes are the bounding machinery used by the MINLP
+branch-and-bound (spatial branching over bilinear/quadratic terms) and
+by the layer-wise neural-network relaxations in :mod:`repro.verify`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Interval",
+    "LinearBound",
+    "mccormick_bilinear",
+    "quadratic_envelope",
+    "concave_secant",
+    "convex_tangent",
+    "relu_envelope",
+    "envelope_gap",
+]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` used as a variable's bound box."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self):
+        if self.lo > self.hi:
+            raise ConfigurationError(f"empty interval [{self.lo}, {self.hi}]")
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    @property
+    def mid(self) -> float:
+        return 0.5 * (self.lo + self.hi)
+
+    def contains(self, x: float, tol: float = 1e-12) -> bool:
+        return self.lo - tol <= x <= self.hi + tol
+
+    def split(self, at: float | None = None) -> tuple["Interval", "Interval"]:
+        point = self.mid if at is None else at
+        if not self.contains(point):
+            raise ConfigurationError(f"split point {point} outside {self}")
+        return Interval(self.lo, point), Interval(point, self.hi)
+
+
+@dataclass(frozen=True)
+class LinearBound:
+    """Affine function ``a x + b`` (or ``a . x + b`` in higher dims)."""
+
+    a: np.ndarray
+    b: float
+
+    def __post_init__(self):
+        object.__setattr__(self, "a", np.atleast_1d(np.asarray(self.a, dtype=np.float64)))
+        object.__setattr__(self, "b", float(self.b))
+
+    def value(self, x: np.ndarray | float) -> float:
+        x = np.atleast_1d(np.asarray(x, dtype=np.float64))
+        return float(self.a @ x + self.b)
+
+
+def mccormick_bilinear(x_int: Interval, y_int: Interval) -> tuple[list[LinearBound], list[LinearBound]]:
+    """McCormick envelopes of the bilinear term ``w = x y`` on a box.
+
+    Returns ``(under, over)``: two affine under-estimators and two affine
+    over-estimators in the variables ``(x, y)``; their max/min are the
+    convex/concave envelopes of ``x y`` on the box.
+    """
+    xl, xu = x_int.lo, x_int.hi
+    yl, yu = y_int.lo, y_int.hi
+    under = [
+        LinearBound(np.array([yl, xl]), -xl * yl),
+        LinearBound(np.array([yu, xu]), -xu * yu),
+    ]
+    over = [
+        LinearBound(np.array([yu, xl]), -xl * yu),
+        LinearBound(np.array([yl, xu]), -xu * yl),
+    ]
+    return under, over
+
+
+def quadratic_envelope(interval: Interval) -> tuple[Callable[[float], float], LinearBound]:
+    """Envelopes of ``f(x) = x^2`` on an interval.
+
+    ``x^2`` is already convex, so its convex envelope is itself; the
+    concave envelope is the secant through the endpoints.  Returns
+    ``(convex_envelope_fn, concave_secant)``.
+    """
+    secant = concave_secant(lambda x: x * x, interval)
+    return (lambda x: x * x), secant
+
+
+def concave_secant(f: Callable[[float], float], interval: Interval) -> LinearBound:
+    """Secant line through ``(lo, f(lo))`` and ``(hi, f(hi))`` — the
+    concave envelope of any convex function on the interval."""
+    if interval.width == 0.0:
+        return LinearBound(np.array([0.0]), f(interval.lo))
+    slope = (f(interval.hi) - f(interval.lo)) / interval.width
+    return LinearBound(np.array([slope]), f(interval.lo) - slope * interval.lo)
+
+
+def convex_tangent(
+    f: Callable[[float], float], df: Callable[[float], float], at: float
+) -> LinearBound:
+    """Tangent line of a convex function — a valid under-estimator
+    everywhere (supporting hyperplane)."""
+    slope = df(at)
+    return LinearBound(np.array([slope]), f(at) - slope * at)
+
+
+def relu_envelope(interval: Interval) -> tuple[LinearBound, LinearBound]:
+    """Triangle ("planet") relaxation of ``relu(x)`` on ``[lo, hi]``.
+
+    Returns ``(lower, upper)`` affine bounds:
+
+    * active  (lo >= 0): relu(x) = x exactly;
+    * inactive (hi <= 0): relu(x) = 0 exactly;
+    * unstable: upper is the secant ``hi (x - lo) / (hi - lo)``; lower is
+      the tighter of ``0`` and ``x`` chosen by which side of the origin
+      the interval mass lies on (the standard CROWN heuristic).
+    """
+    lo, hi = interval.lo, interval.hi
+    if lo >= 0.0:
+        line = LinearBound(np.array([1.0]), 0.0)
+        return line, line
+    if hi <= 0.0:
+        line = LinearBound(np.array([0.0]), 0.0)
+        return line, line
+    slope = hi / (hi - lo)
+    upper = LinearBound(np.array([slope]), -slope * lo)
+    lower = LinearBound(np.array([1.0 if hi >= -lo else 0.0]), 0.0)
+    return lower, upper
+
+
+def envelope_gap(
+    f: Callable[[float], float],
+    under: Callable[[float], float],
+    over: Callable[[float], float],
+    interval: Interval,
+    samples: int = 257,
+) -> float:
+    """Max over the interval of ``over(x) - under(x)`` — the tightness
+    measure the RCR framework tries to minimize ("the tightest possible
+    relaxation").  Also validates the sandwich ``under <= f <= over``;
+    returns ``inf`` when violated."""
+    xs = np.linspace(interval.lo, interval.hi, samples)
+    worst = 0.0
+    for x in xs:
+        fu, fo, fx = under(float(x)), over(float(x)), f(float(x))
+        if fu > fx + 1e-9 or fo < fx - 1e-9:
+            return float("inf")
+        worst = max(worst, fo - fu)
+    return worst

@@ -1,0 +1,262 @@
+"""Quadratically constrained quadratic programming (paper Eq. 7).
+
+For *convex* QCQPs (every ``P_i`` PSD — the paper's envelope (1)) we run
+a log-barrier interior-point method with damped Newton steps: this
+"compute[s] the QCQP special class convex optimization problem in
+polynomial time".
+
+For *nonconvex* QCQPs we provide the Shor semidefinite relaxation, the
+canonical "nonconvex QCQP has been relaxed to a convex SDP" step the
+paper builds its RCR chain on, together with a rank-1 recovery heuristic
+and the relaxation-gap accounting used by the SDPCHAIN benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, InfeasibleError, NonConvexError
+from repro.convex.problem import QCQPProblem, SDPProblem, Solution
+from repro.convex.sdp import solve_sdp, solve_sdp_general
+
+__all__ = ["solve_qcqp_barrier", "shor_relaxation", "solve_qcqp", "ShorResult"]
+
+
+def _phase1_point(problem: QCQPProblem, margin: float = 1e-3, max_iter: int = 500) -> np.ndarray:
+    """Find a strictly feasible point by minimizing ``max_i f_i(x)`` with
+    subgradient descent, then projecting onto the equality constraints."""
+    n = problem.dim
+    x = np.zeros(n)
+    if problem.a is not None:
+        # least-norm solution of Ax = b
+        x = np.linalg.pinv(problem.a) @ problem.b
+    if not problem.constraints:
+        return x
+    # projection matrix onto null(A) for equality-preserving steps
+    if problem.a is not None:
+        a = problem.a
+        proj = np.eye(n) - a.T @ np.linalg.pinv(a @ a.T) @ a
+    else:
+        proj = np.eye(n)
+    step = 1.0
+    for _ in range(max_iter):
+        vals = problem.constraint_values(x)
+        worst = int(np.argmax(vals))
+        if vals[worst] < -margin:
+            return x
+        g = problem.constraints[worst].gradient(x)
+        g = proj @ g
+        gn = float(np.linalg.norm(g))
+        if gn < 1e-12:
+            break
+        x = x - step * g / gn
+        step *= 0.995
+    vals = problem.constraint_values(x)
+    if np.max(vals, initial=-np.inf) >= 0:
+        raise InfeasibleError(
+            f"could not find a strictly feasible QCQP point (max constraint "
+            f"{np.max(vals):.3e})"
+        )
+    return x
+
+
+def solve_qcqp_barrier(
+    problem: QCQPProblem,
+    x0: np.ndarray | None = None,
+    t0: float = 1.0,
+    mu: float = 10.0,
+    barrier_tol: float = 1e-8,
+    newton_tol: float = 1e-9,
+    max_newton: int = 60,
+) -> Solution:
+    """Log-barrier interior-point method for a convex QCQP.
+
+    Minimizes ``t f_0(x) - sum_i log(-f_i(x))`` over the equality
+    manifold for geometrically increasing ``t``; the duality-gap bound is
+    ``m / t``.
+    """
+    problem.assert_convex()
+    n = problem.dim
+    m = len(problem.constraints)
+    x = np.asarray(x0, dtype=np.float64).ravel() if x0 is not None else _phase1_point(problem)
+    if m and np.max(problem.constraint_values(x), initial=-np.inf) >= 0:
+        x = _phase1_point(problem)
+    if problem.a is not None and np.max(np.abs(problem.a @ x - problem.b)) > 1e-8:
+        # restore equality feasibility
+        correction = np.linalg.pinv(problem.a) @ (problem.b - problem.a @ x)
+        x = x + correction
+
+    if m == 0:
+        # plain equality-constrained QP
+        from repro.convex.qp import solve_equality_qp
+
+        return solve_equality_qp(problem.objective.p, problem.objective.q, problem.a, problem.b)
+
+    t = t0
+    total_newton = 0
+    while m / t > barrier_tol:
+        for _ in range(max_newton):
+            vals = problem.constraint_values(x)
+            if np.max(vals) >= 0:
+                raise ConvergenceError("barrier iterate left the feasible region")
+            grad = t * problem.objective.gradient(x)
+            hess = t * problem.objective.p.copy()
+            for c, v in zip(problem.constraints, vals):
+                gc = c.gradient(x)
+                inv = -1.0 / v
+                grad += inv * gc
+                hess += inv * c.p + (inv**2) * np.outer(gc, gc)
+            if problem.a is not None:
+                a = problem.a
+                k = a.shape[0]
+                kkt = np.zeros((n + k, n + k))
+                kkt[:n, :n] = hess
+                kkt[:n, n:] = a.T
+                kkt[n:, :n] = a
+                rhs = np.concatenate([-grad, np.zeros(k)])
+                try:
+                    sol = np.linalg.solve(kkt, rhs)
+                except np.linalg.LinAlgError:
+                    sol, *_ = np.linalg.lstsq(kkt, rhs, rcond=None)
+                dx = sol[:n]
+            else:
+                try:
+                    dx = np.linalg.solve(hess, -grad)
+                except np.linalg.LinAlgError:
+                    dx = -grad
+            lam_sq = float(-grad @ dx)
+            total_newton += 1
+            if lam_sq / 2.0 <= newton_tol:
+                break
+            # backtracking line search keeping strict feasibility
+            step = 1.0
+            fx = t * problem.objective.value(x) - float(np.sum(np.log(-vals)))
+            while step > 1e-12:
+                x_try = x + step * dx
+                vals_try = problem.constraint_values(x_try)
+                if np.max(vals_try) < 0:
+                    f_try = t * problem.objective.value(x_try) - float(
+                        np.sum(np.log(-vals_try))
+                    )
+                    if f_try <= fx + 0.25 * step * float(grad @ dx):
+                        break
+                step *= 0.5
+            x = x + step * dx
+        t *= mu
+    return Solution(
+        x=x,
+        objective=problem.objective.value(x),
+        iterations=total_newton,
+        converged=True,
+    )
+
+
+@dataclass(frozen=True)
+class ShorResult:
+    """Output of the Shor SDP relaxation of a (possibly nonconvex) QCQP."""
+
+    lower_bound: float
+    x_recovered: np.ndarray
+    recovered_objective: float
+    recovered_feasible: bool
+    lifted_matrix: np.ndarray
+    rank_gap: float
+
+    @property
+    def relaxation_gap(self) -> float:
+        """Gap between the recovered feasible value and the SDP bound
+        (0 means the relaxation is tight)."""
+        if not np.isfinite(self.recovered_objective):
+            return float("inf")
+        return self.recovered_objective - self.lower_bound
+
+
+def _lift(form_p: np.ndarray, form_q: np.ndarray, form_r: float, n: int) -> np.ndarray:
+    """Lift ``0.5 x^T P x + q^T x + r`` to ``<M, Y>`` with
+    ``Y = [[1, x^T], [x, x x^T]]``."""
+    m = np.zeros((n + 1, n + 1))
+    m[0, 0] = form_r
+    m[0, 1:] = 0.5 * form_q
+    m[1:, 0] = 0.5 * form_q
+    m[1:, 1:] = 0.5 * form_p
+    return m
+
+
+def shor_relaxation(problem: QCQPProblem, sdp_max_iter: int = 8000) -> ShorResult:
+    """Shor SDP relaxation: lift ``x x^T`` to a PSD matrix variable.
+
+    Each quadratic constraint ``f_i(x) <= 0`` becomes the linear
+    inequality ``<M_i, Y> <= 0`` on the lifted variable
+    ``Y = [[1, x^T], [x, x x^T]] >= 0``; linear equalities and the
+    homogenizing constraint ``Y[0,0] = 1`` become linear equalities.  The
+    relaxation value lower-bounds the nonconvex optimum; a candidate
+    point is recovered from the dominant eigenvector of the lifted
+    solution.
+    """
+    n = problem.dim
+    obj = _lift(problem.objective.p, problem.objective.q, problem.objective.r, n)
+    eq_mats: list[np.ndarray] = []
+    eq_rhs: list[float] = []
+    # homogenization
+    e00 = np.zeros((n + 1, n + 1))
+    e00[0, 0] = 1.0
+    eq_mats.append(e00)
+    eq_rhs.append(1.0)
+    # equality constraints Ax = b become linear constraints on Y's first column
+    if problem.a is not None:
+        for i in range(problem.a.shape[0]):
+            m = np.zeros((n + 1, n + 1))
+            m[0, 1:] = 0.5 * problem.a[i]
+            m[1:, 0] = 0.5 * problem.a[i]
+            eq_mats.append(m)
+            eq_rhs.append(float(problem.b[i]))
+    ineq_mats = [_lift(c.p, c.q, c.r, n) for c in problem.constraints]
+    ineq_rhs = np.zeros(len(ineq_mats))
+
+    sol = solve_sdp_general(
+        obj,
+        eq_mats,
+        np.array(eq_rhs),
+        ineq_mats=ineq_mats,
+        ineq_rhs=ineq_rhs,
+        max_iter=sdp_max_iter,
+    )
+    best_bound = sol.objective
+    y = sol.x
+    # rank-1 recovery: dominant eigenvector scaled so the homogenizing
+    # coordinate equals 1
+    w, v = np.linalg.eigh(y)
+    vec = v[:, -1] * np.sqrt(max(w[-1], 0.0))
+    if abs(vec[0]) > 1e-9:
+        x_rec = vec[1:] / vec[0]
+    else:
+        x_rec = y[1:, 0]
+    feasible = problem.is_feasible(x_rec, tol=1e-5)
+    rec_obj = problem.objective.value(x_rec) if np.all(np.isfinite(x_rec)) else np.inf
+    rank_gap = float(np.sum(np.maximum(w[:-1], 0.0)) / max(w[-1], 1e-300))
+    return ShorResult(
+        lower_bound=best_bound,
+        x_recovered=x_rec,
+        recovered_objective=rec_obj,
+        recovered_feasible=feasible,
+        lifted_matrix=y,
+        rank_gap=rank_gap,
+    )
+
+
+def solve_qcqp(problem: QCQPProblem) -> Solution:
+    """Dispatch: convex instances go to the barrier method; nonconvex
+    instances are relaxed via :func:`shor_relaxation` (returning the
+    recovered candidate, flagged with ``status='relaxed'``)."""
+    if problem.is_convex():
+        return solve_qcqp_barrier(problem)
+    res = shor_relaxation(problem)
+    return Solution(
+        x=res.x_recovered,
+        objective=res.recovered_objective,
+        iterations=0,
+        converged=res.recovered_feasible,
+        status="relaxed",
+    )

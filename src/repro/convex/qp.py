@@ -1,0 +1,179 @@
+"""Convex quadratic programming.
+
+Two solvers are provided:
+
+* :func:`solve_equality_qp` — direct KKT solve for equality-constrained
+  QPs (used as the inner step of the barrier and active-set methods, and
+  by the adaptive-inertia QP of the RCR stack).
+* :func:`solve_qp` — an operator-splitting (OSQP-style ADMM) solver for
+  general convex QPs with inequality, equality, and box constraints.
+  Splitting solvers are the pragmatic choice the paper's "M-GNU-O
+  platform" role requires: robust on small-to-medium dense problems with
+  no combinatorial active-set search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, NonConvexError
+from repro.convex.problem import QPProblem, QuadraticForm, Solution
+
+__all__ = ["solve_equality_qp", "solve_qp", "solve_box_qp"]
+
+
+def solve_equality_qp(
+    p: np.ndarray, q: np.ndarray, a: np.ndarray | None = None, b: np.ndarray | None = None
+) -> Solution:
+    """Minimize ``0.5 x^T P x + q^T x`` subject to ``A x = b`` via the KKT
+    system.  P must be PSD on the nullspace of A; a tiny ridge is added
+    for semidefinite P."""
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64).ravel()
+    n = q.size
+    ridge = 1e-12 * max(1.0, float(np.trace(np.abs(p))) / max(n, 1))
+    p_reg = 0.5 * (p + p.T) + ridge * np.eye(n)
+    if a is None or np.asarray(a).size == 0:
+        try:
+            x = np.linalg.solve(p_reg, -q)
+        except np.linalg.LinAlgError as exc:
+            raise NonConvexError(f"singular KKT system: {exc}") from exc
+        obj = QuadraticForm(p, q).value(x)
+        return Solution(x=x, objective=obj, iterations=1, converged=True)
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64).ravel()
+    m = a.shape[0]
+    kkt = np.zeros((n + m, n + m))
+    kkt[:n, :n] = p_reg
+    kkt[:n, n:] = a.T
+    kkt[n:, :n] = a
+    rhs = np.concatenate([-q, b])
+    try:
+        sol = np.linalg.solve(kkt, rhs)
+    except np.linalg.LinAlgError:
+        sol, *_ = np.linalg.lstsq(kkt, rhs, rcond=None)
+    x, nu = sol[:n], sol[n:]
+    obj = QuadraticForm(p, q).value(x)
+    return Solution(x=x, objective=obj, iterations=1, converged=True, dual=nu)
+
+
+def solve_qp(
+    problem: QPProblem,
+    rho: float = 1.0,
+    sigma: float = 1e-6,
+    alpha: float = 1.6,
+    max_iter: int = 4000,
+    tol: float = 1e-8,
+) -> Solution:
+    """OSQP-style ADMM for a convex :class:`QPProblem`.
+
+    The problem is rewritten as ``min 0.5 x^T P x + q^T x`` subject to
+    ``l <= C x <= u`` where C stacks the inequality rows (``l = -inf``,
+    ``u = h``) and equality rows (``l = u = b``).  Raises
+    :class:`NonConvexError` when the Hessian fails its PSD certificate.
+    """
+    if not problem.is_convex():
+        raise NonConvexError(
+            "QP Hessian is not PSD; relax the problem before calling a convex solver"
+        )
+    p = problem.objective.p
+    q = problem.objective.q
+    n = problem.dim
+
+    rows: list[np.ndarray] = []
+    lowers: list[np.ndarray] = []
+    uppers: list[np.ndarray] = []
+    if problem.g is not None:
+        rows.append(problem.g)
+        lowers.append(np.full(problem.g.shape[0], -np.inf))
+        uppers.append(problem.h)
+    if problem.a is not None:
+        rows.append(problem.a)
+        lowers.append(problem.b)
+        uppers.append(problem.b)
+    if not rows:
+        return solve_equality_qp(p, q)
+    c = np.vstack(rows)
+    lo = np.concatenate(lowers)
+    hi = np.concatenate(uppers)
+    m = c.shape[0]
+
+    kkt = p + sigma * np.eye(n) + rho * (c.T @ c)
+    try:
+        chol = np.linalg.cholesky(kkt)
+    except np.linalg.LinAlgError as exc:
+        raise NonConvexError(f"ADMM KKT matrix not PD: {exc}") from exc
+
+    def kkt_solve(rhs: np.ndarray) -> np.ndarray:
+        y = np.linalg.solve(chol, rhs)
+        return np.linalg.solve(chol.T, y)
+
+    x = np.zeros(n)
+    z = np.zeros(m)
+    y = np.zeros(m)
+    obj_form = problem.objective
+    for it in range(1, max_iter + 1):
+        rhs = sigma * x - q + c.T @ (rho * z - y)
+        x_new = kkt_solve(rhs)
+        cx = c @ x_new
+        z_tilde = alpha * cx + (1 - alpha) * z
+        z_new = np.clip(z_tilde + y / rho, lo, hi)
+        y = y + rho * (z_tilde - z_new)
+        prim_res = float(np.max(np.abs(cx - z_new), initial=0.0))
+        dual_res = float(np.max(np.abs(rho * c.T @ (z_new - z)), initial=0.0))
+        x, z = x_new, z_new
+        if prim_res <= tol and dual_res <= tol:
+            return Solution(
+                x=x, objective=obj_form.value(x), iterations=it, converged=True, dual=y
+            )
+    # Return best effort with converged=False rather than raising: BnB
+    # bounding tolerates slightly inexact relaxation solves.
+    return Solution(
+        x=x,
+        objective=obj_form.value(x),
+        iterations=max_iter,
+        converged=False,
+        status="max_iter",
+        dual=y,
+    )
+
+
+def solve_box_qp(
+    p: np.ndarray,
+    q: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    max_iter: int = 2000,
+    tol: float = 1e-9,
+) -> Solution:
+    """Projected-gradient solver for box-constrained convex QPs.
+
+    Used on the hot path (adaptive inertia weights, water-filling
+    refinements) where constructing a full :class:`QPProblem` would be
+    overkill.  Step size is 1/L with L from the spectral radius of P.
+    """
+    p = 0.5 * (np.asarray(p, dtype=np.float64) + np.asarray(p, dtype=np.float64).T)
+    q = np.asarray(q, dtype=np.float64).ravel()
+    lo = np.asarray(lo, dtype=np.float64).ravel()
+    hi = np.asarray(hi, dtype=np.float64).ravel()
+    n = q.size
+    eigs = np.linalg.eigvalsh(p)
+    if eigs[0] < -1e-8 * max(1.0, abs(eigs[-1])):
+        raise NonConvexError(f"box QP Hessian has negative eigenvalue {eigs[0]:.3e}")
+    lipschitz = max(float(eigs[-1]), 1e-12)
+    step = 1.0 / lipschitz
+    x = np.clip(np.zeros(n), lo, hi)
+    form = QuadraticForm(p, q)
+    # Nesterov acceleration
+    y_acc = x.copy()
+    t_acc = 1.0
+    for it in range(1, max_iter + 1):
+        grad = p @ y_acc + q
+        x_new = np.clip(y_acc - step * grad, lo, hi)
+        t_new = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t_acc * t_acc))
+        y_acc = x_new + ((t_acc - 1.0) / t_new) * (x_new - x)
+        move = float(np.max(np.abs(x_new - x), initial=0.0))
+        x, t_acc = x_new, t_new
+        if move <= tol * max(1.0, float(np.max(np.abs(x), initial=0.0))):
+            return Solution(x=x, objective=form.value(x), iterations=it, converged=True)
+    raise ConvergenceError("box QP projected gradient did not converge", iterations=max_iter)

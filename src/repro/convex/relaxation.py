@@ -1,0 +1,107 @@
+"""Relaxation gradations and tightness accounting.
+
+The paper repeatedly refers to "successive gradations of convex
+optimizations" and to "denoting and resolving gradations of mixed-integer
+convex relaxations" (§II-B).  This module makes that vocabulary concrete:
+a :class:`RelaxationGrade` ladder from exact problem to interval
+relaxation, a :class:`RelaxationStep` record of one transformation, and a
+:class:`RelaxationChain` that audits a full pipeline (e.g.
+RMP -> TMP -> SDP, or MINLP -> NLP -> LP) for bound validity and
+cumulative looseness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["RelaxationGrade", "RelaxationStep", "RelaxationChain", "tightness_ratio"]
+
+
+class RelaxationGrade(IntEnum):
+    """Ladder of relaxation strength, ordered loosest-to-tightest.
+
+    Higher grade == tighter (closer to exact).  The ordering encodes the
+    paper's §II-B-2 trade-off: exact verifiers (no false negatives,
+    NP-hard) at the top; compact convex programs in the middle; interval
+    arithmetic at the bottom (cheap, loosest).
+    """
+
+    INTERVAL = 0
+    LINEAR = 1  # LP / MILP-relaxation class
+    CONVEX_QUADRATIC = 2  # QP/QCQP class
+    SEMIDEFINITE = 3  # SDP / LMI class (MICP, "more compact than MILP")
+    EXACT = 4  # MINLP / BnB / SMT class
+
+
+@dataclass(frozen=True)
+class RelaxationStep:
+    """One transformation in a relaxation chain.
+
+    ``bound`` is the optimal value of the relaxed problem; for a
+    minimization it must *lower*-bound the previous step's value.
+    """
+
+    name: str
+    grade: RelaxationGrade
+    bound: float
+    solve_time: float = 0.0
+
+    def __post_init__(self):
+        if not np.isfinite(self.bound) and self.bound != -np.inf:
+            raise ConfigurationError(f"step {self.name!r} has invalid bound {self.bound}")
+
+
+@dataclass
+class RelaxationChain:
+    """An audited sequence of relaxations of one minimization problem."""
+
+    problem_name: str
+    exact_value: Optional[float] = None
+    steps: List[RelaxationStep] = field(default_factory=list)
+
+    def add(self, step: RelaxationStep) -> "RelaxationChain":
+        self.steps.append(step)
+        return self
+
+    def is_monotone(self, tol: float = 1e-7) -> bool:
+        """Each *looser* grade must produce a *weaker* (lower) bound.
+
+        Sorted by grade, bounds must be nondecreasing with tightness;
+        violations indicate an invalid relaxation (claimed bound above
+        the exact optimum).
+        """
+        ordered = sorted(self.steps, key=lambda s: s.grade)
+        values = [s.bound for s in ordered]
+        for a, b in zip(values, values[1:]):
+            if a > b + tol:
+                return False
+        if self.exact_value is not None:
+            if any(s.bound > self.exact_value + tol for s in self.steps):
+                return False
+        return True
+
+    def gaps(self) -> dict[str, float]:
+        """Gap of each step to the exact value (requires exact_value)."""
+        if self.exact_value is None:
+            raise ConfigurationError("exact_value not recorded for this chain")
+        return {s.name: self.exact_value - s.bound for s in self.steps}
+
+    def tightest(self) -> RelaxationStep:
+        if not self.steps:
+            raise ConfigurationError("empty relaxation chain")
+        return max(self.steps, key=lambda s: s.bound)
+
+
+def tightness_ratio(bound: float, exact: float, loosest: float) -> float:
+    """Normalized tightness in [0, 1]: 1 means the bound equals the exact
+    value, 0 means it is no better than the loosest reference bound."""
+    denom = exact - loosest
+    if denom <= 0:
+        return 1.0
+    return float(np.clip((bound - loosest) / denom, 0.0, 1.0))

@@ -1,0 +1,128 @@
+"""Trust-region subproblem machinery (paper §IV-C).
+
+"Resolving of the QCQP can assist in the determination of the involved
+*trust regions* (the subset of the objective function region that is
+approximated)."  The trust-region subproblem
+
+    min  0.5 p^T B p + g^T p    s.t.  ||p|| <= delta
+
+is itself a QCQP with a single ball constraint; it is solved here by the
+More-Sorensen secular-equation method, which is exact even for
+*indefinite* B — one of the few nonconvex problems with a polynomial
+algorithm, and the reason trust-region methods can exploit curvature the
+paper's BFGS proxies cannot certify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError
+
+__all__ = ["TrustRegionResult", "solve_trust_region", "cauchy_point"]
+
+
+@dataclass(frozen=True)
+class TrustRegionResult:
+    """Solution of a trust-region subproblem."""
+
+    p: np.ndarray
+    value: float
+    lagrange_multiplier: float
+    on_boundary: bool
+    hard_case: bool
+
+
+def cauchy_point(g: np.ndarray, b: np.ndarray, delta: float) -> np.ndarray:
+    """Cauchy (steepest-descent) point — the cheap baseline step that any
+    trust-region solver must dominate."""
+    g = np.asarray(g, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64)
+    gn = float(np.linalg.norm(g))
+    if gn == 0.0:
+        return np.zeros_like(g)
+    gbg = float(g @ b @ g)
+    if gbg <= 0:
+        tau = 1.0
+    else:
+        tau = min(gn**3 / (delta * gbg), 1.0)
+    return -tau * (delta / gn) * g
+
+
+def solve_trust_region(
+    g: np.ndarray,
+    b: np.ndarray,
+    delta: float,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+) -> TrustRegionResult:
+    """More-Sorensen: find ``p`` and ``lam >= 0`` with
+    ``(B + lam I) p = -g``, ``lam (delta - ||p||) = 0``, ``B + lam I >= 0``.
+    """
+    g = np.asarray(g, dtype=np.float64).ravel()
+    b = 0.5 * (np.asarray(b, dtype=np.float64) + np.asarray(b, dtype=np.float64).T)
+    n = g.size
+    w, v = np.linalg.eigh(b)
+    gbar = v.T @ g
+    lam_min = float(w[0])
+
+    def p_norm(lam: float) -> float:
+        denom = w + lam
+        coeffs = np.where(np.abs(denom) > 1e-300, -gbar / denom, 0.0)
+        return float(np.linalg.norm(coeffs))
+
+    def p_of(lam: float) -> np.ndarray:
+        denom = w + lam
+        coeffs = np.where(np.abs(denom) > 1e-300, -gbar / denom, 0.0)
+        return v @ coeffs
+
+    # interior solution: B PD and ||B^-1 g|| <= delta
+    if lam_min > 0:
+        p = p_of(0.0)
+        if np.linalg.norm(p) <= delta + tol:
+            val = float(0.5 * p @ b @ p + g @ p)
+            return TrustRegionResult(p=p, value=val, lagrange_multiplier=0.0, on_boundary=False, hard_case=False)
+
+    # hard case: g orthogonal to the eigenspace of lam_min and the
+    # secular equation has no root above -lam_min
+    lam_lo = max(0.0, -lam_min) + 1e-14
+    if p_norm(lam_lo) < delta:
+        # hard case: add a component along the smallest eigenvector
+        mask = np.abs(w - lam_min) < 1e-10 * max(1.0, abs(lam_min))
+        z = v[:, np.argmax(mask)]
+        p_base = p_of(lam_lo)
+        rem = delta**2 - float(np.linalg.norm(p_base) ** 2)
+        tau = np.sqrt(max(rem, 0.0))
+        p = p_base + tau * z
+        val = float(0.5 * p @ b @ p + g @ p)
+        return TrustRegionResult(
+            p=p, value=val, lagrange_multiplier=lam_lo, on_boundary=True, hard_case=True
+        )
+
+    # boundary solution: find lam > lam_lo with ||p(lam)|| = delta by
+    # safeguarded Newton on 1/||p|| - 1/delta (secular equation)
+    lam = lam_lo
+    hi = lam_lo + max(1.0, float(np.linalg.norm(g)) / delta)
+    while p_norm(hi) > delta:
+        hi *= 2.0
+        if hi > 1e16:
+            raise ConvergenceError("trust-region secular bracketing failed")
+    lo = lam_lo
+    for it in range(max_iter):
+        lam = 0.5 * (lo + hi)
+        norm = p_norm(lam)
+        if abs(norm - delta) <= tol * delta:
+            break
+        if norm > delta:
+            lo = lam
+        else:
+            hi = lam
+    p = p_of(lam)
+    # rescale exactly onto the boundary
+    pn = float(np.linalg.norm(p))
+    if pn > 0:
+        p = p * (delta / pn)
+    val = float(0.5 * p @ b @ p + g @ p)
+    return TrustRegionResult(p=p, value=val, lagrange_multiplier=lam, on_boundary=True, hard_case=False)

@@ -1,0 +1,43 @@
+"""The paper's contribution: the Robust Convex Relaxation framework, the
+adaptive-inertia convex program, the Fig. 1 architectural stack, and the
+Fig. 2 dual-paradigm testbed."""
+
+from repro.core.adaptive_inertia import QPAdaptiveInertia
+from repro.core.numerical_stability import (
+    StabilityAudit,
+    audit_training_trace,
+    checked_forward,
+    network_amplification,
+)
+from repro.core.paradigm import ParadigmResult, TestbedReport, run_paradigm, run_testbed
+from repro.core.rcr import LayerTightnessReport, RobustConvexRelaxation
+from repro.core.stack import StackReport, StageReport, run_rcr_stack
+from repro.core.tuning import (
+    detector_objective,
+    evaluate_detector,
+    msy3i_search_space,
+    train_detector,
+    tune_msy3i,
+)
+
+__all__ = [
+    "LayerTightnessReport",
+    "ParadigmResult",
+    "QPAdaptiveInertia",
+    "RobustConvexRelaxation",
+    "StabilityAudit",
+    "StackReport",
+    "StageReport",
+    "TestbedReport",
+    "audit_training_trace",
+    "checked_forward",
+    "detector_objective",
+    "evaluate_detector",
+    "msy3i_search_space",
+    "network_amplification",
+    "run_paradigm",
+    "run_rcr_stack",
+    "run_testbed",
+    "train_detector",
+    "tune_msy3i",
+]

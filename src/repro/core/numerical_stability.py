@@ -1,0 +1,81 @@
+"""Numerical-stability instrumentation for networks and training runs.
+
+Paper §IV defines the property the testbed needs: "a forward stable
+DCGAN does not amplify perturbations of the input set, e.g., due to
+noise".  This module measures that for any layer stack, audits a
+training trace for the oscillation signature of misplaced batch-norm,
+and guards intermediate activations against overflow — the "numerical
+stability implementation within MSY3I" of the abstract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import NumericalInstabilityError
+from repro.nn.layers import Layer
+from repro.numerics.conditioning import ForwardStabilityMonitor, amplification_factor
+from repro.numerics.float_utils import guard_finite
+
+__all__ = [
+    "network_amplification",
+    "StabilityAudit",
+    "audit_training_trace",
+    "checked_forward",
+]
+
+
+def network_amplification(net: Layer, x: np.ndarray, eps: float = 1e-4,
+                          trials: int = 8, rng: np.random.Generator | None = None) -> float:
+    """Empirical perturbation-amplification factor of a network at x."""
+    return amplification_factor(
+        lambda v: np.asarray(net.forward(v, training=False)),
+        np.asarray(x, dtype=np.float64),
+        eps=eps,
+        trials=trials,
+        rng=rng,
+    )
+
+
+@dataclass(frozen=True)
+class StabilityAudit:
+    """Verdict on a training trace.
+
+    ``oscillation`` is the trailing std-dev of the loss;
+    ``divergence`` is the ratio of final to minimal loss;
+    ``is_stable`` applies the thresholds.
+    """
+
+    oscillation: float
+    divergence: float
+    n_nonfinite: int
+    is_stable: bool
+
+
+def audit_training_trace(losses: Sequence[float], window: int = 50,
+                         oscillation_threshold: float = 0.75,
+                         divergence_threshold: float = 10.0) -> StabilityAudit:
+    """Flag the §II-B-2 batch-norm pathology: "oscillation and
+    instability" in the loss trace."""
+    arr = np.asarray(list(losses), dtype=np.float64)
+    n_bad = int(np.sum(~np.isfinite(arr)))
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return StabilityAudit(float("inf"), float("inf"), n_bad, False)
+    tail = finite[-window:]
+    osc = float(np.std(tail))
+    lo = float(np.min(finite))
+    div = float(finite[-1] / lo) if lo > 0 else float("inf")
+    stable = n_bad == 0 and osc <= oscillation_threshold and div <= divergence_threshold
+    return StabilityAudit(oscillation=osc, divergence=div, n_nonfinite=n_bad, is_stable=stable)
+
+
+def checked_forward(net: Layer, x: np.ndarray, training: bool = False,
+                    context: str = "forward pass") -> np.ndarray:
+    """Forward pass that raises :class:`NumericalInstabilityError` on any
+    non-finite activation in the output."""
+    out = np.asarray(net.forward(np.asarray(x, dtype=np.float64), training=training))
+    return guard_finite(out, context=context)

@@ -1,0 +1,116 @@
+"""PSO-driven MSY3I hyperparameter tuning (RCR stack layer 2).
+
+"Ultimately, the final rendition of the MSY3I is dictated by the PSO
+deployment; the PSO determines the reduction in the number of
+hyperparameters and the tuning thereof" (§II-B-3).  The search space
+mixes integer widths, a log-gridded learning rate, and the fire-layer
+squeeze ratio; the objective trains a small detector briefly and scores
+validation loss plus a parameter-count penalty (the computational-cost
+reduction the squeeze exists for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.data import spectrogram_detection_batch
+from repro.nn.msy3i import MSY3IConfig, make_detector
+from repro.nn.network import Adam
+from repro.pso.hyperparam import (
+    HyperparameterTuner,
+    SearchSpace,
+    TuningResult,
+    categorical,
+    integer_range,
+    log_grid,
+)
+from repro.pso.inertia import InertiaStrategy
+from repro.pso.swarm import PSOConfig
+
+__all__ = ["train_detector", "detector_objective", "msy3i_search_space", "tune_msy3i"]
+
+
+def train_detector(detector, steps: int = 30, batch_size: int = 8, lr: float = 1e-2,
+                   grid: int = 4, cell_pixels: int = 4, seed: int = 0) -> float:
+    """Short Adam training run on the synthetic detection task.
+
+    Returns the final training loss.  Deliberately brief: the tuner's
+    objective needs a cheap, monotone-ish quality signal, not a
+    converged model.
+    """
+    rng = np.random.default_rng(seed)
+    opt = Adam(detector, lr=lr, beta1=0.9)
+    loss = float("inf")
+    for _ in range(steps):
+        imgs, obj, cls = spectrogram_detection_batch(batch_size, grid=grid,
+                                                     cell_pixels=cell_pixels, rng=rng)
+        pred = detector.forward(imgs, training=True)
+        loss, grad = detector.loss_and_grad(pred, obj, cls)
+        detector.backward(grad)
+        opt.step()
+    return loss
+
+
+def evaluate_detector(detector, n_batches: int = 2, batch_size: int = 8,
+                      grid: int = 4, cell_pixels: int = 4, seed: int = 1000) -> float:
+    """Validation loss on fresh data."""
+    rng = np.random.default_rng(seed)
+    total = 0.0
+    for _ in range(n_batches):
+        imgs, obj, cls = spectrogram_detection_batch(batch_size, grid=grid,
+                                                     cell_pixels=cell_pixels, rng=rng)
+        pred = detector.forward(imgs, training=False)
+        loss, _ = detector.loss_and_grad(pred, obj, cls)
+        total += loss
+    return total / n_batches
+
+
+def detector_objective(config: Dict[str, object], train_steps: int = 25,
+                       param_penalty: float = 2e-5, grid: int = 4,
+                       seed: int = 0) -> float:
+    """Tuning objective: validation loss + parameter-count penalty."""
+    cfg = MSY3IConfig(
+        base_channels=int(config["base_channels"]),
+        n_stages=2,
+        blocks_per_stage=int(config.get("blocks_per_stage", 1)),
+        squeeze_ratio=float(config["squeeze_ratio"]),
+        n_classes=2,
+    )
+    # image size must be grid * 2**n_stages so the head's cell grid
+    # matches the label grid
+    cell_pixels = 2 ** cfg.n_stages
+    det = make_detector(cfg, squeezed=True, rng=np.random.default_rng(seed))
+    train_detector(det, steps=train_steps, lr=float(config["lr"]),
+                   grid=grid, cell_pixels=cell_pixels, seed=seed)
+    val = evaluate_detector(det, grid=grid, cell_pixels=cell_pixels)
+    return val + param_penalty * det.n_params()
+
+
+def msy3i_search_space() -> SearchSpace:
+    """The MSY3I knobs the paper's PSO tunes, on discrete grids."""
+    return SearchSpace([
+        integer_range("base_channels", 4, 12, step=2),
+        categorical("squeeze_ratio", [0.0625, 0.125, 0.25, 0.5]),
+        log_grid("lr", 1e-3, 3e-2, 5),
+        integer_range("blocks_per_stage", 1, 2),
+    ])
+
+
+def tune_msy3i(swarm_size: int = 6, generations: int = 5,
+               inertia: InertiaStrategy | None = None,
+               train_steps: int = 20, seed: int = 0) -> TuningResult:
+    """Run the stack's tuning stage.  Budgets are intentionally small —
+    the point is the machinery, not squeezing the last percent."""
+    space = msy3i_search_space()
+    tuner = HyperparameterTuner(
+        space,
+        lambda cfg: detector_objective(cfg, train_steps=train_steps, seed=seed),
+        method="distribution",
+        config=PSOConfig(swarm_size=swarm_size, max_generations=generations),
+        inertia=inertia,
+        seed=seed,
+    )
+    return tuner.run()

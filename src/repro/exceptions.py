@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at an API boundary.  Subsystems add
+narrower classes for programmatic handling (e.g. distinguishing an
+infeasible optimization model from a solver that merely failed to
+converge).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid options."""
+
+
+class DimensionError(ReproError, ValueError):
+    """Array arguments have incompatible or unexpected shapes."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its budget.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Final residual (or ``nan`` when not applicable).
+    """
+
+    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class InfeasibleError(ReproError):
+    """An optimization problem has an empty feasible region."""
+
+
+class UnboundedError(ReproError):
+    """An optimization problem is unbounded below (for minimization)."""
+
+
+class NonConvexError(ReproError):
+    """A problem handed to a convex solver fails its convexity certificate.
+
+    The RCR framework deliberately surfaces this instead of silently
+    returning a stationary point: the paper's whole premise is that
+    nonconvex instances must be *relaxed* (e.g. rank -> trace -> SDP)
+    before a convex solver may be applied.
+    """
+
+
+class NumericalInstabilityError(ReproError):
+    """A computation produced non-finite values or amplified perturbations
+    beyond a configured forward-stability budget."""
+
+
+class VerificationError(ReproError):
+    """A robustness verifier was used incorrectly or internally failed."""
+
+
+class SignalProcessingError(ReproError):
+    """Invalid signal-processing request (bad window, hop, or length)."""

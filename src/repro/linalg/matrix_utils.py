@@ -1,0 +1,115 @@
+"""General matrix helpers shared by the convex solvers and verifiers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, DimensionError
+
+__all__ = [
+    "power_iteration",
+    "spectral_norm",
+    "numerical_rank",
+    "effective_rank",
+    "low_rank_approx",
+    "block_matrix",
+    "vec",
+    "unvec",
+    "solve_regularized",
+]
+
+
+def power_iteration(
+    a: np.ndarray,
+    max_iter: int = 500,
+    tol: float = 1e-10,
+    rng: np.random.Generator | None = None,
+) -> tuple[float, np.ndarray]:
+    """Dominant eigenvalue/eigenvector of a symmetric matrix.
+
+    Returns ``(lambda, v)`` with ``||v|| = 1``.  Raises
+    :class:`ConvergenceError` when the iteration stalls (e.g. repeated
+    dominant eigenvalues of opposite sign).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise DimensionError(f"expected square matrix, got {a.shape}")
+    n = a.shape[0]
+    rng = rng or np.random.default_rng(1)
+    v = rng.standard_normal(n)
+    v /= np.linalg.norm(v)
+    lam = 0.0
+    for it in range(max_iter):
+        w = a @ v
+        nw = np.linalg.norm(w)
+        if nw == 0.0:
+            return 0.0, v
+        w /= nw
+        lam_new = float(w @ a @ w)
+        if abs(lam_new - lam) <= tol * max(1.0, abs(lam_new)):
+            return lam_new, w
+        lam, v = lam_new, w
+    raise ConvergenceError("power iteration did not converge", iterations=max_iter, residual=abs(lam_new - lam))
+
+
+def spectral_norm(a: np.ndarray, max_iter: int = 500) -> float:
+    """Largest singular value via power iteration on ``A^T A``."""
+    a = np.asarray(a, dtype=np.float64)
+    gram = a.T @ a if a.shape[0] >= a.shape[1] else a @ a.T
+    try:
+        lam, _ = power_iteration(gram, max_iter=max_iter)
+    except ConvergenceError:
+        lam = float(np.linalg.eigvalsh(gram)[-1])
+    return float(np.sqrt(max(lam, 0.0)))
+
+
+def numerical_rank(a: np.ndarray, tol: float | None = None) -> int:
+    """Rank from singular values; default tol follows numpy's matrix_rank."""
+    s = np.linalg.svd(np.asarray(a, dtype=np.float64), compute_uv=False)
+    if s.size == 0:
+        return 0
+    if tol is None:
+        tol = s[0] * max(a.shape) * np.finfo(np.float64).eps
+    return int(np.sum(s > tol))
+
+
+def effective_rank(a: np.ndarray) -> float:
+    """Entropy-based effective rank (continuous surrogate used to compare
+    rank vs trace objectives in the SDPCHAIN benchmark)."""
+    s = np.linalg.svd(np.asarray(a, dtype=np.float64), compute_uv=False)
+    total = s.sum()
+    if total <= 0:
+        return 0.0
+    p = s / total
+    p = p[p > 0]
+    return float(np.exp(-np.sum(p * np.log(p))))
+
+
+def low_rank_approx(a: np.ndarray, rank: int) -> np.ndarray:
+    """Best rank-*k* approximation in Frobenius norm (truncated SVD)."""
+    u, s, vt = np.linalg.svd(np.asarray(a, dtype=np.float64), full_matrices=False)
+    k = max(0, min(rank, s.size))
+    return (u[:, :k] * s[:k]) @ vt[:k]
+
+
+def block_matrix(blocks: list[list[np.ndarray]]) -> np.ndarray:
+    """Assemble a block matrix, e.g. the Eq. 10 LMI ``[[W1, Rc], [Rc^H, W2]]``."""
+    return np.block([[np.asarray(b, dtype=np.float64) for b in row] for row in blocks])
+
+
+def vec(a: np.ndarray) -> np.ndarray:
+    """Column-stacking vectorization."""
+    return np.asarray(a, dtype=np.float64).reshape(-1, order="F")
+
+
+def unvec(v: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+    """Inverse of :func:`vec`."""
+    return np.asarray(v, dtype=np.float64).reshape(shape, order="F")
+
+
+def solve_regularized(a: np.ndarray, b: np.ndarray, ridge: float = 1e-10) -> np.ndarray:
+    """Solve ``A x = b`` with a tiny ridge for near-singular systems."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n = a.shape[1]
+    return np.linalg.solve(a.T @ a + ridge * np.eye(n), a.T @ b)

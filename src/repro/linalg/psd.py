@@ -1,0 +1,145 @@
+"""Positive-semidefinite cone utilities.
+
+The SDP relaxation chain of paper Eqs. 8-10 repeatedly needs projections
+onto the PSD cone (``R_c >= 0``), PSD certification (the Eq. 7 convexity
+test ``P_i in S^n_+``), and Cholesky factorizations robust to tiny
+negative eigenvalues introduced by round-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionError, NonConvexError
+
+__all__ = [
+    "symmetrize",
+    "is_symmetric",
+    "is_psd",
+    "is_pd",
+    "min_eigenvalue",
+    "project_psd",
+    "nearest_psd",
+    "cholesky_with_jitter",
+    "psd_sqrt",
+    "assert_psd",
+    "random_psd",
+    "random_low_rank_psd",
+]
+
+
+def symmetrize(a: np.ndarray) -> np.ndarray:
+    """Return the symmetric part ``(A + A^T)/2``."""
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise DimensionError(f"expected square matrix, got shape {a.shape}")
+    return 0.5 * (a + a.T)
+
+
+def is_symmetric(a: np.ndarray, tol: float = 1e-10) -> bool:
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        return False
+    return bool(np.allclose(a, a.T, atol=tol, rtol=0.0))
+
+
+def min_eigenvalue(a: np.ndarray) -> float:
+    """Smallest eigenvalue of the symmetric part of *a*."""
+    return float(np.linalg.eigvalsh(symmetrize(a))[0])
+
+
+def is_psd(a: np.ndarray, tol: float = 1e-9) -> bool:
+    """PSD test with tolerance scaled to the matrix magnitude."""
+    s = symmetrize(a)
+    scale = max(1.0, float(np.max(np.abs(s))) if s.size else 1.0)
+    return min_eigenvalue(s) >= -tol * scale
+
+
+def is_pd(a: np.ndarray, tol: float = 1e-12) -> bool:
+    """Strict positive-definiteness test."""
+    s = symmetrize(a)
+    scale = max(1.0, float(np.max(np.abs(s))) if s.size else 1.0)
+    return min_eigenvalue(s) > tol * scale
+
+
+def project_psd(a: np.ndarray) -> np.ndarray:
+    """Euclidean (Frobenius) projection onto the PSD cone.
+
+    Clips negative eigenvalues of the symmetric part to zero; this is the
+    projection step inside the Dykstra/ADMM SDP solver.
+    """
+    s = symmetrize(a)
+    w, v = np.linalg.eigh(s)
+    w = np.maximum(w, 0.0)
+    return symmetrize((v * w) @ v.T)
+
+
+def nearest_psd(a: np.ndarray, jitter: float = 0.0) -> np.ndarray:
+    """Nearest PSD matrix (Higham-style), optionally with a diagonal floor."""
+    p = project_psd(a)
+    if jitter > 0.0:
+        p = p + jitter * np.eye(p.shape[0])
+    return p
+
+
+def cholesky_with_jitter(a: np.ndarray, max_tries: int = 8) -> np.ndarray:
+    """Cholesky factor of *a*, adding geometric diagonal jitter on failure.
+
+    Raises :class:`NonConvexError` when the matrix is genuinely indefinite
+    (jitter needed exceeds ``1e-2 * trace-scale``).
+    """
+    s = symmetrize(a)
+    n = s.shape[0]
+    scale = max(float(np.trace(np.abs(s))) / max(n, 1), 1e-12)
+    # jitter ladder capped at 1e-2 * scale: needing more than that means
+    # the matrix is genuinely indefinite, not merely rounded
+    ladder = [0.0] + [scale * 10.0 ** (-10 + k) for k in range(max_tries)]
+    ladder = [j for j in ladder if j <= 1e-2 * scale or j == 0.0]
+    for jitter in ladder:
+        try:
+            return np.linalg.cholesky(s + jitter * np.eye(n))
+        except np.linalg.LinAlgError:
+            continue
+    raise NonConvexError(
+        f"matrix is not positive definite even with jitter {1e-2 * scale:.3e}"
+    )
+
+
+def psd_sqrt(a: np.ndarray) -> np.ndarray:
+    """Symmetric PSD square root via eigendecomposition."""
+    s = symmetrize(a)
+    w, v = np.linalg.eigh(s)
+    w = np.sqrt(np.maximum(w, 0.0))
+    return symmetrize((v * w) @ v.T)
+
+
+def assert_psd(a: np.ndarray, name: str = "matrix", tol: float = 1e-9) -> np.ndarray:
+    """Raise :class:`NonConvexError` unless *a* is PSD; returns *a*.
+
+    This is the Eq. 7 convexity certificate: a QCQP is convex iff every
+    quadratic-form matrix is PSD.
+    """
+    if not is_psd(a, tol=tol):
+        raise NonConvexError(
+            f"{name} is not positive semidefinite (min eig = {min_eigenvalue(a):.3e})"
+        )
+    return np.asarray(a, dtype=np.float64)
+
+
+def random_psd(n: int, rng: np.random.Generator | None = None, scale: float = 1.0) -> np.ndarray:
+    """Random full-rank PSD matrix ``A A^T / n``."""
+    rng = rng or np.random.default_rng(0)
+    a = rng.standard_normal((n, n))
+    return symmetrize(scale * (a @ a.T) / n)
+
+
+def random_low_rank_psd(
+    n: int, rank: int, rng: np.random.Generator | None = None, scale: float = 1.0
+) -> np.ndarray:
+    """Random PSD matrix of the given rank — workload for the SDPCHAIN
+    benchmark (recovering ``R_c`` of low rank from ``R_s = R_c + diag``)."""
+    if not 0 <= rank <= n:
+        raise DimensionError(f"rank must lie in [0, {n}], got {rank}")
+    rng = rng or np.random.default_rng(0)
+    f = rng.standard_normal((n, rank)) if rank else np.zeros((n, 1))
+    return symmetrize(scale * (f @ f.T))

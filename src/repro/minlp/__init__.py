@@ -1,0 +1,34 @@
+"""Mixed-integer (non)linear programming: models, branch-and-bound,
+MILP/MIQP solvers, outer approximation, and primal heuristics."""
+
+from repro.minlp.branch_and_bound import (
+    BnBNode,
+    BnBResult,
+    branch_and_bound,
+    most_fractional_index,
+)
+from repro.minlp.heuristics import diving_heuristic, feasibility_pump, round_and_repair
+from repro.minlp.milp import solve_milp, solve_miqp
+from repro.minlp.model import MILPModel, MIQPModel, integrality_violation, is_integral
+from repro.minlp.outer_approx import OAResult, solve_outer_approximation
+from repro.minlp.spatial import SpatialResult, spatial_minimize_quadratic
+
+__all__ = [
+    "BnBNode",
+    "BnBResult",
+    "MILPModel",
+    "MIQPModel",
+    "OAResult",
+    "SpatialResult",
+    "branch_and_bound",
+    "diving_heuristic",
+    "feasibility_pump",
+    "integrality_violation",
+    "is_integral",
+    "most_fractional_index",
+    "round_and_repair",
+    "solve_milp",
+    "solve_miqp",
+    "solve_outer_approximation",
+    "spatial_minimize_quadratic",
+]

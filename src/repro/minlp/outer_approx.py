@@ -1,0 +1,159 @@
+"""Outer approximation for convex MINLP (here: convex MIQP).
+
+Outer approximation alternates between (1) an NLP subproblem with the
+integer variables fixed, and (2) a MILP master assembled from gradient
+cuts of the nonlinear objective at every NLP solution seen so far.  For
+convex problems the master's optimum is a valid lower bound and the loop
+converges finitely — the textbook alternative to BnB that the paper's
+"hybridizing local and global optimization algorithms" points at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InfeasibleError
+from repro.convex.lp import solve_lp
+from repro.convex.problem import LPProblem
+from repro.convex.qp import solve_qp
+from repro.minlp.milp import solve_milp
+from repro.minlp.model import MILPModel, MIQPModel
+
+__all__ = ["OAResult", "solve_outer_approximation"]
+
+
+@dataclass(frozen=True)
+class OAResult:
+    """Outer-approximation outcome."""
+
+    x: np.ndarray | None
+    objective: float
+    lower_bound: float
+    major_iterations: int
+    converged: bool
+
+    @property
+    def gap(self) -> float:
+        if self.x is None:
+            return float("inf")
+        return self.objective - self.lower_bound
+
+
+def _nlp_subproblem(model: MIQPModel, x_int: np.ndarray) -> tuple[np.ndarray, float] | None:
+    """Solve the continuous QP with integer coordinates fixed to x_int."""
+    n = model.dim
+    lo = model.lo.copy()
+    hi = model.hi.copy()
+    for i in model.integer_indices:
+        lo[i] = hi[i] = x_int[i]
+    relaxed = model.relaxation(lo, hi)
+    sol = solve_qp(relaxed)
+    if not sol.converged:
+        ineq, eq = relaxed.residuals(sol.x)
+        if ineq > 1e-5 or eq > 1e-5:
+            return None
+    x = sol.x.copy()
+    for i in model.integer_indices:
+        x[i] = x_int[i]
+    return x, model.objective_value(x)
+
+
+def solve_outer_approximation(
+    model: MIQPModel,
+    max_major: int = 30,
+    gap_tol: float = 1e-6,
+    milp_max_nodes: int = 5000,
+) -> OAResult:
+    """Outer approximation for a convex :class:`MIQPModel`.
+
+    The master MILP works in the epigraph variable ``eta`` plus the
+    original ``x``; each major iteration adds the gradient cut
+    ``eta >= f(x_k) + grad f(x_k)^T (x - x_k)``.
+    """
+    n = model.dim
+    for i in model.integer_indices:
+        if not (np.isfinite(model.lo[i]) and np.isfinite(model.hi[i])):
+            raise InfeasibleError(f"integer variable {i} needs finite bounds")
+
+    # initial linearization point: continuous relaxation optimum; its
+    # objective is a valid global lower bound for eta
+    relaxed = model.relaxation(model.lo, model.hi)
+    base = solve_qp(relaxed)
+    cut_points: list[np.ndarray] = [base.x]
+    best_x: np.ndarray | None = None
+    best_obj = np.inf
+    lower = base.objective
+
+    # seed an incumbent by rounding the relaxation optimum, so the
+    # epigraph variable has a finite, well-scaled upper bound
+    seed_int = base.x.copy()
+    for i in model.integer_indices:
+        seed_int[i] = np.clip(round(seed_int[i]), model.lo[i], model.hi[i])
+    seeded = _nlp_subproblem(model, seed_int)
+    if seeded is not None:
+        x_seed, obj_seed = seeded
+        cut_points.append(x_seed)
+        if model.is_feasible(x_seed):
+            best_obj = obj_seed
+            best_x = x_seed
+
+    for major in range(1, max_major + 1):
+        # master MILP in (x, eta)
+        cut_rows = []
+        cut_rhs = []
+        for xk in cut_points:
+            grad = model.qp.objective.gradient(xk)
+            fk = model.qp.objective.value(xk)
+            # f_k + g^T (x - x_k) <= eta  ->  g^T x - eta <= g^T x_k - f_k
+            row = np.concatenate([grad, [-1.0]])
+            cut_rows.append(row)
+            cut_rhs.append(float(grad @ xk - fk))
+        g_rows = [np.asarray(cut_rows)]
+        h_parts = [np.asarray(cut_rhs)]
+        if model.qp.g is not None:
+            g_rows.append(np.hstack([model.qp.g, np.zeros((model.qp.g.shape[0], 1))]))
+            h_parts.append(model.qp.h)
+        a_ext = None
+        b_ext = None
+        if model.qp.a is not None:
+            a_ext = np.hstack([model.qp.a, np.zeros((model.qp.a.shape[0], 1))])
+            b_ext = model.qp.b
+        scale = max(1.0, abs(lower), abs(best_obj) if np.isfinite(best_obj) else 1.0)
+        eta_lo = lower - 1e-6 * scale
+        eta_hi = (best_obj if np.isfinite(best_obj) else lower + 1e3 * scale) + 1e-6 * scale
+        lp = LPProblem(
+            c=np.concatenate([np.zeros(n), [1.0]]),
+            g=np.vstack(g_rows),
+            h=np.concatenate(h_parts),
+            a=a_ext,
+            b=b_ext,
+            lo=np.concatenate([model.lo, [eta_lo]]),
+            hi=np.concatenate([model.hi, [eta_hi]]),
+        )
+        master = MILPModel(lp, frozenset(model.integer_indices))
+        try:
+            master_res = solve_milp(master, max_nodes=milp_max_nodes)
+        except InfeasibleError:
+            break
+        if master_res.x is None:
+            break
+        lower = max(lower, master_res.objective)
+        x_int = np.array([round(master_res.x[i]) for i in range(n)])
+        x_int_fixed = master_res.x.copy()
+        for i in model.integer_indices:
+            x_int_fixed[i] = round(x_int_fixed[i])
+        sub = _nlp_subproblem(model, x_int_fixed)
+        if sub is not None:
+            x_sub, obj_sub = sub
+            cut_points.append(x_sub)
+            if model.is_feasible(x_sub) and obj_sub < best_obj:
+                best_obj = obj_sub
+                best_x = x_sub
+        else:
+            # integer assignment infeasible: cut it off via a no-good bound
+            cut_points.append(x_int_fixed)
+        if best_obj - lower <= gap_tol:
+            return OAResult(best_x, best_obj, lower, major, True)
+    return OAResult(best_x, best_obj, lower, max_major, best_obj - lower <= gap_tol)

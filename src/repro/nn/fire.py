@@ -1,0 +1,98 @@
+"""Fire layers and special fire layers (SqueezeNet / SqueezeDet).
+
+Paper §I and §II-B-1: "the notion of fire modules/layers from SqueezeNet
+... was utilized to replace convolution layers (a.k.a. Conv) with Fire
+Layers (FL), and a SqueezeDet adaptation was incorporated for the
+replacement of certain Conv with Special Fire Layers (SFL). ... the
+number of hyperparameters as well as the number of filters of the
+compression portion of the fire layers are reduced."
+
+A fire layer squeezes the channel count with 1x1 convolutions, then
+expands with parallel 1x1 and 3x3 branches whose outputs concatenate —
+dramatically fewer parameters than a plain 3x3 conv of the same output
+width.  The special fire layer (SqueezeDet) adds a stride to the expand
+branches so it can also replace *downsampling* convs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import Concat, Conv2d, Layer, LeakyReLU
+
+__all__ = ["FireLayer", "SpecialFireLayer", "conv_equivalent_params"]
+
+
+class FireLayer(Layer):
+    """SqueezeNet fire module: squeeze(1x1) -> [expand 1x1 || expand 3x3].
+
+    ``squeeze_ratio`` controls the compression: the squeeze width is
+    ``max(1, int(squeeze_ratio * out_channels))``.  Output channels are
+    split evenly between the two expand branches.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 squeeze_ratio: float = 0.125, stride: int = 1,
+                 rng: np.random.Generator | None = None):
+        if out_channels % 2 != 0:
+            raise ConfigurationError("FireLayer out_channels must be even (two expand branches)")
+        if not 0.0 < squeeze_ratio <= 1.0:
+            raise ConfigurationError("squeeze_ratio must be in (0, 1]")
+        rng = rng or np.random.default_rng(0)
+        squeeze_channels = max(1, int(round(squeeze_ratio * out_channels)))
+        half = out_channels // 2
+        self.squeeze = Conv2d(in_channels, squeeze_channels, kernel_size=1, pad=0, rng=rng)
+        self.act_s = LeakyReLU(0.1)
+        self.expand1 = Conv2d(squeeze_channels, half, kernel_size=1, stride=stride, pad=0, rng=rng)
+        self.expand3 = Conv2d(squeeze_channels, half, kernel_size=3, stride=stride, pad=1, rng=rng)
+        self.act_e = LeakyReLU(0.1)
+        self.squeeze_channels = squeeze_channels
+        self.out_channels = out_channels
+        self._half = half
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        s = self.act_s.forward(self.squeeze.forward(x, training), training)
+        e1 = self.expand1.forward(s, training)
+        e3 = self.expand3.forward(s, training)
+        return self.act_e.forward(Concat.forward(e1, e3), training)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g = self.act_e.backward(grad_out)
+        g1, g3 = Concat.backward(g, self._half)
+        gs = self.expand1.backward(g1) + self.expand3.backward(g3)
+        gs = self.act_s.backward(gs)
+        return self.squeeze.backward(gs)
+
+    def params(self) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {}
+        for prefix, layer in (("squeeze", self.squeeze), ("expand1", self.expand1), ("expand3", self.expand3)):
+            for name, p in layer.params().items():
+                out[f"{prefix}.{name}"] = p
+        return out
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {}
+        for prefix, layer in (("squeeze", self.squeeze), ("expand1", self.expand1), ("expand3", self.expand3)):
+            for name, g in layer.grads().items():
+                out[f"{prefix}.{name}"] = g
+        return out
+
+
+class SpecialFireLayer(FireLayer):
+    """SqueezeDet special fire layer: a fire module with stride 2 in the
+    expand branches, replacing strided (downsampling) convolutions."""
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 squeeze_ratio: float = 0.125,
+                 rng: np.random.Generator | None = None):
+        super().__init__(in_channels, out_channels, squeeze_ratio=squeeze_ratio,
+                         stride=2, rng=rng)
+
+
+def conv_equivalent_params(in_channels: int, out_channels: int, kernel_size: int = 3) -> int:
+    """Parameter count of the plain conv a fire layer replaces — the
+    baseline for the SQUEEZE benchmark's reduction factor."""
+    return out_channels * (in_channels * kernel_size * kernel_size + 1)

@@ -1,0 +1,360 @@
+"""DCGAN training machinery: generators, discriminators, selective
+batch-norm placement, mixture-of-generators, and mode-collapse metrics.
+
+Three paper claims live here:
+
+* batch-norm placement — "this instability can be avoided by selectively
+  applying batchnorm, e.g., only at the generator output layer and/or
+  the discriminator input layer" (§II-B-2);
+* mode-collapse mitigation — "a 'forward stable' TensorFlow-based DCGAN
+  ... was utilized via an additional generator (hence, a mixture of
+  generators) to assist in mitigating mode failure (a.k.a. mode
+  collapse)" (§IV);
+* forward stability — "a forward stable DCGAN does not amplify
+  perturbations of the input set" (§IV), measured by
+  :class:`repro.numerics.ForwardStabilityMonitor`.
+
+The testbed task is the ring of Gaussians from :mod:`repro.nn.data`,
+where mode coverage is directly countable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Literal, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.data import gaussian_mixture_batch, gaussian_mixture_centers
+from repro.nn.layers import BatchNorm, Dense, Layer, LeakyReLU, Tanh
+from repro.nn.network import Adam, Sequential, bce_with_logits_loss
+from repro.numerics.conditioning import ForwardStabilityMonitor
+
+BatchNormPlacement = Literal["none", "selective", "all"]
+
+__all__ = [
+    "build_generator",
+    "build_discriminator",
+    "GANConfig",
+    "GANTrainer",
+    "MixtureOfGenerators",
+    "mode_coverage",
+    "high_quality_fraction",
+]
+
+
+def build_generator(
+    latent_dim: int = 4,
+    hidden: int = 32,
+    out_dim: int = 2,
+    depth: int = 3,
+    batchnorm: BatchNormPlacement = "selective",
+    output_scale: float = 3.0,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """MLP generator mapping latent noise to data space.
+
+    Batch-norm placement reproduces the paper's §II-B-2 claim that
+    *selective* application avoids the oscillation/instability of
+    normalizing every layer.  The paper's wording is ambiguous about
+    which layers are exempt; we follow the DCGAN result it references
+    (Radford et al.): ``'selective'`` normalizes hidden layers but
+    exempts the generator *output* layer; ``'all'`` additionally
+    normalizes the output (pre-Tanh) — the configuration that fights the
+    output distribution and destabilizes training; ``'none'`` omits
+    batch-norm entirely.
+    """
+    rng = rng or np.random.default_rng(0)
+    if depth < 1:
+        raise ConfigurationError("generator depth must be >= 1")
+    layers: List[Layer] = []
+    d_in = latent_dim
+    for _ in range(depth):
+        layers.append(Dense(d_in, hidden, rng=rng))
+        if batchnorm in ("selective", "all"):
+            layers.append(BatchNorm(hidden))
+        layers.append(LeakyReLU(0.2))
+        d_in = hidden
+    layers.append(Dense(d_in, out_dim, rng=rng))
+    if batchnorm == "all":
+        layers.append(BatchNorm(out_dim))
+    layers.append(Tanh())
+    layers.append(_Scale(output_scale))
+    return Sequential(layers)
+
+
+class _Scale(Layer):
+    """Constant output scaling so the Tanh range covers the data ring."""
+
+    trainable = False
+
+    def __init__(self, factor: float):
+        self.factor = float(factor)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return self.factor * x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.factor * grad_out
+
+
+def build_discriminator(
+    in_dim: int = 2,
+    hidden: int = 32,
+    depth: int = 3,
+    batchnorm: BatchNormPlacement = "selective",
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """MLP discriminator producing a single real/fake logit.
+
+    ``'selective'`` normalizes hidden layers but exempts the
+    discriminator *input* layer (the DCGAN guidance the paper
+    references); ``'all'`` additionally normalizes the raw input, which
+    erases the real/fake statistics the discriminator needs and is the
+    unstable configuration the BNORM benchmark measures.
+    """
+    rng = rng or np.random.default_rng(1)
+    if depth < 1:
+        raise ConfigurationError("discriminator depth must be >= 1")
+    layers: List[Layer] = []
+    if batchnorm == "all":
+        layers.append(BatchNorm(in_dim))
+    d_in = in_dim
+    for layer_idx in range(depth):
+        layers.append(Dense(d_in, hidden, rng=rng))
+        # first hidden layer is exempt under 'selective' (it plays the
+        # input-layer role after the affine map)
+        if batchnorm == "all" or (batchnorm == "selective" and layer_idx > 0):
+            layers.append(BatchNorm(hidden))
+        layers.append(LeakyReLU(0.2))
+        d_in = hidden
+    layers.append(Dense(d_in, 1, rng=rng))
+    return Sequential(layers)
+
+
+@dataclass(frozen=True)
+class GANConfig:
+    """Training hyperparameters for the Gaussian-mixture testbed."""
+
+    latent_dim: int = 4
+    hidden: int = 32
+    depth: int = 3
+    batch_size: int = 64
+    lr: float = 2e-4
+    beta1: float = 0.5
+    n_modes: int = 8
+    ring_radius: float = 2.0
+    mode_sigma: float = 0.05
+    batchnorm: BatchNormPlacement = "selective"
+
+    def __post_init__(self):
+        if self.batch_size < 2:
+            raise ConfigurationError("batch_size must be >= 2")
+        if self.batchnorm not in ("none", "selective", "all"):
+            raise ConfigurationError(f"unknown batchnorm placement {self.batchnorm!r}")
+
+
+@dataclass
+class TrainTrace:
+    """Per-step losses and periodic quality metrics."""
+
+    d_losses: List[float] = field(default_factory=list)
+    g_losses: List[float] = field(default_factory=list)
+    coverage: List[int] = field(default_factory=list)
+    quality: List[float] = field(default_factory=list)
+
+    def loss_oscillation(self, window: int = 50) -> float:
+        """Std-dev of the generator loss over the trailing window — the
+        BNORM benchmark's oscillation metric."""
+        tail = self.g_losses[-window:]
+        return float(np.std(tail)) if tail else 0.0
+
+
+class GANTrainer:
+    """Single-generator DCGAN trainer on the Gaussian-mixture task."""
+
+    def __init__(self, config: GANConfig | None = None, seed: int = 0):
+        self.config = config or GANConfig()
+        self.rng = np.random.default_rng(seed)
+        cfg = self.config
+        self.generator = build_generator(
+            cfg.latent_dim, cfg.hidden, 2, cfg.depth, cfg.batchnorm,
+            output_scale=1.5 * cfg.ring_radius, rng=self.rng,
+        )
+        self.discriminator = build_discriminator(
+            2, cfg.hidden, cfg.depth, cfg.batchnorm, rng=self.rng
+        )
+        self.g_opt = Adam(self.generator, lr=cfg.lr, beta1=cfg.beta1)
+        self.d_opt = Adam(self.discriminator, lr=cfg.lr, beta1=cfg.beta1)
+        self.trace = TrainTrace()
+        self.stability = ForwardStabilityMonitor(budget=50.0)
+
+    def sample_latent(self, n: int) -> np.ndarray:
+        return self.rng.standard_normal((n, self.config.latent_dim))
+
+    def sample(self, n: int) -> np.ndarray:
+        return self.generator.forward(self.sample_latent(n), training=False)
+
+    def _real_batch(self) -> np.ndarray:
+        cfg = self.config
+        return gaussian_mixture_batch(
+            cfg.batch_size, cfg.n_modes, cfg.ring_radius, cfg.mode_sigma, rng=self.rng
+        )
+
+    def train_step(self) -> tuple[float, float]:
+        """One alternating D/G step; returns ``(d_loss, g_loss)``."""
+        cfg = self.config
+        # --- discriminator step
+        real = self._real_batch()
+        fake = self.generator.forward(self.sample_latent(cfg.batch_size), training=True)
+        d_real = self.discriminator.forward(real, training=True)
+        loss_r, grad_r = bce_with_logits_loss(d_real, np.ones_like(d_real))
+        self.discriminator.backward(grad_r)
+        grads_real = {k: g.copy() for k, g in self.discriminator.grads().items()}
+        d_fake = self.discriminator.forward(fake, training=True)
+        loss_f, grad_f = bce_with_logits_loss(d_fake, np.zeros_like(d_fake))
+        self.discriminator.backward(grad_f)
+        for k, g in self.discriminator.grads().items():
+            g += grads_real[k]
+        self.d_opt.step()
+        d_loss = loss_r + loss_f
+
+        # --- generator step (non-saturating loss)
+        z = self.sample_latent(cfg.batch_size)
+        fake = self.generator.forward(z, training=True)
+        d_out = self.discriminator.forward(fake, training=True)
+        g_loss, grad_g = bce_with_logits_loss(d_out, np.ones_like(d_out))
+        grad_into_g = self.discriminator.backward(grad_g)
+        self.generator.backward(grad_into_g)
+        self.g_opt.step()
+
+        self.trace.d_losses.append(d_loss)
+        self.trace.g_losses.append(g_loss)
+        return d_loss, g_loss
+
+    def train(self, steps: int, metric_every: int = 100, n_metric_samples: int = 512) -> TrainTrace:
+        cfg = self.config
+        centers = gaussian_mixture_centers(cfg.n_modes, cfg.ring_radius)
+        for step in range(1, steps + 1):
+            self.train_step()
+            if metric_every and step % metric_every == 0:
+                samples = self.sample(n_metric_samples)
+                self.trace.coverage.append(mode_coverage(samples, centers))
+                self.trace.quality.append(high_quality_fraction(samples, centers, cfg.mode_sigma))
+                self.stability.probe_map(
+                    step,
+                    lambda z: self.generator.forward(z, training=False),
+                    self.sample_latent(8),
+                    rng=self.rng,
+                )
+        return self.trace
+
+
+class MixtureOfGenerators:
+    """The paper's DCGAN #3 remedy: train K generators against one
+    discriminator; each generator serves an equal share of every fake
+    batch, so the mixture must spread across modes to fool D.
+    """
+
+    def __init__(self, n_generators: int = 2, config: GANConfig | None = None, seed: int = 0):
+        if n_generators < 1:
+            raise ConfigurationError("need at least one generator")
+        self.config = config or GANConfig()
+        self.rng = np.random.default_rng(seed)
+        cfg = self.config
+        self.generators = [
+            build_generator(cfg.latent_dim, cfg.hidden, 2, cfg.depth, cfg.batchnorm,
+                            output_scale=1.5 * cfg.ring_radius,
+                            rng=np.random.default_rng(seed + 17 * k))
+            for k in range(n_generators)
+        ]
+        self.discriminator = build_discriminator(2, cfg.hidden, cfg.depth, cfg.batchnorm,
+                                                 rng=np.random.default_rng(seed + 999))
+        self.g_opts = [Adam(g, lr=cfg.lr, beta1=cfg.beta1) for g in self.generators]
+        self.d_opt = Adam(self.discriminator, lr=cfg.lr, beta1=cfg.beta1)
+        self.trace = TrainTrace()
+
+    def sample_latent(self, n: int) -> np.ndarray:
+        return self.rng.standard_normal((n, self.config.latent_dim))
+
+    def sample(self, n: int) -> np.ndarray:
+        """Sample from the uniform mixture over generators."""
+        k = len(self.generators)
+        shares = [n // k + (1 if i < n % k else 0) for i in range(k)]
+        outs = [
+            g.forward(self.sample_latent(s), training=False)
+            for g, s in zip(self.generators, shares) if s > 0
+        ]
+        return np.concatenate(outs, axis=0)
+
+    def train_step(self) -> tuple[float, float]:
+        cfg = self.config
+        k = len(self.generators)
+        share = max(cfg.batch_size // k, 1)
+        real = gaussian_mixture_batch(cfg.batch_size, cfg.n_modes, cfg.ring_radius,
+                                      cfg.mode_sigma, rng=self.rng)
+        # --- D step on real + pooled fakes
+        fakes = [g.forward(self.sample_latent(share), training=True) for g in self.generators]
+        fake = np.concatenate(fakes, axis=0)
+        d_real = self.discriminator.forward(real, training=True)
+        loss_r, grad_r = bce_with_logits_loss(d_real, np.ones_like(d_real))
+        self.discriminator.backward(grad_r)
+        acc = {kk: g.copy() for kk, g in self.discriminator.grads().items()}
+        d_fake = self.discriminator.forward(fake, training=True)
+        loss_f, grad_f = bce_with_logits_loss(d_fake, np.zeros_like(d_fake))
+        self.discriminator.backward(grad_f)
+        for kk, g in self.discriminator.grads().items():
+            g += acc[kk]
+        self.d_opt.step()
+
+        # --- each generator gets its own non-saturating update
+        g_loss_total = 0.0
+        for gen, opt in zip(self.generators, self.g_opts):
+            z = self.sample_latent(share)
+            out = gen.forward(z, training=True)
+            d_out = self.discriminator.forward(out, training=True)
+            g_loss, grad_g = bce_with_logits_loss(d_out, np.ones_like(d_out))
+            grad_in = self.discriminator.backward(grad_g)
+            gen.backward(grad_in)
+            opt.step()
+            g_loss_total += g_loss
+        d_loss = loss_r + loss_f
+        self.trace.d_losses.append(d_loss)
+        self.trace.g_losses.append(g_loss_total / k)
+        return d_loss, g_loss_total / k
+
+    def train(self, steps: int, metric_every: int = 100, n_metric_samples: int = 512) -> TrainTrace:
+        cfg = self.config
+        centers = gaussian_mixture_centers(cfg.n_modes, cfg.ring_radius)
+        for step in range(1, steps + 1):
+            self.train_step()
+            if metric_every and step % metric_every == 0:
+                samples = self.sample(n_metric_samples)
+                self.trace.coverage.append(mode_coverage(samples, centers))
+                self.trace.quality.append(high_quality_fraction(samples, centers, cfg.mode_sigma))
+        return self.trace
+
+
+def mode_coverage(samples: np.ndarray, centers: np.ndarray, max_dist_sigmas: float = 5.0,
+                  sigma: float = 0.05, min_share: float = 0.01) -> int:
+    """Number of mixture modes receiving at least ``min_share`` of the
+    samples within ``max_dist_sigmas * sigma`` of their center."""
+    samples = np.asarray(samples, dtype=np.float64)
+    d = np.linalg.norm(samples[:, None, :] - centers[None, :, :], axis=2)
+    nearest = np.argmin(d, axis=1)
+    close = d[np.arange(samples.shape[0]), nearest] <= max_dist_sigmas * sigma
+    covered = 0
+    for k in range(centers.shape[0]):
+        share = np.mean((nearest == k) & close)
+        if share >= min_share:
+            covered += 1
+    return covered
+
+
+def high_quality_fraction(samples: np.ndarray, centers: np.ndarray, sigma: float = 0.05,
+                          within_sigmas: float = 3.0) -> float:
+    """Fraction of samples within ``within_sigmas`` of *some* mode center."""
+    samples = np.asarray(samples, dtype=np.float64)
+    d = np.linalg.norm(samples[:, None, :] - centers[None, :, :], axis=2)
+    return float(np.mean(d.min(axis=1) <= within_sigmas * sigma))

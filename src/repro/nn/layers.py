@@ -1,0 +1,424 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+A deliberately small, dependency-free layer zoo sufficient for the
+paper's architectures: Darknet-style conv stacks, SqueezeNet fire
+layers, and DCGAN generator/discriminator pairs.  Backpropagation is
+hand-written per layer (no autograd), which keeps every numerical step
+inspectable — the transparency "at each neural network layer" the paper
+demands of its RCR framework.
+
+Conventions: activations are ``(batch, channels, height, width)`` for
+2-D layers and ``(batch, features)`` for dense layers; every layer
+caches what its backward pass needs during ``forward``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionError
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2d",
+    "BatchNorm",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Flatten",
+    "Reshape",
+    "UpsampleNearest",
+    "MaxPool2d",
+    "Concat",
+]
+
+
+class Layer:
+    """Base layer: ``forward`` caches, ``backward`` returns input grads.
+
+    Parameters and their gradients are exposed through ``params()`` and
+    ``grads()`` as name->array dicts so optimizers stay generic.
+    """
+
+    trainable: bool = True
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def params(self) -> Dict[str, np.ndarray]:
+        return {}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        return {}
+
+    def n_params(self) -> int:
+        return int(sum(p.size for p in self.params().values()))
+
+    def __call__(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+def _he_init(shape: Tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.standard_normal(shape) * np.sqrt(2.0 / max(fan_in, 1))
+
+
+def _xavier_init(shape: Tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 init: str = "he", rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng(0)
+        if init == "he":
+            self.w = _he_init((in_features, out_features), in_features, rng)
+        elif init == "xavier":
+            self.w = _xavier_init((in_features, out_features), in_features, out_features, rng)
+        else:
+            raise ConfigurationError(f"unknown init {init!r}")
+        self.b = np.zeros(out_features)
+        self.dw = np.zeros_like(self.w)
+        self.db = np.zeros_like(self.b)
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.w.shape[0]:
+            raise DimensionError(f"Dense expected (*, {self.w.shape[0]}), got {x.shape}")
+        self._x = x if training else None
+        return x @ self.w + self.b
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._x is not None, "backward called before forward(training=True)"
+        self.dw = self._x.T @ grad_out
+        self.db = grad_out.sum(axis=0)
+        return grad_out @ self.w.T
+
+    def params(self) -> Dict[str, np.ndarray]:
+        return {"w": self.w, "b": self.b}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        return {"w": self.dw, "b": self.db}
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> tuple[np.ndarray, int, int]:
+    """Unfold (B, C, H, W) into columns (B, C*kh*kw, out_h*out_w)."""
+    b, c, h, w = x.shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise DimensionError(f"kernel {kh}x{kw} too large for input {h}x{w} with pad {pad}")
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    cols = np.empty((b, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            cols[:, :, i, j, :, :] = xp[:, :, i:i_max:stride, j:j_max:stride]
+    return cols.reshape(b, c * kh * kw, out_h * out_w), out_h, out_w
+
+
+def _col2im(cols: np.ndarray, x_shape: tuple, kh: int, kw: int, stride: int, pad: int,
+            out_h: int, out_w: int) -> np.ndarray:
+    """Adjoint of :func:`_im2col` (scatter-add back to image layout)."""
+    b, c, h, w = x_shape
+    cols = cols.reshape(b, c, kh, kw, out_h, out_w)
+    xp = np.zeros((b, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            xp[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
+    if pad:
+        return xp[:, :, pad:-pad, pad:-pad]
+    return xp
+
+
+class Conv2d(Layer):
+    """2-D convolution via im2col; supports stride and same/valid padding."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3,
+                 stride: int = 1, pad: int | None = None,
+                 rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng(0)
+        if kernel_size < 1 or stride < 1:
+            raise ConfigurationError("kernel_size and stride must be >= 1")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.k = kernel_size
+        self.stride = stride
+        self.pad = (kernel_size // 2) if pad is None else pad
+        fan_in = in_channels * kernel_size * kernel_size
+        self.w = _he_init((out_channels, fan_in), fan_in, rng)
+        self.b = np.zeros(out_channels)
+        self.dw = np.zeros_like(self.w)
+        self.db = np.zeros_like(self.b)
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise DimensionError(
+                f"Conv2d expected (B, {self.in_channels}, H, W), got {x.shape}"
+            )
+        cols, out_h, out_w = _im2col(x, self.k, self.k, self.stride, self.pad)
+        out = np.einsum("of,bfp->bop", self.w, cols) + self.b[None, :, None]
+        if training:
+            self._cache = (x.shape, cols, out_h, out_w)
+        return out.reshape(x.shape[0], self.out_channels, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        x_shape, cols, out_h, out_w = self._cache
+        b = grad_out.shape[0]
+        g = grad_out.reshape(b, self.out_channels, out_h * out_w)
+        self.dw = np.einsum("bop,bfp->of", g, cols)
+        self.db = g.sum(axis=(0, 2))
+        dcols = np.einsum("of,bop->bfp", self.w, g)
+        return _col2im(dcols, x_shape, self.k, self.k, self.stride, self.pad, out_h, out_w)
+
+    def params(self) -> Dict[str, np.ndarray]:
+        return {"w": self.w, "b": self.b}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        return {"w": self.dw, "b": self.db}
+
+
+class BatchNorm(Layer):
+    """Batch normalization over the channel axis (2-D or dense input).
+
+    The paper: "Simply applying batchnorm to all the layers ... can
+    result in oscillation and instability.  Prior research has shown that
+    this instability can be avoided by selectively applying batchnorm,
+    e.g., only at the generator output layer and/or the discriminator
+    input layer."  The BNORM benchmark toggles placement; this layer is
+    the mechanism.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5):
+        self.gamma = np.ones(num_features)
+        self.beta = np.zeros(num_features)
+        self.dgamma = np.zeros_like(self.gamma)
+        self.dbeta = np.zeros_like(self.beta)
+        self.momentum = momentum
+        self.eps = eps
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: Optional[tuple] = None
+
+    @staticmethod
+    def _axes(x: np.ndarray) -> tuple:
+        if x.ndim == 2:
+            return (0,)
+        if x.ndim == 4:
+            return (0, 2, 3)
+        raise DimensionError(f"BatchNorm supports 2-D or 4-D input, got {x.ndim}-D")
+
+    def _reshape_stats(self, s: np.ndarray, ndim: int) -> np.ndarray:
+        return s[None, :] if ndim == 2 else s[None, :, None, None]
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        axes = self._axes(x)
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        m = self._reshape_stats(mean, x.ndim)
+        v = self._reshape_stats(var, x.ndim)
+        x_hat = (x - m) / np.sqrt(v + self.eps)
+        out = self._reshape_stats(self.gamma, x.ndim) * x_hat + self._reshape_stats(self.beta, x.ndim)
+        if training:
+            self._cache = (x_hat, var, axes, x.ndim)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        x_hat, var, axes, ndim = self._cache
+        n = np.prod([grad_out.shape[a] for a in axes])
+        self.dgamma = (grad_out * x_hat).sum(axis=axes)
+        self.dbeta = grad_out.sum(axis=axes)
+        g = self._reshape_stats(self.gamma, ndim)
+        v = self._reshape_stats(var, ndim)
+        dxhat = grad_out * g
+        dx = (
+            dxhat
+            - dxhat.mean(axis=axes, keepdims=True)
+            - x_hat * (dxhat * x_hat).mean(axis=axes, keepdims=True)
+        ) / np.sqrt(v + self.eps)
+        return dx
+
+    def params(self) -> Dict[str, np.ndarray]:
+        return {"gamma": self.gamma, "beta": self.beta}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        return {"gamma": self.dgamma, "beta": self.dbeta}
+
+
+class ReLU(Layer):
+    trainable = False
+
+    def __init__(self):
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class LeakyReLU(Layer):
+    """The DCGAN-standard discriminator activation."""
+
+    trainable = False
+
+    def __init__(self, slope: float = 0.1):
+        self.slope = slope
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.slope * x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, grad_out, self.slope * grad_out)
+
+
+class Tanh(Layer):
+    """The DCGAN-standard generator output activation."""
+
+    trainable = False
+
+    def __init__(self):
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (1.0 - self._out**2)
+
+
+class Sigmoid(Layer):
+    trainable = False
+
+    def __init__(self):
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        from repro.numerics.stable_ops import stable_sigmoid
+
+        self._out = stable_sigmoid(x)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._out * (1.0 - self._out)
+
+
+class Flatten(Layer):
+    trainable = False
+
+    def __init__(self):
+        self._shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(self._shape)
+
+
+class Reshape(Layer):
+    trainable = False
+
+    def __init__(self, shape: Tuple[int, ...]):
+        self.shape = shape
+        self._in_shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._in_shape = x.shape
+        return x.reshape((x.shape[0],) + self.shape)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(self._in_shape)
+
+
+class UpsampleNearest(Layer):
+    """Nearest-neighbour 2x upsampling (YOLO v3's upsample path)."""
+
+    trainable = False
+
+    def __init__(self, factor: int = 2):
+        if factor < 1:
+            raise ConfigurationError("upsample factor must be >= 1")
+        self.factor = factor
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        f = self.factor
+        return x.repeat(f, axis=2).repeat(f, axis=3)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        f = self.factor
+        b, c, h, w = grad_out.shape
+        return grad_out.reshape(b, c, h // f, f, w // f, f).sum(axis=(3, 5))
+
+
+class MaxPool2d(Layer):
+    trainable = False
+
+    def __init__(self, size: int = 2):
+        if size < 1:
+            raise ConfigurationError("pool size must be >= 1")
+        self.size = size
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        s = self.size
+        b, c, h, w = x.shape
+        if h % s or w % s:
+            raise DimensionError(f"MaxPool2d({s}) needs H, W divisible by {s}, got {h}x{w}")
+        xr = x.reshape(b, c, h // s, s, w // s, s)
+        out = xr.max(axis=(3, 5))
+        if training:
+            mask = xr == out[:, :, :, None, :, None]
+            self._cache = (mask, x.shape)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        mask, x_shape = self._cache
+        s = self.size
+        g = grad_out[:, :, :, None, :, None] * mask
+        # ties split the gradient evenly
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+        g = g / np.maximum(counts, 1)
+        return g.reshape(x_shape)
+
+
+class Concat:
+    """Channel concatenation helper for branched blocks (fire layers).
+
+    Not a :class:`Layer` — it has two inputs; fire layers use it
+    directly with the matching :meth:`backward` split.
+    """
+
+    @staticmethod
+    def forward(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.concatenate([a, b], axis=1)
+
+    @staticmethod
+    def backward(grad_out: np.ndarray, split: int) -> tuple[np.ndarray, np.ndarray]:
+        return grad_out[:, :split], grad_out[:, split:]

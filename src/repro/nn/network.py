@@ -1,0 +1,193 @@
+"""Sequential network container, losses, and optimizers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import Layer
+from repro.numerics.stable_ops import log_softmax, stable_bce_with_logits, stable_sigmoid
+
+__all__ = [
+    "Sequential",
+    "bce_with_logits_loss",
+    "mse_loss",
+    "softmax_cross_entropy",
+    "SGD",
+    "Adam",
+    "save_npz",
+    "load_npz",
+]
+
+
+class Sequential(Layer):
+    """A chain of layers with aggregate parameter bookkeeping."""
+
+    def __init__(self, layers: Iterable[Layer]):
+        self.layers: List[Layer] = list(layers)
+        if not self.layers:
+            raise ConfigurationError("Sequential needs at least one layer")
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def params(self) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            for name, p in layer.params().items():
+                out[f"{i}.{name}"] = p
+        return out
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            for name, g in layer.grads().items():
+                out[f"{i}.{name}"] = g
+        return out
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {k: v.copy() for k, v in self.params().items()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        params = self.params()
+        missing = set(params) - set(state)
+        if missing:
+            raise ConfigurationError(f"state dict missing keys: {sorted(missing)}")
+        for k, p in params.items():
+            if state[k].shape != p.shape:
+                raise ConfigurationError(
+                    f"shape mismatch for {k}: {state[k].shape} vs {p.shape}"
+                )
+            p[...] = state[k]
+
+
+def bce_with_logits_loss(logits: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean binary cross-entropy with the fused-sigmoid stable form.
+
+    Returns ``(loss, dloss/dlogits)``.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    loss = float(np.mean(stable_bce_with_logits(logits, targets)))
+    grad = (stable_sigmoid(logits) - targets) / logits.size
+    return loss, grad
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error and its gradient."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    diff = pred - target
+    return float(np.mean(diff**2)), 2.0 * diff / diff.size
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy over integer labels, via the fused log-softmax.
+
+    ``logits`` is (batch, classes); ``labels`` is (batch,) of ints.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64).ravel()
+    logp = log_softmax(logits, axis=1)
+    n = logits.shape[0]
+    loss = float(-np.mean(logp[np.arange(n), labels]))
+    grad = np.exp(logp)
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n
+
+
+def save_npz(net: Layer, path: str) -> None:
+    """Persist a network's parameters to a ``.npz`` archive.
+
+    Keys are the ``params()`` names; any layer stack whose parameter
+    names are stable round-trips (Sequential, GridDetector, fire stacks).
+    """
+    np.savez(path, **{k: v for k, v in net.params().items()})
+
+
+def load_npz(net: Layer, path: str) -> None:
+    """Load parameters saved by :func:`save_npz` into *net* in place.
+
+    Raises :class:`ConfigurationError` on missing keys or shape
+    mismatches, mirroring ``Sequential.load_state_dict``.
+    """
+    with np.load(path) as data:
+        params = net.params()
+        missing = set(params) - set(data.files)
+        if missing:
+            raise ConfigurationError(f"archive missing keys: {sorted(missing)}")
+        for k, p in params.items():
+            if data[k].shape != p.shape:
+                raise ConfigurationError(
+                    f"shape mismatch for {k}: {data[k].shape} vs {p.shape}"
+                )
+            p[...] = data[k]
+
+
+class SGD:
+    """SGD with classical momentum."""
+
+    def __init__(self, net: Layer, lr: float = 1e-2, momentum: float = 0.9):
+        if lr <= 0:
+            raise ConfigurationError("learning rate must be positive")
+        self.net = net
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def step(self) -> None:
+        params = self.net.params()
+        grads = self.net.grads()
+        for k, p in params.items():
+            g = grads.get(k)
+            if g is None:
+                continue
+            v = self._velocity.get(k)
+            if v is None:
+                v = np.zeros_like(p)
+            v = self.momentum * v - self.lr * g
+            self._velocity[k] = v
+            p += v
+
+
+class Adam:
+    """Adam optimizer (the DCGAN default)."""
+
+    def __init__(self, net: Layer, lr: float = 2e-4, beta1: float = 0.5,
+                 beta2: float = 0.999, eps: float = 1e-8):
+        if lr <= 0:
+            raise ConfigurationError("learning rate must be positive")
+        self.net = net
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        params = self.net.params()
+        grads = self.net.grads()
+        for k, p in params.items():
+            g = grads.get(k)
+            if g is None:
+                continue
+            m = self._m.get(k, np.zeros_like(p))
+            v = self._v.get(k, np.zeros_like(p))
+            m = self.beta1 * m + (1 - self.beta1) * g
+            v = self.beta2 * v + (1 - self.beta2) * g * g
+            self._m[k], self._v[k] = m, v
+            m_hat = m / (1 - self.beta1**self._t)
+            v_hat = v / (1 - self.beta2**self._t)
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,162 @@
+"""Miniature Darknet/YOLO-v3-style detector.
+
+The paper uses YOLO v3 (a Darknet-53 variant) purely as the convolutional
+substrate of its DCGAN and quantifies why full scale is untenable: "a
+search space approach for a 106-layer YOLO network ... would still
+necessitate the training of 10^106 models".  We reproduce the
+*architecture family* at laptop scale: stacks of Darknet conv blocks
+(Conv -> BatchNorm -> LeakyReLU) with stride-2 downsampling, ending in a
+single-scale YOLO grid head that predicts per-cell objectness and class
+scores over spectrogram "images".  The squeezed variant (MSY3I) swaps
+conv blocks for fire layers in :mod:`repro.nn.msy3i`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionError
+from repro.nn.layers import BatchNorm, Conv2d, Layer, LeakyReLU
+from repro.nn.network import Sequential, bce_with_logits_loss, softmax_cross_entropy
+from repro.numerics.stable_ops import softmax, stable_sigmoid
+
+__all__ = ["conv_block", "DarknetMiniConfig", "build_darknet_mini", "GridDetector"]
+
+
+def conv_block(in_channels: int, out_channels: int, stride: int = 1,
+               batchnorm: bool = True, rng: np.random.Generator | None = None) -> List[Layer]:
+    """Darknet conv block: Conv3x3 (+BN) + LeakyReLU(0.1)."""
+    layers: List[Layer] = [Conv2d(in_channels, out_channels, kernel_size=3, stride=stride, rng=rng)]
+    if batchnorm:
+        layers.append(BatchNorm(out_channels))
+    layers.append(LeakyReLU(0.1))
+    return layers
+
+
+@dataclass(frozen=True)
+class DarknetMiniConfig:
+    """Shape of the miniature backbone.
+
+    ``n_stages`` stride-2 stages double the channel width each time, so
+    an input of ``grid * 2**n_stages`` pixels ends at a ``grid x grid``
+    feature map — the YOLO cell grid.
+    """
+
+    in_channels: int = 1
+    base_channels: int = 8
+    n_stages: int = 3
+    blocks_per_stage: int = 1
+    batchnorm: bool = True
+
+    def __post_init__(self):
+        if self.base_channels < 1 or self.n_stages < 1 or self.blocks_per_stage < 1:
+            raise ConfigurationError("invalid backbone configuration")
+
+
+def build_darknet_mini(cfg: DarknetMiniConfig, rng: np.random.Generator | None = None) -> Sequential:
+    """Assemble the backbone as a :class:`Sequential`."""
+    rng = rng or np.random.default_rng(0)
+    layers: List[Layer] = []
+    c_in = cfg.in_channels
+    c_out = cfg.base_channels
+    for _stage in range(cfg.n_stages):
+        layers.extend(conv_block(c_in, c_out, stride=2, batchnorm=cfg.batchnorm, rng=rng))
+        for _ in range(cfg.blocks_per_stage - 1):
+            layers.extend(conv_block(c_out, c_out, stride=1, batchnorm=cfg.batchnorm, rng=rng))
+        c_in, c_out = c_out, c_out * 2
+    return Sequential(layers)
+
+
+class GridDetector:
+    """Single-scale YOLO-style head over any backbone.
+
+    Output map is ``(B, 1 + n_classes, S, S)``: channel 0 is the
+    objectness logit per cell, the rest are class logits.  The loss is
+    BCE on objectness over all cells plus cross-entropy on the class of
+    positive cells — the single-scale core of the YOLO v3 loss.
+    """
+
+    def __init__(self, backbone: Sequential, backbone_out_channels: int,
+                 n_classes: int = 2, rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng(1)
+        self.backbone = backbone
+        self.n_classes = n_classes
+        self.head = Conv2d(backbone_out_channels, 1 + n_classes, kernel_size=1, pad=0, rng=rng)
+
+    # ---- forward / backward -------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        feats = self.backbone.forward(x, training=training)
+        return self.head.forward(feats, training=training)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g = self.head.backward(grad_out)
+        return self.backbone.backward(g)
+
+    def params(self):
+        out = {f"backbone.{k}": v for k, v in self.backbone.params().items()}
+        out.update({f"head.{k}": v for k, v in self.head.params().items()})
+        return out
+
+    def grads(self):
+        out = {f"backbone.{k}": v for k, v in self.backbone.grads().items()}
+        out.update({f"head.{k}": v for k, v in self.head.grads().items()})
+        return out
+
+    def n_params(self) -> int:
+        return int(sum(p.size for p in self.params().values()))
+
+    # ---- loss ---------------------------------------------------------------
+    def loss_and_grad(self, pred: np.ndarray, obj_target: np.ndarray,
+                      class_target: np.ndarray) -> tuple[float, np.ndarray]:
+        """YOLO-mini loss.
+
+        ``obj_target`` is (B, S, S) in {0,1}; ``class_target`` is
+        (B, S, S) of int labels (ignored where objectness is 0).
+        Returns ``(loss, dloss/dpred)``.
+        """
+        b, c, s1, s2 = pred.shape
+        if obj_target.shape != (b, s1, s2):
+            raise DimensionError(
+                f"objectness target shape {obj_target.shape} != {(b, s1, s2)}"
+            )
+        grad = np.zeros_like(pred)
+        obj_logits = pred[:, 0]
+        obj_loss, obj_grad = bce_with_logits_loss(obj_logits, obj_target)
+        grad[:, 0] = obj_grad
+
+        pos = obj_target > 0.5
+        cls_loss = 0.0
+        if np.any(pos) and self.n_classes > 0:
+            cls_logits = pred[:, 1:].transpose(0, 2, 3, 1)[pos]  # (P, n_classes)
+            labels = np.asarray(class_target)[pos].astype(int)
+            cls_loss, cls_grad = softmax_cross_entropy(cls_logits, labels)
+            full = np.zeros((b, s1, s2, self.n_classes))
+            full[pos] = cls_grad
+            grad[:, 1:] = full.transpose(0, 3, 1, 2)
+        return obj_loss + cls_loss, grad
+
+    # ---- inference ----------------------------------------------------------
+    def predict(self, x: np.ndarray, threshold: float = 0.5) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(objectness_prob, class_pred)`` maps of shape (B,S,S)."""
+        pred = self.forward(x, training=False)
+        obj = stable_sigmoid(pred[:, 0])
+        cls = np.argmax(softmax(pred[:, 1:], axis=1), axis=1) if self.n_classes else np.zeros_like(obj, dtype=int)
+        return obj, cls
+
+    def cell_accuracy(self, x: np.ndarray, obj_target: np.ndarray,
+                      class_target: np.ndarray, threshold: float = 0.5) -> dict:
+        """Detection quality: objectness accuracy, recall, and class
+        accuracy on positive cells."""
+        obj, cls = self.predict(x, threshold)
+        detected = obj > threshold
+        truth = obj_target > 0.5
+        acc = float(np.mean(detected == truth))
+        recall = float(np.mean(detected[truth])) if np.any(truth) else 1.0
+        if np.any(truth) and self.n_classes:
+            cls_acc = float(np.mean(cls[truth] == np.asarray(class_target)[truth]))
+        else:
+            cls_acc = 1.0
+        return {"objectness_accuracy": acc, "recall": recall, "class_accuracy": cls_acc}

@@ -1,0 +1,125 @@
+"""Finite approximations of infinite objects (paper Eqs. 3-4).
+
+Section IV-B illustrates truncation error with two canonical examples:
+a Taylor-series polynomial approximation of ``exp`` (Eq. 3) and the
+composite trapezoidal rule for a definite integral (Eq. 4).  These are
+implemented here together with a-priori truncation-error bounds, so the
+TRUNC benchmark can show the error decaying at the theoretical rate until
+it hits the round-off floor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "taylor_exp",
+    "taylor_exp_error_bound",
+    "trapezoid",
+    "trapezoid_error_bound",
+    "simpson",
+    "richardson_extrapolate",
+    "ApproximationReport",
+    "approximation_report",
+]
+
+
+def taylor_exp(x: float, order: int) -> float:
+    """Taylor polynomial of ``exp`` about 0, truncated at ``x**order/order!``.
+
+    This is paper Eq. 3.  Terms are accumulated recursively
+    (``t_{k} = t_{k-1} * x / k``) to avoid overflowing ``x**k`` and ``k!``
+    separately.
+    """
+    if order < 0:
+        raise ConfigurationError("Taylor order must be >= 0")
+    term = 1.0
+    total = 1.0
+    for k in range(1, order + 1):
+        term *= x / k
+        total += term
+    return total
+
+
+def taylor_exp_error_bound(x: float, order: int) -> float:
+    """Lagrange remainder bound ``e^{xi} |x|^{n+1} / (n+1)!`` for Eq. 3.
+
+    Uses ``xi = max(x, 0)`` which maximizes ``e^xi`` over the interval
+    between 0 and ``x``.
+    """
+    if order < 0:
+        raise ConfigurationError("Taylor order must be >= 0")
+    xi = max(x, 0.0)
+    # log-space to avoid overflow of |x|^(n+1)/(n+1)!
+    log_bound = xi + (order + 1) * math.log(abs(x)) - math.lgamma(order + 2) if x != 0 else -math.inf
+    if log_bound > 700.0:
+        return math.inf
+    return math.exp(log_bound) if log_bound != -math.inf else 0.0
+
+
+def trapezoid(f: Callable[[np.ndarray], np.ndarray], a: float, b: float, n: int) -> float:
+    """Composite trapezoidal rule with *n* panels (paper Eq. 4)."""
+    if n < 1:
+        raise ConfigurationError("trapezoid requires at least one panel")
+    x = np.linspace(a, b, n + 1)
+    y = np.asarray(f(x), dtype=np.float64)
+    h = (b - a) / n
+    return float(h * (0.5 * y[0] + np.sum(y[1:-1]) + 0.5 * y[-1]))
+
+
+def trapezoid_error_bound(second_derivative_max: float, a: float, b: float, n: int) -> float:
+    """A-priori bound ``(b-a) h^2 max|f''| / 12`` for the composite rule."""
+    h = (b - a) / n
+    return abs(b - a) * h * h * abs(second_derivative_max) / 12.0
+
+
+def simpson(f: Callable[[np.ndarray], np.ndarray], a: float, b: float, n: int) -> float:
+    """Composite Simpson's rule (*n* must be even): O(h^4) comparator for
+    the TRUNC benchmark."""
+    if n < 2 or n % 2 != 0:
+        raise ConfigurationError("simpson requires an even number of panels >= 2")
+    x = np.linspace(a, b, n + 1)
+    y = np.asarray(f(x), dtype=np.float64)
+    h = (b - a) / n
+    return float(h / 3.0 * (y[0] + 4.0 * np.sum(y[1:-1:2]) + 2.0 * np.sum(y[2:-1:2]) + y[-1]))
+
+
+def richardson_extrapolate(coarse: float, fine: float, order: int, ratio: float = 2.0) -> float:
+    """Richardson extrapolation of two approximations of known order.
+
+    ``fine`` uses a step ``ratio`` times smaller than ``coarse``.
+    """
+    factor = ratio**order
+    return (factor * fine - coarse) / (factor - 1.0)
+
+
+@dataclass(frozen=True)
+class ApproximationReport:
+    """Observed-vs-predicted truncation error for one approximation run."""
+
+    value: float
+    exact: float
+    observed_error: float
+    predicted_bound: float
+
+    @property
+    def bound_respected(self) -> bool:
+        """Whether the observed error sits within the a-priori bound
+        (allowing a small round-off cushion)."""
+        return self.observed_error <= self.predicted_bound + 1e-12
+
+
+def approximation_report(value: float, exact: float, bound: float) -> ApproximationReport:
+    """Bundle an approximation with its error and theoretical bound."""
+    return ApproximationReport(
+        value=value,
+        exact=exact,
+        observed_error=abs(value - exact),
+        predicted_bound=bound,
+    )

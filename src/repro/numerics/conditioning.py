@@ -1,0 +1,133 @@
+"""Forward-stability probes.
+
+The paper defines a "forward stable" DCGAN as one that "does not amplify
+perturbations of the input set, e.g., due to noise".  This module turns
+that into a measurable quantity: empirically estimate the local
+amplification factor of any map ``f`` by probing with random perturbations
+of controlled norm, and track it over time with a
+:class:`ForwardStabilityMonitor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.numerics.stable_ops import stable_norm
+
+__all__ = [
+    "amplification_factor",
+    "empirical_condition_number",
+    "StabilityProbe",
+    "ForwardStabilityMonitor",
+]
+
+
+def amplification_factor(
+    f: Callable[[np.ndarray], np.ndarray],
+    x: np.ndarray,
+    eps: float = 1e-6,
+    trials: int = 8,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Max observed ``||f(x+d) - f(x)|| / ||d||`` over random probes *d*.
+
+    A value <= 1 means perturbations are not amplified (forward stable in
+    the paper's informal sense); large values flag ill-conditioning.
+    """
+    if eps <= 0:
+        raise ConfigurationError("probe magnitude eps must be positive")
+    rng = rng or np.random.default_rng(0)
+    x = np.asarray(x, dtype=np.float64)
+    base = np.asarray(f(x), dtype=np.float64)
+    worst = 0.0
+    for _ in range(trials):
+        d = rng.standard_normal(x.shape)
+        dn = stable_norm(d)
+        if dn == 0.0:
+            continue
+        d = d * (eps / dn)
+        out = np.asarray(f(x + d), dtype=np.float64)
+        ratio = stable_norm(out - base) / eps
+        worst = max(worst, ratio)
+    return worst
+
+
+def empirical_condition_number(
+    f: Callable[[np.ndarray], np.ndarray],
+    x: np.ndarray,
+    eps: float = 1e-6,
+    trials: int = 8,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Relative condition number estimate ``(||df||/||f||) / (||dx||/||x||)``."""
+    x = np.asarray(x, dtype=np.float64)
+    fx_norm = stable_norm(np.asarray(f(x), dtype=np.float64))
+    x_norm = stable_norm(x)
+    if fx_norm == 0.0 or x_norm == 0.0:
+        return float("inf")
+    amp = amplification_factor(f, x, eps=eps, trials=trials, rng=rng)
+    return amp * x_norm / fx_norm
+
+
+@dataclass(frozen=True)
+class StabilityProbe:
+    """One sampled amplification measurement."""
+
+    step: int
+    amplification: float
+
+    @property
+    def is_stable(self) -> bool:
+        return np.isfinite(self.amplification)
+
+
+@dataclass
+class ForwardStabilityMonitor:
+    """Tracks amplification factors across training steps.
+
+    Used by :mod:`repro.core.numerical_stability` and the FIG2 benchmark to
+    compare the two RCR paradigms: paradigm #1 should maintain a bounded
+    amplification history while an unstabilized paradigm #2 drifts.
+    """
+
+    budget: float = 10.0
+    history: List[StabilityProbe] = field(default_factory=list)
+
+    def record(self, step: int, amplification: float) -> StabilityProbe:
+        probe = StabilityProbe(step=step, amplification=float(amplification))
+        self.history.append(probe)
+        return probe
+
+    def probe_map(
+        self,
+        step: int,
+        f: Callable[[np.ndarray], np.ndarray],
+        x: np.ndarray,
+        eps: float = 1e-4,
+        rng: np.random.Generator | None = None,
+    ) -> StabilityProbe:
+        """Measure and record the amplification of *f* at *x*."""
+        return self.record(step, amplification_factor(f, x, eps=eps, rng=rng))
+
+    @property
+    def worst(self) -> float:
+        if not self.history:
+            return 0.0
+        return max(p.amplification for p in self.history)
+
+    @property
+    def mean(self) -> float:
+        if not self.history:
+            return 0.0
+        return float(np.mean([p.amplification for p in self.history]))
+
+    def is_forward_stable(self) -> bool:
+        """Forward stable == every recorded probe stayed within budget."""
+        return all(np.isfinite(p.amplification) and p.amplification <= self.budget for p in self.history)
+
+    def violations(self) -> Sequence[StabilityProbe]:
+        return [p for p in self.history if not (np.isfinite(p.amplification) and p.amplification <= self.budget)]

@@ -1,0 +1,186 @@
+"""Floating-point representation utilities.
+
+Section IV-B of the paper enumerates three sources of numerical error in
+ML toolkits: truncation error, round-off error from finite significands,
+and overflow/underflow of extreme magnitudes.  This module provides the
+primitive probes and guards that the rest of the library (and the Fig. 3
+numerical-issue detectors) build on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.exceptions import NumericalInstabilityError
+
+FloatLike = Union[float, np.floating]
+
+__all__ = [
+    "FloatFormat",
+    "float_format",
+    "ulp",
+    "relative_error",
+    "absolute_error",
+    "significant_digits_agreement",
+    "would_overflow",
+    "would_underflow",
+    "guard_finite",
+    "kahan_sum",
+    "pairwise_sum",
+    "naive_sum",
+    "machine_epsilon",
+]
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """Static description of a binary floating-point format.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name, e.g. ``"float64"``.
+    eps:
+        Machine epsilon (spacing between 1.0 and the next float).
+    max:
+        Largest finite representable magnitude.
+    tiny:
+        Smallest positive *normal* number.
+    decimal_digits:
+        Number of decimal digits reliably round-trippable.
+    """
+
+    name: str
+    eps: float
+    max: float
+    tiny: float
+    decimal_digits: int
+
+
+def float_format(dtype: np.dtype | type = np.float64) -> FloatFormat:
+    """Return the :class:`FloatFormat` for a numpy float dtype."""
+    info = np.finfo(dtype)
+    return FloatFormat(
+        name=np.dtype(dtype).name,
+        eps=float(info.eps),
+        max=float(info.max),
+        tiny=float(info.tiny),
+        decimal_digits=int(info.precision),
+    )
+
+
+def machine_epsilon(dtype: np.dtype | type = np.float64) -> float:
+    """Machine epsilon of *dtype* computed by bisection (not table lookup).
+
+    Provided as a cross-check of the platform: the paper stresses that
+    "the accuracy of the floating-point representation is underpinned by
+    the number of significant digits utilized".
+    """
+    one = np.asarray(1.0, dtype=dtype)
+    eps = np.asarray(1.0, dtype=dtype)
+    while one + eps / 2 > one:
+        eps = eps / np.asarray(2.0, dtype=dtype)
+    return float(eps)
+
+
+def ulp(x: FloatLike, dtype: np.dtype | type = np.float64) -> float:
+    """Unit in the last place of ``x`` in the given dtype."""
+    return float(np.spacing(np.asarray(abs(x), dtype=dtype)))
+
+
+def absolute_error(approx: FloatLike, exact: FloatLike) -> float:
+    """``|approx - exact|``."""
+    return abs(float(approx) - float(exact))
+
+
+def relative_error(approx: FloatLike, exact: FloatLike) -> float:
+    """Relative error with the convention that it is 0 when both are 0.
+
+    When ``exact`` is zero but ``approx`` is not, returns ``inf``.
+    """
+    a, e = float(approx), float(exact)
+    if e == 0.0:
+        return 0.0 if a == 0.0 else math.inf
+    return abs(a - e) / abs(e)
+
+
+def significant_digits_agreement(approx: FloatLike, exact: FloatLike) -> float:
+    """Number of decimal significant digits on which two values agree.
+
+    Defined as ``-log10(relative_error)``, clipped to ``[0, 17]``; 17 is
+    the round-trip digit count of IEEE binary64.
+    """
+    err = relative_error(approx, exact)
+    if err == 0.0:
+        return 17.0
+    if math.isinf(err) or math.isnan(err):
+        return 0.0
+    return float(min(max(-math.log10(err), 0.0), 17.0))
+
+
+def would_overflow(magnitude: FloatLike, dtype: np.dtype | type = np.float64) -> bool:
+    """True when a value of this magnitude is not finitely representable."""
+    return abs(float(magnitude)) > float(np.finfo(dtype).max)
+
+
+def would_underflow(magnitude: FloatLike, dtype: np.dtype | type = np.float64) -> bool:
+    """True when a nonzero value of this magnitude flushes below the
+    smallest positive *normal* number (i.e. loses full precision)."""
+    m = abs(float(magnitude))
+    return 0.0 < m < float(np.finfo(dtype).tiny)
+
+
+def guard_finite(x: np.ndarray, context: str = "computation") -> np.ndarray:
+    """Raise :class:`NumericalInstabilityError` when *x* has NaN/Inf.
+
+    Returns *x* unchanged otherwise so the guard can be threaded through
+    expressions.
+    """
+    arr = np.asarray(x)
+    if not np.all(np.isfinite(arr)):
+        n_nan = int(np.isnan(arr).sum())
+        n_inf = int(np.isinf(arr).sum())
+        raise NumericalInstabilityError(
+            f"{context} produced non-finite values ({n_nan} NaN, {n_inf} Inf)"
+        )
+    return arr
+
+
+def naive_sum(values: Iterable[float]) -> float:
+    """Left-to-right accumulation; the round-off baseline."""
+    total = 0.0
+    for v in values:
+        total += float(v)
+    return total
+
+
+def kahan_sum(values: Iterable[float]) -> float:
+    """Compensated (Kahan) summation.
+
+    Keeps a running compensation term for the low-order bits lost at each
+    addition; error is O(1) ulp independent of the number of terms,
+    versus O(n) for :func:`naive_sum`.
+    """
+    total = 0.0
+    compensation = 0.0
+    for v in values:
+        y = float(v) - compensation
+        t = total + y
+        compensation = (t - total) - y
+        total = t
+    return total
+
+
+def pairwise_sum(values: "list[float] | np.ndarray") -> float:
+    """Pairwise (cascade) summation: O(log n) error growth."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    if arr.size <= 8:
+        return naive_sum(arr.tolist())
+    mid = arr.size // 2
+    return pairwise_sum(arr[:mid]) + pairwise_sum(arr[mid:])

@@ -1,0 +1,158 @@
+"""Numerically stable elementary operations.
+
+The paper's concluding remarks call out that "sub-operations needed to be
+combined, as performing the sub-operations separately would be
+computationally slower and more numerically unstable (e.g., as the softmax
+output approaches 0, the log output approaches infinity)".  This module
+provides both the *fused, stable* forms used throughout the library and
+the deliberately *naive* forms used by the STABLE benchmark to reproduce
+the failure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "logsumexp",
+    "softmax",
+    "log_softmax",
+    "naive_softmax",
+    "naive_log_softmax",
+    "stable_sigmoid",
+    "naive_sigmoid",
+    "log1pexp",
+    "stable_bce_with_logits",
+    "safe_log",
+    "safe_divide",
+    "stable_norm",
+]
+
+_LOG_EPS = -745.0  # below exp() underflow for float64
+
+
+def logsumexp(x: np.ndarray, axis: int | None = None, keepdims: bool = False) -> np.ndarray:
+    """Stable ``log(sum(exp(x)))`` via the max-shift trick.
+
+    Handles ``-inf`` entries (zero-probability terms) gracefully.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    m = np.max(x, axis=axis, keepdims=True)
+    m = np.where(np.isfinite(m), m, 0.0)
+    shifted = np.exp(x - m)
+    s = np.sum(shifted, axis=axis, keepdims=True)
+    out = np.log(s) + m
+    if not keepdims and axis is not None:
+        out = np.squeeze(out, axis=axis)
+    elif not keepdims and axis is None:
+        out = out.reshape(())
+    return out
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax: shift by the per-axis maximum before exponentiating."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Fused ``log(softmax(x))``: never materializes near-zero softmax values."""
+    x = np.asarray(x, dtype=np.float64)
+    return x - logsumexp(x, axis=axis, keepdims=True)
+
+
+def naive_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Unshifted softmax — overflows for moderately large logits.
+
+    Retained on purpose: benchmark STABLE contrasts it with
+    :func:`softmax` to reproduce the paper's instability example.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    with np.errstate(over="ignore", invalid="ignore"):
+        e = np.exp(x)
+        return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def naive_log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Separate ``log`` of separate ``softmax`` — hits ``log(0) = -inf``
+    when any softmax output underflows."""
+    with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+        return np.log(naive_softmax(x, axis=axis))
+
+
+def stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Sigmoid evaluated piecewise so ``exp`` never receives a large
+    positive argument."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def naive_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Textbook ``1/(1+exp(-x))`` — overflows in ``exp`` for large ``-x``."""
+    x = np.asarray(x, dtype=np.float64)
+    with np.errstate(over="ignore"):
+        return 1.0 / (1.0 + np.exp(-x))
+
+
+def log1pexp(x: np.ndarray) -> np.ndarray:
+    """Stable ``log(1 + exp(x))`` (softplus) via the standard 4-branch form."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    lo = x <= -37.0
+    mid = (x > -37.0) & (x <= 18.0)
+    hi1 = (x > 18.0) & (x <= 33.3)
+    hi2 = x > 33.3
+    out[lo] = np.exp(x[lo])
+    out[mid] = np.log1p(np.exp(x[mid]))
+    out[hi1] = x[hi1] + np.exp(-x[hi1])
+    out[hi2] = x[hi2]
+    return out
+
+
+def stable_bce_with_logits(logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Binary cross-entropy fused with the sigmoid, elementwise.
+
+    Uses ``max(x,0) - x*t + log(1+exp(-|x|))`` which is stable for all
+    logit magnitudes; the separate ``log(sigmoid(x))`` form is not.
+    """
+    x = np.asarray(logits, dtype=np.float64)
+    t = np.asarray(targets, dtype=np.float64)
+    return np.maximum(x, 0.0) - x * t + log1pexp(-np.abs(x))
+
+
+def safe_log(x: np.ndarray, floor: float = 1e-300) -> np.ndarray:
+    """``log`` with the argument floored away from zero."""
+    return np.log(np.maximum(np.asarray(x, dtype=np.float64), floor))
+
+
+def safe_divide(num: np.ndarray, den: np.ndarray, fill: float = 0.0) -> np.ndarray:
+    """Elementwise division returning *fill* where the denominator is 0."""
+    num = np.asarray(num, dtype=np.float64)
+    den = np.asarray(den, dtype=np.float64)
+    out = np.full(np.broadcast(num, den).shape, fill, dtype=np.float64)
+    nz = den != 0.0
+    np.divide(*np.broadcast_arrays(num, den), out=out, where=nz)
+    return out
+
+
+def stable_norm(x: np.ndarray) -> float:
+    """Overflow-free Euclidean norm: scale by the max magnitude first.
+
+    ``sqrt(sum(x**2))`` overflows when any ``|x_i| > sqrt(float_max)``;
+    this form does not.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    if x.size == 0:
+        return 0.0
+    m = float(np.max(np.abs(x)))
+    if m == 0.0 or not np.isfinite(m):
+        return m
+    scaled = x / m
+    return m * float(np.sqrt(np.sum(scaled * scaled)))

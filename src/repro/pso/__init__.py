@@ -1,0 +1,76 @@
+"""Particle Swarm Optimization substrate (paper Eqs. 1-2): continuous
+and discrete swarms, inertia strategies, stagnation machinery, test
+functions, and the hyperparameter tuner used by the RCR stack."""
+
+from repro.pso.discrete import DiscreteSpace, DistributionDiscretePSO, RoundingDiscretePSO
+from repro.pso.functions import (
+    TEST_FUNCTIONS,
+    TestFunction,
+    ackley,
+    get_test_function,
+    griewank,
+    rastrigin,
+    rosenbrock,
+    schwefel,
+    sphere,
+    styblinski_tang,
+)
+from repro.pso.hybrid import HybridConfig, hybrid_optimize
+from repro.pso.hyperparam import (
+    HyperParameter,
+    HyperparameterTuner,
+    SearchSpace,
+    TuningResult,
+    categorical,
+    integer_range,
+    log_grid,
+)
+from repro.pso.inertia import (
+    AdaptiveInertia,
+    ChaoticInertia,
+    ConstantInertia,
+    InertiaContext,
+    InertiaStrategy,
+    LinearDecayInertia,
+)
+from repro.pso.stagnation import StagnationReport, detect_stagnation, disperse, swarm_diversity
+from repro.pso.swarm import ParticleSwarm, PSOConfig, PSOResult, optimize
+
+__all__ = [
+    "AdaptiveInertia",
+    "ChaoticInertia",
+    "ConstantInertia",
+    "DiscreteSpace",
+    "DistributionDiscretePSO",
+    "HybridConfig",
+    "HyperParameter",
+    "HyperparameterTuner",
+    "InertiaContext",
+    "InertiaStrategy",
+    "LinearDecayInertia",
+    "ParticleSwarm",
+    "PSOConfig",
+    "PSOResult",
+    "RoundingDiscretePSO",
+    "SearchSpace",
+    "StagnationReport",
+    "TEST_FUNCTIONS",
+    "TestFunction",
+    "TuningResult",
+    "ackley",
+    "categorical",
+    "detect_stagnation",
+    "disperse",
+    "get_test_function",
+    "griewank",
+    "hybrid_optimize",
+    "integer_range",
+    "log_grid",
+    "optimize",
+    "rastrigin",
+    "rosenbrock",
+    "schwefel",
+    "sphere",
+    "styblinski_tang",
+    "swarm_diversity",
+]

@@ -1,0 +1,115 @@
+"""Standard optimization test functions for the PSO benchmarks.
+
+The EQ12-PSO and STAG experiments need multimodal landscapes where a
+too-small swarm "will more likely gravitate to a local minimum" (paper
+§II-A-1).  Each function reports its global optimum so benchmarks can
+measure success rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "TestFunction",
+    "sphere",
+    "rosenbrock",
+    "rastrigin",
+    "ackley",
+    "griewank",
+    "schwefel",
+    "styblinski_tang",
+    "get_test_function",
+    "TEST_FUNCTIONS",
+]
+
+
+@dataclass(frozen=True)
+class TestFunction:
+    """A benchmark objective with its box domain and known optimum."""
+
+    name: str
+    fn: Callable[[np.ndarray], float]
+    lo: float
+    hi: float
+    optimum_value: float
+    multimodal: bool
+    optimum_scales_with_dim: bool = False
+
+    def bounds(self, dim: int) -> tuple[np.ndarray, np.ndarray]:
+        return np.full(dim, self.lo), np.full(dim, self.hi)
+
+    def optimum(self, dim: int) -> float:
+        """Global minimum value in the given dimension."""
+        return self.optimum_value * dim if self.optimum_scales_with_dim else self.optimum_value
+
+    def __call__(self, x: np.ndarray) -> float:
+        return self.fn(np.asarray(x, dtype=np.float64).ravel())
+
+
+def _sphere(x: np.ndarray) -> float:
+    return float(np.sum(x * x))
+
+
+def _rosenbrock(x: np.ndarray) -> float:
+    return float(np.sum(100.0 * (x[1:] - x[:-1] ** 2) ** 2 + (1.0 - x[:-1]) ** 2))
+
+
+def _rastrigin(x: np.ndarray) -> float:
+    return float(10.0 * x.size + np.sum(x * x - 10.0 * np.cos(2.0 * np.pi * x)))
+
+
+def _ackley(x: np.ndarray) -> float:
+    n = x.size
+    s1 = np.sqrt(np.sum(x * x) / n)
+    s2 = np.sum(np.cos(2.0 * np.pi * x)) / n
+    return float(-20.0 * np.exp(-0.2 * s1) - np.exp(s2) + 20.0 + np.e)
+
+
+def _griewank(x: np.ndarray) -> float:
+    i = np.arange(1, x.size + 1, dtype=np.float64)
+    return float(np.sum(x * x) / 4000.0 - np.prod(np.cos(x / np.sqrt(i))) + 1.0)
+
+
+def _schwefel(x: np.ndarray) -> float:
+    return float(418.9829 * x.size - np.sum(x * np.sin(np.sqrt(np.abs(x)))))
+
+
+def _styblinski_tang(x: np.ndarray) -> float:
+    return float(0.5 * np.sum(x**4 - 16.0 * x * x + 5.0 * x))
+
+
+sphere = TestFunction("sphere", _sphere, -5.12, 5.12, 0.0, multimodal=False)
+rosenbrock = TestFunction("rosenbrock", _rosenbrock, -5.0, 10.0, 0.0, multimodal=False)
+rastrigin = TestFunction("rastrigin", _rastrigin, -5.12, 5.12, 0.0, multimodal=True)
+ackley = TestFunction("ackley", _ackley, -32.768, 32.768, 0.0, multimodal=True)
+griewank = TestFunction("griewank", _griewank, -600.0, 600.0, 0.0, multimodal=True)
+schwefel = TestFunction("schwefel", _schwefel, -500.0, 500.0, 0.0, multimodal=True)
+styblinski_tang = TestFunction(
+    "styblinski_tang",
+    _styblinski_tang,
+    -5.0,
+    5.0,
+    -39.16616570377142,
+    multimodal=True,
+    optimum_scales_with_dim=True,
+)
+
+TEST_FUNCTIONS = {
+    f.name: f
+    for f in (sphere, rosenbrock, rastrigin, ackley, griewank, schwefel, styblinski_tang)
+}
+
+
+def get_test_function(name: str) -> TestFunction:
+    try:
+        return TEST_FUNCTIONS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown test function {name!r}; choose from {sorted(TEST_FUNCTIONS)}"
+        ) from None

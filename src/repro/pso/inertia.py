@@ -1,0 +1,165 @@
+"""Inertia-weighting strategies for PSO (paper §II-A-2 and §III).
+
+The inertia term ``iota^(k)`` of Eq. 2 "induces a certain momentum with
+regards to the involved particles".  The paper's remedy for premature
+stagnation is *adaptive* inertia: "increasing the inertia (e.g.,
+weighting the distance from the particle's local optimum) allow[s] the
+involved particles to progress past their current local optimum".
+
+Strategies here:
+
+* :class:`ConstantInertia` — the baseline;
+* :class:`LinearDecayInertia` — the common schedule (exploration ->
+  exploitation);
+* :class:`AdaptiveInertia` — per-particle inertia raised with stagnation
+  and with distance to the particle's own best, the heuristic form;
+* :class:`ChaoticInertia` — logistic-map perturbation (dynamic inertia
+  with mutation, after Liu et al. [10]).
+
+The *convex-program* form of adaptive inertia (inertia weights chosen by
+a QP each generation — the "M-GNU-O accelerant", itself "yet another
+convex optimization problem") lives in
+:mod:`repro.core.adaptive_inertia`; it plugs in through the same
+:class:`InertiaStrategy` interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "InertiaContext",
+    "InertiaStrategy",
+    "ConstantInertia",
+    "LinearDecayInertia",
+    "AdaptiveInertia",
+    "ChaoticInertia",
+]
+
+
+@dataclass(frozen=True)
+class InertiaContext:
+    """Per-generation swarm state handed to an inertia strategy.
+
+    Attributes
+    ----------
+    generation / max_generations:
+        Progress through the run.
+    stagnation_counts:
+        Generations since each particle last improved its personal best.
+    distance_to_personal_best:
+        ``||I_i - x_i||`` per particle — the quantity the paper says to
+        weight.
+    distance_to_global_best:
+        ``||G - x_i||`` per particle.
+    """
+
+    generation: int
+    max_generations: int
+    stagnation_counts: np.ndarray
+    distance_to_personal_best: np.ndarray
+    distance_to_global_best: np.ndarray
+
+
+class InertiaStrategy(ABC):
+    """Maps swarm state to a per-particle inertia vector ``iota^(k)``."""
+
+    @abstractmethod
+    def weights(self, ctx: InertiaContext) -> np.ndarray:
+        """Return one inertia weight per particle."""
+
+    def reset(self) -> None:
+        """Clear any internal state (called when a swarm restarts)."""
+
+
+@dataclass
+class ConstantInertia(InertiaStrategy):
+    """Fixed inertia for every particle and generation."""
+
+    value: float = 0.72
+
+    def __post_init__(self):
+        if not 0.0 <= self.value <= 1.2:
+            raise ConfigurationError(f"inertia {self.value} outside sensible range [0, 1.2]")
+
+    def weights(self, ctx: InertiaContext) -> np.ndarray:
+        return np.full(ctx.stagnation_counts.size, self.value)
+
+    def reset(self) -> None:
+        pass
+
+
+@dataclass
+class LinearDecayInertia(InertiaStrategy):
+    """Linear schedule from ``start`` to ``end`` across the run."""
+
+    start: float = 0.9
+    end: float = 0.4
+
+    def weights(self, ctx: InertiaContext) -> np.ndarray:
+        frac = min(ctx.generation / max(ctx.max_generations - 1, 1), 1.0)
+        value = self.start + (self.end - self.start) * frac
+        return np.full(ctx.stagnation_counts.size, value)
+
+    def reset(self) -> None:
+        pass
+
+
+@dataclass
+class AdaptiveInertia(InertiaStrategy):
+    """Heuristic adaptive inertia (Borowska [11]-style).
+
+    Base inertia decays linearly, but each particle's weight is raised
+    in proportion to (a) how long it has stagnated and (b) how close it
+    sits to its own best (a particle *at* its personal best needs the
+    extra momentum to move past it).
+    """
+
+    base_start: float = 0.9
+    base_end: float = 0.4
+    stagnation_gain: float = 0.04
+    proximity_gain: float = 0.3
+    max_inertia: float = 1.1
+
+    def weights(self, ctx: InertiaContext) -> np.ndarray:
+        frac = min(ctx.generation / max(ctx.max_generations - 1, 1), 1.0)
+        base = self.base_start + (self.base_end - self.base_start) * frac
+        stag_boost = self.stagnation_gain * ctx.stagnation_counts
+        scale = float(np.max(ctx.distance_to_global_best, initial=0.0))
+        if scale <= 0.0:
+            proximity = np.ones_like(ctx.distance_to_personal_best)
+        else:
+            proximity = 1.0 - np.clip(ctx.distance_to_personal_best / scale, 0.0, 1.0)
+        w = base + stag_boost + self.proximity_gain * proximity * (ctx.stagnation_counts > 0)
+        return np.clip(w, 0.0, self.max_inertia)
+
+    def reset(self) -> None:
+        pass
+
+
+@dataclass
+class ChaoticInertia(InertiaStrategy):
+    """Dynamic inertia with logistic-map 'mutation' (Liu et al. [10]).
+
+    ``z_{k+1} = 4 z_k (1 - z_k)`` perturbs a linear decay, keeping
+    particles from settling into lockstep.
+    """
+
+    start: float = 0.9
+    end: float = 0.4
+    chaos_gain: float = 0.2
+    _z: float = field(default=0.37, repr=False)
+
+    def weights(self, ctx: InertiaContext) -> np.ndarray:
+        frac = min(ctx.generation / max(ctx.max_generations - 1, 1), 1.0)
+        base = self.start + (self.end - self.start) * frac
+        self._z = 4.0 * self._z * (1.0 - self._z)
+        return np.full(ctx.stagnation_counts.size, base + self.chaos_gain * (self._z - 0.5))
+
+    def reset(self) -> None:
+        self._z = 0.37

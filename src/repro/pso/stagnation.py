@@ -1,0 +1,93 @@
+"""Stagnation detection and dispersion (Worasucheep [15]).
+
+The paper cites "a particle swarm optimization with stagnation detection
+and dispersion" as the established countermeasure to particles "trapped
+into local optima ... with a nongraceful degradation of the particle
+inertia".  This module provides the detector (swarm-level diagnostics)
+and the dispersion operator (re-seeding stagnant particles away from the
+crowd), designed to wrap any swarm exposing positions/velocities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StagnationReport", "detect_stagnation", "disperse", "swarm_diversity"]
+
+
+def swarm_diversity(positions: np.ndarray) -> float:
+    """Mean distance of particles to the swarm centroid, a standard
+    diversity measure; collapse toward 0 signals stagnation."""
+    positions = np.asarray(positions, dtype=np.float64)
+    centroid = positions.mean(axis=0, keepdims=True)
+    return float(np.mean(np.linalg.norm(positions - centroid, axis=1)))
+
+
+@dataclass(frozen=True)
+class StagnationReport:
+    """Swarm-level stagnation diagnostics."""
+
+    stagnant_fraction: float
+    diversity: float
+    mean_velocity: float
+    is_stagnant: bool
+
+
+def detect_stagnation(
+    positions: np.ndarray,
+    velocities: np.ndarray,
+    stagnation_counts: np.ndarray,
+    count_threshold: int = 10,
+    diversity_floor: float = 1e-3,
+    velocity_floor: float = 1e-3,
+) -> StagnationReport:
+    """Detect premature stagnation.
+
+    The swarm is flagged stagnant when a majority of particles have not
+    improved for ``count_threshold`` generations *and* either diversity
+    or mean velocity has collapsed below its floor (relative to the
+    position scale).
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    velocities = np.asarray(velocities, dtype=np.float64)
+    counts = np.asarray(stagnation_counts, dtype=np.float64)
+    frac = float(np.mean(counts >= count_threshold))
+    div = swarm_diversity(positions)
+    mv = float(np.mean(np.linalg.norm(velocities, axis=1)))
+    scale = max(float(np.max(np.abs(positions), initial=1.0)), 1.0)
+    stagnant = frac >= 0.5 and (div < diversity_floor * scale or mv < velocity_floor * scale)
+    return StagnationReport(
+        stagnant_fraction=frac, diversity=div, mean_velocity=mv, is_stagnant=stagnant
+    )
+
+
+def disperse(
+    positions: np.ndarray,
+    velocities: np.ndarray,
+    stagnation_counts: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    keep_best_index: int,
+    count_threshold: int = 10,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Disperse stagnant particles: re-seed their positions uniformly over
+    the box and re-draw a fresh velocity, keeping the best particle
+    untouched.  Returns updated ``(positions, velocities, counts)``.
+    """
+    rng = rng or np.random.default_rng(0)
+    positions = np.asarray(positions, dtype=np.float64).copy()
+    velocities = np.asarray(velocities, dtype=np.float64).copy()
+    counts = np.asarray(stagnation_counts, dtype=np.float64).copy()
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    width = hi - lo
+    for i in range(positions.shape[0]):
+        if i == keep_best_index or counts[i] < count_threshold:
+            continue
+        positions[i] = lo + rng.random(positions.shape[1]) * width
+        velocities[i] = (rng.random(positions.shape[1]) - 0.5) * width * 0.2
+        counts[i] = 0
+    return positions, velocities, counts

@@ -1,0 +1,107 @@
+"""5G QoS substrate: channel models, eMBB/URLLC/mMTC traffic, radio
+resource allocation (the paper's flagship MINLP), power control, network
+slicing, multi-RAT assignment, and a frame scheduler."""
+
+from repro.qos.admission import (
+    AdmissionProblem,
+    AdmissionResult,
+    solve_admission_exact,
+    solve_admission_greedy,
+    solve_admission_relaxed,
+)
+from repro.qos.channel import (
+    ChannelConfig,
+    ChannelModel,
+    db_to_linear,
+    linear_to_db,
+    shannon_rate,
+    sinr,
+)
+from repro.qos.link_adaptation import (
+    DEFAULT_MCS_TABLE,
+    MCS,
+    bler,
+    effective_rate,
+    reliability_rate_table,
+    select_mcs,
+)
+from repro.qos.mobility import GilbertElliottChannel, GilbertElliottConfig
+from repro.qos.multirat import (
+    MultiRATProblem,
+    MultiRATResult,
+    solve_multirat_exact,
+    solve_multirat_pso,
+    solve_multirat_relaxed,
+)
+from repro.qos.power import PowerControlResult, qcqp_power_control, sum_rate, water_filling
+from repro.qos.rra import (
+    RRAProblem,
+    RRAResult,
+    solve_rra_exact,
+    solve_rra_greedy,
+    solve_rra_pso,
+    solve_rra_relaxed,
+)
+from repro.qos.scheduler import FrameStats, ScheduleReport, Scheduler
+from repro.qos.slicing import (
+    SliceSpec,
+    SlicingResult,
+    allocate_slices,
+    allocate_slices_with_activation,
+)
+from repro.qos.traffic import (
+    DEFAULT_QOS,
+    QoSRequirement,
+    ServiceClass,
+    TrafficGenerator,
+    UserSession,
+)
+
+__all__ = [
+    "AdmissionProblem",
+    "AdmissionResult",
+    "ChannelConfig",
+    "ChannelModel",
+    "DEFAULT_MCS_TABLE",
+    "DEFAULT_QOS",
+    "FrameStats",
+    "GilbertElliottChannel",
+    "MCS",
+    "GilbertElliottConfig",
+    "MultiRATProblem",
+    "MultiRATResult",
+    "PowerControlResult",
+    "QoSRequirement",
+    "RRAProblem",
+    "RRAResult",
+    "ScheduleReport",
+    "Scheduler",
+    "ServiceClass",
+    "SliceSpec",
+    "SlicingResult",
+    "TrafficGenerator",
+    "UserSession",
+    "allocate_slices",
+    "bler",
+    "allocate_slices_with_activation",
+    "db_to_linear",
+    "effective_rate",
+    "linear_to_db",
+    "qcqp_power_control",
+    "reliability_rate_table",
+    "select_mcs",
+    "shannon_rate",
+    "solve_admission_exact",
+    "solve_admission_greedy",
+    "solve_admission_relaxed",
+    "sinr",
+    "solve_multirat_exact",
+    "solve_multirat_pso",
+    "solve_multirat_relaxed",
+    "solve_rra_exact",
+    "solve_rra_greedy",
+    "solve_rra_pso",
+    "solve_rra_relaxed",
+    "sum_rate",
+    "water_filling",
+]

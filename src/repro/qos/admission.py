@@ -1,0 +1,138 @@
+"""Admission control: which connections to admit under scarce resources.
+
+The paper's §I framing — "ensure that these QoS sets are met without
+excessive allocation of network resources" — has a front door: when not
+every requesting session's QoS floor can be met, the control plane must
+*admit* a subset.  We model one frame's admission problem as a knapsack-
+style MILP: admit sessions maximizing priority-weighted utility subject
+to the resource budget implied by each session's QoS floor, with an exact
+solver, the LP-rounding grade, and a greedy utility-density baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.convex.lp import solve_lp
+from repro.convex.problem import LPProblem
+from repro.minlp.heuristics import round_and_repair
+from repro.minlp.milp import solve_milp
+from repro.minlp.model import MILPModel
+from repro.qos.traffic import UserSession
+
+__all__ = ["AdmissionProblem", "AdmissionResult", "solve_admission_exact",
+           "solve_admission_relaxed", "solve_admission_greedy"]
+
+# default priority -> utility weight (URLLC priority 0 most valuable)
+_PRIORITY_WEIGHT = {0: 10.0, 1: 3.0, 2: 1.0}
+
+
+@dataclass(frozen=True)
+class AdmissionProblem:
+    """One frame's admission instance.
+
+    ``resource_demand[i]`` is the share of the frame's resources (0..1)
+    session *i* needs to meet its QoS floor (precomputed from channel
+    quality); the admitted set's demands must sum to <= 1.
+    """
+
+    users: List[UserSession]
+    resource_demand: np.ndarray
+    utilities: np.ndarray | None = None
+
+    def __post_init__(self):
+        demand = np.asarray(self.resource_demand, dtype=np.float64).ravel()
+        if demand.size != len(self.users):
+            raise ConfigurationError("demand vector must match the user list")
+        if np.any(demand < 0):
+            raise ConfigurationError("resource demands must be nonnegative")
+        object.__setattr__(self, "resource_demand", demand)
+        if self.utilities is None:
+            util = np.array([
+                _PRIORITY_WEIGHT.get(u.qos.priority, 1.0) for u in self.users
+            ])
+        else:
+            util = np.asarray(self.utilities, dtype=np.float64).ravel()
+            if util.size != len(self.users):
+                raise ConfigurationError("utility vector must match the user list")
+        object.__setattr__(self, "utilities", util)
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    def to_milp(self) -> MILPModel:
+        n = self.n_users
+        lp = LPProblem(
+            c=-self.utilities,
+            g=self.resource_demand.reshape(1, -1),
+            h=np.array([1.0]),
+            lo=np.zeros(n),
+            hi=np.ones(n),
+        )
+        return MILPModel(lp, frozenset(range(n)))
+
+    def evaluate(self, admitted: np.ndarray) -> dict:
+        admitted = np.asarray(admitted, dtype=bool)
+        return {
+            "utility": float(self.utilities[admitted].sum()),
+            "load": float(self.resource_demand[admitted].sum()),
+            "feasible": bool(self.resource_demand[admitted].sum() <= 1.0 + 1e-9),
+            "n_admitted": int(admitted.sum()),
+        }
+
+
+@dataclass(frozen=True)
+class AdmissionResult:
+    method: str
+    admitted: np.ndarray
+    utility: float
+    load: float
+    feasible: bool
+    wall_time: float
+
+
+def _result(method: str, problem: AdmissionProblem, admitted: np.ndarray,
+            start: float) -> AdmissionResult:
+    ev = problem.evaluate(admitted)
+    return AdmissionResult(method=method, admitted=np.asarray(admitted, dtype=bool),
+                           utility=ev["utility"], load=ev["load"],
+                           feasible=ev["feasible"],
+                           wall_time=time.perf_counter() - start)
+
+
+def solve_admission_exact(problem: AdmissionProblem, max_nodes: int = 20000) -> AdmissionResult:
+    """Exact knapsack admission by branch-and-bound."""
+    start = time.perf_counter()
+    res = solve_milp(problem.to_milp(), max_nodes=max_nodes)
+    admitted = (res.x > 0.5) if res.x is not None else np.zeros(problem.n_users, dtype=bool)
+    return _result("exact-bnb", problem, admitted, start)
+
+
+def solve_admission_relaxed(problem: AdmissionProblem) -> AdmissionResult:
+    """LP relaxation + rounding repair."""
+    start = time.perf_counter()
+    model = problem.to_milp()
+    relaxed = solve_lp(model.relaxation())
+    x = round_and_repair(model, relaxed.x)
+    admitted = (x > 0.5) if x is not None else np.zeros(problem.n_users, dtype=bool)
+    return _result("lp-round", problem, admitted, start)
+
+
+def solve_admission_greedy(problem: AdmissionProblem) -> AdmissionResult:
+    """Utility-density greedy: admit by utility / demand until full."""
+    start = time.perf_counter()
+    density = problem.utilities / np.maximum(problem.resource_demand, 1e-12)
+    order = np.argsort(-density)
+    admitted = np.zeros(problem.n_users, dtype=bool)
+    load = 0.0
+    for i in order:
+        if load + problem.resource_demand[i] <= 1.0 + 1e-12:
+            admitted[i] = True
+            load += problem.resource_demand[i]
+    return _result("greedy", problem, admitted, start)

@@ -1,0 +1,114 @@
+"""Wireless channel models for the QoS workloads.
+
+Synthetic substitute for a live 5G testbed (see DESIGN.md): log-distance
+path loss with Rayleigh block fading over an OFDM resource grid, plus
+SINR and Shannon-rate helpers.  These generate the per-user/per-block
+gain matrices that parameterize every QoS optimization problem in
+:mod:`repro.qos`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ChannelConfig",
+    "ChannelModel",
+    "sinr",
+    "shannon_rate",
+    "db_to_linear",
+    "linear_to_db",
+]
+
+
+def db_to_linear(db: float | np.ndarray) -> float | np.ndarray:
+    return 10.0 ** (np.asarray(db, dtype=np.float64) / 10.0)
+
+
+def linear_to_db(x: float | np.ndarray) -> float | np.ndarray:
+    return 10.0 * np.log10(np.maximum(np.asarray(x, dtype=np.float64), 1e-300))
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Cell geometry and radio parameters.
+
+    Defaults model a small cell: 500 m radius, 2 GHz-ish path loss
+    exponent 3.5, -100 dBm noise per resource block.
+    """
+
+    cell_radius_m: float = 500.0
+    min_distance_m: float = 20.0
+    path_loss_exponent: float = 3.5
+    reference_loss_db: float = 30.0
+    shadowing_sigma_db: float = 6.0
+    noise_dbm: float = -100.0
+    n_blocks: int = 16
+
+    def __post_init__(self):
+        if self.cell_radius_m <= self.min_distance_m:
+            raise ConfigurationError("cell radius must exceed min distance")
+        if self.n_blocks < 1:
+            raise ConfigurationError("need at least one resource block")
+
+
+class ChannelModel:
+    """Generates per-user, per-resource-block channel gains.
+
+    ``gains(n_users)`` returns a linear-scale gain matrix ``(U, B)``
+    combining path loss, log-normal shadowing, and per-block Rayleigh
+    fading — the randomness the paper's "abundance of perturbations /
+    variability in contemporary environs" refers to.
+    """
+
+    def __init__(self, config: ChannelConfig | None = None,
+                 rng: np.random.Generator | None = None):
+        self.config = config or ChannelConfig()
+        self.rng = rng or np.random.default_rng(0)
+
+    def user_distances(self, n_users: int) -> np.ndarray:
+        """Uniform-in-area user drop within the cell annulus."""
+        cfg = self.config
+        r2 = self.rng.uniform(cfg.min_distance_m**2, cfg.cell_radius_m**2, size=n_users)
+        return np.sqrt(r2)
+
+    def path_loss_db(self, distances_m: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        d = np.maximum(np.asarray(distances_m, dtype=np.float64), cfg.min_distance_m)
+        pl = cfg.reference_loss_db + 10.0 * cfg.path_loss_exponent * np.log10(d / cfg.min_distance_m)
+        if cfg.shadowing_sigma_db > 0:
+            pl = pl + cfg.shadowing_sigma_db * self.rng.standard_normal(d.shape)
+        return pl
+
+    def gains(self, n_users: int) -> np.ndarray:
+        """Linear power gains (U, B): path loss * shadowing * Rayleigh."""
+        cfg = self.config
+        d = self.user_distances(n_users)
+        pl_db = self.path_loss_db(d)
+        large_scale = db_to_linear(-pl_db)  # (U,)
+        # per-block Rayleigh fading: |h|^2 ~ Exp(1)
+        fading = self.rng.exponential(1.0, size=(n_users, cfg.n_blocks))
+        return large_scale[:, None] * fading
+
+    @property
+    def noise_linear_mw(self) -> float:
+        return float(db_to_linear(self.config.noise_dbm))
+
+
+def sinr(signal_mw: np.ndarray, interference_mw: np.ndarray | float,
+         noise_mw: float) -> np.ndarray:
+    """Signal-to-interference-plus-noise ratio (linear)."""
+    if noise_mw <= 0:
+        raise ConfigurationError("noise power must be positive")
+    return np.asarray(signal_mw, dtype=np.float64) / (np.asarray(interference_mw, dtype=np.float64) + noise_mw)
+
+
+def shannon_rate(sinr_linear: np.ndarray, bandwidth_hz: float = 180e3) -> np.ndarray:
+    """Shannon capacity per block, in bits/s."""
+    if bandwidth_hz <= 0:
+        raise ConfigurationError("bandwidth must be positive")
+    return bandwidth_hz * np.log2(1.0 + np.maximum(np.asarray(sinr_linear, dtype=np.float64), 0.0))

@@ -1,0 +1,94 @@
+"""Time-correlated channel dynamics: Gilbert-Elliott fading.
+
+The i.i.d. per-frame Rayleigh draws of :class:`repro.qos.channel.ChannelModel`
+are memoryless; real links burst.  The two-state Gilbert-Elliott chain
+(GOOD <-> BAD) is the classic model of bursty link quality; each user's
+state modulates their large-scale gain, so scheduling decisions face
+*persistent* bad periods — the regime where QoS floors actually bind
+across frames and admission/scheduling policies differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.qos.channel import ChannelConfig, ChannelModel
+
+__all__ = ["GilbertElliottConfig", "GilbertElliottChannel"]
+
+
+@dataclass(frozen=True)
+class GilbertElliottConfig:
+    """Two-state chain parameters.
+
+    ``p_good_to_bad`` / ``p_bad_to_good`` are per-frame transition
+    probabilities; ``bad_attenuation_db`` is the extra loss in the BAD
+    state.  Steady-state bad probability is
+    ``p_gb / (p_gb + p_bg)``.
+    """
+
+    p_good_to_bad: float = 0.1
+    p_bad_to_good: float = 0.3
+    bad_attenuation_db: float = 15.0
+
+    def __post_init__(self):
+        for p in (self.p_good_to_bad, self.p_bad_to_good):
+            if not 0.0 < p < 1.0:
+                raise ConfigurationError("transition probabilities must lie in (0, 1)")
+        if self.bad_attenuation_db < 0:
+            raise ConfigurationError("attenuation must be nonnegative")
+
+    @property
+    def steady_state_bad(self) -> float:
+        return self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+
+    @property
+    def mean_bad_burst_frames(self) -> float:
+        return 1.0 / self.p_bad_to_good
+
+
+class GilbertElliottChannel:
+    """A :class:`ChannelModel` wrapper with per-user burst states.
+
+    Call :meth:`gains` once per frame: it advances every user's chain and
+    returns the (U, B) gain matrix with BAD-state users attenuated.
+    """
+
+    def __init__(self, n_users: int, channel: ChannelConfig | None = None,
+                 ge: GilbertElliottConfig | None = None,
+                 rng: np.random.Generator | None = None):
+        if n_users < 1:
+            raise ConfigurationError("need at least one user")
+        self.rng = rng or np.random.default_rng(0)
+        self.base = ChannelModel(channel or ChannelConfig(), rng=self.rng)
+        self.ge = ge or GilbertElliottConfig()
+        # start users in steady state
+        self.states = self.rng.random(n_users) < self.ge.steady_state_bad  # True = BAD
+        self.n_users = n_users
+        self._bad_linear = 10.0 ** (-self.ge.bad_attenuation_db / 10.0)
+
+    @property
+    def noise_linear_mw(self) -> float:
+        return self.base.noise_linear_mw
+
+    def step(self) -> np.ndarray:
+        """Advance every user's chain one frame; returns the BAD mask."""
+        u = self.rng.random(self.n_users)
+        next_states = np.where(
+            self.states,
+            u >= self.ge.p_bad_to_good,   # stay BAD unless recovery fires
+            u < self.ge.p_good_to_bad,    # fall into BAD
+        )
+        self.states = next_states
+        return self.states.copy()
+
+    def gains(self) -> np.ndarray:
+        """One frame's (U, B) gains: advance the chains, draw fast fading,
+        attenuate BAD users."""
+        self.step()
+        g = self.base.gains(self.n_users)
+        g[self.states] *= self._bad_linear
+        return g

@@ -1,0 +1,163 @@
+"""Frame-by-frame QoS scheduler gluing channel, traffic, and RRA.
+
+Runs an OFDMA cell over successive scheduling frames: each frame draws
+fresh fading, rebuilds the RRA instance, solves it with a configurable
+strategy, and accumulates per-class QoS satisfaction statistics — the
+end-to-end control-plane loop the paper's resource-management story
+describes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Literal
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.qos.channel import ChannelConfig, ChannelModel
+from repro.qos.rra import (
+    RRAProblem,
+    RRAResult,
+    solve_rra_exact,
+    solve_rra_greedy,
+    solve_rra_pso,
+    solve_rra_relaxed,
+)
+from repro.qos.traffic import ServiceClass, TrafficGenerator, UserSession
+
+Strategy = Literal["exact", "relaxed", "pso", "greedy"]
+
+_SOLVERS: Dict[str, Callable[[RRAProblem], RRAResult]] = {
+    "exact": lambda p: solve_rra_exact(p, max_nodes=4000, time_limit=20.0),
+    "relaxed": solve_rra_relaxed,
+    "pso": lambda p: solve_rra_pso(p, swarm_size=12, generations=30),
+    "greedy": solve_rra_greedy,
+}
+
+__all__ = ["FrameStats", "ScheduleReport", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class FrameStats:
+    """Per-frame outcome."""
+
+    frame: int
+    total_rate: float
+    qos_ok: bool
+    per_class_satisfaction: Dict[ServiceClass, float]
+    solver_time: float
+
+
+@dataclass
+class ScheduleReport:
+    """Aggregate over a scheduling run."""
+
+    frames: List[FrameStats] = field(default_factory=list)
+
+    @property
+    def mean_rate(self) -> float:
+        return float(np.mean([f.total_rate for f in self.frames])) if self.frames else 0.0
+
+    @property
+    def qos_success_rate(self) -> float:
+        return float(np.mean([f.qos_ok for f in self.frames])) if self.frames else 0.0
+
+    def class_satisfaction(self) -> Dict[ServiceClass, float]:
+        out: Dict[ServiceClass, List[float]] = {}
+        for f in self.frames:
+            for svc, v in f.per_class_satisfaction.items():
+                out.setdefault(svc, []).append(v)
+        return {svc: float(np.mean(vs)) for svc, vs in out.items()}
+
+    @property
+    def total_solver_time(self) -> float:
+        return float(sum(f.solver_time for f in self.frames))
+
+
+class Scheduler:
+    """An OFDMA cell scheduler with pluggable RRA strategy."""
+
+    def __init__(
+        self,
+        n_users: int = 4,
+        strategy: Strategy = "relaxed",
+        channel: ChannelConfig | None = None,
+        traffic: TrafficGenerator | None = None,
+        power_levels_mw: np.ndarray | None = None,
+        total_power_mw: float = 1000.0,
+        rate_floor_scale: float = 1.0,
+        seed: int = 0,
+    ):
+        if strategy not in _SOLVERS:
+            raise ConfigurationError(f"unknown strategy {strategy!r}")
+        self.strategy = strategy
+        self.rng = np.random.default_rng(seed)
+        self.channel = ChannelModel(channel or ChannelConfig(), rng=self.rng)
+        self.traffic = traffic or TrafficGenerator(rng=self.rng)
+        self.users: List[UserSession] = self.traffic.users(n_users)
+        if rate_floor_scale != 1.0:
+            # downscale QoS floors for small test grids
+            scaled = []
+            for u in self.users:
+                q = u.qos
+                scaled.append(
+                    UserSession(
+                        u.user_id,
+                        u.service,
+                        type(q)(
+                            min_rate_bps=q.min_rate_bps * rate_floor_scale,
+                            max_latency_ms=q.max_latency_ms,
+                            reliability=q.reliability,
+                            priority=q.priority,
+                        ),
+                    )
+                )
+            self.users = scaled
+        self.power_levels = (
+            np.asarray(power_levels_mw, dtype=np.float64)
+            if power_levels_mw is not None
+            else np.array([50.0, 100.0])
+        )
+        self.total_power = total_power_mw
+
+    def _frame_problem(self) -> RRAProblem:
+        gains = self.channel.gains(len(self.users))
+        return RRAProblem(
+            gains=gains,
+            users=self.users,
+            power_levels_mw=self.power_levels,
+            total_power_mw=self.total_power,
+            noise_mw=self.channel.noise_linear_mw,
+        )
+
+    def run(self, n_frames: int = 10) -> ScheduleReport:
+        report = ScheduleReport()
+        solver = _SOLVERS[self.strategy]
+        for frame in range(n_frames):
+            problem = self._frame_problem()
+            start = time.perf_counter()
+            try:
+                result = solver(problem)
+            except InfeasibleError:
+                report.frames.append(
+                    FrameStats(frame, 0.0, False,
+                               {svc: 0.0 for svc in set(u.service for u in self.users)},
+                               time.perf_counter() - start)
+                )
+                continue
+            ev = problem.evaluate_assignment(result.choice)
+            per_class: Dict[ServiceClass, List[bool]] = {}
+            for u, rate in zip(self.users, ev["user_rates"]):
+                per_class.setdefault(u.service, []).append(rate >= u.min_rate_bps - 1e-6)
+            report.frames.append(
+                FrameStats(
+                    frame=frame,
+                    total_rate=ev["total_rate"],
+                    qos_ok=ev["qos_ok"] and ev["power_ok"],
+                    per_class_satisfaction={svc: float(np.mean(v)) for svc, v in per_class.items()},
+                    solver_time=time.perf_counter() - start,
+                )
+            )
+        return report

@@ -1,0 +1,117 @@
+"""5G service classes and synthetic traffic generation.
+
+The paper's opening frames 5G around "three main service categories:
+Enhanced Mobile Broadband (eMBB), Ultra-Reliable Low-Latency
+Communications (URLLC), and massive Machine-Type Communications (mMTC)"
+each with distinct QoS needs.  This module encodes those classes and
+generates user populations with per-class QoS requirements — the
+"diverse sets of QoS" the resource manager must satisfy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ServiceClass", "QoSRequirement", "UserSession", "TrafficGenerator", "DEFAULT_QOS"]
+
+
+class ServiceClass(Enum):
+    """The three 5G service categories."""
+
+    EMBB = "eMBB"
+    URLLC = "URLLC"
+    MMTC = "mMTC"
+
+
+@dataclass(frozen=True)
+class QoSRequirement:
+    """QoS targets for one service class.
+
+    ``min_rate_bps`` is a hard per-user rate floor; ``max_latency_ms``
+    translates into scheduling priority; ``reliability`` is the target
+    delivery probability (used as an SINR margin in link adaptation).
+    """
+
+    min_rate_bps: float
+    max_latency_ms: float
+    reliability: float
+    priority: int
+
+    def __post_init__(self):
+        if self.min_rate_bps < 0 or self.max_latency_ms <= 0:
+            raise ConfigurationError("invalid QoS requirement")
+        if not 0.0 < self.reliability <= 1.0:
+            raise ConfigurationError("reliability must be in (0, 1]")
+
+
+DEFAULT_QOS: Dict[ServiceClass, QoSRequirement] = {
+    # eMBB: high throughput, relaxed latency
+    ServiceClass.EMBB: QoSRequirement(min_rate_bps=2e6, max_latency_ms=50.0,
+                                      reliability=0.99, priority=1),
+    # URLLC: modest rate, extreme latency/reliability
+    ServiceClass.URLLC: QoSRequirement(min_rate_bps=2.5e5, max_latency_ms=1.0,
+                                       reliability=0.99999, priority=0),
+    # mMTC: tiny rate, tolerant latency
+    ServiceClass.MMTC: QoSRequirement(min_rate_bps=2.5e4, max_latency_ms=1000.0,
+                                      reliability=0.9, priority=2),
+}
+
+
+@dataclass(frozen=True)
+class UserSession:
+    """One active connection with its class and QoS targets."""
+
+    user_id: int
+    service: ServiceClass
+    qos: QoSRequirement
+
+    @property
+    def min_rate_bps(self) -> float:
+        return self.qos.min_rate_bps
+
+
+class TrafficGenerator:
+    """Draws user populations from a service-class mix.
+
+    The default mix (50% eMBB / 20% URLLC / 30% mMTC) models a mixed
+    macro cell; benchmarks sweep the mix to stress different QoS shapes.
+    """
+
+    def __init__(
+        self,
+        mix: Dict[ServiceClass, float] | None = None,
+        qos: Dict[ServiceClass, QoSRequirement] | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.mix = mix or {ServiceClass.EMBB: 0.5, ServiceClass.URLLC: 0.2, ServiceClass.MMTC: 0.3}
+        total = sum(self.mix.values())
+        if total <= 0:
+            raise ConfigurationError("service mix must have positive mass")
+        self.mix = {k: v / total for k, v in self.mix.items()}
+        self.qos = qos or DEFAULT_QOS
+        for svc in self.mix:
+            if svc not in self.qos:
+                raise ConfigurationError(f"no QoS requirement registered for {svc}")
+        self.rng = rng or np.random.default_rng(0)
+
+    def users(self, n: int) -> List[UserSession]:
+        """Sample ``n`` sessions i.i.d. from the mix."""
+        classes = list(self.mix.keys())
+        probs = np.array([self.mix[c] for c in classes])
+        draws = self.rng.choice(len(classes), size=n, p=probs)
+        return [
+            UserSession(user_id=i, service=classes[d], qos=self.qos[classes[d]])
+            for i, d in enumerate(draws)
+        ]
+
+    def class_counts(self, users: List[UserSession]) -> Dict[ServiceClass, int]:
+        out: Dict[ServiceClass, int] = {c: 0 for c in self.mix}
+        for u in users:
+            out[u.service] = out.get(u.service, 0) + 1
+        return out

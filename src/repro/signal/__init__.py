@@ -1,0 +1,112 @@
+"""Signal-processing substrate: FFT family, STFT phase conventions
+(paper Eqs. 5-6), Gabor transform, spectrograms, and the Fig. 3
+numerical-issue detectors."""
+
+from repro.signal.compat import (
+    LIBROSA_STFT_SIGNATURE,
+    check_signature_consistency,
+    librosa_style_stft,
+)
+from repro.signal.detection import (
+    DetectionScores,
+    auc,
+    energy_detector,
+    matched_filter,
+    roc_curve,
+)
+from repro.signal.fft import dft_naive, fft, fftfreq, ifft, irfft, next_pow2, rfft
+from repro.signal.gabor import GaborFrame, gabor_transform, gabphasederiv
+from repro.signal.griffin_lim import GriffinLimResult, griffin_lim
+from repro.signal.issues import (
+    IssueCategory,
+    IssueDetector,
+    IssueSeverity,
+    NumericalIssue,
+    default_detectors,
+    run_detectors,
+)
+from repro.signal.phase import (
+    convert_convention,
+    delay_of_simplified_convention,
+    magnitude_mismatch,
+    phase_correction_matrix,
+    phase_skew,
+    unwrap_phase,
+)
+from repro.signal.spectrogram import (
+    linear_chirp,
+    log_spectrogram,
+    multitone,
+    noisy,
+    ofdm_burst,
+    spectrogram,
+)
+from repro.signal.stft import STFTResult, frame_signal, istft, num_frames, stft
+from repro.signal.windows import (
+    blackman,
+    causal_to_centered,
+    centered_to_causal,
+    cola_check,
+    gaussian,
+    get_window,
+    hamming,
+    hann,
+    rectangular,
+    window_peak_index,
+)
+
+__all__ = [
+    "DetectionScores",
+    "LIBROSA_STFT_SIGNATURE",
+    "GaborFrame",
+    "GriffinLimResult",
+    "IssueCategory",
+    "IssueDetector",
+    "IssueSeverity",
+    "NumericalIssue",
+    "STFTResult",
+    "auc",
+    "blackman",
+    "causal_to_centered",
+    "check_signature_consistency",
+    "centered_to_causal",
+    "cola_check",
+    "convert_convention",
+    "default_detectors",
+    "delay_of_simplified_convention",
+    "dft_naive",
+    "energy_detector",
+    "fft",
+    "fftfreq",
+    "frame_signal",
+    "gabor_transform",
+    "gabphasederiv",
+    "griffin_lim",
+    "gaussian",
+    "get_window",
+    "hamming",
+    "hann",
+    "ifft",
+    "irfft",
+    "istft",
+    "librosa_style_stft",
+    "linear_chirp",
+    "matched_filter",
+    "log_spectrogram",
+    "magnitude_mismatch",
+    "multitone",
+    "next_pow2",
+    "noisy",
+    "num_frames",
+    "ofdm_burst",
+    "phase_correction_matrix",
+    "phase_skew",
+    "rectangular",
+    "rfft",
+    "roc_curve",
+    "run_detectors",
+    "spectrogram",
+    "stft",
+    "unwrap_phase",
+    "window_peak_index",
+]

@@ -1,0 +1,111 @@
+"""Classical signal detection baselines: energy detector and matched filter.
+
+The paper positions the STFT as "the basis for signal detection and
+classification in 5G and beyond"; the MSY3I detector of :mod:`repro.nn`
+is the learned approach.  These classical detectors provide the
+measuring stick: an energy detector over spectrogram cells (no knowledge
+of the waveform) and a matched filter (full waveform knowledge — the
+optimal linear detector in white noise), with ROC utilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionError
+
+__all__ = [
+    "energy_detector",
+    "matched_filter",
+    "roc_curve",
+    "auc",
+    "DetectionScores",
+]
+
+
+@dataclass(frozen=True)
+class DetectionScores:
+    """Scores plus ground truth for ROC analysis."""
+
+    scores: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self):
+        s = np.asarray(self.scores, dtype=np.float64).ravel()
+        l = np.asarray(self.labels).ravel().astype(bool)
+        if s.size != l.size:
+            raise DimensionError("scores and labels must align")
+        object.__setattr__(self, "scores", s)
+        object.__setattr__(self, "labels", l)
+
+
+def energy_detector(spectrogram_cells: np.ndarray) -> np.ndarray:
+    """Per-cell energy statistic: mean power within each cell.
+
+    ``spectrogram_cells`` is (n_cells, ...) — anything after the first
+    axis is averaged.  The statistic is compared against a threshold by
+    the caller (or fed to :func:`roc_curve`).
+    """
+    cells = np.asarray(spectrogram_cells, dtype=np.float64)
+    if cells.ndim < 2:
+        raise DimensionError("expected (n_cells, ...) cell array")
+    return cells.reshape(cells.shape[0], -1).mean(axis=1)
+
+
+def matched_filter(received: np.ndarray, template: np.ndarray) -> np.ndarray:
+    """Normalized matched-filter statistic over all alignments.
+
+    Returns the correlation magnitude sequence; its max is the detection
+    statistic.  Optimal for a known waveform in white Gaussian noise.
+    """
+    received = np.asarray(received, dtype=np.float64).ravel()
+    template = np.asarray(template, dtype=np.float64).ravel()
+    if template.size == 0 or received.size < template.size:
+        raise ConfigurationError("template must be non-empty and fit the signal")
+    t = template / max(np.linalg.norm(template), 1e-300)
+    out = np.correlate(received, t, mode="valid")
+    return np.abs(out)
+
+
+def roc_curve(scores: DetectionScores, n_thresholds: int = 101) -> Tuple[np.ndarray, np.ndarray]:
+    """(false-positive rates, true-positive rates) over a threshold sweep."""
+    s, labels = scores.scores, scores.labels
+    if not labels.any() or labels.all():
+        raise ConfigurationError("ROC needs both positive and negative examples")
+    thresholds = np.quantile(s, np.linspace(1.0, 0.0, n_thresholds))
+    fpr: List[float] = []
+    tpr: List[float] = []
+    n_pos = labels.sum()
+    n_neg = (~labels).sum()
+    for th in thresholds:
+        detected = s >= th
+        tpr.append(float((detected & labels).sum() / n_pos))
+        fpr.append(float((detected & ~labels).sum() / n_neg))
+    return np.asarray(fpr), np.asarray(tpr)
+
+
+def auc(scores: DetectionScores) -> float:
+    """Area under the ROC curve via the rank statistic (exact)."""
+    s, labels = scores.scores, scores.labels
+    if not labels.any() or labels.all():
+        raise ConfigurationError("AUC needs both positive and negative examples")
+    order = np.argsort(s)
+    ranks = np.empty(s.size)
+    ranks[order] = np.arange(1, s.size + 1)
+    # midranks for ties
+    sorted_s = s[order]
+    i = 0
+    while i < s.size:
+        j = i
+        while j + 1 < s.size and sorted_s[j + 1] == sorted_s[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = 0.5 * (i + 1 + j + 1)
+        i = j + 1
+    n_pos = labels.sum()
+    n_neg = s.size - n_pos
+    rank_sum = ranks[labels].sum()
+    return float((rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))

@@ -1,0 +1,368 @@
+"""Numerical-issue detectors for FFT/STFT implementations (paper Fig. 3).
+
+Figure 3 of the paper is "a sampling of the issues/bugs encountered in
+various libraries/toolkits" across FFT, IFFT, RFFT, IRFFT, STFT, and
+ISTFT.  We turn that static catalog into executable detectors: each
+detector probes an implementation with crafted inputs and emits
+:class:`NumericalIssue` records.  The FIG3 benchmark runs the full
+battery against this library's own kernels (under each phase convention)
+and against `numpy.fft` as a comparator, printing a catalog of the same
+shape as the paper's figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterable, List
+
+import numpy as np
+
+from repro.signal.fft import fft as _fft_forward
+from repro.signal.fft import ifft as _fft_inverse
+from repro.signal.fft import irfft as _irfft_default
+from repro.signal.fft import rfft as _rfft_default
+from repro.signal.compat import check_signature_consistency, librosa_style_stft
+from repro.signal.phase import delay_of_simplified_convention, phase_skew
+from repro.signal.stft import istft, stft
+from repro.signal.windows import cola_check, get_window, window_peak_index
+
+__all__ = [
+    "IssueSeverity",
+    "IssueCategory",
+    "NumericalIssue",
+    "IssueDetector",
+    "run_detectors",
+    "default_detectors",
+    "detect_fft_roundtrip_error",
+    "detect_irfft_symmetry_handling",
+    "detect_parseval_violation",
+    "detect_linearity_violation",
+    "detect_stft_phase_skew",
+    "detect_istft_reconstruction",
+    "detect_cola_violation",
+    "detect_dtype_degradation",
+    "detect_window_peak_convention",
+    "detect_signature_drift",
+]
+
+
+class IssueSeverity(Enum):
+    """Severity grading used in the Fig. 3 catalog rows."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+class IssueCategory(Enum):
+    """Which function/method family the issue affects."""
+
+    FFT = "FFT"
+    IFFT = "IFFT"
+    RFFT = "RFFT"
+    IRFFT = "IRFFT"
+    STFT = "STFT"
+    ISTFT = "ISTFT"
+    WINDOW = "WINDOW"
+
+
+@dataclass(frozen=True)
+class NumericalIssue:
+    """One detected issue: a row of the Fig. 3-style catalog."""
+
+    category: IssueCategory
+    severity: IssueSeverity
+    library: str
+    description: str
+    metric: float
+
+    def as_row(self) -> str:
+        return (
+            f"{self.category.value:6s} | {self.severity.value:7s} | "
+            f"{self.library:24s} | {self.metric:12.4e} | {self.description}"
+        )
+
+
+@dataclass
+class IssueDetector:
+    """A named probe producing zero or more issues."""
+
+    name: str
+    probe: Callable[[], List[NumericalIssue]]
+
+    def run(self) -> List[NumericalIssue]:
+        return self.probe()
+
+
+def _rel(a: np.ndarray, b: np.ndarray) -> float:
+    a = np.asarray(a, dtype=np.complex128).ravel()
+    b = np.asarray(b, dtype=np.complex128).ravel()
+    denom = max(float(np.linalg.norm(b)), 1e-300)
+    return float(np.linalg.norm(a - b) / denom)
+
+
+def _test_signal(n: int = 240, rng_seed: int = 7) -> np.ndarray:
+    rng = np.random.default_rng(rng_seed)
+    t = np.arange(n)
+    return (
+        np.cos(2 * np.pi * 0.07 * t)
+        + 0.5 * np.cos(2 * np.pi * 0.19 * t + 0.3)
+        + 0.1 * rng.standard_normal(n)
+    )
+
+
+def detect_fft_roundtrip_error(
+    fft_fn=_fft_forward, ifft_fn=_fft_inverse, library: str = "repro", threshold: float = 1e-10
+) -> List[NumericalIssue]:
+    """IFFT(FFT(x)) must return x to near machine precision, including for
+    non-power-of-two lengths (the Bluestein path)."""
+    issues: List[NumericalIssue] = []
+    for n in (64, 100, 127, 240):
+        x = _test_signal(n).astype(np.complex128)
+        err = _rel(ifft_fn(fft_fn(x)), x)
+        if err > threshold:
+            issues.append(
+                NumericalIssue(
+                    IssueCategory.IFFT,
+                    IssueSeverity.ERROR,
+                    library,
+                    f"round-trip error {err:.2e} at length {n}",
+                    err,
+                )
+            )
+    return issues
+
+
+def detect_irfft_symmetry_handling(
+    rfft_fn=_rfft_default, irfft_fn=_irfft_default, library: str = "repro", threshold: float = 1e-10
+) -> List[NumericalIssue]:
+    """IRFFT must reconstruct real signals for both even and odd lengths —
+    the odd-length Nyquist handling is a classic silent-wrong-result bug."""
+    issues: List[NumericalIssue] = []
+    for n in (64, 65, 100, 101):
+        x = _test_signal(n)
+        rec = irfft_fn(rfft_fn(x), n=n)
+        err = _rel(rec, x)
+        if err > threshold:
+            issues.append(
+                NumericalIssue(
+                    IssueCategory.IRFFT,
+                    IssueSeverity.ERROR,
+                    library,
+                    f"real round-trip error {err:.2e} at length {n} "
+                    f"({'odd' if n % 2 else 'even'})",
+                    err,
+                )
+            )
+    return issues
+
+
+def detect_parseval_violation(
+    fft_fn=_fft_forward, library: str = "repro", threshold: float = 1e-9
+) -> List[NumericalIssue]:
+    """Energy must be conserved: ``sum|x|^2 == sum|X|^2 / N``."""
+    x = _test_signal(256).astype(np.complex128)
+    spec = np.asarray(fft_fn(x))
+    time_energy = float(np.sum(np.abs(x) ** 2))
+    freq_energy = float(np.sum(np.abs(spec) ** 2)) / x.size
+    err = abs(time_energy - freq_energy) / max(time_energy, 1e-300)
+    if err > threshold:
+        return [
+            NumericalIssue(
+                IssueCategory.FFT,
+                IssueSeverity.ERROR,
+                library,
+                f"Parseval violation {err:.2e} (wrong normalization convention?)",
+                err,
+            )
+        ]
+    return []
+
+
+def detect_linearity_violation(
+    fft_fn=_fft_forward, library: str = "repro", threshold: float = 1e-9
+) -> List[NumericalIssue]:
+    """FFT(a x + b y) must equal a FFT(x) + b FFT(y)."""
+    rng = np.random.default_rng(3)
+    x = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+    y = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+    a, b = 2.5, -1.25
+    err = _rel(fft_fn(a * x + b * y), a * np.asarray(fft_fn(x)) + b * np.asarray(fft_fn(y)))
+    if err > threshold:
+        return [
+            NumericalIssue(
+                IssueCategory.FFT,
+                IssueSeverity.ERROR,
+                library,
+                f"linearity violation {err:.2e}",
+                err,
+            )
+        ]
+    return []
+
+
+def detect_stft_phase_skew(
+    window_length: int = 32, n_fft: int = 64, hop: int = 8, library: str = "repro"
+) -> List[NumericalIssue]:
+    """Reproduce the §IV-B finding: the simplified convention (Eq. 6)
+    carries a window-length-dependent phase skew relative to the
+    time-invariant convention (Eq. 5)."""
+    s = _test_signal(256)
+    g = get_window("hann", window_length)
+    ti = stft(s, g, hop=hop, n_fft=n_fft, convention="time_invariant")
+    simp = stft(s, g, hop=hop, n_fft=n_fft, convention="simplified")
+    skew = phase_skew(ti.coefficients, simp.coefficients)
+    issues: List[NumericalIssue] = []
+    if skew > 1e-6:
+        delay = delay_of_simplified_convention(window_length)
+        issues.append(
+            NumericalIssue(
+                IssueCategory.STFT,
+                IssueSeverity.WARNING,
+                library,
+                f"phase skew {skew:.3f} rad between time-invariant and "
+                f"simplified conventions (window-dependent delay "
+                f"{delay} samples)",
+                skew,
+            )
+        )
+    return issues
+
+
+def detect_istft_reconstruction(
+    window_name: str = "hann",
+    window_length: int = 32,
+    hop: int = 8,
+    library: str = "repro",
+    threshold: float = 1e-8,
+) -> List[NumericalIssue]:
+    """ISTFT(STFT(x)) must reconstruct x under every convention."""
+    s = _test_signal(256)
+    g = get_window(window_name, window_length)
+    issues: List[NumericalIssue] = []
+    for conv in ("time_invariant", "simplified", "frequency_invariant"):
+        res = stft(s, g, hop=hop, n_fft=2 * window_length, convention=conv)
+        rec = istft(res)
+        err = _rel(rec, s)
+        if err > threshold:
+            issues.append(
+                NumericalIssue(
+                    IssueCategory.ISTFT,
+                    IssueSeverity.ERROR,
+                    library,
+                    f"reconstruction error {err:.2e} under convention {conv}",
+                    err,
+                )
+            )
+    return issues
+
+
+def detect_cola_violation(
+    window_name: str = "hann", window_length: int = 32, hop: int = 24, library: str = "repro"
+) -> List[NumericalIssue]:
+    """Flag window/hop pairs that break constant overlap-add (hop too
+    large), which silently degrades naive overlap-add synthesis."""
+    g = get_window(window_name, window_length)
+    if not cola_check(g, hop):
+        return [
+            NumericalIssue(
+                IssueCategory.WINDOW,
+                IssueSeverity.WARNING,
+                library,
+                f"{window_name}({window_length}) with hop {hop} violates COLA; "
+                "naive overlap-add synthesis will not be exact",
+                float(hop) / window_length,
+            )
+        ]
+    return []
+
+
+def detect_dtype_degradation(
+    fft_fn=_fft_forward, library: str = "repro", ratio_threshold: float = 1e4
+) -> List[NumericalIssue]:
+    """Compare float32 vs float64 round-trip error; a ratio far above the
+    eps ratio (~1e8 would be expected degradation, << that is fine) flags
+    precision-dependent code paths."""
+    x64 = _test_signal(128).astype(np.float64)
+    x32 = x64.astype(np.float32)
+    spec64 = np.asarray(fft_fn(x64.astype(np.complex128)))
+    spec32 = np.asarray(fft_fn(x32.astype(np.complex64).astype(np.complex128)))
+    err = _rel(spec32, spec64)
+    if err > np.finfo(np.float32).eps * ratio_threshold:
+        return [
+            NumericalIssue(
+                IssueCategory.FFT,
+                IssueSeverity.WARNING,
+                library,
+                f"float32 pipeline error {err:.2e} exceeds expected "
+                "single-precision budget",
+                err,
+            )
+        ]
+    return []
+
+
+def detect_window_peak_convention(
+    window_name: str = "gaussian", window_length: int = 33, library: str = "repro"
+) -> List[NumericalIssue]:
+    """Report which storage convention a window follows.  The paper calls
+    the peak-at-``g[floor(Lg/2)]`` storage "unconventional" and notes the
+    expected peak is at ``g[0]`` for LTFAT-style transforms."""
+    g = get_window(window_name, window_length)
+    peak = window_peak_index(g)
+    if peak != 0:
+        return [
+            NumericalIssue(
+                IssueCategory.WINDOW,
+                IssueSeverity.INFO,
+                library,
+                f"{window_name}({window_length}) stored with peak at index "
+                f"{peak} (centered storage), not g[0]; transforms assuming "
+                "causal storage acquire a phase skew",
+                float(peak),
+            )
+        ]
+    return []
+
+
+def detect_signature_drift(fn=librosa_style_stft, library: str = "repro") -> List[NumericalIssue]:
+    """§IV-A: an STFT adapter whose parameter order drifts from the
+    librosa reference "can cause errors or return incorrect results" for
+    positional callers.  Reports one issue per discrepancy."""
+    issues: List[NumericalIssue] = []
+    for problem in check_signature_consistency(fn):
+        issues.append(
+            NumericalIssue(
+                IssueCategory.STFT,
+                IssueSeverity.ERROR,
+                library,
+                f"signature drift vs librosa reference: {problem}",
+                1.0,
+            )
+        )
+    return issues
+
+
+def default_detectors() -> List[IssueDetector]:
+    """The standard battery run by the FIG3 benchmark."""
+    return [
+        IssueDetector("fft_roundtrip", lambda: detect_fft_roundtrip_error()),
+        IssueDetector("irfft_symmetry", lambda: detect_irfft_symmetry_handling()),
+        IssueDetector("parseval", lambda: detect_parseval_violation()),
+        IssueDetector("linearity", lambda: detect_linearity_violation()),
+        IssueDetector("stft_phase_skew", lambda: detect_stft_phase_skew()),
+        IssueDetector("istft_reconstruction", lambda: detect_istft_reconstruction()),
+        IssueDetector("cola", lambda: detect_cola_violation()),
+        IssueDetector("dtype", lambda: detect_dtype_degradation()),
+        IssueDetector("window_peak", lambda: detect_window_peak_convention()),
+        IssueDetector("signature", lambda: detect_signature_drift()),
+    ]
+
+
+def run_detectors(detectors: Iterable[IssueDetector] | None = None) -> List[NumericalIssue]:
+    """Run a battery of detectors and collect all issues."""
+    issues: List[NumericalIssue] = []
+    for det in detectors if detectors is not None else default_detectors():
+        issues.extend(det.run())
+    return issues

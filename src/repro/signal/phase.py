@@ -1,0 +1,154 @@
+"""Phase-convention analysis and conversion for STFT coefficients.
+
+"When phase information is processed, it is crucial to be aware of the
+phase conventions by which the STFT is being computed... conversion
+between conventions typically equates to point-wise multiplication of the
+STFT with an a priori determined matrix of phase factors" (paper §IV-B).
+
+This module constructs those phase-factor matrices, measures residual
+skew between two coefficient arrays, and provides phase unwrapping for
+downstream processing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionError, SignalProcessingError
+from repro.signal.stft import Convention, STFTResult
+
+__all__ = [
+    "phase_correction_matrix",
+    "convert_convention",
+    "phase_skew",
+    "magnitude_mismatch",
+    "unwrap_phase",
+    "delay_of_simplified_convention",
+]
+
+
+def delay_of_simplified_convention(window_length: int) -> int:
+    """The group delay (in samples) imbued by Eq. 6 relative to Eq. 5.
+
+    The simplified convention windows causally from ``l = 0`` while the
+    stored window peaks at ``g[floor(Lg/2)]``, so its output lags by
+    ``floor(Lg/2)`` samples — "a delay ... dependent on the (stored)
+    window length Lg".
+    """
+    if window_length < 1:
+        raise SignalProcessingError("window length must be >= 1")
+    return window_length // 2
+
+
+def phase_correction_matrix(
+    n_fft: int,
+    n_frames: int,
+    hop: int,
+    source: Convention,
+    target: Convention,
+    window_length: int,
+) -> np.ndarray:
+    """Pointwise phase-factor matrix ``P`` with
+    ``STFT_target = P * STFT_source`` (elementwise).
+
+    Derivation: let ``C[m, n]`` denote frequency-invariant coefficients
+    (phase referenced to each frame's center at global time ``n*hop``).
+    Then
+
+    * time_invariant  = C * exp(-2πi m n hop / M) — pure demodulation; the
+      conversion in this pair is *exact*.
+    * simplified      = exp(-2πi m floor(Lg/2) / M) * C', where C' is the
+      frequency-invariant transform evaluated ``floor(Lg/2)`` samples
+      later.  The pointwise factor removes the *phase skew*; the residual
+      C vs C' difference is the *delay* the paper describes ("a delay as
+      well as a phase skew that is dependent on the (stored) window
+      length Lg") and is a time shift of the analysis instants, which no
+      pointwise matrix can undo.
+    """
+    for c in (source, target):
+        if c not in ("time_invariant", "simplified", "frequency_invariant"):
+            raise SignalProcessingError(f"unknown convention {c!r}")
+    m_idx = np.arange(n_fft)[:, None]
+    n_idx = np.arange(n_frames)[None, :]
+    half = window_length // 2
+
+    def to_freq_invariant(conv: Convention) -> np.ndarray:
+        # factor F with  C = F * STFT_conv
+        if conv == "frequency_invariant":
+            return np.ones((n_fft, n_frames), dtype=np.complex128)
+        if conv == "time_invariant":
+            return np.exp(2.0j * np.pi * m_idx * ((n_idx * hop) % n_fft) / n_fft)
+        # simplified
+        return np.exp(2.0j * np.pi * m_idx * half / n_fft) * np.ones(
+            (n_fft, n_frames), dtype=np.complex128
+        )
+
+    # STFT_target = (1 / F_target) * C = (F_source / F_target) * STFT_source
+    return to_freq_invariant(source) / to_freq_invariant(target)
+
+
+def convert_convention(result: STFTResult, target: Convention) -> STFTResult:
+    """Convert an :class:`STFTResult` to another phase convention via the
+    pointwise phase-factor matrix."""
+    if result.convention == target:
+        return result
+    p = phase_correction_matrix(
+        n_fft=result.n_fft,
+        n_frames=result.n_frames,
+        hop=result.hop,
+        source=result.convention,
+        target=target,
+        window_length=result.window.size,
+    )
+    return STFTResult(
+        coefficients=result.coefficients * p,
+        window=result.window,
+        hop=result.hop,
+        n_fft=result.n_fft,
+        convention=target,
+        signal_length=result.signal_length,
+    )
+
+
+def phase_skew(a: np.ndarray, b: np.ndarray, magnitude_floor: float = 1e-8) -> float:
+    """Mean absolute phase difference (radians) between two coefficient
+    arrays, restricted to bins where both magnitudes exceed the floor.
+
+    The floor matters: "the phase of complex numbers close to the machine
+    precision is almost random" (paper quoting the LTFAT docs), so
+    including near-zero bins would report spurious skew.
+    """
+    a = np.asarray(a, dtype=np.complex128)
+    b = np.asarray(b, dtype=np.complex128)
+    if a.shape != b.shape:
+        raise DimensionError(f"shape mismatch: {a.shape} vs {b.shape}")
+    scale = max(float(np.max(np.abs(a))), float(np.max(np.abs(b))), 1e-300)
+    mask = (np.abs(a) > magnitude_floor * scale) & (np.abs(b) > magnitude_floor * scale)
+    if not np.any(mask):
+        return 0.0
+    diff = np.angle(a[mask] * np.conj(b[mask]))
+    return float(np.mean(np.abs(diff)))
+
+
+def magnitude_mismatch(a: np.ndarray, b: np.ndarray) -> float:
+    """Relative Frobenius mismatch of magnitudes — conventions must agree
+    in magnitude even when phases skew."""
+    a = np.abs(np.asarray(a, dtype=np.complex128))
+    b = np.abs(np.asarray(b, dtype=np.complex128))
+    if a.shape != b.shape:
+        raise DimensionError(f"shape mismatch: {a.shape} vs {b.shape}")
+    denom = max(float(np.linalg.norm(a)), 1e-300)
+    return float(np.linalg.norm(a - b) / denom)
+
+
+def unwrap_phase(phase: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Unwrap phase along *axis* by adding multiples of 2π so that
+    successive differences stay within (-π, π]."""
+    phase = np.asarray(phase, dtype=np.float64)
+    d = np.diff(phase, axis=axis)
+    jumps = np.round(d / (2.0 * np.pi))
+    correction = -2.0 * np.pi * np.cumsum(jumps, axis=axis)
+    pad_shape = list(phase.shape)
+    pad_shape[axis] = 1
+    correction = np.concatenate([np.zeros(pad_shape), correction], axis=axis)
+    return phase + correction

@@ -1,0 +1,119 @@
+"""Spectrogram and synthetic RF-style test signals.
+
+The NN workloads in this reproduction operate on spectrogram "images"
+(the paper's MSY3I #2 targets STFT-based 5G functions such as signal
+detection/classification), so this module also generates the synthetic
+signals used across examples, tests, and benchmarks: chirps, multitones,
+and OFDM-like bursts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SignalProcessingError
+from repro.signal.stft import Convention, stft
+from repro.signal.windows import get_window
+
+__all__ = [
+    "spectrogram",
+    "log_spectrogram",
+    "linear_chirp",
+    "multitone",
+    "ofdm_burst",
+    "noisy",
+]
+
+
+def spectrogram(
+    s: np.ndarray,
+    window: str | np.ndarray = "hann",
+    window_length: int = 64,
+    hop: int = 16,
+    n_fft: int | None = None,
+    convention: Convention = "frequency_invariant",
+) -> np.ndarray:
+    """Magnitude-squared STFT, shape ``(n_bins, n_frames)`` with only the
+    nonredundant ``n_fft//2 + 1`` bins retained for real input."""
+    g = get_window(window, window_length) if isinstance(window, str) else np.asarray(window)
+    res = stft(s, g, hop=hop, n_fft=n_fft or g.size, convention=convention)
+    power = np.abs(res.coefficients) ** 2
+    if not np.iscomplexobj(np.asarray(s)):
+        power = power[: res.n_fft // 2 + 1]
+    return power
+
+
+def log_spectrogram(s: np.ndarray, floor_db: float = -80.0, **kwargs) -> np.ndarray:
+    """Log-power spectrogram in dB, floored to ``floor_db`` below the peak."""
+    p = spectrogram(s, **kwargs)
+    peak = max(float(p.max()), 1e-300)
+    db = 10.0 * np.log10(np.maximum(p / peak, 10.0 ** (floor_db / 10.0)))
+    return db
+
+
+def linear_chirp(
+    n: int, f0: float = 0.01, f1: float = 0.4, amplitude: float = 1.0
+) -> np.ndarray:
+    """Real linear chirp sweeping normalized frequency f0 -> f1 over n samples."""
+    if n < 1:
+        raise SignalProcessingError("n must be >= 1")
+    if not (0 <= f0 <= 0.5 and 0 <= f1 <= 0.5):
+        raise SignalProcessingError("normalized frequencies must lie in [0, 0.5]")
+    t = np.arange(n, dtype=np.float64)
+    inst_phase = 2.0 * np.pi * (f0 * t + 0.5 * (f1 - f0) * t * t / n)
+    return amplitude * np.cos(inst_phase)
+
+
+def multitone(
+    n: int, freqs: list[float], amplitudes: list[float] | None = None
+) -> np.ndarray:
+    """Sum of real sinusoids at the given normalized frequencies."""
+    if n < 1:
+        raise SignalProcessingError("n must be >= 1")
+    amplitudes = amplitudes or [1.0] * len(freqs)
+    if len(amplitudes) != len(freqs):
+        raise SignalProcessingError("freqs and amplitudes must have equal length")
+    t = np.arange(n, dtype=np.float64)
+    out = np.zeros(n, dtype=np.float64)
+    for f, a in zip(freqs, amplitudes):
+        out += a * np.cos(2.0 * np.pi * f * t)
+    return out
+
+
+def ofdm_burst(
+    n_subcarriers: int = 16,
+    n_symbols: int = 8,
+    cp_length: int = 4,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Baseband OFDM burst with QPSK subcarriers and a cyclic prefix.
+
+    Exercises the same IFFT code path the paper's 5G functions rely on.
+    """
+    rng = rng or np.random.default_rng(0)
+    if n_subcarriers < 2 or n_symbols < 1 or cp_length < 0:
+        raise SignalProcessingError("invalid OFDM burst parameters")
+    qpsk = (rng.integers(0, 2, (n_symbols, n_subcarriers)) * 2 - 1) + 1j * (
+        rng.integers(0, 2, (n_symbols, n_subcarriers)) * 2 - 1
+    )
+    qpsk = qpsk / np.sqrt(2.0)
+    symbols = np.fft.ifft(qpsk, axis=1) * np.sqrt(n_subcarriers)
+    if cp_length:
+        symbols = np.concatenate([symbols[:, -cp_length:], symbols], axis=1)
+    return symbols.ravel()
+
+
+def noisy(s: np.ndarray, snr_db: float, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Add white Gaussian noise at the requested SNR (dB)."""
+    rng = rng or np.random.default_rng(0)
+    s = np.asarray(s)
+    power = float(np.mean(np.abs(s) ** 2))
+    if power == 0.0:
+        return s.copy()
+    noise_power = power / (10.0 ** (snr_db / 10.0))
+    if np.iscomplexobj(s):
+        noise = rng.standard_normal(s.shape) + 1j * rng.standard_normal(s.shape)
+        noise *= np.sqrt(noise_power / 2.0)
+    else:
+        noise = rng.standard_normal(s.shape) * np.sqrt(noise_power)
+    return s + noise

@@ -1,0 +1,256 @@
+"""Short-time Fourier transform under explicit phase conventions.
+
+Section IV of the paper contrasts two STFT definitions:
+
+* the **time-invariant** STFT (Eq. 5), where the window is stored with its
+  peak at ``g[floor(Lg/2)]`` and each frame is referenced to the *global*
+  time axis — every toolkit that windows ``s[l + n*a] * g[l]`` with a
+  centered window computes this up to a known phase factor; and
+* the **simplified time-invariant** STFT (Eq. 6), which sums from
+  ``l = 0`` with a causal window — this "imbues a delay as well as a phase
+  skew that is dependent on the (stored) window length Lg".
+
+Additionally the *frequency-invariant* convention references every frame's
+phase to the frame start instead of the global axis.  Conversion between
+conventions is a pointwise multiplication by a matrix of phase factors
+(:func:`repro.signal.phase.phase_correction_matrix`).
+
+The forward transforms here share one frame/DFT kernel and differ only in
+window alignment and phase referencing, so measured skews between them are
+attributable purely to convention — exactly the experimental isolation the
+STFTCONV benchmark needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.exceptions import SignalProcessingError
+from repro.signal.fft import fft, ifft
+from repro.signal.windows import window_peak_index
+
+Convention = Literal["time_invariant", "simplified", "frequency_invariant"]
+
+__all__ = ["STFTResult", "stft", "istft", "frame_signal", "num_frames"]
+
+
+@dataclass(frozen=True)
+class STFTResult:
+    """STFT coefficients plus the metadata required for exact inversion.
+
+    Attributes
+    ----------
+    coefficients:
+        Complex array of shape ``(n_bins, n_frames)``; ``n_bins`` equals
+        the DFT length ``n_fft``.
+    window:
+        The analysis window as supplied.
+    hop:
+        Hop size ``a`` in samples.
+    n_fft:
+        DFT length ``M``.
+    convention:
+        Which phase convention the coefficients follow.
+    signal_length:
+        Original signal length (needed to trim synthesis output).
+    """
+
+    coefficients: np.ndarray
+    window: np.ndarray
+    hop: int
+    n_fft: int
+    convention: Convention
+    signal_length: int
+
+    @property
+    def n_frames(self) -> int:
+        return self.coefficients.shape[1]
+
+    def magnitude(self) -> np.ndarray:
+        return np.abs(self.coefficients)
+
+    def phase(self) -> np.ndarray:
+        return np.angle(self.coefficients)
+
+
+def num_frames(signal_length: int, hop: int, center_offset: int = 0) -> int:
+    """Number of analysis frames for hop *a*.
+
+    Frames are indexed ``n in [0, ceil((L + center_offset)/a))``: the
+    ``center_offset`` term guarantees the trailing ``floor(Lg/2)``
+    samples of a *centered* framing are still covered by some frame
+    (relevant when the hop approaches the window length).
+    """
+    if hop < 1:
+        raise SignalProcessingError("hop must be >= 1")
+    if signal_length < 1:
+        raise SignalProcessingError("signal must be non-empty")
+    return int(np.ceil((signal_length + center_offset) / hop))
+
+
+def frame_signal(
+    s: np.ndarray, window_length: int, hop: int, center_offset: int,
+    n_frames_override: int | None = None,
+) -> np.ndarray:
+    """Extract frames ``s[n*hop - center_offset + l]`` for
+    ``l in [0, window_length)``, zero-padding outside the signal.
+
+    ``center_offset = floor(Lg/2)`` yields centered (Eq. 5-style) frames;
+    ``center_offset = 0`` yields the causal (Eq. 6) frames.
+    ``n_frames_override`` forces a frame count (used so every phase
+    convention produces identically-shaped coefficient arrays).
+    """
+    s = np.asarray(s, dtype=np.complex128).ravel()
+    n_fr = (
+        n_frames_override
+        if n_frames_override is not None
+        else num_frames(s.size, hop, center_offset)
+    )
+    frames = np.zeros((n_fr, window_length), dtype=np.complex128)
+    for n in range(n_fr):
+        start = n * hop - center_offset
+        lo = max(start, 0)
+        hi = min(start + window_length, s.size)
+        if hi > lo:
+            frames[n, lo - start : hi - start] = s[lo:hi]
+    return frames
+
+
+def _validate(window: np.ndarray, hop: int, n_fft: int) -> np.ndarray:
+    g = np.asarray(window, dtype=np.float64).ravel()
+    if g.size < 1:
+        raise SignalProcessingError("window must be non-empty")
+    if hop < 1:
+        raise SignalProcessingError("hop must be >= 1")
+    if n_fft < g.size:
+        raise SignalProcessingError(
+            f"n_fft ({n_fft}) must be >= window length ({g.size})"
+        )
+    return g
+
+
+def stft(
+    s: np.ndarray,
+    window: np.ndarray,
+    hop: int,
+    n_fft: int | None = None,
+    convention: Convention = "time_invariant",
+) -> STFTResult:
+    """Compute the STFT of *s* under the chosen phase convention.
+
+    Parameters
+    ----------
+    s:
+        1-D real or complex signal.
+    window:
+        Analysis window ``g`` of length ``Lg`` (``Lg <= n_fft``).  For the
+        ``time_invariant`` convention it is interpreted as *centered*
+        storage (peak near ``g[floor(Lg/2)]``, per the paper's
+        "unconventional" layout); for ``simplified`` it is used as stored,
+        causal from ``l = 0``.
+    hop:
+        Time shift ``a`` between frames.
+    n_fft:
+        DFT length ``M``; defaults to the window length.
+    convention:
+        ``"time_invariant"`` (Eq. 5), ``"simplified"`` (Eq. 6), or
+        ``"frequency_invariant"``.
+    """
+    s = np.asarray(s)
+    sig_len = s.ravel().size
+    g = _validate(window, hop, n_fft or len(np.ravel(window)))
+    m = n_fft or g.size
+    lg = g.size
+    if convention not in ("time_invariant", "simplified", "frequency_invariant"):
+        raise SignalProcessingError(f"unknown STFT convention {convention!r}")
+
+    # one common frame count for all conventions: covers the trailing
+    # half-window of centered framings and keeps coefficient shapes
+    # comparable across conventions
+    n_fr_common = num_frames(sig_len, hop, lg // 2)
+
+    if convention == "simplified":
+        # Eq. 6: sum_{l=0}^{Lg-1} s[l + n a] g[l] e^{-2 pi i m l / M}
+        frames = frame_signal(s, lg, hop, center_offset=0, n_frames_override=n_fr_common)
+        windowed = frames * g[None, :]
+        padded = np.zeros((frames.shape[0], m), dtype=np.complex128)
+        padded[:, :lg] = windowed
+        coeffs = np.stack([fft(row) for row in padded], axis=1)
+    else:
+        # Eq. 5: sum_{l=-floor(Lg/2)}^{ceil(Lg/2)-1} s[l + n a] g[l] ...
+        # with the window's peak stored at g[floor(Lg/2)].  We gather the
+        # centered frame, then rotate so that the sample at the frame
+        # center lands at DFT index 0: this global-time phase reference is
+        # what makes the transform time-invariant.
+        half = lg // 2
+        frames = frame_signal(s, lg, hop, center_offset=half, n_frames_override=n_fr_common)
+        windowed = frames * g[None, :]
+        padded = np.zeros((frames.shape[0], m), dtype=np.complex128)
+        padded[:, :lg] = windowed
+        # circularly shift so index 'half' (frame center == time n*a) is at 0
+        padded = np.roll(padded, -half, axis=1)
+        coeffs = np.stack([fft(row) for row in padded], axis=1)
+        if convention == "time_invariant":
+            # reference the phase to absolute time: multiply by
+            # e^{-2 pi i m (n a) / M} applied implicitly by *not*
+            # removing the frame-origin phase.  The centered/rotated DFT
+            # already references phase to the frame center at global time
+            # n*a, so the time-invariant coefficients additionally carry
+            # the demodulation term e^{-2 pi i m n a / M}:
+            mm = np.arange(m)[:, None]
+            nn = np.arange(coeffs.shape[1])[None, :]
+            coeffs = coeffs * np.exp(-2.0j * np.pi * mm * (nn * hop % m) / m)
+        # frequency_invariant: phase referenced to the frame center; no
+        # extra factor needed.
+    return STFTResult(
+        coefficients=coeffs,
+        window=g.copy(),
+        hop=hop,
+        n_fft=m,
+        convention=convention,
+        signal_length=sig_len,
+    )
+
+
+def istft(result: STFTResult, length: int | None = None) -> np.ndarray:
+    """Least-squares inverse STFT (weighted overlap-add).
+
+    Inverts any of the three conventions by undoing the convention's phase
+    referencing, inverse-DFT-ing each frame, multiplying by the synthesis
+    window (equal to the analysis window), overlap-adding, and dividing by
+    the accumulated squared window.  Exact reconstruction requires the
+    window/hop pair to cover every sample (``sum_n g^2[l - n a] > 0``).
+    """
+    coeffs = np.asarray(result.coefficients, dtype=np.complex128)
+    g = np.asarray(result.window, dtype=np.float64)
+    hop, m, lg = result.hop, result.n_fft, g.size
+    n_fr = coeffs.shape[1]
+    length = length if length is not None else result.signal_length
+
+    work = coeffs.copy()
+    if result.convention == "time_invariant":
+        mm = np.arange(m)[:, None]
+        nn = np.arange(n_fr)[None, :]
+        work = work * np.exp(2.0j * np.pi * mm * (nn * hop % m) / m)
+
+    out = np.zeros(length + lg + m, dtype=np.complex128)
+    norm = np.zeros(length + lg + m, dtype=np.float64)
+    half = lg // 2 if result.convention != "simplified" else 0
+    for n in range(n_fr):
+        frame = ifft(work[:, n])
+        if result.convention != "simplified":
+            frame = np.roll(frame, half)
+        seg = frame[:lg] * g
+        start = n * hop - half
+        lo = max(start, 0)
+        hi = min(start + lg, out.size)
+        if hi <= lo:
+            continue
+        out[lo:hi] += seg[lo - start : hi - start]
+        norm[lo:hi] += g[lo - start : hi - start] ** 2
+    norm = np.where(norm > 1e-12, norm, 1.0)
+    rec = out[:length] / norm[:length]
+    return rec.real if np.max(np.abs(rec.imag)) < 1e-8 * max(np.max(np.abs(rec.real)), 1e-300) else rec

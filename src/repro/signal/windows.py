@@ -1,0 +1,136 @@
+"""Analysis windows for the STFT/Gabor machinery.
+
+The paper's Eqs. 5-6 hinge on *where the window peak is stored*: the
+"unconventional" storage places the peak at ``g[floor(Lg/2)]`` instead of
+``g[0]``, which imbues the delay/phase skew analysed in Section IV-B.
+Both storage conventions are provided here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SignalProcessingError
+
+__all__ = [
+    "rectangular",
+    "hann",
+    "hamming",
+    "blackman",
+    "gaussian",
+    "get_window",
+    "centered_to_causal",
+    "causal_to_centered",
+    "window_peak_index",
+    "cola_check",
+]
+
+_PERIODIC_DOC = """Windows are *periodic* (DFT-even): computed on ``length+1``
+points with the last dropped, which is the correct form for spectral
+analysis with overlapping frames."""
+
+
+def _raised_cosine(length: int, coeffs: tuple[float, ...]) -> np.ndarray:
+    if length < 1:
+        raise SignalProcessingError("window length must be >= 1")
+    n = np.arange(length)
+    w = np.zeros(length, dtype=np.float64)
+    for k, a in enumerate(coeffs):
+        w += ((-1.0) ** k) * a * np.cos(2.0 * np.pi * k * n / length)
+    return w
+
+
+def rectangular(length: int) -> np.ndarray:
+    """Boxcar window."""
+    if length < 1:
+        raise SignalProcessingError("window length must be >= 1")
+    return np.ones(length, dtype=np.float64)
+
+
+def hann(length: int) -> np.ndarray:
+    """Periodic Hann window."""
+    return _raised_cosine(length, (0.5, 0.5))
+
+
+def hamming(length: int) -> np.ndarray:
+    """Periodic Hamming window."""
+    return _raised_cosine(length, (0.54, 0.46))
+
+
+def blackman(length: int) -> np.ndarray:
+    """Periodic Blackman window."""
+    return _raised_cosine(length, (0.42, 0.5, 0.08))
+
+
+def gaussian(length: int, sigma_ratio: float = 0.125) -> np.ndarray:
+    """Gaussian window; the canonical Gabor-transform window.
+
+    ``sigma_ratio`` is the standard deviation as a fraction of the length.
+    """
+    if length < 1:
+        raise SignalProcessingError("window length must be >= 1")
+    if sigma_ratio <= 0:
+        raise SignalProcessingError("sigma_ratio must be positive")
+    n = np.arange(length) - (length - 1) / 2.0
+    sigma = sigma_ratio * length
+    return np.exp(-0.5 * (n / sigma) ** 2)
+
+
+_WINDOWS = {
+    "rectangular": rectangular,
+    "boxcar": rectangular,
+    "hann": hann,
+    "hamming": hamming,
+    "blackman": blackman,
+    "gaussian": gaussian,
+}
+
+
+def get_window(name: str, length: int, **kwargs) -> np.ndarray:
+    """Look up a window by name."""
+    try:
+        factory = _WINDOWS[name.lower()]
+    except KeyError:
+        raise SignalProcessingError(
+            f"unknown window {name!r}; choose from {sorted(_WINDOWS)}"
+        ) from None
+    return factory(length, **kwargs)
+
+
+def window_peak_index(g: np.ndarray) -> int:
+    """Index of the window maximum — used by the phase-skew detectors to
+    discover which storage convention a window follows."""
+    g = np.asarray(g, dtype=np.float64)
+    if g.size == 0:
+        raise SignalProcessingError("empty window")
+    return int(np.argmax(np.abs(g)))
+
+
+def centered_to_causal(g: np.ndarray) -> np.ndarray:
+    """Convert peak-at-center storage (``g[floor(Lg/2)]``, the
+    "unconventional" layout of Eq. 5/6 discussion) to peak-at-zero storage
+    by a circular shift of ``-floor(Lg/2)``."""
+    g = np.asarray(g, dtype=np.float64)
+    return np.roll(g, -(g.size // 2))
+
+
+def causal_to_centered(g: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`centered_to_causal`."""
+    g = np.asarray(g, dtype=np.float64)
+    return np.roll(g, g.size // 2)
+
+
+def cola_check(g: np.ndarray, hop: int, tol: float = 1e-8) -> bool:
+    """Constant-overlap-add check: does ``sum_k g[n - k*hop]`` equal a
+    constant?  Required for perfect ISTFT reconstruction with the
+    overlap-add synthesis used in :mod:`repro.signal.stft`."""
+    g = np.asarray(g, dtype=np.float64)
+    if hop < 1:
+        raise SignalProcessingError("hop must be >= 1")
+    if hop > g.size:
+        return False
+    acc = np.zeros(hop, dtype=np.float64)
+    for start in range(0, g.size, hop):
+        chunk = g[start : start + hop]
+        acc[: chunk.size] += chunk
+    return bool(np.max(np.abs(acc - acc[0])) <= tol * max(abs(acc[0]), 1e-12))

@@ -1,0 +1,113 @@
+"""Interval bound propagation (IBP) — the loosest, cheapest relaxation.
+
+IBP is grade ``INTERVAL`` on the paper's relaxation ladder: sound (never
+a false positive for robustness) but loose, so its "effectiveness (i.e.,
+false negative rate) degrades quickly" as eps grows — exactly the §II-B-2
+trade-off the VERIF benchmark measures.  Bounds propagate through affine
+layers via the center/radius form and through monotone activations
+endpoint-wise.  The per-layer bounds are also the pre-activation boxes
+the LP and exact verifiers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import VerificationError
+from repro.nn.layers import BatchNorm, Dense, Layer, LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.network import Sequential
+from repro.numerics.stable_ops import stable_sigmoid
+
+__all__ = ["LayerBounds", "propagate_intervals", "ibp_output_bounds", "ibp_margin_lower_bound"]
+
+
+@dataclass(frozen=True)
+class LayerBounds:
+    """Elementwise lower/upper bounds at one point in the network."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self):
+        lo = np.asarray(self.lower, dtype=np.float64).ravel()
+        hi = np.asarray(self.upper, dtype=np.float64).ravel()
+        if lo.shape != hi.shape:
+            raise VerificationError("bound shape mismatch")
+        if np.any(lo > hi + 1e-12):
+            raise VerificationError("lower bound exceeds upper bound")
+        object.__setattr__(self, "lower", lo)
+        object.__setattr__(self, "upper", hi)
+
+    @property
+    def width(self) -> np.ndarray:
+        return self.upper - self.lower
+
+    def mean_width(self) -> float:
+        return float(np.mean(self.width)) if self.width.size else 0.0
+
+
+def _affine_bounds(w: np.ndarray, b: np.ndarray, bounds: LayerBounds) -> LayerBounds:
+    """Bounds of ``x W + b`` via the center/radius (Lipschitz) form."""
+    center = 0.5 * (bounds.lower + bounds.upper)
+    radius = 0.5 * (bounds.upper - bounds.lower)
+    out_center = center @ w + b
+    out_radius = radius @ np.abs(w)
+    return LayerBounds(out_center - out_radius, out_center + out_radius)
+
+
+def _monotone_bounds(fn, bounds: LayerBounds) -> LayerBounds:
+    return LayerBounds(fn(bounds.lower), fn(bounds.upper))
+
+
+def propagate_intervals(net: Sequential, input_bounds: LayerBounds) -> List[LayerBounds]:
+    """Propagate bounds through a Sequential of Dense + monotone layers.
+
+    Returns bounds *after every layer*, with ``result[0]`` the input
+    bounds, so ``result[i+1]`` corresponds to ``net.layers[i]``.
+    """
+    out: List[LayerBounds] = [input_bounds]
+    cur = input_bounds
+    for layer in net.layers:
+        if isinstance(layer, Dense):
+            cur = _affine_bounds(layer.w, layer.b, cur)
+        elif isinstance(layer, ReLU):
+            cur = _monotone_bounds(lambda v: np.maximum(v, 0.0), cur)
+        elif isinstance(layer, LeakyReLU):
+            slope = layer.slope
+            cur = _monotone_bounds(lambda v: np.where(v > 0, v, slope * v), cur)
+        elif isinstance(layer, Tanh):
+            cur = _monotone_bounds(np.tanh, cur)
+        elif isinstance(layer, Sigmoid):
+            cur = _monotone_bounds(stable_sigmoid, cur)
+        elif isinstance(layer, BatchNorm):
+            # eval-mode batchnorm is affine with a diagonal matrix
+            scale = layer.gamma / np.sqrt(layer.running_var + layer.eps)
+            shift = layer.beta - layer.running_mean * scale
+            w = np.diag(scale)
+            cur = _affine_bounds(w, shift, cur)
+        else:
+            raise VerificationError(
+                f"IBP does not support layer type {type(layer).__name__}"
+            )
+        out.append(cur)
+    return out
+
+
+def ibp_output_bounds(net: Sequential, x0: np.ndarray, eps: float) -> LayerBounds:
+    """Output bounds over the L-inf eps-ball around ``x0``."""
+    x0 = np.asarray(x0, dtype=np.float64).ravel()
+    bounds = LayerBounds(x0 - eps, x0 + eps)
+    return propagate_intervals(net, bounds)[-1]
+
+
+def ibp_margin_lower_bound(net: Sequential, x0: np.ndarray, eps: float,
+                           c: np.ndarray, d: float = 0.0) -> float:
+    """Sound lower bound on ``min over ball of c^T f(x) + d``."""
+    out = ibp_output_bounds(net, x0, eps)
+    c = np.asarray(c, dtype=np.float64).ravel()
+    pos = np.maximum(c, 0.0)
+    neg = np.minimum(c, 0.0)
+    return float(pos @ out.lower + neg @ out.upper + d)

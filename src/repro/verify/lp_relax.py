@@ -1,0 +1,149 @@
+"""LP ("planet"/triangle) relaxation verifier.
+
+Grade ``LINEAR`` but tighter than single-pass CROWN: all neurons are
+constrained *jointly* in one linear program, with each unstable ReLU
+replaced by its triangle relaxation (both lower faces plus the upper
+chord).  This is the MILP-relaxation class of verifier from §II-B-2 —
+"more quickly resolved and more scalable [than exact], but their
+effectiveness ... degrades" as the boxes widen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.convex.lp import solve_lp
+from repro.convex.problem import LPProblem
+from repro.exceptions import VerificationError
+from repro.nn.network import Sequential
+from repro.verify.linear_bounds import crown_preactivation_bounds, extract_affine_relu_stack
+
+__all__ = ["lp_margin_lower_bound"]
+
+
+def lp_margin_lower_bound(
+    net: Sequential,
+    x0: np.ndarray,
+    eps: float,
+    c: np.ndarray,
+    d: float = 0.0,
+    bounds_method: str = "crown",
+) -> float:
+    """Sound lower bound on ``min over ball of c^T f(x) + d`` by a joint
+    LP over all neurons.
+
+    Pre-activation boxes come from :func:`crown_preactivation_bounds`
+    (``bounds_method`` selects 'crown' or 'crown-ibp'); only ReLU
+    (``slope == 0``) and LeakyReLU stacks with a linear output layer are
+    supported.
+    """
+    x0 = np.asarray(x0, dtype=np.float64).ravel()
+    stages = extract_affine_relu_stack(net)
+    if stages[-1].act_slope is not None:
+        raise VerificationError("LP verifier expects a linear output layer")
+    pre = crown_preactivation_bounds(net, x0, eps, method=bounds_method)
+
+    # variable layout: [x, z_0, h_0, z_1, h_1, ..., z_last]
+    n_in = x0.size
+    sizes = [n_in]
+    var_names = []
+    offsets = {"x": 0}
+    total = n_in
+    for k, stage in enumerate(stages):
+        m = stage.b.size
+        offsets[f"z{k}"] = total
+        total += m
+        if stage.act_slope is not None:
+            offsets[f"h{k}"] = total
+            total += m
+
+    lo = np.full(total, -np.inf)
+    hi = np.full(total, np.inf)
+    lo[:n_in] = x0 - eps
+    hi[:n_in] = x0 + eps
+    for k, stage in enumerate(stages):
+        z_off = offsets[f"z{k}"]
+        m = stage.b.size
+        lo[z_off : z_off + m] = pre[k][0]
+        hi[z_off : z_off + m] = pre[k][1]
+
+    eq_rows = []
+    eq_rhs = []
+    ineq_rows = []
+    ineq_rhs = []
+
+    def add_eq(row, rhs):
+        eq_rows.append(row)
+        eq_rhs.append(rhs)
+
+    def add_ineq(row, rhs):
+        ineq_rows.append(row)
+        ineq_rhs.append(rhs)
+
+    prev_off = offsets["x"]
+    prev_dim = n_in
+    for k, stage in enumerate(stages):
+        z_off = offsets[f"z{k}"]
+        m = stage.b.size
+        # z_k = prev @ W + b
+        for j in range(m):
+            row = np.zeros(total)
+            row[prev_off : prev_off + prev_dim] = stage.w[:, j]
+            row[z_off + j] = -1.0
+            add_eq(row, -float(stage.b[j]))
+        if stage.act_slope is None:
+            prev_off, prev_dim = z_off, m
+            continue
+        h_off = offsets[f"h{k}"]
+        slope = stage.act_slope
+        lo_k, hi_k = pre[k]
+        for j in range(m):
+            l, u = float(lo_k[j]), float(hi_k[j])
+            if l >= 0.0:
+                # active: h = z
+                row = np.zeros(total)
+                row[h_off + j] = 1.0
+                row[z_off + j] = -1.0
+                add_eq(row, 0.0)
+            elif u <= 0.0:
+                # inactive: h = slope * z
+                row = np.zeros(total)
+                row[h_off + j] = 1.0
+                row[z_off + j] = -slope
+                add_eq(row, 0.0)
+            else:
+                # triangle: h >= z ; h >= slope z ; h <= chord
+                row = np.zeros(total)
+                row[z_off + j] = 1.0
+                row[h_off + j] = -1.0
+                add_ineq(row, 0.0)  # z - h <= 0
+                row = np.zeros(total)
+                row[z_off + j] = slope
+                row[h_off + j] = -1.0
+                add_ineq(row, 0.0)  # slope z - h <= 0
+                chord = (u - slope * l) / (u - l)
+                inter = slope * l - chord * l
+                row = np.zeros(total)
+                row[h_off + j] = 1.0
+                row[z_off + j] = -chord
+                add_ineq(row, inter)  # h - chord z <= intercept
+                lo[h_off + j] = min(0.0, slope * l)
+                hi[h_off + j] = max(u, 0.0)
+        prev_off, prev_dim = h_off, m
+
+    c = np.asarray(c, dtype=np.float64).ravel()
+    obj = np.zeros(total)
+    z_last = offsets[f"z{len(stages) - 1}"]
+    obj[z_last : z_last + stages[-1].b.size] = c
+
+    lp = LPProblem(
+        c=obj,
+        g=np.asarray(ineq_rows) if ineq_rows else None,
+        h=np.asarray(ineq_rhs) if ineq_rhs else None,
+        a=np.asarray(eq_rows),
+        b=np.asarray(eq_rhs),
+        lo=lo,
+        hi=hi,
+    )
+    sol = solve_lp(lp)
+    return float(sol.objective + d)

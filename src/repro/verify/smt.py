@@ -1,0 +1,217 @@
+"""SMT-style exact verification by ReLU case splitting.
+
+§II-B-2 lists "Satisfiability Modulo Theories (SMT)" alongside MIP and
+BnB as the exact-verifier class.  This is the Reluplex-flavoured variant:
+instead of big-M binaries, it performs DPLL-style *case splits* on the
+phases of unstable ReLUs.  Each leaf of the split tree is a pure LP
+(every ReLU fixed active or inactive); bound propagation prunes branches
+whose LP relaxation already exceeds the incumbent, and fixing a phase
+tightens the triangle relaxation of the remaining unstable neurons.
+
+Functionally equivalent to :func:`repro.verify.exact.exact_margin_bound`
+(both are complete); structurally it is a different search — depth-first
+over phase assignments rather than best-first over fractional branches —
+so the two exact engines can cross-check each other, which the test
+suite does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import InfeasibleError, VerificationError
+from repro.convex.lp import solve_lp
+from repro.convex.problem import LPProblem
+from repro.nn.network import Sequential
+from repro.verify.linear_bounds import crown_preactivation_bounds, extract_affine_relu_stack
+
+__all__ = ["SMTResult", "smt_margin_bound"]
+
+Phase = Dict[Tuple[int, int], bool]  # (stage, neuron) -> active?
+
+
+@dataclass(frozen=True)
+class SMTResult:
+    """Case-splitting verification outcome."""
+
+    margin: float
+    x_worst: Optional[np.ndarray]
+    splits: int
+    leaves_solved: int
+    converged: bool
+
+
+def _leaf_lp(stages, pre, phase: Phase, x0, eps, c):
+    """Build the LP for a (possibly partial) phase assignment.
+
+    Fixed-active neurons contribute ``h = z`` (with ``z >= 0``);
+    fixed-inactive contribute ``h = 0`` (with ``z <= 0``); still-unstable
+    neurons keep the triangle relaxation.  Returns the LP and the list of
+    remaining unstable neurons.
+    """
+    n_in = x0.size
+    offsets = {"x": 0}
+    total = n_in
+    for k, stage in enumerate(stages):
+        m = stage.b.size
+        offsets[f"z{k}"] = total
+        total += m
+        if stage.act_slope is not None:
+            offsets[f"h{k}"] = total
+            total += m
+
+    lo = np.full(total, -np.inf)
+    hi = np.full(total, np.inf)
+    lo[:n_in] = x0 - eps
+    hi[:n_in] = x0 + eps
+    eq_rows, eq_rhs, ineq_rows, ineq_rhs = [], [], [], []
+    remaining: List[Tuple[int, int]] = []
+
+    prev_off, prev_dim = offsets["x"], n_in
+    for k, stage in enumerate(stages):
+        z_off = offsets[f"z{k}"]
+        m = stage.b.size
+        lo[z_off : z_off + m] = pre[k][0]
+        hi[z_off : z_off + m] = pre[k][1]
+        for j in range(m):
+            row = np.zeros(total)
+            row[prev_off : prev_off + prev_dim] = stage.w[:, j]
+            row[z_off + j] = -1.0
+            eq_rows.append(row)
+            eq_rhs.append(-float(stage.b[j]))
+        if stage.act_slope is None:
+            prev_off, prev_dim = z_off, m
+            continue
+        h_off = offsets[f"h{k}"]
+        for j in range(m):
+            l, u = float(pre[k][0][j]), float(pre[k][1][j])
+            key = (k, j)
+            decided = phase.get(key)
+            if l >= 0.0 or decided is True:
+                # active: h = z, z >= max(l, 0)
+                row = np.zeros(total)
+                row[h_off + j] = 1.0
+                row[z_off + j] = -1.0
+                eq_rows.append(row)
+                eq_rhs.append(0.0)
+                lo[z_off + j] = max(l, 0.0)
+                lo[h_off + j] = max(l, 0.0)
+                hi[h_off + j] = max(u, 0.0)
+            elif u <= 0.0 or decided is False:
+                # inactive: h = 0, z <= min(u, 0)
+                row = np.zeros(total)
+                row[h_off + j] = 1.0
+                eq_rows.append(row)
+                eq_rhs.append(0.0)
+                hi[z_off + j] = min(u, 0.0)
+                lo[h_off + j] = hi[h_off + j] = 0.0
+            else:
+                remaining.append(key)
+                # triangle relaxation
+                row = np.zeros(total)
+                row[z_off + j] = 1.0
+                row[h_off + j] = -1.0
+                ineq_rows.append(row)
+                ineq_rhs.append(0.0)
+                chord = u / (u - l)
+                row = np.zeros(total)
+                row[h_off + j] = 1.0
+                row[z_off + j] = -chord
+                ineq_rows.append(row)
+                ineq_rhs.append(-chord * l)
+                lo[h_off + j] = 0.0
+                hi[h_off + j] = max(u, 0.0)
+        prev_off, prev_dim = h_off, m
+
+    obj = np.zeros(total)
+    z_last = offsets[f"z{len(stages) - 1}"]
+    obj[z_last : z_last + stages[-1].b.size] = np.asarray(c, dtype=np.float64)
+    lp = LPProblem(
+        c=obj,
+        g=np.asarray(ineq_rows) if ineq_rows else None,
+        h=np.asarray(ineq_rhs) if ineq_rhs else None,
+        a=np.asarray(eq_rows),
+        b=np.asarray(eq_rhs),
+        lo=lo,
+        hi=hi,
+    )
+    return lp, remaining, offsets
+
+
+def smt_margin_bound(
+    net: Sequential,
+    x0: np.ndarray,
+    eps: float,
+    c: np.ndarray,
+    d: float = 0.0,
+    max_splits: int = 10000,
+    time_limit: float = float("inf"),
+) -> SMTResult:
+    """Exactly minimize ``c^T f(x) + d`` over the eps-ball by DPLL-style
+    case splits on ReLU phases (pure-ReLU stacks only)."""
+    x0 = np.asarray(x0, dtype=np.float64).ravel()
+    c = np.asarray(c, dtype=np.float64).ravel()
+    stages = extract_affine_relu_stack(net)
+    if stages[-1].act_slope is not None:
+        raise VerificationError("SMT verifier expects a linear output layer")
+    for s in stages[:-1]:
+        if s.act_slope not in (0.0, None):
+            raise VerificationError("SMT verifier supports pure-ReLU stacks only")
+    pre = crown_preactivation_bounds(net, x0, eps, method="crown")
+
+    start = time.perf_counter()
+    best = np.inf
+    best_x: Optional[np.ndarray] = None
+    splits = 0
+    leaves = 0
+
+    def network_margin(x: np.ndarray) -> float:
+        return float(c @ net.forward(x.reshape(1, -1), training=False).ravel() + d)
+
+    stack: List[Phase] = [{}]
+    exhausted = True
+    while stack:
+        if splits >= max_splits or time.perf_counter() - start > time_limit:
+            exhausted = False
+            break
+        phase = stack.pop()
+        try:
+            lp, remaining, _ = _leaf_lp(stages, pre, phase, x0, eps, c)
+            sol = solve_lp(lp)
+        except InfeasibleError:
+            continue
+        bound = sol.objective + d
+        if bound >= best - 1e-9:
+            continue  # prune: this subtree cannot improve
+        x_cand = sol.x[: x0.size]
+        cand_margin = network_margin(x_cand)
+        if cand_margin < best:
+            best = cand_margin
+            best_x = x_cand.copy()
+        if not remaining:
+            leaves += 1
+            # leaf LP is exact for the fixed phases
+            if bound < best:
+                best = bound
+                best_x = x_cand.copy()
+            continue
+        # split on the unstable neuron with the widest pre-activation box
+        widths = [pre[k][1][j] - pre[k][0][j] for (k, j) in remaining]
+        key = remaining[int(np.argmax(widths))]
+        splits += 1
+        for value in (True, False):
+            child = dict(phase)
+            child[key] = value
+            stack.append(child)
+
+    return SMTResult(
+        margin=float(best),
+        x_worst=best_x,
+        splits=splits,
+        leaves_solved=leaves,
+        converged=exhausted,
+    )

@@ -1,0 +1,73 @@
+"""Robustness specifications for neural-network verification.
+
+A specification is an eps-ball around an input plus a linear property of
+the output that must hold everywhere in the ball — the standard local
+robustness query both the exact and relaxed verifiers of §II-B-2 answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionError
+
+__all__ = ["RobustnessSpec", "classification_spec"]
+
+
+@dataclass(frozen=True)
+class RobustnessSpec:
+    """Verify ``c^T f(x) + d > 0`` for all ``x`` in the L-inf eps-ball.
+
+    Attributes
+    ----------
+    x0:
+        Center input (1-D feature vector).
+    eps:
+        L-infinity perturbation radius.
+    c, d:
+        The linear output property; for classification margins ``c``
+        selects ``logit[true] - logit[other]``.
+    """
+
+    x0: np.ndarray
+    eps: float
+    c: np.ndarray
+    d: float = 0.0
+
+    def __post_init__(self):
+        x0 = np.asarray(self.x0, dtype=np.float64).ravel()
+        c = np.asarray(self.c, dtype=np.float64).ravel()
+        if self.eps < 0:
+            raise ConfigurationError("eps must be nonnegative")
+        object.__setattr__(self, "x0", x0)
+        object.__setattr__(self, "c", c)
+        object.__setattr__(self, "d", float(self.d))
+
+    @property
+    def input_dim(self) -> int:
+        return self.x0.size
+
+    def input_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.x0 - self.eps, self.x0 + self.eps
+
+    def margin(self, output: np.ndarray) -> float:
+        """Property value at a concrete output; > 0 means satisfied."""
+        output = np.asarray(output, dtype=np.float64).ravel()
+        if output.size != self.c.size:
+            raise DimensionError(f"output dim {output.size} != property dim {self.c.size}")
+        return float(self.c @ output + self.d)
+
+
+def classification_spec(x0: np.ndarray, eps: float, true_label: int,
+                        other_label: int, n_classes: int) -> RobustnessSpec:
+    """Margin spec: ``logit[true] - logit[other] > 0`` over the ball."""
+    if not (0 <= true_label < n_classes and 0 <= other_label < n_classes):
+        raise ConfigurationError("labels out of range")
+    if true_label == other_label:
+        raise ConfigurationError("true and other labels must differ")
+    c = np.zeros(n_classes)
+    c[true_label] = 1.0
+    c[other_label] = -1.0
+    return RobustnessSpec(x0=x0, eps=eps, c=c)

@@ -1,0 +1,115 @@
+"""Unified verification harness: the paper's hybrid exact/relaxed vector.
+
+§II-B-2 verifies the MSY3I with "a hybridized approach vector ...
+(1) exact (complete), and (2) relaxed (incomplete)" and frames the
+trade-off through false-negative rates.  :func:`verify` dispatches one
+spec to one method; :func:`compare_verifiers` runs the whole ladder and
+computes the agreement/false-negative statistics the VERIF benchmark
+prints.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Literal
+
+import numpy as np
+
+from repro.exceptions import VerificationError
+from repro.convex.relaxation import RelaxationGrade
+from repro.nn.network import Sequential
+from repro.verify.exact import exact_margin_bound
+from repro.verify.interval import ibp_margin_lower_bound
+from repro.verify.linear_bounds import crown_margin_lower_bound
+from repro.verify.lp_relax import lp_margin_lower_bound
+from repro.verify.specs import RobustnessSpec
+
+Method = Literal["ibp", "crown-ibp", "crown", "lp", "exact"]
+
+METHOD_GRADES: Dict[str, RelaxationGrade] = {
+    "ibp": RelaxationGrade.INTERVAL,
+    "crown-ibp": RelaxationGrade.LINEAR,
+    "crown": RelaxationGrade.LINEAR,
+    "lp": RelaxationGrade.LINEAR,
+    "exact": RelaxationGrade.EXACT,
+}
+
+__all__ = ["VerificationResult", "verify", "compare_verifiers", "false_negative_rate", "METHOD_GRADES"]
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of one (spec, method) verification query.
+
+    ``verified`` means the method *proved* the property; for relaxed
+    methods ``verified=False`` may be a false negative (property true but
+    bound too loose), never a false positive.
+    """
+
+    method: str
+    verified: bool
+    margin_lower_bound: float
+    wall_time: float
+    complete: bool
+
+    @property
+    def grade(self) -> RelaxationGrade:
+        return METHOD_GRADES[self.method]
+
+
+def verify(net: Sequential, spec: RobustnessSpec, method: Method = "crown",
+           max_nodes: int = 20000, time_limit: float = float("inf")) -> VerificationResult:
+    """Verify one robustness spec with one method of the ladder."""
+    if method not in METHOD_GRADES:
+        raise VerificationError(f"unknown method {method!r}; choose from {sorted(METHOD_GRADES)}")
+    start = time.perf_counter()
+    complete = method == "exact"
+    if method == "ibp":
+        bound = ibp_margin_lower_bound(net, spec.x0, spec.eps, spec.c, spec.d)
+    elif method == "crown-ibp":
+        bound = crown_margin_lower_bound(net, spec.x0, spec.eps, spec.c, spec.d, method="crown-ibp")
+    elif method == "crown":
+        bound = crown_margin_lower_bound(net, spec.x0, spec.eps, spec.c, spec.d, method="crown")
+    elif method == "lp":
+        bound = lp_margin_lower_bound(net, spec.x0, spec.eps, spec.c, spec.d)
+    else:
+        res = exact_margin_bound(net, spec.x0, spec.eps, spec.c, spec.d,
+                                 max_nodes=max_nodes, time_limit=time_limit)
+        bound = res.margin
+        complete = res.converged
+    return VerificationResult(
+        method=method,
+        verified=bound > 0.0,
+        margin_lower_bound=float(bound),
+        wall_time=time.perf_counter() - start,
+        complete=complete,
+    )
+
+
+def compare_verifiers(net: Sequential, specs: List[RobustnessSpec],
+                      methods: tuple = ("ibp", "crown-ibp", "crown", "lp", "exact"),
+                      max_nodes: int = 20000) -> Dict[str, List[VerificationResult]]:
+    """Run every method on every spec.  Returns method -> results."""
+    out: Dict[str, List[VerificationResult]] = {m: [] for m in methods}
+    for spec in specs:
+        for m in methods:
+            out[m].append(verify(net, spec, method=m, max_nodes=max_nodes))
+    return out
+
+
+def false_negative_rate(relaxed: List[VerificationResult],
+                        exact: List[VerificationResult]) -> float:
+    """Fraction of specs the exact verifier proves but the relaxed method
+    misses — the §II-B-2 "effectiveness degrades" metric.
+
+    Returns 0.0 when the exact verifier proves nothing (no denominators).
+    """
+    if len(relaxed) != len(exact):
+        raise VerificationError("result lists must align")
+    proven = [e.verified for e in exact]
+    n_proven = sum(proven)
+    if n_proven == 0:
+        return 0.0
+    missed = sum(1 for r, e in zip(relaxed, exact) if e.verified and not r.verified)
+    return missed / n_proven

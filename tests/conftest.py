@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; tests needing other streams seed their own."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_relu_net(rng):
+    """A tiny Dense/ReLU classifier used across verification tests."""
+    from repro.nn.layers import Dense, ReLU
+    from repro.nn.network import Sequential
+
+    return Sequential([
+        Dense(2, 5, rng=rng),
+        ReLU(),
+        Dense(5, 5, rng=rng),
+        ReLU(),
+        Dense(5, 2, rng=rng),
+    ])

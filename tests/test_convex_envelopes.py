@@ -1,0 +1,145 @@
+"""Tests for convex/concave envelopes (paper §II-B bounding machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.convex import (
+    Interval,
+    concave_secant,
+    convex_tangent,
+    envelope_gap,
+    mccormick_bilinear,
+    quadratic_envelope,
+    relu_envelope,
+)
+
+
+class TestInterval:
+    def test_properties(self):
+        iv = Interval(-1.0, 3.0)
+        assert iv.width == 4.0
+        assert iv.mid == 1.0
+        assert iv.contains(0.0)
+        assert not iv.contains(5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Interval(1.0, 0.0)
+
+    def test_split(self):
+        left, right = Interval(0.0, 4.0).split()
+        assert left.hi == right.lo == 2.0
+
+    def test_split_outside_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Interval(0.0, 1.0).split(at=5.0)
+
+
+class TestMcCormick:
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(-3, 1), st.floats(0.1, 3), st.floats(-3, 1), st.floats(0.1, 3),
+           st.floats(0, 1), st.floats(0, 1))
+    def test_sandwich_property(self, xl, xw, yl, yw, tx, ty):
+        """Every McCormick face must bound x*y over the whole box."""
+        x_int = Interval(xl, xl + xw)
+        y_int = Interval(yl, yl + yw)
+        under, over = mccormick_bilinear(x_int, y_int)
+        x = xl + tx * xw
+        y = yl + ty * yw
+        w = x * y
+        pt = np.array([x, y])
+        for u in under:
+            assert u.value(pt) <= w + 1e-9
+        for o in over:
+            assert o.value(pt) >= w - 1e-9
+
+    def test_exact_at_corners(self):
+        x_int, y_int = Interval(0.0, 2.0), Interval(1.0, 3.0)
+        under, over = mccormick_bilinear(x_int, y_int)
+        for cx in (x_int.lo, x_int.hi):
+            for cy in (y_int.lo, y_int.hi):
+                w = cx * cy
+                best_under = max(u.value(np.array([cx, cy])) for u in under)
+                best_over = min(o.value(np.array([cx, cy])) for o in over)
+                assert best_under == pytest.approx(w, abs=1e-9)
+                assert best_over == pytest.approx(w, abs=1e-9)
+
+    def test_gap_shrinks_with_box(self):
+        def gap(width):
+            x_int = Interval(0.0, width)
+            under, over = mccormick_bilinear(x_int, x_int)
+            mids = np.array([x_int.mid, x_int.mid])
+            return min(o.value(mids) for o in over) - max(u.value(mids) for u in under)
+
+        assert gap(1.0) > gap(0.5) > gap(0.25)
+
+
+class TestQuadraticEnvelope:
+    def test_secant_is_concave_envelope(self):
+        iv = Interval(-1.0, 2.0)
+        convex_env, secant = quadratic_envelope(iv)
+        for x in np.linspace(-1, 2, 31):
+            assert convex_env(x) == x * x
+            assert secant.value(np.array([x])) >= x * x - 1e-9
+        # exact at endpoints
+        assert secant.value(np.array([-1.0])) == pytest.approx(1.0)
+        assert secant.value(np.array([2.0])) == pytest.approx(4.0)
+
+    def test_degenerate_interval(self):
+        secant = concave_secant(lambda x: x * x, Interval(2.0, 2.0))
+        assert secant.value(np.array([2.0])) == pytest.approx(4.0)
+
+
+class TestTangent:
+    def test_tangent_underestimates_exp(self):
+        t = convex_tangent(np.exp, np.exp, at=0.5)
+        for x in np.linspace(-2, 2, 41):
+            assert t.value(np.array([x])) <= np.exp(x) + 1e-9
+        assert t.value(np.array([0.5])) == pytest.approx(np.exp(0.5))
+
+
+class TestReLUEnvelope:
+    def test_stable_active(self):
+        lower, upper = relu_envelope(Interval(0.5, 2.0))
+        for z in np.linspace(0.5, 2.0, 11):
+            assert lower.value(np.array([z])) == pytest.approx(z)
+            assert upper.value(np.array([z])) == pytest.approx(z)
+
+    def test_stable_inactive(self):
+        lower, upper = relu_envelope(Interval(-2.0, -0.1))
+        for z in np.linspace(-2.0, -0.1, 11):
+            assert lower.value(np.array([z])) == 0.0
+            assert upper.value(np.array([z])) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(-5, -0.01), st.floats(0.01, 5), st.floats(0, 1))
+    def test_unstable_sandwich(self, lo, hi, t):
+        lower, upper = relu_envelope(Interval(lo, hi))
+        z = lo + t * (hi - lo)
+        r = max(z, 0.0)
+        assert lower.value(np.array([z])) <= r + 1e-9
+        assert upper.value(np.array([z])) >= r - 1e-9
+
+    def test_upper_chord_exact_at_endpoints(self):
+        lower, upper = relu_envelope(Interval(-1.0, 3.0))
+        assert upper.value(np.array([-1.0])) == pytest.approx(0.0)
+        assert upper.value(np.array([3.0])) == pytest.approx(3.0)
+
+
+class TestEnvelopeGap:
+    def test_valid_sandwich_measured(self):
+        iv = Interval(-1.0, 1.0)
+        gap = envelope_gap(
+            lambda x: x * x,
+            lambda x: x * x,
+            lambda x: 1.0,  # secant of x^2 on [-1,1] is the constant 1... at endpoints
+            iv,
+        )
+        assert gap == pytest.approx(1.0, abs=1e-6)
+
+    def test_invalid_underestimator_returns_inf(self):
+        iv = Interval(0.0, 1.0)
+        gap = envelope_gap(lambda x: x, lambda x: x + 1.0, lambda x: x + 2.0, iv)
+        assert gap == float("inf")

@@ -1,0 +1,97 @@
+"""Tests for the convex problem IR and convexity certificates."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError, NonConvexError
+from repro.convex import LPProblem, QCQPProblem, QPProblem, QuadraticForm, SDPProblem
+
+
+class TestQuadraticForm:
+    def test_value_and_gradient(self):
+        f = QuadraticForm(2 * np.eye(2), np.array([1.0, -1.0]), 3.0)
+        x = np.array([1.0, 2.0])
+        assert f.value(x) == pytest.approx(0.5 * (2 * 1 + 2 * 4) + 1 - 2 + 3)
+        assert np.allclose(f.gradient(x), [2 * 1 + 1, 2 * 2 - 1])
+
+    def test_asymmetric_p_is_symmetrized(self):
+        f = QuadraticForm(np.array([[1.0, 2.0], [0.0, 1.0]]), np.zeros(2))
+        assert np.allclose(f.p, f.p.T)
+
+    def test_convexity_certificate(self):
+        assert QuadraticForm(np.eye(2), np.zeros(2)).is_convex()
+        assert not QuadraticForm(-np.eye(2), np.zeros(2)).is_convex()
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionError):
+            QuadraticForm(np.eye(2), np.zeros(3))
+
+
+class TestQPProblem:
+    def test_feasibility_check(self):
+        prob = QPProblem(QuadraticForm(np.eye(2), np.zeros(2)),
+                         g=np.array([[1.0, 0.0]]), h=np.array([1.0]))
+        assert prob.is_feasible(np.array([0.5, 100.0]))
+        assert not prob.is_feasible(np.array([2.0, 0.0]))
+
+    def test_residuals(self):
+        prob = QPProblem(QuadraticForm(np.eye(2), np.zeros(2)),
+                         a=np.array([[1.0, 1.0]]), b=np.array([1.0]))
+        ineq, eq = prob.residuals(np.array([0.0, 0.0]))
+        assert ineq == 0.0 and eq == pytest.approx(1.0)
+
+    def test_mismatched_constraint_pair(self):
+        with pytest.raises(DimensionError):
+            QPProblem(QuadraticForm(np.eye(2), np.zeros(2)), g=np.eye(2))
+
+
+class TestQCQPProblem:
+    def test_eq7_convexity_condition(self):
+        """Eq. 7: convex iff every P_i is PSD."""
+        obj = QuadraticForm(np.eye(2), np.zeros(2))
+        convex_con = QuadraticForm(np.eye(2), np.zeros(2), -1.0)
+        nonconvex_con = QuadraticForm(-np.eye(2), np.zeros(2), 1.0)
+        assert QCQPProblem(obj, [convex_con]).is_convex()
+        assert not QCQPProblem(obj, [nonconvex_con]).is_convex()
+
+    def test_assert_convex_names_the_offender(self):
+        obj = QuadraticForm(np.eye(2), np.zeros(2))
+        bad = QuadraticForm(-np.eye(2), np.zeros(2))
+        with pytest.raises(NonConvexError, match="P1"):
+            QCQPProblem(obj, [bad]).assert_convex()
+
+    def test_feasibility(self):
+        obj = QuadraticForm(np.eye(1), np.zeros(1))
+        con = QuadraticForm(2 * np.eye(1), np.zeros(1), -1.0)  # x^2 <= 1
+        prob = QCQPProblem(obj, [con])
+        assert prob.is_feasible(np.array([0.5]))
+        assert not prob.is_feasible(np.array([2.0]))
+
+    def test_constraint_dim_mismatch(self):
+        with pytest.raises(DimensionError):
+            QCQPProblem(QuadraticForm(np.eye(2), np.zeros(2)),
+                        [QuadraticForm(np.eye(3), np.zeros(3))])
+
+
+class TestSDPProblem:
+    def test_objective_and_residual(self):
+        m = np.zeros((2, 2))
+        m[0, 1] = m[1, 0] = 0.5
+        prob = SDPProblem(c=np.eye(2), constraint_mats=[m], constraint_rhs=np.array([0.5]))
+        x = np.array([[1.0, 0.5], [0.5, 1.0]])
+        assert prob.objective_value(x) == pytest.approx(2.0)
+        assert prob.constraint_residual(x) == pytest.approx(0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            SDPProblem(c=np.eye(2), constraint_mats=[np.eye(3)], constraint_rhs=np.array([1.0]))
+
+
+class TestLPProblem:
+    def test_default_bounds_are_infinite(self):
+        lp = LPProblem(c=np.array([1.0, 2.0]))
+        assert np.all(np.isinf(lp.lo)) and np.all(np.isinf(lp.hi))
+
+    def test_bad_bound_length(self):
+        with pytest.raises(DimensionError):
+            LPProblem(c=np.array([1.0, 2.0]), lo=np.zeros(3))

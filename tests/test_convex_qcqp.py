@@ -1,0 +1,113 @@
+"""Tests for the QCQP barrier method and Shor relaxation (paper Eq. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InfeasibleError
+from repro.convex import (
+    QCQPProblem,
+    QuadraticForm,
+    shor_relaxation,
+    solve_qcqp,
+    solve_qcqp_barrier,
+)
+
+
+def _ball_constraint(n, radius):
+    """||x||^2 <= radius^2 as a QuadraticForm."""
+    return QuadraticForm(2 * np.eye(n), np.zeros(n), -radius**2)
+
+
+class TestBarrier:
+    def test_projection_onto_ball(self):
+        # min ||x - c||^2 s.t. ||x|| <= 1 with ||c|| > 1 -> x = c/||c||
+        c = np.array([3.0, 4.0])
+        obj = QuadraticForm(2 * np.eye(2), -2 * c, float(c @ c))
+        prob = QCQPProblem(obj, [_ball_constraint(2, 1.0)])
+        sol = solve_qcqp_barrier(prob)
+        assert np.allclose(sol.x, c / 5.0, atol=1e-4)
+
+    def test_inactive_constraint_gives_unconstrained_min(self):
+        c = np.array([0.1, 0.2])
+        obj = QuadraticForm(2 * np.eye(2), -2 * c, float(c @ c))
+        prob = QCQPProblem(obj, [_ball_constraint(2, 5.0)])
+        sol = solve_qcqp_barrier(prob)
+        assert np.allclose(sol.x, c, atol=1e-5)
+
+    def test_with_equality_constraint(self):
+        # min ||x||^2 s.t. x1 + x2 = 1, ||x|| <= 2
+        obj = QuadraticForm(2 * np.eye(2), np.zeros(2))
+        prob = QCQPProblem(obj, [_ball_constraint(2, 2.0)],
+                           a=np.array([[1.0, 1.0]]), b=np.array([1.0]))
+        sol = solve_qcqp_barrier(prob)
+        assert np.allclose(sol.x, [0.5, 0.5], atol=1e-5)
+
+    def test_shifted_ball_constraint(self):
+        # min ||x||^2 s.t. (x - [2,0])^2 <= 1 -> x = (1, 0)
+        obj = QuadraticForm(2 * np.eye(2), np.zeros(2))
+        con = QuadraticForm(2 * np.eye(2), np.array([-4.0, 0.0]), 3.0)
+        sol = solve_qcqp_barrier(QCQPProblem(obj, [con]))
+        assert np.allclose(sol.x, [1.0, 0.0], atol=1e-4)
+
+    def test_infeasible_constraints_raise(self):
+        obj = QuadraticForm(2 * np.eye(1), np.zeros(1))
+        c1 = QuadraticForm(2 * np.eye(1), np.zeros(1), 1.0)  # x^2 <= -1
+        with pytest.raises(InfeasibleError):
+            solve_qcqp_barrier(QCQPProblem(obj, [c1]))
+
+    def test_no_inequalities_reduces_to_qp(self):
+        obj = QuadraticForm(2 * np.eye(2), np.array([-2.0, 0.0]))
+        sol = solve_qcqp_barrier(QCQPProblem(obj, []))
+        assert np.allclose(sol.x, [1.0, 0.0], atol=1e-8)
+
+
+class TestShor:
+    def test_tight_on_1d_trust_region(self):
+        """min -x^2 s.t. x^2 <= 1 has optimum -1; the Shor bound is tight."""
+        obj = QuadraticForm(-2 * np.eye(1), np.zeros(1))
+        res = shor_relaxation(QCQPProblem(obj, [_ball_constraint(1, 1.0)]))
+        assert res.lower_bound == pytest.approx(-1.0, abs=1e-2)
+
+    def test_bound_below_brute_force_2d(self):
+        q = np.array([[1.0, 3.0], [3.0, -2.0]])
+        obj = QuadraticForm(2 * q, np.array([0.5, -1.0]))
+        prob = QCQPProblem(obj, [_ball_constraint(2, 2.0)])
+        res = shor_relaxation(prob)
+        thetas = np.linspace(0, 2 * np.pi, 2001)
+        best = min(
+            obj.value(np.array([2 * r * np.cos(t), 2 * r * np.sin(t)]))
+            for t in thetas for r in (0.25, 0.5, 0.75, 1.0)
+        )
+        assert res.lower_bound <= best + 1e-3
+        # trust-region subproblems have zero duality gap: bound is tight
+        assert res.lower_bound == pytest.approx(best, abs=0.05)
+
+    def test_recovered_point_is_feasible(self):
+        q = np.array([[1.0, 3.0], [3.0, -2.0]])
+        obj = QuadraticForm(2 * q, np.array([0.5, -1.0]))
+        prob = QCQPProblem(obj, [_ball_constraint(2, 2.0)])
+        res = shor_relaxation(prob)
+        assert res.recovered_feasible
+        assert res.relaxation_gap >= -1e-4  # tight relaxation: gap is float noise
+
+    def test_lifted_matrix_is_psd_with_unit_corner(self):
+        obj = QuadraticForm(-2 * np.eye(1), np.zeros(1))
+        res = shor_relaxation(QCQPProblem(obj, [_ball_constraint(1, 1.0)]))
+        assert res.lifted_matrix[0, 0] == pytest.approx(1.0, abs=1e-4)
+        assert np.linalg.eigvalsh(res.lifted_matrix)[0] > -1e-6
+
+
+class TestDispatch:
+    def test_convex_instance_uses_barrier(self):
+        obj = QuadraticForm(2 * np.eye(2), np.zeros(2))
+        prob = QCQPProblem(obj, [_ball_constraint(2, 1.0)],
+                           a=np.array([[1.0, 0.0]]), b=np.array([0.5]))
+        sol = solve_qcqp(prob)
+        assert sol.status == "optimal"
+        assert sol.x[0] == pytest.approx(0.5, abs=1e-6)
+
+    def test_nonconvex_instance_relaxed(self):
+        obj = QuadraticForm(-2 * np.eye(1), np.zeros(1))
+        prob = QCQPProblem(obj, [_ball_constraint(1, 1.0)])
+        sol = solve_qcqp(prob)
+        assert sol.status == "relaxed"

@@ -1,0 +1,108 @@
+"""Tests for the QP solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import NonConvexError
+from repro.convex import QPProblem, QuadraticForm, solve_box_qp, solve_equality_qp, solve_qp
+from repro.linalg import random_psd
+
+
+class TestEqualityQP:
+    def test_unconstrained_minimum(self):
+        sol = solve_equality_qp(2 * np.eye(2), np.array([-2.0, -4.0]))
+        assert np.allclose(sol.x, [1.0, 2.0])
+
+    def test_kkt_with_equality(self):
+        # min ||x||^2 s.t. x1 + x2 = 1 -> x = (0.5, 0.5)
+        sol = solve_equality_qp(2 * np.eye(2), np.zeros(2),
+                                a=np.array([[1.0, 1.0]]), b=np.array([1.0]))
+        assert np.allclose(sol.x, [0.5, 0.5], atol=1e-9)
+        assert sol.dual is not None
+
+    def test_semidefinite_hessian_handled(self):
+        p = np.diag([2.0, 0.0])
+        sol = solve_equality_qp(p, np.array([-2.0, 0.0]),
+                                a=np.array([[0.0, 1.0]]), b=np.array([3.0]))
+        assert sol.x[0] == pytest.approx(1.0, abs=1e-5)
+        assert sol.x[1] == pytest.approx(3.0, abs=1e-9)
+
+
+class TestADMMQP:
+    def test_simplex_projection(self):
+        rng = np.random.default_rng(0)
+        c = rng.standard_normal(6)
+        prob = QPProblem(QuadraticForm(np.eye(6), -c),
+                         g=-np.eye(6), h=np.zeros(6),
+                         a=np.ones((1, 6)), b=np.array([1.0]))
+        sol = solve_qp(prob)
+        assert sol.converged
+        assert sol.x.sum() == pytest.approx(1.0, abs=1e-6)
+        assert sol.x.min() >= -1e-7
+
+    def test_rejects_nonconvex(self):
+        prob = QPProblem(QuadraticForm(-np.eye(2), np.zeros(2)),
+                         g=np.eye(2), h=np.ones(2))
+        with pytest.raises(NonConvexError):
+            solve_qp(prob)
+
+    def test_unconstrained_falls_through_to_kkt(self):
+        prob = QPProblem(QuadraticForm(2 * np.eye(2), np.array([-2.0, 0.0])))
+        sol = solve_qp(prob)
+        assert np.allclose(sol.x, [1.0, 0.0], atol=1e-8)
+
+    def test_active_inequality(self):
+        # min (x-2)^2 s.t. x <= 1 -> x = 1
+        prob = QPProblem(QuadraticForm(2 * np.eye(1), np.array([-4.0])),
+                         g=np.array([[1.0]]), h=np.array([1.0]))
+        sol = solve_qp(prob)
+        assert sol.x[0] == pytest.approx(1.0, abs=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 6), st.integers(0, 500))
+    def test_kkt_optimality_random_box(self, n, seed):
+        """ADMM solution must satisfy first-order optimality within the box."""
+        rng = np.random.default_rng(seed)
+        p = random_psd(n, rng) + 0.5 * np.eye(n)
+        q = rng.standard_normal(n)
+        prob = QPProblem(QuadraticForm(p, q),
+                         g=np.vstack([np.eye(n), -np.eye(n)]),
+                         h=np.concatenate([np.ones(n), np.ones(n)]))
+        sol = solve_qp(prob)
+        assert sol.converged
+        grad = p @ sol.x + q
+        for i in range(n):
+            if sol.x[i] > -1 + 1e-5 and sol.x[i] < 1 - 1e-5:
+                assert abs(grad[i]) < 1e-4  # interior -> zero gradient
+            elif sol.x[i] >= 1 - 1e-5:
+                assert grad[i] < 1e-4  # at upper bound -> nonpositive grad
+            else:
+                assert grad[i] > -1e-4
+
+
+class TestBoxQP:
+    def test_clipped_unconstrained_solution(self):
+        sol = solve_box_qp(2 * np.eye(3), np.array([1.0, -2.0, 0.5]),
+                           -np.ones(3), np.ones(3))
+        assert np.allclose(sol.x, np.clip([-0.5, 1.0, -0.25], -1, 1), atol=1e-6)
+
+    def test_active_bounds(self):
+        sol = solve_box_qp(2 * np.eye(2), np.array([-10.0, 10.0]),
+                           -np.ones(2), np.ones(2))
+        assert np.allclose(sol.x, [1.0, -1.0], atol=1e-8)
+
+    def test_rejects_indefinite(self):
+        with pytest.raises(NonConvexError):
+            solve_box_qp(np.diag([1.0, -1.0]), np.zeros(2), -np.ones(2), np.ones(2))
+
+    def test_matches_admm_solver(self):
+        rng = np.random.default_rng(7)
+        p = random_psd(4, rng) + 0.1 * np.eye(4)
+        q = rng.standard_normal(4)
+        box = solve_box_qp(p, q, -2 * np.ones(4), 2 * np.ones(4))
+        prob = QPProblem(QuadraticForm(p, q),
+                         g=np.vstack([np.eye(4), -np.eye(4)]),
+                         h=np.concatenate([2 * np.ones(4), 2 * np.ones(4)]))
+        admm = solve_qp(prob)
+        assert box.objective == pytest.approx(admm.objective, abs=1e-5)

@@ -1,0 +1,74 @@
+"""Tests for relaxation-gradation accounting."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.convex import RelaxationChain, RelaxationGrade, RelaxationStep, tightness_ratio
+
+
+class TestGrades:
+    def test_ordering_matches_paper_ladder(self):
+        """§II-B-2: interval loosest, exact tightest; SDP ('more compact
+        than MILP') sits above the linear grade."""
+        assert RelaxationGrade.INTERVAL < RelaxationGrade.LINEAR
+        assert RelaxationGrade.LINEAR < RelaxationGrade.CONVEX_QUADRATIC
+        assert RelaxationGrade.CONVEX_QUADRATIC < RelaxationGrade.SEMIDEFINITE
+        assert RelaxationGrade.SEMIDEFINITE < RelaxationGrade.EXACT
+
+
+class TestChain:
+    def _chain(self):
+        c = RelaxationChain("demo", exact_value=10.0)
+        c.add(RelaxationStep("interval", RelaxationGrade.INTERVAL, 2.0))
+        c.add(RelaxationStep("lp", RelaxationGrade.LINEAR, 6.0))
+        c.add(RelaxationStep("sdp", RelaxationGrade.SEMIDEFINITE, 9.0))
+        c.add(RelaxationStep("exact", RelaxationGrade.EXACT, 10.0))
+        return c
+
+    def test_monotone_chain_accepted(self):
+        assert self._chain().is_monotone()
+
+    def test_bound_above_exact_rejected(self):
+        c = RelaxationChain("bad", exact_value=10.0)
+        c.add(RelaxationStep("lp", RelaxationGrade.LINEAR, 11.0))
+        assert not c.is_monotone()
+
+    def test_inverted_grades_rejected(self):
+        c = RelaxationChain("bad")
+        c.add(RelaxationStep("interval", RelaxationGrade.INTERVAL, 5.0))
+        c.add(RelaxationStep("sdp", RelaxationGrade.SEMIDEFINITE, 1.0))
+        assert not c.is_monotone()
+
+    def test_gaps(self):
+        gaps = self._chain().gaps()
+        assert gaps["interval"] == pytest.approx(8.0)
+        assert gaps["exact"] == pytest.approx(0.0)
+
+    def test_gaps_require_exact(self):
+        c = RelaxationChain("no-exact")
+        c.add(RelaxationStep("lp", RelaxationGrade.LINEAR, 1.0))
+        with pytest.raises(ConfigurationError):
+            c.gaps()
+
+    def test_tightest(self):
+        assert self._chain().tightest().name == "exact"
+
+    def test_empty_chain_tightest_raises(self):
+        with pytest.raises(ConfigurationError):
+            RelaxationChain("empty").tightest()
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RelaxationStep("nan", RelaxationGrade.LINEAR, float("nan"))
+
+
+class TestTightnessRatio:
+    def test_endpoints(self):
+        assert tightness_ratio(10.0, 10.0, 0.0) == 1.0
+        assert tightness_ratio(0.0, 10.0, 0.0) == 0.0
+
+    def test_midpoint(self):
+        assert tightness_ratio(5.0, 10.0, 0.0) == pytest.approx(0.5)
+
+    def test_degenerate_range(self):
+        assert tightness_ratio(5.0, 3.0, 3.0) == 1.0

@@ -1,0 +1,99 @@
+"""Tests for the ADMM SDP solver."""
+
+import numpy as np
+import pytest
+
+from repro.convex import AffineSubspaceProjector, SDPProblem, solve_sdp
+from repro.convex.sdp import solve_sdp_general
+from repro.linalg import is_psd, random_psd
+
+
+class TestAffineProjector:
+    def test_projection_satisfies_constraints(self):
+        m = np.zeros((3, 3))
+        m[0, 0] = 1.0
+        proj = AffineSubspaceProjector([m], np.array([2.0]))
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((3, 3))
+        y = proj.project(x)
+        assert y[0, 0] == pytest.approx(2.0)
+        assert proj.residual(y) < 1e-10
+
+    def test_projection_is_nearest(self):
+        m = np.eye(2)  # constraint: trace X = 1
+        proj = AffineSubspaceProjector([m], np.array([1.0]))
+        x = np.diag([2.0, 2.0])
+        y = proj.project(x)
+        assert np.trace(y) == pytest.approx(1.0)
+        # optimality: y - x orthogonal to the subspace direction
+        assert np.allclose(y, np.diag([0.5, 0.5]))
+
+    def test_dependent_constraints_tolerated(self):
+        m = np.eye(2)
+        proj = AffineSubspaceProjector([m, 2 * m], np.array([1.0, 2.0]))
+        y = proj.project(np.zeros((2, 2)))
+        assert np.trace(y) == pytest.approx(1.0)
+
+
+class TestSDP:
+    def test_trace_min_with_offdiag_pin(self):
+        """min tr X s.t. X01 = 0.5, X >= 0 -> X = [[.5,.5],[.5,.5]]."""
+        m = np.zeros((2, 2))
+        m[0, 1] = m[1, 0] = 0.5
+        prob = SDPProblem(c=np.eye(2), constraint_mats=[m], constraint_rhs=np.array([0.5]))
+        sol = solve_sdp(prob)
+        assert sol.converged
+        assert np.trace(sol.x) == pytest.approx(1.0, abs=1e-4)
+        assert is_psd(sol.x, tol=1e-6)
+
+    def test_unconstrained_min_of_positive_cost_is_zero(self):
+        prob = SDPProblem(c=np.eye(3))
+        sol = solve_sdp(prob)
+        assert sol.objective == pytest.approx(0.0, abs=1e-6)
+
+    def test_feasibility_of_solution(self):
+        rng = np.random.default_rng(1)
+        target = random_psd(3, rng)
+        mats, rhs = [], []
+        for i in range(3):
+            for j in range(i, 3):
+                m = np.zeros((3, 3))
+                m[i, j] = m[j, i] = 0.5 if i != j else 1.0
+                mats.append(m)
+                rhs.append(target[i, j])
+        prob = SDPProblem(c=np.eye(3), constraint_mats=mats, constraint_rhs=np.array(rhs))
+        sol = solve_sdp(prob)
+        # fully pinned -> solution is the target
+        assert np.allclose(sol.x, target, atol=1e-4)
+
+    def test_max_iter_reports_nonconverged(self):
+        m = np.zeros((2, 2))
+        m[0, 1] = m[1, 0] = 0.5
+        prob = SDPProblem(c=np.eye(2), constraint_mats=[m], constraint_rhs=np.array([0.5]))
+        sol = solve_sdp(prob, max_iter=2)
+        assert not sol.converged
+        assert sol.status == "max_iter"
+
+
+class TestSDPWithInequalities:
+    def test_inequality_active_at_optimum(self):
+        """max X00 (min -X00) s.t. tr X <= 1, X >= 0 -> X00 = 1."""
+        c = -np.eye(2)
+        c[1, 1] = 0.0
+        sol = solve_sdp_general(
+            c, eq_mats=[], eq_rhs=np.array([]),
+            ineq_mats=[np.eye(2)], ineq_rhs=np.array([1.0]),
+        )
+        assert sol.converged
+        assert sol.x[0, 0] == pytest.approx(1.0, abs=1e-3)
+        assert np.trace(sol.x) <= 1.0 + 1e-4
+
+    def test_slack_inequality_inactive(self):
+        """min tr X s.t. X00 = 1 and tr X <= 100: inequality slack."""
+        m = np.zeros((2, 2))
+        m[0, 0] = 1.0
+        sol = solve_sdp_general(
+            np.eye(2), eq_mats=[m], eq_rhs=np.array([1.0]),
+            ineq_mats=[np.eye(2)], ineq_rhs=np.array([100.0]),
+        )
+        assert sol.objective == pytest.approx(1.0, abs=1e-4)

@@ -1,0 +1,78 @@
+"""Tests for the More-Sorensen trust-region subproblem solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.convex import cauchy_point, solve_trust_region
+
+
+def _brute_force(g, b, delta, n_grid=300):
+    """Dense sampling of the ball boundary and interior (2-D only)."""
+    best = 0.0
+    for t in np.linspace(0, 2 * np.pi, n_grid):
+        for r in np.linspace(0, delta, 30):
+            p = r * np.array([np.cos(t), np.sin(t)])
+            best = min(best, 0.5 * p @ b @ p + g @ p)
+    return best
+
+
+class TestInterior:
+    def test_pd_interior_solution(self):
+        b = np.diag([2.0, 4.0])
+        g = np.array([-1.0, -2.0])
+        res = solve_trust_region(g, b, delta=10.0)
+        assert not res.on_boundary
+        assert res.lagrange_multiplier == 0.0
+        assert np.allclose(res.p, np.linalg.solve(b, -g))
+
+
+class TestBoundary:
+    def test_pd_boundary_solution(self):
+        b = np.diag([2.0, 4.0])
+        g = np.array([-10.0, -20.0])
+        res = solve_trust_region(g, b, delta=1.0)
+        assert res.on_boundary
+        assert np.linalg.norm(res.p) == pytest.approx(1.0, abs=1e-8)
+        assert res.value <= _brute_force(g, b, 1.0) + 1e-5
+
+    def test_indefinite_hessian(self):
+        """The subproblem is solvable exactly even for indefinite B."""
+        b = np.diag([1.0, -2.0])
+        g = np.array([1.0, 0.0])
+        res = solve_trust_region(g, b, delta=1.0)
+        assert res.on_boundary
+        assert res.value <= _brute_force(g, b, 1.0) + 1e-5
+
+    def test_hard_case(self):
+        """g orthogonal to the eigenvector of the smallest eigenvalue."""
+        b = np.diag([-2.0, 1.0])
+        g = np.array([0.0, 1.0])  # no component along e1 (the -2 direction)
+        res = solve_trust_region(g, b, delta=1.0)
+        assert res.hard_case
+        assert np.linalg.norm(res.p) == pytest.approx(1.0, abs=1e-6)
+        assert res.value <= _brute_force(g, b, 1.0) + 1e-5
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 500))
+    def test_dominates_cauchy_point(self, seed):
+        """The exact solution must never be worse than the Cauchy step."""
+        rng = np.random.default_rng(seed)
+        b = rng.standard_normal((3, 3))
+        b = 0.5 * (b + b.T)
+        g = rng.standard_normal(3)
+        delta = float(rng.uniform(0.1, 2.0))
+        res = solve_trust_region(g, b, delta)
+        pc = cauchy_point(g, b, delta)
+        val_c = 0.5 * pc @ b @ pc + g @ pc
+        assert res.value <= val_c + 1e-8
+        assert np.linalg.norm(res.p) <= delta + 1e-6
+
+
+class TestCauchy:
+    def test_zero_gradient(self):
+        assert np.allclose(cauchy_point(np.zeros(2), np.eye(2), 1.0), 0.0)
+
+    def test_negative_curvature_full_step(self):
+        p = cauchy_point(np.array([1.0, 0.0]), -np.eye(2), 2.0)
+        assert np.linalg.norm(p) == pytest.approx(2.0)

@@ -1,0 +1,138 @@
+"""Tests for the RCR framework core and the QP adaptive inertia."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, VerificationError
+from repro.core import QPAdaptiveInertia, RobustConvexRelaxation
+from repro.nn import Dense, ReLU, Sequential
+from repro.pso.inertia import InertiaContext
+from repro.verify import RobustnessSpec
+
+
+def _ctx(stagnation, d_pb=None, d_gb=None):
+    n = len(stagnation)
+    return InertiaContext(
+        generation=5,
+        max_generations=20,
+        stagnation_counts=np.asarray(stagnation, dtype=float),
+        distance_to_personal_best=np.asarray(d_pb if d_pb is not None else np.ones(n), dtype=float),
+        distance_to_global_best=np.asarray(d_gb if d_gb is not None else np.ones(n), dtype=float),
+    )
+
+
+def _relu_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(2, 5, rng=rng), ReLU(), Dense(5, 5, rng=rng), ReLU(),
+                       Dense(5, 2, rng=rng)])
+
+
+class TestQPAdaptiveInertia:
+    def test_uniform_swarm_gets_base_weight(self):
+        s = QPAdaptiveInertia()
+        w = s.weights(_ctx([0, 0, 0, 0]))
+        assert np.allclose(w, s.w_base)
+        assert s.qp_calls == 0  # fast path: no QP needed
+
+    def test_mean_constraint_enforced(self):
+        """The QP's stability budget: the mean inertia stays at w_base even
+        as individual weights rise for stagnating particles."""
+        s = QPAdaptiveInertia()
+        w = s.weights(_ctx([0, 9, 0, 3]))
+        assert s.qp_calls == 1
+        assert np.mean(w) == pytest.approx(s.w_base, abs=1e-4)
+
+    def test_stagnating_particles_weighted_up(self):
+        s = QPAdaptiveInertia()
+        w = s.weights(_ctx([0, 9, 0, 0]))
+        assert w[1] > w[0]
+        assert w[1] > s.w_base
+
+    def test_box_bounds_respected(self):
+        s = QPAdaptiveInertia()
+        w = s.weights(_ctx([0, 1000, 0, 0]))
+        assert np.all(w >= s.w_min - 1e-8)
+        assert np.all(w <= s.w_max + 1e-8)
+
+    def test_regularization_pulls_to_base(self):
+        loose = QPAdaptiveInertia(regularization=0.0).weights(_ctx([0, 9, 0, 0]))
+        tight = QPAdaptiveInertia(regularization=100.0).weights(_ctx([0, 9, 0, 0]))
+        assert np.std(tight) < np.std(loose)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            QPAdaptiveInertia(w_base=0.1, w_min=0.3, w_max=1.0)
+
+    def test_reset_clears_counter(self):
+        s = QPAdaptiveInertia()
+        s.weights(_ctx([0, 5, 0, 0]))
+        s.reset()
+        assert s.qp_calls == 0
+
+
+class TestRCRFramework:
+    def test_layer_bounds_shapes(self):
+        net = _relu_net()
+        rcr = RobustConvexRelaxation(net)
+        for method in ("ibp", "crown-ibp", "crown"):
+            pre = rcr.layer_bounds(np.zeros(2), 0.1, method=method)
+            assert len(pre) == 3  # three affine stages
+            assert pre[0][0].shape == (5,)
+
+    def test_tightening_monotone_down_the_ladder(self):
+        """The paper's 'bound tightening for each successive layer':
+        crown boxes are never wider than ibp boxes, layer by layer."""
+        net = _relu_net(seed=1)
+        rcr = RobustConvexRelaxation(net)
+        report = rcr.tightness_report(np.array([0.2, -0.1]), 0.15)
+        for w_ibp, w_crown in zip(report.widths["ibp"], report.widths["crown"]):
+            assert w_crown <= w_ibp + 1e-9
+        factors = report.tightening_factor("ibp", "crown")
+        assert all(f >= 1.0 - 1e-9 for f in factors)
+
+    def test_tightening_factor_unknown_method(self):
+        net = _relu_net()
+        report = RobustConvexRelaxation(net).tightness_report(np.zeros(2), 0.1)
+        with pytest.raises(VerificationError):
+            report.tightening_factor("ibp", "smt")
+
+    def test_certify_escalates_until_proof(self):
+        net = _relu_net(seed=2)
+        rcr = RobustConvexRelaxation(net)
+        # tiny eps: even IBP should certify; large eps: escalation happens
+        spec_easy = RobustnessSpec(np.array([0.5, 0.5]), 1e-4, np.array([1.0, -1.0]))
+        out_clean = net.forward(np.array([[0.5, 0.5]]), training=False).ravel()
+        c = np.array([1.0, -1.0]) if out_clean[0] > out_clean[1] else np.array([-1.0, 1.0])
+        spec_easy = RobustnessSpec(np.array([0.5, 0.5]), 1e-4, c)
+        final, attempts = rcr.certify(spec_easy)
+        assert final.verified
+        assert attempts[0].method == "ibp"
+
+    def test_certify_exact_settles_false(self):
+        net = _relu_net(seed=3)
+        rcr = RobustConvexRelaxation(net)
+        # enormous ball: the property cannot hold; exact must settle it
+        spec = RobustnessSpec(np.zeros(2), 5.0, np.array([1.0, -1.0]))
+        final, attempts = rcr.certify(spec)
+        assert not final.verified
+        assert attempts[-1].method == "exact"
+        assert attempts[-1].complete
+
+    def test_certify_ladder_validation(self):
+        net = _relu_net()
+        rcr = RobustConvexRelaxation(net)
+        spec = RobustnessSpec(np.zeros(2), 0.1, np.array([1.0, -1.0]))
+        with pytest.raises(VerificationError):
+            rcr.certify(spec, start="exact", stop="ibp")
+
+    def test_relaxation_chain_is_monotone(self):
+        """The audited RCR chain: looser grades give weaker bounds."""
+        net = _relu_net(seed=4)
+        rcr = RobustConvexRelaxation(net)
+        spec = RobustnessSpec(np.array([0.1, 0.3]), 0.1, np.array([1.0, -1.0]))
+        chain = rcr.relaxation_chain(spec)
+        assert chain.exact_value is not None
+        # every relaxed bound is below the exact value
+        gaps = chain.gaps()
+        assert all(g >= -1e-6 for g in gaps.values())
+        assert chain.tightest().name == "exact"

@@ -1,0 +1,132 @@
+"""Tests for the Fig. 1 stack, Fig. 2 paradigms, tuning, and stability."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    QPAdaptiveInertia,
+    audit_training_trace,
+    checked_forward,
+    detector_objective,
+    evaluate_detector,
+    msy3i_search_space,
+    network_amplification,
+    run_paradigm,
+    run_rcr_stack,
+    train_detector,
+    tune_msy3i,
+)
+from repro.exceptions import NumericalInstabilityError
+from repro.nn import Dense, MSY3IConfig, Sequential, make_detector
+
+
+class TestTuningPieces:
+    def test_search_space_matches_paper_knobs(self):
+        space = msy3i_search_space()
+        names = {p.name for p in space.params}
+        assert names == {"base_channels", "squeeze_ratio", "lr", "blocks_per_stage"}
+        assert space.size() > 50  # a real search space, not a toy
+
+    def test_train_detector_reduces_loss(self):
+        cfg = MSY3IConfig(base_channels=4, n_stages=2)
+        det = make_detector(cfg, rng=np.random.default_rng(0))
+        before = evaluate_detector(det)
+        train_detector(det, steps=25, lr=5e-3, seed=0)
+        after = evaluate_detector(det)
+        assert after < before
+
+    def test_objective_penalizes_parameters(self):
+        small = detector_objective(
+            {"base_channels": 4, "squeeze_ratio": 0.125, "lr": 5e-3, "blocks_per_stage": 1},
+            train_steps=3, param_penalty=1.0)
+        big = detector_objective(
+            {"base_channels": 12, "squeeze_ratio": 0.5, "lr": 5e-3, "blocks_per_stage": 2},
+            train_steps=3, param_penalty=1.0)
+        assert small < big  # with a dominant penalty, fewer params wins
+
+    def test_tune_msy3i_returns_valid_config(self):
+        result = tune_msy3i(swarm_size=4, generations=2, train_steps=4, seed=0)
+        cfg = result.best_config
+        assert cfg["base_channels"] in (4, 6, 8, 10, 12)
+        assert cfg["squeeze_ratio"] in (0.0625, 0.125, 0.25, 0.5)
+        assert result.evaluations >= 8
+
+
+class TestStack:
+    def test_full_stack_runs_and_reports(self):
+        report = run_rcr_stack(swarm_size=4, generations=2,
+                               tuning_train_steps=5, robust_epochs=5, seed=0)
+        names = [s.name for s in report.stages]
+        assert names == ["adaptive-inertia", "pso-tuning", "rcr-paradigm"]
+        # stage 3 exercised the convex accelerant
+        assert report.stage("adaptive-inertia").metrics["qp_calls"] >= 1
+        # stage 2 produced the squeeze
+        assert report.stage("pso-tuning").metrics["param_reduction_factor"] > 1.0
+        # stage 1 certified something and measured layer-wise tightening
+        rcr = report.stage("rcr-paradigm").metrics
+        assert rcr["mean_layer_tightening"] >= 1.0
+        assert rcr["clean_accuracy"] > 0.5
+        assert report.total_time > 0
+
+    def test_stage_lookup_missing(self):
+        report = run_rcr_stack(swarm_size=4, generations=2,
+                               tuning_train_steps=4, robust_epochs=3, seed=1)
+        with pytest.raises(KeyError):
+            report.stage("nonexistent")
+
+
+class TestStabilityTools:
+    def test_amplification_of_linear_layer(self):
+        rng = np.random.default_rng(0)
+        net = Sequential([Dense(3, 3, rng=rng)])
+        amp = network_amplification(net, np.zeros((2, 3)))
+        spectral = np.linalg.svd(net.layers[0].w, compute_uv=False)[0]
+        assert amp <= spectral + 1e-6
+
+    def test_audit_flags_oscillation(self):
+        rng = np.random.default_rng(1)
+        noisy = (1.0 + 2.0 * rng.standard_normal(200)).tolist()
+        audit = audit_training_trace(noisy, oscillation_threshold=0.5)
+        assert not audit.is_stable
+        assert audit.oscillation > 0.5
+
+    def test_audit_flags_divergence(self):
+        losses = list(np.linspace(1.0, 0.01, 100)) + list(np.linspace(0.01, 10.0, 100))
+        audit = audit_training_trace(losses, divergence_threshold=5.0)
+        assert not audit.is_stable
+        assert audit.divergence > 5.0
+
+    def test_audit_accepts_clean_descent(self):
+        losses = list(np.linspace(1.0, 0.05, 300))
+        assert audit_training_trace(losses).is_stable
+
+    def test_audit_counts_nonfinite(self):
+        audit = audit_training_trace([1.0, float("nan"), 0.5])
+        assert audit.n_nonfinite == 1
+        assert not audit.is_stable
+
+    def test_checked_forward_raises_on_nan(self):
+        class Bad:
+            def forward(self, x, training=False):
+                return np.full_like(x, np.nan)
+
+        with pytest.raises(NumericalInstabilityError):
+            checked_forward(Bad(), np.ones((1, 2)))
+
+
+class TestParadigms:
+    def test_paradigm_result_fields(self):
+        res = run_paradigm(1, steps=300, seed=0)
+        assert res.name == "paradigm-1"
+        assert res.final_coverage >= 0
+        assert np.isfinite(res.loss_oscillation)
+        assert res.wall_time > 0
+
+    def test_mixture_label(self):
+        res = run_paradigm(2, steps=200, seed=0, n_generators=2)
+        assert "mixture(2)" in res.name
+
+    def test_row_rendering(self):
+        res = run_paradigm(2, steps=200, seed=1)
+        row = res.as_row()
+        assert "modes" in row and "osc" in row

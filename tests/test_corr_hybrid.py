@@ -1,0 +1,114 @@
+"""Tests for CoRR (convex relaxation regression) and memetic PSO."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.convex import CoRRConfig, corr_minimize, fit_convex_quadratic
+from repro.pso import HybridConfig, PSOConfig, hybrid_optimize, optimize, rastrigin, rosenbrock, sphere
+
+
+class TestFitConvexQuadratic:
+    def test_recovers_convex_quadratic_exactly(self):
+        rng = np.random.default_rng(0)
+        p_true = np.array([[2.0, 0.5], [0.5, 1.0]])
+        b_true = np.array([-1.0, 0.5])
+        c_true = 3.0
+        pts = rng.uniform(-2, 2, (30, 2))
+        vals = 0.5 * np.einsum("si,ij,sj->s", pts, p_true, pts) + pts @ b_true + c_true
+        p, b, c = fit_convex_quadratic(pts, vals, underestimate=False)
+        assert np.allclose(p, p_true, atol=1e-8)
+        assert np.allclose(b, b_true, atol=1e-8)
+        assert c == pytest.approx(c_true, abs=1e-8)
+
+    def test_underestimation_holds_on_samples(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(-2, 2, (40, 2))
+        vals = np.array([rastrigin(x) for x in pts])
+        p, b, c = fit_convex_quadratic(pts, vals, underestimate=True)
+        fitted = 0.5 * np.einsum("si,ij,sj->s", pts, p, pts) + pts @ b + c
+        assert np.all(fitted <= vals + 1e-8)
+
+    def test_fitted_hessian_is_psd(self):
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(-1, 1, (30, 2))
+        vals = -np.sum(pts**2, axis=1)  # concave target
+        p, _, _ = fit_convex_quadratic(pts, vals)
+        assert np.linalg.eigvalsh(p)[0] >= -1e-10
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_convex_quadratic(np.zeros((3, 2)), np.zeros(3))
+
+
+class TestCoRRMinimize:
+    def test_convex_objective_found(self):
+        cfg = CoRRConfig(n_samples=30, n_rounds=6)
+        res = corr_minimize(sphere, *sphere.bounds(2), config=cfg, seed=0)
+        assert res.best_value < 0.1
+
+    def test_round_bests_monotone(self):
+        res = corr_minimize(sphere, *sphere.bounds(2),
+                            config=CoRRConfig(n_samples=25, n_rounds=5), seed=1)
+        rb = res.round_bests
+        assert all(a >= b - 1e-12 for a, b in zip(rb, rb[1:]))
+
+    def test_multimodal_reaches_good_basin(self):
+        res = corr_minimize(rastrigin, *rastrigin.bounds(2),
+                            config=CoRRConfig(n_samples=60, n_rounds=8), seed=2)
+        assert res.best_value < 10.0  # a good basin, not necessarily global
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            CoRRConfig(shrink=1.5)
+        with pytest.raises(ConfigurationError):
+            CoRRConfig(n_samples=2)
+
+    def test_stays_in_box(self):
+        res = corr_minimize(sphere, *sphere.bounds(3),
+                            config=CoRRConfig(n_samples=25, n_rounds=4), seed=3)
+        lo, hi = sphere.bounds(3)
+        assert np.all(res.best_x >= lo) and np.all(res.best_x <= hi)
+
+
+class TestHybridPSO:
+    def test_rosenbrock_beats_plain_pso(self):
+        """§II-B's hybridization claim: the local polish accelerates
+        convergence on valley-shaped objectives."""
+        cfg = PSOConfig(swarm_size=12, max_generations=60)
+        plain_vals, hybrid_vals = [], []
+        for seed in range(4):
+            plain_vals.append(optimize(rosenbrock, *rosenbrock.bounds(2),
+                                       config=cfg, seed=seed).best_value)
+            hybrid_vals.append(hybrid_optimize(rosenbrock, *rosenbrock.bounds(2),
+                                               config=cfg,
+                                               hybrid=HybridConfig(period=10, local_iters=30),
+                                               seed=seed).best_value)
+        assert np.median(hybrid_vals) <= np.median(plain_vals) + 1e-12
+
+    def test_result_contract(self):
+        res = hybrid_optimize(sphere, *sphere.bounds(2),
+                              config=PSOConfig(swarm_size=8, max_generations=25),
+                              hybrid=HybridConfig(period=5, local_iters=10), seed=0)
+        assert res.best_value < 1e-4
+        assert len(res.history) == 26
+        h = np.array(res.history)
+        assert np.all(np.diff(h) <= 1e-12)
+
+    def test_elite_polish(self):
+        res = hybrid_optimize(sphere, *sphere.bounds(2),
+                              config=PSOConfig(swarm_size=8, max_generations=20),
+                              hybrid=HybridConfig(period=5, local_iters=10,
+                                                  polish_elites=2), seed=1)
+        assert res.best_value < 1e-4
+
+    def test_best_stays_in_box(self):
+        res = hybrid_optimize(sphere, *sphere.bounds(2),
+                              config=PSOConfig(swarm_size=6, max_generations=15),
+                              seed=2)
+        lo, hi = sphere.bounds(2)
+        assert np.all(res.best_x >= lo) and np.all(res.best_x <= hi)
+
+    def test_invalid_hybrid_config(self):
+        with pytest.raises(ConfigurationError):
+            HybridConfig(period=0)

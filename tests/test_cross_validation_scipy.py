@@ -1,0 +1,135 @@
+"""Cross-validation of the from-scratch solvers against scipy oracles.
+
+scipy is never used inside the library (the mandate is from-scratch
+substrates), but it is a fine independent referee for the test suite.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import scipy.fft
+import scipy.optimize
+import scipy.signal
+
+from repro.convex import LPProblem, solve_lp
+from repro.exceptions import InfeasibleError
+from repro.signal import fft, irfft, rfft, get_window, hann
+
+
+class TestLPAgainstScipy:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2000))
+    def test_random_inequality_lp(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = 4, 6
+        g = rng.standard_normal((m, n))
+        # rhs chosen so x = 0 is strictly feasible
+        h = np.abs(rng.standard_normal(m)) + 0.5
+        c = rng.standard_normal(n)
+        lo, hi = -2 * np.ones(n), 2 * np.ones(n)
+        ours = solve_lp(LPProblem(c=c, g=g, h=h, lo=lo, hi=hi))
+        ref = scipy.optimize.linprog(c, A_ub=g, b_ub=h, bounds=list(zip(lo, hi)),
+                                     method="highs")
+        assert ref.success
+        assert ours.objective == pytest.approx(ref.fun, abs=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2000))
+    def test_random_equality_lp(self, seed):
+        rng = np.random.default_rng(seed + 7)
+        n = 5
+        a = rng.standard_normal((2, n))
+        x_feas = rng.uniform(0.2, 0.8, n)
+        b = a @ x_feas
+        c = rng.standard_normal(n)
+        ours = solve_lp(LPProblem(c=c, a=a, b=b, lo=np.zeros(n), hi=np.ones(n)))
+        ref = scipy.optimize.linprog(c, A_eq=a, b_eq=b, bounds=[(0, 1)] * n,
+                                     method="highs")
+        assert ref.success
+        assert ours.objective == pytest.approx(ref.fun, abs=1e-6)
+
+    def test_infeasible_agrees(self):
+        # x >= 2 and x <= 1
+        lp = LPProblem(c=np.array([1.0]), g=np.array([[-1.0], [1.0]]),
+                       h=np.array([-2.0, 1.0]))
+        with pytest.raises(InfeasibleError):
+            solve_lp(lp)
+        ref = scipy.optimize.linprog(np.array([1.0]), A_ub=[[-1.0], [1.0]],
+                                     b_ub=[-2.0, 1.0], bounds=[(None, None)],
+                                     method="highs")
+        assert not ref.success
+
+
+class TestFFTAgainstScipy:
+    @pytest.mark.parametrize("n", [7, 16, 33, 100, 128])
+    def test_fft(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        assert np.allclose(fft(x), scipy.fft.fft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("n", [8, 9, 64, 65])
+    def test_rfft_roundtrip(self, n):
+        rng = np.random.default_rng(n + 1)
+        x = rng.standard_normal(n)
+        assert np.allclose(rfft(x), scipy.fft.rfft(x), atol=1e-9)
+        assert np.allclose(irfft(scipy.fft.rfft(x), n=n), x, atol=1e-9)
+
+
+class TestWindowsAgainstScipy:
+    def test_hann_periodic(self):
+        ours = hann(64)
+        theirs = scipy.signal.get_window("hann", 64, fftbins=True)
+        assert np.allclose(ours, theirs, atol=1e-12)
+
+    def test_hamming_periodic(self):
+        ours = get_window("hamming", 48)
+        theirs = scipy.signal.get_window("hamming", 48, fftbins=True)
+        assert np.allclose(ours, theirs, atol=1e-12)
+
+    def test_blackman_periodic(self):
+        ours = get_window("blackman", 32)
+        theirs = scipy.signal.get_window("blackman", 32, fftbins=True)
+        assert np.allclose(ours, theirs, atol=1e-12)
+
+
+class TestQPAgainstScipy:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_box_qp_against_slsqp(self, seed):
+        from repro.convex import solve_box_qp
+        from repro.linalg import random_psd
+
+        rng = np.random.default_rng(seed)
+        n = 4
+        p = random_psd(n, rng) + 0.2 * np.eye(n)
+        q = rng.standard_normal(n)
+        lo, hi = -np.ones(n), np.ones(n)
+        ours = solve_box_qp(p, q, lo, hi)
+        ref = scipy.optimize.minimize(
+            lambda x: 0.5 * x @ p @ x + q @ x,
+            np.zeros(n),
+            jac=lambda x: p @ x + q,
+            bounds=list(zip(lo, hi)),
+            method="L-BFGS-B",
+        )
+        assert ours.objective == pytest.approx(ref.fun, abs=1e-5)
+
+
+class TestWaterFillingAgainstScipy:
+    def test_against_constrained_optimizer(self):
+        from repro.qos import sum_rate, water_filling
+
+        rng = np.random.default_rng(3)
+        g = rng.uniform(1e-10, 1e-8, 6)
+        noise = 1e-10
+        total = 30.0
+        ours = water_filling(g, total, noise)
+        ref = scipy.optimize.minimize(
+            lambda p: -sum_rate(g, p, noise),
+            np.full(6, total / 6),
+            bounds=[(0, total)] * 6,
+            constraints=[{"type": "eq", "fun": lambda p: p.sum() - total}],
+            method="SLSQP",
+        )
+        assert sum_rate(g, ours, noise) >= -ref.fun - 1e-3

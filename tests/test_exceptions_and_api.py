@@ -1,0 +1,79 @@
+"""Tests for the exception hierarchy and public API surface."""
+
+import importlib
+
+import pytest
+
+from repro import exceptions
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("ConfigurationError", "DimensionError", "ConvergenceError",
+                     "InfeasibleError", "UnboundedError", "NonConvexError",
+                     "NumericalInstabilityError", "VerificationError",
+                     "SignalProcessingError"):
+            cls = getattr(exceptions, name)
+            assert issubclass(cls, exceptions.ReproError)
+
+    def test_dimension_error_is_value_error(self):
+        assert issubclass(exceptions.DimensionError, ValueError)
+
+    def test_convergence_error_carries_metadata(self):
+        err = exceptions.ConvergenceError("stalled", iterations=42, residual=1e-3)
+        assert err.iterations == 42
+        assert err.residual == pytest.approx(1e-3)
+
+    def test_single_catch_at_boundary(self):
+        """Callers can catch ReproError alone at an API boundary."""
+        import numpy as np
+
+        from repro.convex import LPProblem, solve_lp
+
+        with pytest.raises(exceptions.ReproError):
+            solve_lp(LPProblem(c=np.array([1.0]), g=np.array([[-1.0], [1.0]]),
+                               h=np.array([-2.0, 1.0])))
+
+
+class TestPublicAPI:
+    @pytest.mark.parametrize("module", [
+        "repro", "repro.numerics", "repro.linalg", "repro.signal",
+        "repro.convex", "repro.minlp", "repro.pso", "repro.nn",
+        "repro.verify", "repro.qos", "repro.core",
+    ])
+    def test_all_exports_resolve(self, module):
+        mod = importlib.import_module(module)
+        assert hasattr(mod, "__all__")
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.__all__ lists missing {name!r}"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+
+class TestExamplesCompile:
+    @pytest.mark.parametrize("example", [
+        "quickstart", "qos_resource_allocation", "robust_verification",
+        "stft_phase_conventions", "gan_mode_collapse", "nonconvex_routes",
+    ])
+    def test_example_compiles(self, example):
+        import pathlib
+        import py_compile
+
+        path = pathlib.Path(__file__).resolve().parents[1] / "examples" / f"{example}.py"
+        assert path.exists()
+        py_compile.compile(str(path), doraise=True)
+
+
+class TestCLITour:
+    def test_main_module_runs(self, capsys):
+        """`python -m repro` — the guided tour must execute end to end."""
+        from repro.__main__ import main
+
+        main()
+        out = capsys.readouterr().out
+        assert "detector battery" in out
+        assert "RCR architectural stack" in out
+        assert "QoS RRA frame" in out

@@ -1,0 +1,141 @@
+"""Failure-injection tests: corrupted state must be *detected*, not
+silently propagated — the operational face of the paper's numerical-
+stability program."""
+
+import numpy as np
+import pytest
+
+from repro.core import audit_training_trace, checked_forward, network_amplification
+from repro.exceptions import (
+    ConfigurationError,
+    NumericalInstabilityError,
+    ReproError,
+)
+from repro.nn import Adam, Dense, ReLU, Sequential, bce_with_logits_loss
+from repro.numerics import ForwardStabilityMonitor, guard_finite
+from repro.signal.issues import (
+    detect_fft_roundtrip_error,
+    detect_istft_reconstruction,
+    detect_parseval_violation,
+)
+
+
+class TestCorruptedWeights:
+    def _net(self):
+        rng = np.random.default_rng(0)
+        return Sequential([Dense(2, 4, rng=rng), ReLU(), Dense(4, 1, rng=rng)])
+
+    def test_nan_weight_caught_by_checked_forward(self):
+        # corrupt the OUTPUT layer: a NaN in a hidden layer can be masked
+        # by a downstream ReLU (NaN > 0 is False), which is precisely why
+        # the guard checks the actual output
+        net = self._net()
+        net.layers[2].w[0, 0] = np.nan
+        with pytest.raises(NumericalInstabilityError):
+            checked_forward(net, np.ones((2, 2)))
+
+    def test_hidden_layer_nan_can_be_masked_by_relu(self):
+        """Documents the failure mode: ReLU silently launders NaN (the
+        comparison NaN > 0 is False, so the activation outputs 0)."""
+        net = self._net()
+        net.layers[0].w[0, 0] = np.nan
+        out = net.forward(np.ones((2, 2)), training=False)
+        assert np.all(np.isfinite(out))  # the NaN vanished — hence output guards
+
+    def test_inf_weight_caught(self):
+        net = self._net()
+        net.layers[2].w[0, 0] = np.inf
+        with pytest.raises(NumericalInstabilityError):
+            checked_forward(net, np.ones((2, 2)))
+
+    def test_clean_net_passes(self):
+        net = self._net()
+        out = checked_forward(net, np.ones((2, 2)))
+        assert out.shape == (2, 1)
+
+    def test_huge_weights_flagged_by_amplification(self):
+        net = self._net()
+        net.layers[0].w *= 1e6
+        amp = network_amplification(net, np.zeros((2, 2)))
+        mon = ForwardStabilityMonitor(budget=100.0)
+        mon.record(0, amp)
+        assert not mon.is_forward_stable()
+
+
+class TestDivergentTraining:
+    def test_exploding_lr_is_flagged_by_audit(self):
+        """An absurd learning rate must produce a trace the stability
+        audit rejects (oscillation/divergence/NaN), never a quiet pass."""
+        rng = np.random.default_rng(1)
+        net = Sequential([Dense(2, 8, rng=rng), ReLU(), Dense(8, 1, rng=rng)])
+        opt = Adam(net, lr=1e3)
+        x = rng.standard_normal((32, 2))
+        y = (x[:, :1] > 0).astype(float)
+        losses = []
+        for _ in range(120):
+            out = net.forward(x, training=True)
+            with np.errstate(all="ignore"):
+                loss, grad = bce_with_logits_loss(out, y)
+            losses.append(loss)
+            net.backward(grad)
+            opt.step()
+        audit = audit_training_trace(losses, oscillation_threshold=0.2,
+                                     divergence_threshold=2.0)
+        assert not audit.is_stable
+
+    def test_guard_finite_reports_counts(self):
+        arr = np.array([1.0, np.nan, np.inf, np.nan])
+        with pytest.raises(NumericalInstabilityError, match="2 NaN, 1 Inf"):
+            guard_finite(arr)
+
+
+class TestSeededKernelBugs:
+    """Every seeded bug must be caught by at least one Fig. 3 detector."""
+
+    def test_scaled_fft_caught(self):
+        buggy = lambda x: 1.0000001 * np.fft.fft(x)
+        issues = detect_parseval_violation(buggy, library="seeded", threshold=1e-9)
+        assert issues
+
+    def test_forward_for_inverse_caught(self):
+        # classic sign-convention bug: using the forward kernel (plus 1/N)
+        # as the inverse time-reverses the signal
+        buggy_ifft = lambda x: np.fft.fft(x) / len(np.asarray(x))
+        issues = detect_fft_roundtrip_error(np.fft.fft, buggy_ifft, library="seeded")
+        assert issues
+
+    def test_phase_dropping_istft_would_be_caught(self):
+        """A pipeline that drops phase (magnitude-only resynthesis)
+        cannot reconstruct; the ISTFT detector sees it."""
+        from repro.signal import get_window, istft, stft
+        from repro.signal.stft import STFTResult
+
+        s = np.cos(2 * np.pi * 0.1 * np.arange(256))
+        g = get_window("hann", 32)
+        res = stft(s, g, hop=8, n_fft=64)
+        broken = STFTResult(
+            coefficients=np.abs(res.coefficients).astype(complex),
+            window=res.window, hop=res.hop, n_fft=res.n_fft,
+            convention=res.convention, signal_length=res.signal_length,
+        )
+        rec = istft(broken)
+        err = np.linalg.norm(np.real(rec) - s) / np.linalg.norm(s)
+        assert err > 0.1  # phase loss is catastrophic and measurable
+
+
+class TestAPIErrorDiscipline:
+    """Errors must be library exceptions, not bare ValueErrors from numpy."""
+
+    def test_solver_errors_derive_from_repro_error(self):
+        from repro.convex import LPProblem, solve_lp
+
+        with pytest.raises(ReproError):
+            solve_lp(LPProblem(c=np.array([1.0]),
+                               g=np.array([[1.0], [-1.0]]),
+                               h=np.array([-1.0, -1.0])))
+
+    def test_config_errors_are_typed(self):
+        from repro.pso import PSOConfig
+
+        with pytest.raises(ConfigurationError):
+            PSOConfig(swarm_size=0)

@@ -1,0 +1,72 @@
+"""Tests for the input-splitting complete verifier."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, ReLU, Sequential
+from repro.verify import (
+    crown_margin_lower_bound,
+    exact_margin_bound,
+    input_split_margin_bound,
+    smt_margin_bound,
+)
+
+
+def _relu_net(seed=0, widths=(2, 5, 5, 2)):
+    rng = np.random.default_rng(seed)
+    layers = []
+    for a, b in zip(widths[:-1], widths[1:]):
+        layers.append(Dense(a, b, rng=rng))
+        layers.append(ReLU())
+    layers.pop()
+    return Sequential(layers)
+
+
+class TestInputSplit:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_agrees_with_both_other_complete_engines(self, seed):
+        """Three independent complete engines (MILP, SMT phase split,
+        input split) must agree on the minimum margin."""
+        net = _relu_net(seed)
+        rng = np.random.default_rng(seed + 50)
+        x0 = rng.uniform(-0.3, 0.3, 2)
+        c = np.array([1.0, -1.0])
+        eps = 0.12
+        milp = exact_margin_bound(net, x0, eps, c).margin
+        smt = smt_margin_bound(net, x0, eps, c).margin
+        isp = input_split_margin_bound(net, x0, eps, c, gap_tol=1e-4)
+        assert isp.converged
+        assert isp.margin == pytest.approx(milp, abs=1e-3)
+        assert isp.margin == pytest.approx(smt, abs=1e-3)
+
+    def test_gap_contract(self):
+        net = _relu_net(1)
+        res = input_split_margin_bound(net, np.zeros(2), 0.1,
+                                       np.array([1.0, -1.0]), gap_tol=1e-3)
+        assert res.converged
+        assert res.gap <= 1e-3 + 1e-9
+        assert res.lower_bound <= res.margin
+
+    def test_tightens_beyond_single_crown_call(self):
+        """Splitting must (weakly) improve the one-shot CROWN bound."""
+        net = _relu_net(2)
+        x0 = np.array([0.1, -0.1])
+        c = np.array([1.0, -1.0])
+        eps = 0.3
+        one_shot = crown_margin_lower_bound(net, x0, eps, c)
+        res = input_split_margin_bound(net, x0, eps, c, gap_tol=1e-4)
+        assert res.lower_bound >= one_shot - 1e-9
+
+    def test_domain_budget_reports_incomplete(self):
+        net = _relu_net(3, widths=(2, 8, 8, 2))
+        res = input_split_margin_bound(net, np.zeros(2), 0.5,
+                                       np.array([1.0, -1.0]),
+                                       gap_tol=1e-8, max_domains=5)
+        assert not res.converged
+        assert res.lower_bound <= res.margin
+
+    def test_worst_point_within_ball(self):
+        net = _relu_net(4)
+        x0 = np.array([0.2, 0.2])
+        res = input_split_margin_bound(net, x0, 0.1, np.array([1.0, -1.0]))
+        assert np.all(np.abs(res.x_worst - x0) <= 0.1 + 1e-9)

@@ -1,0 +1,90 @@
+"""Cross-package integration tests: the pipelines a downstream user runs."""
+
+import numpy as np
+import pytest
+
+from repro.core import RobustConvexRelaxation, run_rcr_stack
+from repro.core.tuning import evaluate_detector, train_detector
+from repro.nn import (
+    Adam,
+    MSY3IConfig,
+    make_detector,
+    spectrogram_detection_batch,
+)
+from repro.qos import Scheduler
+from repro.verify import RobustnessSpec
+
+
+class TestSignalToDetectorPipeline:
+    """STFT spectrograms -> MSY3I -> detection quality: the paper's
+    'signal detection and classification in 5G' workload end to end."""
+
+    def test_detector_learns_to_detect_bursts(self):
+        cfg = MSY3IConfig(base_channels=8, n_stages=2, n_classes=2)
+        det = make_detector(cfg, squeezed=True, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        opt = Adam(det, lr=8e-3)
+        for _ in range(80):
+            imgs, obj, cls = spectrogram_detection_batch(8, grid=4, cell_pixels=4,
+                                                         snr_db=15.0, rng=rng)
+            pred = det.forward(imgs, training=True)
+            loss, grad = det.loss_and_grad(pred, obj, cls)
+            det.backward(grad)
+            opt.step()
+        imgs, obj, cls = spectrogram_detection_batch(32, grid=4, cell_pixels=4,
+                                                     snr_db=15.0,
+                                                     rng=np.random.default_rng(99))
+        metrics = det.cell_accuracy(imgs, obj, cls)
+        # trained detector must beat the all-negative baseline
+        base_acc = 1.0 - obj.mean()
+        assert metrics["objectness_accuracy"] > base_acc
+        assert metrics["recall"] > 0.3
+
+    def test_squeezed_and_full_learn_comparably(self):
+        """The §II-B-1 'slightest degradation' claim at pipeline level."""
+        scores = {}
+        for squeezed in (True, False):
+            cfg = MSY3IConfig(base_channels=8, n_stages=2)
+            det = make_detector(cfg, squeezed=squeezed, rng=np.random.default_rng(2))
+            train_detector(det, steps=50, lr=8e-3, seed=2)
+            scores[squeezed] = evaluate_detector(det, n_batches=3)
+        # squeezed validation loss within 2x of full
+        assert scores[True] <= 2.0 * scores[False] + 0.1
+
+
+class TestSchedulerStrategies:
+    @pytest.mark.parametrize("strategy", ["exact", "pso"])
+    def test_heavier_strategies_run(self, strategy):
+        sch = Scheduler(n_users=2, strategy=strategy, rate_floor_scale=0.02, seed=3,
+                        channel=None)
+        rep = sch.run(2)
+        assert len(rep.frames) == 2
+        assert rep.mean_rate > 0
+
+    def test_exact_at_least_greedy_quality(self):
+        results = {}
+        for strategy in ("exact", "greedy"):
+            sch = Scheduler(n_users=2, strategy=strategy, rate_floor_scale=0.02, seed=4)
+            results[strategy] = sch.run(3).mean_rate
+        assert results["exact"] >= results["greedy"] - 1e-6
+
+
+class TestStackToVerifierPipeline:
+    def test_stack_output_verifiable(self):
+        """The model the stack trains is consumable by the verifier API."""
+        report = run_rcr_stack(swarm_size=4, generations=2,
+                               tuning_train_steps=5, robust_epochs=5, seed=5)
+        assert report.stage("rcr-paradigm").metrics["margin_lower_bound"] is not None
+
+    def test_rcr_certify_consistency_with_chain(self):
+        from repro.nn import Dense, ReLU, Sequential
+
+        rng = np.random.default_rng(6)
+        net = Sequential([Dense(2, 5, rng=rng), ReLU(), Dense(5, 2, rng=rng)])
+        rcr = RobustConvexRelaxation(net)
+        spec = RobustnessSpec(np.array([0.2, 0.1]), 0.05, np.array([1.0, -1.0]))
+        final, attempts = rcr.certify(spec)
+        chain = rcr.relaxation_chain(spec)
+        # the final certify verdict must agree with the exact chain bound
+        exact_bound = chain.exact_value
+        assert (exact_bound > 0) == final.verified or not final.complete

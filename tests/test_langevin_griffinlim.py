@@ -1,0 +1,108 @@
+"""Tests for the Langevin optimizer and Griffin-Lim phase recovery."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SignalProcessingError
+from repro.convex import LangevinConfig, langevin_minimize
+from repro.pso import rastrigin, sphere
+from repro.signal import get_window, griffin_lim, linear_chirp, stft
+
+
+class TestLangevinConfig:
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            LangevinConfig(step_size=0.0)
+        with pytest.raises(ConfigurationError):
+            LangevinConfig(cooling=0.0)
+        with pytest.raises(ConfigurationError):
+            LangevinConfig(n_chains=0)
+
+
+class TestLangevinOptimization:
+    def test_sphere_converges(self):
+        cfg = LangevinConfig(step_size=5e-3, temperature=0.5, cooling=0.995,
+                             n_steps=1500, n_chains=2)
+        res = langevin_minimize(sphere, *sphere.bounds(3), config=cfg, seed=1)
+        assert res.best_value < 0.5
+        assert res.evaluations == 2 * (1500 + 1)
+
+    def test_iterates_stay_in_box(self):
+        cfg = LangevinConfig(step_size=1e-2, temperature=5.0, cooling=1.0,
+                             n_steps=300, n_chains=1)
+        res = langevin_minimize(sphere, *sphere.bounds(2), config=cfg, seed=2)
+        lo, hi = sphere.bounds(2)
+        assert np.all(res.best_x >= lo) and np.all(res.best_x <= hi)
+
+    def test_history_monotone_nonincreasing(self):
+        res = langevin_minimize(sphere, *sphere.bounds(2),
+                                config=LangevinConfig(n_steps=300, n_chains=1), seed=3)
+        h = np.array(res.history)
+        assert np.all(np.diff(h) <= 1e-12)
+
+    def test_analytic_gradient_accepted(self):
+        grad = lambda x: 2.0 * x
+        res = langevin_minimize(sphere, *sphere.bounds(2),
+                                config=LangevinConfig(step_size=5e-3, cooling=0.99,
+                                                      n_steps=800, n_chains=2),
+                                grad=grad, seed=4)
+        assert res.best_value < 0.5
+
+    def test_annealing_beats_cold_chain_on_multimodal(self):
+        """The paper's §I caveat — 'possibility of premature stagnation of
+        particles at local optima' — afflicts the cold (constant low-T)
+        chain; annealing from a hot start escapes basins."""
+        annealed = LangevinConfig(step_size=2e-3, temperature=2.0, cooling=0.998,
+                                  n_steps=2000, n_chains=3)
+        cold = LangevinConfig(step_size=2e-3, temperature=1e-4, cooling=1.0,
+                              n_steps=2000, n_chains=3)
+        vals_a, vals_c = [], []
+        for seed in range(4):
+            vals_a.append(langevin_minimize(rastrigin, *rastrigin.bounds(2),
+                                            config=annealed, seed=seed).best_value)
+            vals_c.append(langevin_minimize(rastrigin, *rastrigin.bounds(2),
+                                            config=cold, seed=seed).best_value)
+        assert np.mean(vals_a) <= np.mean(vals_c) + 1.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            langevin_minimize(sphere, np.ones(2), np.zeros(2))
+
+
+class TestGriffinLim:
+    def _target(self, n=384):
+        s = linear_chirp(n, f0=0.05, f1=0.25)
+        g = get_window("hann", 32)
+        ref = stft(s, g, hop=8, n_fft=64)
+        return s, g, np.abs(ref.coefficients)
+
+    def test_convergence_decreases(self):
+        s, g, mag = self._target()
+        res = griffin_lim(mag, g, hop=8, n_fft=64, signal_length=len(s), n_iter=40)
+        assert res.convergence[-1] < res.convergence[0]
+        assert res.final_error < 0.3
+
+    def test_recovered_signal_shape(self):
+        s, g, mag = self._target()
+        res = griffin_lim(mag, g, hop=8, n_fft=64, signal_length=len(s), n_iter=5)
+        assert res.signal.shape == (len(s),)
+        assert np.isrealobj(res.signal)
+
+    def test_recovered_spectrogram_matches_target(self):
+        s, g, mag = self._target()
+        res = griffin_lim(mag, g, hop=8, n_fft=64, signal_length=len(s), n_iter=80)
+        rec = stft(res.signal, g, hop=8, n_fft=64)
+        rec_mag = np.abs(rec.coefficients)[:, : mag.shape[1]]
+        rel = np.linalg.norm(rec_mag - mag) / np.linalg.norm(mag)
+        assert rel < 0.25
+
+    def test_shape_validation(self):
+        g = get_window("hann", 32)
+        with pytest.raises(SignalProcessingError):
+            griffin_lim(np.ones((10, 5)), g, hop=8, n_fft=64, signal_length=100)
+
+    def test_iteration_validation(self):
+        g = get_window("hann", 32)
+        with pytest.raises(SignalProcessingError):
+            griffin_lim(np.ones((64, 5)), g, hop=8, n_fft=64,
+                        signal_length=100, n_iter=0)

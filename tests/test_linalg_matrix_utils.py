@@ -1,0 +1,97 @@
+"""Tests for matrix helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.linalg import (
+    block_matrix,
+    effective_rank,
+    low_rank_approx,
+    numerical_rank,
+    power_iteration,
+    random_psd,
+    solve_regularized,
+    spectral_norm,
+    unvec,
+    vec,
+)
+
+
+class TestPowerIteration:
+    def test_diagonal_dominant_eigenpair(self):
+        a = np.diag([5.0, 2.0, 1.0])
+        lam, v = power_iteration(a)
+        assert lam == pytest.approx(5.0, rel=1e-8)
+        assert abs(v[0]) == pytest.approx(1.0, rel=1e-6)
+
+    def test_matches_eigh_random_psd(self):
+        a = random_psd(8, np.random.default_rng(0))
+        lam, _ = power_iteration(a)
+        assert lam == pytest.approx(np.linalg.eigvalsh(a)[-1], rel=1e-6)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(DimensionError):
+            power_iteration(np.ones((2, 3)))
+
+    def test_zero_matrix(self):
+        lam, _ = power_iteration(np.zeros((3, 3)))
+        assert lam == 0.0
+
+
+class TestSpectralNorm:
+    def test_matches_svd(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((5, 7))
+        assert spectral_norm(a) == pytest.approx(np.linalg.svd(a, compute_uv=False)[0], rel=1e-6)
+
+
+class TestRank:
+    def test_numerical_rank(self):
+        a = np.diag([1.0, 1e-3, 0.0])
+        assert numerical_rank(a) == 2
+
+    def test_effective_rank_uniform_spectrum(self):
+        assert effective_rank(np.eye(5)) == pytest.approx(5.0, rel=1e-9)
+
+    def test_effective_rank_concentrated(self):
+        a = np.diag([100.0, 1e-9, 1e-9])
+        assert effective_rank(a) < 1.1
+
+    def test_low_rank_approx_error(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((6, 6))
+        a2 = low_rank_approx(a, 2)
+        assert numerical_rank(a2) <= 2
+        # optimality: error equals the tail singular values
+        s = np.linalg.svd(a, compute_uv=False)
+        assert np.linalg.norm(a - a2) == pytest.approx(np.sqrt(np.sum(s[2:] ** 2)), rel=1e-9)
+
+
+class TestBlockVec:
+    def test_block_matrix_lmi_shape(self):
+        """The Eq. 10 LMI block [[W1, Rc], [Rc^T, W2]] assembles correctly."""
+        w1 = np.eye(2)
+        w2 = 2 * np.eye(3)
+        rc = np.ones((2, 3))
+        m = block_matrix([[w1, rc], [rc.T, w2]])
+        assert m.shape == (5, 5)
+        assert np.allclose(m[:2, 2:], rc)
+        assert np.allclose(m, m.T)
+
+    def test_vec_unvec_roundtrip(self):
+        a = np.arange(6.0).reshape(2, 3)
+        assert np.allclose(unvec(vec(a), (2, 3)), a)
+
+
+class TestSolveRegularized:
+    def test_well_posed_system(self):
+        a = np.array([[2.0, 0.0], [0.0, 3.0]])
+        b = np.array([4.0, 9.0])
+        assert np.allclose(solve_regularized(a, b), [2.0, 3.0], atol=1e-6)
+
+    def test_singular_system_finite(self):
+        a = np.array([[1.0, 1.0], [1.0, 1.0]])
+        x = solve_regularized(a, np.array([2.0, 2.0]))
+        assert np.all(np.isfinite(x))
+        assert np.allclose(a @ x, [2.0, 2.0], atol=1e-4)

@@ -1,0 +1,133 @@
+"""Tests for PSD-cone utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import DimensionError, NonConvexError
+from repro.linalg import (
+    assert_psd,
+    cholesky_with_jitter,
+    is_pd,
+    is_psd,
+    is_symmetric,
+    min_eigenvalue,
+    nearest_psd,
+    project_psd,
+    psd_sqrt,
+    random_low_rank_psd,
+    random_psd,
+    symmetrize,
+)
+
+
+class TestSymmetrize:
+    def test_output_symmetric(self):
+        a = np.array([[1.0, 2.0], [0.0, 3.0]])
+        s = symmetrize(a)
+        assert np.allclose(s, s.T)
+        assert s[0, 1] == pytest.approx(1.0)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(DimensionError):
+            symmetrize(np.ones((2, 3)))
+
+    def test_is_symmetric(self):
+        assert is_symmetric(np.eye(3))
+        assert not is_symmetric(np.array([[0.0, 1.0], [0.0, 0.0]]))
+
+
+class TestPSDChecks:
+    def test_identity_is_pd(self):
+        assert is_psd(np.eye(3))
+        assert is_pd(np.eye(3))
+
+    def test_indefinite_rejected(self):
+        a = np.diag([1.0, -1.0])
+        assert not is_psd(a)
+        assert min_eigenvalue(a) == pytest.approx(-1.0)
+
+    def test_singular_psd_not_pd(self):
+        a = np.diag([1.0, 0.0])
+        assert is_psd(a)
+        assert not is_pd(a)
+
+    def test_assert_psd_raises_with_eigenvalue(self):
+        with pytest.raises(NonConvexError, match="min eig"):
+            assert_psd(np.diag([1.0, -2.0]), name="P1")
+
+
+class TestProjection:
+    def test_psd_fixed_point(self):
+        rng = np.random.default_rng(0)
+        a = random_psd(5, rng)
+        assert np.allclose(project_psd(a), a, atol=1e-10)
+
+    def test_projection_is_psd(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((6, 6))
+        assert is_psd(project_psd(a))
+
+    def test_projection_optimality(self):
+        """The projection must be closer (Frobenius) than other PSD matrices."""
+        a = np.diag([2.0, -1.0])
+        p = project_psd(a)
+        assert np.allclose(p, np.diag([2.0, 0.0]))
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            other = random_psd(2, rng)
+            assert np.linalg.norm(a - p) <= np.linalg.norm(a - other) + 1e-10
+
+    def test_nearest_psd_jitter_floor(self):
+        p = nearest_psd(np.diag([1.0, -1.0]), jitter=0.1)
+        assert min_eigenvalue(p) >= 0.1 - 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 6), st.integers(0, 10000))
+    def test_projection_idempotent(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n))
+        p1 = project_psd(a)
+        p2 = project_psd(p1)
+        assert np.allclose(p1, p2, atol=1e-9)
+
+
+class TestCholesky:
+    def test_pd_matrix_factors(self):
+        rng = np.random.default_rng(3)
+        a = random_psd(4, rng) + np.eye(4)
+        l = cholesky_with_jitter(a)
+        assert np.allclose(l @ l.T, a, atol=1e-8)
+
+    def test_semidefinite_needs_jitter_but_succeeds(self):
+        a = np.diag([1.0, 0.0])
+        l = cholesky_with_jitter(a)
+        assert np.all(np.isfinite(l))
+
+    def test_indefinite_raises(self):
+        with pytest.raises(NonConvexError):
+            cholesky_with_jitter(np.diag([1.0, -5.0]))
+
+
+class TestSqrt:
+    def test_sqrt_squares_back(self):
+        rng = np.random.default_rng(4)
+        a = random_psd(5, rng)
+        s = psd_sqrt(a)
+        assert np.allclose(s @ s, a, atol=1e-8)
+        assert is_psd(s)
+
+
+class TestGenerators:
+    def test_random_psd_properties(self):
+        a = random_psd(6, np.random.default_rng(5))
+        assert is_psd(a) and is_symmetric(a)
+
+    def test_low_rank_has_requested_rank(self):
+        a = random_low_rank_psd(8, 3, np.random.default_rng(6))
+        assert np.linalg.matrix_rank(a, tol=1e-8) == 3
+        assert is_psd(a)
+
+    def test_rank_bounds_checked(self):
+        with pytest.raises(DimensionError):
+            random_low_rank_psd(4, 5)

@@ -1,0 +1,118 @@
+"""Tests for link adaptation (reliability -> MCS -> rate) and PSO
+neighborhood topologies."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.pso import PSOConfig, optimize, rastrigin, sphere
+from repro.qos import (
+    DEFAULT_MCS_TABLE,
+    QoSRequirement,
+    bler,
+    effective_rate,
+    reliability_rate_table,
+    select_mcs,
+)
+
+
+class TestBLER:
+    def test_waterfall_monotone_in_snr(self):
+        mcs = DEFAULT_MCS_TABLE[3]
+        snrs = np.linspace(-5, 25, 31)
+        blers = [bler(mcs, s) for s in snrs]
+        assert all(a >= b - 1e-12 for a, b in zip(blers, blers[1:]))
+
+    def test_one_at_low_snr_zero_at_high(self):
+        mcs = DEFAULT_MCS_TABLE[5]
+        assert bler(mcs, -20.0) == pytest.approx(1.0)
+        assert bler(mcs, 40.0) < 1e-9
+
+
+class TestSelectMCS:
+    def test_higher_snr_higher_mcs(self):
+        low = select_mcs(0.0, 0.1)
+        high = select_mcs(20.0, 0.1)
+        assert low is not None and high is not None
+        assert high.spectral_efficiency > low.spectral_efficiency
+
+    def test_stricter_reliability_lower_mcs(self):
+        """URLLC's 1e-5 error budget forces a more robust MCS than
+        eMBB's 1e-2 at the same SINR — the diverse-QoS trade."""
+        relaxed = select_mcs(12.0, 1e-2)
+        strict = select_mcs(12.0, 1e-5)
+        assert relaxed is not None and strict is not None
+        assert strict.spectral_efficiency <= relaxed.spectral_efficiency
+
+    def test_unservable_link_returns_none(self):
+        assert select_mcs(-30.0, 1e-5) is None
+
+    def test_target_validation(self):
+        with pytest.raises(ConfigurationError):
+            select_mcs(10.0, 0.0)
+
+
+class TestEffectiveRate:
+    def _qos(self, reliability):
+        return QoSRequirement(min_rate_bps=0.0, max_latency_ms=1.0,
+                              reliability=reliability, priority=0)
+
+    def test_rate_monotone_in_snr(self):
+        qos = self._qos(0.99)
+        rates = [effective_rate(s, qos) for s in (-5.0, 5.0, 15.0, 25.0)]
+        assert all(a <= b + 1e-9 for a, b in zip(rates, rates[1:]))
+
+    def test_reliability_costs_rate(self):
+        embb = effective_rate(12.0, self._qos(0.99))
+        urllc = effective_rate(12.0, self._qos(0.99999))
+        assert urllc <= embb
+        assert urllc > 0  # still servable at 12 dB
+
+    def test_zero_when_unservable(self):
+        assert effective_rate(-30.0, self._qos(0.99999)) == 0.0
+
+    def test_table_rows(self):
+        rows = reliability_rate_table(12.0, [0.9, 0.99, 0.99999])
+        assert len(rows) == 3
+        rates = [r[2] for r in rows]
+        assert rates[0] >= rates[-1]
+
+
+class TestTopologies:
+    def test_invalid_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PSOConfig(topology="mesh")
+
+    def test_ring_converges_on_sphere(self):
+        res = optimize(sphere, *sphere.bounds(3),
+                       config=PSOConfig(swarm_size=20, max_generations=200,
+                                        topology="ring"), seed=0)
+        assert res.best_value < 1e-3
+
+    def test_gbest_converges_faster_on_unimodal(self):
+        """Star topology propagates the best instantly: on a unimodal
+        function it should reach a given precision in fewer generations
+        (statistically)."""
+        wins = 0
+        for seed in range(5):
+            star = optimize(sphere, *sphere.bounds(4),
+                            config=PSOConfig(swarm_size=16, max_generations=80,
+                                             topology="gbest"), seed=seed)
+            ring = optimize(sphere, *sphere.bounds(4),
+                            config=PSOConfig(swarm_size=16, max_generations=80,
+                                             topology="ring"), seed=seed)
+            wins += star.best_value <= ring.best_value
+        assert wins >= 3
+
+    def test_ring_competitive_on_multimodal(self):
+        """lbest's slower consensus resists premature convergence; on
+        Rastrigin it must stay within reach of gbest on average."""
+        star_vals, ring_vals = [], []
+        for seed in range(5):
+            star_vals.append(optimize(rastrigin, *rastrigin.bounds(3),
+                                      config=PSOConfig(swarm_size=24, max_generations=150,
+                                                       topology="gbest"), seed=seed).best_value)
+            ring_vals.append(optimize(rastrigin, *rastrigin.bounds(3),
+                                      config=PSOConfig(swarm_size=24, max_generations=150,
+                                                       topology="ring"), seed=seed).best_value)
+        assert np.mean(ring_vals) <= np.mean(star_vals) + 3.0

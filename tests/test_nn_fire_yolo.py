@@ -1,0 +1,138 @@
+"""Tests for fire layers and the YOLO-mini / MSY3I detector pair."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import (
+    DarknetMiniConfig,
+    FireLayer,
+    MSY3IConfig,
+    SpecialFireLayer,
+    build_darknet_mini,
+    build_msy3i,
+    conv_equivalent_params,
+    make_detector,
+    parameter_reduction,
+    spectrogram_detection_batch,
+)
+from repro.nn.network import Adam
+
+
+class TestFireLayer:
+    def test_shapes(self):
+        f = FireLayer(4, 8)
+        out = f.forward(np.zeros((2, 4, 8, 8)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_special_fire_downsamples(self):
+        f = SpecialFireLayer(4, 8)
+        out = f.forward(np.zeros((2, 4, 8, 8)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_param_reduction_vs_conv(self):
+        """The squeeze: fire layer params << the equivalent 3x3 conv."""
+        f = FireLayer(16, 32, squeeze_ratio=0.125)
+        assert f.n_params() < conv_equivalent_params(16, 32) / 2
+
+    def test_squeeze_ratio_controls_params(self):
+        small = FireLayer(16, 32, squeeze_ratio=0.0625).n_params()
+        large = FireLayer(16, 32, squeeze_ratio=0.5).n_params()
+        assert small < large
+
+    def test_odd_out_channels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FireLayer(4, 7)
+
+    def test_invalid_squeeze_ratio(self):
+        with pytest.raises(ConfigurationError):
+            FireLayer(4, 8, squeeze_ratio=0.0)
+
+    def test_gradient_flow(self):
+        rng = np.random.default_rng(0)
+        f = FireLayer(3, 6, rng=rng)
+        x = rng.standard_normal((2, 3, 6, 6))
+        out = f.forward(x, training=True)
+        g = rng.standard_normal(out.shape)
+        gin = f.backward(g)
+        assert gin.shape == x.shape
+        assert np.any(gin != 0)
+        assert all(np.any(v != 0) for v in f.grads().values())
+
+
+class TestBackbones:
+    def test_darknet_mini_output_shape(self):
+        cfg = DarknetMiniConfig(in_channels=1, base_channels=4, n_stages=3)
+        net = build_darknet_mini(cfg)
+        out = net.forward(np.zeros((2, 1, 32, 32)))
+        assert out.shape == (2, 16, 4, 4)  # 3 stride-2 stages, channels x4
+
+    def test_msy3i_matches_darknet_geometry(self):
+        cfg = MSY3IConfig(base_channels=4, n_stages=3)
+        net = build_msy3i(cfg)
+        out = net.forward(np.zeros((2, 1, 32, 32)))
+        assert out.shape == (2, 16, 4, 4)
+
+    def test_paper_claim_squeezed_has_fewer_params(self):
+        """'the number of model parameters in MSY3I will be lower than
+        that of just YOLO v3' (§II-B-1)."""
+        red = parameter_reduction(MSY3IConfig(base_channels=8, n_stages=3))
+        assert red["reduction_factor"] > 1.5
+        assert red["squeezed_params"] < red["full_params"]
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            MSY3IConfig(base_channels=3)  # odd
+        with pytest.raises(ConfigurationError):
+            MSY3IConfig(paradigm=7)
+
+
+class TestGridDetector:
+    def _data(self, batch=6):
+        return spectrogram_detection_batch(batch, grid=4, cell_pixels=4,
+                                           rng=np.random.default_rng(1))
+
+    def test_prediction_shapes(self):
+        cfg = MSY3IConfig(base_channels=4, n_stages=2, n_classes=2)
+        det = make_detector(cfg)
+        imgs, obj, cls = self._data()
+        pred = det.forward(imgs)
+        assert pred.shape == (6, 3, 4, 4)
+        probs, classes = det.predict(imgs)
+        assert probs.shape == (6, 4, 4)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_loss_decreases_with_training(self):
+        cfg = MSY3IConfig(base_channels=4, n_stages=2, n_classes=2)
+        det = make_detector(cfg, rng=np.random.default_rng(2))
+        opt = Adam(det, lr=5e-3)
+        rng = np.random.default_rng(3)
+        first, last = None, None
+        for step in range(40):
+            imgs, obj, cls = spectrogram_detection_batch(8, grid=4, cell_pixels=4, rng=rng)
+            pred = det.forward(imgs, training=True)
+            loss, grad = det.loss_and_grad(pred, obj, cls)
+            det.backward(grad)
+            opt.step()
+            if first is None:
+                first = loss
+            last = loss
+        assert last < first
+
+    def test_cell_accuracy_metrics(self):
+        cfg = MSY3IConfig(base_channels=4, n_stages=2, n_classes=2)
+        det = make_detector(cfg)
+        imgs, obj, cls = self._data()
+        metrics = det.cell_accuracy(imgs, obj, cls)
+        assert set(metrics) == {"objectness_accuracy", "recall", "class_accuracy"}
+        assert 0.0 <= metrics["objectness_accuracy"] <= 1.0
+
+    def test_loss_shape_mismatch_rejected(self):
+        from repro.exceptions import DimensionError
+
+        cfg = MSY3IConfig(base_channels=4, n_stages=2)
+        det = make_detector(cfg)
+        imgs, obj, cls = self._data()
+        pred = det.forward(imgs)
+        with pytest.raises(DimensionError):
+            det.loss_and_grad(pred, obj[:, :2, :2], cls)

@@ -1,0 +1,134 @@
+"""Tests for GAN machinery, mode-collapse metrics, and data generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import (
+    GANConfig,
+    GANTrainer,
+    MixtureOfGenerators,
+    build_discriminator,
+    build_generator,
+    gaussian_mixture_batch,
+    gaussian_mixture_centers,
+    high_quality_fraction,
+    mode_coverage,
+    spectrogram_detection_batch,
+)
+from repro.nn.layers import BatchNorm
+
+
+class TestDataGenerators:
+    def test_detection_batch_shapes(self):
+        imgs, obj, cls = spectrogram_detection_batch(5, grid=4, cell_pixels=4)
+        assert imgs.shape == (5, 1, 16, 16)
+        assert obj.shape == (5, 4, 4)
+        assert cls.shape == (5, 4, 4)
+        assert set(np.unique(obj)) <= {0.0, 1.0}
+        assert np.all((cls == 0) | (cls == 1))
+
+    def test_detection_batch_has_events(self):
+        _, obj, _ = spectrogram_detection_batch(8, rng=np.random.default_rng(0))
+        assert obj.sum() >= 8  # at least one event per image
+
+    def test_detection_images_normalized(self):
+        imgs, _, _ = spectrogram_detection_batch(4, rng=np.random.default_rng(1))
+        assert abs(imgs.mean()) < 0.2
+        assert 0.5 < imgs.std() < 2.0
+
+    def test_mixture_centers_on_ring(self):
+        centers = gaussian_mixture_centers(8, radius=2.0)
+        assert centers.shape == (8, 2)
+        assert np.allclose(np.linalg.norm(centers, axis=1), 2.0)
+
+    def test_mixture_batch_near_centers(self):
+        rng = np.random.default_rng(2)
+        samples = gaussian_mixture_batch(256, 8, 2.0, 0.05, rng=rng)
+        centers = gaussian_mixture_centers(8, 2.0)
+        d = np.linalg.norm(samples[:, None] - centers[None], axis=2).min(axis=1)
+        assert np.percentile(d, 95) < 0.2
+
+
+class TestMetrics:
+    def test_full_coverage(self):
+        centers = gaussian_mixture_centers(8, 2.0)
+        rng = np.random.default_rng(3)
+        samples = gaussian_mixture_batch(800, 8, 2.0, 0.05, rng=rng)
+        assert mode_coverage(samples, centers, sigma=0.05) == 8
+        assert high_quality_fraction(samples, centers, sigma=0.05) > 0.95
+
+    def test_collapsed_coverage(self):
+        centers = gaussian_mixture_centers(8, 2.0)
+        samples = centers[0] + 0.01 * np.random.default_rng(4).standard_normal((500, 2))
+        assert mode_coverage(samples, centers, sigma=0.05) == 1
+
+    def test_garbage_samples_zero_quality(self):
+        centers = gaussian_mixture_centers(8, 2.0)
+        samples = np.full((100, 2), 50.0)
+        assert mode_coverage(samples, centers, sigma=0.05) == 0
+        assert high_quality_fraction(samples, centers, sigma=0.05) == 0.0
+
+
+class TestBuilders:
+    def test_generator_output_range(self):
+        g = build_generator(latent_dim=4, out_dim=2, output_scale=3.0)
+        z = np.random.default_rng(5).standard_normal((16, 4))
+        out = g.forward(z, training=False)
+        assert out.shape == (16, 2)
+        assert np.all(np.abs(out) <= 3.0 + 1e-9)
+
+    def test_selective_generator_has_no_output_batchnorm(self):
+        g_sel = build_generator(batchnorm="selective", depth=2)
+        g_all = build_generator(batchnorm="all", depth=2)
+        n_bn_sel = sum(isinstance(l, BatchNorm) for l in g_sel.layers)
+        n_bn_all = sum(isinstance(l, BatchNorm) for l in g_all.layers)
+        assert n_bn_all == n_bn_sel + 1  # 'all' adds the output-layer BN
+
+    def test_selective_discriminator_exempts_input(self):
+        d_sel = build_discriminator(batchnorm="selective", depth=3)
+        d_all = build_discriminator(batchnorm="all", depth=3)
+        n_sel = sum(isinstance(l, BatchNorm) for l in d_sel.layers)
+        n_all = sum(isinstance(l, BatchNorm) for l in d_all.layers)
+        assert n_all > n_sel
+
+    def test_invalid_depth(self):
+        with pytest.raises(ConfigurationError):
+            build_generator(depth=0)
+
+
+class TestTraining:
+    def test_single_gan_losses_recorded(self):
+        trainer = GANTrainer(GANConfig(batch_size=32, hidden=16, depth=2), seed=0)
+        trace = trainer.train(50, metric_every=25, n_metric_samples=64)
+        assert len(trace.d_losses) == 50
+        assert len(trace.coverage) == 2
+        assert all(np.isfinite(trace.d_losses))
+
+    def test_sample_shape(self):
+        trainer = GANTrainer(GANConfig(batch_size=32, hidden=16, depth=2), seed=1)
+        s = trainer.sample(33)
+        assert s.shape == (33, 2)
+
+    def test_mixture_sample_pools_generators(self):
+        mog = MixtureOfGenerators(3, GANConfig(batch_size=32, hidden=16, depth=2), seed=2)
+        s = mog.sample(32)
+        assert s.shape == (32, 2)
+
+    def test_mixture_requires_generator(self):
+        with pytest.raises(ConfigurationError):
+            MixtureOfGenerators(0)
+
+    def test_mixture_training_step_runs(self):
+        mog = MixtureOfGenerators(2, GANConfig(batch_size=32, hidden=16, depth=2), seed=3)
+        d_loss, g_loss = mog.train_step()
+        assert np.isfinite(d_loss) and np.isfinite(g_loss)
+
+    def test_stability_monitor_populated(self):
+        trainer = GANTrainer(GANConfig(batch_size=32, hidden=16, depth=2), seed=4)
+        trainer.train(100, metric_every=50, n_metric_samples=64)
+        assert len(trainer.stability.history) == 2
+
+    def test_invalid_batchnorm_placement(self):
+        with pytest.raises(ConfigurationError):
+            GANConfig(batchnorm="everywhere")

@@ -1,0 +1,219 @@
+"""Gradient checks and behavioural tests for every NN layer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DimensionError
+from repro.nn import (
+    BatchNorm,
+    Conv2d,
+    Dense,
+    Flatten,
+    LeakyReLU,
+    MaxPool2d,
+    ReLU,
+    Reshape,
+    Sigmoid,
+    Tanh,
+    UpsampleNearest,
+)
+
+
+def finite_diff_input_grad(layer, x, g_out, eps=1e-6, n_checks=30):
+    """Central-difference check of the input gradient against backward()."""
+    layer.forward(x, training=True)
+    analytic = layer.backward(g_out)
+    rng = np.random.default_rng(0)
+    flat_idx = rng.choice(x.size, size=min(n_checks, x.size), replace=False)
+    worst = 0.0
+    for fi in flat_idx:
+        idx = np.unravel_index(fi, x.shape)
+        xp = x.copy()
+        xp[idx] += eps
+        xm = x.copy()
+        xm[idx] -= eps
+        num = (np.sum(layer.forward(xp, training=True) * g_out)
+               - np.sum(layer.forward(xm, training=True) * g_out)) / (2 * eps)
+        worst = max(worst, abs(num - analytic[idx]) / max(abs(num), 1e-6))
+    return worst
+
+
+def finite_diff_param_grad(layer, x, g_out, eps=1e-6, n_checks=20):
+    """Check parameter gradients for every parameter tensor."""
+    layer.forward(x, training=True)
+    layer.backward(g_out)
+    grads = {k: v.copy() for k, v in layer.grads().items()}
+    rng = np.random.default_rng(1)
+    worst = 0.0
+    for name, p in layer.params().items():
+        flat_idx = rng.choice(p.size, size=min(n_checks, p.size), replace=False)
+        for fi in flat_idx:
+            idx = np.unravel_index(fi, p.shape)
+            orig = p[idx]
+            p[idx] = orig + eps
+            up = np.sum(layer.forward(x, training=True) * g_out)
+            p[idx] = orig - eps
+            dn = np.sum(layer.forward(x, training=True) * g_out)
+            p[idx] = orig
+            num = (up - dn) / (2 * eps)
+            worst = max(worst, abs(num - grads[name][idx]) / max(abs(num), 1e-6))
+    return worst
+
+
+class TestDense:
+    def test_forward_shape_check(self):
+        d = Dense(4, 3)
+        with pytest.raises(DimensionError):
+            d.forward(np.zeros((2, 5)))
+
+    def test_gradients(self):
+        rng = np.random.default_rng(2)
+        d = Dense(5, 3, rng=rng)
+        x = rng.standard_normal((4, 5))
+        g = rng.standard_normal((4, 3))
+        assert finite_diff_input_grad(d, x, g) < 1e-5
+        assert finite_diff_param_grad(d, x, g) < 1e-5
+
+    def test_param_count(self):
+        assert Dense(5, 3).n_params() == 5 * 3 + 3
+
+    def test_unknown_init(self):
+        with pytest.raises(ConfigurationError):
+            Dense(2, 2, init="magic")
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,k", [(1, 3), (2, 3), (1, 1), (2, 1)])
+    def test_gradients(self, stride, k):
+        rng = np.random.default_rng(3)
+        c = Conv2d(2, 3, kernel_size=k, stride=stride, rng=rng)
+        x = rng.standard_normal((2, 2, 8, 8))
+        out = c.forward(x, training=True)
+        g = rng.standard_normal(out.shape)
+        assert finite_diff_input_grad(c, x, g) < 1e-5
+        assert finite_diff_param_grad(c, x, g) < 1e-5
+
+    def test_output_shape_same_padding(self):
+        c = Conv2d(1, 4, kernel_size=3, stride=1)
+        out = c.forward(np.zeros((1, 1, 8, 8)))
+        assert out.shape == (1, 4, 8, 8)
+
+    def test_output_shape_stride2(self):
+        c = Conv2d(1, 4, kernel_size=3, stride=2)
+        out = c.forward(np.zeros((1, 1, 8, 8)))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_channel_mismatch(self):
+        c = Conv2d(2, 4)
+        with pytest.raises(DimensionError):
+            c.forward(np.zeros((1, 3, 8, 8)))
+
+    def test_matches_direct_convolution(self):
+        """1x1 conv is a per-pixel linear map; verify against einsum."""
+        rng = np.random.default_rng(4)
+        c = Conv2d(3, 2, kernel_size=1, pad=0, rng=rng)
+        x = rng.standard_normal((2, 3, 4, 4))
+        out = c.forward(x)
+        w = c.w.reshape(2, 3)
+        expected = np.einsum("oc,bchw->bohw", w, x) + c.b[None, :, None, None]
+        assert np.allclose(out, expected, atol=1e-12)
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self):
+        rng = np.random.default_rng(5)
+        bn = BatchNorm(3)
+        x = rng.standard_normal((64, 3)) * 5 + 2
+        out = bn.forward(x, training=True)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_eval_mode_uses_running_stats(self):
+        rng = np.random.default_rng(6)
+        bn = BatchNorm(2, momentum=0.0)  # running stats = last batch
+        x = rng.standard_normal((32, 2)) * 3 + 1
+        bn.forward(x, training=True)
+        out = bn.forward(x, training=False)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=0.2)
+
+    def test_gradients_2d(self):
+        rng = np.random.default_rng(7)
+        bn = BatchNorm(3)
+        x = rng.standard_normal((6, 3))
+        g = rng.standard_normal((6, 3))
+        assert finite_diff_input_grad(bn, x, g) < 1e-4
+        assert finite_diff_param_grad(bn, x, g) < 1e-4
+
+    def test_gradients_4d(self):
+        rng = np.random.default_rng(8)
+        bn = BatchNorm(2)
+        x = rng.standard_normal((3, 2, 4, 4))
+        g = rng.standard_normal((3, 2, 4, 4))
+        assert finite_diff_input_grad(bn, x, g) < 1e-4
+
+    def test_rejects_3d(self):
+        with pytest.raises(DimensionError):
+            BatchNorm(2).forward(np.zeros((2, 2, 2)))
+
+
+class TestActivations:
+    @pytest.mark.parametrize("layer_cls", [ReLU, LeakyReLU, Tanh, Sigmoid])
+    def test_gradients(self, layer_cls):
+        rng = np.random.default_rng(9)
+        layer = layer_cls()
+        x = rng.standard_normal((4, 6))
+        g = rng.standard_normal((4, 6))
+        assert finite_diff_input_grad(layer, x, g) < 1e-5
+
+    def test_relu_zeroes_negatives(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        assert np.allclose(out, [[0.0, 2.0]])
+
+    def test_leaky_slope(self):
+        out = LeakyReLU(0.2).forward(np.array([[-1.0, 2.0]]))
+        assert np.allclose(out, [[-0.2, 2.0]])
+
+    def test_sigmoid_stable_at_extremes(self):
+        out = Sigmoid().forward(np.array([[-1e4, 1e4]]))
+        assert np.all(np.isfinite(out))
+
+
+class TestShapeLayers:
+    def test_flatten_roundtrip(self):
+        f = Flatten()
+        x = np.arange(24.0).reshape(2, 3, 2, 2)
+        out = f.forward(x)
+        assert out.shape == (2, 12)
+        back = f.backward(out)
+        assert back.shape == x.shape
+
+    def test_reshape(self):
+        r = Reshape((3, 2, 2))
+        x = np.arange(24.0).reshape(2, 12)
+        out = r.forward(x)
+        assert out.shape == (2, 3, 2, 2)
+        assert r.backward(out).shape == (2, 12)
+
+    def test_upsample_and_adjoint(self):
+        u = UpsampleNearest(2)
+        x = np.arange(4.0).reshape(1, 1, 2, 2)
+        out = u.forward(x)
+        assert out.shape == (1, 1, 4, 4)
+        assert np.allclose(out[0, 0, :2, :2], 0.0)  # top-left pixel replicated
+        assert np.allclose(out[0, 0, 2:, 2:], 3.0)  # bottom-right pixel replicated
+        g = np.ones((1, 1, 4, 4))
+        back = u.backward(g)
+        assert np.allclose(back, 4.0)  # each input feeds 4 outputs
+
+    def test_maxpool_forward_and_grad(self):
+        rng = np.random.default_rng(10)
+        p = MaxPool2d(2)
+        x = rng.standard_normal((2, 2, 4, 4))
+        out = p.forward(x, training=True)
+        assert out.shape == (2, 2, 2, 2)
+        g = rng.standard_normal(out.shape)
+        assert finite_diff_input_grad(p, x, g) < 1e-5
+
+    def test_maxpool_divisibility(self):
+        with pytest.raises(DimensionError):
+            MaxPool2d(2).forward(np.zeros((1, 1, 5, 4)))

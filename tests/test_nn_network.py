@@ -1,0 +1,141 @@
+"""Tests for Sequential, losses, and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import (
+    Adam,
+    Dense,
+    ReLU,
+    SGD,
+    Sequential,
+    Tanh,
+    bce_with_logits_loss,
+    mse_loss,
+    softmax_cross_entropy,
+)
+
+
+def make_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(3, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng)])
+
+
+class TestSequential:
+    def test_forward_backward_chain(self):
+        net = make_net()
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((4, 3))
+        out = net.forward(x, training=True)
+        assert out.shape == (4, 2)
+        g_in = net.backward(rng.standard_normal((4, 2)))
+        assert g_in.shape == (4, 3)
+
+    def test_param_namespacing(self):
+        net = make_net()
+        keys = set(net.params())
+        assert "0.w" in keys and "2.b" in keys
+
+    def test_state_dict_roundtrip(self):
+        net = make_net()
+        state = net.state_dict()
+        for p in net.params().values():
+            p += 1.0
+        net.load_state_dict(state)
+        for k, p in net.params().items():
+            assert np.allclose(p, state[k])
+
+    def test_load_rejects_missing_keys(self):
+        net = make_net()
+        with pytest.raises(ConfigurationError):
+            net.load_state_dict({})
+
+    def test_load_rejects_shape_mismatch(self):
+        net = make_net()
+        state = net.state_dict()
+        state["0.w"] = np.zeros((1, 1))
+        with pytest.raises(ConfigurationError):
+            net.load_state_dict(state)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Sequential([])
+
+
+class TestLosses:
+    def test_bce_gradient_matches_finite_diff(self):
+        rng = np.random.default_rng(2)
+        logits = rng.standard_normal((4, 1))
+        targets = (rng.random((4, 1)) > 0.5).astype(float)
+        loss, grad = bce_with_logits_loss(logits, targets)
+        eps = 1e-6
+        for i in range(4):
+            lp = logits.copy()
+            lp[i, 0] += eps
+            lm = logits.copy()
+            lm[i, 0] -= eps
+            num = (bce_with_logits_loss(lp, targets)[0] - bce_with_logits_loss(lm, targets)[0]) / (2 * eps)
+            assert num == pytest.approx(grad[i, 0], abs=1e-5)
+
+    def test_bce_minimum_at_correct_prediction(self):
+        loss_good, _ = bce_with_logits_loss(np.array([10.0]), np.array([1.0]))
+        loss_bad, _ = bce_with_logits_loss(np.array([-10.0]), np.array([1.0]))
+        assert loss_good < 1e-4 < loss_bad
+
+    def test_mse(self):
+        loss, grad = mse_loss(np.array([1.0, 2.0]), np.array([0.0, 2.0]))
+        assert loss == pytest.approx(0.5)
+        assert np.allclose(grad, [1.0, 0.0])
+
+    def test_softmax_ce_gradient(self):
+        rng = np.random.default_rng(3)
+        logits = rng.standard_normal((5, 3))
+        labels = rng.integers(0, 3, 5)
+        loss, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        i, j = 2, 1
+        lp = logits.copy()
+        lp[i, j] += eps
+        lm = logits.copy()
+        lm[i, j] -= eps
+        num = (softmax_cross_entropy(lp, labels)[0] - softmax_cross_entropy(lm, labels)[0]) / (2 * eps)
+        assert num == pytest.approx(grad[i, j], abs=1e-5)
+
+    def test_softmax_ce_extreme_logits_finite(self):
+        logits = np.array([[1e4, -1e4], [-1e4, 1e4]])
+        loss, grad = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert np.isfinite(loss)
+        assert np.all(np.isfinite(grad))
+
+
+class TestOptimizers:
+    def _train(self, opt_cls, **kwargs):
+        rng = np.random.default_rng(4)
+        net = Sequential([Dense(2, 16, rng=rng), Tanh(), Dense(16, 1, rng=rng)])
+        opt = opt_cls(net, **kwargs)
+        x = rng.standard_normal((64, 2))
+        y = (x[:, :1] * x[:, 1:] > 0).astype(float)
+        losses = []
+        for _ in range(150):
+            out = net.forward(x, training=True)
+            loss, grad = bce_with_logits_loss(out, y)
+            net.backward(grad)
+            opt.step()
+            losses.append(loss)
+        return losses
+
+    def test_sgd_reduces_loss(self):
+        losses = self._train(SGD, lr=0.5, momentum=0.9)
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_adam_reduces_loss(self):
+        losses = self._train(Adam, lr=1e-2)
+        assert losses[-1] < 0.3 * losses[0]
+
+    def test_invalid_lr(self):
+        net = make_net()
+        with pytest.raises(ConfigurationError):
+            SGD(net, lr=0.0)
+        with pytest.raises(ConfigurationError):
+            Adam(net, lr=-1.0)

@@ -1,0 +1,98 @@
+"""Tests for the Eq. 3-4 approximation machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.numerics import (
+    approximation_report,
+    richardson_extrapolate,
+    simpson,
+    taylor_exp,
+    taylor_exp_error_bound,
+    trapezoid,
+    trapezoid_error_bound,
+)
+
+
+class TestTaylorExp:
+    def test_order_zero(self):
+        assert taylor_exp(5.0, 0) == 1.0
+
+    def test_converges_to_exp(self):
+        assert taylor_exp(1.0, 20) == pytest.approx(math.e, rel=1e-15)
+
+    def test_error_decreases_with_order(self):
+        errors = [abs(taylor_exp(2.0, n) - math.exp(2.0)) for n in (2, 5, 10, 20)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_lagrange_bound_holds(self):
+        for x in (-2.0, 0.5, 3.0):
+            for order in (1, 4, 8):
+                err = abs(taylor_exp(x, order) - math.exp(x))
+                assert err <= taylor_exp_error_bound(x, order) + 1e-12
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            taylor_exp(1.0, -1)
+
+    def test_no_overflow_for_large_order(self):
+        # term recursion must not overflow where x**k / k! would
+        assert np.isfinite(taylor_exp(30.0, 200))
+
+
+class TestTrapezoid:
+    def test_exact_for_linear(self):
+        assert trapezoid(lambda x: 2 * x + 1, 0, 4, 1) == pytest.approx(20.0)
+
+    def test_quadratic_convergence_rate(self):
+        f = np.sin
+        exact = 1.0 - math.cos(1.0)
+        e1 = abs(trapezoid(f, 0, 1, 8) - exact)
+        e2 = abs(trapezoid(f, 0, 1, 16) - exact)
+        assert e1 / e2 == pytest.approx(4.0, rel=0.05)  # O(h^2)
+
+    def test_error_bound_holds(self):
+        exact = 1.0 - math.cos(1.0)
+        for n in (4, 16, 64):
+            err = abs(trapezoid(np.sin, 0, 1, n) - exact)
+            assert err <= trapezoid_error_bound(1.0, 0, 1, n)
+
+    def test_rejects_zero_panels(self):
+        with pytest.raises(ConfigurationError):
+            trapezoid(np.sin, 0, 1, 0)
+
+
+class TestSimpson:
+    def test_exact_for_cubic(self):
+        assert simpson(lambda x: x**3, 0, 2, 2) == pytest.approx(4.0)
+
+    def test_beats_trapezoid(self):
+        exact = 1.0 - math.cos(1.0)
+        assert abs(simpson(np.sin, 0, 1, 8) - exact) < abs(trapezoid(np.sin, 0, 1, 8) - exact)
+
+    def test_rejects_odd_panels(self):
+        with pytest.raises(ConfigurationError):
+            simpson(np.sin, 0, 1, 3)
+
+
+class TestRichardson:
+    def test_eliminates_leading_error_term(self):
+        exact = 1.0 - math.cos(1.0)
+        coarse = trapezoid(np.sin, 0, 1, 8)
+        fine = trapezoid(np.sin, 0, 1, 16)
+        extrap = richardson_extrapolate(coarse, fine, order=2)
+        assert abs(extrap - exact) < abs(fine - exact) / 10
+
+
+class TestReport:
+    def test_report_bundles_error(self):
+        r = approximation_report(value=1.01, exact=1.0, bound=0.05)
+        assert r.observed_error == pytest.approx(0.01)
+        assert r.bound_respected
+
+    def test_bound_violation_detected(self):
+        r = approximation_report(value=2.0, exact=1.0, bound=0.1)
+        assert not r.bound_respected

@@ -1,0 +1,69 @@
+"""Tests for forward-stability probes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.numerics import (
+    ForwardStabilityMonitor,
+    amplification_factor,
+    empirical_condition_number,
+)
+
+
+class TestAmplificationFactor:
+    def test_identity_has_unit_amplification(self):
+        amp = amplification_factor(lambda x: x, np.zeros(4))
+        assert amp == pytest.approx(1.0, rel=1e-3)
+
+    def test_scaling_map(self):
+        amp = amplification_factor(lambda x: 7.0 * x, np.ones(3))
+        assert amp == pytest.approx(7.0, rel=1e-3)
+
+    def test_contraction(self):
+        amp = amplification_factor(lambda x: 0.1 * x, np.ones(3))
+        assert amp == pytest.approx(0.1, rel=1e-3)
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ConfigurationError):
+            amplification_factor(lambda x: x, np.ones(2), eps=0.0)
+
+
+class TestConditionNumber:
+    def test_linear_well_conditioned(self):
+        k = empirical_condition_number(lambda x: 2.0 * x, np.ones(3))
+        assert k == pytest.approx(1.0, rel=1e-2)
+
+    def test_zero_output_is_inf(self):
+        k = empirical_condition_number(lambda x: np.zeros_like(x), np.ones(3))
+        assert np.isinf(k)
+
+
+class TestMonitor:
+    def test_stable_history(self):
+        mon = ForwardStabilityMonitor(budget=5.0)
+        for step in range(5):
+            mon.probe_map(step, lambda x: 0.5 * x, np.ones(3))
+        assert mon.is_forward_stable()
+        assert mon.worst <= 1.0
+        assert not mon.violations()
+
+    def test_violation_detected(self):
+        mon = ForwardStabilityMonitor(budget=2.0)
+        mon.record(0, 1.0)
+        mon.record(1, 10.0)
+        assert not mon.is_forward_stable()
+        assert len(mon.violations()) == 1
+        assert mon.worst == 10.0
+
+    def test_nan_amplification_is_violation(self):
+        mon = ForwardStabilityMonitor()
+        probe = mon.record(0, float("nan"))
+        assert not probe.is_stable
+        assert not mon.is_forward_stable()
+
+    def test_empty_monitor(self):
+        mon = ForwardStabilityMonitor()
+        assert mon.is_forward_stable()
+        assert mon.worst == 0.0
+        assert mon.mean == 0.0

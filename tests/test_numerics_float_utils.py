@@ -1,0 +1,122 @@
+"""Tests for repro.numerics.float_utils."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import NumericalInstabilityError
+from repro.numerics import (
+    absolute_error,
+    float_format,
+    guard_finite,
+    kahan_sum,
+    machine_epsilon,
+    naive_sum,
+    pairwise_sum,
+    relative_error,
+    significant_digits_agreement,
+    ulp,
+    would_overflow,
+    would_underflow,
+)
+
+
+class TestFloatFormat:
+    def test_float64_matches_numpy(self):
+        fmt = float_format(np.float64)
+        info = np.finfo(np.float64)
+        assert fmt.eps == info.eps
+        assert fmt.max == info.max
+        assert fmt.tiny == info.tiny
+        assert fmt.name == "float64"
+
+    def test_float32_has_fewer_digits(self):
+        assert float_format(np.float32).decimal_digits < float_format(np.float64).decimal_digits
+
+    def test_machine_epsilon_bisection_agrees_with_table(self):
+        assert machine_epsilon(np.float64) == pytest.approx(np.finfo(np.float64).eps)
+        assert machine_epsilon(np.float32) == pytest.approx(np.finfo(np.float32).eps)
+
+
+class TestErrors:
+    def test_absolute_error(self):
+        assert absolute_error(1.5, 1.0) == 0.5
+
+    def test_relative_error_zero_exact_nonzero_approx(self):
+        assert relative_error(1.0, 0.0) == math.inf
+
+    def test_relative_error_both_zero(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_significant_digits_exact(self):
+        assert significant_digits_agreement(1.0, 1.0) == 17.0
+
+    def test_significant_digits_halfway(self):
+        # relative error 1e-8 -> ~8 digits
+        assert significant_digits_agreement(1.0 + 1e-8, 1.0) == pytest.approx(8.0, abs=0.1)
+
+    def test_significant_digits_no_agreement(self):
+        assert significant_digits_agreement(2.0, 1.0) == pytest.approx(0.0, abs=0.01)
+
+
+class TestOverflowUnderflow:
+    def test_overflow_detection(self):
+        assert would_overflow(1e400)
+        assert not would_overflow(1e300)
+
+    def test_underflow_detection(self):
+        assert would_underflow(1e-320)  # subnormal range
+        assert not would_underflow(1e-300)
+        assert not would_underflow(0.0)
+
+    def test_float32_thresholds_differ(self):
+        assert would_overflow(1e39, np.float32)
+        assert not would_overflow(1e39, np.float64)
+
+
+class TestGuardFinite:
+    def test_passes_through_finite(self):
+        x = np.array([1.0, -2.0])
+        assert guard_finite(x) is not None
+
+    def test_raises_on_nan(self):
+        with pytest.raises(NumericalInstabilityError, match="1 NaN"):
+            guard_finite(np.array([1.0, np.nan]))
+
+    def test_raises_on_inf(self):
+        with pytest.raises(NumericalInstabilityError, match="1 Inf"):
+            guard_finite(np.array([np.inf, 0.0]), context="test op")
+
+
+class TestSummation:
+    def test_kahan_beats_naive_on_ill_conditioned_sum(self):
+        # 1.0 followed by many tiny values that naive summation drops
+        values = [1.0] + [1e-16] * 10000
+        exact = 1.0 + 1e-16 * 10000
+        assert abs(kahan_sum(values) - exact) < abs(naive_sum(values) - exact)
+        assert kahan_sum(values) == pytest.approx(exact, rel=1e-15)
+
+    def test_pairwise_between_naive_and_kahan(self):
+        rng = np.random.default_rng(0)
+        values = rng.standard_normal(4097) * 1e8
+        exact = math.fsum(values.tolist())
+        assert abs(pairwise_sum(values) - exact) <= abs(naive_sum(values) - exact) + 1e-6
+
+    def test_empty_sums(self):
+        assert kahan_sum([]) == 0.0
+        assert pairwise_sum([]) == 0.0
+        assert naive_sum([]) == 0.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    def test_kahan_matches_fsum(self, values):
+        assert kahan_sum(values) == pytest.approx(math.fsum(values), rel=1e-12, abs=1e-9)
+
+
+class TestUlp:
+    def test_ulp_of_one(self):
+        assert ulp(1.0) == np.finfo(np.float64).eps
+
+    def test_ulp_grows_with_magnitude(self):
+        assert ulp(1e10) > ulp(1.0)

@@ -1,0 +1,154 @@
+"""Tests for repro.numerics.stable_ops — including the paper's fused
+log-softmax instability example (§V)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.numerics import (
+    log1pexp,
+    log_softmax,
+    logsumexp,
+    naive_log_softmax,
+    naive_sigmoid,
+    naive_softmax,
+    safe_divide,
+    safe_log,
+    softmax,
+    stable_bce_with_logits,
+    stable_norm,
+    stable_sigmoid,
+)
+
+finite_vec = arrays(np.float64, st.integers(2, 8),
+                    elements=st.floats(-50, 50, allow_nan=False))
+
+
+class TestLogSumExp:
+    def test_matches_direct_small_values(self):
+        x = np.array([0.1, 0.2, 0.3])
+        assert logsumexp(x) == pytest.approx(np.log(np.sum(np.exp(x))))
+
+    def test_handles_large_values(self):
+        x = np.array([1000.0, 1000.0])
+        assert logsumexp(x) == pytest.approx(1000.0 + np.log(2.0))
+
+    def test_handles_neg_inf(self):
+        x = np.array([-np.inf, 0.0])
+        assert logsumexp(x) == pytest.approx(0.0)
+
+    def test_axis_and_keepdims(self):
+        x = np.arange(6.0).reshape(2, 3)
+        out = logsumexp(x, axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+
+    @given(finite_vec)
+    def test_ge_max(self, x):
+        assert logsumexp(x) >= np.max(x) - 1e-12
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        s = softmax(np.array([1.0, 2.0, 3.0]))
+        assert s.sum() == pytest.approx(1.0)
+
+    def test_stable_at_large_logits_where_naive_fails(self):
+        x = np.array([1000.0, 0.0])
+        stable = softmax(x)
+        assert np.all(np.isfinite(stable))
+        assert stable[0] == pytest.approx(1.0)
+        naive = naive_softmax(x)
+        assert not np.all(np.isfinite(naive))  # reproduces the overflow
+
+    def test_shift_invariance(self):
+        x = np.array([0.3, -1.2, 2.0])
+        assert np.allclose(softmax(x), softmax(x + 123.0))
+
+    @given(finite_vec)
+    def test_probabilities(self, x):
+        s = softmax(x)
+        assert np.all(s >= 0)
+        assert s.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestLogSoftmax:
+    def test_fused_matches_naive_in_safe_range(self):
+        x = np.array([0.5, -0.5, 1.5])
+        assert np.allclose(log_softmax(x), naive_log_softmax(x))
+
+    def test_paper_claim_fused_avoids_minus_inf(self):
+        # "as the softmax output approaches 0, the log output approaches
+        # infinity, which causes instability" — paper §V
+        x = np.array([0.0, 2000.0])
+        fused = log_softmax(x)
+        separate = naive_log_softmax(x)
+        assert np.all(np.isfinite(fused))
+        assert fused[0] == pytest.approx(-2000.0)
+        assert np.any(~np.isfinite(separate))
+
+
+class TestSigmoid:
+    def test_matches_naive_in_safe_range(self):
+        x = np.linspace(-20, 20, 41)
+        assert np.allclose(stable_sigmoid(x), naive_sigmoid(x))
+
+    def test_extreme_negative_no_overflow_warning(self):
+        out = stable_sigmoid(np.array([-1e4]))
+        assert out[0] == pytest.approx(0.0, abs=1e-300)
+
+    def test_range(self):
+        x = np.linspace(-100, 100, 101)
+        s = stable_sigmoid(x)
+        assert np.all((s >= 0) & (s <= 1))
+
+
+class TestLog1pExp:
+    def test_branches_against_reference(self):
+        for v in (-100.0, -37.5, -10.0, 0.0, 10.0, 20.0, 34.0, 100.0):
+            expected = np.logaddexp(0.0, v)
+            assert log1pexp(np.array([v]))[0] == pytest.approx(expected, rel=1e-12)
+
+
+class TestBCE:
+    def test_matches_reference_moderate(self):
+        logits = np.array([0.5, -1.0, 2.0])
+        targets = np.array([1.0, 0.0, 1.0])
+        p = 1 / (1 + np.exp(-logits))
+        ref = -(targets * np.log(p) + (1 - targets) * np.log(1 - p))
+        assert np.allclose(stable_bce_with_logits(logits, targets), ref)
+
+    def test_extreme_logits_stay_finite(self):
+        out = stable_bce_with_logits(np.array([1e4, -1e4]), np.array([0.0, 1.0]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(1e4)
+
+
+class TestSafeOps:
+    def test_safe_log_floors(self):
+        assert np.isfinite(safe_log(np.array([0.0]))[0])
+
+    def test_safe_divide_fills(self):
+        out = safe_divide(np.array([1.0, 2.0]), np.array([0.0, 2.0]), fill=-1.0)
+        assert out[0] == -1.0 and out[1] == 1.0
+
+
+class TestStableNorm:
+    def test_matches_numpy_moderate(self):
+        x = np.array([3.0, 4.0])
+        assert stable_norm(x) == pytest.approx(5.0)
+
+    def test_no_overflow_at_huge_magnitudes(self):
+        x = np.array([1e200, 1e200])
+        assert stable_norm(x) == pytest.approx(np.sqrt(2) * 1e200, rel=1e-12)
+        with np.errstate(over="ignore"):
+            naive = np.sqrt(np.sum(x * x))
+        assert np.isinf(naive)  # the naive form overflows
+
+    def test_empty_and_zero(self):
+        assert stable_norm(np.array([])) == 0.0
+        assert stable_norm(np.zeros(3)) == 0.0
+
+    @given(arrays(np.float64, st.integers(1, 16), elements=st.floats(-1e8, 1e8)))
+    def test_matches_numpy_property(self, x):
+        assert stable_norm(x) == pytest.approx(float(np.linalg.norm(x)), rel=1e-10, abs=1e-12)

@@ -1,0 +1,176 @@
+"""Property-based invariants of the optimization substrate.
+
+These are the contracts the RCR framework leans on: relaxations bound
+exact values from below, branching tightens bounds monotonically, KKT
+conditions hold at reported optima, and feasibility claims are honest.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.convex import (
+    QCQPProblem,
+    QPProblem,
+    QuadraticForm,
+    SDPProblem,
+    solve_qcqp_barrier,
+    solve_qp,
+    solve_sdp,
+)
+from repro.convex.lp import solve_lp
+from repro.convex.problem import LPProblem
+from repro.linalg import is_psd, random_psd
+from repro.minlp import MILPModel, solve_milp, spatial_minimize_quadratic
+
+
+class TestQCQPKKT:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 500))
+    def test_complementary_slackness_on_ball(self, seed):
+        """At the barrier optimum of min ||x - c||^2 s.t. ||x|| <= 1:
+        either the constraint is inactive and x == c, or x is on the
+        sphere and the gradient points along x (KKT stationarity)."""
+        rng = np.random.default_rng(seed)
+        c = rng.standard_normal(3)
+        obj = QuadraticForm(2 * np.eye(3), -2 * c, float(c @ c))
+        ball = QuadraticForm(2 * np.eye(3), np.zeros(3), -1.0)
+        sol = solve_qcqp_barrier(QCQPProblem(obj, [ball]))
+        x = sol.x
+        if np.linalg.norm(c) <= 1.0 - 1e-4:
+            assert np.allclose(x, c, atol=1e-3)
+        else:
+            assert np.linalg.norm(x) == pytest.approx(1.0, abs=1e-3)
+            # gradient of objective is parallel to x (the constraint normal)
+            g = obj.gradient(x)
+            cross = g - (g @ x) * x / max(float(x @ x), 1e-12)
+            assert np.linalg.norm(cross) < 1e-2 * max(np.linalg.norm(g), 1.0)
+
+
+class TestSDPContracts:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 300))
+    def test_solution_in_cone_and_feasible(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 3
+        target = random_psd(n, rng)
+        # pin two random off-diagonal entries
+        mats, rhs = [], []
+        for (i, j) in ((0, 1), (1, 2)):
+            m = np.zeros((n, n))
+            m[i, j] = m[j, i] = 0.5
+            mats.append(m)
+            rhs.append(float(target[i, j]))
+        prob = SDPProblem(c=np.eye(n), constraint_mats=mats, constraint_rhs=np.array(rhs))
+        sol = solve_sdp(prob)
+        assert is_psd(sol.x, tol=1e-5)
+        assert prob.constraint_residual(sol.x) < 1e-4
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 300))
+    def test_objective_lower_bounds_feasible_points(self, seed):
+        """The SDP optimum must not exceed the value of any feasible PSD
+        matrix we can construct directly."""
+        rng = np.random.default_rng(seed + 1)
+        n = 3
+        feasible = random_psd(n, rng) + 0.1 * np.eye(n)
+        mats, rhs = [], []
+        for (i, j) in ((0, 1), (0, 2)):
+            m = np.zeros((n, n))
+            m[i, j] = m[j, i] = 0.5
+            mats.append(m)
+            rhs.append(float(feasible[i, j]))
+        prob = SDPProblem(c=np.eye(n), constraint_mats=mats, constraint_rhs=np.array(rhs))
+        sol = solve_sdp(prob)
+        assert sol.objective <= np.trace(feasible) + 1e-4
+
+
+class TestBnBContracts:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 500))
+    def test_lp_bound_below_milp_optimum(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 4
+        g = rng.uniform(0, 2, (3, n))
+        h = g.sum(axis=1) * rng.uniform(0.4, 0.9, 3)
+        lp = LPProblem(c=rng.standard_normal(n), g=g, h=h,
+                       lo=np.zeros(n), hi=np.ones(n))
+        model = MILPModel(lp, frozenset(range(n)))
+        relax = solve_lp(model.relaxation())
+        res = solve_milp(model)
+        if res.x is not None:
+            assert relax.objective <= res.objective + 1e-7
+            assert res.lower_bound <= res.objective + 1e-9
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 300))
+    def test_branching_tightens_spatial_bounds(self, seed):
+        """Splitting the box cannot loosen the McCormick bound: each
+        child's relaxation value is >= the parent's."""
+        from repro.minlp.spatial import _node_lp
+
+        rng = np.random.default_rng(seed)
+        q = rng.standard_normal((2, 2))
+        q = q + q.T
+        qv = rng.standard_normal(2)
+        lo, hi = -np.ones(2), np.ones(2)
+        parent_lp, _ = _node_lp(q, qv, lo, hi)
+        parent = solve_lp(parent_lp).objective
+        mid = 0.0
+        for side in ("left", "right"):
+            c_lo, c_hi = lo.copy(), hi.copy()
+            if side == "left":
+                c_hi[0] = mid
+            else:
+                c_lo[0] = mid
+            child_lp, _ = _node_lp(q, qv, c_lo, c_hi)
+            child = solve_lp(child_lp).objective
+            assert child >= parent - 1e-7
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(0, 200))
+    def test_spatial_bound_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        q = rng.standard_normal((2, 2))
+        q = q + q.T
+        qv = rng.standard_normal(2)
+        res = spatial_minimize_quadratic(q, qv, -np.ones(2), np.ones(2), max_nodes=200)
+        # sample feasible points: none may beat the certified lower bound
+        for _ in range(200):
+            x = rng.uniform(-1, 1, 2)
+            val = 0.5 * x @ q @ x + qv @ x
+            assert val >= res.lower_bound - 1e-6
+
+
+class TestQPContracts:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 500))
+    def test_reported_solution_is_feasible(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 4
+        p = random_psd(n, rng) + 0.3 * np.eye(n)
+        q = rng.standard_normal(n)
+        g = rng.standard_normal((3, n))
+        h = np.abs(g @ np.zeros(n)) + rng.uniform(0.5, 2.0, 3)
+        prob = QPProblem(QuadraticForm(p, q), g=g, h=h)
+        sol = solve_qp(prob)
+        if sol.converged:
+            ineq, eq = prob.residuals(sol.x)
+            assert ineq < 1e-5 and eq < 1e-5
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 500))
+    def test_optimum_beats_random_feasible_points(self, seed):
+        rng = np.random.default_rng(seed + 13)
+        n = 3
+        p = random_psd(n, rng) + 0.3 * np.eye(n)
+        q = rng.standard_normal(n)
+        g = np.vstack([np.eye(n), -np.eye(n)])
+        h = np.concatenate([np.ones(n), np.ones(n)])
+        prob = QPProblem(QuadraticForm(p, q), g=g, h=h)
+        sol = solve_qp(prob)
+        assert sol.converged
+        form = prob.objective
+        for _ in range(100):
+            x = rng.uniform(-1, 1, n)
+            assert form.value(x) >= sol.objective - 1e-5

@@ -1,0 +1,106 @@
+"""Tests for the hyperparameter search space and tuner."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.pso import (
+    HyperParameter,
+    HyperparameterTuner,
+    PSOConfig,
+    SearchSpace,
+    categorical,
+    integer_range,
+    log_grid,
+)
+
+
+class TestKnobs:
+    def test_categorical_decodes_to_option(self):
+        knob = categorical("act", ["relu", "tanh", "sigmoid"])
+        assert knob.decode(2) == "sigmoid"
+        assert knob.grid == (0.0, 1.0, 2.0)
+
+    def test_integer_range(self):
+        knob = integer_range("layers", 2, 8, step=2)
+        assert knob.grid == (2.0, 4.0, 6.0, 8.0)
+        assert knob.decode(4.0) == 4
+        assert isinstance(knob.decode(4.0), int)
+
+    def test_log_grid_spacing(self):
+        knob = log_grid("lr", 1e-4, 1e-1, 4)
+        ratios = np.diff(np.log10(knob.grid))
+        assert np.allclose(ratios, ratios[0])
+
+    def test_invalid_specs(self):
+        with pytest.raises(ConfigurationError):
+            integer_range("x", 5, 2)
+        with pytest.raises(ConfigurationError):
+            log_grid("x", -1.0, 1.0, 4)
+        with pytest.raises(ConfigurationError):
+            HyperParameter("empty", [])
+
+
+class TestSearchSpace:
+    def _space(self):
+        return SearchSpace([
+            integer_range("layers", 1, 3),
+            categorical("act", ["relu", "tanh"]),
+        ])
+
+    def test_size(self):
+        assert self._space().size() == 6
+
+    def test_decode_named(self):
+        cfg = self._space().decode(np.array([2.0, 1.0]))
+        assert cfg == {"layers": 2, "act": "tanh"}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SearchSpace([integer_range("a", 0, 1), integer_range("a", 0, 2)])
+
+
+class TestTuner:
+    def _score(self, cfg):
+        return (cfg["layers"] - 2) ** 2 + (0.0 if cfg["act"] == "relu" else 1.0)
+
+    def test_finds_optimum_small_space(self):
+        space = SearchSpace([
+            integer_range("layers", 1, 4),
+            categorical("act", ["relu", "tanh"]),
+        ])
+        result = HyperparameterTuner(
+            space, self._score, method="distribution",
+            config=PSOConfig(swarm_size=8, max_generations=20), seed=1,
+        ).run()
+        assert result.best_value == pytest.approx(0.0)
+        assert result.best_config == {"layers": 2, "act": "relu"}
+
+    def test_rounding_method_also_works(self):
+        space = SearchSpace([integer_range("layers", 1, 4)])
+        result = HyperparameterTuner(
+            space, lambda cfg: (cfg["layers"] - 3) ** 2, method="rounding",
+            config=PSOConfig(swarm_size=6, max_generations=25), seed=2,
+        ).run()
+        assert result.best_config["layers"] == 3
+
+    def test_objective_cache_avoids_reevaluation(self):
+        calls = []
+
+        def score(cfg):
+            calls.append(tuple(sorted(cfg.items())))
+            return float(cfg["layers"])
+
+        space = SearchSpace([integer_range("layers", 1, 2)])
+        tuner = HyperparameterTuner(
+            space, score, config=PSOConfig(swarm_size=6, max_generations=15), seed=3,
+        )
+        result = tuner.run()
+        # at most 2 distinct configurations can exist
+        assert len(set(calls)) <= 2
+        assert result.evaluations > len(set(calls))  # cache hits happened
+
+    def test_unknown_method_rejected(self):
+        space = SearchSpace([integer_range("a", 0, 1)])
+        with pytest.raises(ConfigurationError):
+            HyperparameterTuner(space, lambda c: 0.0, method="grid")

@@ -1,0 +1,85 @@
+"""Tests for inertia strategies."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.pso import (
+    AdaptiveInertia,
+    ChaoticInertia,
+    ConstantInertia,
+    InertiaContext,
+    LinearDecayInertia,
+)
+
+
+def _ctx(generation=0, max_generations=100, stagnation=None, d_pb=None, d_gb=None, n=4):
+    return InertiaContext(
+        generation=generation,
+        max_generations=max_generations,
+        stagnation_counts=np.asarray(stagnation if stagnation is not None else np.zeros(n), dtype=float),
+        distance_to_personal_best=np.asarray(d_pb if d_pb is not None else np.ones(n), dtype=float),
+        distance_to_global_best=np.asarray(d_gb if d_gb is not None else np.ones(n), dtype=float),
+    )
+
+
+class TestConstant:
+    def test_uniform_weights(self):
+        w = ConstantInertia(0.7).weights(_ctx())
+        assert np.allclose(w, 0.7)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantInertia(2.0)
+
+
+class TestLinearDecay:
+    def test_endpoints(self):
+        s = LinearDecayInertia(start=0.9, end=0.4)
+        assert np.allclose(s.weights(_ctx(generation=0)), 0.9)
+        assert np.allclose(s.weights(_ctx(generation=99)), 0.4)
+
+    def test_midpoint(self):
+        s = LinearDecayInertia(start=1.0, end=0.0)
+        w = s.weights(_ctx(generation=49, max_generations=100))
+        assert w[0] == pytest.approx(1.0 - 49 / 99)
+
+
+class TestAdaptive:
+    def test_no_stagnation_equals_base_schedule(self):
+        s = AdaptiveInertia()
+        base = LinearDecayInertia(s.base_start, s.base_end)
+        assert np.allclose(s.weights(_ctx()), base.weights(_ctx()))
+
+    def test_stagnating_particles_get_boost(self):
+        """Paper: increasing inertia lets particles escape local optima."""
+        s = AdaptiveInertia()
+        w = s.weights(_ctx(stagnation=[0, 0, 8, 0]))
+        assert w[2] > w[0]
+
+    def test_proximity_to_personal_best_boosts(self):
+        """'weighting the distance from the particle's local optimum'."""
+        s = AdaptiveInertia()
+        # particle 1 sits exactly on its personal best AND is stagnating
+        w = s.weights(_ctx(stagnation=[1, 1, 1, 1], d_pb=[1.0, 0.0, 1.0, 1.0]))
+        assert w[1] > w[0]
+
+    def test_clipped_at_max(self):
+        s = AdaptiveInertia(max_inertia=1.1)
+        w = s.weights(_ctx(stagnation=[1000, 0, 0, 0]))
+        assert w[0] == pytest.approx(1.1)
+
+
+class TestChaotic:
+    def test_weights_vary_between_calls(self):
+        s = ChaoticInertia()
+        w1 = s.weights(_ctx(generation=0))[0]
+        w2 = s.weights(_ctx(generation=0))[0]
+        assert w1 != w2  # logistic map advanced
+
+    def test_reset_restores_sequence(self):
+        s = ChaoticInertia()
+        first = s.weights(_ctx())[0]
+        s.weights(_ctx())
+        s.reset()
+        assert s.weights(_ctx())[0] == pytest.approx(first)

@@ -1,0 +1,116 @@
+"""Tests for stagnation detection/dispersion and the test functions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.pso import (
+    TEST_FUNCTIONS,
+    detect_stagnation,
+    disperse,
+    get_test_function,
+    rastrigin,
+    sphere,
+    styblinski_tang,
+    swarm_diversity,
+)
+
+
+class TestDiversity:
+    def test_collapsed_swarm_zero_diversity(self):
+        assert swarm_diversity(np.ones((8, 3))) == 0.0
+
+    def test_spread_swarm_positive(self):
+        rng = np.random.default_rng(0)
+        assert swarm_diversity(rng.standard_normal((8, 3))) > 0.0
+
+
+class TestDetection:
+    def test_collapsed_and_stalled_flagged(self):
+        rep = detect_stagnation(
+            positions=np.zeros((8, 2)),
+            velocities=np.zeros((8, 2)),
+            stagnation_counts=np.full(8, 20),
+        )
+        assert rep.is_stagnant
+        assert rep.stagnant_fraction == 1.0
+
+    def test_moving_swarm_not_flagged(self):
+        rng = np.random.default_rng(1)
+        rep = detect_stagnation(
+            positions=rng.standard_normal((8, 2)) * 5,
+            velocities=rng.standard_normal((8, 2)),
+            stagnation_counts=np.zeros(8),
+        )
+        assert not rep.is_stagnant
+
+    def test_minority_stagnation_not_flagged(self):
+        counts = np.zeros(8)
+        counts[:3] = 50
+        rep = detect_stagnation(np.zeros((8, 2)), np.zeros((8, 2)), counts)
+        assert not rep.is_stagnant
+
+
+class TestDispersion:
+    def test_best_particle_kept(self):
+        pos = np.zeros((6, 3))
+        vel = np.zeros((6, 3))
+        counts = np.full(6, 30)
+        p2, v2, c2 = disperse(pos, vel, counts, -np.ones(3), np.ones(3),
+                              keep_best_index=2, rng=np.random.default_rng(2))
+        assert np.allclose(p2[2], 0.0)
+        assert c2[2] == 30
+
+    def test_stagnant_particles_reseeded_in_box(self):
+        pos = np.zeros((6, 3))
+        vel = np.zeros((6, 3))
+        counts = np.full(6, 30)
+        p2, v2, c2 = disperse(pos, vel, counts, -np.ones(3), np.ones(3),
+                              keep_best_index=0, rng=np.random.default_rng(3))
+        assert np.all(p2[1:] >= -1) and np.all(p2[1:] <= 1)
+        assert np.all(c2[1:] == 0)
+        assert not np.allclose(p2[1:], 0.0)
+
+    def test_fresh_particles_untouched(self):
+        pos = np.arange(12.0).reshape(4, 3)
+        counts = np.array([0, 5, 30, 2])
+        p2, _, c2 = disperse(pos, np.zeros((4, 3)), counts, np.zeros(3),
+                             20 * np.ones(3), keep_best_index=0,
+                             rng=np.random.default_rng(4))
+        assert np.allclose(p2[1], pos[1])
+        assert not np.allclose(p2[2], pos[2])
+
+
+class TestFunctions:
+    @pytest.mark.parametrize("name", sorted(TEST_FUNCTIONS))
+    def test_optimum_value_attained_at_known_minimizer(self, name):
+        fn = TEST_FUNCTIONS[name]
+        dim = 3
+        minimizers = {
+            "sphere": np.zeros(dim),
+            "rosenbrock": np.ones(dim),
+            "rastrigin": np.zeros(dim),
+            "ackley": np.zeros(dim),
+            "griewank": np.zeros(dim),
+            "schwefel": np.full(dim, 420.9687),
+            "styblinski_tang": np.full(dim, -2.903534),
+        }
+        val = fn(minimizers[name])
+        assert val == pytest.approx(fn.optimum(dim), abs=1e-2)
+
+    def test_lookup_and_unknown(self):
+        assert get_test_function("SPHERE") is sphere
+        with pytest.raises(ConfigurationError):
+            get_test_function("nonexistent")
+
+    def test_multimodality_flags(self):
+        assert rastrigin.multimodal
+        assert not sphere.multimodal
+
+    def test_styblinski_scales_with_dim(self):
+        assert styblinski_tang.optimum(5) == pytest.approx(5 * styblinski_tang.optimum_value)
+
+    def test_bounds_shape(self):
+        lo, hi = sphere.bounds(7)
+        assert lo.shape == (7,) and hi.shape == (7,)
+        assert np.all(lo < hi)

@@ -1,0 +1,121 @@
+"""Tests for the canonical continuous PSO (paper Eqs. 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.pso import (
+    AdaptiveInertia,
+    ConstantInertia,
+    PSOConfig,
+    ParticleSwarm,
+    optimize,
+    rastrigin,
+    rosenbrock,
+    sphere,
+)
+
+
+class TestConfigValidation:
+    def test_swarm_size_floor(self):
+        with pytest.raises(ConfigurationError):
+            PSOConfig(swarm_size=1)
+
+    def test_negative_acceleration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PSOConfig(alpha1=-0.1)
+
+    def test_velocity_clamp_range(self):
+        with pytest.raises(ConfigurationError):
+            PSOConfig(velocity_clamp=0.0)
+
+
+class TestConvergence:
+    def test_sphere_to_high_precision(self):
+        res = optimize(sphere, *sphere.bounds(4),
+                       config=PSOConfig(swarm_size=24, max_generations=200), seed=1)
+        assert res.best_value < 1e-6
+        assert np.allclose(res.best_x, 0.0, atol=1e-2)
+
+    def test_rosenbrock_valley(self):
+        res = optimize(rosenbrock, *rosenbrock.bounds(2),
+                       config=PSOConfig(swarm_size=30, max_generations=400), seed=2)
+        assert res.best_value < 1e-2
+
+    def test_rastrigin_with_adaptive_inertia(self):
+        res = optimize(rastrigin, *rastrigin.bounds(2),
+                       config=PSOConfig(swarm_size=40, max_generations=300),
+                       inertia=AdaptiveInertia(), seed=3)
+        assert res.best_value < 1.0  # global basin (optimum 0, next basin ~1)
+
+    def test_history_is_monotone_nonincreasing(self):
+        res = optimize(sphere, *sphere.bounds(3),
+                       config=PSOConfig(swarm_size=16, max_generations=80), seed=4)
+        h = np.array(res.history)
+        assert np.all(np.diff(h) <= 1e-12)
+
+    def test_deterministic_given_seed(self):
+        a = optimize(sphere, *sphere.bounds(3),
+                     config=PSOConfig(swarm_size=10, max_generations=40), seed=7)
+        b = optimize(sphere, *sphere.bounds(3),
+                     config=PSOConfig(swarm_size=10, max_generations=40), seed=7)
+        assert a.best_value == b.best_value
+        assert np.allclose(a.best_x, b.best_x)
+
+
+class TestSwarmMechanics:
+    def test_positions_stay_in_box(self):
+        swarm = ParticleSwarm(sphere, *sphere.bounds(3),
+                              config=PSOConfig(swarm_size=12, max_generations=50),
+                              rng=np.random.default_rng(5))
+        swarm.run()
+        assert np.all(swarm.x >= swarm.lo - 1e-12)
+        assert np.all(swarm.x <= swarm.hi + 1e-12)
+
+    def test_personal_bests_never_worse_than_current(self):
+        swarm = ParticleSwarm(sphere, *sphere.bounds(3),
+                              config=PSOConfig(swarm_size=12, max_generations=30),
+                              rng=np.random.default_rng(6))
+        for gen in range(30):
+            swarm.step(gen)
+            current = np.array([sphere(p) for p in swarm.x])
+            assert np.all(swarm.personal_best_f <= current + 1e-12)
+
+    def test_global_best_is_min_of_personal_bests(self):
+        swarm = ParticleSwarm(sphere, *sphere.bounds(2),
+                              config=PSOConfig(swarm_size=8, max_generations=20),
+                              rng=np.random.default_rng(7))
+        swarm.run()
+        assert swarm.global_best_f == pytest.approx(float(np.min(swarm.personal_best_f)))
+
+    def test_evaluation_count(self):
+        cfg = PSOConfig(swarm_size=10, max_generations=25)
+        res = optimize(sphere, *sphere.bounds(2), config=cfg, seed=8)
+        assert res.evaluations == 10 * (25 + 1)  # init + per-generation
+
+    def test_early_stop_with_patience(self):
+        cfg = PSOConfig(swarm_size=16, max_generations=500, tolerance=1e-12, patience=20)
+        res = optimize(sphere, *sphere.bounds(2), config=cfg, seed=9)
+        assert res.generations < 500
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParticleSwarm(sphere, np.ones(2), np.zeros(2))
+
+
+class TestSwarmSizeEffect:
+    def test_larger_swarms_solve_multimodal_more_reliably(self):
+        """Paper §II-A-1: a too-small swarm gravitates to local minima."""
+        def success_rate(swarm_size, n_trials=6):
+            wins = 0
+            for seed in range(n_trials):
+                res = optimize(rastrigin, *rastrigin.bounds(3),
+                               config=PSOConfig(swarm_size=swarm_size, max_generations=150),
+                               seed=seed)
+                wins += res.best_value < 2.0
+            return wins / n_trials
+
+        small = success_rate(4)
+        large = success_rate(48)
+        assert large >= small
+        assert large >= 0.5

@@ -1,0 +1,111 @@
+"""Tests for channel models and traffic generation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.qos import (
+    ChannelConfig,
+    ChannelModel,
+    DEFAULT_QOS,
+    QoSRequirement,
+    ServiceClass,
+    TrafficGenerator,
+    db_to_linear,
+    linear_to_db,
+    shannon_rate,
+    sinr,
+)
+
+
+class TestUnits:
+    def test_db_roundtrip(self):
+        for v in (1e-9, 1.0, 250.0):
+            assert db_to_linear(linear_to_db(v)) == pytest.approx(v, rel=1e-10)
+
+    def test_known_values(self):
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+        assert linear_to_db(100.0) == pytest.approx(20.0)
+
+
+class TestChannel:
+    def test_gain_matrix_shape_and_positivity(self):
+        ch = ChannelModel(ChannelConfig(n_blocks=12), rng=np.random.default_rng(0))
+        g = ch.gains(5)
+        assert g.shape == (5, 12)
+        assert np.all(g > 0)
+
+    def test_path_loss_grows_with_distance(self):
+        ch = ChannelModel(ChannelConfig(shadowing_sigma_db=0.0), rng=np.random.default_rng(1))
+        pl = ch.path_loss_db(np.array([50.0, 200.0, 450.0]))
+        assert pl[0] < pl[1] < pl[2]
+
+    def test_distances_within_cell(self):
+        cfg = ChannelConfig(cell_radius_m=300.0, min_distance_m=10.0)
+        ch = ChannelModel(cfg, rng=np.random.default_rng(2))
+        d = ch.user_distances(500)
+        assert np.all(d >= 10.0) and np.all(d <= 300.0)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            ChannelConfig(cell_radius_m=5.0, min_distance_m=10.0)
+
+    def test_noise_conversion(self):
+        ch = ChannelModel(ChannelConfig(noise_dbm=-100.0))
+        assert ch.noise_linear_mw == pytest.approx(1e-10)
+
+
+class TestSINRAndRate:
+    def test_sinr_definition(self):
+        assert sinr(10.0, 4.0, 1.0) == pytest.approx(2.0)
+
+    def test_rate_monotone_in_sinr(self):
+        r = shannon_rate(np.array([0.0, 1.0, 10.0, 100.0]))
+        assert np.all(np.diff(r) > 0)
+        assert r[0] == 0.0
+
+    def test_rate_3db_rule(self):
+        """At high SINR, doubling SINR adds one bit per symbol."""
+        r1 = shannon_rate(np.array([1000.0]), bandwidth_hz=1.0)[0]
+        r2 = shannon_rate(np.array([2000.0]), bandwidth_hz=1.0)[0]
+        assert r2 - r1 == pytest.approx(1.0, abs=1e-2)
+
+    def test_invalid_noise(self):
+        with pytest.raises(ConfigurationError):
+            sinr(1.0, 0.0, 0.0)
+
+
+class TestTraffic:
+    def test_default_qos_shapes_match_paper_classes(self):
+        """eMBB: highest rate; URLLC: tightest latency and reliability;
+        mMTC: most tolerant."""
+        embb = DEFAULT_QOS[ServiceClass.EMBB]
+        urllc = DEFAULT_QOS[ServiceClass.URLLC]
+        mmtc = DEFAULT_QOS[ServiceClass.MMTC]
+        assert embb.min_rate_bps > urllc.min_rate_bps > mmtc.min_rate_bps
+        assert urllc.max_latency_ms < embb.max_latency_ms < mmtc.max_latency_ms
+        assert urllc.reliability > embb.reliability > mmtc.reliability
+        assert urllc.priority < embb.priority < mmtc.priority  # lower = more urgent
+
+    def test_mix_respected_statistically(self):
+        tg = TrafficGenerator(mix={ServiceClass.EMBB: 0.7, ServiceClass.MMTC: 0.3},
+                              rng=np.random.default_rng(3))
+        users = tg.users(1000)
+        counts = tg.class_counts(users)
+        assert 620 <= counts[ServiceClass.EMBB] <= 780
+        assert counts.get(ServiceClass.URLLC, 0) == 0
+
+    def test_mix_normalized(self):
+        tg = TrafficGenerator(mix={ServiceClass.EMBB: 2.0, ServiceClass.URLLC: 2.0})
+        assert tg.mix[ServiceClass.EMBB] == pytest.approx(0.5)
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrafficGenerator(mix={ServiceClass.EMBB: 0.0})
+
+    def test_invalid_qos(self):
+        with pytest.raises(ConfigurationError):
+            QoSRequirement(min_rate_bps=-1.0, max_latency_ms=1.0, reliability=0.9, priority=0)
+        with pytest.raises(ConfigurationError):
+            QoSRequirement(min_rate_bps=1.0, max_latency_ms=1.0, reliability=1.5, priority=0)

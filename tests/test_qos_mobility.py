@@ -1,0 +1,66 @@
+"""Tests for the Gilbert-Elliott bursty channel."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.qos import GilbertElliottChannel, GilbertElliottConfig
+
+
+class TestConfig:
+    def test_steady_state(self):
+        cfg = GilbertElliottConfig(p_good_to_bad=0.1, p_bad_to_good=0.3)
+        assert cfg.steady_state_bad == pytest.approx(0.25)
+        assert cfg.mean_bad_burst_frames == pytest.approx(1 / 0.3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GilbertElliottConfig(p_good_to_bad=0.0)
+        with pytest.raises(ConfigurationError):
+            GilbertElliottConfig(bad_attenuation_db=-1.0)
+
+
+class TestChain:
+    def test_empirical_steady_state(self):
+        cfg = GilbertElliottConfig(p_good_to_bad=0.2, p_bad_to_good=0.4)
+        ch = GilbertElliottChannel(200, ge=cfg, rng=np.random.default_rng(0))
+        fracs = []
+        for _ in range(300):
+            mask = ch.step()
+            fracs.append(mask.mean())
+        assert np.mean(fracs[50:]) == pytest.approx(cfg.steady_state_bad, abs=0.03)
+
+    def test_bursts_are_temporally_correlated(self):
+        """Consecutive-frame state agreement must exceed the i.i.d. level."""
+        cfg = GilbertElliottConfig(p_good_to_bad=0.05, p_bad_to_good=0.1)
+        ch = GilbertElliottChannel(100, ge=cfg, rng=np.random.default_rng(1))
+        prev = ch.step()
+        agreements = []
+        for _ in range(200):
+            cur = ch.step()
+            agreements.append(np.mean(cur == prev))
+            prev = cur
+        p_bad = cfg.steady_state_bad
+        iid_agreement = p_bad**2 + (1 - p_bad) ** 2
+        assert np.mean(agreements) > iid_agreement + 0.05
+
+    def test_bad_users_attenuated(self):
+        cfg = GilbertElliottConfig(p_good_to_bad=0.5, p_bad_to_good=0.5,
+                                   bad_attenuation_db=20.0)
+        ch = GilbertElliottChannel(400, ge=cfg, rng=np.random.default_rng(2))
+        g = ch.gains()
+        bad, good = ch.states, ~ch.states
+        assert bad.any() and good.any()
+        # BAD users' mean gain is far below GOOD users' (20 dB = 100x)
+        ratio = g[good].mean() / g[bad].mean()
+        assert ratio > 10.0
+
+    def test_gains_shape_and_positivity(self):
+        ch = GilbertElliottChannel(5, rng=np.random.default_rng(3))
+        g = ch.gains()
+        assert g.shape[0] == 5
+        assert np.all(g > 0)
+
+    def test_invalid_user_count(self):
+        with pytest.raises(ConfigurationError):
+            GilbertElliottChannel(0)

@@ -1,0 +1,179 @@
+"""Tests for power allocation, slicing, multi-RAT, and the scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.qos import (
+    MultiRATProblem,
+    Scheduler,
+    ServiceClass,
+    SliceSpec,
+    allocate_slices,
+    allocate_slices_with_activation,
+    qcqp_power_control,
+    solve_multirat_exact,
+    solve_multirat_pso,
+    solve_multirat_relaxed,
+    sum_rate,
+    water_filling,
+)
+
+
+class TestWaterFilling:
+    def test_budget_exhausted(self):
+        g = np.array([1e-9, 5e-10, 2e-9])
+        p = water_filling(g, 100.0, 1e-10)
+        assert p.sum() == pytest.approx(100.0, rel=1e-8)
+        assert np.all(p >= 0)
+
+    def test_better_channels_get_more_power(self):
+        g = np.array([1e-8, 1e-10])
+        p = water_filling(g, 10.0, 1e-9)
+        assert p[0] >= p[1]
+
+    def test_weak_channel_shut_off(self):
+        g = np.array([1e-6, 1e-13])
+        p = water_filling(g, 1.0, 1e-9)
+        assert p[1] == 0.0
+
+    def test_optimality_against_perturbations(self):
+        """Water-filling maximizes sum rate: any feasible perturbation of
+        the allocation must not improve it."""
+        rng = np.random.default_rng(0)
+        g = rng.uniform(1e-10, 1e-8, 5)
+        noise = 1e-10
+        p = water_filling(g, 50.0, noise)
+        base = sum_rate(g, p, noise)
+        for _ in range(200):
+            d = rng.standard_normal(5)
+            d -= d.mean()  # keep the budget
+            q = p + 0.01 * d
+            if np.all(q >= 0):
+                assert sum_rate(g, q, noise) <= base + 1e-6
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            water_filling(np.array([0.0]), 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            water_filling(np.array([1.0]), -1.0, 1.0)
+
+
+class TestQCQPPowerControl:
+    def test_min_energy_sits_at_floors(self):
+        g = np.array([1e-9, 5e-10, 2e-9])
+        floors = np.array([10.0, 5.0, 20.0])
+        res = qcqp_power_control(g, 1e-10, 100.0, floors)
+        assert res.feasible
+        expected = floors * 1e-10 / g
+        assert np.allclose(res.powers_mw, expected, atol=1e-3)
+
+    def test_infeasible_budget_detected(self):
+        g = np.array([1e-10])
+        with pytest.raises(InfeasibleError):
+            qcqp_power_control(g, 1e-10, 1.0, np.array([1e6]))
+
+    def test_dimension_check(self):
+        with pytest.raises(ConfigurationError):
+            qcqp_power_control(np.ones(2), 1e-10, 10.0, np.ones(3))
+
+
+class TestSlicing:
+    def _specs(self):
+        return [
+            SliceSpec(ServiceClass.EMBB, 5.0, 50e6),
+            SliceSpec(ServiceClass.URLLC, 2.0, 5e6, weight=2.0),
+            SliceSpec(ServiceClass.MMTC, 1.0, 1e6),
+        ]
+
+    def test_floors_met(self):
+        res = allocate_slices(self._specs(), 20e6)
+        assert res.feasible
+        assert np.all(res.rates_bps >= [50e6, 5e6, 1e6] - np.array([1e-3] * 3))
+
+    def test_capacity_respected(self):
+        res = allocate_slices(self._specs(), 20e6)
+        assert res.bandwidth_hz.sum() <= 20e6 * (1 + 1e-9)
+
+    def test_infeasible_floors(self):
+        with pytest.raises(InfeasibleError):
+            allocate_slices(self._specs(), 5e6)  # floors alone need 13.5 MHz
+
+    def test_weight_shifts_allocation(self):
+        low = allocate_slices([SliceSpec(ServiceClass.EMBB, 1.0, 0.0, weight=1.0),
+                               SliceSpec(ServiceClass.MMTC, 1.0, 0.0, weight=1.0)], 10e6)
+        high = allocate_slices([SliceSpec(ServiceClass.EMBB, 1.0, 0.0, weight=5.0),
+                                SliceSpec(ServiceClass.MMTC, 1.0, 0.0, weight=1.0)], 10e6)
+        assert high.bandwidth_hz[0] >= low.bandwidth_hz[0] - 1.0
+
+    def test_activation_cheap_keeps_slices(self):
+        res = allocate_slices_with_activation(self._specs(), 20e6, activation_cost=1e3)
+        assert res.feasible
+        assert res.active.any()
+
+    def test_activation_expensive_prunes(self):
+        res = allocate_slices_with_activation(self._specs(), 20e6, activation_cost=1e8)
+        assert res.active.sum() < 3
+
+
+class TestMultiRAT:
+    def _problem(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return MultiRATProblem(
+            rates=rng.uniform(1e6, 10e6, (6, 3)),
+            capacity=np.array([3.0, 2.0, 2.0]),
+            min_rates=np.full(6, 5e5),
+        )
+
+    def test_exact_dominates(self):
+        p = self._problem(1)
+        ex = solve_multirat_exact(p)
+        rl = solve_multirat_relaxed(p)
+        ps = solve_multirat_pso(p, generations=40, seed=0)
+        assert ex.capacity_ok
+        assert ex.total_rate >= rl.total_rate - 1e-6
+        assert ex.total_rate >= ps.total_rate - 1e-6
+
+    def test_capacity_binding(self):
+        p = MultiRATProblem(
+            rates=np.full((5, 1), 1e6),
+            capacity=np.array([2.0]),
+            min_rates=np.zeros(5),
+        )
+        res = solve_multirat_exact(p)
+        assert res.assignment.tolist().count(0) == 2  # only 2 of 5 served
+
+    def test_qos_floor_blocks_bad_rats(self):
+        rates = np.array([[1e6, 1e4]])  # RAT 1 below the user's floor
+        p = MultiRATProblem(rates=rates, capacity=np.array([1.0, 1.0]),
+                            min_rates=np.array([5e5]))
+        res = solve_multirat_exact(p)
+        assert res.assignment[0] == 0
+
+    def test_evaluate_unserved_counts_violation(self):
+        p = self._problem(2)
+        ev = p.evaluate(np.full(6, -1))
+        assert ev["total_rate"] == 0.0
+        assert ev["qos_violation"] == pytest.approx(6 * 5e5)
+
+
+class TestScheduler:
+    @pytest.mark.parametrize("strategy", ["greedy", "relaxed"])
+    def test_runs_and_reports(self, strategy):
+        sch = Scheduler(n_users=3, strategy=strategy, rate_floor_scale=0.05, seed=0)
+        rep = sch.run(3)
+        assert len(rep.frames) == 3
+        assert rep.mean_rate > 0
+        assert 0.0 <= rep.qos_success_rate <= 1.0
+        assert rep.total_solver_time > 0
+
+    def test_class_satisfaction_keys(self):
+        sch = Scheduler(n_users=4, strategy="greedy", rate_floor_scale=0.05, seed=1)
+        rep = sch.run(2)
+        sat = rep.class_satisfaction()
+        assert all(isinstance(k, ServiceClass) for k in sat)
+        assert all(0.0 <= v <= 1.0 for v in sat.values())
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            Scheduler(strategy="magic")

@@ -1,0 +1,132 @@
+"""Tests for the RRA MINLP and its three solution strategies."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.qos import (
+    ChannelConfig,
+    ChannelModel,
+    QoSRequirement,
+    RRAProblem,
+    ServiceClass,
+    UserSession,
+    solve_rra_exact,
+    solve_rra_greedy,
+    solve_rra_pso,
+    solve_rra_relaxed,
+)
+
+
+def _users(rates):
+    return [
+        UserSession(i, ServiceClass.EMBB,
+                    QoSRequirement(min_rate_bps=r, max_latency_ms=50, reliability=0.99, priority=1))
+        for i, r in enumerate(rates)
+    ]
+
+
+def _problem(n_users=3, n_blocks=6, min_rate=1e5, seed=0):
+    ch = ChannelModel(ChannelConfig(n_blocks=n_blocks), rng=np.random.default_rng(seed))
+    return RRAProblem(
+        gains=ch.gains(n_users),
+        users=_users([min_rate] * n_users),
+        power_levels_mw=np.array([50.0, 100.0]),
+        total_power_mw=500.0,
+        noise_mw=ch.noise_linear_mw,
+    )
+
+
+class TestProblemStructure:
+    def test_rate_table_shape(self):
+        p = _problem()
+        assert p.rate_table().shape == (3, 6, 2)
+        assert np.all(p.rate_table() >= 0)
+
+    def test_higher_power_higher_rate(self):
+        rates = _problem().rate_table()
+        assert np.all(rates[:, :, 1] >= rates[:, :, 0])
+
+    def test_evaluate_assignment(self):
+        p = _problem()
+        choice = np.full(6, -1)
+        choice[0] = 0 * 2 + 1  # user 0, block 0, power level 1
+        ev = p.evaluate_assignment(choice)
+        assert ev["power_mw"] == pytest.approx(100.0)
+        assert ev["user_rates"][0] > 0
+        assert ev["user_rates"][1] == 0
+
+    def test_idle_assignment(self):
+        p = _problem()
+        ev = p.evaluate_assignment(np.full(6, -1))
+        assert ev["total_rate"] == 0.0
+        assert not ev["qos_ok"]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            RRAProblem(gains=np.ones((2, 4)), users=_users([1.0]),
+                       power_levels_mw=np.array([10.0]), total_power_mw=100.0, noise_mw=1e-10)
+
+
+class TestSolvers:
+    def test_exact_dominates_all_heuristics(self):
+        p = _problem(seed=1)
+        ex = solve_rra_exact(p, max_nodes=20000)
+        rl = solve_rra_relaxed(p)
+        ps = solve_rra_pso(p, swarm_size=12, generations=40, seed=0)
+        gr = solve_rra_greedy(p)
+        assert ex.qos_ok and ex.power_ok
+        for other in (rl, ps, gr):
+            if other.feasible:
+                assert ex.total_rate >= other.total_rate - 1e-6
+
+    def test_exact_respects_power_budget(self):
+        p = _problem(seed=2)
+        ex = solve_rra_exact(p)
+        ev = p.evaluate_assignment(ex.choice)
+        assert ev["power_mw"] <= p.total_power_mw + 1e-9
+
+    def test_qos_floors_bind(self):
+        """Raising one user's floor must not reduce their allocated rate
+        below it (as long as the instance stays feasible)."""
+        ch = ChannelModel(ChannelConfig(n_blocks=6), rng=np.random.default_rng(3))
+        gains = ch.gains(2)
+        users = _users([5e4, 8e6])  # user 1 demands a lot
+        p = RRAProblem(gains=gains, users=users, power_levels_mw=np.array([100.0]),
+                       total_power_mw=600.0, noise_mw=ch.noise_linear_mw)
+        try:
+            res = solve_rra_exact(p)
+        except InfeasibleError:
+            pytest.skip("instance infeasible for this channel draw")
+        ev = p.evaluate_assignment(res.choice)
+        assert ev["user_rates"][1] >= 8e6 - 1e-3
+
+    def test_infeasible_floors_detected(self):
+        ch = ChannelModel(ChannelConfig(n_blocks=2), rng=np.random.default_rng(4))
+        users = _users([1e12, 1e12])  # absurd demands
+        p = RRAProblem(gains=ch.gains(2), users=users,
+                       power_levels_mw=np.array([100.0]), total_power_mw=200.0,
+                       noise_mw=ch.noise_linear_mw)
+        with pytest.raises(InfeasibleError):
+            solve_rra_exact(p)
+
+    def test_greedy_is_feasible_when_possible(self):
+        p = _problem(seed=5)
+        gr = solve_rra_greedy(p)
+        assert gr.power_ok
+
+    def test_pso_choice_within_domain(self):
+        p = _problem(seed=6)
+        ps = solve_rra_pso(p, swarm_size=8, generations=20, seed=1)
+        assert np.all(ps.choice >= -1)
+        assert np.all(ps.choice < p.n_users * p.n_levels)
+
+    def test_relaxed_reports_lp_bound(self):
+        p = _problem(seed=7)
+        rl = solve_rra_relaxed(p)
+        # the LP bound upper-bounds every *feasible* assignment (an
+        # infeasible fallback snap may exceed it by violating QoS floors)
+        if rl.feasible:
+            assert rl.extra["lp_bound"] >= rl.total_rate - 1e-6
+        ex = solve_rra_exact(p)
+        assert rl.extra["lp_bound"] >= ex.total_rate - 1e-6

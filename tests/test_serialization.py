@@ -1,0 +1,51 @@
+"""Tests for model persistence (save_npz / load_npz)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import Dense, MSY3IConfig, ReLU, Sequential, load_npz, make_detector, save_npz
+
+
+class TestNPZRoundTrip:
+    def test_sequential_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        net = Sequential([Dense(3, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng)])
+        x = rng.standard_normal((4, 3))
+        before = net.forward(x, training=False)
+        path = str(tmp_path / "net.npz")
+        save_npz(net, path)
+        # perturb, then restore
+        for p in net.params().values():
+            p += 1.0
+        assert not np.allclose(net.forward(x, training=False), before)
+        load_npz(net, path)
+        assert np.allclose(net.forward(x, training=False), before)
+
+    def test_detector_roundtrip(self, tmp_path):
+        det = make_detector(MSY3IConfig(base_channels=4, n_stages=2),
+                            rng=np.random.default_rng(1))
+        x = np.random.default_rng(2).standard_normal((2, 1, 16, 16))
+        before = det.forward(x, training=False)
+        path = str(tmp_path / "det.npz")
+        save_npz(det, path)
+        for p in det.params().values():
+            p *= 0.0
+        load_npz(det, path)
+        assert np.allclose(det.forward(x, training=False), before)
+
+    def test_missing_key_rejected(self, tmp_path):
+        rng = np.random.default_rng(3)
+        net = Sequential([Dense(2, 2, rng=rng)])
+        path = str(tmp_path / "empty.npz")
+        np.savez(path, unrelated=np.zeros(3))
+        with pytest.raises(ConfigurationError, match="missing"):
+            load_npz(net, path)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        rng = np.random.default_rng(4)
+        net = Sequential([Dense(2, 2, rng=rng)])
+        path = str(tmp_path / "bad.npz")
+        np.savez(path, **{"0.w": np.zeros((5, 5)), "0.b": np.zeros(2)})
+        with pytest.raises(ConfigurationError, match="shape mismatch"):
+            load_npz(net, path)

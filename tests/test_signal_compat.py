@@ -1,0 +1,87 @@
+"""Tests for the librosa-style signature compatibility layer (§IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SignalProcessingError
+from repro.signal import (
+    LIBROSA_STFT_SIGNATURE,
+    check_signature_consistency,
+    get_window,
+    librosa_style_stft,
+    phase_skew,
+    stft,
+)
+
+
+def _sig(n=512, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.cos(2 * np.pi * 0.08 * np.arange(n)) + 0.2 * rng.standard_normal(n)
+
+
+class TestLibrosaStyleSTFT:
+    def test_shape_matches_librosa_convention(self):
+        s = _sig()
+        out = librosa_style_stft(s, n_fft=64, hop_length=16, win_length=64)
+        assert out.shape[0] == 33  # n_fft//2 + 1
+        assert np.iscomplexobj(out)
+
+    def test_defaults_mirror_librosa(self):
+        """hop defaults to win_length//4, win_length to n_fft."""
+        s = _sig(4096)
+        out = librosa_style_stft(s, n_fft=256)
+        explicit = librosa_style_stft(s, n_fft=256, hop_length=64, win_length=256)
+        assert np.allclose(out, explicit)
+
+    def test_center_true_matches_centered_kernel(self):
+        s = _sig()
+        g = get_window("hann", 64)
+        ref = stft(s, g, hop=16, n_fft=64, convention="frequency_invariant")
+        out = librosa_style_stft(s, n_fft=64, hop_length=16, win_length=64)
+        assert np.allclose(out, ref.coefficients[:33], atol=1e-12)
+
+    def test_center_false_is_the_simplified_convention(self):
+        """The paper's §IV-A point in one assertion: flipping `center`
+        flips the phase convention and produces the Eq. 6 skew."""
+        s = _sig()
+        centered = librosa_style_stft(s, n_fft=64, hop_length=16, win_length=64,
+                                      center=True)
+        causal = librosa_style_stft(s, n_fft=64, hop_length=16, win_length=64,
+                                    center=False)
+        assert centered.shape == causal.shape
+        skew = phase_skew(centered[:, 4:-6], causal[:, 4:-6])
+        assert skew > 0.3  # substantial, window-length-dependent skew
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(SignalProcessingError):
+            librosa_style_stft(np.zeros((2, 64)))
+
+
+class TestSignatureChecker:
+    def test_our_adapter_is_consistent(self):
+        assert check_signature_consistency(librosa_style_stft) == []
+
+    def test_reordered_signature_flagged(self):
+        def bad_stft(y, hop_length, n_fft):  # swapped order: the pre-0.4.1 bug
+            return None
+
+        issues = check_signature_consistency(bad_stft)
+        assert any("position 1" in i for i in issues)
+
+    def test_renamed_parameter_flagged(self):
+        def bad_stft(signal, n_fft, hop_length, win_length, window, center):
+            return None
+
+        issues = check_signature_consistency(bad_stft)
+        assert any("expected 'y'" in i for i in issues)
+
+    def test_truncated_signature_flagged(self):
+        def bad_stft(y, n_fft):
+            return None
+
+        issues = check_signature_consistency(bad_stft)
+        assert any("missing parameter" in i for i in issues)
+
+    def test_reference_constant_shape(self):
+        assert LIBROSA_STFT_SIGNATURE[0] == "y"
+        assert "center" in LIBROSA_STFT_SIGNATURE

@@ -1,0 +1,122 @@
+"""Tests for the from-scratch FFT family against the numpy oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SignalProcessingError
+from repro.signal import dft_naive, fft, fftfreq, ifft, irfft, next_pow2, rfft
+
+
+class TestNextPow2:
+    def test_values(self):
+        assert next_pow2(0) == 1
+        assert next_pow2(1) == 1
+        assert next_pow2(5) == 8
+        assert next_pow2(8) == 8
+        assert next_pow2(1025) == 2048
+
+
+class TestFFT:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 64, 256])
+    def test_pow2_matches_numpy(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        assert np.allclose(fft(x), np.fft.fft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("n", [3, 5, 6, 7, 100, 127, 240])
+    def test_bluestein_matches_numpy(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        assert np.allclose(fft(x), np.fft.fft(x), atol=1e-8)
+
+    def test_matches_naive_dft(self):
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal(12) + 1j * rng.standard_normal(12)
+        assert np.allclose(fft(x), dft_naive(x), atol=1e-9)
+
+    def test_zero_padding(self):
+        x = np.array([1.0, 2.0])
+        assert np.allclose(fft(x, n=8), np.fft.fft(x, n=8), atol=1e-10)
+
+    def test_truncation(self):
+        x = np.arange(10.0)
+        assert np.allclose(fft(x, n=4), np.fft.fft(x, n=4), atol=1e-10)
+
+    def test_invalid_length(self):
+        with pytest.raises(SignalProcessingError):
+            fft(np.array([1.0]), n=0)
+
+    def test_impulse_is_flat(self):
+        x = np.zeros(16)
+        x[0] = 1.0
+        assert np.allclose(fft(x), np.ones(16), atol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 96), st.integers(0, 1000))
+    def test_roundtrip_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        assert np.allclose(ifft(fft(x)), x, atol=1e-8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 64), st.integers(0, 1000))
+    def test_parseval_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        spec = fft(x)
+        assert np.sum(np.abs(x) ** 2) == pytest.approx(np.sum(np.abs(spec) ** 2) / n, rel=1e-9)
+
+
+class TestIFFT:
+    @pytest.mark.parametrize("n", [4, 7, 32, 100])
+    def test_matches_numpy(self, n):
+        rng = np.random.default_rng(n + 1)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        assert np.allclose(ifft(x), np.fft.ifft(x), atol=1e-9)
+
+
+class TestRFFT:
+    @pytest.mark.parametrize("n", [4, 8, 9, 64, 65, 100, 101])
+    def test_matches_numpy(self, n):
+        rng = np.random.default_rng(n + 2)
+        x = rng.standard_normal(n)
+        assert np.allclose(rfft(x), np.fft.rfft(x), atol=1e-9)
+
+    def test_rejects_complex_input(self):
+        with pytest.raises(SignalProcessingError):
+            rfft(np.array([1.0 + 1j]))
+
+    def test_accepts_complex_dtype_with_zero_imag(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0], dtype=np.complex128)
+        assert np.allclose(rfft(x), np.fft.rfft(x.real), atol=1e-10)
+
+
+class TestIRFFT:
+    @pytest.mark.parametrize("n", [4, 8, 9, 64, 65])
+    def test_roundtrip_even_and_odd(self, n):
+        rng = np.random.default_rng(n + 3)
+        x = rng.standard_normal(n)
+        assert np.allclose(irfft(rfft(x), n=n), x, atol=1e-9)
+
+    def test_default_length_even(self):
+        x = np.random.default_rng(0).standard_normal(16)
+        assert np.allclose(irfft(rfft(x)), x, atol=1e-9)
+
+    def test_output_is_real(self):
+        x = np.random.default_rng(1).standard_normal(32)
+        out = irfft(rfft(x))
+        assert out.dtype == np.float64
+
+    def test_empty_rejected(self):
+        with pytest.raises(SignalProcessingError):
+            irfft(np.array([]))
+
+
+class TestFFTFreq:
+    @pytest.mark.parametrize("n", [1, 4, 5, 16])
+    def test_matches_numpy(self, n):
+        assert np.allclose(fftfreq(n), np.fft.fftfreq(n))
+
+    def test_spacing(self):
+        assert np.allclose(fftfreq(8, d=0.5), np.fft.fftfreq(8, d=0.5))

@@ -1,0 +1,87 @@
+"""Tests for the Gabor transform and gabphasederiv."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SignalProcessingError
+from repro.signal import GaborFrame, gabor_transform, gabphasederiv
+
+
+def _tone(n=512, f=0.125):
+    return np.cos(2 * np.pi * f * np.arange(n))
+
+
+class TestGaborFrame:
+    def test_redundancy(self):
+        frame = GaborFrame(window_length=32, hop=8, n_channels=64)
+        assert frame.redundancy() == 8.0
+
+    def test_window_is_gaussian_peak_centered(self):
+        frame = GaborFrame(window_length=33, hop=8, n_channels=64)
+        w = frame.window()
+        assert int(np.argmax(w)) == 16
+
+    def test_invalid_channels_rejected(self):
+        frame = GaborFrame(window_length=64, hop=8, n_channels=32)
+        with pytest.raises(SignalProcessingError):
+            gabor_transform(_tone(), frame)
+
+
+class TestGaborTransform:
+    def test_shape(self):
+        frame = GaborFrame(window_length=32, hop=8, n_channels=64)
+        res = gabor_transform(_tone(), frame)
+        # ceil((512 + 16) / 8) = 66 frames
+        assert res.coefficients.shape == (64, 66)
+        assert res.convention == "frequency_invariant"
+
+    def test_tone_concentrates_at_its_channel(self):
+        n_channels = 64
+        f = 8 / n_channels
+        frame = GaborFrame(window_length=32, hop=8, n_channels=n_channels)
+        res = gabor_transform(_tone(f=f), frame)
+        mag = np.abs(res.coefficients[: n_channels // 2, 20])
+        assert np.argmax(mag) == 8
+
+
+class TestGabPhaseDeriv:
+    def test_constant_tone_has_flat_time_derivative(self):
+        """For a steady tone the unwrapped phase advances linearly, so the
+        time derivative of the phase is constant where reliable."""
+        frame = GaborFrame(window_length=32, hop=8, n_channels=64)
+        res = gabor_transform(_tone(f=8 / 64), frame)
+        deriv, reliable = gabphasederiv(res, dflag="t", method="phase")
+        row = deriv[8, 4:-4]
+        rel = reliable[8, 4:-4]
+        assert np.any(rel)
+        spread = np.std(row[rel])
+        assert spread < 0.2 * max(abs(np.mean(row[rel])), 1.0)
+
+    def test_unreliable_mask_flags_low_magnitude_bins(self):
+        """Paper (quoting LTFAT): 'the computation of phased is inaccurate
+        when the absolute value of the Gabor coefficients is low'."""
+        frame = GaborFrame(window_length=32, hop=8, n_channels=64)
+        res = gabor_transform(_tone(f=8 / 64), frame)
+        _deriv, reliable = gabphasederiv(res, magnitude_floor=1e-3)
+        mag = np.abs(res.coefficients)
+        assert not reliable[mag < 1e-3 * mag.max()].any()
+        assert reliable[8].any()
+
+    def test_methods_agree_on_reliable_bins(self):
+        frame = GaborFrame(window_length=32, hop=8, n_channels=64)
+        res = gabor_transform(_tone(f=8 / 64), frame)
+        d1, r1 = gabphasederiv(res, method="phase", magnitude_floor=1e-2)
+        d2, r2 = gabphasederiv(res, method="dgt", magnitude_floor=1e-2)
+        mask = r1 & r2
+        mask[:, :2] = mask[:, -2:] = False
+        # inner reliable bins: both estimators see the same structure
+        corr = np.corrcoef(d1[mask].ravel(), d2[mask].ravel())[0, 1]
+        assert corr > 0.5
+
+    def test_invalid_flags(self):
+        frame = GaborFrame(window_length=16, hop=8, n_channels=32)
+        res = gabor_transform(_tone(128), frame)
+        with pytest.raises(SignalProcessingError):
+            gabphasederiv(res, dflag="x")
+        with pytest.raises(SignalProcessingError):
+            gabphasederiv(res, method="magic")

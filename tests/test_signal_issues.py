@@ -1,0 +1,125 @@
+"""Tests for the Fig. 3 numerical-issue detectors."""
+
+import numpy as np
+import pytest
+
+from repro.signal import IssueCategory, IssueSeverity, run_detectors
+from repro.signal.issues import (
+    detect_cola_violation,
+    detect_fft_roundtrip_error,
+    detect_irfft_symmetry_handling,
+    detect_istft_reconstruction,
+    detect_linearity_violation,
+    detect_parseval_violation,
+    detect_stft_phase_skew,
+    detect_window_peak_convention,
+)
+
+
+class TestCleanImplementationsPass:
+    def test_our_fft_roundtrip_clean(self):
+        assert detect_fft_roundtrip_error() == []
+
+    def test_our_irfft_clean(self):
+        assert detect_irfft_symmetry_handling() == []
+
+    def test_parseval_clean(self):
+        assert detect_parseval_violation() == []
+
+    def test_linearity_clean(self):
+        assert detect_linearity_violation() == []
+
+    def test_numpy_as_comparator_clean(self):
+        assert detect_fft_roundtrip_error(np.fft.fft, np.fft.ifft, library="numpy") == []
+        assert detect_parseval_violation(np.fft.fft, library="numpy") == []
+
+
+class TestBuggyImplementationsCaught:
+    def test_wrong_normalization_caught_by_parseval(self):
+        buggy = lambda x: np.fft.fft(x) / np.sqrt(len(np.asarray(x)))
+        issues = detect_parseval_violation(buggy, library="buggy")
+        assert len(issues) == 1
+        assert issues[0].category is IssueCategory.FFT
+        assert issues[0].severity is IssueSeverity.ERROR
+
+    def test_broken_roundtrip_caught(self):
+        # an ifft that forgets the 1/N normalization
+        buggy_ifft = lambda x: np.fft.ifft(x) * len(np.asarray(x))
+        issues = detect_fft_roundtrip_error(np.fft.fft, buggy_ifft, library="buggy")
+        assert len(issues) == 4  # all probed lengths fail
+
+    def test_nonlinear_fft_caught(self):
+        buggy = lambda x: np.fft.fft(x) + 0.01
+        assert detect_linearity_violation(buggy, library="buggy")
+
+    def test_odd_length_irfft_bug_caught(self):
+        """Simulate the classic bug: assume the output length is even."""
+
+        def buggy_irfft(spec, n=None):
+            out = np.fft.irfft(spec)  # even-length assumption
+            if n is None:
+                return out
+            if out.size >= n:
+                return out[:n]
+            return np.concatenate([out, np.zeros(n - out.size)])
+
+        issues = detect_irfft_symmetry_handling(np.fft.rfft, buggy_irfft, library="buggy")
+        assert any("odd" in i.description for i in issues)
+        # even lengths are unaffected by this particular bug
+        assert not any("even" in i.description for i in issues)
+
+
+class TestConventionDetectors:
+    def test_phase_skew_reported_between_conventions(self):
+        issues = detect_stft_phase_skew()
+        assert len(issues) == 1
+        assert issues[0].category is IssueCategory.STFT
+        assert "delay" in issues[0].description
+
+    def test_istft_reports_simplified_edge_loss(self):
+        issues = detect_istft_reconstruction()
+        assert any("simplified" in i.description for i in issues)
+        # centered conventions are exact -> only the simplified row appears
+        assert all("simplified" in i.description for i in issues)
+
+    def test_cola_violation_detected(self):
+        assert detect_cola_violation(hop=24)
+        assert detect_cola_violation(hop=16) == []
+
+    def test_window_storage_reported(self):
+        issues = detect_window_peak_convention()
+        assert issues and issues[0].severity is IssueSeverity.INFO
+
+
+class TestSignatureDrift:
+    def test_clean_adapter_passes(self):
+        from repro.signal.issues import detect_signature_drift
+
+        assert detect_signature_drift() == []
+
+    def test_legacy_order_caught(self):
+        from repro.signal.issues import detect_signature_drift
+
+        def legacy(signal, frame_length, hop):
+            return None
+
+        issues = detect_signature_drift(legacy, library="legacy")
+        assert issues
+        assert all("signature drift" in i.description for i in issues)
+
+
+class TestBattery:
+    def test_run_detectors_returns_catalog(self):
+        issues = run_detectors()
+        # the battery must reproduce at least the three claimed issue
+        # classes: STFT skew, simplified ISTFT loss, COLA violation
+        cats = {i.category for i in issues}
+        assert IssueCategory.STFT in cats
+        assert IssueCategory.ISTFT in cats
+        assert IssueCategory.WINDOW in cats
+
+    def test_rows_render(self):
+        for issue in run_detectors():
+            row = issue.as_row()
+            assert issue.library in row
+            assert issue.severity.value in row

@@ -1,0 +1,142 @@
+"""Tests for phase-convention conversion and skew measurement."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError, SignalProcessingError
+from repro.signal import (
+    convert_convention,
+    delay_of_simplified_convention,
+    get_window,
+    magnitude_mismatch,
+    phase_correction_matrix,
+    phase_skew,
+    stft,
+    unwrap_phase,
+)
+
+
+def _sig(n=256, seed=3):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return np.cos(2 * np.pi * 0.11 * t + 0.4) + 0.2 * rng.standard_normal(n)
+
+
+class TestDelay:
+    def test_delay_is_half_window(self):
+        assert delay_of_simplified_convention(32) == 16
+        assert delay_of_simplified_convention(33) == 16
+
+    def test_invalid_length(self):
+        with pytest.raises(SignalProcessingError):
+            delay_of_simplified_convention(0)
+
+
+class TestConversion:
+    def test_ti_fi_conversion_exact(self):
+        """Time-invariant <-> frequency-invariant is a pure pointwise
+        demodulation and must be exact to machine precision."""
+        s = _sig()
+        g = get_window("hann", 32)
+        ti = stft(s, g, hop=8, n_fft=64, convention="time_invariant")
+        fi = stft(s, g, hop=8, n_fft=64, convention="frequency_invariant")
+        assert np.max(np.abs(convert_convention(fi, "time_invariant").coefficients
+                             - ti.coefficients)) < 1e-10
+        assert np.max(np.abs(convert_convention(ti, "frequency_invariant").coefficients
+                             - fi.coefficients)) < 1e-10
+
+    def test_conversion_is_involution(self):
+        s = _sig()
+        g = get_window("hann", 32)
+        ti = stft(s, g, hop=8, n_fft=64, convention="time_invariant")
+        back = convert_convention(convert_convention(ti, "frequency_invariant"), "time_invariant")
+        assert np.max(np.abs(back.coefficients - ti.coefficients)) < 1e-10
+
+    def test_same_convention_is_noop(self):
+        s = _sig()
+        r = stft(s, get_window("hann", 32), hop=8, n_fft=64)
+        assert convert_convention(r, r.convention) is r
+
+    def test_matrix_is_unimodular(self):
+        p = phase_correction_matrix(32, 10, 8, "time_invariant", "frequency_invariant", 16)
+        assert np.allclose(np.abs(p), 1.0)
+
+    def test_unknown_convention_rejected(self):
+        with pytest.raises(SignalProcessingError):
+            phase_correction_matrix(32, 10, 8, "nope", "simplified", 16)
+
+
+class TestSkewMeasurement:
+    def test_zero_skew_for_identical(self):
+        s = _sig()
+        r = stft(s, get_window("hann", 32), hop=8, n_fft=64)
+        assert phase_skew(r.coefficients, r.coefficients) == pytest.approx(0.0, abs=1e-12)
+
+    def test_simplified_equals_skew_times_delay_exactly(self):
+        """The exact Eq. 5/6 relation: the simplified coefficients equal
+        the frequency-invariant coefficients of the *half-window-advanced*
+        signal, times the phase-skew factor exp(-2 pi i m floor(Lg/2)/M).
+        Both halves of the paper's claim ("a delay as well as a phase
+        skew ... dependent on the (stored) window length Lg") hold to
+        machine precision."""
+        import numpy as np
+
+        s = _sig(512)
+        lg, hop, m_fft = 32, 4, 64
+        half = lg // 2
+        g = get_window("hann", lg)
+        simp = stft(s, g, hop=hop, n_fft=m_fft, convention="simplified")
+        fi_advanced = stft(s[half:], g, hop=hop, n_fft=m_fft,
+                           convention="frequency_invariant")
+        m = np.arange(m_fft)[:, None]
+        corrected = simp.coefficients * np.exp(2j * np.pi * m * half / m_fft)
+        nf = min(corrected.shape[1], fi_advanced.coefficients.shape[1]) - 10
+        a = corrected[:, 5:nf]
+        b = fi_advanced.coefficients[:, 5:nf]
+        assert np.linalg.norm(a - b) / np.linalg.norm(b) < 1e-10
+        # without the correction the skew is substantial
+        assert phase_skew(simp.coefficients[:, 5:nf],
+                          fi_advanced.coefficients[:, 5:nf]) > 0.5
+
+    def test_magnitude_floor_excludes_noise_bins(self):
+        """Near-zero bins have 'almost random' phase and must be masked."""
+        rng = np.random.default_rng(5)
+        a = np.ones((8, 8), dtype=complex)
+        b = a.copy()
+        # corrupt only tiny-magnitude bins
+        a[0, 0] = 1e-14 * np.exp(1j * 2.0)
+        b[0, 0] = 1e-14 * np.exp(-1j * 2.0)
+        assert phase_skew(a, b) == pytest.approx(0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DimensionError):
+            phase_skew(np.ones((2, 2)), np.ones((3, 3)))
+
+
+class TestMagnitudeMismatch:
+    def test_conventions_agree_in_magnitude(self):
+        s = _sig()
+        g = get_window("hann", 32)
+        ti = stft(s, g, hop=8, n_fft=64, convention="time_invariant")
+        fi = stft(s, g, hop=8, n_fft=64, convention="frequency_invariant")
+        assert magnitude_mismatch(ti.coefficients, fi.coefficients) < 1e-12
+
+    def test_detects_real_mismatch(self):
+        a = np.ones((4, 4), dtype=complex)
+        assert magnitude_mismatch(a, 2 * a) == pytest.approx(1.0)
+
+
+class TestUnwrap:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(6)
+        phase = np.cumsum(rng.uniform(-0.5, 4.0, size=50))
+        wrapped = np.angle(np.exp(1j * phase))
+        ours = unwrap_phase(wrapped)
+        theirs = np.unwrap(wrapped)
+        assert np.allclose(ours, theirs, atol=1e-9)
+
+    def test_2d_axis(self):
+        phase = np.linspace(0, 20, 50).reshape(5, 10)
+        wrapped = np.angle(np.exp(1j * phase))
+        out = unwrap_phase(wrapped, axis=1)
+        assert np.allclose(np.diff(out, axis=1), np.diff(phase.reshape(5, 10), axis=1), atol=1e-9)

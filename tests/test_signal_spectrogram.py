@@ -1,0 +1,105 @@
+"""Tests for spectrogram and synthetic RF signal generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SignalProcessingError
+from repro.signal import (
+    linear_chirp,
+    log_spectrogram,
+    multitone,
+    noisy,
+    ofdm_burst,
+    spectrogram,
+)
+
+
+class TestSpectrogram:
+    def test_shape_real_input(self):
+        s = multitone(512, [0.1])
+        p = spectrogram(s, window_length=64, hop=16, n_fft=64)
+        assert p.shape == (33, 34)  # n_fft//2+1 bins, ceil((512+32)/16) frames
+
+    def test_tone_energy_at_expected_bin(self):
+        n_fft = 64
+        s = multitone(512, [8 / n_fft])
+        p = spectrogram(s, window_length=64, hop=16, n_fft=n_fft)
+        assert np.argmax(p[:, 10]) == 8
+
+    def test_nonnegative(self):
+        s = noisy(multitone(256, [0.2]), 5.0)
+        assert np.all(spectrogram(s, window_length=32, hop=8) >= 0)
+
+    def test_log_spectrogram_floor(self):
+        s = multitone(256, [0.2])
+        db = log_spectrogram(s, floor_db=-60.0, window_length=32, hop=8)
+        assert db.max() == pytest.approx(0.0, abs=1e-9)
+        assert db.min() >= -60.0 - 1e-9
+
+
+class TestChirp:
+    def test_length_and_amplitude(self):
+        c = linear_chirp(256, amplitude=2.0)
+        assert c.shape == (256,)
+        assert np.max(np.abs(c)) <= 2.0 + 1e-12
+
+    def test_frequency_increases_along_time(self):
+        c = linear_chirp(4096, f0=0.05, f1=0.4)
+        early = spectrogram(c[:1024], window_length=64, hop=16, n_fft=64)
+        late = spectrogram(c[-1024:], window_length=64, hop=16, n_fft=64)
+        assert np.argmax(early.mean(axis=1)) < np.argmax(late.mean(axis=1))
+
+    def test_invalid_frequency(self):
+        with pytest.raises(SignalProcessingError):
+            linear_chirp(100, f0=0.7)
+
+
+class TestMultitone:
+    def test_superposition(self):
+        s = multitone(128, [0.1, 0.2], [1.0, 0.5])
+        a = multitone(128, [0.1], [1.0])
+        b = multitone(128, [0.2], [0.5])
+        assert np.allclose(s, a + b)
+
+    def test_mismatched_amplitudes(self):
+        with pytest.raises(SignalProcessingError):
+            multitone(128, [0.1, 0.2], [1.0])
+
+
+class TestOFDM:
+    def test_length(self):
+        b = ofdm_burst(n_subcarriers=16, n_symbols=4, cp_length=4)
+        assert b.shape == (4 * 20,)
+        assert np.iscomplexobj(b)
+
+    def test_cyclic_prefix_is_copy_of_tail(self):
+        b = ofdm_burst(n_subcarriers=16, n_symbols=1, cp_length=4)
+        sym = b.reshape(1, 20)
+        assert np.allclose(sym[0, :4], sym[0, -4:])
+
+    def test_unit_average_power(self):
+        b = ofdm_burst(n_subcarriers=64, n_symbols=16, cp_length=0)
+        assert np.mean(np.abs(b) ** 2) == pytest.approx(1.0, rel=0.1)
+
+    def test_invalid_params(self):
+        with pytest.raises(SignalProcessingError):
+            ofdm_burst(n_subcarriers=1)
+
+
+class TestNoisy:
+    def test_snr_is_respected(self):
+        s = multitone(8192, [0.1])
+        rng = np.random.default_rng(0)
+        out = noisy(s, snr_db=10.0, rng=rng)
+        noise = out - s
+        measured = 10 * np.log10(np.mean(s**2) / np.mean(noise**2))
+        assert measured == pytest.approx(10.0, abs=0.5)
+
+    def test_complex_signal_noise_is_complex(self):
+        s = ofdm_burst()
+        out = noisy(s, 20.0)
+        assert np.iscomplexobj(out)
+
+    def test_zero_signal_passthrough(self):
+        z = np.zeros(16)
+        assert np.allclose(noisy(z, 10.0), z)

@@ -1,0 +1,127 @@
+"""Tests for the STFT conventions (paper Eqs. 5-6) and inversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SignalProcessingError
+from repro.signal import (
+    frame_signal,
+    get_window,
+    istft,
+    num_frames,
+    stft,
+)
+
+
+def _sig(n=256, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return np.cos(2 * np.pi * 0.09 * t) + 0.3 * rng.standard_normal(n)
+
+
+class TestFraming:
+    def test_num_frames(self):
+        assert num_frames(256, 8) == 32
+        assert num_frames(250, 8) == 32  # ceil
+        # centered framings extend to cover the trailing half-window
+        assert num_frames(256, 16, center_offset=8) == 17
+
+    def test_frame_contents_causal(self):
+        s = np.arange(32.0)
+        frames = frame_signal(s, window_length=4, hop=4, center_offset=0)
+        assert np.allclose(frames[1].real, [4, 5, 6, 7])
+
+    def test_frame_contents_centered_pads_zeros(self):
+        s = np.arange(32.0)
+        frames = frame_signal(s, window_length=4, hop=4, center_offset=2)
+        # first frame starts at -2: two zeros then s[0], s[1]
+        assert np.allclose(frames[0].real, [0, 0, 0, 1])
+
+    def test_invalid_hop(self):
+        with pytest.raises(SignalProcessingError):
+            num_frames(100, 0)
+
+
+class TestSTFTShapes:
+    def test_coefficient_shape(self):
+        r = stft(_sig(), get_window("hann", 32), hop=8, n_fft=64)
+        # ceil((256 + 16) / 8) = 34 frames: the extra two cover the
+        # trailing half-window of the centered framing
+        assert r.coefficients.shape == (64, 34)
+        assert r.n_frames == 34
+
+    def test_window_longer_than_nfft_rejected(self):
+        with pytest.raises(SignalProcessingError):
+            stft(_sig(), get_window("hann", 64), hop=8, n_fft=32)
+
+    def test_unknown_convention_rejected(self):
+        with pytest.raises(SignalProcessingError):
+            stft(_sig(), get_window("hann", 32), hop=8, convention="weird")
+
+
+class TestMagnitudeAgreement:
+    def test_conventions_share_magnitudes_where_aligned(self):
+        """Time-invariant and frequency-invariant differ only in phase."""
+        s = _sig()
+        g = get_window("hann", 32)
+        ti = stft(s, g, hop=8, n_fft=64, convention="time_invariant")
+        fi = stft(s, g, hop=8, n_fft=64, convention="frequency_invariant")
+        assert np.allclose(np.abs(ti.coefficients), np.abs(fi.coefficients), atol=1e-10)
+
+    def test_pure_tone_peaks_at_right_bin(self):
+        n_fft = 64
+        t = np.arange(512)
+        s = np.cos(2 * np.pi * (8 / n_fft) * t)
+        r = stft(s, get_window("hann", 32), hop=8, n_fft=n_fft)
+        mag = np.abs(r.coefficients)[:, 10]
+        assert np.argmax(mag[: n_fft // 2]) == 8
+
+
+class TestISTFT:
+    @pytest.mark.parametrize("conv", ["time_invariant", "frequency_invariant"])
+    def test_perfect_reconstruction_centered(self, conv):
+        s = _sig()
+        r = stft(s, get_window("hann", 32), hop=8, n_fft=64, convention=conv)
+        rec = istft(r)
+        assert np.linalg.norm(rec - s) / np.linalg.norm(s) < 1e-10
+
+    def test_simplified_reconstructs_interior_only(self):
+        """Causal framing loses the edges (the catalogued toolkit issue:
+        s is 'not considered circularly'); the interior is exact."""
+        s = _sig()
+        r = stft(s, get_window("hann", 32), hop=8, n_fft=64, convention="simplified")
+        rec = istft(r)
+        interior = slice(32, len(s) - 32)
+        assert np.linalg.norm(rec[interior] - s[interior]) / np.linalg.norm(s[interior]) < 1e-10
+        # and the edges are genuinely lossy
+        assert np.linalg.norm(rec - s) / np.linalg.norm(s) > 1e-6
+
+    def test_reconstruction_with_rectangular_window(self):
+        s = _sig()
+        r = stft(s, get_window("rectangular", 16), hop=16, n_fft=32,
+                 convention="frequency_invariant")
+        rec = istft(r)
+        assert np.linalg.norm(rec - s) / np.linalg.norm(s) < 1e-10
+
+    def test_explicit_length_trims(self):
+        s = _sig()
+        r = stft(s, get_window("hann", 32), hop=8, n_fft=64)
+        rec = istft(r, length=100)
+        assert rec.shape == (100,)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 100), st.sampled_from([4, 8, 16]))
+    def test_roundtrip_property(self, seed, hop):
+        s = _sig(192, seed)
+        r = stft(s, get_window("hann", 32), hop=hop, n_fft=64,
+                 convention="time_invariant")
+        rec = istft(r)
+        assert np.linalg.norm(rec - s) / np.linalg.norm(s) < 1e-8
+
+
+class TestResultAccessors:
+    def test_magnitude_and_phase(self):
+        r = stft(_sig(), get_window("hann", 32), hop=8, n_fft=64)
+        assert np.allclose(r.magnitude(), np.abs(r.coefficients))
+        assert r.phase().shape == r.coefficients.shape

@@ -1,0 +1,93 @@
+"""Tests for analysis windows and the storage-convention helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SignalProcessingError
+from repro.signal import (
+    blackman,
+    causal_to_centered,
+    centered_to_causal,
+    cola_check,
+    gaussian,
+    get_window,
+    hamming,
+    hann,
+    rectangular,
+    window_peak_index,
+)
+
+
+class TestWindowShapes:
+    @pytest.mark.parametrize("factory", [rectangular, hann, hamming, blackman, gaussian])
+    def test_length_and_range(self, factory):
+        w = factory(32)
+        assert w.shape == (32,)
+        assert np.all(w >= -1e-12) and np.all(w <= 1.0 + 1e-12)
+
+    def test_hann_periodic_starts_at_zero(self):
+        assert hann(16)[0] == pytest.approx(0.0)
+
+    def test_hann_matches_numpy_periodic(self):
+        # numpy's hanning is symmetric; periodic == hanning(n+1)[:-1]
+        assert np.allclose(hann(32), np.hanning(33)[:-1])
+
+    def test_gaussian_peak_centered(self):
+        w = gaussian(33)
+        assert window_peak_index(w) == 16
+
+    def test_invalid_length(self):
+        with pytest.raises(SignalProcessingError):
+            hann(0)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(SignalProcessingError):
+            gaussian(16, sigma_ratio=0.0)
+
+
+class TestGetWindow:
+    def test_lookup(self):
+        assert np.allclose(get_window("hann", 16), hann(16))
+
+    def test_case_insensitive(self):
+        assert np.allclose(get_window("HANN", 16), hann(16))
+
+    def test_unknown_raises_with_choices(self):
+        with pytest.raises(SignalProcessingError, match="choose from"):
+            get_window("kaiser", 16)
+
+
+class TestStorageConventions:
+    def test_centered_to_causal_moves_peak_to_zero(self):
+        w = gaussian(33)
+        causal = centered_to_causal(w)
+        assert window_peak_index(causal) == 0
+
+    def test_roundtrip(self):
+        w = gaussian(32)
+        assert np.allclose(causal_to_centered(centered_to_causal(w)), w)
+
+    def test_empty_window_peak_rejected(self):
+        with pytest.raises(SignalProcessingError):
+            window_peak_index(np.array([]))
+
+
+class TestCOLA:
+    def test_hann_half_overlap_is_cola(self):
+        assert cola_check(hann(32), 16)
+
+    def test_hann_quarter_overlap_is_cola(self):
+        assert cola_check(hann(32), 8)
+
+    def test_large_hop_violates_cola(self):
+        assert not cola_check(hann(32), 24)
+
+    def test_hop_exceeding_window(self):
+        assert not cola_check(hann(16), 32)
+
+    def test_rect_no_overlap_is_cola(self):
+        assert cola_check(rectangular(16), 16)
+
+    def test_invalid_hop(self):
+        with pytest.raises(SignalProcessingError):
+            cola_check(hann(16), 0)

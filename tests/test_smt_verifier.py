@@ -1,0 +1,83 @@
+"""Tests for the SMT-style case-splitting exact verifier."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import VerificationError
+from repro.nn import Dense, ReLU, Sequential, Tanh
+from repro.verify import exact_margin_bound, smt_margin_bound
+
+
+def _relu_net(seed=0, widths=(2, 5, 5, 2)):
+    rng = np.random.default_rng(seed)
+    layers = []
+    for a, b in zip(widths[:-1], widths[1:]):
+        layers.append(Dense(a, b, rng=rng))
+        layers.append(ReLU())
+    layers.pop()
+    return Sequential(layers)
+
+
+class TestSMTAgainstMILP:
+    """The two exact engines must agree — the §II-B-2 statement that exact
+    verifiers (MIP, BnB, SMT) share the same no-false-verdict semantics."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_margins_agree(self, seed):
+        net = _relu_net(seed)
+        rng = np.random.default_rng(seed + 100)
+        x0 = rng.uniform(-0.4, 0.4, 2)
+        c = np.array([1.0, -1.0])
+        milp = exact_margin_bound(net, x0, 0.15, c)
+        smt = smt_margin_bound(net, x0, 0.15, c)
+        assert smt.converged
+        assert smt.margin == pytest.approx(milp.margin, abs=1e-5)
+
+    def test_worst_case_point_achieves_margin(self):
+        net = _relu_net(1)
+        x0 = np.array([0.1, -0.2])
+        c = np.array([1.0, -1.0])
+        res = smt_margin_bound(net, x0, 0.2, c)
+        achieved = float(c @ net.forward(res.x_worst.reshape(1, -1), training=False).ravel())
+        assert achieved == pytest.approx(res.margin, abs=1e-5)
+        assert np.all(np.abs(res.x_worst - x0) <= 0.2 + 1e-8)
+
+    def test_zero_eps_no_splits(self):
+        net = _relu_net(2)
+        x0 = np.array([0.3, 0.3])
+        c = np.array([1.0, -1.0])
+        res = smt_margin_bound(net, x0, 0.0, c)
+        assert res.splits == 0
+        clean = float(c @ net.forward(x0.reshape(1, -1), training=False).ravel())
+        assert res.margin == pytest.approx(clean, abs=1e-6)
+
+    def test_splits_grow_with_eps(self):
+        net = _relu_net(3)
+        c = np.array([1.0, -1.0])
+        small = smt_margin_bound(net, np.zeros(2), 0.02, c).splits
+        large = smt_margin_bound(net, np.zeros(2), 0.5, c).splits
+        assert large >= small
+
+    def test_split_budget_reports_incomplete(self):
+        net = _relu_net(4, widths=(2, 8, 8, 2))
+        res = smt_margin_bound(net, np.zeros(2), 0.5, np.array([1.0, -1.0]),
+                               max_splits=1)
+        assert not res.converged
+
+    def test_rejects_non_relu(self):
+        rng = np.random.default_rng(5)
+        net = Sequential([Dense(2, 3, rng=rng), Tanh(), Dense(3, 2, rng=rng)])
+        with pytest.raises(VerificationError):
+            smt_margin_bound(net, np.zeros(2), 0.1, np.array([1.0, -1.0]))
+
+    def test_bound_is_sound_vs_sampling(self):
+        net = _relu_net(6)
+        x0 = np.array([0.2, 0.0])
+        c = np.array([1.0, -1.0])
+        eps = 0.25
+        res = smt_margin_bound(net, x0, eps, c)
+        rng = np.random.default_rng(7)
+        for _ in range(2000):
+            x = x0 + eps * (rng.random(2) * 2 - 1)
+            m = float(c @ net.forward(x.reshape(1, -1), training=False).ravel())
+            assert m >= res.margin - 1e-7

@@ -1,0 +1,91 @@
+"""Tests for spatial branch-and-bound over indefinite quadratics."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.minlp import spatial_minimize_quadratic
+
+
+def _brute(q, qv, lo, hi, points=17):
+    grids = [np.linspace(l, h, points) for l, h in zip(lo, hi)]
+    best = np.inf
+    for x in itertools.product(*grids):
+        x = np.array(x)
+        best = min(best, 0.5 * x @ q @ x + qv @ x)
+    return best
+
+
+class TestSpatialBnB:
+    def test_convex_case_interior_minimum(self):
+        q = 2 * np.eye(2)
+        qv = np.array([-2.0, 1.0])
+        res = spatial_minimize_quadratic(q, qv, -2 * np.ones(2), 2 * np.ones(2))
+        assert res.converged
+        assert np.allclose(res.x, [1.0, -0.5], atol=1e-3)
+
+    def test_concave_case_corner_minimum(self):
+        """A concave quadratic is minimized at a box corner."""
+        q = -2 * np.eye(2)
+        qv = np.zeros(2)
+        res = spatial_minimize_quadratic(q, qv, -np.ones(2), 2 * np.ones(2))
+        assert res.converged
+        # minimum at the corner with the largest |x|: (2, 2)
+        assert res.objective == pytest.approx(-8.0, abs=1e-6)
+
+    def test_bilinear_saddle(self):
+        """min x*y over [-1,1]^2 = -1 at (1,-1)/(-1,1) — pure McCormick."""
+        q = np.array([[0.0, 1.0], [1.0, 0.0]])
+        res = spatial_minimize_quadratic(q, np.zeros(2), -np.ones(2), np.ones(2))
+        assert res.converged
+        assert res.objective == pytest.approx(-1.0, abs=1e-6)
+        assert res.lower_bound == pytest.approx(-1.0, abs=1e-4)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_indefinite_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 3
+        q = rng.standard_normal((n, n))
+        q = q + q.T
+        qv = rng.standard_normal(n)
+        lo, hi = -np.ones(n), np.ones(n)
+        res = spatial_minimize_quadratic(q, qv, lo, hi, max_nodes=800)
+        brute = _brute(q, qv, lo, hi)
+        assert res.objective <= brute + 1e-3
+        assert res.lower_bound <= res.objective + 1e-6
+
+    def test_bound_certifies_optimum(self):
+        rng = np.random.default_rng(9)
+        q = rng.standard_normal((2, 2))
+        q = q + q.T
+        qv = rng.standard_normal(2)
+        res = spatial_minimize_quadratic(q, qv, -np.ones(2), np.ones(2))
+        if res.converged:
+            assert res.gap <= 1e-4
+
+    def test_node_budget_reports_incomplete(self):
+        rng = np.random.default_rng(10)
+        n = 4
+        q = rng.standard_normal((n, n))
+        q = q + q.T
+        res = spatial_minimize_quadratic(q, rng.standard_normal(n),
+                                         -np.ones(n), np.ones(n), max_nodes=1)
+        # budget of one node: either trivially converged or flagged
+        assert res.nodes <= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            spatial_minimize_quadratic(np.eye(2), np.zeros(2),
+                                       np.zeros(2), np.array([np.inf, 1.0]))
+        with pytest.raises(ConfigurationError):
+            spatial_minimize_quadratic(np.eye(3), np.zeros(2),
+                                       np.zeros(2), np.ones(2))
+
+    def test_degenerate_point_box(self):
+        q = np.array([[0.0, 1.0], [1.0, 0.0]])
+        res = spatial_minimize_quadratic(q, np.zeros(2),
+                                         np.ones(2), np.ones(2))
+        assert res.objective == pytest.approx(1.0)
+        assert res.converged

@@ -1,0 +1,149 @@
+"""Tests for the exact MILP verifier, specs, and the unified harness."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, VerificationError
+from repro.nn import Dense, ReLU, Sequential
+from repro.verify import (
+    METHOD_GRADES,
+    RobustnessSpec,
+    classification_spec,
+    compare_verifiers,
+    crown_margin_lower_bound,
+    exact_margin_bound,
+    false_negative_rate,
+    ibp_margin_lower_bound,
+    verify,
+)
+from repro.convex.relaxation import RelaxationGrade
+
+
+def _relu_net(seed=0, widths=(2, 5, 5, 2)):
+    rng = np.random.default_rng(seed)
+    layers = []
+    for a, b in zip(widths[:-1], widths[1:]):
+        layers.append(Dense(a, b, rng=rng))
+        layers.append(ReLU())
+    layers.pop()
+    return Sequential(layers)
+
+
+def _sampled_min(net, x0, eps, c, n=4000, seed=42):
+    rng = np.random.default_rng(seed)
+    best = np.inf
+    for _ in range(n):
+        x = x0 + eps * (rng.random(x0.size) * 2 - 1)
+        best = min(best, float(c @ net.forward(x.reshape(1, -1), training=False).ravel()))
+    return best
+
+
+class TestSpecs:
+    def test_input_bounds(self):
+        spec = RobustnessSpec(np.array([1.0, 2.0]), 0.5, np.array([1.0, -1.0]))
+        lo, hi = spec.input_bounds()
+        assert np.allclose(lo, [0.5, 1.5])
+        assert np.allclose(hi, [1.5, 2.5])
+
+    def test_margin_evaluation(self):
+        spec = RobustnessSpec(np.zeros(2), 0.1, np.array([1.0, -1.0]), d=0.5)
+        assert spec.margin(np.array([2.0, 1.0])) == pytest.approx(1.5)
+
+    def test_classification_spec(self):
+        spec = classification_spec(np.zeros(2), 0.1, true_label=1, other_label=0, n_classes=3)
+        assert np.allclose(spec.c, [-1.0, 1.0, 0.0])
+
+    def test_invalid_labels(self):
+        with pytest.raises(ConfigurationError):
+            classification_spec(np.zeros(2), 0.1, 0, 0, 2)
+        with pytest.raises(ConfigurationError):
+            classification_spec(np.zeros(2), 0.1, 0, 5, 2)
+
+    def test_negative_eps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RobustnessSpec(np.zeros(2), -0.1, np.ones(2))
+
+
+class TestExactVerifier:
+    def test_matches_brute_force(self):
+        net = _relu_net(seed=1)
+        x0 = np.array([0.3, -0.2])
+        c = np.array([1.0, -1.0])
+        eps = 0.1
+        res = exact_margin_bound(net, x0, eps, c)
+        assert res.converged
+        sampled = _sampled_min(net, x0, eps, c)
+        assert res.margin <= sampled + 1e-7
+        assert res.margin == pytest.approx(sampled, abs=0.02)
+
+    def test_worst_case_point_achieves_margin(self):
+        net = _relu_net(seed=2)
+        x0 = np.array([0.1, 0.1])
+        c = np.array([1.0, -1.0])
+        res = exact_margin_bound(net, x0, 0.15, c)
+        achieved = float(c @ net.forward(res.x_worst.reshape(1, -1), training=False).ravel())
+        assert achieved == pytest.approx(res.margin, abs=1e-5)
+        assert np.all(np.abs(res.x_worst - x0) <= 0.15 + 1e-8)
+
+    def test_zero_eps_equals_clean_margin(self):
+        net = _relu_net(seed=3)
+        x0 = np.array([0.2, 0.5])
+        c = np.array([1.0, -1.0])
+        clean = float(c @ net.forward(x0.reshape(1, -1), training=False).ravel())
+        res = exact_margin_bound(net, x0, 0.0, c)
+        assert res.margin == pytest.approx(clean, abs=1e-6)
+        assert res.n_binaries == 0  # no unstable neurons at eps 0
+
+    def test_binaries_grow_with_eps(self):
+        net = _relu_net(seed=4)
+        x0 = np.zeros(2)
+        c = np.array([1.0, -1.0])
+        small = exact_margin_bound(net, x0, 0.01, c).n_binaries
+        large = exact_margin_bound(net, x0, 0.5, c).n_binaries
+        assert large >= small
+
+
+class TestHarness:
+    def test_grades_cover_ladder(self):
+        assert METHOD_GRADES["ibp"] is RelaxationGrade.INTERVAL
+        assert METHOD_GRADES["exact"] is RelaxationGrade.EXACT
+
+    def test_verify_dispatch(self):
+        net = _relu_net(seed=5)
+        spec = RobustnessSpec(np.array([0.3, 0.0]), 0.02, np.array([1.0, -1.0]))
+        for method in ("ibp", "crown-ibp", "crown", "lp", "exact"):
+            res = verify(net, spec, method=method)
+            assert res.method == method
+            assert np.isfinite(res.margin_lower_bound)
+            assert res.complete == (method == "exact")
+
+    def test_unknown_method(self):
+        net = _relu_net()
+        spec = RobustnessSpec(np.zeros(2), 0.1, np.array([1.0, -1.0]))
+        with pytest.raises(VerificationError):
+            verify(net, spec, method="smt")
+
+    def test_relaxed_never_beats_exact(self):
+        net = _relu_net(seed=6)
+        specs = [RobustnessSpec(np.random.default_rng(k).uniform(-0.4, 0.4, 2),
+                                0.08, np.array([1.0, -1.0])) for k in range(4)]
+        results = compare_verifiers(net, specs)
+        for method in ("ibp", "crown-ibp", "crown", "lp"):
+            for rel, ex in zip(results[method], results["exact"]):
+                assert rel.margin_lower_bound <= ex.margin_lower_bound + 1e-6
+                # soundness: relaxed 'verified' implies exact 'verified'
+                if rel.verified:
+                    assert ex.verified
+
+    def test_false_negative_rate(self):
+        net = _relu_net(seed=7)
+        # pick specs near the decision boundary so IBP misses some
+        specs = [RobustnessSpec(np.random.default_rng(k + 10).uniform(-0.5, 0.5, 2),
+                                0.1, np.array([1.0, -1.0])) for k in range(6)]
+        results = compare_verifiers(net, specs, methods=("ibp", "exact"))
+        fnr = false_negative_rate(results["ibp"], results["exact"])
+        assert 0.0 <= fnr <= 1.0
+
+    def test_false_negative_rate_requires_alignment(self):
+        with pytest.raises(VerificationError):
+            false_negative_rate([], [None])  # type: ignore[list-item]
