@@ -1,0 +1,52 @@
+"""repro.analysis — AST-based numerical-safety linter ("numlint");
+rule catalog and workflow documented in docs/STATIC_ANALYSIS.md.
+
+The paper's Fig. 3 catalogues silent numerical failures in ML toolkits:
+FFT/STFT convention bugs, float round-off, overflow/underflow, unstable
+composed sub-operations.  This package encodes that catalog — plus the
+solver-correctness contracts of :mod:`repro.convex`, :mod:`repro.pso`
+and :mod:`repro.minlp` — as machine-checked static-analysis rules over
+the repository's own source, so numerical hygiene is enforced in CI
+rather than re-audited by hand.
+
+Usage::
+
+    python -m repro.analysis src            # lint, exit 1 on findings
+    python -m repro.analysis --list-rules   # rule catalog
+
+Programmatic::
+
+    from repro.analysis import analyze_paths, analyze_source
+    findings = analyze_source("x == 0.1", path="snippet.py")
+"""
+
+from repro.analysis.core import (
+    Finding,
+    FileContext,
+    Rule,
+    all_rules,
+    get_rule,
+    register_rule,
+)
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.report import render_json, render_text
+from repro.analysis.runner import AnalysisResult, analyze_paths, analyze_source
+
+# Importing the rule pack registers the NL001–NL008 rules.
+from repro.analysis import rules as _rules  # noqa: F401
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "BaselineEntry",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "get_rule",
+    "register_rule",
+    "render_json",
+    "render_text",
+]

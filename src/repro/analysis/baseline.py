@@ -1,0 +1,115 @@
+"""Baseline file support: grandfather existing findings with justifications.
+
+The baseline is a JSON document mapping finding fingerprints (rule + path
++ normalized source line, see :meth:`Finding.fingerprint`) to a required
+human justification.  Matching by fingerprint rather than line number
+keeps entries stable across unrelated edits; an entry goes stale only
+when the offending line itself changes — which is exactly when it should
+be re-reviewed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.core import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    fingerprint: str
+    snippet: str
+    justification: str
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "fingerprint": self.fingerprint,
+            "snippet": self.snippet,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: Dict[str, BaselineEntry] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        baseline = cls()
+        for raw in data.get("entries", []):
+            entry = BaselineEntry(
+                rule=raw["rule"],
+                path=raw["path"],
+                fingerprint=raw["fingerprint"],
+                snippet=raw.get("snippet", ""),
+                justification=raw.get("justification", ""),
+            )
+            baseline.entries[entry.fingerprint] = entry
+        return baseline
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], justification: str = "grandfathered"
+    ) -> "Baseline":
+        baseline = cls()
+        for f in findings:
+            baseline.entries[f.fingerprint()] = BaselineEntry(
+                rule=f.rule_id,
+                path=f.path,
+                fingerprint=f.fingerprint(),
+                snippet=" ".join(f.snippet.split()),
+                justification=justification,
+            )
+        return baseline
+
+    def save(self, path: "Path | str") -> None:
+        doc = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                e.to_dict()
+                for e in sorted(
+                    self.entries.values(), key=lambda e: (e.path, e.rule, e.fingerprint)
+                )
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(doc, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )
+
+    def contains(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.entries
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> "Tuple[List[Finding], List[Finding], List[BaselineEntry]]":
+        """Partition findings into (new, baselined); also return stale
+        baseline entries that matched nothing (candidates for deletion)."""
+        new: List[Finding] = []
+        matched: List[Finding] = []
+        seen: set = set()
+        for f in findings:
+            fp = f.fingerprint()
+            if fp in self.entries:
+                matched.append(f)
+                seen.add(fp)
+            else:
+                new.append(f)
+        stale = [e for fp, e in self.entries.items() if fp not in seen]
+        return new, matched, stale

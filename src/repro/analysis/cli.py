@@ -1,0 +1,115 @@
+"""Command-line interface: ``python -m repro.analysis [paths]``.
+
+Exit codes: 0 clean, 1 findings or parse errors, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.report import render_json, render_rule_catalog, render_text
+from repro.analysis.runner import analyze_paths
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_BASELINE = Path("tools") / "numlint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "numlint — numerical-safety static analysis encoding the "
+            "paper's Fig. 3 pitfall catalog (see docs/STATIC_ANALYSIS.md)"
+        ),
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help=f"baseline JSON (default: {DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file, report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="NL001,NL002",
+        help="comma-separated subset of rules to run",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="directory that report paths are made relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog with paper grounding and exit",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also list baselined (grandfathered) findings",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_catalog())
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (try: python -m repro.analysis src)",
+              file=sys.stderr)
+        return 2
+
+    missing = [str(p) for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such file or directory: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+
+    baseline_path = args.baseline
+    if baseline_path is None and DEFAULT_BASELINE.is_file():
+        baseline_path = DEFAULT_BASELINE
+
+    baseline = None
+    if not args.no_baseline and not args.write_baseline and baseline_path is not None:
+        if not baseline_path.is_file():
+            print(f"error: baseline file not found: {baseline_path}",
+                  file=sys.stderr)
+            return 2
+        baseline = Baseline.load(baseline_path)
+
+    result = analyze_paths(
+        args.paths, baseline=baseline, rules=rule_ids, root=args.root
+    )
+
+    if args.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        Baseline.from_findings(
+            result.findings, justification="TODO: justify or fix"
+        ).save(target)
+        print(f"numlint: wrote {len(result.findings)} entrie(s) to {target}")
+        return 0
+
+    print(render_text(result, verbose=args.verbose) if args.fmt == "text"
+          else render_json(result))
+    return result.exit_code()

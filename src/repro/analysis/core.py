@@ -1,0 +1,184 @@
+"""Core framework for the numlint static analyzer.
+
+Defines the :class:`Finding` record, the :class:`Rule` base class and its
+registry, the per-file :class:`FileContext` handed to every rule, and the
+``# numlint: disable=...`` suppression grammar.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "Suppressions",
+    "register_rule",
+    "get_rule",
+    "all_rules",
+]
+
+RULE_ID_RE = re.compile(r"^NL\d{3}$")
+
+# ``# numlint: disable=NL001,NL002 -- justification``
+# ``# numlint: disable-file=NL003 -- justification``  (anywhere in the file)
+_SUPPRESS_RE = re.compile(
+    r"#\s*numlint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>all|[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+    r"(?:\s*--\s*(?P<why>.*\S))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def fingerprint(self) -> str:
+        """Location-independent identity used by the baseline.
+
+        Hashes (rule, path, whitespace-normalized source line) so entries
+        survive unrelated edits that only shift line numbers.
+        """
+        normalized = " ".join(self.snippet.split())
+        digest = hashlib.sha256(
+            f"{self.rule_id}|{self.path}|{normalized}".encode("utf-8")
+        ).hexdigest()
+        return digest[:16]
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass
+class Suppressions:
+    """Parsed ``# numlint:`` pragmas for one file."""
+
+    # line number -> set of rule ids (or {"all"})
+    by_line: Dict[int, set] = field(default_factory=dict)
+    # file-wide suppressed rule ids (or {"all"})
+    file_wide: set = field(default_factory=set)
+    # (line, rule) -> justification text, for tooling/reporting
+    justifications: Dict[Tuple[int, str], str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, source: str) -> "Suppressions":
+        supp = cls()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            m = _SUPPRESS_RE.search(line)
+            if m is None:
+                continue
+            rules = {r.strip() for r in m.group("rules").split(",")}
+            why = m.group("why") or ""
+            if m.group("kind") == "disable-file":
+                supp.file_wide |= rules
+                for r in rules:
+                    supp.justifications[(0, r)] = why
+            else:
+                supp.by_line.setdefault(lineno, set()).update(rules)
+                for r in rules:
+                    supp.justifications[(lineno, r)] = why
+        return supp
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if "all" in self.file_wide or finding.rule_id in self.file_wide:
+            return True
+        line_rules = self.by_line.get(finding.line, set())
+        return "all" in line_rules or finding.rule_id in line_rules
+
+
+class FileContext:
+    """Everything a rule needs to analyze one parsed source file."""
+
+    def __init__(self, path: str, source: str, tree: ast.AST):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self._parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self._parents.get(cur)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """Innermost enclosing function/lambda, or the module itself."""
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return anc
+        return self.tree
+
+    def line_of(self, node: ast.AST) -> str:
+        lineno = getattr(node, "lineno", 0)
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=rule_id,
+            path=self.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            snippet=self.line_of(node),
+        )
+
+    def path_segments(self) -> Tuple[str, ...]:
+        return tuple(re.split(r"[\\/]+", self.path))
+
+
+class Rule:
+    """Base class for numlint rules.
+
+    Subclasses set ``rule_id`` (``NLnnn``), ``title``, ``rationale`` (the
+    Fig. 3 / paper grounding shown by ``--list-rules``) and implement
+    :meth:`check`.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule by its id."""
+    if not RULE_ID_RE.match(cls.rule_id):
+        raise ValueError(f"invalid rule id {cls.rule_id!r} (expected NLnnn)")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls()
+    return cls
+
+
+def get_rule(rule_id: str) -> Rule:
+    return _REGISTRY[rule_id]
+
+
+def all_rules() -> List[Rule]:
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]

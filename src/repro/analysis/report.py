@@ -1,0 +1,88 @@
+"""Text and JSON reporters for numlint results."""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, List
+
+from repro.analysis.core import all_rules
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.runner import AnalysisResult
+
+__all__ = ["render_text", "render_json", "render_rule_catalog", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: "AnalysisResult", verbose: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines: List[str] = []
+    for f in result.findings:
+        lines.append(f"{f.location()}: {f.rule_id} {f.message}")
+        if f.snippet:
+            lines.append(f"    {f.snippet}")
+    if result.parse_errors:
+        for path, err in result.parse_errors:
+            lines.append(f"{path}: PARSE-ERROR {err}")
+    if verbose and result.baselined:
+        lines.append("")
+        lines.append(f"baselined ({len(result.baselined)}):")
+        for f in result.baselined:
+            lines.append(f"  {f.location()}: {f.rule_id} (grandfathered)")
+    if result.stale_baseline:
+        lines.append("")
+        lines.append(
+            f"stale baseline entries ({len(result.stale_baseline)}) — the "
+            "offending lines changed; re-review and regenerate:"
+        )
+        for e in result.stale_baseline:
+            lines.append(f"  {e.path} {e.rule} {e.fingerprint}")
+    lines.append("")
+    lines.append(
+        f"numlint: {result.files_checked} files, "
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{result.suppressed} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: "AnalysisResult") -> str:
+    """Machine-readable report (schema_version pins the contract)."""
+    doc = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "summary": {
+            "new": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": result.suppressed,
+            "parse_errors": len(result.parse_errors),
+        },
+        "findings": [
+            {
+                "rule": f.rule_id,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "snippet": f.snippet,
+                "fingerprint": f.fingerprint(),
+            }
+            for f in result.findings
+        ],
+        "parse_errors": [
+            {"path": path, "error": err} for path, err in result.parse_errors
+        ],
+        "stale_baseline": [e.to_dict() for e in result.stale_baseline],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def render_rule_catalog() -> str:
+    """The ``--list-rules`` output: every rule with its paper grounding."""
+    lines: List[str] = []
+    for rule in all_rules():
+        lines.append(f"{rule.rule_id}  {rule.title}")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)

@@ -1,0 +1,793 @@
+"""The numlint rule pack: NL001–NL008.
+
+Each rule encodes one entry of the paper's Fig. 3 numerical-pitfall
+catalog (or a solver-correctness contract of the RCR stack) as an AST
+check.  Rules are deliberately heuristic: they aim for a high-signal
+default and rely on ``# numlint: disable=...`` suppressions plus the
+baseline file for the residue of intentional violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import FileContext, Finding, Rule, register_rule
+
+__all__ = ["SOLVER_DIRS"]
+
+#: path segments whose ``while`` loops must carry an iteration guard (NL008)
+SOLVER_DIRS = ("convex", "pso", "minlp")
+
+_EPS_NAME_RE = re.compile(r"(eps|epsilon|tiny|tol|floor|clamp|safe)", re.IGNORECASE)
+_BUDGET_NAME_RE = re.compile(
+    r"(max_?(iter|iters|iterations|newton|nodes|steps|outer|rounds|evals|depth)"
+    r"|budget|limit|deadline)",
+    re.IGNORECASE,
+)
+_LOGGING_CALL_RE = re.compile(
+    r"(log|warn|record|report|status|fail|debug|print)", re.IGNORECASE
+)
+_STATUS_NAME_RE = re.compile(
+    r"(status|error|err|fail|converged|success|diagnost)", re.IGNORECASE
+)
+
+# numpy.random attributes that are part of the Generator-based API and
+# therefore fine to reference; everything else is legacy global state.
+_NP_RANDOM_OK = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+# stdlib ``random`` module-level functions that mutate the hidden global
+# Mersenne-Twister state.
+_STDLIB_RANDOM_GLOBALS = {
+    "seed", "random", "uniform", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "lognormvariate",
+    "expovariate", "betavariate", "gammavariate", "triangular", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "getrandbits", "binomialvariate",
+}
+
+
+def _func_name(node: ast.AST) -> str:
+    """Terminal callable name: ``np.log`` -> ``log``, ``log`` -> ``log``."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted name for Name/Attribute chains (else '')."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_const_num(node: ast.AST, value: Optional[float] = None) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.UAdd, ast.USub)):
+        node = node.operand
+    if not (isinstance(node, ast.Constant) and isinstance(node.value, (int, float))):
+        return False
+    return value is None or float(node.value) == value
+
+
+def _contains_eps_name(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and _EPS_NAME_RE.search(sub.id):
+            return True
+        if isinstance(sub, ast.Attribute) and _EPS_NAME_RE.search(sub.attr):
+            return True
+    return False
+
+
+def _same_expr(a: ast.AST, b: ast.AST) -> bool:
+    try:
+        return ast.unparse(a) == ast.unparse(b)
+    except ValueError:  # pragma: no cover - unparse failure on exotic nodes
+        return False
+
+
+# --------------------------------------------------------------------------
+# NL001 — float equality
+# --------------------------------------------------------------------------
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    rule_id = "NL001"
+    title = "float equality comparison"
+    rationale = (
+        "Fig. 3 round-off: two mathematically equal float expressions differ "
+        "after finite-precision evaluation, so `==`/`!=` against a nonzero "
+        "float literal (or NaN) silently mis-branches. Compare against exact "
+        "zero is IEEE-exact and allowed; use math.isclose / np.isclose (or "
+        "math.isnan) otherwise."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (left, right):
+                    if self._is_nan(side):
+                        yield ctx.finding(
+                            self.rule_id, node,
+                            "comparison with NaN is always False — use "
+                            "math.isnan / np.isnan",
+                        )
+                        break
+                    if self._is_nonzero_float_literal(side):
+                        yield ctx.finding(
+                            self.rule_id, node,
+                            "float `==`/`!=` against a nonzero literal — use "
+                            "math.isclose / np.isclose (exact-zero guards are "
+                            "exempt)",
+                        )
+                        break
+
+    @staticmethod
+    def _is_nonzero_float_literal(node: ast.AST) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.UAdd, ast.USub)):
+            node = node.operand
+        return (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, float)
+            and node.value != 0.0
+        )
+
+    @staticmethod
+    def _is_nan(node: ast.AST) -> bool:
+        dotted = _dotted(node)
+        return dotted in {"math.nan", "np.nan", "numpy.nan", "float('nan')"} or (
+            isinstance(node, ast.Call)
+            and _func_name(node) == "float"
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Constant)
+            and str(node.args[0].value).lower() == "nan"
+        )
+
+
+# --------------------------------------------------------------------------
+# NL002 — unguarded division
+# --------------------------------------------------------------------------
+
+
+@register_rule
+class UnguardedDivisionRule(Rule):
+    rule_id = "NL002"
+    title = "unguarded division"
+    rationale = (
+        "Fig. 3 overflow/invalid: `x / d` where nothing in the enclosing "
+        "scope bounds `d` away from zero yields inf/NaN that propagates "
+        "silently. Guard (`if d == 0`), clamp (`max(d, eps)`), add an "
+        "epsilon, or use repro.numerics.stable_ops.safe_divide."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            den: Optional[ast.AST] = None
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                den = node.right
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Div):
+                den = node.value
+            if den is None:
+                continue
+            if self._in_errstate(ctx, node):
+                continue
+            if self._cleared(ctx, node, den):
+                continue
+            yield ctx.finding(
+                self.rule_id, node,
+                f"division by `{ast.unparse(den)}` with no zero-guard, clamp "
+                "or epsilon in scope — guard it or use stable_ops.safe_divide",
+            )
+
+    #: calls that can never return zero (for finite input)
+    _POSITIVE_CALLS = {
+        "max", "maximum", "clip", "exp", "exp2", "cosh", "hypot",
+        "log1pexp", "len", "spacing",
+    }
+    #: calls that preserve "safely nonzero" when every argument is safe
+    _TRANSPARENT_CALLS = {"sqrt", "abs", "fabs", "asarray", "float", "int"}
+    _CONST_ATTRS = {"pi", "e", "tau", "euler_gamma", "inf"}
+
+    def _safe_denominator(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return True  # pathlib's `/` operator, not arithmetic
+        if _is_const_num(node):
+            return not _is_const_num(node, 0.0)
+        if isinstance(node, ast.UnaryOp):
+            return self._safe_denominator(node.operand)
+        if isinstance(node, ast.Attribute) and node.attr in (
+            self._CONST_ATTRS | {"size"}
+        ):
+            # math constants, plus the `x.size` mean-over-elements idiom
+            return True
+        if _contains_eps_name(node):
+            return True
+        if isinstance(node, ast.Call):
+            name = _func_name(node)
+            if name in self._POSITIVE_CALLS:
+                return True
+            if name in self._TRANSPARENT_CALLS:
+                return all(self._safe_denominator(a) for a in node.args)
+            return False
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Add):
+                return self._safe_denominator(node.left) or self._safe_denominator(
+                    node.right
+                )
+            if isinstance(node.op, ast.Mult):
+                return self._safe_denominator(node.left) and self._safe_denominator(
+                    node.right
+                )
+            if isinstance(node.op, ast.Pow):
+                # c ** x > 0 for any finite x when c is a positive constant
+                if _is_const_num(node.left) and not _is_const_num(node.left, 0.0):
+                    return True
+                return self._safe_denominator(node.left) and self._safe_denominator(
+                    node.right
+                )
+        return False
+
+    @staticmethod
+    def _in_errstate(ctx: FileContext, node: ast.AST) -> bool:
+        for anc in ctx.ancestors(node):
+            if isinstance(anc, ast.With):
+                for item in anc.items:
+                    if _func_name(item.context_expr) == "errstate":
+                        return True
+        return False
+
+    def _cleared(self, ctx: FileContext, node: ast.AST, den: ast.AST) -> bool:
+        """A denominator is cleared when it is structurally safe, or when a
+        guard in scope bounds it (decomposing `a + b` as either-term-safe
+        and `a * b` as both-factors-safe, mirroring sign heuristics)."""
+        if self._safe_denominator(den):
+            return True
+        if isinstance(den, ast.BinOp) and isinstance(den.op, ast.Add):
+            return self._cleared(ctx, node, den.left) or self._cleared(
+                ctx, node, den.right
+            )
+        if isinstance(den, ast.BinOp) and isinstance(den.op, ast.Mult):
+            return self._cleared(ctx, node, den.left) and self._cleared(
+                ctx, node, den.right
+            )
+        return self._guarded_in_scope(ctx, node, den)
+
+    @staticmethod
+    def _guard_candidates(den: ast.AST) -> List[str]:
+        """Expressions whose guarding makes the denominator safe: the
+        denominator itself, call arguments (`abs(e)` is guarded when `e`
+        is), and subscript bases (`col[pos]` when `col` is)."""
+        seen: Set[str] = set()
+        stack: List[ast.AST] = [den]
+        while stack:
+            cur = stack.pop()
+            try:
+                seen.add(ast.unparse(cur))
+            except ValueError:  # pragma: no cover - exotic node
+                continue
+            if isinstance(cur, ast.Call):
+                stack.extend(cur.args)
+            elif isinstance(cur, ast.Subscript):
+                stack.append(cur.value)
+        return [s for s in seen if s and not s.replace(".", "").isdigit()]
+
+    def _guarded_in_scope(
+        self, ctx: FileContext, node: ast.AST, den: ast.AST
+    ) -> bool:
+        """Is the denominator (or a subexpression that determines it)
+        tested, clamped or asserted in scope?
+
+        Scope is the enclosing function — widened to the whole module when
+        the denominator reads ``self.*`` state, since class invariants are
+        typically established in ``__init__``/``__post_init__``.
+        """
+        candidates = self._guard_candidates(den)
+        if not candidates:
+            return False
+        patterns = [
+            re.compile(r"(?<![\w.])" + re.escape(c) + r"(?![\w(])")
+            for c in candidates
+        ]
+        den_src = ast.unparse(den)
+        # `obj.attr` denominators: class invariants live in __init__ /
+        # __post_init__, so widen to the module and also accept a guard on
+        # the same attribute of any receiver (`self.hop` guards `frame.hop`).
+        if isinstance(den, ast.Attribute):
+            patterns.append(
+                re.compile(r"\w\." + re.escape(den.attr) + r"(?![\w(])")
+            )
+        scope = (
+            ctx.tree if "." in den_src else ctx.enclosing_function(node)
+        )
+
+        def mentions(expr: ast.AST) -> bool:
+            src = ast.unparse(expr)
+            return any(p.search(src) for p in patterns)
+
+        for sub in ast.walk(scope):
+            # `if d == 0`, `while d > tol`, `np.abs(d) > 1e-300`, ...
+            if isinstance(sub, ast.Compare):
+                if any(mentions(s) for s in [sub.left] + list(sub.comparators)):
+                    return True
+            # truthiness guards: `if d:`, `if not d:`, `x / d if d else y`
+            if isinstance(sub, (ast.If, ast.IfExp, ast.While)):
+                test = sub.test
+                if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+                    test = test.operand
+                if ast.unparse(test) in candidates:
+                    return True
+            if isinstance(sub, ast.Assert) and mentions(sub.test):
+                return True
+            # binding to a clamp or a safe expression:
+            # `d = max(d, eps)`, `d = x.size`, `d = d + eps`
+            if isinstance(sub, ast.Assign) and any(
+                ast.unparse(t) == den_src for t in sub.targets
+            ):
+                if isinstance(sub.value, ast.Call) and _func_name(sub.value) in {
+                    "max", "maximum", "clip",
+                }:
+                    return True
+                if _contains_eps_name(sub.value) or self._safe_denominator(
+                    sub.value
+                ):
+                    return True
+        # module-level constants: a plain name bound once at top level to a
+        # structurally safe value (`_LN2 = 0.693...`) is safe everywhere
+        if isinstance(den, ast.Name):
+            bindings = [
+                stmt.value
+                for stmt in ctx.tree.body
+                if isinstance(stmt, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == den.id
+                    for t in stmt.targets
+                )
+            ]
+            if bindings and all(self._safe_denominator(v) for v in bindings):
+                return True
+        return False
+
+
+# --------------------------------------------------------------------------
+# NL003 — unstable transcendental composition
+# --------------------------------------------------------------------------
+
+
+@register_rule
+class UnstableTranscendentalRule(Rule):
+    rule_id = "NL003"
+    title = "unstable log/exp composition"
+    rationale = (
+        "The paper's concluding remarks: sub-operations must be fused — "
+        "`log(softmax(x))` hits log(0) as softmax underflows. Separate "
+        "`log(1+x)`, `exp(x)-1`, `log(sum(exp(x)))` and `1/(1+exp(-x))` "
+        "lose all precision in the regimes Fig. 3 catalogues; use "
+        "np.log1p/np.expm1 or repro.numerics.stable_ops "
+        "(logsumexp/log_softmax/log2p1/stable_sigmoid)."
+    )
+
+    _LOGS = {"log", "log2", "log10"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, ast.BinOp):
+                yield from self._check_binop(ctx, node)
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        name = _func_name(node)
+        if name not in self._LOGS or len(node.args) < 1:
+            return
+        arg = node.args[0]
+        # log(1 + x) / log2(1 + x) — also catches log(1 + exp(x))
+        if isinstance(arg, ast.BinOp) and isinstance(arg.op, ast.Add):
+            if _is_const_num(arg.left, 1.0) or _is_const_num(arg.right, 1.0):
+                repl = "np.log1p(x)" if name == "log" else (
+                    "stable_ops.log2p1(x)" if name == "log2"
+                    else "np.log1p(x) / np.log(10)"
+                )
+                yield ctx.finding(
+                    self.rule_id, node,
+                    f"`{name}(1 + x)` loses all precision for small x — use {repl}",
+                )
+                return
+        # log(sum(exp(x))) -> logsumexp
+        if name == "log" and _func_name(arg) == "sum":
+            inner = arg.args[0] if isinstance(arg, ast.Call) and arg.args else None
+            if inner is not None and _func_name(inner) == "exp":
+                yield ctx.finding(
+                    self.rule_id, node,
+                    "`log(sum(exp(x)))` overflows for moderate x — use "
+                    "repro.numerics.stable_ops.logsumexp",
+                )
+                return
+        # log(softmax(x)) -> log_softmax
+        if name == "log" and "softmax" in _func_name(arg):
+            yield ctx.finding(
+                self.rule_id, node,
+                "`log(softmax(x))` hits log(0) when softmax underflows — use "
+                "repro.numerics.stable_ops.log_softmax",
+            )
+
+    def _check_binop(self, ctx: FileContext, node: ast.BinOp) -> Iterator[Finding]:
+        # exp(x) - 1 -> expm1
+        if (
+            isinstance(node.op, ast.Sub)
+            and _func_name(node.left) == "exp"
+            and _is_const_num(node.right, 1.0)
+        ):
+            yield ctx.finding(
+                self.rule_id, node,
+                "`exp(x) - 1` cancels catastrophically near x=0 — use np.expm1",
+            )
+            return
+        # 1 / (1 + exp(-x)) -> stable_sigmoid
+        if isinstance(node.op, ast.Div) and _is_const_num(node.left, 1.0):
+            den = node.right
+            if (
+                isinstance(den, ast.BinOp)
+                and isinstance(den.op, ast.Add)
+                and (
+                    (_is_const_num(den.left, 1.0) and _func_name(den.right) == "exp")
+                    or (_is_const_num(den.right, 1.0) and _func_name(den.left) == "exp")
+                )
+            ):
+                yield ctx.finding(
+                    self.rule_id, node,
+                    "textbook sigmoid `1/(1+exp(-x))` overflows in exp — use "
+                    "repro.numerics.stable_ops.stable_sigmoid",
+                )
+
+
+# --------------------------------------------------------------------------
+# NL004 — global-state RNG
+# --------------------------------------------------------------------------
+
+
+@register_rule
+class GlobalRngRule(Rule):
+    rule_id = "NL004"
+    title = "global-state RNG"
+    rationale = (
+        "Reproducibility contract: the RCR benchmarks are only comparable "
+        "run-to-run if every random stream is an injected, seeded "
+        "np.random.Generator. Legacy `np.random.*` and stdlib `random.*` "
+        "module calls mutate hidden global state that any import can "
+        "perturb. Thread `rng: np.random.Generator` through instead "
+        "(default `np.random.default_rng(0)`)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        stdlib_random_imported = False
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        stdlib_random_imported = True
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in {"numpy.random", "numpy"}:
+                    for alias in node.names:
+                        bad = (
+                            node.module == "numpy.random"
+                            and alias.name not in _NP_RANDOM_OK
+                        )
+                        if bad:
+                            yield ctx.finding(
+                                self.rule_id, node,
+                                f"import of legacy `numpy.random.{alias.name}` — "
+                                "use an injected np.random.Generator",
+                            )
+                elif node.module == "random":
+                    for alias in node.names:
+                        if alias.name in _STDLIB_RANDOM_GLOBALS:
+                            yield ctx.finding(
+                                self.rule_id, node,
+                                f"import of stdlib `random.{alias.name}` (global "
+                                "Mersenne state) — use np.random.Generator",
+                            )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            dotted = _dotted(node)
+            parts = dotted.split(".")
+            if (
+                len(parts) == 3
+                and parts[0] in {"np", "numpy"}
+                and parts[1] == "random"
+                and parts[2] not in _NP_RANDOM_OK
+            ):
+                yield ctx.finding(
+                    self.rule_id, node,
+                    f"legacy global-state RNG `{dotted}` — thread a seeded "
+                    "np.random.Generator (np.random.default_rng) instead",
+                )
+            elif (
+                stdlib_random_imported
+                and len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] in _STDLIB_RANDOM_GLOBALS
+            ):
+                yield ctx.finding(
+                    self.rule_id, node,
+                    f"stdlib global-state RNG `{dotted}` — use an injected "
+                    "np.random.Generator",
+                )
+
+
+# --------------------------------------------------------------------------
+# NL005 — naive loop accumulation
+# --------------------------------------------------------------------------
+
+
+@register_rule
+class LoopAccumulationRule(Rule):
+    rule_id = "NL005"
+    title = "naive loop accumulation"
+    rationale = (
+        "Fig. 3 round-off: left-to-right `acc += term` accumulates O(n) ulp "
+        "error (the paper's STABLE benchmark measures exactly this). Use "
+        "np.sum / math.fsum, or repro.numerics.float_utils.kahan_sum / "
+        "pairwise_sum when compensation is required."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if not (
+                    isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, ast.Add)
+                    and isinstance(node.target, ast.Name)
+                ):
+                    continue
+                # integer step counters (`i += 1`) are not float accumulation
+                if _is_const_num(node.value) and isinstance(
+                    getattr(node.value, "value", None), int
+                ):
+                    continue
+                if self._initialized_to_float_zero(ctx, loop, node.target.id):
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        f"`{node.target.id} += ...` in a loop over a 0.0-"
+                        "initialized scalar accumulates O(n) round-off — use "
+                        "np.sum/math.fsum or float_utils.kahan_sum",
+                    )
+
+    @staticmethod
+    def _initialized_to_float_zero(
+        ctx: FileContext, loop: ast.AST, name: str
+    ) -> bool:
+        scope = ctx.enclosing_function(loop)
+        body = getattr(scope, "body", [])
+        for stmt in body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == name
+                        and isinstance(stmt.value, ast.Constant)
+                        and isinstance(stmt.value.value, float)
+                        and stmt.value.value == 0.0
+                    ):
+                        return True
+        return False
+
+
+# --------------------------------------------------------------------------
+# NL006 — catastrophic cancellation in variance / norm formulas
+# --------------------------------------------------------------------------
+
+
+@register_rule
+class CancellationFormulaRule(Rule):
+    rule_id = "NL006"
+    title = "cancellation-prone variance/norm formula"
+    rationale = (
+        "Fig. 3 round-off: the textbook `E[x^2] - E[x]^2` variance and the "
+        "unscaled `sqrt(sum(x^2))` norm cancel or overflow exactly where "
+        "certified bounds need them most. Use a two-pass/Welford variance "
+        "and repro.numerics.stable_ops.stable_norm (or np.hypot)."
+    )
+
+    _MEANS = {"mean", "average"}
+    _SUMS = {"sum", "nansum", "fsum"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+                if self._is_square_of_stat(node.right) and self._is_stat_of_square(
+                    node.left
+                ):
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        "naive variance `mean(x**2) - mean(x)**2` cancels "
+                        "catastrophically — use a two-pass or Welford form",
+                    )
+            elif isinstance(node, ast.Call) and _func_name(node) == "sqrt":
+                if node.args and self._contains_sum_of_squares(node.args[0]):
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        "unscaled `sqrt(sum(x**2))` overflows for |x| > "
+                        "sqrt(float_max) — use stable_ops.stable_norm / "
+                        "np.linalg.norm",
+                    )
+
+    def _is_stat_of_square(self, node: ast.AST) -> bool:
+        """mean(x**2), sum(x*x)/n, ..."""
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            node = node.left
+        if not isinstance(node, ast.Call):
+            return False
+        if _func_name(node) not in (self._MEANS | self._SUMS):
+            return False
+        return bool(node.args) and self._is_square(node.args[0])
+
+    def _is_square_of_stat(self, node: ast.AST) -> bool:
+        """mean(x)**2, (sum(x)/n)**2"""
+        if not (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, ast.Pow)
+            and _is_const_num(node.right, 2.0)
+        ):
+            return False
+        base = node.left
+        if isinstance(base, ast.BinOp) and isinstance(base.op, ast.Div):
+            base = base.left
+        return _func_name(base) in (self._MEANS | self._SUMS)
+
+    def _contains_sum_of_squares(self, node: ast.AST) -> bool:
+        """sum(x**2) or sum(x*x), possibly divided by something (RMS)."""
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            node = node.left
+        if not (isinstance(node, ast.Call) and _func_name(node) in self._SUMS):
+            return False
+        return bool(node.args) and self._is_square(node.args[0])
+
+    @staticmethod
+    def _is_square(node: ast.AST) -> bool:
+        if (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, ast.Pow)
+            and _is_const_num(node.right, 2.0)
+        ):
+            return True
+        return (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, ast.Mult)
+            and _same_expr(node.left, node.right)
+        )
+
+
+# --------------------------------------------------------------------------
+# NL007 — swallowed solver failure
+# --------------------------------------------------------------------------
+
+
+@register_rule
+class SwallowedExceptionRule(Rule):
+    rule_id = "NL007"
+    title = "swallowed exception"
+    rationale = (
+        "Solver-correctness contract: a bare `except:` (or blanket `except "
+        "Exception`) that neither re-raises nor records a failure status "
+        "turns solver divergence into a silently wrong 'certified' answer. "
+        "Catch the specific repro.exceptions type, re-raise, or set an "
+        "explicit failure status."
+    )
+
+    _BLANKET = {"Exception", "BaseException"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                blanket = "bare `except:`"
+            elif self._is_blanket(node.type):
+                blanket = f"`except {ast.unparse(node.type)}`"
+            else:
+                continue
+            if self._handler_accounts_for_failure(node):
+                continue
+            yield ctx.finding(
+                self.rule_id, node,
+                f"{blanket} swallows solver failures without re-raise or "
+                "status — catch the specific exception or record the failure",
+            )
+
+    def _is_blanket(self, type_node: ast.AST) -> bool:
+        if isinstance(type_node, ast.Tuple):
+            return any(self._is_blanket(el) for el in type_node.elts)
+        return _func_name(type_node) in self._BLANKET
+
+    @staticmethod
+    def _handler_accounts_for_failure(handler: ast.ExceptHandler) -> bool:
+        for sub in ast.walk(handler):
+            if isinstance(sub, ast.Raise):
+                return True
+            if isinstance(sub, ast.Call) and _LOGGING_CALL_RE.search(
+                _func_name(sub)
+            ):
+                return True
+            if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                )
+                for t in targets:
+                    terminal = (
+                        t.attr if isinstance(t, ast.Attribute)
+                        else t.id if isinstance(t, ast.Name) else ""
+                    )
+                    if _STATUS_NAME_RE.search(terminal):
+                        return True
+        return False
+
+
+# --------------------------------------------------------------------------
+# NL008 — unbounded solver while-loop
+# --------------------------------------------------------------------------
+
+
+@register_rule
+class UnboundedSolverLoopRule(Rule):
+    rule_id = "NL008"
+    title = "unbounded solver while-loop"
+    rationale = (
+        "Solver-correctness contract (convex/, pso/, minlp/): every `while` "
+        "in an iterative solver needs an escape hatch — a break/return/raise "
+        "on an iteration or time budget — because float round-off can keep a "
+        "mathematically convergent test from ever becoming False (Fig. 3 "
+        "round-off meets termination)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        segments = set(ctx.path_segments())
+        if not segments & set(SOLVER_DIRS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if self._has_escape(node) or self._mentions_budget(node):
+                continue
+            yield ctx.finding(
+                self.rule_id, node,
+                "solver `while` loop with no break/return/raise and no "
+                "iteration budget — add a max-iteration or time guard",
+            )
+
+    @staticmethod
+    def _has_escape(loop: ast.While) -> bool:
+        for sub in ast.walk(loop):
+            if isinstance(sub, (ast.Break, ast.Return, ast.Raise)):
+                return True
+        return False
+
+    @staticmethod
+    def _mentions_budget(loop: ast.While) -> bool:
+        return bool(_BUDGET_NAME_RE.search(ast.unparse(loop)))

@@ -1,0 +1,132 @@
+"""Orchestration: walk paths, parse files, run rules, apply suppressions
+and the baseline, and package everything into an :class:`AnalysisResult`."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.core import FileContext, Finding, Suppressions, all_rules
+
+__all__ = ["AnalysisResult", "analyze_paths", "analyze_source", "iter_python_files"]
+
+#: directories never descended into
+_SKIP_DIRS = {".git", "__pycache__", ".venv", "build", "dist", ".eggs"}
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one analyzer run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+    parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+
+def iter_python_files(paths: Sequence["Path | str"]) -> Iterable[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS & set(p.name for p in sub.parents):
+                    yield sub
+
+
+def _relative_posix(path: Path, root: Optional[Path]) -> str:
+    path = path.resolve()
+    if root is not None:
+        try:
+            return path.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def _check_source(
+    source: str,
+    rel_path: str,
+    rule_ids: Optional[Sequence[str]],
+) -> Tuple[List[Finding], int]:
+    """Run the rule pack over one source blob; returns (kept, n_suppressed)."""
+    tree = ast.parse(source, filename=rel_path)
+    ctx = FileContext(rel_path, source, tree)
+    suppressions = Suppressions.parse(source)
+    kept: List[Finding] = []
+    n_suppressed = 0
+    for rule in all_rules():
+        if rule_ids is not None and rule.rule_id not in rule_ids:
+            continue
+        for finding in rule.check(ctx):
+            if suppressions.is_suppressed(finding):
+                n_suppressed += 1
+            else:
+                kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return kept, n_suppressed
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint a source string; the unit-test entry point for single rules."""
+    findings, _ = _check_source(source, path, rules)
+    return findings
+
+
+def analyze_paths(
+    paths: Sequence["Path | str"],
+    baseline: Optional[Baseline] = None,
+    rules: Optional[Sequence[str]] = None,
+    root: "Path | str | None" = None,
+) -> AnalysisResult:
+    """Lint every ``.py`` file under *paths*.
+
+    *root* (default: the current directory) anchors the repo-relative
+    paths used in reports and baseline fingerprints, so results are
+    identical no matter where the analyzer is invoked from.
+    """
+    root_path = Path(root) if root is not None else Path.cwd()
+    result = AnalysisResult()
+    raw_findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        rel = _relative_posix(file_path, root_path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            result.parse_errors.append((rel, f"unreadable: {exc}"))
+            continue
+        try:
+            findings, n_suppressed = _check_source(source, rel, rules)
+        except SyntaxError as exc:
+            result.parse_errors.append((rel, f"syntax error: {exc.msg} "
+                                             f"(line {exc.lineno})"))
+            continue
+        result.files_checked += 1
+        result.suppressed += n_suppressed
+        raw_findings.extend(findings)
+
+    if baseline is not None:
+        new, matched, stale = baseline.split(raw_findings)
+        result.findings = new
+        result.baselined = matched
+        result.stale_baseline = stale
+    else:
+        result.findings = raw_findings
+    return result

@@ -14,6 +14,8 @@ from typing import Callable, List
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
+
 __all__ = [
     "ADMMResult",
     "admm_consensus",
@@ -55,6 +57,8 @@ def admm_consensus(
     global optimum; for the nonconvex proxes provided it is a heuristic
     (matching the paper's framing of ADMM for nonconvex problems).
     """
+    if rho <= 0.0:
+        raise ConfigurationError("ADMM penalty rho must be positive")
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
     z = x.copy()
     u = np.zeros(n)

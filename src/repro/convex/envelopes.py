@@ -143,7 +143,7 @@ def relu_envelope(interval: Interval) -> tuple[LinearBound, LinearBound]:
     if hi <= 0.0:
         line = LinearBound(np.array([0.0]), 0.0)
         return line, line
-    slope = hi / (hi - lo)
+    slope = hi / (hi - lo)  # numlint: disable=NL002 -- unstable branch: lo < 0 < hi, so hi - lo > 0
     upper = LinearBound(np.array([slope]), -slope * lo)
     lower = LinearBound(np.array([1.0 if hi >= -lo else 0.0]), 0.0)
     return lower, upper

@@ -75,7 +75,7 @@ def simplex_standard_form(
             candidates = [i for i in range(rows) if ratios[i] <= min_ratio + _EPS]
             leave = min(candidates, key=lambda i: basis[i])
             piv = t[leave, enter]
-            t[leave, :] /= piv
+            t[leave, :] /= piv  # numlint: disable=NL002 -- leave row chosen from col > _EPS, so piv > _EPS
             mask = np.abs(t[:, enter]) > _EPS
             mask[leave] = False
             t[mask, :] -= np.outer(t[mask, enter], t[leave, :])
@@ -100,7 +100,7 @@ def simplex_standard_form(
             j = int(np.argmax(np.abs(row)))
             if abs(row[j]) > _EPS:
                 piv = tableau[i, j]
-                tableau[i, :] /= piv
+                tableau[i, :] /= piv  # numlint: disable=NL002 -- guarded by abs(row[j]) > _EPS just above
                 for k in range(m + 1):
                     if k != i and abs(tableau[k, j]) > _EPS:
                         tableau[k, :] -= tableau[k, j] * tableau[i, :]

@@ -105,7 +105,7 @@ def solve_qcqp_barrier(
             hess = t * problem.objective.p.copy()
             for c, v in zip(problem.constraints, vals):
                 gc = c.gradient(x)
-                inv = -1.0 / v
+                inv = -1.0 / v  # numlint: disable=NL002 -- strict interior enforced: max(vals) >= 0 raises above, so v < 0
                 grad += inv * gc
                 hess += inv * c.p + (inv**2) * np.outer(gc, gc)
             if problem.a is not None:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import ConvergenceError, NonConvexError
+from repro.exceptions import ConfigurationError, ConvergenceError, NonConvexError
 from repro.convex.problem import QPProblem, QuadraticForm, Solution
 
 __all__ = ["solve_equality_qp", "solve_qp", "solve_box_qp"]
@@ -72,6 +72,8 @@ def solve_qp(
     ``u = h``) and equality rows (``l = u = b``).  Raises
     :class:`NonConvexError` when the Hessian fails its PSD certificate.
     """
+    if rho <= 0.0:
+        raise ConfigurationError("ADMM penalty rho must be positive")
     if not problem.is_convex():
         raise NonConvexError(
             "QP Hessian is not PSD; relax the problem before calling a convex solver"

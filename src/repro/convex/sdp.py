@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import ConvergenceError
+from repro.exceptions import ConfigurationError, ConvergenceError
 from repro.convex.problem import SDPProblem, Solution
 from repro.linalg.psd import project_psd, symmetrize
 
@@ -128,6 +128,8 @@ def solve_sdp_general(
 ) -> Solution:
     """Solve ``min <C, X>`` s.t. ``<A_i,X> = b_i``, ``<B_j,X> <= d_j``,
     ``X >= 0`` by two-block ADMM with slack variables."""
+    if rho <= 0.0:
+        raise ConfigurationError("ADMM penalty rho must be positive")
     c = symmetrize(np.asarray(c, dtype=np.float64))
     n = c.shape[0]
     ineq_mats = ineq_mats or []

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.exceptions import ConvergenceError
+from repro.exceptions import ConfigurationError, ConvergenceError
 
 __all__ = ["TrustRegionResult", "solve_trust_region", "cauchy_point"]
 
@@ -38,6 +38,8 @@ class TrustRegionResult:
 def cauchy_point(g: np.ndarray, b: np.ndarray, delta: float) -> np.ndarray:
     """Cauchy (steepest-descent) point — the cheap baseline step that any
     trust-region solver must dominate."""
+    if delta <= 0.0:
+        raise ConfigurationError("trust-region radius delta must be positive")
     g = np.asarray(g, dtype=np.float64).ravel()
     b = np.asarray(b, dtype=np.float64)
     gn = float(np.linalg.norm(g))

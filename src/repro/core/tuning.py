@@ -11,11 +11,13 @@ reduction the squeeze exists for).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.nn.data import spectrogram_detection_batch
 from repro.nn.msy3i import MSY3IConfig, make_detector
 from repro.nn.network import Adam
@@ -57,15 +59,17 @@ def train_detector(detector, steps: int = 30, batch_size: int = 8, lr: float = 1
 def evaluate_detector(detector, n_batches: int = 2, batch_size: int = 8,
                       grid: int = 4, cell_pixels: int = 4, seed: int = 1000) -> float:
     """Validation loss on fresh data."""
+    if n_batches < 1:
+        raise ConfigurationError("n_batches must be >= 1")
     rng = np.random.default_rng(seed)
-    total = 0.0
+    losses = []
     for _ in range(n_batches):
         imgs, obj, cls = spectrogram_detection_batch(batch_size, grid=grid,
                                                      cell_pixels=cell_pixels, rng=rng)
         pred = detector.forward(imgs, training=False)
         loss, _ = detector.loss_and_grad(pred, obj, cls)
-        total += loss
-    return total / n_batches
+        losses.append(loss)
+    return math.fsum(losses) / n_batches
 
 
 def detector_objective(config: Dict[str, object], train_steps: int = 25,

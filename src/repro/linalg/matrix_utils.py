@@ -37,7 +37,10 @@ def power_iteration(
     n = a.shape[0]
     rng = rng or np.random.default_rng(1)
     v = rng.standard_normal(n)
-    v /= np.linalg.norm(v)
+    nv = float(np.linalg.norm(v))
+    if nv == 0.0:
+        raise ConvergenceError("degenerate start vector for power iteration")
+    v /= nv
     lam = 0.0
     for it in range(max_iter):
         w = a @ v

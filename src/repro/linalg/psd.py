@@ -128,6 +128,8 @@ def assert_psd(a: np.ndarray, name: str = "matrix", tol: float = 1e-9) -> np.nda
 
 def random_psd(n: int, rng: np.random.Generator | None = None, scale: float = 1.0) -> np.ndarray:
     """Random full-rank PSD matrix ``A A^T / n``."""
+    if n < 1:
+        raise DimensionError(f"matrix size must be >= 1, got {n}")
     rng = rng or np.random.default_rng(0)
     a = rng.standard_normal((n, n))
     return symmetrize(scale * (a @ a.T) / n)

@@ -20,6 +20,7 @@ where mode coverage is directly countable.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, List, Literal, Optional
 
@@ -309,7 +310,7 @@ class MixtureOfGenerators:
         self.d_opt.step()
 
         # --- each generator gets its own non-saturating update
-        g_loss_total = 0.0
+        g_losses = []
         for gen, opt in zip(self.generators, self.g_opts):
             z = self.sample_latent(share)
             out = gen.forward(z, training=True)
@@ -318,11 +319,12 @@ class MixtureOfGenerators:
             grad_in = self.discriminator.backward(grad_g)
             gen.backward(grad_in)
             opt.step()
-            g_loss_total += g_loss
+            g_losses.append(g_loss)
         d_loss = loss_r + loss_f
+        g_loss_mean = math.fsum(g_losses) / k
         self.trace.d_losses.append(d_loss)
-        self.trace.g_losses.append(g_loss_total / k)
-        return d_loss, g_loss_total / k
+        self.trace.g_losses.append(g_loss_mean)
+        return d_loss, g_loss_mean
 
     def train(self, steps: int, metric_every: int = 100, n_metric_samples: int = 512) -> TrainTrace:
         cfg = self.config

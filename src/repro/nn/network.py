@@ -99,6 +99,8 @@ def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float
     labels = np.asarray(labels, dtype=np.int64).ravel()
     logp = log_softmax(logits, axis=1)
     n = logits.shape[0]
+    if n == 0:
+        raise ConfigurationError("cross-entropy needs a non-empty batch")
     loss = float(-np.mean(logp[np.arange(n), labels]))
     grad = np.exp(logp)
     grad[np.arange(n), labels] -= 1.0
@@ -188,6 +190,6 @@ class Adam:
             m = self.beta1 * m + (1 - self.beta1) * g
             v = self.beta2 * v + (1 - self.beta2) * g * g
             self._m[k], self._v[k] = m, v
-            m_hat = m / (1 - self.beta1**self._t)
-            v_hat = v / (1 - self.beta2**self._t)
+            m_hat = m / (1 - self.beta1**self._t)  # numlint: disable=NL002 -- Adam bias correction: beta1 < 1 and t >= 1, so denominator in (0, 1]
+            v_hat = v / (1 - self.beta2**self._t)  # numlint: disable=NL002 -- Adam bias correction: beta2 < 1 and t >= 1, so denominator in (0, 1]
             p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -42,7 +42,7 @@ def taylor_exp(x: float, order: int) -> float:
     term = 1.0
     total = 1.0
     for k in range(1, order + 1):
-        term *= x / k
+        term *= x / k  # numlint: disable=NL002 -- k ranges over 1..order
         total += term
     return total
 
@@ -75,6 +75,8 @@ def trapezoid(f: Callable[[np.ndarray], np.ndarray], a: float, b: float, n: int)
 
 def trapezoid_error_bound(second_derivative_max: float, a: float, b: float, n: int) -> float:
     """A-priori bound ``(b-a) h^2 max|f''| / 12`` for the composite rule."""
+    if n < 1:
+        raise ConfigurationError("trapezoid bound requires at least one panel")
     h = (b - a) / n
     return abs(b - a) * h * h * abs(second_derivative_max) / 12.0
 
@@ -96,7 +98,10 @@ def richardson_extrapolate(coarse: float, fine: float, order: int, ratio: float 
     ``fine`` uses a step ``ratio`` times smaller than ``coarse``.
     """
     factor = ratio**order
-    return (factor * fine - coarse) / (factor - 1.0)
+    denom = factor - 1.0
+    if math.isclose(factor, 1.0):
+        raise ConfigurationError("richardson needs ratio**order well away from 1")
+    return (factor * fine - coarse) / denom  # numlint: disable=NL002 -- isclose guard above keeps factor - 1 away from zero
 
 
 @dataclass(frozen=True)

@@ -26,7 +26,10 @@ __all__ = [
     "safe_log",
     "safe_divide",
     "stable_norm",
+    "log2p1",
 ]
+
+_LN2 = 0.6931471805599453  # math.log(2) to full double precision
 
 _LOG_EPS = -745.0  # below exp() underflow for float64
 
@@ -54,7 +57,7 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     x = np.asarray(x, dtype=np.float64)
     shifted = x - np.max(x, axis=axis, keepdims=True)
     e = np.exp(shifted)
-    return e / np.sum(e, axis=axis, keepdims=True)
+    return e / np.sum(e, axis=axis, keepdims=True)  # numlint: disable=NL002 -- max-shift puts one term at exp(0)=1, so the sum is >= 1
 
 
 def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -88,7 +91,7 @@ def stable_sigmoid(x: np.ndarray) -> np.ndarray:
     x = np.asarray(x, dtype=np.float64)
     out = np.empty_like(x)
     pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))  # numlint: disable=NL003 -- this IS the stable form: x >= 0 here, so exp(-x) <= 1
     ex = np.exp(x[~pos])
     out[~pos] = ex / (1.0 + ex)
     return out
@@ -155,4 +158,14 @@ def stable_norm(x: np.ndarray) -> float:
     if m == 0.0 or not np.isfinite(m):
         return m
     scaled = x / m
-    return m * float(np.sqrt(np.sum(scaled * scaled)))
+    return m * float(np.sqrt(np.sum(scaled * scaled)))  # numlint: disable=NL006 -- this IS the stable form: operands pre-scaled to |x| <= 1
+
+
+def log2p1(x: np.ndarray) -> np.ndarray:
+    """Stable ``log2(1 + x)``: the Shannon-capacity kernel ``log2(1 + snr)``.
+
+    ``np.log2(1.0 + x)`` loses all significance for ``|x| < eps`` (the
+    addition rounds to 1.0 exactly); routing through ``log1p`` keeps full
+    relative precision for small SNRs, which dominate cell-edge users.
+    """
+    return np.log1p(np.asarray(x, dtype=np.float64)) / _LN2

@@ -231,7 +231,7 @@ class DistributionDiscretePSO:
             z = self.logits[j][i]
             z = z - z.max()
             p = np.exp(z)
-            p /= p.sum()
+            p /= p.sum()  # numlint: disable=NL002 -- max-shifted logits: one term is exp(0)=1, so the sum is >= 1
             idx[j] = self.rng.choice(c, p=p)
         return idx
 

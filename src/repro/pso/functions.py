@@ -66,14 +66,14 @@ def _rastrigin(x: np.ndarray) -> float:
 
 def _ackley(x: np.ndarray) -> float:
     n = x.size
-    s1 = np.sqrt(np.sum(x * x) / n)
+    s1 = np.sqrt(np.sum(x * x) / n)  # numlint: disable=NL006 -- benchmark objective on a bounded domain (|x| <= 32.768)
     s2 = np.sum(np.cos(2.0 * np.pi * x)) / n
     return float(-20.0 * np.exp(-0.2 * s1) - np.exp(s2) + 20.0 + np.e)
 
 
 def _griewank(x: np.ndarray) -> float:
     i = np.arange(1, x.size + 1, dtype=np.float64)
-    return float(np.sum(x * x) / 4000.0 - np.prod(np.cos(x / np.sqrt(i))) + 1.0)
+    return float(np.sum(x * x) / 4000.0 - np.prod(np.cos(x / np.sqrt(i))) + 1.0)  # numlint: disable=NL002 -- i ranges over 1..n
 
 
 def _schwefel(x: np.ndarray) -> float:

@@ -134,5 +134,5 @@ def solve_admission_greedy(problem: AdmissionProblem) -> AdmissionResult:
     for i in order:
         if load + problem.resource_demand[i] <= 1.0 + 1e-12:
             admitted[i] = True
-            load += problem.resource_demand[i]
+            load += problem.resource_demand[i]  # numlint: disable=NL005 -- running knapsack load: each admit decision depends on the partial sum
     return _result("greedy", problem, admitted, start)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.numerics.stable_ops import log2p1
 
 __all__ = [
     "ChannelConfig",
@@ -111,4 +112,4 @@ def shannon_rate(sinr_linear: np.ndarray, bandwidth_hz: float = 180e3) -> np.nda
     """Shannon capacity per block, in bits/s."""
     if bandwidth_hz <= 0:
         raise ConfigurationError("bandwidth must be positive")
-    return bandwidth_hz * np.log2(1.0 + np.maximum(np.asarray(sinr_linear, dtype=np.float64), 0.0))
+    return bandwidth_hz * log2p1(np.maximum(np.asarray(sinr_linear, dtype=np.float64), 0.0))

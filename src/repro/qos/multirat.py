@@ -10,6 +10,7 @@ and PSO solution paths mirroring the RRA trio.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import List
@@ -66,22 +67,22 @@ class MultiRATProblem:
         assignment = np.asarray(assignment, dtype=int)
         served = assignment >= 0
         load = np.zeros(self.n_rats)
-        total = 0.0
-        qos_viol = 0.0
+        rate_terms = []
+        viol_terms = []
         for u in range(self.n_users):
             r = assignment[u]
             if r < 0:
-                qos_viol += self.min_rates[u]
+                viol_terms.append(float(self.min_rates[u]))
                 continue
             load[r] += 1
             rate = self.rates[u, r]
-            total += rate
-            qos_viol += max(self.min_rates[u] - rate, 0.0)
+            rate_terms.append(float(rate))
+            viol_terms.append(max(float(self.min_rates[u] - rate), 0.0))
         return {
-            "total_rate": total,
+            "total_rate": math.fsum(rate_terms),
             "load": load,
             "capacity_ok": bool(np.all(load <= self.capacity + 1e-9)),
-            "qos_violation": qos_viol,
+            "qos_violation": math.fsum(viol_terms),
             "served": int(served.sum()),
         }
 

@@ -17,6 +17,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError, InfeasibleError
 from repro.convex.problem import QCQPProblem, QuadraticForm
 from repro.convex.qcqp import solve_qcqp_barrier
+from repro.numerics.stable_ops import log2p1
 
 __all__ = ["water_filling", "sum_rate", "PowerControlResult", "qcqp_power_control"]
 
@@ -24,9 +25,11 @@ __all__ = ["water_filling", "sum_rate", "PowerControlResult", "qcqp_power_contro
 def sum_rate(gains: np.ndarray, powers: np.ndarray, noise_mw: float,
              bandwidth_hz: float = 180e3) -> float:
     """Total Shannon rate over parallel channels."""
+    if noise_mw <= 0:
+        raise ConfigurationError("noise power must be positive")
     gains = np.asarray(gains, dtype=np.float64)
     powers = np.asarray(powers, dtype=np.float64)
-    return float(np.sum(bandwidth_hz * np.log2(1.0 + gains * powers / noise_mw)))
+    return float(np.sum(bandwidth_hz * log2p1(gains * powers / noise_mw)))
 
 
 def water_filling(gains: np.ndarray, total_power_mw: float, noise_mw: float,
@@ -75,6 +78,8 @@ def qcqp_power_control(gains: np.ndarray, noise_mw: float, total_power_mw: float
     gains = np.asarray(gains, dtype=np.float64).ravel()
     snr = np.asarray(min_snr_linear, dtype=np.float64).ravel()
     n = gains.size
+    if np.any(gains <= 0):
+        raise ConfigurationError("power control requires positive gains")
     if snr.size != n:
         raise ConfigurationError("SINR floor vector must match channel count")
     # feasibility pre-check: the minimum powers must fit the budget

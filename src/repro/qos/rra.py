@@ -23,6 +23,7 @@ PSO over per-block assignment decisions.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -100,13 +101,14 @@ class RRAProblem:
         """
         rates = self.rate_table()
         user_rates = np.zeros(self.n_users)
-        power = 0.0
+        power_terms = []
         for b, ch in enumerate(np.asarray(choice, dtype=int)):
             if ch < 0:
                 continue
             u, p = divmod(int(ch), self.n_levels)
             user_rates[u] += rates[u, b, p]
-            power += float(self.power_levels_mw[p])
+            power_terms.append(float(self.power_levels_mw[p]))
+        power = math.fsum(power_terms)
         mins = self.min_rates()
         return {
             "user_rates": user_rates,

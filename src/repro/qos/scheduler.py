@@ -9,6 +9,7 @@ describes.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Literal
@@ -97,7 +98,7 @@ class Scheduler:
         self.channel = ChannelModel(channel or ChannelConfig(), rng=self.rng)
         self.traffic = traffic or TrafficGenerator(rng=self.rng)
         self.users: List[UserSession] = self.traffic.users(n_users)
-        if rate_floor_scale != 1.0:
+        if not math.isclose(rate_floor_scale, 1.0):
             # downscale QoS floors for small test grids
             scaled = []
             for u in self.users:

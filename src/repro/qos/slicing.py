@@ -85,7 +85,7 @@ def allocate_slices(specs: List[SliceSpec], total_bw_hz: float) -> SlicingResult
     if n == 0:
         raise ConfigurationError("need at least one slice")
     p, q, eff = _qp_matrices(specs, total_bw_hz)
-    mins_bw = np.array([s.min_rate_bps for s in specs]) / eff
+    mins_bw = np.array([s.min_rate_bps for s in specs]) / eff  # numlint: disable=NL002 -- SliceSpec.__post_init__ rejects efficiency <= 0
     if mins_bw.sum() > total_bw_hz + 1e-9:
         raise InfeasibleError(
             f"rate floors need {mins_bw.sum():.0f} Hz > capacity {total_bw_hz:.0f} Hz"
@@ -124,11 +124,13 @@ def allocate_slices_with_activation(
     Variables: ``[b_1..b_n, a_1..a_n]`` with ``a`` binary;
     constraints couple ``min_bw_i * a_i <= b_i <= total * a_i``.
     """
+    if total_bw_hz <= 0:
+        raise ConfigurationError("total bandwidth must be positive")
     n = len(specs)
     if n == 0:
         raise ConfigurationError("need at least one slice")
     p_bw, q_bw, eff = _qp_matrices(specs, total_bw_hz)
-    mins_bw = np.array([s.min_rate_bps for s in specs]) / eff
+    mins_bw = np.array([s.min_rate_bps for s in specs]) / eff  # numlint: disable=NL002 -- SliceSpec.__post_init__ rejects efficiency <= 0
     mins_u = mins_bw / total_bw_hz
     # normalize the activation cost to the utility scale so the MIQP is
     # well conditioned regardless of the caller's units

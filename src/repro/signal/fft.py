@@ -39,6 +39,8 @@ def fftfreq(n: int, d: float = 1.0) -> np.ndarray:
     """DFT sample frequencies (cycles per unit of *d*), numpy convention."""
     if n < 1:
         raise SignalProcessingError("n must be >= 1")
+    if d == 0.0:
+        raise SignalProcessingError("sample spacing d must be nonzero")
     results = np.empty(n, dtype=np.float64)
     half = (n - 1) // 2 + 1
     results[:half] = np.arange(0, half)
@@ -106,9 +108,8 @@ def _fft_bluestein(x: np.ndarray, inverse: bool) -> np.ndarray:
     conj = np.conj(chirp)
     fb[:n] = conj
     fb[m - n + 1 :] = conj[1:][::-1]
-    conv = _fft_radix2(
-        _fft_radix2(fa, inverse=False) * _fft_radix2(fb, inverse=False), inverse=True
-    ) / m
+    prod = _fft_radix2(fa, inverse=False) * _fft_radix2(fb, inverse=False)
+    conv = _fft_radix2(prod, inverse=True) / m  # numlint: disable=NL002 -- m = next_pow2(...) is always >= 1
     return conv[:n] * chirp
 
 

@@ -33,6 +33,12 @@ class GaborFrame:
     n_channels: int
     sigma_ratio: float = 0.125
 
+    def __post_init__(self):
+        if self.window_length < 1 or self.hop < 1 or self.n_channels < 1:
+            raise SignalProcessingError(
+                "window_length, hop and n_channels must all be >= 1"
+            )
+
     def window(self) -> np.ndarray:
         return gaussian(self.window_length, sigma_ratio=self.sigma_ratio)
 

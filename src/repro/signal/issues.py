@@ -272,7 +272,7 @@ def detect_cola_violation(
                 library,
                 f"{window_name}({window_length}) with hop {hop} violates COLA; "
                 "naive overlap-add synthesis will not be exact",
-                float(hop) / window_length,
+                float(hop) / window_length,  # numlint: disable=NL002 -- get_window above rejects window_length < 1
             )
         ]
     return []

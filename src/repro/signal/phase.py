@@ -68,6 +68,8 @@ def phase_correction_matrix(
     for c in (source, target):
         if c not in ("time_invariant", "simplified", "frequency_invariant"):
             raise SignalProcessingError(f"unknown convention {c!r}")
+    if n_fft < 1 or hop < 1:
+        raise SignalProcessingError("n_fft and hop must both be >= 1")
     m_idx = np.arange(n_fft)[:, None]
     n_idx = np.arange(n_frames)[None, :]
     half = window_length // 2
@@ -77,14 +79,14 @@ def phase_correction_matrix(
         if conv == "frequency_invariant":
             return np.ones((n_fft, n_frames), dtype=np.complex128)
         if conv == "time_invariant":
-            return np.exp(2.0j * np.pi * m_idx * ((n_idx * hop) % n_fft) / n_fft)
+            return np.exp(2.0j * np.pi * m_idx * ((n_idx * hop) % n_fft) / n_fft)  # numlint: disable=NL002 -- n_fft validated >= 1 in the enclosing function
         # simplified
-        return np.exp(2.0j * np.pi * m_idx * half / n_fft) * np.ones(
+        return np.exp(2.0j * np.pi * m_idx * half / n_fft) * np.ones(  # numlint: disable=NL002 -- n_fft validated >= 1 in the enclosing function
             (n_fft, n_frames), dtype=np.complex128
         )
 
     # STFT_target = (1 / F_target) * C = (F_source / F_target) * STFT_source
-    return to_freq_invariant(source) / to_freq_invariant(target)
+    return to_freq_invariant(source) / to_freq_invariant(target)  # numlint: disable=NL002 -- phase factors are unit-modulus complex exponentials, never zero
 
 
 def convert_convention(result: STFTResult, target: Convention) -> STFTResult:

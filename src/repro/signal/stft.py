@@ -202,7 +202,7 @@ def stft(
             # the demodulation term e^{-2 pi i m n a / M}:
             mm = np.arange(m)[:, None]
             nn = np.arange(coeffs.shape[1])[None, :]
-            coeffs = coeffs * np.exp(-2.0j * np.pi * mm * (nn * hop % m) / m)
+            coeffs = coeffs * np.exp(-2.0j * np.pi * mm * (nn * hop % m) / m)  # numlint: disable=NL002 -- _validate enforces m = n_fft >= window length >= 1
         # frequency_invariant: phase referenced to the frame center; no
         # extra factor needed.
     return STFTResult(
@@ -234,7 +234,7 @@ def istft(result: STFTResult, length: int | None = None) -> np.ndarray:
     if result.convention == "time_invariant":
         mm = np.arange(m)[:, None]
         nn = np.arange(n_fr)[None, :]
-        work = work * np.exp(2.0j * np.pi * mm * (nn * hop % m) / m)
+        work = work * np.exp(2.0j * np.pi * mm * (nn * hop % m) / m)  # numlint: disable=NL002 -- m = result.n_fft was validated >= 1 when the STFT was built
 
     out = np.zeros(length + lg + m, dtype=np.complex128)
     norm = np.zeros(length + lg + m, dtype=np.float64)

@@ -73,7 +73,7 @@ def gaussian(length: int, sigma_ratio: float = 0.125) -> np.ndarray:
         raise SignalProcessingError("sigma_ratio must be positive")
     n = np.arange(length) - (length - 1) / 2.0
     sigma = sigma_ratio * length
-    return np.exp(-0.5 * (n / sigma) ** 2)
+    return np.exp(-0.5 * (n / sigma) ** 2)  # numlint: disable=NL002 -- sigma = sigma_ratio * length > 0, both validated above
 
 
 _WINDOWS = {

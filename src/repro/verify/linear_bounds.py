@@ -95,7 +95,7 @@ def _relu_relaxation(lo: np.ndarray, hi: np.ndarray, leaky: float) -> tuple:
         l_u = lo[unstable]
         h_u = hi[unstable]
         # upper face: chord from (l, leaky*l) to (h, h)
-        slope = (h_u - leaky * l_u) / (h_u - l_u)
+        slope = (h_u - leaky * l_u) / (h_u - l_u)  # numlint: disable=NL002 -- unstable neurons satisfy l < 0 < h, so h - l > 0
         us[unstable] = slope
         ui[unstable] = leaky * l_u - slope * l_u
         # lower face: the adaptive CROWN choice between slope `leaky` and 1

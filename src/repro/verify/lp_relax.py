@@ -121,7 +121,7 @@ def lp_margin_lower_bound(
                 row[z_off + j] = slope
                 row[h_off + j] = -1.0
                 add_ineq(row, 0.0)  # slope z - h <= 0
-                chord = (u - slope * l) / (u - l)
+                chord = (u - slope * l) / (u - l)  # numlint: disable=NL002 -- unstable neurons satisfy l < 0 < u, so u - l > 0
                 inter = slope * l - chord * l
                 row = np.zeros(total)
                 row[h_off + j] = 1.0

@@ -117,7 +117,7 @@ def _leaf_lp(stages, pre, phase: Phase, x0, eps, c):
                 row[h_off + j] = -1.0
                 ineq_rows.append(row)
                 ineq_rhs.append(0.0)
-                chord = u / (u - l)
+                chord = u / (u - l)  # numlint: disable=NL002 -- unstable neurons satisfy l < 0 < u, so u - l > 0
                 row = np.zeros(total)
                 row[h_off + j] = 1.0
                 row[z_off + j] = -chord

@@ -1,0 +1,238 @@
+"""Infrastructure tests for the numlint analyzer: suppressions, baseline
+round-trips, reporters, fingerprints, and the CLI surface."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    Finding,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+)
+from repro.analysis.cli import main
+from repro.analysis.core import Suppressions
+from repro.analysis.report import JSON_SCHEMA_VERSION, render_json, render_text
+from repro.analysis.runner import iter_python_files
+
+BAD_DIV = "def f(a, b):\n    return a / b\n"
+
+
+# ------------------------------------------------------------ suppressions
+
+
+def test_same_line_suppression():
+    src = "def f(a, b):\n    return a / b  # numlint: disable=NL002 -- caller guarantees b > 0\n"
+    assert analyze_source(src) == []
+
+
+def test_suppression_requires_matching_rule():
+    src = "def f(a, b):\n    return a / b  # numlint: disable=NL001\n"
+    assert [f.rule_id for f in analyze_source(src)] == ["NL002"]
+
+
+def test_disable_all_on_line():
+    src = "def f(a, b):\n    return a / b  # numlint: disable=all\n"
+    assert analyze_source(src) == []
+
+
+def test_file_wide_suppression():
+    src = (
+        "# numlint: disable-file=NL002 -- generated sweep file\n"
+        "def f(a, b):\n"
+        "    return a / b\n\n"
+        "def g(a, b):\n"
+        "    return b / a\n"
+    )
+    assert analyze_source(src) == []
+
+
+def test_multiple_rules_in_one_pragma():
+    src = (
+        "def f(a, b):\n"
+        "    total = 0.0\n"
+        "    for x in a:\n"
+        "        total += x  # numlint: disable=NL005,NL002\n"
+        "    return total\n"
+    )
+    assert analyze_source(src) == []
+
+
+def test_suppression_justification_is_captured():
+    supp = Suppressions.parse(
+        "x = a / b  # numlint: disable=NL002 -- b is a prime modulus\n"
+    )
+    assert supp.justifications[(1, "NL002")] == "b is a prime modulus"
+
+
+# ------------------------------------------------------------ fingerprints
+
+
+def test_fingerprint_survives_line_shift():
+    a = Finding("NL002", "m.py", 10, 5, "msg", snippet="return a / b")
+    b = Finding("NL002", "m.py", 99, 1, "msg", snippet="return  a / b")
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_fingerprint_differs_across_rules_and_paths():
+    base = Finding("NL002", "m.py", 1, 1, "msg", snippet="x / y")
+    assert base.fingerprint() != Finding(
+        "NL003", "m.py", 1, 1, "msg", snippet="x / y"
+    ).fingerprint()
+    assert base.fingerprint() != Finding(
+        "NL002", "other.py", 1, 1, "msg", snippet="x / y"
+    ).fingerprint()
+
+
+# ---------------------------------------------------------------- baseline
+
+
+def test_baseline_round_trip(tmp_path):
+    findings = analyze_source(BAD_DIV, "pkg/mod.py")
+    assert findings
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings, justification="legacy").save(path)
+    loaded = Baseline.load(path)
+    new, matched, stale = loaded.split(findings)
+    assert new == []
+    assert matched == findings
+    assert stale == []
+
+
+def test_baseline_reports_new_and_stale(tmp_path):
+    old = analyze_source(BAD_DIV, "pkg/mod.py")
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(old, justification="legacy").save(path)
+    loaded = Baseline.load(path)
+    # the offending line changed -> old entry is stale, new finding surfaces
+    fresh = analyze_source("def f(a, c):\n    return a / c\n", "pkg/mod.py")
+    new, matched, stale = loaded.split(fresh)
+    assert [f.rule_id for f in new] == ["NL002"]
+    assert matched == []
+    assert len(stale) == 1 and stale[0].rule == "NL002"
+
+
+def test_baseline_version_mismatch_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 999, "entries": []}))
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+
+
+def test_analyze_paths_applies_baseline(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(BAD_DIV)
+    first = analyze_paths([tmp_path], root=tmp_path)
+    assert len(first.findings) == 1
+    bpath = tmp_path / "baseline.json"
+    Baseline.from_findings(first.findings, justification="grandfathered").save(bpath)
+    second = analyze_paths([tmp_path], baseline=Baseline.load(bpath), root=tmp_path)
+    assert second.findings == []
+    assert len(second.baselined) == 1
+    assert second.exit_code() == 0
+
+
+# ---------------------------------------------------------------- reports
+
+
+def _result_for(tmp_path, source=BAD_DIV):
+    mod = tmp_path / "mod.py"
+    mod.write_text(source)
+    return analyze_paths([tmp_path], root=tmp_path)
+
+
+def test_json_report_schema(tmp_path):
+    doc = json.loads(render_json(_result_for(tmp_path)))
+    assert doc["schema_version"] == JSON_SCHEMA_VERSION
+    assert doc["files_checked"] == 1
+    assert set(doc["summary"]) == {"new", "baselined", "suppressed", "parse_errors"}
+    assert doc["summary"]["new"] == 1
+    (finding,) = doc["findings"]
+    assert set(finding) == {
+        "rule", "path", "line", "col", "message", "snippet", "fingerprint",
+    }
+    assert finding["rule"] == "NL002"
+    assert finding["path"] == "mod.py"
+    assert doc["parse_errors"] == []
+    assert doc["stale_baseline"] == []
+
+
+def test_text_report_lists_location_and_summary(tmp_path):
+    text = render_text(_result_for(tmp_path))
+    assert "mod.py:2:" in text
+    assert "NL002" in text
+    assert "1 finding(s)" in text
+
+
+def test_parse_error_is_reported_not_raised(tmp_path):
+    result = _result_for(tmp_path, source="def f(:\n")
+    assert result.findings == []
+    assert len(result.parse_errors) == 1
+    assert result.exit_code() == 1
+    assert "PARSE-ERROR" in render_text(result)
+
+
+def test_iter_python_files_skips_caches(tmp_path):
+    (tmp_path / "keep.py").write_text("x = 1\n")
+    cache = tmp_path / "__pycache__"
+    cache.mkdir()
+    (cache / "skip.py").write_text("x = 1\n")
+    names = [p.name for p in iter_python_files([tmp_path])]
+    assert names == ["keep.py"]
+
+
+# -------------------------------------------------------------------- CLI
+
+
+def test_cli_clean_file_exits_zero(tmp_path, capsys):
+    mod = tmp_path / "ok.py"
+    mod.write_text("def f(a):\n    return a + 1\n")
+    assert main([str(mod), "--no-baseline"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_findings_exit_one(tmp_path, capsys):
+    mod = tmp_path / "bad.py"
+    mod.write_text(BAD_DIV)
+    assert main([str(mod), "--no-baseline"]) == 1
+    assert "NL002" in capsys.readouterr().out
+
+
+def test_cli_no_paths_is_usage_error(capsys):
+    assert main([]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_missing_baseline_is_usage_error(tmp_path, capsys):
+    mod = tmp_path / "bad.py"
+    mod.write_text(BAD_DIV)
+    missing = tmp_path / "nope.json"
+    assert main([str(mod), "--baseline", str(missing)]) == 2
+
+
+def test_cli_json_format(tmp_path, capsys):
+    mod = tmp_path / "bad.py"
+    mod.write_text(BAD_DIV)
+    assert main([str(mod), "--no-baseline", "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["summary"]["new"] == 1
+
+
+def test_cli_write_then_check_baseline(tmp_path, capsys):
+    mod = tmp_path / "bad.py"
+    mod.write_text(BAD_DIV)
+    bpath = tmp_path / "baseline.json"
+    assert main([str(mod), "--baseline", str(bpath), "--write-baseline"]) == 0
+    capsys.readouterr()
+    assert main([str(mod), "--baseline", str(bpath)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_cli_list_rules_covers_the_pack(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.rule_id in out
+    assert len(all_rules()) == 8

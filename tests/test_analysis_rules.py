@@ -1,0 +1,422 @@
+"""Per-rule unit tests for the numlint rule pack (NL001–NL008).
+
+Each rule gets at least one positive fixture (the pitfall, must fire) and
+one negative fixture (the stable/guarded form, must stay silent).
+"""
+
+import pytest
+
+from repro.analysis import analyze_source
+
+
+def ids_of(source: str, path: str = "module.py"):
+    return sorted({f.rule_id for f in analyze_source(source, path)})
+
+
+def findings_for(rule: str, source: str, path: str = "module.py"):
+    return [f for f in analyze_source(source, path) if f.rule_id == rule]
+
+
+# ---------------------------------------------------------------- NL001
+
+
+def test_nl001_flags_nonzero_float_equality():
+    src = "def f(a):\n    return a == 0.1\n"
+    assert [f.rule_id for f in analyze_source(src)] == ["NL001"]
+
+
+def test_nl001_flags_not_equal_too():
+    src = "def f(a):\n    if a != 2.5:\n        return 1\n    return 0\n"
+    assert ids_of(src) == ["NL001"]
+
+
+def test_nl001_flags_nan_comparison():
+    src = "import math\n\ndef f(a):\n    return a == float('nan')\n"
+    found = findings_for("NL001", src)
+    assert found and "NaN" in found[0].message
+
+
+def test_nl001_exempts_exact_zero_guard():
+    src = "def f(a, b):\n    if a == 0.0:\n        return 0.0\n    return b\n"
+    assert ids_of(src) == []
+
+
+def test_nl001_ignores_isclose():
+    src = "import math\n\ndef f(a):\n    return math.isclose(a, 0.1)\n"
+    assert ids_of(src) == []
+
+
+# ---------------------------------------------------------------- NL002
+
+
+def test_nl002_flags_unguarded_division():
+    src = "def f(a, b):\n    return a / b\n"
+    assert ids_of(src) == ["NL002"]
+
+
+def test_nl002_flags_augmented_division():
+    src = "def f(a, b):\n    a /= b\n    return a\n"
+    assert ids_of(src) == ["NL002"]
+
+
+def test_nl002_accepts_constant_denominator():
+    src = "def f(a):\n    return a / 2.0\n"
+    assert ids_of(src) == []
+
+
+def test_nl002_accepts_comparison_guard():
+    src = (
+        "def f(a, b):\n"
+        "    if b == 0.0:\n"
+        "        return 0.0\n"
+        "    return a / b\n"
+    )
+    assert ids_of(src) == []
+
+
+def test_nl002_accepts_clamped_denominator():
+    src = "def f(a, b):\n    return a / max(b, 1e-12)\n"
+    assert ids_of(src) == []
+
+
+def test_nl002_accepts_eps_name_in_denominator():
+    src = "def f(a, b, eps):\n    return a / (b + eps)\n"
+    assert ids_of(src) == []
+
+
+def test_nl002_accepts_size_idiom():
+    src = (
+        "import numpy as np\n\n"
+        "def f(x):\n"
+        "    n = x.size\n"
+        "    return np.sum(x) / n\n"
+    )
+    assert ids_of(src) == []
+
+
+def test_nl002_accepts_errstate_context():
+    src = (
+        "import numpy as np\n\n"
+        "def f(a, b):\n"
+        "    with np.errstate(divide='ignore'):\n"
+        "        return a / b\n"
+    )
+    assert ids_of(src) == []
+
+
+def test_nl002_accepts_module_level_constant():
+    src = (
+        "_LN2 = 0.6931471805599453\n\n"
+        "def f(x):\n"
+        "    return x / _LN2\n"
+    )
+    assert ids_of(src) == []
+
+
+# ---------------------------------------------------------------- NL003
+
+
+def test_nl003_flags_log_one_plus_x():
+    src = "import numpy as np\n\ndef f(x):\n    return np.log(1.0 + x)\n"
+    found = findings_for("NL003", src)
+    assert found and "log1p" in found[0].message
+
+
+def test_nl003_flags_log2_one_plus_snr():
+    src = "import numpy as np\n\ndef f(snr):\n    return np.log2(1.0 + snr)\n"
+    found = findings_for("NL003", src)
+    assert found and "log2p1" in found[0].message
+
+
+def test_nl003_flags_log_sum_exp():
+    src = (
+        "import numpy as np\n\n"
+        "def f(x):\n"
+        "    return np.log(np.sum(np.exp(x)))\n"
+    )
+    found = findings_for("NL003", src)
+    assert found and "logsumexp" in found[0].message
+
+
+def test_nl003_flags_log_softmax_composition():
+    src = (
+        "import numpy as np\n"
+        "from scipy.special import softmax\n\n"
+        "def f(x):\n"
+        "    return np.log(softmax(x))\n"
+    )
+    assert findings_for("NL003", src)
+
+
+def test_nl003_flags_expm1_pattern():
+    src = "import numpy as np\n\ndef f(x):\n    return np.exp(x) - 1.0\n"
+    found = findings_for("NL003", src)
+    assert found and "expm1" in found[0].message
+
+
+def test_nl003_flags_textbook_sigmoid():
+    src = "import numpy as np\n\ndef f(x):\n    return 1.0 / (1.0 + np.exp(-x))\n"
+    found = findings_for("NL003", src)
+    assert found and "stable_sigmoid" in found[0].message
+
+
+def test_nl003_silent_on_stable_forms():
+    src = (
+        "import numpy as np\n"
+        "from repro.numerics.stable_ops import log2p1, logsumexp\n\n"
+        "def f(x):\n"
+        "    return np.log1p(x) + np.expm1(x) + log2p1(x) + logsumexp(x)\n"
+    )
+    assert findings_for("NL003", src) == []
+
+
+# ---------------------------------------------------------------- NL004
+
+
+def test_nl004_flags_legacy_numpy_global_rng():
+    src = "import numpy as np\n\ndef f():\n    return np.random.rand(3)\n"
+    assert ids_of(src) == ["NL004"]
+
+
+def test_nl004_flags_numpy_global_seed():
+    src = "import numpy as np\n\nnp.random.seed(0)\n"
+    assert ids_of(src) == ["NL004"]
+
+
+def test_nl004_flags_stdlib_random_globals():
+    src = "import random\n\ndef f():\n    return random.random()\n"
+    assert ids_of(src) == ["NL004"]
+
+
+def test_nl004_flags_legacy_from_import():
+    src = "from numpy.random import rand\n"
+    assert ids_of(src) == ["NL004"]
+
+
+def test_nl004_accepts_generator_api():
+    src = (
+        "import numpy as np\n\n"
+        "def f(rng=None):\n"
+        "    rng = rng or np.random.default_rng(0)\n"
+        "    return rng.standard_normal(3)\n"
+    )
+    assert ids_of(src) == []
+
+
+def test_nl004_accepts_random_instance_methods():
+    # random.Random(seed) is an owned instance, not hidden global state
+    src = "import random\n\ndef f():\n    return random.Random(7).random()\n"
+    assert ids_of(src) == []
+
+
+# ---------------------------------------------------------------- NL005
+
+
+def test_nl005_flags_float_zero_accumulator():
+    src = (
+        "def f(xs):\n"
+        "    total = 0.0\n"
+        "    for x in xs:\n"
+        "        total += x\n"
+        "    return total\n"
+    )
+    assert ids_of(src) == ["NL005"]
+
+
+def test_nl005_ignores_integer_counters():
+    src = (
+        "def f(xs):\n"
+        "    n = 0.0\n"
+        "    for x in xs:\n"
+        "        n += 1\n"
+        "    return n\n"
+    )
+    assert ids_of(src) == []
+
+
+def test_nl005_ignores_non_zero_initialized():
+    src = (
+        "def f(xs, start):\n"
+        "    total = start\n"
+        "    for x in xs:\n"
+        "        total += x\n"
+        "    return total\n"
+    )
+    assert ids_of(src) == []
+
+
+def test_nl005_silent_on_fsum():
+    src = "import math\n\ndef f(xs):\n    return math.fsum(xs)\n"
+    assert ids_of(src) == []
+
+
+# ---------------------------------------------------------------- NL006
+
+
+def test_nl006_flags_naive_variance():
+    src = (
+        "import numpy as np\n\n"
+        "def f(x):\n"
+        "    return np.mean(x ** 2) - np.mean(x) ** 2\n"
+    )
+    found = findings_for("NL006", src)
+    assert found and "variance" in found[0].message
+
+
+def test_nl006_flags_unscaled_norm():
+    src = "import numpy as np\n\ndef f(x):\n    return np.sqrt(np.sum(x ** 2))\n"
+    found = findings_for("NL006", src)
+    assert found and "stable_norm" in found[0].message
+
+
+def test_nl006_flags_x_times_x_square():
+    src = "import numpy as np\n\ndef f(x):\n    return np.sqrt(np.sum(x * x))\n"
+    assert findings_for("NL006", src)
+
+
+def test_nl006_silent_on_two_pass_variance():
+    src = (
+        "import numpy as np\n\n"
+        "def f(x):\n"
+        "    mu = np.mean(x)\n"
+        "    return np.mean((x - mu) ** 2)\n"
+    )
+    assert findings_for("NL006", src) == []
+
+
+def test_nl006_silent_on_linalg_norm():
+    src = "import numpy as np\n\ndef f(x):\n    return np.linalg.norm(x)\n"
+    assert findings_for("NL006", src) == []
+
+
+# ---------------------------------------------------------------- NL007
+
+
+def test_nl007_flags_bare_except():
+    src = (
+        "def f(g):\n"
+        "    try:\n"
+        "        return g()\n"
+        "    except:\n"
+        "        return None\n"
+    )
+    assert ids_of(src) == ["NL007"]
+
+
+def test_nl007_flags_blanket_exception():
+    src = (
+        "def f(g):\n"
+        "    try:\n"
+        "        return g()\n"
+        "    except Exception:\n"
+        "        return None\n"
+    )
+    assert ids_of(src) == ["NL007"]
+
+
+def test_nl007_accepts_reraise():
+    src = (
+        "def f(g):\n"
+        "    try:\n"
+        "        return g()\n"
+        "    except Exception:\n"
+        "        raise\n"
+    )
+    assert ids_of(src) == []
+
+
+def test_nl007_accepts_status_assignment():
+    src = (
+        "def f(g):\n"
+        "    try:\n"
+        "        return g()\n"
+        "    except Exception as exc:\n"
+        "        status = str(exc)\n"
+        "        return status\n"
+    )
+    assert ids_of(src) == []
+
+
+def test_nl007_accepts_specific_exception():
+    src = (
+        "def f(g):\n"
+        "    try:\n"
+        "        return g()\n"
+        "    except ValueError:\n"
+        "        return None\n"
+    )
+    assert ids_of(src) == []
+
+
+# ---------------------------------------------------------------- NL008
+
+
+SOLVER_PATH = "src/repro/convex/solver.py"
+
+
+def test_nl008_flags_unbounded_solver_while():
+    src = (
+        "def solve(x):\n"
+        "    while x > 1e-9:\n"
+        "        x = 0.5 * x\n"
+        "    return x\n"
+    )
+    assert ids_of(src, SOLVER_PATH) == ["NL008"]
+
+
+def test_nl008_accepts_iteration_budget_name():
+    src = (
+        "def solve(x, max_iter):\n"
+        "    it = 0\n"
+        "    while x > 1e-9 and it < max_iter:\n"
+        "        x = 0.5 * x\n"
+        "        it += 1\n"
+        "    return x\n"
+    )
+    assert ids_of(src, SOLVER_PATH) == []
+
+
+def test_nl008_accepts_break_escape():
+    src = (
+        "def solve(x):\n"
+        "    while x > 1e-9:\n"
+        "        x = 0.5 * x\n"
+        "        if x < 1e-12:\n"
+        "            break\n"
+        "    return x\n"
+    )
+    assert ids_of(src, SOLVER_PATH) == []
+
+
+def test_nl008_only_applies_inside_solver_dirs():
+    src = (
+        "def spin(x):\n"
+        "    while x > 1e-9:\n"
+        "        x = 0.5 * x\n"
+        "    return x\n"
+    )
+    assert ids_of(src, "src/repro/signal/spin.py") == []
+
+
+# ------------------------------------------------------- rule subsetting
+
+
+def test_rule_subset_filters_findings():
+    src = (
+        "def f(a, b):\n"
+        "    total = 0.0\n"
+        "    for x in a:\n"
+        "        total += x\n"
+        "    return total / b\n"
+    )
+    assert ids_of(src) == ["NL002", "NL005"]
+    only_div = analyze_source(src, rules=["NL002"])
+    assert sorted({f.rule_id for f in only_div}) == ["NL002"]
+
+
+@pytest.mark.parametrize("rule_id", [f"NL00{i}" for i in range(1, 9)])
+def test_every_rule_is_registered(rule_id):
+    from repro.analysis import get_rule
+
+    rule = get_rule(rule_id)
+    assert rule.title and rule.rationale

@@ -1,0 +1,113 @@
+"""Tier-1 gate: the repo must stay numerically lint-clean.
+
+Runs the numlint analyzer over ``src/`` under the checked-in baseline
+(``tools/numlint-baseline.json``) and fails the suite on any new finding,
+parse error, or stale baseline entry.  Also proves the analyzer still has
+teeth by seeding a fixture that violates every rule in the pack.
+
+Run just this gate with ``pytest -m static``.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, all_rules, analyze_paths, analyze_source
+
+pytestmark = pytest.mark.static
+
+REPO = Path(__file__).resolve().parents[1]
+BASELINE = REPO / "tools" / "numlint-baseline.json"
+
+# one violation of each rule; path places it inside a solver dir so the
+# NL008 while-loop contract applies
+SEEDED_FIXTURE = """\
+import random
+import numpy as np
+
+def eq(a):
+    return a == 0.1
+
+def div(a, b):
+    return a / b
+
+def log1p(x):
+    return np.log(1.0 + x)
+
+def rng():
+    random.seed(0)
+    return np.random.rand(3)
+
+def acc(xs):
+    total = 0.0
+    for x in xs:
+        total += x
+    return total
+
+def norm(x):
+    return np.sqrt(np.sum(x ** 2))
+
+def swallow(g):
+    try:
+        return g()
+    except Exception:
+        return None
+
+def loop(x):
+    while x > 1e-9:
+        x = 0.5 * x
+    return x
+"""
+
+
+def test_src_is_clean_under_the_baseline():
+    baseline = Baseline.load(BASELINE)
+    result = analyze_paths([REPO / "src"], baseline=baseline, root=REPO)
+    assert not result.parse_errors, result.parse_errors
+    assert result.findings == [], "\n".join(
+        f"{f.location()}: {f.rule_id} {f.message}" for f in result.findings
+    )
+    assert result.stale_baseline == [], [
+        e.fingerprint for e in result.stale_baseline
+    ]
+    assert result.exit_code() == 0
+
+
+def test_baseline_entries_all_carry_justifications():
+    baseline = Baseline.load(BASELINE)
+    assert baseline.entries, "baseline should grandfather the naive exhibits"
+    for entry in baseline.entries.values():
+        assert entry.justification and "TODO" not in entry.justification
+
+
+def test_seeded_fixture_trips_every_rule():
+    findings = analyze_source(SEEDED_FIXTURE, "src/repro/convex/seeded.py")
+    tripped = {f.rule_id for f in findings}
+    expected = {r.rule_id for r in all_rules()}
+    assert tripped == expected, f"missing: {sorted(expected - tripped)}"
+
+
+def _run_cli(*args, cwd=REPO):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        cwd=cwd, env=env, capture_output=True, text=True,
+    )
+
+
+def test_cli_gate_exits_zero_on_src():
+    proc = _run_cli("src")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_cli_gate_exits_nonzero_on_seeded_fixture(tmp_path):
+    bad = tmp_path / "seeded.py"
+    bad.write_text(SEEDED_FIXTURE)
+    proc = _run_cli(str(bad), "--no-baseline")
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    for rule_id in ("NL001", "NL002", "NL003", "NL004", "NL005", "NL006", "NL007"):
+        assert rule_id in proc.stdout

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo lint gate: ruff (when available) + the numlint numerical-safety
+# analyzer.  Exits non-zero on any finding; run from the repo root.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+status=0
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests || status=1
+else
+    echo "== ruff == (not installed; skipping — config lives in pyproject.toml)"
+fi
+
+echo "== numlint =="
+PYTHONPATH=src python -m repro.analysis src || status=1
+
+exit "$status"
