@@ -1,0 +1,118 @@
+"""LADDER — degraded-mode latency of the fallback ladders (§II-B-2).
+
+The paper's cost/completeness ladder, run as a degradation policy
+(docs/RESILIENCE.md): when the tight rung fails, a looser rung answers.
+This benchmark measures what degradation *buys* — the wall-clock of the
+verification ladder forced down to each rung, and of the QoS admission
+ladder under a healthy vs broken exact backend.
+
+Claims exercised:
+* each step down the ladder is cheaper (exact >= lp >= crown >= ibp),
+  which is the whole reason a degraded answer is worth serving;
+* the guaranteed greedy rung answers in microseconds, so a tripped
+  breaker costs almost nothing per frame while the backend heals.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import banner
+from repro.exceptions import FaultInjectedError
+from repro.qos.admission import AdmissionProblem, solve_admission_resilient
+from repro.qos.traffic import TrafficGenerator
+from repro.resilience import RetryPolicy
+from repro.verify.specs import classification_spec
+from repro.verify.verifier import VERIFICATION_FALLBACK, verify, verify_resilient
+from repro.nn import Dense, ReLU, Sequential
+
+pytestmark = pytest.mark.resilience
+
+_NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0)
+_NO_SLEEP = lambda _t: None  # noqa: E731 - injected sleep, keeps runs instant
+
+
+def _net_and_spec():
+    rng = np.random.default_rng(0)
+    net = Sequential([Dense(2, 8, rng=rng), ReLU(),
+                      Dense(8, 8, rng=rng), ReLU(),
+                      Dense(8, 2, rng=rng)])
+    spec = classification_spec(np.array([0.3, -0.2]), eps=0.05,
+                               true_label=0, other_label=1, n_classes=2)
+    return net, spec
+
+
+def _force_down_to(rung_index: int):
+    """A verify_fn that fails every rung tighter than *rung_index*."""
+
+    def chaotic(net, spec, **kw):
+        method = kw.get("method")
+        if VERIFICATION_FALLBACK.index(method) < rung_index:
+            raise FaultInjectedError(f"forced failure of {method}")
+        return verify(net, spec, **kw)
+
+    return chaotic
+
+
+def _admission_problem(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    users = TrafficGenerator(rng=rng).users(n)
+    return AdmissionProblem(users=users,
+                            resource_demand=rng.uniform(0.05, 0.4, n))
+
+
+def test_fallback_ladder_latency(benchmark):
+    net, spec = _net_and_spec()
+
+    def run():
+        rows = []
+        import time as _time
+        for index, rung in enumerate(VERIFICATION_FALLBACK):
+            t0 = _time.perf_counter()
+            res = verify_resilient(net, spec, verify_fn=_force_down_to(index),
+                                   retry=_NO_RETRY, sleep=_NO_SLEEP)
+            rows.append({
+                "forced_rung": rung,
+                "answered": res.rung,
+                "degraded": res.degraded,
+                "verified": res.verified,
+                "wall_s": _time.perf_counter() - t0,
+                "rung_time_s": res.result.wall_time,
+            })
+            assert res.rung == rung  # the ladder landed where forced
+
+        problem = _admission_problem()
+        t0 = _time.perf_counter()
+        healthy = solve_admission_resilient(problem, retry=_NO_RETRY,
+                                            sleep=_NO_SLEEP)
+        t_healthy = _time.perf_counter() - t0
+
+        def broken_exact(_p):
+            raise FaultInjectedError("backend outage")
+
+        t0 = _time.perf_counter()
+        degraded = solve_admission_resilient(
+            problem, solvers={"exact-bnb": broken_exact,
+                              "lp-round": broken_exact},
+            retry=_NO_RETRY, sleep=_NO_SLEEP)
+        t_degraded = _time.perf_counter() - t0
+        return rows, (healthy, t_healthy), (degraded, t_degraded)
+
+    rows, (healthy, t_healthy), (degraded, t_degraded) = benchmark.pedantic(
+        run, iterations=1, rounds=1)
+
+    banner("LADDER", "Degraded-mode latency per fallback rung (§II-B-2)")
+    print(f"{'forced rung':>12s} | {'answered':>8s} | {'verified':>8s} | "
+          f"{'rung time':>10s}")
+    for row in rows:
+        print(f"{row['forced_rung']:>12s} | {row['answered']:>8s} | "
+              f"{str(row['verified']):>8s} | {row['rung_time_s']:>9.4f}s")
+    # each step down must not be slower than the exact rung it replaces
+    assert rows[-1]["rung_time_s"] <= rows[0]["rung_time_s"] * 1.5
+
+    print(f"\nadmission healthy : rung={healthy.rung:<9s} "
+          f"utility={healthy.result.utility:7.2f}  t={t_healthy * 1e3:7.2f} ms")
+    print(f"admission degraded: rung={degraded.rung:<9s} "
+          f"utility={degraded.result.utility:7.2f}  t={t_degraded * 1e3:7.2f} ms")
+    assert degraded.rung == "greedy" and degraded.result.feasible
+    # the conservative rung never beats the exact optimum
+    assert degraded.result.utility <= healthy.result.utility + 1e-9

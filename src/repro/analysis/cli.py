@@ -42,7 +42,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--write-baseline", action="store_true",
-        help="write current findings to the baseline file and exit 0",
+        help="write current findings to the baseline file and exit 0 "
+             "(requires --justification)",
+    )
+    parser.add_argument(
+        "--justification", default=None, metavar="TEXT",
+        help="human rationale recorded on every baseline entry written by "
+             "--write-baseline; required so grandfathered findings carry a "
+             "real review note instead of a placeholder",
     )
     parser.add_argument(
         "--rules", default=None, metavar="NL001,NL002",
@@ -82,6 +89,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               file=sys.stderr)
         return 2
 
+    if args.write_baseline and not (args.justification or "").strip():
+        print(
+            "error: --write-baseline requires --justification TEXT "
+            "(a real reason each finding is acceptable; placeholders "
+            "defeat the baseline's re-review contract)",
+            file=sys.stderr,
+        )
+        return 2
+
     rule_ids = None
     if args.rules:
         rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
@@ -105,7 +121,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.write_baseline:
         target = baseline_path or DEFAULT_BASELINE
         Baseline.from_findings(
-            result.findings, justification="TODO: justify or fix"
+            result.findings, justification=args.justification.strip()
         ).save(target)
         print(f"numlint: wrote {len(result.findings)} entrie(s) to {target}")
         return 0

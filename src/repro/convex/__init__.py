@@ -1,6 +1,19 @@
 """Convex-optimization substrate: QP/QCQP/SDP/LP solvers, the
 rank->trace->SDP chain (paper Eqs. 7-10), envelopes, trust regions,
-BFGS proxies, ADMM, and relaxation-gradation accounting."""
+BFGS proxies, ADMM, and relaxation-gradation accounting.
+
+**Non-convergence convention.**  Iterative solvers in this package are
+*lenient by default*: when the iteration budget runs out they return
+their best iterate with ``converged=False`` (BnB bounding and other
+callers tolerate slightly inexact solves).  Every such solver also
+accepts ``strict=True``, which raises
+:class:`~repro.exceptions.ConvergenceError` instead — the mode the
+:mod:`repro.resilience` retry/fallback machinery hooks into.  Solvers
+whose fallback output is *exact by construction* (e.g. the trust-region
+secular bisection, which always returns a boundary point) stay lenient
+and document it.  Long loops additionally accept a cooperative
+``budget`` (:class:`repro.resilience.Budget`) charged per iteration.
+"""
 
 from repro.convex.admm import (
     ADMMResult,

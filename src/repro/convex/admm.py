@@ -10,11 +10,12 @@ operators, plus the standard prox library used by the rest of the stack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.resilience.budget import Budget
 
 __all__ = [
     "ADMMResult",
@@ -49,6 +50,8 @@ def admm_consensus(
     max_iter: int = 2000,
     tol: float = 1e-8,
     x0: np.ndarray | None = None,
+    strict: bool = False,
+    budget: Optional[Budget] = None,
 ) -> ADMMResult:
     """Solve ``min f(x) + g(z) s.t. x = z`` with scaled-dual ADMM.
 
@@ -56,6 +59,13 @@ def admm_consensus(
     and similarly for ``prox_g``.  For convex f, g this converges to the
     global optimum; for the nonconvex proxes provided it is a heuristic
     (matching the paper's framing of ADMM for nonconvex problems).
+
+    Follows the ``convex/`` non-convergence convention: lenient by
+    default (returns ``converged=False`` with the best iterate), while
+    ``strict=True`` raises :class:`ConvergenceError` — the mode the
+    resilience retry/fallback machinery hooks into.  A cooperative
+    ``budget`` is charged one unit per iteration and aborts the loop with
+    :class:`~repro.exceptions.BudgetExceededError` when exhausted.
     """
     if rho <= 0.0:
         raise ConfigurationError("ADMM penalty rho must be positive")
@@ -65,6 +75,8 @@ def admm_consensus(
     prim_hist: List[float] = []
     dual_hist: List[float] = []
     for it in range(1, max_iter + 1):
+        if budget is not None:
+            budget.spend(1, context="admm_consensus")
         x = prox_f(z - u, 1.0 / rho)
         z_old = z
         z = prox_g(x + u, 1.0 / rho)
@@ -77,6 +89,13 @@ def admm_consensus(
         if prim <= tol * scale and dual <= tol * scale:
             return ADMMResult(x=x, z=z, iterations=it, converged=True,
                               primal_residuals=prim_hist, dual_residuals=dual_hist)
+    if strict:
+        raise ConvergenceError(
+            f"ADMM did not converge in {max_iter} iterations "
+            f"(primal residual {prim_hist[-1]:.3e})",
+            iterations=max_iter,
+            residual=prim_hist[-1],
+        )
     return ADMMResult(x=x, z=z, iterations=max_iter, converged=False,
                       primal_residuals=prim_hist, dual_residuals=dual_hist)
 

@@ -112,12 +112,15 @@ def minimize_bfgs(
     tol: float = 1e-8,
     max_iter: int = 500,
     initial_trust_radius: float | None = None,
+    strict: bool = False,
 ) -> OptimizeResult:
     """Full-matrix BFGS with curvature-guarded updates.
 
     ``initial_trust_radius`` caps the very first step length; the paper
     points to trust regions as the remedy for "false curvature
-    information" from a cold-started inverse-Hessian proxy.
+    information" from a cold-started inverse-Hessian proxy.  Lenient on
+    non-convergence by default; ``strict=True`` raises
+    :class:`ConvergenceError` (the ``convex/`` convention).
     """
     grad = grad or (lambda x: numerical_gradient(f, x))
     x = np.asarray(x0, dtype=np.float64).copy()
@@ -152,8 +155,13 @@ def minimize_bfgs(
         else:
             skips += 1  # curvature guard: skip update to avoid indefiniteness
         x, fx, gx = x + s, f_new, g_new
+    gn = float(np.linalg.norm(gx))
+    if strict:
+        raise ConvergenceError(
+            f"BFGS did not reach tolerance in {max_iter} iterations "
+            f"(grad norm {gn:.3e})", iterations=max_iter, residual=gn)
     return OptimizeResult(
-        x=x, fun=fx, grad_norm=float(np.linalg.norm(gx)), iterations=max_iter,
+        x=x, fun=fx, grad_norm=gn, iterations=max_iter,
         converged=False, n_curvature_skips=skips,
     )
 
@@ -165,9 +173,12 @@ def minimize_lbfgs(
     memory: int = 10,
     tol: float = 1e-8,
     max_iter: int = 1000,
+    strict: bool = False,
 ) -> OptimizeResult:
     """Limited-memory BFGS (two-loop recursion) with the standard
-    ``gamma_k = s^T y / y^T y`` initial Hessian scaling."""
+    ``gamma_k = s^T y / y^T y`` initial Hessian scaling.  Lenient on
+    non-convergence by default; ``strict=True`` raises
+    :class:`ConvergenceError` (the ``convex/`` convention)."""
     grad = grad or (lambda x: numerical_gradient(f, x))
     x = np.asarray(x0, dtype=np.float64).copy()
     s_hist: deque[np.ndarray] = deque(maxlen=memory)
@@ -209,7 +220,12 @@ def minimize_lbfgs(
         else:
             skips += 1
         x, fx, gx = x + s, f_new, g_new
+    gn = float(np.linalg.norm(gx))
+    if strict:
+        raise ConvergenceError(
+            f"L-BFGS did not reach tolerance in {max_iter} iterations "
+            f"(grad norm {gn:.3e})", iterations=max_iter, residual=gn)
     return OptimizeResult(
-        x=x, fun=fx, grad_norm=float(np.linalg.norm(gx)), iterations=max_iter,
+        x=x, fun=fx, grad_norm=gn, iterations=max_iter,
         converged=False, n_curvature_skips=skips,
     )

@@ -13,15 +13,24 @@ and the relaxation-gap accounting used by the SDPCHAIN benchmark.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 import numpy as np
 
-from repro.exceptions import ConvergenceError, InfeasibleError, NonConvexError
-from repro.convex.problem import QCQPProblem, SDPProblem, Solution
+from repro.exceptions import (
+    ConvergenceError,
+    InfeasibleError,
+    NonConvexError,
+    NumericalInstabilityError,
+)
+from repro.convex.problem import QCQPProblem, QuadraticForm, SDPProblem, Solution
 from repro.convex.sdp import solve_sdp, solve_sdp_general
+from repro.resilience import Budget, LadderResult, RetryPolicy, Rung, run_ladder
 
-__all__ = ["solve_qcqp_barrier", "shor_relaxation", "solve_qcqp", "ShorResult"]
+__all__ = ["solve_qcqp_barrier", "shor_relaxation", "solve_qcqp",
+           "solve_qcqp_resilient", "ShorResult"]
 
 
 def _phase1_point(problem: QCQPProblem, margin: float = 1e-3, max_iter: int = 500) -> np.ndarray:
@@ -70,12 +79,14 @@ def solve_qcqp_barrier(
     barrier_tol: float = 1e-8,
     newton_tol: float = 1e-9,
     max_newton: int = 60,
+    budget: Optional[Budget] = None,
 ) -> Solution:
     """Log-barrier interior-point method for a convex QCQP.
 
     Minimizes ``t f_0(x) - sum_i log(-f_i(x))`` over the equality
     manifold for geometrically increasing ``t``; the duality-gap bound is
-    ``m / t``.
+    ``m / t``.  A cooperative ``budget`` is charged one unit per Newton
+    step and aborts with ``BudgetExceededError`` when exhausted.
     """
     problem.assert_convex()
     n = problem.dim
@@ -98,6 +109,8 @@ def solve_qcqp_barrier(
     total_newton = 0
     while m / t > barrier_tol:
         for _ in range(max_newton):
+            if budget is not None:
+                budget.spend(1, context="solve_qcqp_barrier")
             vals = problem.constraint_values(x)
             if np.max(vals) >= 0:
                 raise ConvergenceError("barrier iterate left the feasible region")
@@ -184,7 +197,8 @@ def _lift(form_p: np.ndarray, form_q: np.ndarray, form_r: float, n: int) -> np.n
     return m
 
 
-def shor_relaxation(problem: QCQPProblem, sdp_max_iter: int = 8000) -> ShorResult:
+def shor_relaxation(problem: QCQPProblem, sdp_max_iter: int = 8000,
+                    budget: Optional[Budget] = None) -> ShorResult:
     """Shor SDP relaxation: lift ``x x^T`` to a PSD matrix variable.
 
     Each quadratic constraint ``f_i(x) <= 0`` becomes the linear
@@ -222,6 +236,7 @@ def shor_relaxation(problem: QCQPProblem, sdp_max_iter: int = 8000) -> ShorResul
         ineq_mats=ineq_mats,
         ineq_rhs=ineq_rhs,
         max_iter=sdp_max_iter,
+        budget=budget,
     )
     best_bound = sol.objective
     y = sol.x
@@ -244,6 +259,92 @@ def shor_relaxation(problem: QCQPProblem, sdp_max_iter: int = 8000) -> ShorResul
         lifted_matrix=y,
         rank_gap=rank_gap,
     )
+
+
+def _convexified(problem: QCQPProblem) -> QCQPProblem:
+    """Replace every quadratic form's Hessian with its nearest PSD matrix
+    — the envelope step that turns a nonconvex QCQP into a solvable
+    convex surrogate (wider relaxation grade, but guaranteed tractable)."""
+    from repro.linalg.psd import nearest_psd
+
+    def cvx(form: QuadraticForm) -> QuadraticForm:
+        return QuadraticForm(p=nearest_psd(form.p, jitter=1e-10), q=form.q, r=form.r)
+
+    return QCQPProblem(
+        objective=cvx(problem.objective),
+        constraints=[cvx(c) for c in problem.constraints],
+        a=problem.a,
+        b=problem.b,
+    )
+
+
+def _validate_solution(value: object) -> None:
+    assert isinstance(value, Solution)
+    if not (np.all(np.isfinite(value.x)) and np.isfinite(value.objective)):
+        raise NumericalInstabilityError(
+            f"solver returned non-finite solution (objective {value.objective!r})"
+        )
+
+
+def solve_qcqp_resilient(
+    problem: QCQPProblem,
+    budget: Optional[Budget] = None,
+    retry: Optional[RetryPolicy] = None,
+    sdp_max_iter: int = 8000,
+    rng: Optional[np.random.Generator] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> LadderResult:
+    """Solve a QCQP through the RCR degradation ladder
+    ``sdp -> qcqp -> qp`` (heuristic).
+
+    Rung 1 is the Shor SDP relaxation (tightest tractable grade for a
+    nonconvex instance; solved strictly so a non-converged ADMM degrades
+    instead of silently lying).  Rung 2 convexifies every Hessian to its
+    nearest PSD matrix and runs the log-barrier method (QCQP grade).
+    Rung 3 — guaranteed — drops the quadratic constraints entirely and
+    solves the convexified objective as an equality-constrained QP: the
+    cheap conservative answer that always exists.
+
+    Returns the :class:`LadderResult`; ``result.value`` is a
+    :class:`Solution` whose ``status`` names the answering rung, and the
+    ladder metadata records rung index, attempts, failures, and budget.
+    """
+    from repro.convex.qp import solve_equality_qp
+
+    def rung_sdp() -> Solution:
+        res = shor_relaxation(problem, sdp_max_iter=sdp_max_iter, budget=budget)
+        if not res.recovered_feasible:
+            raise ConvergenceError(
+                "Shor relaxation recovery is infeasible "
+                f"(rank gap {res.rank_gap:.3e})",
+                residual=res.rank_gap,
+            )
+        return Solution(x=res.x_recovered, objective=res.recovered_objective,
+                        iterations=0, converged=True, status="sdp")
+
+    def rung_qcqp() -> Solution:
+        surrogate = problem if problem.is_convex() else _convexified(problem)
+        sol = solve_qcqp_barrier(surrogate, budget=budget)
+        return Solution(x=sol.x, objective=problem.objective.value(sol.x),
+                        iterations=sol.iterations, converged=sol.converged,
+                        status="qcqp")
+
+    def rung_qp() -> Solution:
+        surrogate = _convexified(problem)
+        sol = solve_equality_qp(surrogate.objective.p, surrogate.objective.q,
+                                problem.a, problem.b)
+        return Solution(x=sol.x, objective=problem.objective.value(sol.x),
+                        iterations=sol.iterations, converged=True,
+                        status="qp-heuristic")
+
+    retry = retry or RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+    rungs = (
+        Rung("sdp", rung_sdp, grade="semidefinite", retry=retry),
+        Rung("qcqp", rung_qcqp, grade="convex_quadratic", retry=retry),
+        Rung("qp", rung_qp, grade="heuristic", guaranteed=True),
+    )
+    return run_ladder(rungs, budget=budget, validator=_validate_solution,
+                      rng=rng, sleep=sleep)
 
 
 def solve_qcqp(problem: QCQPProblem) -> Solution:

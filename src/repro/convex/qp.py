@@ -64,6 +64,7 @@ def solve_qp(
     alpha: float = 1.6,
     max_iter: int = 4000,
     tol: float = 1e-8,
+    strict: bool = False,
 ) -> Solution:
     """OSQP-style ADMM for a convex :class:`QPProblem`.
 
@@ -71,6 +72,9 @@ def solve_qp(
     ``l <= C x <= u`` where C stacks the inequality rows (``l = -inf``,
     ``u = h``) and equality rows (``l = u = b``).  Raises
     :class:`NonConvexError` when the Hessian fails its PSD certificate.
+    Lenient on non-convergence by default (BnB bounding tolerates
+    slightly inexact relaxation solves); ``strict=True`` raises
+    :class:`ConvergenceError` per the ``convex/`` convention.
     """
     if rho <= 0.0:
         raise ConfigurationError("ADMM penalty rho must be positive")
@@ -128,6 +132,11 @@ def solve_qp(
             return Solution(
                 x=x, objective=obj_form.value(x), iterations=it, converged=True, dual=y
             )
+    if strict:
+        raise ConvergenceError(
+            f"QP ADMM did not converge in {max_iter} iterations",
+            iterations=max_iter,
+        )
     # Return best effort with converged=False rather than raising: BnB
     # bounding tolerates slightly inexact relaxation solves.
     return Solution(

@@ -21,11 +21,14 @@ splitting:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ConvergenceError
 from repro.convex.problem import SDPProblem, Solution
 from repro.linalg.psd import project_psd, symmetrize
+from repro.resilience.budget import Budget
 
 __all__ = ["solve_sdp", "solve_sdp_general", "AffineSubspaceProjector"]
 
@@ -125,11 +128,20 @@ def solve_sdp_general(
     max_iter: int = 8000,
     tol: float = 1e-7,
     raise_on_failure: bool = False,
+    strict: bool = False,
+    budget: Optional[Budget] = None,
 ) -> Solution:
     """Solve ``min <C, X>`` s.t. ``<A_i,X> = b_i``, ``<B_j,X> <= d_j``,
-    ``X >= 0`` by two-block ADMM with slack variables."""
+    ``X >= 0`` by two-block ADMM with slack variables.
+
+    Non-convergence follows the ``convex/`` convention: lenient by
+    default; ``strict=True`` (or the older ``raise_on_failure``) raises
+    :class:`ConvergenceError`.  A cooperative ``budget`` is charged one
+    unit per ADMM sweep.
+    """
     if rho <= 0.0:
         raise ConfigurationError("ADMM penalty rho must be positive")
+    strict = strict or raise_on_failure
     c = symmetrize(np.asarray(c, dtype=np.float64))
     n = c.shape[0]
     ineq_mats = ineq_mats or []
@@ -146,6 +158,8 @@ def solve_sdp_general(
     scale = max(1.0, float(np.linalg.norm(c)))
     prim_res = np.inf
     for it in range(1, max_iter + 1):
+        if budget is not None:
+            budget.spend(1, context="solve_sdp_general")
         x, s = projector.project(z - u - c / rho, t - v)
         z_new = project_psd(x + u)
         t_new = np.maximum(s + v, 0.0)
@@ -164,7 +178,7 @@ def solve_sdp_general(
             return Solution(
                 x=z, objective=float(np.sum(c * z)), iterations=it, converged=True
             )
-    if raise_on_failure:
+    if strict:
         raise ConvergenceError("SDP ADMM did not converge", iterations=max_iter, residual=prim_res)
     return Solution(
         x=z,
@@ -181,6 +195,8 @@ def solve_sdp(
     max_iter: int = 5000,
     tol: float = 1e-7,
     raise_on_failure: bool = False,
+    strict: bool = False,
+    budget: Optional[Budget] = None,
 ) -> Solution:
     """Solve a standard-form (equality-constrained) :class:`SDPProblem`."""
     return solve_sdp_general(
@@ -190,5 +206,6 @@ def solve_sdp(
         rho=rho,
         max_iter=max_iter,
         tol=tol,
-        raise_on_failure=raise_on_failure,
+        strict=strict or raise_on_failure,
+        budget=budget,
     )

@@ -16,10 +16,12 @@ paper's BFGS proxies cannot certify.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.resilience.budget import Budget
 
 __all__ = ["TrustRegionResult", "solve_trust_region", "cauchy_point"]
 
@@ -59,9 +61,13 @@ def solve_trust_region(
     delta: float,
     tol: float = 1e-10,
     max_iter: int = 200,
+    budget: Optional[Budget] = None,
 ) -> TrustRegionResult:
     """More-Sorensen: find ``p`` and ``lam >= 0`` with
     ``(B + lam I) p = -g``, ``lam (delta - ||p||) = 0``, ``B + lam I >= 0``.
+
+    A cooperative ``budget`` is charged one unit per secular-equation
+    bisection step.
     """
     g = np.asarray(g, dtype=np.float64).ravel()
     b = 0.5 * (np.asarray(b, dtype=np.float64) + np.asarray(b, dtype=np.float64).T)
@@ -113,6 +119,8 @@ def solve_trust_region(
             raise ConvergenceError("trust-region secular bracketing failed")
     lo = lam_lo
     for it in range(max_iter):
+        if budget is not None:
+            budget.spend(1, context="solve_trust_region")
         lam = 0.5 * (lo + hi)
         norm = p_norm(lam)
         if abs(norm - delta) <= tol * delta:

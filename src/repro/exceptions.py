@@ -62,6 +62,55 @@ class NumericalInstabilityError(ReproError):
     beyond a configured forward-stability budget."""
 
 
+class BudgetExceededError(ReproError):
+    """A cooperative :class:`repro.resilience.Budget` ran out of wall-clock
+    time or iterations.
+
+    Raised from inside solver loops (cooperative cancellation); the
+    resilience runtime catches it and degrades down the fallback ladder
+    instead of letting the caller hang past its deadline.
+
+    Attributes
+    ----------
+    elapsed:
+        Wall-clock seconds consumed when the budget tripped.
+    iterations:
+        Iterations consumed when the budget tripped.
+    """
+
+    def __init__(self, message: str, elapsed: float = 0.0, iterations: int = 0):
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.iterations = iterations
+
+
+class CircuitOpenError(ReproError):
+    """A :class:`repro.resilience.CircuitBreaker` is open: the guarded
+    backend failed repeatedly and callers must use the conservative
+    fallback policy until the cooldown elapses."""
+
+
+class FaultInjectedError(ReproError):
+    """A transient failure injected by the deterministic chaos harness
+    (:mod:`repro.resilience.chaos`).  Retry policies treat it as
+    retryable, exactly like a transient solver hiccup."""
+
+
+class LadderExhaustedError(ReproError):
+    """Every rung of a fallback ladder failed — including the guaranteed
+    last-resort rung.  Carries the per-rung failures for diagnosis.
+
+    Attributes
+    ----------
+    failures:
+        Tuple of ``(rung_name, error_message)`` pairs, tightest first.
+    """
+
+    def __init__(self, message: str, failures: tuple = ()):
+        super().__init__(message)
+        self.failures = tuple(failures)
+
+
 class VerificationError(ReproError):
     """A robustness verifier was used incorrectly or internally failed."""
 

@@ -13,20 +13,34 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, NumericalInstabilityError
 from repro.convex.lp import solve_lp
 from repro.convex.problem import LPProblem
 from repro.minlp.heuristics import round_and_repair
 from repro.minlp.milp import solve_milp
 from repro.minlp.model import MILPModel
 from repro.qos.traffic import UserSession
+from repro.resilience import (
+    Budget,
+    BudgetReport,
+    CircuitBreaker,
+    RetryPolicy,
+    Rung,
+    run_ladder,
+)
 
-__all__ = ["AdmissionProblem", "AdmissionResult", "solve_admission_exact",
-           "solve_admission_relaxed", "solve_admission_greedy"]
+__all__ = ["AdmissionProblem", "AdmissionResult", "ResilientAdmissionResult",
+           "solve_admission_exact", "solve_admission_relaxed",
+           "solve_admission_greedy", "solve_admission_resilient",
+           "ADMISSION_FALLBACK"]
+
+#: degradation order for the admission hot path: tightest first, the
+#: greedy density heuristic as the guaranteed conservative policy
+ADMISSION_FALLBACK: Tuple[str, ...] = ("exact-bnb", "lp-round", "greedy")
 
 # default priority -> utility weight (URLLC priority 0 most valuable)
 _PRIORITY_WEIGHT = {0: 10.0, 1: 3.0, 2: 1.0}
@@ -122,6 +136,102 @@ def solve_admission_relaxed(problem: AdmissionProblem) -> AdmissionResult:
     x = round_and_repair(model, relaxed.x)
     admitted = (x > 0.5) if x is not None else np.zeros(problem.n_users, dtype=bool)
     return _result("lp-round", problem, admitted, start)
+
+
+@dataclass(frozen=True)
+class ResilientAdmissionResult:
+    """An admission decision with degradation provenance: which rung of
+    the fallback ladder answered, how many solver attempts it took, and
+    what the failed rungs died of."""
+
+    result: AdmissionResult
+    rung: str
+    rung_index: int
+    attempts: int
+    failures: Tuple[Tuple[str, str], ...]
+    budget: Optional[BudgetReport] = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.rung_index > 0
+
+    @property
+    def admitted(self) -> np.ndarray:
+        return self.result.admitted
+
+
+def _validate_admission(value: object) -> None:
+    """Reject corrupted or infeasible admission decisions: an answer that
+    over-commits the frame's resources (or carries NaN) must degrade, not
+    ship."""
+    assert isinstance(value, AdmissionResult)
+    if not (np.isfinite(value.utility) and np.isfinite(value.load)):
+        raise NumericalInstabilityError(
+            f"admission result carries non-finite metrics "
+            f"(utility {value.utility!r}, load {value.load!r})"
+        )
+    if not value.feasible:
+        raise NumericalInstabilityError(
+            f"admission result over-commits the frame (load {value.load:.3f} > 1)"
+        )
+
+
+def solve_admission_resilient(
+    problem: AdmissionProblem,
+    budget: Optional[Budget] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    retry: Optional[RetryPolicy] = None,
+    max_nodes: int = 20000,
+    solvers: Optional[Dict[str, Callable[[AdmissionProblem], AdmissionResult]]] = None,
+    rng: Optional[np.random.Generator] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> ResilientAdmissionResult:
+    """Admission through the fallback ladder ``exact-bnb -> lp-round ->
+    greedy`` with budget, retry, and circuit-breaker protection.
+
+    The greedy rung is guaranteed: it is O(n log n), cannot fail, and
+    runs even with an exhausted budget or an open breaker — the "cheap
+    conservative policy" the QoS control plane trips to instead of
+    hammering a broken backend every frame.  ``solvers`` overrides
+    individual rung implementations (the hook the chaos harness uses).
+    """
+    table: Dict[str, Callable[[AdmissionProblem], AdmissionResult]] = {
+        "exact-bnb": lambda p: solve_admission_exact(p, max_nodes=max_nodes),
+        "lp-round": solve_admission_relaxed,
+        "greedy": solve_admission_greedy,
+    }
+    if solvers:
+        table.update(solvers)
+    retry = retry or RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+
+    def make_solve(name: str, guaranteed: bool) -> Callable[[], AdmissionResult]:
+        def solve() -> AdmissionResult:
+            if budget is not None:
+                if guaranteed:
+                    budget.charge(1)
+                else:
+                    budget.spend(1, context=f"admission[{name}]")
+            return table[name](problem)
+        return solve
+
+    rungs = [
+        Rung(name=name, solve=make_solve(name, i == len(ADMISSION_FALLBACK) - 1),
+             grade=name, retry=retry,
+             guaranteed=(i == len(ADMISSION_FALLBACK) - 1))
+        for i, name in enumerate(ADMISSION_FALLBACK)
+    ]
+    res = run_ladder(rungs, budget=budget, breaker=breaker,
+                     validator=_validate_admission, rng=rng, sleep=sleep)
+    result = res.value
+    assert isinstance(result, AdmissionResult)
+    return ResilientAdmissionResult(
+        result=result,
+        rung=res.rung,
+        rung_index=res.rung_index,
+        attempts=res.attempts,
+        failures=res.failures,
+        budget=res.budget,
+    )
 
 
 def solve_admission_greedy(problem: AdmissionProblem) -> AdmissionResult:

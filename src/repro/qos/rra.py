@@ -26,11 +26,19 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.exceptions import ConfigurationError, InfeasibleError, NumericalInstabilityError
+from repro.resilience import (
+    Budget,
+    BudgetReport,
+    CircuitBreaker,
+    RetryPolicy,
+    Rung,
+    run_ladder,
+)
 from repro.convex.lp import solve_lp
 from repro.convex.problem import LPProblem
 from repro.minlp.heuristics import round_and_repair
@@ -41,8 +49,13 @@ from repro.pso.swarm import PSOConfig
 from repro.qos.channel import shannon_rate
 from repro.qos.traffic import UserSession
 
-__all__ = ["RRAProblem", "RRAResult", "solve_rra_exact", "solve_rra_relaxed",
-           "solve_rra_pso", "solve_rra_greedy"]
+__all__ = ["RRAProblem", "RRAResult", "ResilientRRAResult", "solve_rra_exact",
+           "solve_rra_relaxed", "solve_rra_pso", "solve_rra_greedy",
+           "solve_rra_resilient", "RRA_FALLBACK"]
+
+#: degradation order for the RRA solve path: exact MILP, LP-rounding,
+#: then the greedy heuristic as the guaranteed conservative rung
+RRA_FALLBACK: Tuple[str, ...] = ("exact-bnb", "lp-round", "greedy")
 
 
 @dataclass(frozen=True)
@@ -282,6 +295,97 @@ def solve_rra_pso(problem: RRAProblem, swarm_size: int = 16, generations: int = 
         power_ok=ev["power_ok"],
         wall_time=time.perf_counter() - start,
         extra={"evaluations": res.evaluations},
+    )
+
+
+@dataclass(frozen=True)
+class ResilientRRAResult:
+    """One frame's RRA answer with degradation provenance."""
+
+    result: RRAResult
+    rung: str
+    rung_index: int
+    attempts: int
+    failures: Tuple[Tuple[str, str], ...]
+    budget: Optional[BudgetReport] = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.rung_index > 0
+
+
+def _validate_rra(value: object) -> None:
+    """Reject corrupted allocations: an assignment that busts the power
+    budget or carries NaN rates must degrade, never ship.  ``qos_ok`` may
+    honestly be False (floors can be infeasible); that is reported, not
+    rejected."""
+    assert isinstance(value, RRAResult)
+    if not np.isfinite(value.total_rate):
+        raise NumericalInstabilityError(
+            f"RRA result carries non-finite total rate {value.total_rate!r}")
+    if not value.power_ok:
+        raise NumericalInstabilityError(
+            "RRA result violates the transmit power budget")
+
+
+def solve_rra_resilient(
+    problem: RRAProblem,
+    budget: Optional[Budget] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    retry: Optional[RetryPolicy] = None,
+    max_nodes: int = 50000,
+    time_limit: float = 120.0,
+    solvers: Optional[Dict[str, Callable[[RRAProblem], RRAResult]]] = None,
+    rng: Optional[np.random.Generator] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> ResilientRRAResult:
+    """RRA through the fallback ladder ``exact-bnb -> lp-round -> greedy``.
+
+    The exact rung's MILP time limit is the smaller of ``time_limit`` and
+    the budget's remaining wall clock; an :class:`InfeasibleError` from
+    the exact rung (QoS floors too high) degrades to rungs that serve
+    best-effort partial allocations instead of crashing the frame.
+    ``solvers`` overrides rung implementations (the chaos-harness hook).
+    """
+    table: Dict[str, Callable[[RRAProblem], RRAResult]] = {
+        "exact-bnb": lambda p: solve_rra_exact(
+            p, max_nodes=max_nodes,
+            time_limit=(min(time_limit, budget.remaining_time)
+                        if budget is not None else time_limit)),
+        "lp-round": solve_rra_relaxed,
+        "greedy": solve_rra_greedy,
+    }
+    if solvers:
+        table.update(solvers)
+    retry = retry or RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+
+    def make_solve(name: str, guaranteed: bool) -> Callable[[], RRAResult]:
+        def solve() -> RRAResult:
+            if budget is not None:
+                if guaranteed:
+                    budget.charge(1)
+                else:
+                    budget.spend(1, context=f"rra[{name}]")
+            return table[name](problem)
+        return solve
+
+    rungs = [
+        Rung(name=name, solve=make_solve(name, i == len(RRA_FALLBACK) - 1),
+             grade=name, retry=retry,
+             guaranteed=(i == len(RRA_FALLBACK) - 1))
+        for i, name in enumerate(RRA_FALLBACK)
+    ]
+    res = run_ladder(rungs, budget=budget, breaker=breaker,
+                     validator=_validate_rra, rng=rng, sleep=sleep)
+    result = res.value
+    assert isinstance(result, RRAResult)
+    return ResilientRRAResult(
+        result=result,
+        rung=res.rung,
+        rung_index=res.rung_index,
+        attempts=res.attempts,
+        failures=res.failures,
+        budget=res.budget,
     )
 
 

@@ -16,7 +16,7 @@ from typing import Callable, Dict, List, Literal
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.exceptions import ConfigurationError, InfeasibleError, LadderExhaustedError
 from repro.qos.channel import ChannelConfig, ChannelModel
 from repro.qos.rra import (
     RRAProblem,
@@ -25,8 +25,10 @@ from repro.qos.rra import (
     solve_rra_greedy,
     solve_rra_pso,
     solve_rra_relaxed,
+    solve_rra_resilient,
 )
 from repro.qos.traffic import ServiceClass, TrafficGenerator, UserSession
+from repro.resilience import Budget, CircuitBreaker
 
 Strategy = Literal["exact", "relaxed", "pso", "greedy"]
 
@@ -42,13 +44,21 @@ __all__ = ["FrameStats", "ScheduleReport", "Scheduler"]
 
 @dataclass(frozen=True)
 class FrameStats:
-    """Per-frame outcome."""
+    """Per-frame outcome.
+
+    ``rung`` records which solver actually answered the frame (in
+    resilient mode the fallback-ladder rung; otherwise the strategy
+    name); ``degraded`` is True when a fallback below the primary rung
+    served the frame.
+    """
 
     frame: int
     total_rate: float
     qos_ok: bool
     per_class_satisfaction: Dict[ServiceClass, float]
     solver_time: float
+    rung: str = ""
+    degraded: bool = False
 
 
 @dataclass
@@ -76,6 +86,19 @@ class ScheduleReport:
     def total_solver_time(self) -> float:
         return float(sum(f.solver_time for f in self.frames))
 
+    @property
+    def degraded_frame_rate(self) -> float:
+        """Fraction of frames served by a fallback rung."""
+        return float(np.mean([f.degraded for f in self.frames])) if self.frames else 0.0
+
+    def rung_counts(self) -> Dict[str, int]:
+        """How many frames each rung answered — the operational face of
+        the paper's cost/completeness ladder."""
+        out: Dict[str, int] = {}
+        for f in self.frames:
+            out[f.rung] = out.get(f.rung, 0) + 1
+        return out
+
 
 class Scheduler:
     """An OFDMA cell scheduler with pluggable RRA strategy."""
@@ -90,10 +113,25 @@ class Scheduler:
         total_power_mw: float = 1000.0,
         rate_floor_scale: float = 1.0,
         seed: int = 0,
+        resilient: bool = False,
+        breaker: CircuitBreaker | None = None,
+        frame_budget_s: float | None = None,
+        rra_solvers: Dict[str, Callable[[RRAProblem], RRAResult]] | None = None,
     ):
+        """``resilient=True`` routes every frame through the
+        :func:`~repro.qos.rra.solve_rra_resilient` fallback ladder instead
+        of a single fixed strategy; the shared ``breaker`` then trips the
+        hot path straight to the greedy rung after repeated upstream
+        failures.  ``frame_budget_s`` caps each frame's solve wall-clock;
+        ``rra_solvers`` overrides individual rungs (the chaos-test hook).
+        """
         if strategy not in _SOLVERS:
             raise ConfigurationError(f"unknown strategy {strategy!r}")
         self.strategy = strategy
+        self.resilient = resilient
+        self.breaker = breaker if breaker is not None else (CircuitBreaker() if resilient else None)
+        self.frame_budget_s = frame_budget_s
+        self.rra_solvers = rra_solvers
         self.rng = np.random.default_rng(seed)
         self.channel = ChannelModel(channel or ChannelConfig(), rng=self.rng)
         self.traffic = traffic or TrafficGenerator(rng=self.rng)
@@ -139,13 +177,37 @@ class Scheduler:
         for frame in range(n_frames):
             problem = self._frame_problem()
             start = time.perf_counter()
+            rung = self.strategy
+            degraded = False
             try:
-                result = solver(problem)
-            except InfeasibleError:
+                if self.resilient:
+                    budget = (
+                        Budget(wall_clock_s=self.frame_budget_s)
+                        if self.frame_budget_s is not None
+                        else None
+                    )
+                    rres = solve_rra_resilient(
+                        problem,
+                        budget=budget,
+                        breaker=self.breaker,
+                        max_nodes=4000,
+                        time_limit=self.frame_budget_s if self.frame_budget_s is not None else 20.0,
+                        solvers=self.rra_solvers,
+                        rng=self.rng,
+                    )
+                    result = rres.result
+                    rung = rres.rung
+                    degraded = rres.degraded
+                else:
+                    result = solver(problem)
+            except (InfeasibleError, LadderExhaustedError):
+                # No rung produced a frame plan: serve nobody this frame
+                # rather than crash the control loop.
                 report.frames.append(
                     FrameStats(frame, 0.0, False,
                                {svc: 0.0 for svc in set(u.service for u in self.users)},
-                               time.perf_counter() - start)
+                               time.perf_counter() - start,
+                               rung="none", degraded=True)
                 )
                 continue
             ev = problem.evaluate_assignment(result.choice)
@@ -159,6 +221,8 @@ class Scheduler:
                     qos_ok=ev["qos_ok"] and ev["power_ok"],
                     per_class_satisfaction={svc: float(np.mean(v)) for svc, v in per_class.items()},
                     solver_time=time.perf_counter() - start,
+                    rung=rung,
+                    degraded=degraded,
                 )
             )
         return report

@@ -1,0 +1,51 @@
+"""Fault-tolerant solver runtime: budgets, retries, fallback ladders,
+circuit breaking, and deterministic fault injection.
+
+The paper's ladder from exact to relaxed solvers (§II-B-2) is a
+cost/completeness policy; this package makes it an *operational* one.
+Every expensive computation in the repo can be wrapped with
+
+* a cooperative :class:`Budget` (wall-clock + iteration deadlines,
+  threaded into solver loops);
+* :func:`retry_call` with exponential backoff, jitter, and perturbed
+  restarts for transient failures;
+* a declarative fallback ladder (:class:`Rung` / :func:`run_ladder`)
+  that degrades tight -> loose and records which rung answered;
+* a :class:`CircuitBreaker` guarding hot paths against a persistently
+  broken backend;
+* a seeded :class:`ChaosMonkey` that injects NaN corruption, transient
+  exceptions, latency, and budget exhaustion so all of the above is
+  provable by deterministic tests.
+
+See docs/RESILIENCE.md for the operational story.
+"""
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.budget import Budget, BudgetReport
+from repro.resilience.chaos import ChaosMonkey, FaultSpec, InjectionEvent, corrupt_with_nan
+from repro.resilience.ladder import LadderResult, Rung, run_ladder
+from repro.resilience.retry import (
+    DEFAULT_RETRYABLE,
+    RetryOutcome,
+    RetryPolicy,
+    perturb_warm_start,
+    retry_call,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetReport",
+    "ChaosMonkey",
+    "CircuitBreaker",
+    "DEFAULT_RETRYABLE",
+    "FaultSpec",
+    "InjectionEvent",
+    "LadderResult",
+    "RetryOutcome",
+    "RetryPolicy",
+    "Rung",
+    "corrupt_with_nan",
+    "perturb_warm_start",
+    "retry_call",
+    "run_ladder",
+]

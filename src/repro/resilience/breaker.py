@@ -1,0 +1,123 @@
+"""Circuit breaker guarding the QoS hot path.
+
+The scheduler's admission/RRA loop runs once per frame; a broken solver
+backend must not be hammered every frame while it fails.  The classic
+three-state breaker: CLOSED (normal) counts consecutive failures; after
+``failure_threshold`` of them it OPENs and callers are routed to the
+cheap conservative policy; after ``cooldown_s`` it becomes HALF_OPEN and
+admits probe calls — enough consecutive successes re-CLOSE it, any
+failure re-OPENs it.
+
+The clock is injectable so trip/recovery is testable deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.exceptions import CircuitOpenError, ConfigurationError, ReproError
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open recovery."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        half_open_successes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if cooldown_s <= 0:
+            raise ConfigurationError("cooldown_s must be positive")
+        if half_open_successes < 1:
+            raise ConfigurationError("half_open_successes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.half_open_successes = half_open_successes
+        self._clock = clock
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self._opened_at = 0.0
+        # counters for observability
+        self.trips = 0
+        self.calls_rejected = 0
+
+    # ---- state ---------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, lazily transitioning OPEN -> HALF_OPEN."""
+        if self._state == self.OPEN and (
+            self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._state = self.HALF_OPEN
+            self._probe_successes = 0
+        return self._state
+
+    def allow(self) -> bool:
+        """May a call go to the guarded backend right now?"""
+        state = self.state
+        if state == self.OPEN:
+            self.calls_rejected += 1
+            return False
+        return True
+
+    # ---- outcome feedback ----------------------------------------------------
+    def record_success(self) -> None:
+        state = self.state
+        if state == self.HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.half_open_successes:
+                self._state = self.CLOSED
+                self._consecutive_failures = 0
+        else:
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        state = self.state
+        if state == self.HALF_OPEN:
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = self.OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self.trips += 1
+
+    # ---- convenience wrapper -------------------------------------------------
+    def call(self, fn: Callable[[], object],
+             fallback: Optional[Callable[[], object]] = None) -> object:
+        """Run ``fn`` through the breaker.
+
+        While OPEN, ``fallback`` is used when given, otherwise
+        :class:`CircuitOpenError` is raised.  Failures of ``fn`` (any
+        :class:`ReproError`) feed the breaker and re-raise.
+        """
+        if not self.allow():
+            if fallback is not None:
+                return fallback()
+            raise CircuitOpenError(
+                f"circuit open after {self.trips} trip(s); retry after cooldown"
+            )
+        try:
+            value = fn()
+        except ReproError:
+            self.record_failure()
+            raise
+        self.record_success()
+        return value

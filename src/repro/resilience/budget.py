@@ -1,0 +1,148 @@
+"""Cooperative wall-clock and iteration budgets.
+
+The paper's ladder of verifiers and relaxations (§II-B-2) is a cost/
+completeness trade-off: the exact rung is allowed *some* time, not
+unlimited time.  A :class:`Budget` makes that contract explicit — it is
+threaded into solver loops, which call :meth:`Budget.spend` once per
+iteration; when either the wall-clock deadline or the iteration budget
+runs out the solver raises :class:`BudgetExceededError` and the
+resilience runtime degrades to a cheaper rung instead of hanging.
+
+The clock is injectable so tests can drive deadlines deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.exceptions import BudgetExceededError, ConfigurationError
+
+__all__ = ["Budget", "BudgetReport"]
+
+
+@dataclass(frozen=True)
+class BudgetReport:
+    """Snapshot of what a budget has consumed — attached to resilient
+    results so callers can see what their answer cost."""
+
+    wall_clock_s: float
+    iterations: int
+    wall_clock_limit_s: float
+    iteration_limit: int
+    exhausted: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_clock_s": self.wall_clock_s,
+            "iterations": self.iterations,
+            "wall_clock_limit_s": self.wall_clock_limit_s,
+            "iteration_limit": self.iteration_limit,
+            "exhausted": self.exhausted,
+        }
+
+
+class Budget:
+    """A cooperative deadline: wall-clock seconds and/or iterations.
+
+    Parameters
+    ----------
+    wall_clock_s:
+        Wall-clock allowance in seconds (``inf`` = unlimited).
+    iterations:
+        Iteration allowance across *all* work charged to this budget
+        (``None`` = unlimited).
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+
+    A budget starts counting at construction.  Solvers charge it with
+    :meth:`spend` (which raises on exhaustion) or poll :meth:`check`;
+    orchestration code uses :attr:`expired` for non-raising queries.
+    """
+
+    def __init__(
+        self,
+        wall_clock_s: float = math.inf,
+        iterations: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if wall_clock_s <= 0:
+            raise ConfigurationError("wall_clock_s must be positive")
+        if iterations is not None and iterations <= 0:
+            raise ConfigurationError("iteration budget must be positive")
+        self.wall_clock_s = float(wall_clock_s)
+        self.iteration_limit = math.inf if iterations is None else int(iterations)
+        self._clock = clock
+        self._start = clock()
+        self._iterations = 0
+
+    # ---- accounting ----------------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    @property
+    def iterations_used(self) -> int:
+        return self._iterations
+
+    @property
+    def remaining_time(self) -> float:
+        return max(0.0, self.wall_clock_s - self.elapsed)
+
+    @property
+    def remaining_iterations(self) -> float:
+        return max(0, self.iteration_limit - self._iterations)
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining_time <= 0.0 or self.remaining_iterations <= 0
+
+    # ---- cooperative checkpoints ---------------------------------------------
+    def spend(self, iterations: int = 1, context: str = "") -> None:
+        """:meth:`check` the budget, then charge *iterations* to it.
+
+        Checking first makes the allowance exact: a budget of N
+        iterations permits exactly N unit spends; the (N+1)-th raises.
+        """
+        self.check(context)
+        self._iterations += int(iterations)
+
+    def charge(self, iterations: int = 1) -> None:
+        """Charge *iterations* without raising — for external accounting
+        (e.g. the chaos harness burning budget); the next cooperative
+        :meth:`check` observes the exhaustion."""
+        self._iterations += int(iterations)
+
+    def check(self, context: str = "") -> None:
+        """Raise :class:`BudgetExceededError` if the budget is spent."""
+        if self.remaining_iterations <= 0:
+            raise BudgetExceededError(
+                f"iteration budget of {self.iteration_limit} exhausted"
+                + (f" during {context}" if context else ""),
+                elapsed=self.elapsed,
+                iterations=self._iterations,
+            )
+        if self.remaining_time <= 0.0:
+            raise BudgetExceededError(
+                f"deadline of {self.wall_clock_s:.3g}s exceeded"
+                + (f" during {context}" if context else ""),
+                elapsed=self.elapsed,
+                iterations=self._iterations,
+            )
+
+    # ---- reporting -----------------------------------------------------------
+    def report(self) -> BudgetReport:
+        return BudgetReport(
+            wall_clock_s=self.elapsed,
+            iterations=self._iterations,
+            wall_clock_limit_s=self.wall_clock_s,
+            iteration_limit=(-1 if self.iteration_limit is math.inf
+                             else int(self.iteration_limit)),
+            exhausted=self.expired,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Budget(elapsed={self.elapsed:.3g}/{self.wall_clock_s:.3g}s, "
+                f"iterations={self._iterations}/{self.iteration_limit})")

@@ -1,0 +1,162 @@
+"""Deterministic fault injection ("chaos") harness.
+
+Every mechanism in :mod:`repro.resilience` claims graceful degradation
+under faults; this module makes those claims testable.  A
+:class:`ChaosMonkey` wraps callables and, driven by a *seeded* RNG,
+injects
+
+* **NaN corruption** — numeric outputs (floats / arrays, and numeric
+  fields of result dataclasses) are poisoned with NaN;
+* **transient exceptions** — :class:`FaultInjectedError` raised before
+  the call, modelling a flaky backend;
+* **artificial latency** — extra sleep before the call (injectable
+  sleep, so tests stay instant) plus optional charge against a
+  cooperative :class:`Budget`, modelling a slow backend that eats the
+  deadline.
+
+The same seed always yields the same injection schedule, so a test that
+demonstrates "NaN on call 2 degrades the verifier to the LP rung" is
+reproducible bit-for-bit.  Every injection is appended to
+:attr:`ChaosMonkey.events` for assertions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, FaultInjectedError
+from repro.resilience.budget import Budget
+
+__all__ = ["FaultSpec", "InjectionEvent", "ChaosMonkey", "corrupt_with_nan"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-call injection probabilities and magnitudes.
+
+    Rates are independent Bernoulli draws per call, evaluated in a fixed
+    order (exception, latency, NaN) so schedules are reproducible.
+    ``budget_burn`` iterations are charged to the wrapped budget whenever
+    latency fires — the deterministic stand-in for "the backend got slow
+    and ate the deadline".
+    """
+
+    nan_rate: float = 0.0
+    exception_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_s: float = 0.0
+    budget_burn: int = 0
+
+    def __post_init__(self):
+        for name in ("nan_rate", "exception_rate", "latency_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ConfigurationError(f"{name} must be a probability, got {v}")
+        if self.latency_s < 0 or self.budget_burn < 0:
+            raise ConfigurationError("latency_s and budget_burn must be nonnegative")
+
+
+@dataclass(frozen=True)
+class InjectionEvent:
+    """One injected fault, for post-hoc assertions."""
+
+    call_index: int
+    kind: str  # "exception" | "latency" | "nan"
+    target: str
+
+
+def corrupt_with_nan(value: object, rng: np.random.Generator) -> object:
+    """Poison a numeric result with NaN, preserving its shape/type.
+
+    Arrays get one random element set to NaN; floats become NaN; frozen
+    dataclasses are rebuilt with every float/array field poisoned.
+    Non-numeric values pass through unchanged.
+    """
+    if isinstance(value, np.ndarray):
+        if value.size == 0 or not np.issubdtype(value.dtype, np.floating):
+            return value
+        out = value.copy()
+        flat = out.ravel()
+        flat[int(rng.integers(flat.size))] = np.nan
+        return out
+    if isinstance(value, float):
+        return float("nan")
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        changes = {}
+        for f in dataclasses.fields(value):
+            v = getattr(value, f.name)
+            if isinstance(v, float) or (
+                isinstance(v, np.ndarray) and np.issubdtype(v.dtype, np.floating)
+            ):
+                changes[f.name] = corrupt_with_nan(v, rng)
+        if changes:
+            return dataclasses.replace(value, **changes)
+    return value
+
+
+class ChaosMonkey:
+    """Wrap callables with seeded fault injection.
+
+    Parameters
+    ----------
+    spec:
+        Injection rates/magnitudes.
+    seed:
+        Seed for the injection schedule — same seed, same schedule.
+    sleep:
+        Latency implementation; inject a no-op in tests.
+    budget:
+        Optional budget charged by latency injections.
+    """
+
+    def __init__(
+        self,
+        spec: FaultSpec,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+        budget: Optional[Budget] = None,
+    ):
+        self.spec = spec
+        self.rng = np.random.default_rng(seed)
+        self._sleep = sleep
+        self.budget = budget
+        self.events: List[InjectionEvent] = []
+        self.calls = 0
+
+    def wrap(self, fn: Callable[..., object], name: str = "") -> Callable[..., object]:
+        """Return ``fn`` with fault injection applied around each call."""
+        target = name or getattr(fn, "__name__", "callable")
+
+        def chaotic(*args, **kwargs):
+            index = self.calls
+            self.calls += 1
+            if self.spec.exception_rate and self.rng.random() < self.spec.exception_rate:
+                self.events.append(InjectionEvent(index, "exception", target))
+                raise FaultInjectedError(
+                    f"injected transient failure in {target} (call {index})"
+                )
+            if self.spec.latency_rate and self.rng.random() < self.spec.latency_rate:
+                self.events.append(InjectionEvent(index, "latency", target))
+                if self.spec.latency_s > 0:
+                    self._sleep(self.spec.latency_s)
+                if self.budget is not None and self.spec.budget_burn:
+                    # charge without raising mid-call; the wrapped code's
+                    # own cooperative checks will observe the exhaustion
+                    self.budget.charge(self.spec.budget_burn)
+            value = fn(*args, **kwargs)
+            if self.spec.nan_rate and self.rng.random() < self.spec.nan_rate:
+                self.events.append(InjectionEvent(index, "nan", target))
+                value = corrupt_with_nan(value, self.rng)
+            return value
+
+        chaotic.__name__ = f"chaotic_{target}"
+        return chaotic
+
+    def kinds(self) -> List[str]:
+        """Injection kinds in order, for compact assertions."""
+        return [e.kind for e in self.events]

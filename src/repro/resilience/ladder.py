@@ -1,0 +1,150 @@
+"""Fallback ladders declared as data.
+
+The paper's §II-B-2 "hybridized approach vector" is a ladder: exact
+(complete, expensive) down through successively wider relaxations
+(cheap, incomplete).  This module turns that into an operational
+degradation policy: a tuple of :class:`Rung` objects, tightest first,
+each naming the relaxation grade it answers at.  :func:`run_ladder`
+walks the rungs — retrying transient failures within a rung, descending
+on persistent failure or budget exhaustion — and the returned
+:class:`LadderResult` records *which rung actually answered*, so callers
+always know what certainty they got (a degraded answer is honest, never
+a silently wrong one).
+
+A rung with ``guaranteed=True`` (normally the last, a cheap conservative
+heuristic) is run even when the budget has already expired: serving
+*some* valid answer beats hanging or crashing the QoS control plane.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import (
+    BudgetExceededError,
+    ConfigurationError,
+    LadderExhaustedError,
+    ReproError,
+)
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.budget import Budget, BudgetReport
+from repro.resilience.retry import RetryPolicy, retry_call
+
+__all__ = ["Rung", "LadderResult", "run_ladder"]
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One step of a fallback ladder.
+
+    ``grade`` is a human-readable relaxation-grade label (e.g. ``exact``,
+    ``lp``, ``sdp``, ``heuristic``) recorded in the result; ``solve`` is
+    the zero-argument computation; ``retry`` governs transient failures
+    *within* this rung before the ladder descends; ``guaranteed`` marks a
+    rung that must run even with an exhausted budget.
+    """
+
+    name: str
+    solve: Callable[[], object]
+    grade: str = ""
+    retry: Optional[RetryPolicy] = None
+    guaranteed: bool = False
+
+
+@dataclass(frozen=True)
+class LadderResult:
+    """Outcome of one ladder run: the value plus full provenance."""
+
+    value: object
+    rung: str
+    rung_index: int
+    grade: str
+    attempts: int
+    failures: Tuple[Tuple[str, str], ...]
+    budget: Optional[BudgetReport] = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when a rung below the tightest one answered."""
+        return self.rung_index > 0
+
+
+def run_ladder(
+    rungs: Sequence[Rung],
+    budget: Optional[Budget] = None,
+    validator: Optional[Callable[[object], None]] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    rng: Optional[np.random.Generator] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> LadderResult:
+    """Walk *rungs* tightest-first until one produces a valid answer.
+
+    ``validator(value)`` may raise any :class:`ReproError` to reject a
+    rung's output (e.g. a NaN-corrupted bound) — rejection counts as a
+    rung failure and the ladder descends.  A :class:`CircuitBreaker`
+    guards the *non-guaranteed* rungs: while open, the ladder jumps
+    straight to the guaranteed conservative rung; the primary rung's
+    outcome feeds the breaker state.
+    """
+    if not rungs:
+        raise ConfigurationError("ladder needs at least one rung")
+    rng = rng or np.random.default_rng(0)
+    failures: List[Tuple[str, str]] = []
+    total_attempts = 0
+
+    skip_to_guaranteed = breaker is not None and not breaker.allow()
+
+    for index, rung in enumerate(rungs):
+        out_of_budget = budget is not None and budget.expired
+        if (skip_to_guaranteed or out_of_budget) and not rung.guaranteed:
+            failures.append((rung.name, "skipped: "
+                             + ("circuit open" if skip_to_guaranteed else "budget exhausted")))
+            continue
+
+        attempt_counter = [0]
+
+        def attempt(rung: Rung = rung, counter: List[int] = attempt_counter) -> object:
+            counter[0] += 1
+            value = rung.solve()
+            if validator is not None:
+                validator(value)
+            return value
+
+        try:
+            # a guaranteed rung must finish even if the budget expires
+            # mid-rung, so it runs with no budget guard on its retries
+            outcome = retry_call(attempt, policy=rung.retry or RetryPolicy(max_attempts=1),
+                                 rng=rng, sleep=sleep,
+                                 budget=None if rung.guaranteed else budget)
+            total_attempts += attempt_counter[0]
+            if breaker is not None and index == 0:
+                breaker.record_success()
+            return LadderResult(
+                value=outcome.value,
+                rung=rung.name,
+                rung_index=index,
+                grade=rung.grade or rung.name,
+                attempts=total_attempts,
+                failures=tuple(failures),
+                budget=budget.report() if budget is not None else None,
+            )
+        except BudgetExceededError as err:
+            total_attempts += max(attempt_counter[0], 1)
+            failures.append((rung.name, f"BudgetExceededError: {err}"))
+            if breaker is not None and index == 0:
+                breaker.record_failure()
+        except ReproError as err:
+            total_attempts += max(attempt_counter[0], 1)
+            failures.append((rung.name, f"{type(err).__name__}: {err}"))
+            if breaker is not None and index == 0:
+                breaker.record_failure()
+
+    raise LadderExhaustedError(
+        f"all {len(rungs)} rungs failed: "
+        + "; ".join(f"{name} ({msg})" for name, msg in failures),
+        failures=tuple(failures),
+    )

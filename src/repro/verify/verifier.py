@@ -12,13 +12,22 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Literal
+from typing import Callable, Dict, List, Literal, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import VerificationError
+from repro.exceptions import NumericalInstabilityError, VerificationError
 from repro.convex.relaxation import RelaxationGrade
 from repro.nn.network import Sequential
+from repro.resilience import (
+    Budget,
+    BudgetReport,
+    CircuitBreaker,
+    LadderResult,
+    RetryPolicy,
+    Rung,
+    run_ladder,
+)
 from repro.verify.exact import exact_margin_bound
 from repro.verify.interval import ibp_margin_lower_bound
 from repro.verify.linear_bounds import crown_margin_lower_bound
@@ -35,7 +44,12 @@ METHOD_GRADES: Dict[str, RelaxationGrade] = {
     "exact": RelaxationGrade.EXACT,
 }
 
-__all__ = ["VerificationResult", "verify", "compare_verifiers", "false_negative_rate", "METHOD_GRADES"]
+#: default degradation order: tightest/most certain first (§II-B-2)
+VERIFICATION_FALLBACK: Tuple[str, ...] = ("exact", "lp", "crown", "ibp")
+
+__all__ = ["VerificationResult", "ResilientVerificationResult", "verify",
+           "verify_resilient", "compare_verifiers", "false_negative_rate",
+           "METHOD_GRADES", "VERIFICATION_FALLBACK"]
 
 
 @dataclass(frozen=True)
@@ -84,6 +98,123 @@ def verify(net: Sequential, spec: RobustnessSpec, method: Method = "crown",
         margin_lower_bound=float(bound),
         wall_time=time.perf_counter() - start,
         complete=complete,
+    )
+
+
+@dataclass(frozen=True)
+class ResilientVerificationResult:
+    """A verification verdict with full degradation provenance.
+
+    ``result`` is the answering rung's :class:`VerificationResult`;
+    ``rung``/``grade`` say *which* ladder step produced it (so a caller
+    knows whether it holds an exact verdict or a widened relaxation);
+    ``attempts`` counts every underlying verifier call including retries;
+    ``failures`` lists the rungs that failed on the way down.
+    """
+
+    result: VerificationResult
+    rung: str
+    rung_index: int
+    grade: RelaxationGrade
+    attempts: int
+    failures: Tuple[Tuple[str, str], ...]
+    budget: Optional[BudgetReport] = None
+
+    @property
+    def verified(self) -> bool:
+        return self.result.verified
+
+    @property
+    def degraded(self) -> bool:
+        return self.rung_index > 0
+
+    @property
+    def complete(self) -> bool:
+        """True only when the *exact* rung answered and converged — a
+        degraded verdict is never complete."""
+        return self.result.complete and self.rung == "exact"
+
+
+def _validate_verification(value: object) -> None:
+    """Reject corrupted verifier output: a non-finite margin must never
+    become a silently wrong ``verified`` claim (NaN/Inf comparisons lie)."""
+    assert isinstance(value, VerificationResult)
+    bound = value.margin_lower_bound
+    if not np.isfinite(bound) and bound != float("-inf"):
+        raise NumericalInstabilityError(
+            f"verifier {value.method!r} produced non-finite margin {bound!r}"
+        )
+
+
+def verify_resilient(
+    net: Sequential,
+    spec: RobustnessSpec,
+    ladder: Sequence[str] = VERIFICATION_FALLBACK,
+    budget: Optional[Budget] = None,
+    retry: Optional[RetryPolicy] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    max_nodes: int = 20000,
+    verify_fn: Optional[Callable[..., VerificationResult]] = None,
+    rng: Optional[np.random.Generator] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> ResilientVerificationResult:
+    """Verify through the *degradation* ladder: exact first, widening the
+    relaxation on failure.
+
+    Complements :meth:`repro.core.rcr.RobustConvexRelaxation.certify`
+    (which escalates cheap -> exact for tightness): this runs when the
+    system must *stay up* — a rung that raises, exceeds the budget, or
+    returns a corrupted bound is recorded and the next (looser but
+    cheaper) rung answers instead.  The loosest rung is guaranteed: it
+    runs even on an exhausted budget, because IBP costs microseconds and
+    a loose-but-sound answer beats none.  ``verify_fn`` is injectable so
+    the chaos harness can wrap the underlying verifier.
+    """
+    if not ladder:
+        raise VerificationError("ladder must name at least one method")
+    for m in ladder:
+        if m not in METHOD_GRADES:
+            raise VerificationError(
+                f"unknown method {m!r}; choose from {sorted(METHOD_GRADES)}")
+    call = verify_fn or verify
+    retry = retry or RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+
+    def make_solver(method: str, guaranteed: bool) -> Callable[[], VerificationResult]:
+        def solve() -> VerificationResult:
+            time_limit = float("inf")
+            if budget is not None:
+                if guaranteed:
+                    budget.charge(1)  # account, but never refuse the last resort
+                else:
+                    budget.spend(1, context=f"verify[{method}]")
+                    time_limit = budget.remaining_time
+            return call(net, spec, method=method, max_nodes=max_nodes,
+                        time_limit=time_limit)
+        return solve
+
+    rungs = [
+        Rung(
+            name=method,
+            solve=make_solver(method, i == len(ladder) - 1),
+            grade=METHOD_GRADES[method].name.lower(),
+            retry=retry,
+            guaranteed=(i == len(ladder) - 1),
+        )
+        for i, method in enumerate(ladder)
+    ]
+    res: LadderResult = run_ladder(rungs, budget=budget, breaker=breaker,
+                                   validator=_validate_verification,
+                                   rng=rng, sleep=sleep)
+    result = res.value
+    assert isinstance(result, VerificationResult)
+    return ResilientVerificationResult(
+        result=result,
+        rung=res.rung,
+        rung_index=res.rung_index,
+        grade=METHOD_GRADES[res.rung],
+        attempts=res.attempts,
+        failures=res.failures,
+        budget=res.budget,
     )
 
 

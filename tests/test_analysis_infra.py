@@ -224,10 +224,40 @@ def test_cli_write_then_check_baseline(tmp_path, capsys):
     mod = tmp_path / "bad.py"
     mod.write_text(BAD_DIV)
     bpath = tmp_path / "baseline.json"
-    assert main([str(mod), "--baseline", str(bpath), "--write-baseline"]) == 0
+    assert main([str(mod), "--baseline", str(bpath), "--write-baseline",
+                 "--justification", "legacy demo division, reviewed"]) == 0
     capsys.readouterr()
     assert main([str(mod), "--baseline", str(bpath)]) == 0
     assert "1 baselined" in capsys.readouterr().out
+
+
+def test_cli_write_baseline_requires_justification(tmp_path, capsys):
+    mod = tmp_path / "bad.py"
+    mod.write_text(BAD_DIV)
+    bpath = tmp_path / "baseline.json"
+    assert main([str(mod), "--baseline", str(bpath), "--write-baseline"]) == 2
+    assert "justification" in capsys.readouterr().err
+    assert not bpath.exists()
+    # whitespace-only justifications are placeholders too
+    assert main([str(mod), "--baseline", str(bpath), "--write-baseline",
+                 "--justification", "   "]) == 2
+    assert not bpath.exists()
+
+
+def test_cli_write_baseline_records_the_given_justification(tmp_path, capsys):
+    mod = tmp_path / "bad.py"
+    mod.write_text(BAD_DIV)
+    bpath = tmp_path / "baseline.json"
+    reason = "denominator is a physical constant, cannot vanish"
+    assert main([str(mod), "--baseline", str(bpath), "--write-baseline",
+                 "--justification", reason]) == 0
+    doc = json.loads(bpath.read_text())
+    entries = list(doc["entries"].values()) if isinstance(doc.get("entries"), dict) \
+        else doc.get("entries", [])
+    assert entries, "baseline should contain the grandfathered finding"
+    for entry in entries:
+        assert entry["justification"] == reason
+        assert "TODO" not in entry["justification"]
 
 
 def test_cli_list_rules_covers_the_pack(capsys):

@@ -139,3 +139,234 @@ class TestAPIErrorDiscipline:
 
         with pytest.raises(ConfigurationError):
             PSOConfig(swarm_size=0)
+
+
+# ---------------------------------------------------------------------------
+# Chaos-driven degradation: the resilience runtime under injected faults
+# ---------------------------------------------------------------------------
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def _tiny_net_and_spec():
+    from repro.verify.specs import classification_spec
+
+    rng = np.random.default_rng(0)
+    net = Sequential([Dense(2, 4, rng=rng), ReLU(), Dense(4, 2, rng=rng)])
+    spec = classification_spec(np.array([0.3, -0.2]), eps=0.01,
+                               true_label=0, other_label=1, n_classes=2)
+    return net, spec
+
+
+@pytest.mark.resilience
+class TestChaoticVerifierLadder:
+    """Injected faults must degrade the verification ladder gracefully:
+    a valid (possibly looser) verdict with honest provenance — never an
+    unhandled exception and never a silently corrupted ``verified``."""
+
+    def test_transient_faults_degrade_with_recorded_provenance(self):
+        from repro.resilience import ChaosMonkey, FaultSpec, RetryPolicy
+        from repro.verify.verifier import verify, verify_resilient
+
+        monkey = ChaosMonkey(FaultSpec(exception_rate=0.5), seed=3,
+                             sleep=lambda _t: None)
+        net, spec = _tiny_net_and_spec()
+        res = verify_resilient(
+            net, spec, verify_fn=monkey.wrap(verify, name="verify"),
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+            sleep=lambda _t: None,
+        )
+        # some rung answered, and its margin is trustworthy
+        assert res.rung in ("exact", "lp", "crown", "ibp")
+        assert np.isfinite(res.result.margin_lower_bound) \
+            or res.result.margin_lower_bound == float("-inf")
+        if res.degraded:
+            assert res.failures  # every skipped/failed rung is recorded
+
+    def test_same_seed_reproduces_the_same_degradation(self):
+        from repro.resilience import ChaosMonkey, FaultSpec, RetryPolicy
+        from repro.verify.verifier import verify, verify_resilient
+
+        def run():
+            monkey = ChaosMonkey(FaultSpec(exception_rate=0.7), seed=11,
+                                 sleep=lambda _t: None)
+            net, spec = _tiny_net_and_spec()
+            res = verify_resilient(
+                net, spec, verify_fn=monkey.wrap(verify, name="verify"),
+                retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+                sleep=lambda _t: None,
+            )
+            return res.rung, res.attempts, res.failures, monkey.kinds()
+
+        assert run() == run()
+
+    def test_nan_corruption_is_rejected_not_believed(self):
+        """A NaN-poisoned margin must never surface as ``verified``: the
+        validator rejects it and the ladder descends to a clean rung."""
+        from repro.resilience import ChaosMonkey, FaultSpec, RetryPolicy
+        from repro.verify.verifier import verify, verify_resilient
+
+        monkey = ChaosMonkey(FaultSpec(nan_rate=1.0), seed=0,
+                             sleep=lambda _t: None)
+        net, spec = _tiny_net_and_spec()
+        chaotic = monkey.wrap(verify, name="verify")
+
+        # poison only the exact rung's calls; lower rungs answer clean
+        def selectively_chaotic(net_, spec_, **kw):
+            if kw.get("method") == "exact":
+                return chaotic(net_, spec_, **kw)
+            return verify(net_, spec_, **kw)
+
+        res = verify_resilient(
+            net, spec, verify_fn=selectively_chaotic,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+            sleep=lambda _t: None,
+        )
+        assert res.degraded
+        assert res.rung == "lp"
+        assert any("non-finite margin" in msg for _rung, msg in res.failures)
+        assert np.isfinite(res.result.margin_lower_bound)
+
+    def test_budget_burn_degrades_to_guaranteed_rung(self):
+        """A slow, corrupting exact backend burns the whole budget; the
+        intermediate rungs are skipped as exhausted and the guaranteed
+        IBP rung still serves an answer."""
+        from repro.resilience import Budget, ChaosMonkey, FaultSpec, RetryPolicy
+        from repro.verify.verifier import verify, verify_resilient
+
+        budget = Budget(iterations=2)
+        monkey = ChaosMonkey(
+            FaultSpec(latency_rate=1.0, budget_burn=10, nan_rate=1.0),
+            seed=0, sleep=lambda _t: None, budget=budget)
+        chaotic = monkey.wrap(verify, name="verify")
+        net, spec = _tiny_net_and_spec()
+
+        # only the exact backend is slow-and-corrupting; lower rungs clean
+        def selectively_chaotic(net_, spec_, **kw):
+            if kw.get("method") == "exact":
+                return chaotic(net_, spec_, **kw)
+            return verify(net_, spec_, **kw)
+
+        res = verify_resilient(
+            net, spec, budget=budget, verify_fn=selectively_chaotic,
+            retry=RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0),
+            sleep=lambda _t: None,
+        )
+        # the guaranteed last rung still answers after the budget burned
+        assert res.rung == "ibp"
+        assert res.budget is not None and res.budget.exhausted
+        assert any("skipped: budget exhausted" in msg
+                   for _rung, msg in res.failures)
+
+
+@pytest.mark.resilience
+class TestChaoticAdmissionPath:
+    """The QoS admission hot path under a flaky exact backend: the
+    breaker trips after N consecutive failures, frames keep being served
+    by the guaranteed greedy rung, and the breaker recovers after its
+    cooldown."""
+
+    def _problem(self):
+        from repro.qos.admission import AdmissionProblem
+        from repro.qos.traffic import TrafficGenerator
+
+        users = TrafficGenerator(rng=np.random.default_rng(0)).users(4)
+        demand = np.array([0.4, 0.3, 0.5, 0.2])
+        return AdmissionProblem(users=users, resource_demand=demand)
+
+    def test_breaker_trips_then_recovers_after_cooldown(self):
+        from repro.exceptions import FaultInjectedError
+        from repro.qos.admission import (
+            solve_admission_exact,
+            solve_admission_resilient,
+        )
+        from repro.resilience import CircuitBreaker, RetryPolicy
+
+        clock = _FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=30.0,
+                                 clock=clock)
+        problem = self._problem()
+        healthy = {"flag": False}
+
+        def flaky_exact(p):
+            if not healthy["flag"]:
+                raise FaultInjectedError("backend down")
+            return solve_admission_exact(p)
+
+        kw = dict(breaker=breaker, solvers={"exact-bnb": flaky_exact},
+                  retry=RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0),
+                  sleep=lambda _t: None)
+
+        # two failing frames: exact fails, lp-round serves, breaker trips
+        r1 = solve_admission_resilient(problem, **kw)
+        r2 = solve_admission_resilient(problem, **kw)
+        assert r1.rung == r2.rung == "lp-round"
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+
+        # while open: exact is not even attempted, greedy serves the frame
+        r3 = solve_admission_resilient(problem, **kw)
+        assert r3.rung == "greedy"
+        assert ("exact-bnb", "skipped: circuit open") in r3.failures
+        assert r3.result.feasible
+
+        # after cooldown the backend healed: probe succeeds, breaker closes
+        clock.advance(31.0)
+        healthy["flag"] = True
+        r4 = solve_admission_resilient(problem, **kw)
+        assert r4.rung == "exact-bnb"
+        assert not r4.degraded
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_corrupted_admission_decision_degrades(self):
+        """An over-committed (infeasible) admission answer must be
+        rejected by the validator, not shipped to the scheduler."""
+        from repro.qos.admission import AdmissionResult, solve_admission_resilient
+        from repro.resilience import RetryPolicy
+
+        problem = self._problem()
+
+        def corrupt_exact(p):
+            return AdmissionResult(method="exact-bnb",
+                                   admitted=np.ones(p.n_users, dtype=bool),
+                                   utility=float("nan"), load=2.0,
+                                   feasible=False, wall_time=0.0)
+
+        res = solve_admission_resilient(
+            problem, solvers={"exact-bnb": corrupt_exact},
+            retry=RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0),
+            sleep=lambda _t: None)
+        assert res.degraded
+        assert res.result.feasible
+        assert np.isfinite(res.result.utility)
+
+    def test_resilient_scheduler_serves_every_frame_under_chaos(self):
+        from repro.exceptions import FaultInjectedError
+        from repro.qos.scheduler import Scheduler
+        from repro.resilience import CircuitBreaker
+
+        def boom(_p):
+            raise FaultInjectedError("injected backend outage")
+
+        sched = Scheduler(n_users=3, resilient=True, rate_floor_scale=0.05,
+                          seed=1, frame_budget_s=5.0,
+                          rra_solvers={"exact-bnb": boom},
+                          breaker=CircuitBreaker(failure_threshold=2,
+                                                 cooldown_s=1e6))
+        report = sched.run(n_frames=4)
+        assert len(report.frames) == 4
+        # every frame was answered by a fallback rung, none crashed
+        assert report.degraded_frame_rate == 1.0
+        counts = report.rung_counts()
+        assert counts.get("lp-round", 0) >= 1  # before the trip
+        assert counts.get("greedy", 0) >= 1  # after the trip
+        assert sched.breaker.trips == 1

@@ -1,0 +1,489 @@
+"""Unit tests for the fault-tolerant solver runtime (repro.resilience).
+
+Every test is deterministic: clocks, RNGs, and sleeps are injected, so
+budget deadlines, retry jitter, breaker cooldowns, and chaos schedules
+are all reproducible bit-for-bit.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    BudgetExceededError,
+    CircuitOpenError,
+    ConfigurationError,
+    ConvergenceError,
+    FaultInjectedError,
+    LadderExhaustedError,
+    NumericalInstabilityError,
+)
+from repro.resilience import (
+    Budget,
+    ChaosMonkey,
+    CircuitBreaker,
+    FaultSpec,
+    RetryPolicy,
+    Rung,
+    corrupt_with_nan,
+    perturb_warm_start,
+    retry_call,
+    run_ladder,
+)
+
+pytestmark = pytest.mark.resilience
+
+
+class FakeClock:
+    """Manually-advanced monotonic clock."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+# ---------------------------------------------------------------------------
+# Budget
+# ---------------------------------------------------------------------------
+
+
+class TestBudget:
+    def test_iteration_budget_permits_exactly_n_spends(self):
+        b = Budget(iterations=3)
+        b.spend(2, context="loop")
+        b.spend(1)  # exactly the allowance
+        with pytest.raises(BudgetExceededError) as exc:
+            b.spend(1, context="loop")
+        assert exc.value.iterations == 3
+        assert "loop" in str(exc.value)
+
+    def test_wall_clock_budget_with_fake_clock(self):
+        clock = FakeClock()
+        b = Budget(wall_clock_s=10.0, clock=clock)
+        b.check()
+        clock.advance(9.99)
+        assert not b.expired
+        assert b.remaining_time == pytest.approx(0.01)
+        clock.advance(0.02)
+        assert b.expired
+        with pytest.raises(BudgetExceededError):
+            b.check("deadline")
+
+    def test_charge_does_not_raise_but_check_does(self):
+        b = Budget(iterations=1)
+        b.charge(5)  # external accounting never raises mid-call
+        assert b.expired
+        with pytest.raises(BudgetExceededError):
+            b.check()
+
+    def test_unlimited_budget_never_expires(self):
+        b = Budget()
+        b.spend(10_000)
+        assert not b.expired
+        assert b.remaining_time == math.inf
+
+    def test_report_snapshot(self):
+        clock = FakeClock()
+        b = Budget(wall_clock_s=5.0, iterations=10, clock=clock)
+        clock.advance(2.0)
+        b.spend(4)
+        rep = b.report()
+        assert rep.wall_clock_s == pytest.approx(2.0)
+        assert rep.iterations == 4
+        assert rep.iteration_limit == 10
+        assert not rep.exhausted
+        assert rep.to_dict()["wall_clock_limit_s"] == 5.0
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Budget(wall_clock_s=0.0)
+        with pytest.raises(ConfigurationError):
+            Budget(iterations=0)
+
+
+# ---------------------------------------------------------------------------
+# Retry
+# ---------------------------------------------------------------------------
+
+
+class TestRetry:
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ConvergenceError("bad warm start")
+            return 42
+
+        sleeps = []
+        out = retry_call(flaky, RetryPolicy(max_attempts=3, base_delay=0.5, jitter=0.0),
+                         rng=np.random.default_rng(0), sleep=sleeps.append)
+        assert out.value == 42
+        assert out.attempts == 3
+        assert len(out.errors) == 2
+        # exponential backoff: 0.5, then 1.0
+        assert sleeps == pytest.approx([0.5, 1.0])
+
+    def test_exhausted_attempts_reraise(self):
+        def always():
+            raise NumericalInstabilityError("NaN iterate")
+
+        with pytest.raises(NumericalInstabilityError):
+            retry_call(always, RetryPolicy(max_attempts=2, base_delay=0.0),
+                       sleep=lambda _t: None)
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise ValueError("not a solver failure")
+
+        with pytest.raises(ValueError):
+            retry_call(boom, RetryPolicy(max_attempts=5, base_delay=0.0),
+                       sleep=lambda _t: None)
+        assert len(calls) == 1
+
+    def test_budget_exceeded_is_never_retried(self):
+        calls = []
+
+        def spender():
+            calls.append(1)
+            raise BudgetExceededError("out of time")
+
+        with pytest.raises(BudgetExceededError):
+            retry_call(spender, RetryPolicy(max_attempts=5, base_delay=0.0),
+                       sleep=lambda _t: None)
+        assert len(calls) == 1
+
+    def test_backoff_sleep_capped_by_budget(self):
+        clock = FakeClock()
+        b = Budget(wall_clock_s=1.0, clock=clock)
+        sleeps = []
+
+        def flaky(state=[0]):
+            state[0] += 1
+            if state[0] == 1:
+                raise ConvergenceError("once")
+            return "ok"
+
+        out = retry_call(flaky, RetryPolicy(max_attempts=2, base_delay=30.0, jitter=0.0),
+                         sleep=sleeps.append, budget=b)
+        assert out.value == "ok"
+        assert sleeps == [pytest.approx(1.0)]  # 30s backoff clipped to deadline
+
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.5)
+        d1 = policy.delay(1, np.random.default_rng(7))
+        d2 = policy.delay(1, np.random.default_rng(7))
+        assert d1 == d2
+        assert 1.0 <= d1 <= 1.5
+
+    def test_on_retry_hook_supports_perturbed_restarts(self):
+        restarts = []
+
+        def hook(attempt, err):
+            restarts.append((attempt, type(err).__name__))
+
+        def flaky(state=[0]):
+            state[0] += 1
+            if state[0] < 2:
+                raise ConvergenceError("restart me")
+            return state[0]
+
+        retry_call(flaky, RetryPolicy(max_attempts=3, base_delay=0.0),
+                   sleep=lambda _t: None, on_retry=hook)
+        assert restarts == [(1, "ConvergenceError")]
+
+    def test_perturb_warm_start_grows_with_attempt(self):
+        x0 = np.zeros(4)
+        rng1 = np.random.default_rng(0)
+        rng2 = np.random.default_rng(0)
+        small = perturb_warm_start(x0, rng1, scale=0.1, attempt=1)
+        large = perturb_warm_start(x0, rng2, scale=0.1, attempt=3)
+        assert np.linalg.norm(large) > np.linalg.norm(small)
+        assert large.shape == x0.shape
+
+
+# ---------------------------------------------------------------------------
+# Fallback ladder
+# ---------------------------------------------------------------------------
+
+
+def _rungs(fail_first=True):
+    def exact():
+        if fail_first:
+            raise ConvergenceError("exact diverged")
+        return "exact-answer"
+
+    return [
+        Rung(name="exact", solve=exact, grade="exact"),
+        Rung(name="lp", solve=lambda: "lp-answer", grade="lp"),
+        Rung(name="greedy", solve=lambda: "greedy-answer", grade="heuristic",
+             guaranteed=True),
+    ]
+
+
+class TestLadder:
+    def test_first_rung_answers_when_healthy(self):
+        res = run_ladder(_rungs(fail_first=False))
+        assert res.rung == "exact"
+        assert res.rung_index == 0
+        assert not res.degraded
+        assert res.failures == ()
+
+    def test_descends_and_records_failures(self):
+        res = run_ladder(_rungs(fail_first=True))
+        assert res.rung == "lp"
+        assert res.degraded
+        assert res.failures[0][0] == "exact"
+        assert "ConvergenceError" in res.failures[0][1]
+
+    def test_validator_rejection_degrades(self):
+        def validator(value):
+            if value == "exact-answer":
+                raise NumericalInstabilityError("corrupted bound")
+
+        res = run_ladder(_rungs(fail_first=False), validator=validator)
+        assert res.rung == "lp"
+        assert "NumericalInstabilityError" in res.failures[0][1]
+
+    def test_exhausted_budget_skips_to_guaranteed_rung(self):
+        clock = FakeClock()
+        budget = Budget(wall_clock_s=1.0, clock=clock)
+        clock.advance(2.0)  # already past the deadline
+        res = run_ladder(_rungs(fail_first=False), budget=budget)
+        assert res.rung == "greedy"
+        assert [f[1] for f in res.failures] == ["skipped: budget exhausted"] * 2
+        assert res.budget is not None and res.budget.exhausted
+
+    def test_open_breaker_skips_to_guaranteed_rung(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=10.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        res = run_ladder(_rungs(fail_first=False), breaker=breaker)
+        assert res.rung == "greedy"
+        assert all("circuit open" in msg for _n, msg in res.failures)
+
+    def test_primary_rung_outcome_feeds_breaker(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=10.0, clock=clock)
+        run_ladder(_rungs(fail_first=True), breaker=breaker)
+        assert breaker.state == CircuitBreaker.CLOSED  # 1 failure < threshold
+        run_ladder(_rungs(fail_first=True), breaker=breaker)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+
+    def test_all_rungs_failing_raises_ladder_exhausted(self):
+        rungs = [
+            Rung(name="a", solve=lambda: (_ for _ in ()).throw(ConvergenceError("a"))),
+            Rung(name="b", solve=lambda: (_ for _ in ()).throw(ConvergenceError("b"))),
+        ]
+        with pytest.raises(LadderExhaustedError) as exc:
+            run_ladder(rungs)
+        assert [name for name, _msg in exc.value.failures] == ["a", "b"]
+
+    def test_retry_within_rung_before_descending(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise ConvergenceError("transient")
+            return "recovered"
+
+        rungs = [Rung(name="exact", solve=flaky,
+                      retry=RetryPolicy(max_attempts=2, base_delay=0.0))]
+        res = run_ladder(rungs, sleep=lambda _t: None)
+        assert res.rung == "exact"
+        assert res.attempts == 2
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_ladder([])
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        br = CircuitBreaker(failure_threshold=3, cooldown_s=30.0, clock=clock)
+        br.record_failure()
+        br.record_failure()
+        assert br.state == CircuitBreaker.CLOSED
+        br.record_failure()
+        assert br.state == CircuitBreaker.OPEN
+        assert not br.allow()
+        assert br.calls_rejected == 1
+
+    def test_success_resets_the_failure_streak(self):
+        clock = FakeClock()
+        br = CircuitBreaker(failure_threshold=2, cooldown_s=30.0, clock=clock)
+        br.record_failure()
+        br.record_success()
+        br.record_failure()
+        assert br.state == CircuitBreaker.CLOSED
+
+    def test_half_open_after_cooldown_then_recovery(self):
+        clock = FakeClock()
+        br = CircuitBreaker(failure_threshold=1, cooldown_s=30.0, clock=clock)
+        br.record_failure()
+        assert br.state == CircuitBreaker.OPEN
+        clock.advance(29.0)
+        assert br.state == CircuitBreaker.OPEN
+        clock.advance(1.0)
+        assert br.state == CircuitBreaker.HALF_OPEN
+        assert br.allow()
+        br.record_success()
+        assert br.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        br = CircuitBreaker(failure_threshold=1, cooldown_s=30.0, clock=clock)
+        br.record_failure()
+        clock.advance(30.0)
+        assert br.state == CircuitBreaker.HALF_OPEN
+        br.record_failure()
+        assert br.state == CircuitBreaker.OPEN
+        assert br.trips == 2
+
+    def test_call_wrapper_uses_fallback_when_open(self):
+        clock = FakeClock()
+        br = CircuitBreaker(failure_threshold=1, cooldown_s=30.0, clock=clock)
+
+        def bad():
+            raise ConvergenceError("backend down")
+
+        with pytest.raises(ConvergenceError):
+            br.call(bad)
+        assert br.state == CircuitBreaker.OPEN
+        assert br.call(bad, fallback=lambda: "conservative") == "conservative"
+        with pytest.raises(CircuitOpenError):
+            br.call(bad)
+
+
+# ---------------------------------------------------------------------------
+# Chaos harness
+# ---------------------------------------------------------------------------
+
+
+class TestChaos:
+    def test_same_seed_same_schedule(self):
+        spec = FaultSpec(nan_rate=0.3, exception_rate=0.3, latency_rate=0.3,
+                         latency_s=0.0)
+
+        def run(seed):
+            monkey = ChaosMonkey(spec, seed=seed, sleep=lambda _t: None)
+            fn = monkey.wrap(lambda: 1.0, name="probe")
+            for _ in range(30):
+                try:
+                    fn()
+                except FaultInjectedError:
+                    pass
+            return monkey.kinds()
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_exception_injection_raises_fault_injected(self):
+        monkey = ChaosMonkey(FaultSpec(exception_rate=1.0), seed=0)
+        fn = monkey.wrap(lambda: "never", name="backend")
+        with pytest.raises(FaultInjectedError):
+            fn()
+        assert monkey.kinds() == ["exception"]
+
+    def test_nan_injection_corrupts_floats_and_arrays(self):
+        monkey = ChaosMonkey(FaultSpec(nan_rate=1.0), seed=0)
+        assert math.isnan(monkey.wrap(lambda: 3.14)())
+        arr = monkey.wrap(lambda: np.ones(5))()
+        assert np.isnan(arr).sum() == 1
+
+    def test_latency_burns_budget_cooperatively(self):
+        budget = Budget(iterations=3)
+        monkey = ChaosMonkey(FaultSpec(latency_rate=1.0, latency_s=0.0, budget_burn=5),
+                             seed=0, sleep=lambda _t: None, budget=budget)
+        fn = monkey.wrap(lambda: "slow", name="backend")
+        assert fn() == "slow"  # the call itself completes...
+        assert budget.expired  # ...but the deadline is gone
+        with pytest.raises(BudgetExceededError):
+            budget.check()
+
+    def test_corrupt_with_nan_handles_dataclasses(self):
+        import dataclasses as dc
+
+        @dc.dataclass(frozen=True)
+        class Res:
+            margin: float
+            label: str
+
+        poisoned = corrupt_with_nan(Res(margin=1.5, label="ok"),
+                                    np.random.default_rng(0))
+        assert math.isnan(poisoned.margin)
+        assert poisoned.label == "ok"
+
+    def test_non_numeric_values_pass_through(self):
+        rng = np.random.default_rng(0)
+        assert corrupt_with_nan("text", rng) == "text"
+        assert corrupt_with_nan(7, rng) == 7
+
+
+# ---------------------------------------------------------------------------
+# Strict-mode convention across convex/
+# ---------------------------------------------------------------------------
+
+
+class TestStrictConvention:
+    def test_admm_strict_raises_lenient_returns(self):
+        from repro.convex import admm_consensus, prox_l1, prox_l2_squared
+
+        # one iteration cannot reach a 1e-12 tolerance on this instance
+        res = admm_consensus(prox_l2_squared(np.ones(3)), prox_l1(0.5), n=3,
+                             max_iter=1, tol=1e-12)
+        assert not res.converged
+        with pytest.raises(ConvergenceError):
+            admm_consensus(prox_l2_squared(np.ones(3)), prox_l1(0.5), n=3,
+                           max_iter=1, tol=1e-12, strict=True)
+
+    def test_admm_budget_cooperation(self):
+        from repro.convex import admm_consensus, prox_l1, prox_l2_squared
+
+        with pytest.raises(BudgetExceededError):
+            admm_consensus(prox_l2_squared(np.ones(3)), prox_l1(0.5), n=3,
+                           max_iter=50, tol=1e-14, budget=Budget(iterations=2))
+
+    def test_qp_strict_raises(self):
+        from repro.convex import solve_qp
+        from repro.convex.problem import QPProblem, QuadraticForm
+
+        problem = QPProblem(
+            objective=QuadraticForm(np.eye(2), np.array([1.0, -2.0])),
+            g=np.array([[1.0, 1.0]]), h=np.array([1.0]),
+        )
+        res = solve_qp(problem, max_iter=1, tol=1e-14)
+        assert not res.converged and res.status == "max_iter"
+        with pytest.raises(ConvergenceError):
+            solve_qp(problem, max_iter=1, tol=1e-14, strict=True)
+
+    def test_bfgs_strict_raises(self):
+        from repro.convex import minimize_bfgs
+
+        def rosen(x):
+            return float((1 - x[0]) ** 2 + 100 * (x[1] - x[0] ** 2) ** 2)
+
+        res = minimize_bfgs(rosen, np.array([-1.2, 1.0]), max_iter=2, tol=1e-12)
+        assert not res.converged
+        with pytest.raises(ConvergenceError):
+            minimize_bfgs(rosen, np.array([-1.2, 1.0]), max_iter=2, tol=1e-12,
+                          strict=True)
