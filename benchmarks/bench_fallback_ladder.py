@@ -16,6 +16,7 @@ Claims exercised:
 import numpy as np
 import pytest
 
+from _harness import write_bench_json
 from conftest import banner
 from repro.exceptions import FaultInjectedError
 from repro.qos.admission import AdmissionProblem, solve_admission_resilient
@@ -113,6 +114,16 @@ def test_fallback_ladder_latency(benchmark):
           f"utility={healthy.result.utility:7.2f}  t={t_healthy * 1e3:7.2f} ms")
     print(f"admission degraded: rung={degraded.rung:<9s} "
           f"utility={degraded.result.utility:7.2f}  t={t_degraded * 1e3:7.2f} ms")
+    write_bench_json("fallback_ladder", rows, extra={
+        "admission": {
+            "healthy": {"rung": healthy.rung,
+                        "utility": healthy.result.utility,
+                        "wall_s": t_healthy},
+            "degraded": {"rung": degraded.rung,
+                         "utility": degraded.result.utility,
+                         "wall_s": t_degraded},
+        },
+    })
     assert degraded.rung == "greedy" and degraded.result.feasible
     # the conservative rung never beats the exact optimum
     assert degraded.result.utility <= healthy.result.utility + 1e-9

@@ -11,6 +11,7 @@ Claims reproduced:
 
 import numpy as np
 
+from _harness import write_bench_json
 from conftest import banner
 from repro.convex import (
     QCQPProblem,
@@ -50,6 +51,7 @@ def test_rank_to_trace_chain(benchmark):
         print(f"{r['n']:3d} | {r['true_rank']:9d} | {r['tmp_rank']:8d} | {r['direct_rank']:8d} | "
               f"{r['tmp_trace']:7.2f}/{r['true_trace']:7.2f} | {r['recovery_err']:15.2e}")
 
+    write_bench_json("sdp_chain_rank", rows)
     for r in rows:
         assert r["tmp_rank"] == r["true_rank"], "trace surrogate must find the true rank"
         assert r["direct_rank"] == r["true_rank"], "reference RMP must agree"
@@ -87,6 +89,7 @@ def test_shor_relaxation_tightness(benchmark):
     print("-" * 44)
     for r in rows:
         print(f"{r['seed']:4d} | {r['sdp_bound']:10.4f} | {r['brute']:11.4f} | {r['gap']:9.2e}")
+    write_bench_json("sdp_chain_shor", rows)
     for r in rows:
         assert r["sdp_bound"] <= r["brute"] + 1e-3  # valid lower bound
         assert abs(r["gap"]) < 0.1                  # essentially tight

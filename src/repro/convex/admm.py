@@ -15,6 +15,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.obs import current_span, profiled, record_solver_outcome
 from repro.resilience.budget import Budget
 
 __all__ = [
@@ -42,6 +43,7 @@ class ADMMResult:
     dual_residuals: List[float]
 
 
+@profiled("convex.admm.solve")
 def admm_consensus(
     prox_f: ProxFn,
     prox_g: ProxFn,
@@ -87,8 +89,13 @@ def admm_consensus(
         dual_hist.append(dual)
         scale = max(1.0, float(np.linalg.norm(x)), float(np.linalg.norm(z)))
         if prim <= tol * scale and dual <= tol * scale:
+            current_span().set(iterations=it, converged=True, residual=prim)
+            record_solver_outcome("admm", it, True, residual=prim)
             return ADMMResult(x=x, z=z, iterations=it, converged=True,
                               primal_residuals=prim_hist, dual_residuals=dual_hist)
+    current_span().set(iterations=max_iter, converged=False,
+                       residual=prim_hist[-1])
+    record_solver_outcome("admm", max_iter, False, residual=prim_hist[-1])
     if strict:
         raise ConvergenceError(
             f"ADMM did not converge in {max_iter} iterations "

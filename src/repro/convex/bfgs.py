@@ -20,6 +20,7 @@ from typing import Callable
 import numpy as np
 
 from repro.exceptions import ConvergenceError
+from repro.obs import current_span, profiled, record_solver_outcome
 
 __all__ = ["OptimizeResult", "minimize_bfgs", "minimize_lbfgs", "numerical_gradient"]
 
@@ -105,6 +106,7 @@ def _zoom(f, grad, x, p, fx, dphi0, lo, hi, c1, c2, max_iter: int = 25):
     return lo, f(x_new), grad(x_new)
 
 
+@profiled("convex.bfgs.solve")
 def minimize_bfgs(
     f: ObjFn,
     x0: np.ndarray,
@@ -132,6 +134,9 @@ def minimize_bfgs(
     for it in range(1, max_iter + 1):
         gn = float(np.linalg.norm(gx))
         if gn <= tol:
+            current_span().set(iterations=it - 1, converged=True,
+                               curvature_skips=skips)
+            record_solver_outcome("bfgs", it - 1, True, residual=gn)
             return OptimizeResult(x=x, fun=fx, grad_norm=gn, iterations=it - 1, converged=True, n_curvature_skips=skips)
         p = -h @ gx
         if it == 1 and initial_trust_radius is not None:
@@ -156,6 +161,9 @@ def minimize_bfgs(
             skips += 1  # curvature guard: skip update to avoid indefiniteness
         x, fx, gx = x + s, f_new, g_new
     gn = float(np.linalg.norm(gx))
+    current_span().set(iterations=max_iter, converged=False,
+                       curvature_skips=skips)
+    record_solver_outcome("bfgs", max_iter, False, residual=gn)
     if strict:
         raise ConvergenceError(
             f"BFGS did not reach tolerance in {max_iter} iterations "
@@ -166,6 +174,7 @@ def minimize_bfgs(
     )
 
 
+@profiled("convex.lbfgs.solve")
 def minimize_lbfgs(
     f: ObjFn,
     x0: np.ndarray,
@@ -190,6 +199,9 @@ def minimize_lbfgs(
     for it in range(1, max_iter + 1):
         gn = float(np.linalg.norm(gx))
         if gn <= tol:
+            current_span().set(iterations=it - 1, converged=True,
+                               curvature_skips=skips)
+            record_solver_outcome("lbfgs", it - 1, True, residual=gn)
             return OptimizeResult(x=x, fun=fx, grad_norm=gn, iterations=it - 1, converged=True, n_curvature_skips=skips)
         # two-loop recursion
         q = gx.copy()
@@ -221,6 +233,9 @@ def minimize_lbfgs(
             skips += 1
         x, fx, gx = x + s, f_new, g_new
     gn = float(np.linalg.norm(gx))
+    current_span().set(iterations=max_iter, converged=False,
+                       curvature_skips=skips)
+    record_solver_outcome("lbfgs", max_iter, False, residual=gn)
     if strict:
         raise ConvergenceError(
             f"L-BFGS did not reach tolerance in {max_iter} iterations "

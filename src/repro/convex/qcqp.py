@@ -27,6 +27,7 @@ from repro.exceptions import (
 )
 from repro.convex.problem import QCQPProblem, QuadraticForm, SDPProblem, Solution
 from repro.convex.sdp import solve_sdp, solve_sdp_general
+from repro.obs import current_span, profiled, record_solver_outcome
 from repro.resilience import Budget, LadderResult, RetryPolicy, Rung, run_ladder
 
 __all__ = ["solve_qcqp_barrier", "shor_relaxation", "solve_qcqp",
@@ -71,6 +72,7 @@ def _phase1_point(problem: QCQPProblem, margin: float = 1e-3, max_iter: int = 50
     return x
 
 
+@profiled("convex.qcqp.barrier")
 def solve_qcqp_barrier(
     problem: QCQPProblem,
     x0: np.ndarray | None = None,
@@ -158,6 +160,8 @@ def solve_qcqp_barrier(
                 step *= 0.5
             x = x + step * dx
         t *= mu
+    current_span().set(iterations=total_newton, converged=True)
+    record_solver_outcome("qcqp-barrier", total_newton, True)
     return Solution(
         x=x,
         objective=problem.objective.value(x),
@@ -197,6 +201,7 @@ def _lift(form_p: np.ndarray, form_q: np.ndarray, form_r: float, n: int) -> np.n
     return m
 
 
+@profiled("convex.qcqp.shor")
 def shor_relaxation(problem: QCQPProblem, sdp_max_iter: int = 8000,
                     budget: Optional[Budget] = None) -> ShorResult:
     """Shor SDP relaxation: lift ``x x^T`` to a PSD matrix variable.
@@ -251,6 +256,7 @@ def shor_relaxation(problem: QCQPProblem, sdp_max_iter: int = 8000,
     feasible = problem.is_feasible(x_rec, tol=1e-5)
     rec_obj = problem.objective.value(x_rec) if np.all(np.isfinite(x_rec)) else np.inf
     rank_gap = float(np.sum(np.maximum(w[:-1], 0.0)) / max(w[-1], 1e-300))
+    current_span().set(rank_gap=rank_gap, recovered_feasible=feasible)
     return ShorResult(
         lower_bound=best_bound,
         x_recovered=x_rec,
@@ -344,7 +350,7 @@ def solve_qcqp_resilient(
         Rung("qp", rung_qp, grade="heuristic", guaranteed=True),
     )
     return run_ladder(rungs, budget=budget, validator=_validate_solution,
-                      rng=rng, sleep=sleep)
+                      rng=rng, sleep=sleep, name="qcqp")
 
 
 def solve_qcqp(problem: QCQPProblem) -> Solution:

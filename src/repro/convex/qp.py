@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, ConvergenceError, NonConvexError
 from repro.convex.problem import QPProblem, QuadraticForm, Solution
+from repro.obs import current_span, profiled, record_solver_outcome
 
 __all__ = ["solve_equality_qp", "solve_qp", "solve_box_qp"]
 
@@ -57,6 +58,7 @@ def solve_equality_qp(
     return Solution(x=x, objective=obj, iterations=1, converged=True, dual=nu)
 
 
+@profiled("convex.qp.solve")
 def solve_qp(
     problem: QPProblem,
     rho: float = 1.0,
@@ -129,9 +131,13 @@ def solve_qp(
         dual_res = float(np.max(np.abs(rho * c.T @ (z_new - z)), initial=0.0))
         x, z = x_new, z_new
         if prim_res <= tol and dual_res <= tol:
+            current_span().set(iterations=it, converged=True, residual=prim_res)
+            record_solver_outcome("qp", it, True, residual=prim_res)
             return Solution(
                 x=x, objective=obj_form.value(x), iterations=it, converged=True, dual=y
             )
+    current_span().set(iterations=max_iter, converged=False)
+    record_solver_outcome("qp", max_iter, False)
     if strict:
         raise ConvergenceError(
             f"QP ADMM did not converge in {max_iter} iterations",
@@ -149,6 +155,7 @@ def solve_qp(
     )
 
 
+@profiled("convex.qp.box")
 def solve_box_qp(
     p: np.ndarray,
     q: np.ndarray,
@@ -186,5 +193,8 @@ def solve_box_qp(
         move = float(np.max(np.abs(x_new - x), initial=0.0))
         x, t_acc = x_new, t_new
         if move <= tol * max(1.0, float(np.max(np.abs(x), initial=0.0))):
+            current_span().set(iterations=it, converged=True)
+            record_solver_outcome("box-qp", it, True)
             return Solution(x=x, objective=form.value(x), iterations=it, converged=True)
+    record_solver_outcome("box-qp", max_iter, False)
     raise ConvergenceError("box QP projected gradient did not converge", iterations=max_iter)

@@ -28,6 +28,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError, ConvergenceError
 from repro.convex.problem import SDPProblem, Solution
 from repro.linalg.psd import project_psd, symmetrize
+from repro.obs import current_span, profiled, record_solver_outcome
 from repro.resilience.budget import Budget
 
 __all__ = ["solve_sdp", "solve_sdp_general", "AffineSubspaceProjector"]
@@ -118,6 +119,7 @@ class _SlackAffineProjector:
         return out, s_out
 
 
+@profiled("convex.sdp.solve")
 def solve_sdp_general(
     c: np.ndarray,
     eq_mats: list[np.ndarray],
@@ -175,9 +177,14 @@ def solve_sdp_general(
             float(np.linalg.norm(x - z)) + float(np.linalg.norm(s - t))
         ) / max(1.0, float(np.linalg.norm(x)))
         if prim_res <= tol and dual_res <= tol:
+            current_span().set(iterations=it, converged=True, residual=prim_res)
+            record_solver_outcome("sdp", it, True, residual=prim_res)
             return Solution(
                 x=z, objective=float(np.sum(c * z)), iterations=it, converged=True
             )
+    current_span().set(iterations=max_iter, converged=False,
+                       residual=float(prim_res))
+    record_solver_outcome("sdp", max_iter, False, residual=float(prim_res))
     if strict:
         raise ConvergenceError("SDP ADMM did not converge", iterations=max_iter, residual=prim_res)
     return Solution(

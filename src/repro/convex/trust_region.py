@@ -21,6 +21,7 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.obs import current_span, profiled
 from repro.resilience.budget import Budget
 
 __all__ = ["TrustRegionResult", "solve_trust_region", "cauchy_point"]
@@ -55,6 +56,7 @@ def cauchy_point(g: np.ndarray, b: np.ndarray, delta: float) -> np.ndarray:
     return -tau * (delta / gn) * g
 
 
+@profiled("convex.trust_region.solve")
 def solve_trust_region(
     g: np.ndarray,
     b: np.ndarray,
@@ -135,4 +137,5 @@ def solve_trust_region(
     if pn > 0:
         p = p * (delta / pn)
     val = float(0.5 * p @ b @ p + g @ p)
+    current_span().set(iterations=it + 1, on_boundary=True)
     return TrustRegionResult(p=p, value=val, lagrange_multiplier=lam, on_boundary=True, hard_case=False)

@@ -18,6 +18,7 @@ runnable rendition of Fig. 1 (benchmark FIG1).
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -29,6 +30,7 @@ from repro.core.rcr import RobustConvexRelaxation
 from repro.core.tuning import tune_msy3i
 from repro.nn.msy3i import MSY3IConfig, make_detector, parameter_reduction
 from repro.core.tuning import train_detector, evaluate_detector
+from repro.obs import Telemetry, get_tracer
 from repro.resilience import Budget, BudgetReport
 from repro.verify.adversarial import RobustTrainer, make_two_moons
 from repro.verify.specs import classification_spec
@@ -71,6 +73,20 @@ class StackReport:
     def total_time(self) -> float:
         return sum(s.wall_time for s in self.stages)
 
+    def summary(self) -> Dict[str, object]:
+        """Per-layer timing and rung usage, JSON-ready — the compact
+        answer to "where did the stack spend its time and how much did
+        certification degrade"."""
+        return {
+            "total_time_s": self.total_time,
+            "layers": {
+                s.name: {"wall_time_s": s.wall_time, "metrics": dict(s.metrics)}
+                for s in self.stages
+            },
+            "verify_rung": self.verify_rung,
+            "budget": self.budget.to_dict() if self.budget is not None else None,
+        }
+
 
 def run_rcr_stack(
     swarm_size: int = 6,
@@ -80,6 +96,7 @@ def run_rcr_stack(
     eps: float = 0.08,
     seed: int = 0,
     budget: Optional[Budget] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> StackReport:
     """Execute the three-stage RCR stack at laptop scale.
 
@@ -89,99 +106,113 @@ def run_rcr_stack(
     threaded into the stage-1 verification ladder: an exhausted budget
     degrades certification to a cheaper relaxation grade (recorded in
     ``StackReport.verify_rung``) instead of aborting the stack.
+
+    When ``telemetry`` is supplied its tracer and metrics registry are
+    installed for the duration of the run, so every instrumented solver
+    underneath records into it; ``telemetry.export(path)`` afterwards
+    writes the JSONL trace that ``python -m repro.obs summarize``
+    aggregates into per-layer timings and rung usage.
     """
-    stages: List[StageReport] = []
+    with contextlib.ExitStack() as ctx:
+        if telemetry is not None:
+            ctx.enter_context(telemetry.install())
+        tracer = get_tracer()
+        stages: List[StageReport] = []
 
-    # --- stage 3: adaptive inertial weighting (convex QP accelerant) ---------
-    t0 = time.perf_counter()
-    inertia = QPAdaptiveInertia()
-    # exercise the accelerant once so its QP call count is observable
-    from repro.pso.inertia import InertiaContext
+        # --- stage 3: adaptive inertial weighting (convex QP accelerant) -----
+        t0 = time.perf_counter()
+        with tracer.span("stack.adaptive-inertia"):
+            inertia = QPAdaptiveInertia()
+            # exercise the accelerant once so its QP call count is observable
+            from repro.pso.inertia import InertiaContext
 
-    probe_ctx = InertiaContext(
-        generation=5,
-        max_generations=10,
-        stagnation_counts=np.array([0.0, 4.0, 9.0, 1.0]),
-        distance_to_personal_best=np.array([1.0, 0.1, 0.0, 0.6]),
-        distance_to_global_best=np.array([2.0, 1.5, 0.5, 1.0]),
-    )
-    probe_weights = inertia.weights(probe_ctx)
-    stages.append(StageReport(
-        name="adaptive-inertia",
-        wall_time=time.perf_counter() - t0,
-        metrics={
-            "qp_calls": float(inertia.qp_calls),
-            "mean_weight": float(np.mean(probe_weights)),
-            "max_weight": float(np.max(probe_weights)),
-            "weight_spread": float(np.max(probe_weights) - np.min(probe_weights)),
-        },
-    ))
+            probe_ctx = InertiaContext(
+                generation=5,
+                max_generations=10,
+                stagnation_counts=np.array([0.0, 4.0, 9.0, 1.0]),
+                distance_to_personal_best=np.array([1.0, 0.1, 0.0, 0.6]),
+                distance_to_global_best=np.array([2.0, 1.5, 0.5, 1.0]),
+            )
+            probe_weights = inertia.weights(probe_ctx)
+        stages.append(StageReport(
+            name="adaptive-inertia",
+            wall_time=time.perf_counter() - t0,
+            metrics={
+                "qp_calls": float(inertia.qp_calls),
+                "mean_weight": float(np.mean(probe_weights)),
+                "max_weight": float(np.max(probe_weights)),
+                "weight_spread": float(np.max(probe_weights) - np.min(probe_weights)),
+            },
+        ))
 
-    # --- stage 2: PSO-tuned MSY3I ---------------------------------------------
-    t0 = time.perf_counter()
-    tuning = tune_msy3i(swarm_size=swarm_size, generations=generations,
-                        inertia=inertia, train_steps=tuning_train_steps, seed=seed)
-    tuned = MSY3IConfig(
-        base_channels=int(tuning.best_config["base_channels"]),
-        n_stages=2,
-        blocks_per_stage=int(tuning.best_config["blocks_per_stage"]),
-        squeeze_ratio=float(tuning.best_config["squeeze_ratio"]),
-        n_classes=2,
-    )
-    reduction = parameter_reduction(tuned)
-    stages.append(StageReport(
-        name="pso-tuning",
-        wall_time=time.perf_counter() - t0,
-        metrics={
-            "best_objective": float(tuning.best_value),
-            "evaluations": float(tuning.evaluations),
-            "squeezed_params": float(reduction["squeezed_params"]),
-            "full_params": float(reduction["full_params"]),
-            "param_reduction_factor": float(reduction["reduction_factor"]),
-        },
-    ))
+        # --- stage 2: PSO-tuned MSY3I -----------------------------------------
+        t0 = time.perf_counter()
+        with tracer.span("stack.pso-tuning"):
+            tuning = tune_msy3i(swarm_size=swarm_size, generations=generations,
+                                inertia=inertia, train_steps=tuning_train_steps, seed=seed)
+            tuned = MSY3IConfig(
+                base_channels=int(tuning.best_config["base_channels"]),
+                n_stages=2,
+                blocks_per_stage=int(tuning.best_config["blocks_per_stage"]),
+                squeeze_ratio=float(tuning.best_config["squeeze_ratio"]),
+                n_classes=2,
+            )
+            reduction = parameter_reduction(tuned)
+        stages.append(StageReport(
+            name="pso-tuning",
+            wall_time=time.perf_counter() - t0,
+            metrics={
+                "best_objective": float(tuning.best_value),
+                "evaluations": float(tuning.evaluations),
+                "squeezed_params": float(reduction["squeezed_params"]),
+                "full_params": float(reduction["full_params"]),
+                "param_reduction_factor": float(reduction["reduction_factor"]),
+            },
+        ))
 
-    # --- stage 1: RCR paradigm — relaxation training + verification ----------
-    t0 = time.perf_counter()
-    # train the tuned detector briefly to confirm the configuration learns
-    detector = make_detector(tuned, squeezed=True, rng=np.random.default_rng(seed))
-    final_loss = train_detector(detector, steps=tuning_train_steps,
-                                lr=float(tuning.best_config["lr"]), seed=seed)
-    val_loss = evaluate_detector(detector)
+        # --- stage 1: RCR paradigm — relaxation training + verification ------
+        t0 = time.perf_counter()
+        with tracer.span("stack.rcr-paradigm") as span:
+            # train the tuned detector briefly to confirm the configuration learns
+            detector = make_detector(tuned, squeezed=True, rng=np.random.default_rng(seed))
+            final_loss = train_detector(detector, steps=tuning_train_steps,
+                                        lr=float(tuning.best_config["lr"]), seed=seed)
+            val_loss = evaluate_detector(detector)
 
-    # convex-relaxation adversarial training + layer-wise verification on
-    # the Dense/ReLU classifier the verifier ladder supports end to end
-    x, y = make_two_moons(160, rng=np.random.default_rng(seed))
-    trainer = RobustTrainer(hidden=12, depth=2, mode="relaxation",
-                            eps_train=eps, seed=seed)
-    trainer.train(x, y, epochs=robust_epochs)
-    rcr = RobustConvexRelaxation(trainer.net)
-    spec = classification_spec(x[0], eps=eps / 2, true_label=int(y[0]),
-                               other_label=1 - int(y[0]), n_classes=2)
-    # Fault-tolerant verification: the exact->lp->crown->ibp degradation
-    # ladder answers even when the cooperative budget runs dry mid-stage.
-    final = verify_resilient(trainer.net, spec, budget=budget)
-    tight = rcr.tightness_report(x[0], eps / 2)
-    factors = tight.tightening_factor("ibp", "crown")
-    stages.append(StageReport(
-        name="rcr-paradigm",
-        wall_time=time.perf_counter() - t0,
-        metrics={
-            "detector_train_loss": float(final_loss),
-            "detector_val_loss": float(val_loss),
-            "clean_accuracy": float(trainer.accuracy(x, y)),
-            "certified": float(final.verified),
-            "ladder_attempts": float(final.attempts),
-            "verify_rung_index": float(final.rung_index),
-            "verify_degraded": float(final.degraded),
-            "margin_lower_bound": float(final.result.margin_lower_bound),
-            "mean_layer_tightening": float(np.mean(factors)),
-        },
-    ))
+            # convex-relaxation adversarial training + layer-wise verification on
+            # the Dense/ReLU classifier the verifier ladder supports end to end
+            x, y = make_two_moons(160, rng=np.random.default_rng(seed))
+            trainer = RobustTrainer(hidden=12, depth=2, mode="relaxation",
+                                    eps_train=eps, seed=seed)
+            trainer.train(x, y, epochs=robust_epochs)
+            rcr = RobustConvexRelaxation(trainer.net)
+            spec = classification_spec(x[0], eps=eps / 2, true_label=int(y[0]),
+                                       other_label=1 - int(y[0]), n_classes=2)
+            # Fault-tolerant verification: the exact->lp->crown->ibp degradation
+            # ladder answers even when the cooperative budget runs dry mid-stage.
+            final = verify_resilient(trainer.net, spec, budget=budget)
+            span.set(verify_rung=final.rung, certified=final.verified)
+            tight = rcr.tightness_report(x[0], eps / 2)
+            factors = tight.tightening_factor("ibp", "crown")
+        stages.append(StageReport(
+            name="rcr-paradigm",
+            wall_time=time.perf_counter() - t0,
+            metrics={
+                "detector_train_loss": float(final_loss),
+                "detector_val_loss": float(val_loss),
+                "clean_accuracy": float(trainer.accuracy(x, y)),
+                "certified": float(final.verified),
+                "ladder_attempts": float(final.attempts),
+                "verify_rung_index": float(final.rung_index),
+                "verify_degraded": float(final.degraded),
+                "margin_lower_bound": float(final.result.margin_lower_bound),
+                "mean_layer_tightening": float(np.mean(factors)),
+            },
+        ))
 
-    return StackReport(
-        stages=stages,
-        tuned_config=dict(tuning.best_config),
-        verify_rung=final.rung,
-        budget=budget.report() if budget is not None else None,
-    )
+        return StackReport(
+            stages=stages,
+            tuned_config=dict(tuning.best_config),
+            verify_rung=final.rung,
+            budget=budget.report() if budget is not None else None,
+        )

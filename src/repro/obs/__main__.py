@@ -1,0 +1,10 @@
+"""``python -m repro.obs summarize <trace.jsonl>`` — trace aggregation CLI."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.summarize import main
+
+if __name__ == "__main__":
+    sys.exit(main())

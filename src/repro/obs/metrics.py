@@ -1,0 +1,259 @@
+"""Counters, gauges, and fixed-bucket histograms for the solver stack.
+
+A :class:`MetricsRegistry` is a plain in-process store — no background
+threads, no export protocol — holding the operational numbers the paper's
+degradation story turns on: solver iteration counts, residuals, fallback
+rung indices, breaker state transitions, chaos injections, and verifier
+bound quality.  Instruments are created on first use and keyed by
+``(name, labels)`` so ``counter("ladder.answered", rung="lp")`` and
+``counter("ladder.answered", rung="exact")`` are distinct series.
+
+Recording is O(1) dict work per *solve* (never per iteration), so the
+registry stays installed even in production runs; :meth:`snapshot`
+returns a JSON-ready dict for assertions and reports.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+    "record_solver_outcome",
+    "ITERATION_BUCKETS",
+    "RESIDUAL_BUCKETS",
+    "SECONDS_BUCKETS",
+    "MARGIN_BUCKETS",
+]
+
+#: iteration-count buckets shared by every solver histogram
+ITERATION_BUCKETS: Tuple[float, ...] = (1, 3, 10, 30, 100, 300, 1000, 3000, 10000)
+#: residual buckets: log-spaced from "converged tight" to "diverged"
+RESIDUAL_BUCKETS: Tuple[float, ...] = (
+    1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2, 1.0, 100.0)
+#: wall-clock buckets for profiled hot paths
+SECONDS_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0)
+#: verifier margin / bound-gap buckets (negative = unverified territory)
+MARGIN_BUCKETS: Tuple[float, ...] = (
+    -10.0, -1.0, -0.1, 0.0, 0.1, 1.0, 10.0, 100.0)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_key(name: str, labels: LabelKey) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ConfigurationError("counters only go up; use a gauge")
+        self.value = self.value + n
+
+
+class Gauge:
+    """A point-in-time value (breaker state index, queue depth, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+
+class Histogram:
+    """Fixed-bucket histogram with inclusive upper bounds.
+
+    ``buckets`` are ascending upper edges; an observation ``v`` lands in
+    the first bucket with ``v <= edge`` and past the last edge in the
+    overflow bucket, so ``counts`` has ``len(buckets) + 1`` entries.
+    Tracks count/sum/min/max alongside the bucket counts.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: Iterable[float]):
+        edges = tuple(float(b) for b in buckets)
+        if not edges:
+            raise ConfigurationError("histogram needs at least one bucket edge")
+        if any(nxt <= prev for prev, nxt in zip(edges, edges[1:])):
+            raise ConfigurationError("bucket edges must be strictly ascending")
+        self.buckets = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        self.counts[bisect.bisect_left(self.buckets, v)] += 1
+        self.count += 1
+        self.sum = self.sum + v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.sum / max(self.count, 1)
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+        }
+
+
+class MetricsRegistry:
+    """Create-on-first-use store of counters, gauges, and histograms."""
+
+    def __init__(self):
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # ---- instrument accessors ------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _label_key(labels))
+        found = self._counters.get(key)
+        if found is None:
+            found = self._counters[key] = Counter()
+        return found
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _label_key(labels))
+        found = self._gauges.get(key)
+        if found is None:
+            found = self._gauges[key] = Gauge()
+        return found
+
+    def histogram(self, name: str, buckets: Optional[Iterable[float]] = None,
+                  **labels: object) -> Histogram:
+        """Get or create; ``buckets`` only matters on first creation (the
+        series keeps the edges it was born with)."""
+        key = (name, _label_key(labels))
+        found = self._histograms.get(key)
+        if found is None:
+            found = self._histograms[key] = Histogram(
+                SECONDS_BUCKETS if buckets is None else buckets)
+        return found
+
+    # ---- queries -------------------------------------------------------------
+    def counter_value(self, name: str, **labels: object) -> float:
+        """Current count, 0 for a series never incremented."""
+        found = self._counters.get((name, _label_key(labels)))
+        return 0.0 if found is None else found.value
+
+    def counters_matching(self, name: str) -> Dict[str, float]:
+        """All series of one counter name, rendered-key -> value."""
+        return {
+            _render_key(n, labels): c.value
+            for (n, labels), c in self._counters.items()
+            if n == name
+        }
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every instrument."""
+        return {
+            "counters": {
+                _render_key(n, labels): c.value
+                for (n, labels), c in sorted(self._counters.items())
+            },
+            "gauges": {
+                _render_key(n, labels): g.value
+                for (n, labels), g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _render_key(n, labels): h.to_dict()
+                for (n, labels), h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+_current_metrics = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry instrumented code records into."""
+    return _current_metrics
+
+
+def set_metrics(registry: MetricsRegistry) -> None:
+    global _current_metrics
+    _current_metrics = registry
+
+
+class use_metrics:
+    """Context manager: install a registry for a block, then restore."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self._registry = registry
+        self._previous: Optional[MetricsRegistry] = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = get_metrics()
+        set_metrics(self._registry)
+        return self._registry
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_metrics(self._previous)
+        return False
+
+
+def record_solver_outcome(
+    solver: str,
+    iterations: int,
+    converged: bool,
+    residual: Optional[float] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """One solve's outcome: the single metrics call every instrumented
+    solver loop makes on exit (constant cost, independent of iterations).
+    """
+    reg = registry if registry is not None else _current_metrics
+    reg.counter("solver.solves", solver=solver).inc()
+    if not converged:
+        reg.counter("solver.failures", solver=solver).inc()
+    reg.histogram("solver.iterations", buckets=ITERATION_BUCKETS,
+                  solver=solver).observe(iterations)
+    if residual is not None and math.isfinite(residual):
+        reg.histogram("solver.residual", buckets=RESIDUAL_BUCKETS,
+                      solver=solver).observe(residual)

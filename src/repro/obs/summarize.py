@@ -1,0 +1,189 @@
+"""Aggregate a JSONL trace into per-span timings and event counts.
+
+``python -m repro.obs summarize trace.jsonl`` renders, for every span
+name: call count, error count, and wall-time p50/p95/max/total — plus
+the operational sections the RCR degradation story needs: fallback-rung
+usage per ladder (from ``ladder.answered`` / ``ladder.rung_failed``
+events), circuit-breaker transitions, chaos injections, and per-layer
+stack timings (spans named ``stack.*``).  ``--json`` writes the same
+aggregation as a machine-readable report.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List
+
+__all__ = ["load_trace", "aggregate", "render_text", "percentile"]
+
+
+def load_trace(path) -> List[dict]:
+    """Read a JSONL trace; blank lines are tolerated, anything else that
+    fails to parse raises (a truncated trace should be loud, not quietly
+    half-summarized)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (q in [0, 1])."""
+    if not sorted_values:
+        return math.nan
+    rank = math.ceil(q * len(sorted_values))
+    return sorted_values[min(max(rank, 1), len(sorted_values)) - 1]
+
+
+def _span_stats(durations: List[float], errors: int) -> dict:
+    ordered = sorted(durations)
+    return {
+        "count": len(ordered),
+        "errors": errors,
+        "total_s": math.fsum(ordered),
+        "p50_s": percentile(ordered, 0.50),
+        "p95_s": percentile(ordered, 0.95),
+        "max_s": ordered[-1] if ordered else math.nan,
+    }
+
+
+def aggregate(records: Iterable[dict]) -> dict:
+    """Roll a trace up into the summary report (JSON-ready dict)."""
+    durations: Dict[str, List[float]] = {}
+    errors: Dict[str, int] = {}
+    event_counts: Dict[str, int] = {}
+    rung_usage: Dict[str, Dict[str, int]] = {}
+    rung_failures: Dict[str, Dict[str, int]] = {}
+    breaker: Dict[str, int] = {}
+    chaos: Dict[str, int] = {}
+    layers: Dict[str, List[float]] = {}
+
+    n_records = 0
+    for rec in records:
+        n_records += 1
+        name = rec.get("name", "?")
+        attrs = rec.get("attrs", {}) or {}
+        if rec.get("kind") == "span":
+            durations.setdefault(name, []).append(float(rec.get("wall_s", 0.0)))
+            if rec.get("status") == "error":
+                errors[name] = errors.get(name, 0) + 1
+            if name.startswith("stack."):
+                layers.setdefault(name[len("stack."):], []).append(
+                    float(rec.get("wall_s", 0.0)))
+            continue
+        event_counts[name] = event_counts.get(name, 0) + 1
+        if name == "ladder.answered":
+            ladder = str(attrs.get("ladder", "ladder"))
+            rung = str(attrs.get("rung", "?"))
+            usage = rung_usage.setdefault(ladder, {})
+            usage[rung] = usage.get(rung, 0) + 1
+        elif name == "ladder.rung_failed":
+            ladder = str(attrs.get("ladder", "ladder"))
+            rung = str(attrs.get("rung", "?"))
+            fails = rung_failures.setdefault(ladder, {})
+            fails[rung] = fails.get(rung, 0) + 1
+        elif name == "breaker.transition":
+            edge = f"{attrs.get('from_state', '?')}->{attrs.get('to_state', '?')}"
+            breaker[edge] = breaker.get(edge, 0) + 1
+        elif name == "chaos.injection":
+            kind = str(attrs.get("fault", "?"))
+            chaos[kind] = chaos.get(kind, 0) + 1
+
+    return {
+        "records": n_records,
+        "spans": {
+            name: _span_stats(vals, errors.get(name, 0))
+            for name, vals in sorted(durations.items())
+        },
+        "events": dict(sorted(event_counts.items())),
+        "layers": {
+            name: {"count": len(vals), "total_s": math.fsum(vals)}
+            for name, vals in sorted(layers.items())
+        },
+        "rung_usage": {k: dict(sorted(v.items())) for k, v in sorted(rung_usage.items())},
+        "rung_failures": {k: dict(sorted(v.items())) for k, v in sorted(rung_failures.items())},
+        "breaker_transitions": dict(sorted(breaker.items())),
+        "chaos_injections": dict(sorted(chaos.items())),
+    }
+
+
+def _fmt_s(v: float) -> str:
+    if math.isnan(v):
+        return "     -"
+    if v >= 1.0:
+        return f"{v:6.2f}s"
+    return f"{v * 1e3:5.1f}ms"
+
+
+def render_text(report: dict) -> str:
+    """Human-readable rendition of :func:`aggregate`'s report."""
+    lines: List[str] = []
+    lines.append(f"trace: {report['records']} records, "
+                 f"{len(report['spans'])} span names")
+    lines.append("")
+    lines.append(f"{'span':40s} {'count':>6s} {'err':>4s} "
+                 f"{'p50':>7s} {'p95':>7s} {'max':>7s} {'total':>8s}")
+    lines.append("-" * 84)
+    for name, st in report["spans"].items():
+        lines.append(
+            f"{name:40s} {st['count']:6d} {st['errors']:4d} "
+            f"{_fmt_s(st['p50_s']):>7s} {_fmt_s(st['p95_s']):>7s} "
+            f"{_fmt_s(st['max_s']):>7s} {_fmt_s(st['total_s']):>8s}")
+    if report["layers"]:
+        lines.append("")
+        lines.append("stack layers:")
+        for name, st in report["layers"].items():
+            lines.append(f"  {name:30s} {st['count']:4d} calls "
+                         f"{_fmt_s(st['total_s']):>8s}")
+    if report["rung_usage"]:
+        lines.append("")
+        lines.append("ladder rung usage (answers per rung):")
+        for ladder, usage in report["rung_usage"].items():
+            rendered = ", ".join(f"{r}={n}" for r, n in usage.items())
+            lines.append(f"  {ladder:12s} {rendered}")
+    if report["rung_failures"]:
+        lines.append("")
+        lines.append("ladder rung failures:")
+        for ladder, fails in report["rung_failures"].items():
+            rendered = ", ".join(f"{r}={n}" for r, n in fails.items())
+            lines.append(f"  {ladder:12s} {rendered}")
+    lines.append("")
+    lines.append("breaker transitions: " + (
+        ", ".join(f"{k}={v}" for k, v in report["breaker_transitions"].items())
+        or "none"))
+    lines.append("chaos injections:    " + (
+        ", ".join(f"{k}={v}" for k, v in report["chaos_injections"].items())
+        or "none"))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Aggregate a repro.obs JSONL trace.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    summ = sub.add_parser("summarize", help="aggregate a trace.jsonl file")
+    summ.add_argument("trace", help="path to a JSONL trace written by "
+                                    "Tracer.export_jsonl")
+    summ.add_argument("--json", metavar="PATH", default=None,
+                      help="also write the machine-readable report here "
+                           "('-' for stdout instead of the text table)")
+    args = parser.parse_args(argv)
+
+    report = aggregate(load_trace(args.trace))
+    if args.json == "-":
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(render_text(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"\nwrote {args.json}")
+    return 0

@@ -27,6 +27,7 @@ from typing import Callable, List, Sequence
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.obs import ITERATION_BUCKETS, get_metrics, get_tracer
 from repro.pso.inertia import ConstantInertia, InertiaContext, InertiaStrategy
 from repro.pso.swarm import PSOConfig, PSOResult
 
@@ -123,7 +124,20 @@ class RoundingDiscretePSO:
         self.inertia.reset()
 
     def run(self) -> PSOResult:
+        with get_tracer().span("pso.run", swarm_size=self.config.swarm_size,
+                               variant="rounding-hard" if self.hard else "rounding") as span:
+            result = self._run()
+            span.set(generations=result.generations,
+                     evaluations=result.evaluations, best=result.best_value)
+        metrics = get_metrics()
+        metrics.counter("pso.runs").inc()
+        metrics.histogram("pso.generations",
+                          buckets=ITERATION_BUCKETS).observe(result.generations)
+        return result
+
+    def _run(self) -> PSOResult:
         cfg = self.config
+        tracer = get_tracer()
         n, d = cfg.swarm_size, self.space.dim
         history = [self.gb_f]
         vel_hist: List[float] = []
@@ -168,6 +182,8 @@ class RoundingDiscretePSO:
                 self.gb_x = self.pb_x[g].copy()
             history.append(self.gb_f)
             vel_hist.append(float(np.mean(np.abs(self.v))))
+            if tracer.enabled:
+                tracer.event("pso.generation", generation=gen, best=self.gb_f)
         best_idx = np.clip(np.round(self.gb_x), self.lo, self.hi).astype(int)
         return PSOResult(
             best_x=self.space.decode_indices(best_idx),
@@ -260,7 +276,20 @@ class DistributionDiscretePSO:
                     self.gb_logits[j] = self.logits[j][i].copy()
 
     def run(self) -> PSOResult:
+        with get_tracer().span("pso.run", swarm_size=self.config.swarm_size,
+                               variant="distribution") as span:
+            result = self._run()
+            span.set(generations=result.generations,
+                     evaluations=result.evaluations, best=result.best_value)
+        metrics = get_metrics()
+        metrics.counter("pso.runs").inc()
+        metrics.histogram("pso.generations",
+                          buckets=ITERATION_BUCKETS).observe(result.generations)
+        return result
+
+    def _run(self) -> PSOResult:
         cfg = self.config
+        tracer = get_tracer()
         n = cfg.swarm_size
         history = [self.gb_f]
         for gen in range(cfg.max_generations):
@@ -290,6 +319,8 @@ class DistributionDiscretePSO:
                 np.clip(self.logits[j], -20.0, 20.0, out=self.logits[j])
             self._evaluate_all()
             history.append(self.gb_f)
+            if tracer.enabled:
+                tracer.event("pso.generation", generation=gen, best=self.gb_f)
         return PSOResult(
             best_x=self.space.decode_indices(self.gb_idx),
             best_value=self.gb_f,

@@ -18,6 +18,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.obs import ITERATION_BUCKETS, get_metrics, get_tracer
 from repro.pso.inertia import ConstantInertia, InertiaContext, InertiaStrategy
 
 __all__ = ["PSOConfig", "PSOResult", "ParticleSwarm", "optimize"]
@@ -175,34 +176,39 @@ class ParticleSwarm:
 
     def run(self) -> PSOResult:
         cfg = self.config
+        tracer = get_tracer()
         history: List[float] = [self.global_best_f]
         vel_hist: List[float] = []
         stall = 0
         stagnation_events = 0
-        for gen in range(cfg.max_generations):
-            prev_best = self.global_best_f
-            self.step(gen)
-            history.append(self.global_best_f)
-            vel_hist.append(float(np.mean(np.linalg.norm(self.v, axis=1))))
-            if prev_best - self.global_best_f <= cfg.tolerance:
-                stall += 1
-            else:
-                stall = 0
-            stagnation_events += int(np.sum(self.stagnation_counts == 10))
-            if cfg.patience and stall >= cfg.patience:
-                return PSOResult(
-                    best_x=self.global_best_x.copy(),
-                    best_value=self.global_best_f,
-                    generations=gen + 1,
-                    evaluations=self.evaluations,
-                    history=history,
-                    mean_velocity_history=vel_hist,
-                    stagnation_events=stagnation_events,
-                )
+        with tracer.span("pso.run", swarm_size=cfg.swarm_size,
+                         topology=cfg.topology) as span:
+            for gen in range(cfg.max_generations):
+                prev_best = self.global_best_f
+                self.step(gen)
+                history.append(self.global_best_f)
+                vel_hist.append(float(np.mean(np.linalg.norm(self.v, axis=1))))
+                if tracer.enabled:
+                    tracer.event("pso.generation", generation=gen,
+                                 best=self.global_best_f)
+                if prev_best - self.global_best_f <= cfg.tolerance:
+                    stall += 1
+                else:
+                    stall = 0
+                stagnation_events += int(np.sum(self.stagnation_counts == 10))
+                if cfg.patience and stall >= cfg.patience:
+                    break
+            generations = gen + 1
+            span.set(generations=generations, evaluations=self.evaluations,
+                     best=self.global_best_f)
+        metrics = get_metrics()
+        metrics.counter("pso.runs").inc()
+        metrics.histogram("pso.generations",
+                          buckets=ITERATION_BUCKETS).observe(generations)
         return PSOResult(
             best_x=self.global_best_x.copy(),
             best_value=self.global_best_f,
-            generations=cfg.max_generations,
+            generations=generations,
             evaluations=self.evaluations,
             history=history,
             mean_velocity_history=vel_hist,

@@ -150,6 +150,7 @@ class ResilientAdmissionResult:
     attempts: int
     failures: Tuple[Tuple[str, str], ...]
     budget: Optional[BudgetReport] = None
+    rung_times: Tuple[Tuple[str, float], ...] = ()
 
     @property
     def degraded(self) -> bool:
@@ -221,7 +222,8 @@ def solve_admission_resilient(
         for i, name in enumerate(ADMISSION_FALLBACK)
     ]
     res = run_ladder(rungs, budget=budget, breaker=breaker,
-                     validator=_validate_admission, rng=rng, sleep=sleep)
+                     validator=_validate_admission, rng=rng, sleep=sleep,
+                     name="admission")
     result = res.value
     assert isinstance(result, AdmissionResult)
     return ResilientAdmissionResult(
@@ -231,6 +233,7 @@ def solve_admission_resilient(
         attempts=res.attempts,
         failures=res.failures,
         budget=res.budget,
+        rung_times=res.rung_times,
     )
 
 

@@ -308,6 +308,7 @@ class ResilientRRAResult:
     attempts: int
     failures: Tuple[Tuple[str, str], ...]
     budget: Optional[BudgetReport] = None
+    rung_times: Tuple[Tuple[str, float], ...] = ()
 
     @property
     def degraded(self) -> bool:
@@ -376,7 +377,8 @@ def solve_rra_resilient(
         for i, name in enumerate(RRA_FALLBACK)
     ]
     res = run_ladder(rungs, budget=budget, breaker=breaker,
-                     validator=_validate_rra, rng=rng, sleep=sleep)
+                     validator=_validate_rra, rng=rng, sleep=sleep,
+                     name="rra")
     result = res.value
     assert isinstance(result, RRAResult)
     return ResilientRRAResult(
@@ -386,6 +388,7 @@ def solve_rra_resilient(
         attempts=res.attempts,
         failures=res.failures,
         budget=res.budget,
+        rung_times=res.rung_times,
     )
 
 

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Literal
 import numpy as np
 
 from repro.exceptions import ConfigurationError, InfeasibleError, LadderExhaustedError
+from repro.obs import get_metrics, get_tracer
 from repro.qos.channel import ChannelConfig, ChannelModel
 from repro.qos.rra import (
     RRAProblem,
@@ -59,6 +60,7 @@ class FrameStats:
     solver_time: float
     rung: str = ""
     degraded: bool = False
+    rung_times: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -98,6 +100,15 @@ class ScheduleReport:
         for f in self.frames:
             out[f.rung] = out.get(f.rung, 0) + 1
         return out
+
+    def rung_time_totals(self) -> Dict[str, float]:
+        """Total wall-clock spent in each rung across all frames,
+        including rungs that were attempted but failed."""
+        acc: Dict[str, List[float]] = {}
+        for f in self.frames:
+            for rung, t in f.rung_times.items():
+                acc.setdefault(rung, []).append(t)
+        return {rung: math.fsum(ts) for rung, ts in acc.items()}
 
 
 class Scheduler:
@@ -174,43 +185,59 @@ class Scheduler:
     def run(self, n_frames: int = 10) -> ScheduleReport:
         report = ScheduleReport()
         solver = _SOLVERS[self.strategy]
+        tracer = get_tracer()
+        metrics = get_metrics()
         for frame in range(n_frames):
             problem = self._frame_problem()
             start = time.perf_counter()
             rung = self.strategy
             degraded = False
-            try:
-                if self.resilient:
-                    budget = (
-                        Budget(wall_clock_s=self.frame_budget_s)
-                        if self.frame_budget_s is not None
-                        else None
+            rung_times: Dict[str, float] = {}
+            with tracer.span("qos.frame", frame=frame,
+                             strategy=self.strategy,
+                             resilient=self.resilient) as span:
+                try:
+                    if self.resilient:
+                        budget = (
+                            Budget(wall_clock_s=self.frame_budget_s)
+                            if self.frame_budget_s is not None
+                            else None
+                        )
+                        rres = solve_rra_resilient(
+                            problem,
+                            budget=budget,
+                            breaker=self.breaker,
+                            max_nodes=4000,
+                            time_limit=self.frame_budget_s if self.frame_budget_s is not None else 20.0,
+                            solvers=self.rra_solvers,
+                            rng=self.rng,
+                        )
+                        result = rres.result
+                        rung = rres.rung
+                        degraded = rres.degraded
+                        rung_times = dict(rres.rung_times)
+                    else:
+                        result = solver(problem)
+                except (InfeasibleError, LadderExhaustedError):
+                    # No rung produced a frame plan: serve nobody this frame
+                    # rather than crash the control loop.
+                    span.set(rung="none", degraded=True)
+                    metrics.counter("scheduler.frames_dropped").inc()
+                    report.frames.append(
+                        FrameStats(frame, 0.0, False,
+                                   {svc: 0.0 for svc in set(u.service for u in self.users)},
+                                   time.perf_counter() - start,
+                                   rung="none", degraded=True)
                     )
-                    rres = solve_rra_resilient(
-                        problem,
-                        budget=budget,
-                        breaker=self.breaker,
-                        max_nodes=4000,
-                        time_limit=self.frame_budget_s if self.frame_budget_s is not None else 20.0,
-                        solvers=self.rra_solvers,
-                        rng=self.rng,
-                    )
-                    result = rres.result
-                    rung = rres.rung
-                    degraded = rres.degraded
-                else:
-                    result = solver(problem)
-            except (InfeasibleError, LadderExhaustedError):
-                # No rung produced a frame plan: serve nobody this frame
-                # rather than crash the control loop.
-                report.frames.append(
-                    FrameStats(frame, 0.0, False,
-                               {svc: 0.0 for svc in set(u.service for u in self.users)},
-                               time.perf_counter() - start,
-                               rung="none", degraded=True)
-                )
-                continue
-            ev = problem.evaluate_assignment(result.choice)
+                    continue
+                solver_time = time.perf_counter() - start
+                if not rung_times:
+                    rung_times = {rung: solver_time}
+                span.set(rung=rung, degraded=degraded)
+                ev = problem.evaluate_assignment(result.choice)
+            metrics.counter("scheduler.frames", rung=rung).inc()
+            if degraded:
+                metrics.counter("scheduler.frames_degraded").inc()
             per_class: Dict[ServiceClass, List[bool]] = {}
             for u, rate in zip(self.users, ev["user_rates"]):
                 per_class.setdefault(u.service, []).append(rate >= u.min_rate_bps - 1e-6)
@@ -220,9 +247,10 @@ class Scheduler:
                     total_rate=ev["total_rate"],
                     qos_ok=ev["qos_ok"] and ev["power_ok"],
                     per_class_satisfaction={svc: float(np.mean(v)) for svc, v in per_class.items()},
-                    solver_time=time.perf_counter() - start,
+                    solver_time=solver_time,
                     rung=rung,
                     degraded=degraded,
+                    rung_times=rung_times,
                 )
             )
         return report

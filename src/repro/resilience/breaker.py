@@ -17,8 +17,12 @@ import time
 from typing import Callable, Optional
 
 from repro.exceptions import CircuitOpenError, ConfigurationError, ReproError
+from repro.obs import get_metrics, get_tracer
 
 __all__ = ["CircuitBreaker"]
+
+#: state -> gauge value, so dashboards can plot transitions numerically
+_STATE_INDEX = {"closed": 0, "half_open": 1, "open": 2}
 
 
 class CircuitBreaker:
@@ -34,6 +38,7 @@ class CircuitBreaker:
         cooldown_s: float = 30.0,
         half_open_successes: int = 1,
         clock: Callable[[], float] = time.monotonic,
+        name: str = "breaker",
     ):
         if failure_threshold < 1:
             raise ConfigurationError("failure_threshold must be >= 1")
@@ -44,6 +49,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
         self.half_open_successes = half_open_successes
+        self.name = name
         self._clock = clock
         self._state = self.CLOSED
         self._consecutive_failures = 0
@@ -54,13 +60,25 @@ class CircuitBreaker:
         self.calls_rejected = 0
 
     # ---- state ---------------------------------------------------------------
+    def _transition(self, to_state: str) -> None:
+        """Record a state change as an event, counter, and gauge."""
+        from_state = self._state
+        self._state = to_state
+        get_tracer().event("breaker.transition", breaker=self.name,
+                           from_state=from_state, to_state=to_state)
+        metrics = get_metrics()
+        metrics.counter("breaker.transitions", breaker=self.name,
+                        from_state=from_state, to_state=to_state).inc()
+        metrics.gauge("breaker.state", breaker=self.name).set(
+            _STATE_INDEX[to_state])
+
     @property
     def state(self) -> str:
         """Current state, lazily transitioning OPEN -> HALF_OPEN."""
         if self._state == self.OPEN and (
             self._clock() - self._opened_at >= self.cooldown_s
         ):
-            self._state = self.HALF_OPEN
+            self._transition(self.HALF_OPEN)
             self._probe_successes = 0
         return self._state
 
@@ -69,6 +87,7 @@ class CircuitBreaker:
         state = self.state
         if state == self.OPEN:
             self.calls_rejected += 1
+            get_metrics().counter("breaker.rejected", breaker=self.name).inc()
             return False
         return True
 
@@ -78,7 +97,7 @@ class CircuitBreaker:
         if state == self.HALF_OPEN:
             self._probe_successes += 1
             if self._probe_successes >= self.half_open_successes:
-                self._state = self.CLOSED
+                self._transition(self.CLOSED)
                 self._consecutive_failures = 0
         else:
             self._consecutive_failures = 0
@@ -93,7 +112,7 @@ class CircuitBreaker:
             self._trip()
 
     def _trip(self) -> None:
-        self._state = self.OPEN
+        self._transition(self.OPEN)
         self._opened_at = self._clock()
         self._consecutive_failures = 0
         self._probe_successes = 0

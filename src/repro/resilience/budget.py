@@ -80,6 +80,13 @@ class Budget:
 
     # ---- accounting ----------------------------------------------------------
     @property
+    def clock(self) -> Callable[[], float]:
+        """The injectable monotonic time source — shared with callers
+        (e.g. the ladder's per-rung timing) so one fake clock drives a
+        whole deterministic test."""
+        return self._clock
+
+    @property
     def elapsed(self) -> float:
         return self._clock() - self._start
 

@@ -30,6 +30,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.exceptions import ConfigurationError, FaultInjectedError
+from repro.obs import get_metrics, get_tracer
 from repro.resilience.budget import Budget
 
 __all__ = ["FaultSpec", "InjectionEvent", "ChaosMonkey", "corrupt_with_nan"]
@@ -128,6 +129,15 @@ class ChaosMonkey:
         self.events: List[InjectionEvent] = []
         self.calls = 0
 
+    def _inject(self, index: int, kind: str, target: str) -> None:
+        """Record one injection everywhere it can be asserted on: the
+        local event list, the metrics registry, and the active trace."""
+        self.events.append(InjectionEvent(index, kind, target))
+        get_metrics().counter("chaos.injections", kind=kind,
+                              target=target).inc()
+        get_tracer().event("chaos.injection", fault=kind, target=target,
+                           call_index=index)
+
     def wrap(self, fn: Callable[..., object], name: str = "") -> Callable[..., object]:
         """Return ``fn`` with fault injection applied around each call."""
         target = name or getattr(fn, "__name__", "callable")
@@ -136,12 +146,12 @@ class ChaosMonkey:
             index = self.calls
             self.calls += 1
             if self.spec.exception_rate and self.rng.random() < self.spec.exception_rate:
-                self.events.append(InjectionEvent(index, "exception", target))
+                self._inject(index, "exception", target)
                 raise FaultInjectedError(
                     f"injected transient failure in {target} (call {index})"
                 )
             if self.spec.latency_rate and self.rng.random() < self.spec.latency_rate:
-                self.events.append(InjectionEvent(index, "latency", target))
+                self._inject(index, "latency", target)
                 if self.spec.latency_s > 0:
                     self._sleep(self.spec.latency_s)
                 if self.budget is not None and self.spec.budget_burn:
@@ -150,7 +160,7 @@ class ChaosMonkey:
                     self.budget.charge(self.spec.budget_burn)
             value = fn(*args, **kwargs)
             if self.spec.nan_rate and self.rng.random() < self.spec.nan_rate:
-                self.events.append(InjectionEvent(index, "nan", target))
+                self._inject(index, "nan", target)
                 value = corrupt_with_nan(value, self.rng)
             return value
 
@@ -160,3 +170,17 @@ class ChaosMonkey:
     def kinds(self) -> List[str]:
         """Injection kinds in order, for compact assertions."""
         return [e.kind for e in self.events]
+
+    def stats(self) -> dict:
+        """Aggregate view of everything this monkey has done."""
+        by_kind: dict = {}
+        by_target: dict = {}
+        for event in self.events:
+            by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+            by_target[event.target] = by_target.get(event.target, 0) + 1
+        return {
+            "calls": self.calls,
+            "injections": len(self.events),
+            "by_kind": by_kind,
+            "by_target": by_target,
+        }

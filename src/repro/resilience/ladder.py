@@ -30,11 +30,15 @@ from repro.exceptions import (
     LadderExhaustedError,
     ReproError,
 )
+from repro.obs import get_metrics, get_tracer
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.budget import Budget, BudgetReport
 from repro.resilience.retry import RetryPolicy, retry_call
 
 __all__ = ["Rung", "LadderResult", "run_ladder"]
+
+#: histogram buckets for the answering rung index (ladders are short)
+_RUNG_INDEX_BUCKETS = (0, 1, 2, 3, 4, 8)
 
 
 @dataclass(frozen=True)
@@ -57,7 +61,12 @@ class Rung:
 
 @dataclass(frozen=True)
 class LadderResult:
-    """Outcome of one ladder run: the value plus full provenance."""
+    """Outcome of one ladder run: the value plus full provenance.
+
+    ``rung_times`` records the wall-clock each *attempted* rung spent
+    (including its retries), measured with the budget's injectable clock
+    when a budget is threaded through — skipped rungs do not appear.
+    """
 
     value: object
     rung: str
@@ -66,11 +75,18 @@ class LadderResult:
     attempts: int
     failures: Tuple[Tuple[str, str], ...]
     budget: Optional[BudgetReport] = None
+    rung_times: Tuple[Tuple[str, float], ...] = ()
 
     @property
     def degraded(self) -> bool:
         """True when a rung below the tightest one answered."""
         return self.rung_index > 0
+
+    @property
+    def total_rung_time(self) -> float:
+        import math
+
+        return math.fsum(t for _, t in self.rung_times)
 
 
 def run_ladder(
@@ -80,6 +96,8 @@ def run_ladder(
     breaker: Optional[CircuitBreaker] = None,
     rng: Optional[np.random.Generator] = None,
     sleep: Callable[[float], None] = time.sleep,
+    name: str = "ladder",
+    clock: Optional[Callable[[], float]] = None,
 ) -> LadderResult:
     """Walk *rungs* tightest-first until one produces a valid answer.
 
@@ -89,62 +107,102 @@ def run_ladder(
     guards the *non-guaranteed* rungs: while open, the ladder jumps
     straight to the guaranteed conservative rung; the primary rung's
     outcome feeds the breaker state.
+
+    ``name`` labels this ladder in traces and metrics (``"verify"``,
+    ``"rra"``, ...).  Per-rung wall time is measured with ``clock``,
+    defaulting to the budget's injectable clock when one is threaded
+    through (so deterministic tests drive both with one fake clock) and
+    ``time.perf_counter`` otherwise.
     """
     if not rungs:
         raise ConfigurationError("ladder needs at least one rung")
     rng = rng or np.random.default_rng(0)
+    if clock is None:
+        clock = budget.clock if budget is not None else time.perf_counter
+    tracer = get_tracer()
+    metrics = get_metrics()
     failures: List[Tuple[str, str]] = []
+    rung_times: List[Tuple[str, float]] = []
     total_attempts = 0
 
     skip_to_guaranteed = breaker is not None and not breaker.allow()
 
-    for index, rung in enumerate(rungs):
-        out_of_budget = budget is not None and budget.expired
-        if (skip_to_guaranteed or out_of_budget) and not rung.guaranteed:
-            failures.append((rung.name, "skipped: "
-                             + ("circuit open" if skip_to_guaranteed else "budget exhausted")))
-            continue
+    with tracer.span("resilience.ladder", ladder=name, rungs=len(rungs)) as span:
+        for index, rung in enumerate(rungs):
+            out_of_budget = budget is not None and budget.expired
+            if (skip_to_guaranteed or out_of_budget) and not rung.guaranteed:
+                reason = "circuit open" if skip_to_guaranteed else "budget exhausted"
+                failures.append((rung.name, f"skipped: {reason}"))
+                tracer.event("ladder.rung_skipped", ladder=name,
+                             rung=rung.name, reason=reason)
+                metrics.counter("ladder.rung_skipped", ladder=name,
+                                reason=reason).inc()
+                continue
 
-        attempt_counter = [0]
+            attempt_counter = [0]
 
-        def attempt(rung: Rung = rung, counter: List[int] = attempt_counter) -> object:
-            counter[0] += 1
-            value = rung.solve()
-            if validator is not None:
-                validator(value)
-            return value
+            def attempt(rung: Rung = rung, counter: List[int] = attempt_counter) -> object:
+                counter[0] += 1
+                value = rung.solve()
+                if validator is not None:
+                    validator(value)
+                return value
 
-        try:
-            # a guaranteed rung must finish even if the budget expires
-            # mid-rung, so it runs with no budget guard on its retries
-            outcome = retry_call(attempt, policy=rung.retry or RetryPolicy(max_attempts=1),
-                                 rng=rng, sleep=sleep,
-                                 budget=None if rung.guaranteed else budget)
-            total_attempts += attempt_counter[0]
-            if breaker is not None and index == 0:
-                breaker.record_success()
-            return LadderResult(
-                value=outcome.value,
-                rung=rung.name,
-                rung_index=index,
-                grade=rung.grade or rung.name,
-                attempts=total_attempts,
-                failures=tuple(failures),
-                budget=budget.report() if budget is not None else None,
-            )
-        except BudgetExceededError as err:
-            total_attempts += max(attempt_counter[0], 1)
-            failures.append((rung.name, f"BudgetExceededError: {err}"))
-            if breaker is not None and index == 0:
-                breaker.record_failure()
-        except ReproError as err:
-            total_attempts += max(attempt_counter[0], 1)
-            failures.append((rung.name, f"{type(err).__name__}: {err}"))
-            if breaker is not None and index == 0:
-                breaker.record_failure()
+            rung_start = clock()
+            try:
+                # a guaranteed rung must finish even if the budget expires
+                # mid-rung, so it runs with no budget guard on its retries
+                outcome = retry_call(attempt, policy=rung.retry or RetryPolicy(max_attempts=1),
+                                     rng=rng, sleep=sleep,
+                                     budget=None if rung.guaranteed else budget)
+                rung_times.append((rung.name, clock() - rung_start))
+                total_attempts += attempt_counter[0]
+                if breaker is not None and index == 0:
+                    breaker.record_success()
+                span.set(answered=rung.name, rung_index=index,
+                         attempts=total_attempts)
+                tracer.event("ladder.answered", ladder=name, rung=rung.name,
+                             rung_index=index, grade=rung.grade or rung.name)
+                metrics.counter("ladder.answered", ladder=name,
+                                rung=rung.name).inc()
+                metrics.histogram("ladder.rung_index",
+                                  buckets=_RUNG_INDEX_BUCKETS,
+                                  ladder=name).observe(index)
+                return LadderResult(
+                    value=outcome.value,
+                    rung=rung.name,
+                    rung_index=index,
+                    grade=rung.grade or rung.name,
+                    attempts=total_attempts,
+                    failures=tuple(failures),
+                    budget=budget.report() if budget is not None else None,
+                    rung_times=tuple(rung_times),
+                )
+            except BudgetExceededError as err:
+                rung_times.append((rung.name, clock() - rung_start))
+                total_attempts += max(attempt_counter[0], 1)
+                failures.append((rung.name, f"BudgetExceededError: {err}"))
+                tracer.event("ladder.rung_failed", ladder=name, rung=rung.name,
+                             error="BudgetExceededError")
+                metrics.counter("ladder.rung_failed", ladder=name,
+                                rung=rung.name).inc()
+                if breaker is not None and index == 0:
+                    breaker.record_failure()
+            except ReproError as err:
+                rung_times.append((rung.name, clock() - rung_start))
+                total_attempts += max(attempt_counter[0], 1)
+                failures.append((rung.name, f"{type(err).__name__}: {err}"))
+                tracer.event("ladder.rung_failed", ladder=name, rung=rung.name,
+                             error=type(err).__name__)
+                metrics.counter("ladder.rung_failed", ladder=name,
+                                rung=rung.name).inc()
+                if breaker is not None and index == 0:
+                    breaker.record_failure()
 
-    raise LadderExhaustedError(
-        f"all {len(rungs)} rungs failed: "
-        + "; ".join(f"{name} ({msg})" for name, msg in failures),
-        failures=tuple(failures),
-    )
+        span.set(exhausted=True)
+        metrics.counter("ladder.exhausted", ladder=name).inc()
+        raise LadderExhaustedError(
+            f"all {len(rungs)} rungs failed: "
+            + "; ".join(f"{name_} ({msg})" for name_, msg in failures),
+            failures=tuple(failures),
+        )

@@ -23,6 +23,7 @@ from repro.exceptions import (
     FaultInjectedError,
     NumericalInstabilityError,
 )
+from repro.obs import get_metrics
 from repro.resilience.budget import Budget
 
 __all__ = ["RetryPolicy", "RetryOutcome", "retry_call", "perturb_warm_start"]
@@ -105,7 +106,11 @@ def retry_call(
         except policy.retry_on as err:
             outcome.errors.append(f"{type(err).__name__}: {err}")
             if attempt == policy.max_attempts:
+                get_metrics().counter("retry.exhausted",
+                                      error=type(err).__name__).inc()
                 raise
+            get_metrics().counter("retry.retries",
+                                  error=type(err).__name__).inc()
             delay = policy.delay(attempt, rng)
             if budget is not None:
                 delay = min(delay, budget.remaining_time)

@@ -19,6 +19,7 @@ import numpy as np
 from repro.exceptions import NumericalInstabilityError, VerificationError
 from repro.convex.relaxation import RelaxationGrade
 from repro.nn.network import Sequential
+from repro.obs import MARGIN_BUCKETS, get_metrics, get_tracer
 from repro.resilience import (
     Budget,
     BudgetReport,
@@ -79,22 +80,32 @@ def verify(net: Sequential, spec: RobustnessSpec, method: Method = "crown",
         raise VerificationError(f"unknown method {method!r}; choose from {sorted(METHOD_GRADES)}")
     start = time.perf_counter()
     complete = method == "exact"
-    if method == "ibp":
-        bound = ibp_margin_lower_bound(net, spec.x0, spec.eps, spec.c, spec.d)
-    elif method == "crown-ibp":
-        bound = crown_margin_lower_bound(net, spec.x0, spec.eps, spec.c, spec.d, method="crown-ibp")
-    elif method == "crown":
-        bound = crown_margin_lower_bound(net, spec.x0, spec.eps, spec.c, spec.d, method="crown")
-    elif method == "lp":
-        bound = lp_margin_lower_bound(net, spec.x0, spec.eps, spec.c, spec.d)
-    else:
-        res = exact_margin_bound(net, spec.x0, spec.eps, spec.c, spec.d,
-                                 max_nodes=max_nodes, time_limit=time_limit)
-        bound = res.margin
-        complete = res.converged
+    with get_tracer().span("verify.query", method=method) as span:
+        if method == "ibp":
+            bound = ibp_margin_lower_bound(net, spec.x0, spec.eps, spec.c, spec.d)
+        elif method == "crown-ibp":
+            bound = crown_margin_lower_bound(net, spec.x0, spec.eps, spec.c, spec.d, method="crown-ibp")
+        elif method == "crown":
+            bound = crown_margin_lower_bound(net, spec.x0, spec.eps, spec.c, spec.d, method="crown")
+        elif method == "lp":
+            bound = lp_margin_lower_bound(net, spec.x0, spec.eps, spec.c, spec.d)
+        else:
+            res = exact_margin_bound(net, spec.x0, spec.eps, spec.c, spec.d,
+                                     max_nodes=max_nodes, time_limit=time_limit)
+            bound = res.margin
+            complete = res.converged
+        verified = bound > 0.0
+        span.set(verified=verified, margin=float(bound))
+    metrics = get_metrics()
+    metrics.counter("verifier.queries", method=method).inc()
+    if verified:
+        metrics.counter("verifier.verified", method=method).inc()
+    if np.isfinite(bound):
+        metrics.histogram("verifier.margin", buckets=MARGIN_BUCKETS,
+                          method=method).observe(float(bound))
     return VerificationResult(
         method=method,
-        verified=bound > 0.0,
+        verified=verified,
         margin_lower_bound=float(bound),
         wall_time=time.perf_counter() - start,
         complete=complete,
@@ -119,6 +130,7 @@ class ResilientVerificationResult:
     attempts: int
     failures: Tuple[Tuple[str, str], ...]
     budget: Optional[BudgetReport] = None
+    rung_times: Tuple[Tuple[str, float], ...] = ()
 
     @property
     def verified(self) -> bool:
@@ -204,7 +216,7 @@ def verify_resilient(
     ]
     res: LadderResult = run_ladder(rungs, budget=budget, breaker=breaker,
                                    validator=_validate_verification,
-                                   rng=rng, sleep=sleep)
+                                   rng=rng, sleep=sleep, name="verify")
     result = res.value
     assert isinstance(result, VerificationResult)
     return ResilientVerificationResult(
@@ -215,6 +227,7 @@ def verify_resilient(
         attempts=res.attempts,
         failures=res.failures,
         budget=res.budget,
+        rung_times=res.rung_times,
     )
 
 
@@ -226,6 +239,20 @@ def compare_verifiers(net: Sequential, specs: List[RobustnessSpec],
     for spec in specs:
         for m in methods:
             out[m].append(verify(net, spec, method=m, max_nodes=max_nodes))
+    # bound-gap quality metric: exact margin minus each relaxed margin
+    # (>= 0 when the relaxation is sound; large = loose relaxation)
+    if "exact" in out:
+        metrics = get_metrics()
+        for m in methods:
+            if m == "exact":
+                continue
+            for relaxed_res, exact_res in zip(out[m], out["exact"]):
+                gap = (exact_res.margin_lower_bound
+                       - relaxed_res.margin_lower_bound)
+                if np.isfinite(gap):
+                    metrics.histogram("verifier.bound_gap",
+                                      buckets=MARGIN_BUCKETS,
+                                      method=m).observe(gap)
     return out
 
 

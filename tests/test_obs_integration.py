@@ -1,0 +1,231 @@
+"""repro.obs end-to-end: chaos runs surface in metrics, ladder rung
+timings ride the injectable clock, the full RCR stack produces a
+summarizable trace, and the ``python -m repro.obs summarize`` CLI
+round-trips it."""
+
+import json
+import math
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FaultInjectedError
+from repro.obs import NOOP_TRACER, Telemetry, aggregate, get_tracer, load_trace
+from repro.qos.scheduler import Scheduler
+from repro.resilience import (
+    Budget,
+    ChaosMonkey,
+    FaultSpec,
+    RetryPolicy,
+    Rung,
+    run_ladder,
+)
+
+pytestmark = pytest.mark.obs
+
+_NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0)
+_NO_SLEEP = lambda _t: None  # noqa: E731 - injected sleep, keeps runs instant
+
+
+class FakeClock:
+    """A monotonic clock advancing a fixed tick per read."""
+
+    def __init__(self, tick=0.5):
+        self.t = 0.0
+        self.tick = tick
+
+    def __call__(self):
+        self.t += self.tick
+        return self.t
+
+
+# ---------------------------------------------------------------------------
+# Chaos injections surface in the metrics snapshot
+# ---------------------------------------------------------------------------
+
+
+class TestChaosVisibility:
+    def test_injected_faults_appear_in_metrics_and_trace(self):
+        telemetry = Telemetry.recording()
+        monkey = ChaosMonkey(FaultSpec(exception_rate=1.0), seed=0,
+                             sleep=_NO_SLEEP)
+
+        def flaky_backend(_problem):
+            raise AssertionError("chaos raises before the body runs")
+
+        broken = monkey.wrap(flaky_backend, name="rra-backend")
+        sched = Scheduler(n_users=3, resilient=True, seed=0,
+                          rra_solvers={"exact-bnb": broken, "lp-round": broken})
+        with telemetry.install():
+            report = sched.run(n_frames=3)
+
+        # every frame degraded to the guaranteed greedy rung
+        assert len(report.frames) == 3
+        assert all(f.rung == "greedy" for f in report.frames)
+
+        # the monkey's own ledger agrees with the metrics registry
+        stats = monkey.stats()
+        assert stats["by_kind"] == {"exception": stats["injections"]}
+        assert stats["by_target"] == {"rra-backend": stats["injections"]}
+        injected = telemetry.metrics.counters_matching("chaos.injections")
+        assert injected == {
+            "chaos.injections{kind=exception,target=rra-backend}":
+                float(stats["injections"]),
+        }
+        assert stats["injections"] > 0
+
+        # ladder + scheduler counters recorded alongside
+        assert telemetry.metrics.counter_value(
+            "ladder.answered", ladder="rra", rung="greedy") == 3.0
+        assert telemetry.metrics.counter_value(
+            "scheduler.frames", rung="greedy") == 3.0
+
+        # and the trace aggregation reports the same story
+        agg = aggregate(r.to_dict() for r in telemetry.tracer.records)
+        assert agg["chaos_injections"] == {"exception": stats["injections"]}
+        assert agg["rung_usage"]["rra"] == {"greedy": 3}
+        assert set(agg["rung_failures"]["rra"]) == {"exact-bnb", "lp-round"}
+
+        # per-frame rung timing is attributed to the answering rung
+        totals = report.rung_time_totals()
+        assert totals["greedy"] > 0.0
+        assert set(totals) >= {"exact-bnb", "lp-round", "greedy"}
+
+    def test_chaos_stats_on_quiet_monkey(self):
+        monkey = ChaosMonkey(FaultSpec(), seed=0, sleep=_NO_SLEEP)
+        fn = monkey.wrap(lambda: 1.0)
+        for _ in range(5):
+            fn()
+        assert monkey.stats() == {"calls": 5, "injections": 0,
+                                  "by_kind": {}, "by_target": {}}
+
+
+# ---------------------------------------------------------------------------
+# Ladder rung timing via the injectable clock
+# ---------------------------------------------------------------------------
+
+
+def _two_rung_ladder():
+    def broken():
+        raise FaultInjectedError("tight rung down")
+
+    return (
+        Rung(name="exact", solve=broken, grade="exact", retry=_NO_RETRY),
+        Rung(name="lp", solve=lambda: 42.0, grade="lp", retry=_NO_RETRY,
+             guaranteed=True),
+    )
+
+
+class TestLadderRungTimes:
+    def test_explicit_clock_gives_deterministic_rung_times(self):
+        clock = FakeClock(tick=0.5)
+        res = run_ladder(_two_rung_ladder(), sleep=_NO_SLEEP,
+                         name="timing", clock=clock)
+        # each attempted rung reads the clock twice -> exactly one tick
+        assert res.rung_times == (("exact", 0.5), ("lp", 0.5))
+        assert res.total_rung_time == pytest.approx(1.0)
+        assert res.rung == "lp" and res.degraded
+
+    def test_budget_clock_is_the_default_time_source(self):
+        clock = FakeClock(tick=0.5)
+        budget = Budget(wall_clock_s=1e9, clock=clock)
+        assert budget.clock is clock
+        res = run_ladder(_two_rung_ladder(), budget=budget, sleep=_NO_SLEEP,
+                         name="timing")
+        # every timestamp came from the fake clock, so all durations are
+        # exact multiples of its tick — perf_counter could never do that
+        assert len(res.rung_times) == 2
+        for rung_name, t in res.rung_times:
+            assert t > 0.0
+            assert math.remainder(t, 0.5) == pytest.approx(0.0, abs=1e-12)
+        assert res.total_rung_time == pytest.approx(
+            math.fsum(t for _, t in res.rung_times))
+
+    def test_resilient_wrappers_surface_rung_times(self):
+        from repro.qos.admission import AdmissionProblem, solve_admission_resilient
+        from repro.qos.traffic import TrafficGenerator
+
+        rng = np.random.default_rng(0)
+        users = TrafficGenerator(rng=rng).users(6)
+        problem = AdmissionProblem(users=users,
+                                   resource_demand=rng.uniform(0.05, 0.4, 6))
+        res = solve_admission_resilient(problem, retry=_NO_RETRY,
+                                        sleep=_NO_SLEEP)
+        assert res.rung_times  # wall time of every attempted rung
+        assert dict(res.rung_times)[res.rung] >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# Full stack: trace -> JSONL -> summarize
+# ---------------------------------------------------------------------------
+
+
+class TestStackTelemetry:
+    @pytest.fixture(scope="class")
+    def stack_trace(self, tmp_path_factory):
+        from repro.core import run_rcr_stack
+
+        telemetry = Telemetry.recording()
+        report = run_rcr_stack(swarm_size=4, generations=2,
+                               tuning_train_steps=5, robust_epochs=5,
+                               seed=0, telemetry=telemetry)
+        path = tmp_path_factory.mktemp("obs") / "trace.jsonl"
+        n = telemetry.export(path)
+        assert n == len(telemetry.tracer.records)
+        return telemetry, report, path
+
+    def test_stack_layers_and_solver_spans_in_trace(self, stack_trace):
+        telemetry, report, path = stack_trace
+        # telemetry.install() restored the no-op default on exit
+        assert get_tracer() is NOOP_TRACER
+
+        agg = aggregate(load_trace(path))
+        assert set(agg["layers"]) == {"adaptive-inertia", "pso-tuning",
+                                      "rcr-paradigm"}
+        for layer in agg["layers"].values():
+            assert layer["count"] == 1 and layer["total_s"] > 0.0
+        # instrumented solvers under the stack appear as spans...
+        assert "pso.run" in agg["spans"]
+        assert "verify.query" in agg["spans"]
+        # ...and the verification ladder reported which rung answered
+        assert agg["rung_usage"].get("verify")
+
+        # metrics recorded alongside the trace
+        snap = telemetry.metrics.snapshot()
+        assert any(k.startswith("solver.solves") for k in snap["counters"])
+        assert snap["counters"].get("pso.runs", 0) >= 1
+
+        # the StackReport summary mirrors the per-layer timings
+        summary = report.summary()
+        assert set(summary["layers"]) == set(agg["layers"])
+        assert summary["total_time_s"] == pytest.approx(report.total_time)
+        assert summary["verify_rung"] == report.verify_rung
+
+    def test_summarize_cli_round_trip(self, stack_trace):
+        _, _, path = stack_trace
+        repo = Path(__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs", "summarize", str(path),
+             "--json", "-"],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(proc.stdout)
+        assert report["records"] > 0
+        assert set(report["layers"]) == {"adaptive-inertia", "pso-tuning",
+                                         "rcr-paradigm"}
+
+        # the default text rendering mentions every layer too
+        proc_text = subprocess.run(
+            [sys.executable, "-m", "repro.obs", "summarize", str(path)],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc_text.returncode == 0, proc_text.stderr
+        assert "stack layers:" in proc_text.stdout
+        assert "rcr-paradigm" in proc_text.stdout
