@@ -1,0 +1,111 @@
+"""PAR — batched-verification scaling of the repro.parallel engine.
+
+The QoS control loop re-verifies the same (network, spec, method)
+triples every frame, so the tentpole claim is: fanning a duplicate-heavy
+verification batch through :func:`repro.verify.verify_batch` with a
+:class:`~repro.parallel.RelaxationCache` is at least **2× faster at
+4 workers** than the uncached serial baseline, and the cache hit rate is
+visible through the ``parallel.cache.*`` counters in the installed
+metrics registry.
+
+Results are printed as a table; pass ``--commit-results`` to also write
+``benchmarks/results/BENCH_parallel_scaling.json`` — the one results
+file that is *not* gitignored, so the measured speedup can be committed
+and diffed across commits::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel_scaling.py \
+        --commit-results
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _harness import timed, write_bench_json
+from conftest import banner
+from repro.nn.layers import Dense, ReLU
+from repro.nn.network import Sequential
+from repro.obs import MetricsRegistry, use_metrics
+from repro.parallel import RelaxationCache, make_executor
+from repro.verify import classification_spec, verify_batch
+
+pytestmark = pytest.mark.parallel
+
+_UNIQUE_SPECS = 8
+_REPEATS = 5          # each unique spec recurs this many times per batch
+_METHOD = "lp"        # the expensive relaxation — worth memoizing
+_WORKER_COUNTS = (1, 2, 4)
+
+
+def _workload():
+    rng = np.random.default_rng(2021)
+    net = Sequential([
+        Dense(4, 12, rng=rng), ReLU(), Dense(12, 12, rng=rng), ReLU(),
+        Dense(12, 3, rng=rng),
+    ])
+    unique = [classification_spec(rng.standard_normal(4), eps=0.05,
+                                  true_label=0, other_label=1, n_classes=3)
+              for _ in range(_UNIQUE_SPECS)]
+    return net, unique * _REPEATS
+
+
+def test_parallel_scaling(request):
+    banner("PAR", "cache-accelerated batched verification scaling")
+    net, specs = _workload()
+
+    baseline, t_base = timed(lambda: verify_batch(net, specs, method=_METHOD))
+    rows = [{
+        "config": "serial/uncached", "workers": 1, "cached": False,
+        "wall_s": t_base, "speedup": 1.0, "hit_rate": 0.0, "solves": len(specs),
+    }]
+
+    speedup_at_4 = None
+    for workers in _WORKER_COUNTS:
+        registry = MetricsRegistry()
+        cache = RelaxationCache()
+        with use_metrics(registry):
+            with make_executor("thread", max_workers=workers) as ex:
+                results, t = timed(lambda: verify_batch(
+                    net, specs, method=_METHOD, executor=ex, cache=cache))
+        # cached answers must be the uncached answers, bit for bit
+        assert [(r.verified, r.margin_lower_bound) for r in results] == \
+               [(r.verified, r.margin_lower_bound) for r in baseline]
+        # every spec is looked up once before dispatch (all miss on a
+        # cold cache), then each duplicate is served as a hit
+        hits = registry.counter_value("parallel.cache.hits")
+        misses = registry.counter_value("parallel.cache.misses")
+        assert misses == len(specs)
+        assert hits == len(specs) - _UNIQUE_SPECS
+        assert len(cache) == _UNIQUE_SPECS
+        rows.append({
+            "config": f"thread-{workers}/cached", "workers": workers,
+            "cached": True, "wall_s": t, "speedup": t_base / t,
+            "hit_rate": cache.hit_rate, "solves": len(cache),
+        })
+        if workers == 4:
+            speedup_at_4 = t_base / t
+
+    print(f"{'config':<20} {'workers':>7} {'wall_s':>9} {'speedup':>8} "
+          f"{'hit_rate':>8} {'solves':>7}")
+    for r in rows:
+        print(f"{r['config']:<20} {r['workers']:>7} {r['wall_s']:>9.4f} "
+              f"{r['speedup']:>8.2f} {r['hit_rate']:>8.2f} {r['solves']:>7}")
+
+    # the acceptance claim: >=2x at 4 workers, driven by the cache
+    # (duplicate-heavy batches are the control loop's actual shape)
+    assert speedup_at_4 is not None and speedup_at_4 >= 2.0, (
+        f"expected >=2x speedup at 4 workers, got {speedup_at_4:.2f}x")
+    # cold-batch hit rate: U*R lookups all miss, U*(R-1) duplicates hit
+    expected_hit_rate = (_REPEATS - 1) / (2 * _REPEATS - 1)
+    assert rows[-1]["hit_rate"] == pytest.approx(expected_hit_rate)
+
+    if request.config.getoption("--commit-results"):
+        path = write_bench_json("parallel_scaling", rows, extra={
+            "method": _METHOD,
+            "unique_specs": _UNIQUE_SPECS,
+            "repeats": _REPEATS,
+            "batch_size": len(specs),
+            "speedup_at_4_workers": speedup_at_4,
+        })
+        print(f"\nwrote {path}")

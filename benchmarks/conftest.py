@@ -9,6 +9,14 @@ effect), and times the core computation with pytest-benchmark.
 from __future__ import annotations
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--commit-results", action="store_true", default=False,
+        help="also write the benchmark's JSON to benchmarks/results/ for "
+             "committing (only BENCH_parallel_scaling.json is un-gitignored; "
+             "without this flag benches print tables and leave the tree clean)")
+
+
 def banner(exp_id: str, title: str) -> None:
     line = "=" * 78
     print(f"\n{line}\n[{exp_id}] {title}\n{line}")

@@ -97,6 +97,7 @@ def run_rcr_stack(
     seed: int = 0,
     budget: Optional[Budget] = None,
     telemetry: Optional[Telemetry] = None,
+    executor=None,
 ) -> StackReport:
     """Execute the three-stage RCR stack at laptop scale.
 
@@ -112,6 +113,10 @@ def run_rcr_stack(
     underneath records into it; ``telemetry.export(path)`` afterwards
     writes the JSONL trace that ``python -m repro.obs summarize``
     aggregates into per-layer timings and rung usage.
+
+    ``executor`` (a :class:`repro.parallel.Executor`) fans the stage-2
+    swarm's fitness evaluations out without changing any result —
+    serial and pooled runs produce the same tuned configuration.
     """
     with contextlib.ExitStack() as ctx:
         if telemetry is not None:
@@ -149,7 +154,8 @@ def run_rcr_stack(
         t0 = time.perf_counter()
         with tracer.span("stack.pso-tuning"):
             tuning = tune_msy3i(swarm_size=swarm_size, generations=generations,
-                                inertia=inertia, train_steps=tuning_train_steps, seed=seed)
+                                inertia=inertia, train_steps=tuning_train_steps,
+                                seed=seed, executor=executor)
             tuned = MSY3IConfig(
                 base_channels=int(tuning.best_config["base_channels"]),
                 n_stages=2,

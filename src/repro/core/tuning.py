@@ -105,9 +105,15 @@ def msy3i_search_space() -> SearchSpace:
 
 def tune_msy3i(swarm_size: int = 6, generations: int = 5,
                inertia: InertiaStrategy | None = None,
-               train_steps: int = 20, seed: int = 0) -> TuningResult:
+               train_steps: int = 20, seed: int = 0,
+               executor=None) -> TuningResult:
     """Run the stack's tuning stage.  Budgets are intentionally small —
-    the point is the machinery, not squeezing the last percent."""
+    the point is the machinery, not squeezing the last percent.
+
+    ``executor`` fans the swarm's per-candidate detector trainings out
+    through :mod:`repro.parallel` (serial/thread backends; the objective
+    closure is not picklable for the process backend).
+    """
     space = msy3i_search_space()
     tuner = HyperparameterTuner(
         space,
@@ -116,5 +122,6 @@ def tune_msy3i(swarm_size: int = 6, generations: int = 5,
         config=PSOConfig(swarm_size=swarm_size, max_generations=generations),
         inertia=inertia,
         seed=seed,
+        executor=executor,
     )
     return tuner.run()

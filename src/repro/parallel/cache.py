@@ -1,0 +1,189 @@
+"""Content-addressed memoization of relaxation/verification solves.
+
+Salman et al.'s convex-relaxation-barrier study evaluates thousands of
+*structurally identical* relaxation queries per network; in the QoS
+control loop the same (network, spec, method) triple recurs every frame.
+A :class:`RelaxationCache` memoizes those solves under a
+**content-addressed fingerprint** — a SHA-256 over the exact bytes of
+the problem matrices and spec parameters — so a hit is only possible
+when every input is bit-identical, and a perturbed matrix (even by one
+ULP) misses.
+
+The cache is an LRU bounded by ``max_entries``, safe for concurrent use
+from the thread backend, and reports hits/misses/evictions both on the
+instance and through ``parallel.cache.*`` counters in the installed
+:class:`~repro.obs.MetricsRegistry`.  With the process backend the
+coordinator owns the cache: lookups happen before dispatch and inserts
+after collection, so worker processes never need a shared store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.obs import get_metrics
+
+__all__ = ["fingerprint", "RelaxationCache"]
+
+
+def _feed(h: "hashlib._Hash", value: Any) -> None:
+    """Feed one value into the hash with unambiguous type/shape framing.
+
+    Every branch writes a distinct type tag before the payload so that,
+    e.g., the float 1.0, the int 1, and the string "1" can never
+    fingerprint alike, and array framing (dtype + shape) prevents
+    reshape/concatenation collisions.
+    """
+    if value is None:
+        h.update(b"\x00none")
+    elif isinstance(value, bool):  # before int: bool is an int subclass
+        h.update(b"\x01bool" + (b"1" if value else b"0"))
+    elif isinstance(value, int):
+        h.update(b"\x02int" + str(value).encode())
+    elif isinstance(value, float):
+        h.update(b"\x03float" + np.float64(value).tobytes())
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        h.update(b"\x04str" + str(len(raw)).encode() + b":" + raw)
+    elif isinstance(value, bytes):
+        h.update(b"\x05bytes" + str(len(value)).encode() + b":" + value)
+    elif isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        h.update(b"\x06ndarray" + arr.dtype.str.encode()
+                 + str(arr.shape).encode())
+        h.update(arr.tobytes())
+    elif isinstance(value, np.generic):
+        _feed(h, value.item())
+    elif isinstance(value, (list, tuple)):
+        h.update(b"\x07seq" + str(len(value)).encode())
+        for v in value:
+            _feed(h, v)
+    elif isinstance(value, dict):
+        h.update(b"\x08dict" + str(len(value)).encode())
+        for k in sorted(value, key=str):
+            _feed(h, str(k))
+            _feed(h, value[k])
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        h.update(b"\x09dc" + type(value).__qualname__.encode())
+        for f in dataclasses.fields(value):
+            _feed(h, f.name)
+            _feed(h, getattr(value, f.name))
+    else:
+        raise ConfigurationError(
+            f"cannot fingerprint {type(value).__name__!r}; pass arrays, "
+            "primitives, dataclasses, or containers of those")
+
+
+def fingerprint(*parts: Any) -> str:
+    """SHA-256 hex digest of a heterogeneous tuple of problem data.
+
+    Accepts numpy arrays (hashed with dtype/shape framing over their
+    exact bytes), primitives, dataclasses (e.g. a ``RobustnessSpec``),
+    and nested containers.  Bit-identical inputs — and only those —
+    produce equal fingerprints.
+    """
+    h = hashlib.sha256()
+    _feed(h, tuple(parts))
+    return h.hexdigest()
+
+
+class RelaxationCache:
+    """Bounded LRU of fingerprint → memoized solve result.
+
+    Values are stored as-is (results in this codebase are frozen
+    dataclasses); eviction discards the least-recently *used* entry.
+    ``metrics_labels`` let several caches share a registry while keeping
+    distinct ``parallel.cache.*`` series.
+    """
+
+    def __init__(self, max_entries: int = 256, **metrics_labels: object):
+        if max_entries < 1:
+            raise ConfigurationError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._labels: Dict[str, object] = dict(metrics_labels)
+        self._store: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._store
+
+    def keys(self) -> Tuple[str, ...]:
+        """Current keys in least- to most-recently-used order."""
+        with self._lock:
+            return tuple(self._store)
+
+    def get(self, key: str) -> Optional[Any]:
+        """Look up ``key``; a hit refreshes its LRU position."""
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                self.hits += 1
+                get_metrics().counter("parallel.cache.hits",
+                                      **self._labels).inc()
+                return self._store[key]
+            self.misses += 1
+            get_metrics().counter("parallel.cache.misses",
+                                  **self._labels).inc()
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert/refresh ``key``, evicting the LRU entry when full."""
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+            self._store[key] = value
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+                self.evictions += 1
+                get_metrics().counter("parallel.cache.evictions",
+                                      **self._labels).inc()
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        """Return the cached value or compute-and-insert it.
+
+        ``compute`` runs outside the lock so a slow solve never blocks
+        concurrent lookups of other keys.
+        """
+        found = self.get(key)
+        if found is not None:
+            return found
+        value = compute()
+        self.put(key, value)
+        return value
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """JSON-ready counters for reports and benchmarks."""
+        with self._lock:
+            size = len(self._store)
+        return {
+            "entries": size,
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()

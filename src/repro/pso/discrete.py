@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.obs import ITERATION_BUCKETS, get_metrics, get_tracer
+from repro.parallel import Executor, map_solve
 from repro.pso.inertia import ConstantInertia, InertiaContext, InertiaStrategy
 from repro.pso.swarm import PSOConfig, PSOResult
 
@@ -92,6 +93,7 @@ class RoundingDiscretePSO:
         inertia: InertiaStrategy | None = None,
         hard: bool = True,
         rng: np.random.Generator | None = None,
+        executor: Executor | None = None,
     ):
         self.objective = objective
         self.space = space
@@ -99,6 +101,7 @@ class RoundingDiscretePSO:
         self.inertia = inertia or ConstantInertia()
         self.hard = hard
         self.rng = rng or np.random.default_rng(0)
+        self.executor = executor
         self.lo = np.zeros(space.dim)
         self.hi = np.array([c - 1 for c in space.cardinalities], dtype=np.float64)
         self._initialize()
@@ -107,6 +110,20 @@ class RoundingDiscretePSO:
         idx = np.clip(np.round(idx_float), self.lo, self.hi).astype(int)
         return self.objective(self.space.decode_indices(idx))
 
+    def _evaluate_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Fitness of every particle; decoding stays in-process, only the
+        objective evaluations fan out through the executor."""
+        decoded = [
+            self.space.decode_indices(
+                np.clip(np.round(row), self.lo, self.hi).astype(int))
+            for row in xs
+        ]
+        if self.executor is None:
+            return np.array([self.objective(d) for d in decoded])
+        values = map_solve(self.objective, decoded, executor=self.executor,
+                           label="pso.fitness")
+        return np.asarray(values, dtype=np.float64)
+
     def _initialize(self) -> None:
         n, d = self.config.swarm_size, self.space.dim
         self.x = self.lo + self.rng.random((n, d)) * (self.hi - self.lo)
@@ -114,7 +131,7 @@ class RoundingDiscretePSO:
             self.x = np.round(self.x)
         self.v = (self.rng.random((n, d)) - 0.5) * (self.hi - self.lo) * 0.2
         self.pb_x = self.x.copy()
-        self.pb_f = np.array([self._eval_indices(p) for p in self.x])
+        self.pb_f = self._evaluate_batch(self.x)
         g = int(np.argmin(self.pb_f))
         self.gb_x = self.pb_x[g].copy()
         self.gb_f = float(self.pb_f[g])
@@ -169,7 +186,7 @@ class RoundingDiscretePSO:
                     frozen += 1
             else:
                 self.x = np.clip(self.x + self.v, self.lo, self.hi)
-            values = np.array([self._eval_indices(p) for p in self.x])
+            values = self._evaluate_batch(self.x)
             self.evaluations += n
             improved = values < self.pb_f
             self.pb_x[improved] = self.x[improved]
@@ -215,6 +232,7 @@ class DistributionDiscretePSO:
         inertia: InertiaStrategy | None = None,
         samples_per_particle: int = 1,
         rng: np.random.Generator | None = None,
+        executor: Executor | None = None,
     ):
         self.objective = objective
         self.space = space
@@ -222,6 +240,7 @@ class DistributionDiscretePSO:
         self.inertia = inertia or ConstantInertia()
         self.samples = max(1, samples_per_particle)
         self.rng = rng or np.random.default_rng(0)
+        self.executor = executor
         self._initialize()
 
     def _initialize(self) -> None:
@@ -253,12 +272,23 @@ class DistributionDiscretePSO:
 
     def _evaluate_all(self) -> None:
         n = self.config.swarm_size
+        # sample every candidate first (RNG order is unchanged from the
+        # sequential formulation), then fan the pure objective calls out
+        sampled = [[self._sample_particle(i) for _ in range(self.samples)]
+                   for i in range(n)]
+        decoded = [self.space.decode_indices(idx)
+                   for per_particle in sampled for idx in per_particle]
+        if self.executor is None:
+            values = [self.objective(d) for d in decoded]
+        else:
+            values = map_solve(self.objective, decoded,
+                               executor=self.executor, label="pso.fitness")
+        self.evaluations += len(decoded)
         for i in range(n):
             best_val, best_idx = np.inf, None
-            for _ in range(self.samples):
-                idx = self._sample_particle(i)
-                val = self.objective(self.space.decode_indices(idx))
-                self.evaluations += 1
+            for s in range(self.samples):
+                idx = sampled[i][s]
+                val = float(values[i * self.samples + s])
                 if val < best_val:
                     best_val, best_idx = val, idx
             if best_val < self.pb_f[i]:

@@ -125,6 +125,7 @@ class HyperparameterTuner:
         config: PSOConfig | None = None,
         inertia: InertiaStrategy | None = None,
         seed: int = 0,
+        executor=None,
     ):
         if method not in ("distribution", "rounding"):
             raise ConfigurationError("method must be 'distribution' or 'rounding'")
@@ -134,6 +135,7 @@ class HyperparameterTuner:
         self.config = config or PSOConfig(swarm_size=12, max_generations=40)
         self.inertia = inertia
         self.seed = seed
+        self.executor = executor
         self._cache: Dict[tuple, float] = {}
 
     def _vector_objective(self, vec: np.ndarray) -> float:
@@ -150,12 +152,12 @@ class HyperparameterTuner:
         if self.method == "distribution":
             swarm = DistributionDiscretePSO(
                 self._vector_objective, discrete, config=self.config,
-                inertia=self.inertia, rng=rng,
+                inertia=self.inertia, rng=rng, executor=self.executor,
             )
         else:
             swarm = RoundingDiscretePSO(
                 self._vector_objective, discrete, config=self.config,
-                inertia=self.inertia, hard=True, rng=rng,
+                inertia=self.inertia, hard=True, rng=rng, executor=self.executor,
             )
         result = swarm.run()
         return TuningResult(

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.obs import ITERATION_BUCKETS, get_metrics, get_tracer
+from repro.parallel import Executor, map_solve
 from repro.pso.inertia import ConstantInertia, InertiaContext, InertiaStrategy
 
 __all__ = ["PSOConfig", "PSOResult", "ParticleSwarm", "optimize"]
@@ -80,7 +81,13 @@ class ParticleSwarm:
         config: PSOConfig | None = None,
         inertia: InertiaStrategy | None = None,
         rng: np.random.Generator | None = None,
+        executor: Executor | None = None,
     ):
+        """``executor`` fans the per-particle fitness evaluations out
+        through :func:`repro.parallel.map_solve`; because the swarm's
+        randomness never depends on evaluation timing, results are
+        bit-identical across serial/thread/process backends (the
+        objective must be picklable for the process backend)."""
         self.objective = objective
         self.lo = np.asarray(lo, dtype=np.float64).ravel()
         self.hi = np.asarray(hi, dtype=np.float64).ravel()
@@ -90,7 +97,17 @@ class ParticleSwarm:
         self.config = config or PSOConfig()
         self.inertia = inertia or ConstantInertia()
         self.rng = rng or np.random.default_rng(0)
+        self.executor = executor
         self._initialize()
+
+    def _evaluate(self, xs: np.ndarray) -> np.ndarray:
+        """Swarm fitness evaluation — the parallel hot path (one call
+        per generation, ``swarm_size`` objective evaluations)."""
+        if self.executor is None:
+            return np.array([self.objective(p) for p in xs])
+        values = map_solve(self.objective, list(xs), executor=self.executor,
+                           label="pso.fitness")
+        return np.asarray(values, dtype=np.float64)
 
     def _initialize(self) -> None:
         n, d = self.config.swarm_size, self.dim
@@ -99,7 +116,7 @@ class ParticleSwarm:
         vmax = self.config.velocity_clamp * width
         self.v = (self.rng.random((n, d)) * 2.0 - 1.0) * vmax * 0.1
         self.personal_best_x = self.x.copy()
-        self.personal_best_f = np.array([self.objective(p) for p in self.x])
+        self.personal_best_f = self._evaluate(self.x)
         g = int(np.argmin(self.personal_best_f))
         self.global_best_x = self.personal_best_x[g].copy()
         self.global_best_f = float(self.personal_best_f[g])
@@ -162,7 +179,7 @@ class ParticleSwarm:
         self.x = np.where(above, self.hi, self.x)
         self.v = np.where(below | above, 0.0, self.v)
 
-        values = np.array([self.objective(p) for p in self.x])
+        values = self._evaluate(self.x)
         self.evaluations += n
         improved = values < self.personal_best_f
         self.personal_best_x[improved] = self.x[improved]
@@ -223,9 +240,11 @@ def optimize(
     config: PSOConfig | None = None,
     inertia: InertiaStrategy | None = None,
     seed: int = 0,
+    executor: Executor | None = None,
 ) -> PSOResult:
     """One-call continuous PSO minimization over a box."""
     swarm = ParticleSwarm(
-        objective, lo, hi, config=config, inertia=inertia, rng=np.random.default_rng(seed)
+        objective, lo, hi, config=config, inertia=inertia,
+        rng=np.random.default_rng(seed), executor=executor,
     )
     return swarm.run()

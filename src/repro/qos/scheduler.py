@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, InfeasibleError, LadderExhaustedError
 from repro.obs import get_metrics, get_tracer
+from repro.parallel import Executor, derive_seed, map_solve
 from repro.qos.channel import ChannelConfig, ChannelModel
 from repro.qos.rra import (
     RRAProblem,
@@ -29,7 +30,7 @@ from repro.qos.rra import (
     solve_rra_resilient,
 )
 from repro.qos.traffic import ServiceClass, TrafficGenerator, UserSession
-from repro.resilience import Budget, CircuitBreaker
+from repro.resilience import Budget, ChaosMonkey, CircuitBreaker, FaultSpec
 
 Strategy = Literal["exact", "relaxed", "pso", "greedy"]
 
@@ -41,6 +42,97 @@ _SOLVERS: Dict[str, Callable[[RRAProblem], RRAResult]] = {
 }
 
 __all__ = ["FrameStats", "ScheduleReport", "Scheduler"]
+
+
+def _frame_task(task: dict) -> dict:
+    """Solve one pre-drawn frame problem (module-level: process-picklable).
+
+    The task carries everything the solve needs; per-frame randomness
+    (ladder retries, chaos schedules) derives from the frame index via
+    :func:`~repro.parallel.derive_seed`, so the outcome is a pure
+    function of the task — the scheduler's determinism contract.
+    """
+    problem: RRAProblem = task["problem"]
+    frame: int = task["frame"]
+    strategy: str = task["strategy"]
+    max_nodes: int = task["max_nodes"]
+    start = time.perf_counter()
+    rung = strategy
+    degraded = False
+    rung_times: Dict[str, float] = {}
+    try:
+        if task["resilient"]:
+            frame_budget_s = task["frame_budget_s"]
+            budget = (Budget(wall_clock_s=frame_budget_s)
+                      if frame_budget_s is not None else None)
+            # determinism: without an explicit frame budget the exact rung
+            # is capped by its *node* budget, never by wall-clock — a
+            # deadline-truncated BnB returns a timing-dependent incumbent
+            time_limit = (frame_budget_s if frame_budget_s is not None
+                          else float("inf"))
+            solvers = dict(task["rra_solvers"] or {})
+            chaos_spec: FaultSpec | None = task["chaos"]
+            if chaos_spec is not None:
+                # a per-frame monkey: the injection schedule depends only on
+                # the frame index, never on cross-frame call ordering
+                monkey = ChaosMonkey(
+                    chaos_spec,
+                    seed=derive_seed(task["seed"], frame, "qos.chaos"),
+                    sleep=_no_sleep,
+                    budget=budget,
+                )
+                base: Dict[str, Callable[[RRAProblem], RRAResult]] = {
+                    "exact-bnb": lambda p: solve_rra_exact(
+                        p, max_nodes=max_nodes,
+                        time_limit=(min(time_limit, budget.remaining_time)
+                                    if budget is not None else time_limit)),
+                    "lp-round": solve_rra_relaxed,
+                    "greedy": solve_rra_greedy,
+                }
+                base.update(solvers)
+                solvers = {name: monkey.wrap(fn, name)
+                           for name, fn in base.items()}
+            rres = solve_rra_resilient(
+                problem,
+                budget=budget,
+                breaker=None,  # no shared breaker: frames must be independent
+                max_nodes=max_nodes,
+                time_limit=time_limit,
+                solvers=solvers or None,
+                rng=np.random.default_rng(
+                    derive_seed(task["seed"], frame, "qos.frame")),
+            )
+            result = rres.result
+            rung = rres.rung
+            degraded = rres.degraded
+            rung_times = dict(rres.rung_times)
+        elif strategy == "exact":
+            # node-budget cap only (see above): wall-clock truncation would
+            # make the frame's answer depend on machine load
+            result = solve_rra_exact(problem, max_nodes=max_nodes,
+                                     time_limit=float("inf"))
+        else:
+            result = _SOLVERS[strategy](problem)
+    except (InfeasibleError, LadderExhaustedError):
+        return {"frame": frame, "dropped": True,
+                "solver_time": time.perf_counter() - start}
+    solver_time = time.perf_counter() - start
+    if not rung_times:
+        rung_times = {rung: solver_time}
+    return {
+        "frame": frame,
+        "dropped": False,
+        "choice": result.choice,
+        "rung": rung,
+        "degraded": degraded,
+        "rung_times": rung_times,
+        "solver_time": solver_time,
+    }
+
+
+def _no_sleep(_s: float) -> None:
+    """Chaos latency stub for parallel frames (wall-clock injection would
+    break cross-backend timing comparability; budget burn still applies)."""
 
 
 @dataclass(frozen=True)
@@ -110,6 +202,43 @@ class ScheduleReport:
                 acc.setdefault(rung, []).append(t)
         return {rung: math.fsum(ts) for rung, ts in acc.items()}
 
+    def canonical(self) -> dict:
+        """Timing-free, JSON-ready projection of the report.
+
+        This is the object the determinism contract covers: every field
+        is a pure function of (configuration, seed), so serial, thread,
+        and process runs of the same schedule compare bit-identically —
+        wall-clock fields (``solver_time``, ``rung_times``) are excluded
+        because they can never be equal across runs.  Golden-report
+        tests serialize exactly this dict.
+        """
+        return {
+            "frames": [
+                {
+                    "frame": f.frame,
+                    "total_rate": f.total_rate,
+                    "qos_ok": bool(f.qos_ok),
+                    "per_class_satisfaction": {
+                        svc.value: v
+                        for svc, v in sorted(f.per_class_satisfaction.items(),
+                                             key=lambda kv: kv[0].value)
+                    },
+                    "rung": f.rung,
+                    "degraded": bool(f.degraded),
+                }
+                for f in self.frames
+            ],
+            "mean_rate": self.mean_rate,
+            "qos_success_rate": self.qos_success_rate,
+            "degraded_frame_rate": self.degraded_frame_rate,
+            "rung_counts": dict(sorted(self.rung_counts().items())),
+            "class_satisfaction": {
+                svc.value: v
+                for svc, v in sorted(self.class_satisfaction().items(),
+                                     key=lambda kv: kv[0].value)
+            },
+        }
+
 
 class Scheduler:
     """An OFDMA cell scheduler with pluggable RRA strategy."""
@@ -128,13 +257,16 @@ class Scheduler:
         breaker: CircuitBreaker | None = None,
         frame_budget_s: float | None = None,
         rra_solvers: Dict[str, Callable[[RRAProblem], RRAResult]] | None = None,
+        max_nodes: int = 4000,
     ):
         """``resilient=True`` routes every frame through the
         :func:`~repro.qos.rra.solve_rra_resilient` fallback ladder instead
         of a single fixed strategy; the shared ``breaker`` then trips the
         hot path straight to the greedy rung after repeated upstream
         failures.  ``frame_budget_s`` caps each frame's solve wall-clock;
-        ``rra_solvers`` overrides individual rungs (the chaos-test hook).
+        ``rra_solvers`` overrides individual rungs (the chaos-test hook);
+        ``max_nodes`` caps the exact rung's branch-and-bound (the
+        deterministic cost knob the parallel path relies on).
         """
         if strategy not in _SOLVERS:
             raise ConfigurationError(f"unknown strategy {strategy!r}")
@@ -143,6 +275,8 @@ class Scheduler:
         self.breaker = breaker if breaker is not None else (CircuitBreaker() if resilient else None)
         self.frame_budget_s = frame_budget_s
         self.rra_solvers = rra_solvers
+        self.max_nodes = int(max_nodes)
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.channel = ChannelModel(channel or ChannelConfig(), rng=self.rng)
         self.traffic = traffic or TrafficGenerator(rng=self.rng)
@@ -182,7 +316,28 @@ class Scheduler:
             noise_mw=self.channel.noise_linear_mw,
         )
 
-    def run(self, n_frames: int = 10) -> ScheduleReport:
+    def run(self, n_frames: int = 10, executor: Executor | None = None,
+            chunk_size: int | None = None,
+            chaos: FaultSpec | None = None) -> ScheduleReport:
+        """Run ``n_frames`` scheduling frames and merge the per-frame stats.
+
+        With an ``executor`` the frames fan out through
+        :func:`repro.parallel.map_solve` and the per-frame stats are
+        merged back into one :class:`ScheduleReport` in frame order.
+        The parallel path draws all channel realizations up front from
+        the scheduler's RNG and derives any per-frame randomness from
+        ``(seed, frame)``, so its :meth:`ScheduleReport.canonical`
+        projection is bit-identical across serial/thread/process
+        backends — at the price of not sharing the circuit breaker
+        between in-flight frames.  ``chaos`` (parallel path, resilient
+        mode only) injects a deterministic per-frame
+        :class:`~repro.resilience.ChaosMonkey` around every rung.
+        """
+        if executor is not None:
+            return self._run_parallel(n_frames, executor, chunk_size, chaos)
+        if chaos is not None:
+            raise ConfigurationError(
+                "chaos injection requires the parallel path (pass executor=)")
         report = ScheduleReport()
         solver = _SOLVERS[self.strategy]
         tracer = get_tracer()
@@ -207,7 +362,7 @@ class Scheduler:
                             problem,
                             budget=budget,
                             breaker=self.breaker,
-                            max_nodes=4000,
+                            max_nodes=self.max_nodes,
                             time_limit=self.frame_budget_s if self.frame_budget_s is not None else 20.0,
                             solvers=self.rra_solvers,
                             rng=self.rng,
@@ -253,4 +408,65 @@ class Scheduler:
                     rung_times=rung_times,
                 )
             )
+        return report
+
+    def _run_parallel(self, n_frames: int, executor: Executor,
+                      chunk_size: int | None,
+                      chaos: FaultSpec | None) -> ScheduleReport:
+        if chaos is not None and not self.resilient:
+            raise ConfigurationError(
+                "chaos injection needs resilient=True (the ladder absorbs "
+                "the injected faults; a bare strategy would just crash)")
+        metrics = get_metrics()
+        tracer = get_tracer()
+        # channel/traffic randomness stays on the scheduler RNG, drawn
+        # serially up front — identical problems regardless of backend
+        problems = [self._frame_problem() for _ in range(n_frames)]
+        tasks = [
+            {
+                "frame": frame,
+                "problem": problem,
+                "strategy": self.strategy,
+                "resilient": self.resilient,
+                "frame_budget_s": self.frame_budget_s,
+                "rra_solvers": self.rra_solvers,
+                "chaos": chaos,
+                "seed": self.seed,
+                "max_nodes": self.max_nodes,
+            }
+            for frame, problem in enumerate(problems)
+        ]
+        with tracer.span("qos.schedule", backend=executor.backend,
+                         n_frames=n_frames, strategy=self.strategy,
+                         resilient=self.resilient):
+            outcomes = map_solve(_frame_task, tasks, executor=executor,
+                                 chunk_size=chunk_size, label="qos.frames")
+        report = ScheduleReport()
+        for problem, out in zip(problems, outcomes):
+            frame = out["frame"]
+            if out["dropped"]:
+                metrics.counter("scheduler.frames_dropped").inc()
+                report.frames.append(FrameStats(
+                    frame, 0.0, False,
+                    {svc: 0.0 for svc in set(u.service for u in self.users)},
+                    out["solver_time"], rung="none", degraded=True))
+                continue
+            ev = problem.evaluate_assignment(out["choice"])
+            metrics.counter("scheduler.frames", rung=out["rung"]).inc()
+            if out["degraded"]:
+                metrics.counter("scheduler.frames_degraded").inc()
+            per_class: Dict[ServiceClass, List[bool]] = {}
+            for u, rate in zip(self.users, ev["user_rates"]):
+                per_class.setdefault(u.service, []).append(rate >= u.min_rate_bps - 1e-6)
+            report.frames.append(FrameStats(
+                frame=frame,
+                total_rate=ev["total_rate"],
+                qos_ok=ev["qos_ok"] and ev["power_ok"],
+                per_class_satisfaction={svc: float(np.mean(v))
+                                        for svc, v in per_class.items()},
+                solver_time=out["solver_time"],
+                rung=out["rung"],
+                degraded=out["degraded"],
+                rung_times=out["rung_times"],
+            ))
         return report

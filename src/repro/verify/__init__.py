@@ -33,7 +33,9 @@ from repro.verify.verifier import (
     VerificationResult,
     compare_verifiers,
     false_negative_rate,
+    verification_fingerprint,
     verify,
+    verify_batch,
 )
 
 __all__ = [
@@ -65,5 +67,7 @@ __all__ = [
     "propagate_intervals",
     "relaxation_guided_attack",
     "smt_margin_bound",
+    "verification_fingerprint",
     "verify",
+    "verify_batch",
 ]

@@ -11,6 +11,7 @@ prints.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Literal, Optional, Sequence, Tuple
 
@@ -20,6 +21,7 @@ from repro.exceptions import NumericalInstabilityError, VerificationError
 from repro.convex.relaxation import RelaxationGrade
 from repro.nn.network import Sequential
 from repro.obs import MARGIN_BUCKETS, get_metrics, get_tracer
+from repro.parallel import Executor, RelaxationCache, fingerprint, map_solve
 from repro.resilience import (
     Budget,
     BudgetReport,
@@ -49,7 +51,8 @@ METHOD_GRADES: Dict[str, RelaxationGrade] = {
 VERIFICATION_FALLBACK: Tuple[str, ...] = ("exact", "lp", "crown", "ibp")
 
 __all__ = ["VerificationResult", "ResilientVerificationResult", "verify",
-           "verify_resilient", "compare_verifiers", "false_negative_rate",
+           "verify_batch", "verification_fingerprint", "verify_resilient",
+           "compare_verifiers", "false_negative_rate",
            "METHOD_GRADES", "VERIFICATION_FALLBACK"]
 
 
@@ -231,14 +234,89 @@ def verify_resilient(
     )
 
 
+def verification_fingerprint(net: Sequential, spec: RobustnessSpec,
+                             method: str, max_nodes: int = 20000) -> str:
+    """Content-addressed key of one verification query.
+
+    Hashes the exact bytes of every network parameter plus the spec and
+    method, so two queries share a key only when the relaxation they
+    induce is bit-identical — a single perturbed weight misses.
+    """
+    return fingerprint(net.params(), spec, method, int(max_nodes))
+
+
+def _verify_task(task) -> VerificationResult:
+    """Module-level worker for :func:`verify_batch` (process-picklable)."""
+    net, spec, method, max_nodes = task
+    return verify(net, spec, method=method, max_nodes=max_nodes)
+
+
+def verify_batch(
+    net: Sequential,
+    specs: Sequence[RobustnessSpec],
+    method: Method = "crown",
+    max_nodes: int = 20000,
+    executor: Optional[Executor] = None,
+    cache: Optional[RelaxationCache] = None,
+    budget=None,
+    chunk_size: Optional[int] = None,
+) -> List[VerificationResult]:
+    """Verify a whole spec list with one method, fanned out and memoized.
+
+    Results are returned in spec order and are identical to calling
+    :func:`verify` in a loop (wall times excepted) on every backend.
+    With a :class:`~repro.parallel.RelaxationCache`, queries whose
+    fingerprint was already solved — earlier in this batch or in a
+    previous one — are answered from the cache; only the unique misses
+    are dispatched to the executor.  The coordinator owns the cache, so
+    memoization works unchanged with the process backend.
+    """
+    specs = list(specs)
+    results: List[Optional[VerificationResult]] = [None] * len(specs)
+    if cache is None:
+        computed = map_solve(
+            _verify_task, [(net, s, method, max_nodes) for s in specs],
+            executor=executor, budget=budget, chunk_size=chunk_size,
+            label="verify.batch")
+        return list(computed)
+    # fingerprint once per unique query; dispatch only the misses
+    keys = [verification_fingerprint(net, s, method, max_nodes) for s in specs]
+    pending: "OrderedDict[str, List[int]]" = OrderedDict()
+    for i, key in enumerate(keys):
+        hit = cache.get(key)
+        if hit is not None:
+            results[i] = hit
+        else:
+            pending.setdefault(key, []).append(i)
+    tasks = [(net, specs[idxs[0]], method, max_nodes) for idxs in pending.values()]
+    computed = map_solve(_verify_task, tasks, executor=executor,
+                         budget=budget, chunk_size=chunk_size,
+                         label="verify.batch")
+    for (key, idxs), res in zip(pending.items(), computed):
+        cache.put(key, res)
+        results[idxs[0]] = res
+        for i in idxs[1:]:
+            # in-batch duplicates are served (and counted) as cache hits
+            results[i] = cache.get(key)
+    return results  # type: ignore[return-value]
+
+
 def compare_verifiers(net: Sequential, specs: List[RobustnessSpec],
                       methods: tuple = ("ibp", "crown-ibp", "crown", "lp", "exact"),
-                      max_nodes: int = 20000) -> Dict[str, List[VerificationResult]]:
-    """Run every method on every spec.  Returns method -> results."""
-    out: Dict[str, List[VerificationResult]] = {m: [] for m in methods}
-    for spec in specs:
-        for m in methods:
-            out[m].append(verify(net, spec, method=m, max_nodes=max_nodes))
+                      max_nodes: int = 20000,
+                      executor: Optional[Executor] = None,
+                      cache: Optional[RelaxationCache] = None) -> Dict[str, List[VerificationResult]]:
+    """Run every method on every spec.  Returns method -> results.
+
+    With an ``executor`` the per-spec queries of each method fan out
+    through :func:`verify_batch` (and memoize through ``cache``); the
+    returned verdicts and margins are identical to the serial loop.
+    """
+    out: Dict[str, List[VerificationResult]] = {
+        m: verify_batch(net, specs, method=m, max_nodes=max_nodes,
+                        executor=executor, cache=cache)
+        for m in methods
+    }
     # bound-gap quality metric: exact margin minus each relaxed margin
     # (>= 0 when the relaxation is sound; large = loose relaxation)
     if "exact" in out:

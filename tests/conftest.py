@@ -2,8 +2,55 @@
 
 from __future__ import annotations
 
+import signal
+import threading
+from pathlib import Path
+
 import numpy as np
 import pytest
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/goldens/*.json from the current run instead of "
+             "comparing against them (then inspect the diff and commit)")
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return bool(request.config.getoption("--update-goldens"))
+
+
+@pytest.fixture(autouse=True)
+def _pool_test_timeout(request):
+    """SIGALRM watchdog for ``@pytest.mark.parallel`` tests.
+
+    Worker-pool tests are the one place tier-1 could genuinely *hang*
+    (a deadlocked pool joins forever), and the suite must not depend on
+    ``pytest-timeout``/``-n`` being installed.  Override the 120 s
+    default with ``@pytest.mark.parallel(timeout=N)``.
+    """
+    marker = request.node.get_closest_marker("parallel")
+    if (marker is None or not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+    seconds = int(marker.kwargs.get("timeout", 120))
+
+    def _on_timeout(signum, frame):
+        pytest.fail(f"parallel test exceeded its {seconds}s watchdog "
+                    "(worker pool hang?)", pytrace=False)
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

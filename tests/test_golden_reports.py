@@ -1,0 +1,103 @@
+"""Golden-report tests: checked-in JSON snapshots of the stack's reports.
+
+Each test runs a small fixed-seed workload, projects its report to a
+JSON-ready dict, scrubs the wall-clock fields (every key ending in
+``_s`` is zeroed — timing is explicitly outside the determinism
+contract), and compares against the checked-in golden under
+``tests/goldens/``.
+
+When a change intentionally alters a report, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_reports.py --update-goldens
+
+then inspect ``git diff tests/goldens/`` — every changed line should be
+explainable by the change you made — and commit the new goldens with it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.stack import run_rcr_stack
+from repro.obs import Telemetry
+from repro.obs.summarize import main as obs_main
+from repro.parallel import SerialExecutor
+from repro.qos.scheduler import Scheduler
+from repro.resilience import FaultSpec
+
+from .conftest import GOLDEN_DIR
+
+pytestmark = pytest.mark.parallel
+
+
+def _scrub(obj):
+    """Zero every wall-clock field (keys ending ``_s``), recursively.
+
+    Timing can never be bit-identical across runs, so goldens cover the
+    *shape and semantics* of a report and pin its timing keys to 0.0.
+    """
+    if isinstance(obj, dict):
+        return {k: (0.0 if k.endswith("_s") else _scrub(v))
+                for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_scrub(v) for v in obj]
+    return obj
+
+
+def _check_golden(name: str, payload: dict, update: bool) -> None:
+    path = GOLDEN_DIR / name
+    rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if update:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(rendered)
+        return
+    if not path.exists():
+        pytest.fail(f"golden {path} missing — generate it with "
+                    "`pytest tests/test_golden_reports.py --update-goldens` "
+                    "and commit the file")
+    assert json.loads(rendered) == json.loads(path.read_text()), (
+        f"report diverged from golden {name}; if the change is intentional "
+        "rerun with --update-goldens and review the diff")
+
+
+def test_stack_report_summary_golden(update_goldens):
+    report = run_rcr_stack(swarm_size=3, generations=2, tuning_train_steps=3,
+                           robust_epochs=4, seed=11)
+    _check_golden("stack_report_summary.json", _scrub(report.summary()),
+                  update_goldens)
+
+
+def test_schedule_report_golden(update_goldens):
+    with SerialExecutor() as ex:
+        report = Scheduler(n_users=2, strategy="relaxed", seed=3,
+                           resilient=True, max_nodes=60,
+                           rate_floor_scale=0.3).run(
+            3, executor=ex, chaos=FaultSpec(exception_rate=0.6, nan_rate=0.4))
+    # canonical() is already timing-free; scrubbing is a no-op kept for
+    # symmetry so a future timing field can't silently enter the golden
+    _check_golden("schedule_report.json", _scrub(report.canonical()),
+                  update_goldens)
+
+
+def test_obs_summarize_golden(update_goldens, tmp_path):
+    """``repro.obs summarize --json`` over a fixed-seed instrumented run.
+
+    Span *counts*, event counts, rung usage, and chaos injections are
+    pure functions of the seed; only the duration statistics vary, and
+    the scrub removes them.
+    """
+    telemetry = Telemetry.recording()
+    with telemetry.install():
+        with SerialExecutor() as ex:
+            Scheduler(n_users=2, strategy="relaxed", seed=3, resilient=True,
+                      max_nodes=60, rate_floor_scale=0.3).run(
+                3, executor=ex,
+                chaos=FaultSpec(exception_rate=0.6, nan_rate=0.4))
+    trace = tmp_path / "trace.jsonl"
+    out = tmp_path / "summary.json"
+    assert telemetry.export(trace) > 0
+    assert obs_main(["summarize", str(trace), "--json", str(out)]) == 0
+    _check_golden("obs_summarize.json", _scrub(json.loads(out.read_text())),
+                  update_goldens)

@@ -1,0 +1,211 @@
+"""Correctness suite for the relaxation cache and its fingerprinting.
+
+Covers the three cache properties the tentpole relies on:
+
+* **collision resistance** — the content-addressed fingerprint separates
+  inputs that differ by one ULP, by dtype, by shape, or only by Python
+  type, and nested-container framing cannot be confused by flattening;
+* **LRU semantics** — bounded size, eviction order, and hit-refresh;
+* **transparency** — cached verification answers are the same objects
+  the solver would have produced, and hits/misses/evictions are visible
+  both on the instance and through ``parallel.cache.*`` metrics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import ConfigurationError
+from repro.obs import MetricsRegistry, use_metrics
+from repro.parallel import RelaxationCache, fingerprint
+from repro.verify import (
+    classification_spec,
+    verification_fingerprint,
+    verify_batch,
+)
+
+
+# ---------------------------------------------------------------------------
+# fingerprint
+# ---------------------------------------------------------------------------
+
+class TestFingerprint:
+    def test_deterministic_across_calls(self):
+        a = np.arange(12.0).reshape(3, 4)
+        assert fingerprint(a, "crown", 3) == fingerprint(a.copy(), "crown", 3)
+
+    def test_one_ulp_perturbation_misses(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = a.copy()
+        b[1] = np.nextafter(b[1], np.inf)
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_dtype_and_shape_framing(self):
+        a64 = np.array([1.0, 2.0], dtype=np.float64)
+        a32 = np.array([1.0, 2.0], dtype=np.float32)
+        assert fingerprint(a64) != fingerprint(a32)
+        flat = np.arange(6.0)
+        assert fingerprint(flat) != fingerprint(flat.reshape(2, 3))
+        assert fingerprint(flat.reshape(2, 3)) != fingerprint(flat.reshape(3, 2))
+
+    def test_type_tags_separate_lookalikes(self):
+        assert fingerprint(1) != fingerprint(1.0)
+        assert fingerprint(1) != fingerprint("1")
+        assert fingerprint(1) != fingerprint(True)
+        assert fingerprint(None) != fingerprint(0)
+        assert fingerprint(b"ab") != fingerprint("ab")
+
+    def test_container_framing_resists_flattening(self):
+        assert fingerprint([1, 2], [3]) != fingerprint([1], [2, 3])
+        assert fingerprint([1, 2, 3]) != fingerprint(1, 2, 3)
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+
+    def test_dataclass_fields_participate(self):
+        spec_a = classification_spec(np.zeros(2), eps=0.1, true_label=0,
+                                     other_label=1, n_classes=2)
+        spec_b = classification_spec(np.zeros(2), eps=0.2, true_label=0,
+                                     other_label=1, n_classes=2)
+        assert fingerprint(spec_a) == fingerprint(dataclasses.replace(spec_a))
+        assert fingerprint(spec_a) != fingerprint(spec_b)
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot fingerprint"):
+            fingerprint(object())
+
+    @given(arr=hnp.arrays(dtype=np.float64, shape=hnp.array_shapes(max_dims=2),
+                          elements=st.floats(-1e6, 1e6)))
+    @settings(max_examples=30, deadline=None)
+    def test_self_consistent_on_arbitrary_arrays(self, arr):
+        assert fingerprint(arr) == fingerprint(np.array(arr))
+
+
+# ---------------------------------------------------------------------------
+# LRU semantics
+# ---------------------------------------------------------------------------
+
+class TestLRU:
+    def test_eviction_discards_least_recently_used(self):
+        cache = RelaxationCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.keys() == ("b", "c")
+        assert cache.get("a") is None
+        assert cache.evictions == 1
+
+    def test_get_refreshes_lru_position(self):
+        cache = RelaxationCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # 'a' is now most recent
+        cache.put("c", 3)           # so 'b' is the one evicted
+        assert cache.keys() == ("a", "c")
+        assert "b" not in cache
+
+    def test_put_refreshes_existing_key(self):
+        cache = RelaxationCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)          # refresh, not insert
+        cache.put("c", 3)
+        assert cache.keys() == ("a", "c")
+        assert cache.get("a") == 10
+
+    def test_get_or_compute_computes_once(self):
+        cache = RelaxationCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_compute("k", compute) == "value"
+        assert cache.get_or_compute("k", compute) == "value"
+        assert len(calls) == 1
+        assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RelaxationCache(max_entries=0)
+
+    def test_clear_empties_but_keeps_counters(self):
+        cache = RelaxationCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+
+# ---------------------------------------------------------------------------
+# metrics visibility + end-to-end transparency
+# ---------------------------------------------------------------------------
+
+class TestCacheObservability:
+    def test_counters_reach_metrics_registry(self):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            cache = RelaxationCache(max_entries=1, layer="verify")
+            cache.get("missing")
+            cache.put("a", 1)
+            cache.get("a")
+            cache.put("b", 2)  # evicts 'a'
+        assert registry.counter_value("parallel.cache.misses", layer="verify") == 1.0
+        assert registry.counter_value("parallel.cache.hits", layer="verify") == 1.0
+        assert registry.counter_value("parallel.cache.evictions", layer="verify") == 1.0
+
+    def test_hit_rate_and_stats(self):
+        cache = RelaxationCache()
+        assert cache.hit_rate == 0.0
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("nope")
+        stats = cache.stats()
+        assert stats["hits"] == 2 and stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+        assert stats["entries"] == 1
+
+    def test_cached_verification_identical_to_uncached(self, small_relu_net):
+        rng = np.random.default_rng(0)
+        specs = [classification_spec(rng.standard_normal(2), eps=0.03,
+                                     true_label=0, other_label=1, n_classes=2)
+                 for _ in range(3)]
+        uncached = verify_batch(small_relu_net, specs, method="crown")
+        cache = RelaxationCache()
+        first = verify_batch(small_relu_net, specs, method="crown", cache=cache)
+        again = verify_batch(small_relu_net, specs, method="crown", cache=cache)
+        for u, f, a in zip(uncached, first, again):
+            assert (u.verified, u.margin_lower_bound, u.grade) == \
+                   (f.verified, f.margin_lower_bound, f.grade)
+            assert a is f  # second batch is served straight from the cache
+        assert cache.stats()["misses"] == 3
+        assert cache.stats()["hits"] == 3
+
+    def test_in_batch_duplicates_count_as_hits(self, small_relu_net):
+        spec = classification_spec(np.zeros(2), eps=0.03, true_label=0,
+                                   other_label=1, n_classes=2)
+        cache = RelaxationCache()
+        results = verify_batch(small_relu_net, [spec, spec, spec],
+                               method="ibp", cache=cache)
+        assert results[0] is results[1] is results[2]
+        assert cache.stats()["misses"] == 3  # three lookups before dispatch
+        assert cache.hits == 2                # duplicates served from cache
+
+    def test_fingerprint_distinguishes_method_and_budget(self, small_relu_net):
+        spec = classification_spec(np.zeros(2), eps=0.03, true_label=0,
+                                   other_label=1, n_classes=2)
+        keys = {
+            verification_fingerprint(small_relu_net, spec, "ibp"),
+            verification_fingerprint(small_relu_net, spec, "crown"),
+            verification_fingerprint(small_relu_net, spec, "exact", max_nodes=10),
+            verification_fingerprint(small_relu_net, spec, "exact", max_nodes=20),
+        }
+        assert len(keys) == 4
