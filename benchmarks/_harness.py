@@ -62,3 +62,35 @@ def write_bench_json(name: str, payload: Any, extra: dict | None = None) -> Path
         json.dump(doc, fh, indent=2, sort_keys=False)
         fh.write("\n")
     return path
+
+
+def maybe_write_bench_json(request, name: str, payload: Any,
+                           extra: dict | None = None) -> Path | None:
+    """Write ``BENCH_<name>.json`` only when the run was invoked with
+    ``--commit-results`` (see ``benchmarks/conftest.py``).
+
+    Every bench funnels its persistence through this helper so the flag
+    behaves uniformly: a plain ``pytest benchmarks/...`` run prints
+    tables and leaves the tree clean, while ``--commit-results`` refreshes
+    the committed snapshots.  Returns the path, or ``None`` when skipped.
+    """
+    if not request.config.getoption("--commit-results"):
+        return None
+    path = write_bench_json(name, payload, extra=extra)
+    print(f"\nwrote {path}")
+    return path
+
+
+def best_of(fn: Callable[[], Any], repeats: int = 5) -> Tuple[Any, float]:
+    """Run ``fn`` ``repeats`` times and return ``(last_result, best_wall_s)``.
+
+    Best-of-k is the standard noise filter for micro-benchmarks: the
+    minimum over repeats estimates the cost with the least scheduler and
+    cache interference.
+    """
+    best = float("inf")
+    value = None
+    for _ in range(max(1, repeats)):
+        value, elapsed = timed(fn)
+        best = min(best, elapsed)
+    return value, best

@@ -16,7 +16,7 @@ Claims exercised:
 import numpy as np
 import pytest
 
-from _harness import write_bench_json
+from _harness import maybe_write_bench_json
 from conftest import banner
 from repro.exceptions import FaultInjectedError
 from repro.qos.admission import AdmissionProblem, solve_admission_resilient
@@ -61,7 +61,7 @@ def _admission_problem(n=8, seed=0):
                             resource_demand=rng.uniform(0.05, 0.4, n))
 
 
-def test_fallback_ladder_latency(benchmark):
+def test_fallback_ladder_latency(benchmark, request):
     net, spec = _net_and_spec()
 
     def run():
@@ -114,7 +114,7 @@ def test_fallback_ladder_latency(benchmark):
           f"utility={healthy.result.utility:7.2f}  t={t_healthy * 1e3:7.2f} ms")
     print(f"admission degraded: rung={degraded.rung:<9s} "
           f"utility={degraded.result.utility:7.2f}  t={t_degraded * 1e3:7.2f} ms")
-    write_bench_json("fallback_ladder", rows, extra={
+    maybe_write_bench_json(request, "fallback_ladder", rows, extra={
         "admission": {
             "healthy": {"rung": healthy.rung,
                         "utility": healthy.result.utility,

@@ -1,0 +1,171 @@
+"""KERN — vectorized kernel layer vs the reference Python loops.
+
+Measures the three hot paths the :mod:`repro.kernels` layer rewired:
+
+* **sdp_gram_projection** — constraint-Gram assembly plus affine-subspace
+  projection inside the SDP ADMM solver (``O(m^2)`` ``frobenius_inner``
+  loop vs one stacked ``flat @ flat.T`` / ``einsum`` contraction);
+* **verify_batch_crown_ibp** — a stack of robustness specs bounded by the
+  batched CROWN-IBP kernel vs the per-spec reference walk;
+* **pso_swarm_update** — the whole-swarm velocity/reflection update vs
+  the per-particle loops (bit-identical by contract, so the speedup is
+  pure vectorization).
+
+Each family runs best-of-``_REPEATS`` on both backends and asserts the
+committed acceptance claim: **>= 3x on at least two families**.  Pass
+``--commit-results`` to refresh the tracked snapshot::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py --commit-results
+
+``tools/bench_gate.py`` replays :func:`measure_kernels` against the
+committed ``benchmarks/results/BENCH_kernels.json`` and fails on a > 25%
+speedup regression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _harness import best_of, maybe_write_bench_json
+from conftest import banner
+from repro.convex.sdp import AffineSubspaceProjector
+from repro.kernels import (
+    reflect_box,
+    reflect_box_reference,
+    use_backend,
+    velocity_update,
+    velocity_update_reference,
+)
+from repro.kernels.propagation import crown_ibp_margin_batch
+from repro.nn.layers import Dense, ReLU
+from repro.nn.network import Sequential
+from repro.verify.linear_bounds import crown_margin_lower_bound
+
+pytestmark = pytest.mark.perf
+
+_REPEATS = 5
+_SPEEDUP_TARGET = 3.0
+_FAMILIES_REQUIRED = 2
+
+# workload shapes: large enough that the Python-loop overhead dominates
+# the reference timings, small enough for a sub-minute bench run
+_GRAM_M, _GRAM_N = 96, 24          # constraints / matrix side
+_VERIFY_BATCH = 48                 # robustness specs per batch
+_SWARM_N, _SWARM_D, _SWARM_STEPS = 192, 24, 30
+
+
+def _bench_sdp_gram_projection() -> dict:
+    """Projector construction (Gram assembly) + one affine projection."""
+    rng = np.random.default_rng(7)
+    mats = []
+    for _ in range(_GRAM_M):
+        a = rng.standard_normal((_GRAM_N, _GRAM_N))
+        mats.append(0.5 * (a + a.T))
+    rhs = rng.standard_normal(_GRAM_M)
+    x = rng.standard_normal((_GRAM_N, _GRAM_N))
+    x = 0.5 * (x + x.T)
+
+    def run(backend):
+        proj = AffineSubspaceProjector(mats, rhs, backend=backend)
+        return proj.project(x)
+
+    ref, t_ref = best_of(lambda: run("reference"), _REPEATS)
+    fast, t_fast = best_of(lambda: run("vectorized"), _REPEATS)
+    assert np.allclose(ref, fast, atol=1e-8)
+    return {"family": "sdp_gram_projection", "m": _GRAM_M, "n": _GRAM_N,
+            "reference_s": t_ref, "vectorized_s": t_fast,
+            "speedup": t_ref / t_fast}
+
+
+def _bench_verify_batch() -> dict:
+    """Batched CROWN-IBP margins vs the per-spec reference verifier."""
+    rng = np.random.default_rng(11)
+    net = Sequential([
+        Dense(8, 32, rng=rng), ReLU(), Dense(32, 32, rng=rng), ReLU(),
+        Dense(32, 4, rng=rng),
+    ])
+    x0 = rng.standard_normal((_VERIFY_BATCH, 8))
+    eps = rng.random(_VERIFY_BATCH) * 0.1
+    c = rng.standard_normal((_VERIFY_BATCH, 4))
+    d = rng.standard_normal(_VERIFY_BATCH)
+
+    def run_reference():
+        with use_backend("reference"):
+            return np.array([
+                crown_margin_lower_bound(net, x0[i], float(eps[i]), c[i],
+                                         float(d[i]), method="crown-ibp")
+                for i in range(_VERIFY_BATCH)
+            ])
+
+    ref, t_ref = best_of(run_reference, _REPEATS)
+    fast, t_fast = best_of(lambda: crown_ibp_margin_batch(net, x0, eps, c, d),
+                           _REPEATS)
+    assert np.allclose(ref, fast, atol=1e-8)
+    return {"family": "verify_batch_crown_ibp", "batch": _VERIFY_BATCH,
+            "reference_s": t_ref, "vectorized_s": t_fast,
+            "speedup": t_ref / t_fast}
+
+
+def _bench_swarm_update() -> dict:
+    """Whole-swarm PSO velocity + reflection updates over many steps."""
+    rng = np.random.default_rng(13)
+    shape = (_SWARM_N, _SWARM_D)
+    x0 = rng.standard_normal(shape)
+    v0 = rng.standard_normal(shape) * 0.1
+    pbest = rng.standard_normal(shape)
+    social = rng.standard_normal(shape)
+    w = rng.random((_SWARM_N, 1))
+    betas = [(rng.random(shape), rng.random(shape))
+             for _ in range(_SWARM_STEPS)]
+    lo = np.full(_SWARM_D, -3.0)
+    hi = np.full(_SWARM_D, 3.0)
+
+    def run(vel_fn, refl_fn):
+        x, v = x0.copy(), v0.copy()
+        for b1, b2 in betas:
+            v = vel_fn(v, x, pbest, social, w, b1, b2, 1.49445, 1.49445)
+            x, v = refl_fn(x + v, v, lo, hi)
+        return x, v
+
+    ref, t_ref = best_of(
+        lambda: run(velocity_update_reference, reflect_box_reference), _REPEATS)
+    fast, t_fast = best_of(lambda: run(velocity_update, reflect_box), _REPEATS)
+    # elementwise kernels are bit-identical, not merely close
+    assert np.array_equal(ref[0], fast[0]) and np.array_equal(ref[1], fast[1])
+    return {"family": "pso_swarm_update", "swarm": _SWARM_N, "dim": _SWARM_D,
+            "steps": _SWARM_STEPS, "reference_s": t_ref,
+            "vectorized_s": t_fast, "speedup": t_ref / t_fast}
+
+
+def measure_kernels() -> list:
+    """Run every kernel family once; pure so ``tools/bench_gate.py`` can
+    replay the identical workload and compare against the committed
+    snapshot."""
+    return [
+        _bench_sdp_gram_projection(),
+        _bench_verify_batch(),
+        _bench_swarm_update(),
+    ]
+
+
+def test_kernel_speedups(request):
+    banner("KERN", "vectorized kernels vs reference Python loops")
+    rows = measure_kernels()
+
+    print(f"{'family':<24} {'reference_s':>12} {'vectorized_s':>13} {'speedup':>8}")
+    for r in rows:
+        print(f"{r['family']:<24} {r['reference_s']:>12.5f} "
+              f"{r['vectorized_s']:>13.5f} {r['speedup']:>7.1f}x")
+
+    fast_families = [r["family"] for r in rows
+                     if r["speedup"] >= _SPEEDUP_TARGET]
+    assert len(fast_families) >= _FAMILIES_REQUIRED, (
+        f"expected >={_SPEEDUP_TARGET}x on >={_FAMILIES_REQUIRED} families, "
+        f"got {[(r['family'], round(r['speedup'], 2)) for r in rows]}")
+
+    maybe_write_bench_json(request, "kernels", rows, extra={
+        "repeats": _REPEATS,
+        "speedup_target": _SPEEDUP_TARGET,
+        "families_at_target": fast_families,
+    })

@@ -19,7 +19,7 @@ from typing import List
 import numpy as np
 import pytest
 
-from _harness import write_bench_json
+from _harness import maybe_write_bench_json
 from conftest import banner
 from repro.convex.admm import admm_consensus, prox_box, prox_l2_squared
 from repro.obs import NOOP_TRACER, get_tracer
@@ -59,7 +59,7 @@ def _median_time(fn, rounds=_ROUNDS) -> float:
     return statistics.median(times)
 
 
-def test_obs_noop_overhead(benchmark):
+def test_obs_noop_overhead(benchmark, request):
     target = np.linspace(-1.0, 1.0, _N)
     prox_f = prox_l2_squared(target)
     prox_g = prox_box(-0.5, 0.5)
@@ -86,7 +86,7 @@ def test_obs_noop_overhead(benchmark):
     print(f"bare ADMM         : {t_bare * 1e3:8.3f} ms  ({_MAX_ITER} iters, n={_N})")
     print(f"instrumented ADMM : {t_inst * 1e3:8.3f} ms")
     print(f"overhead ratio    : {ratio:8.4f}  (must be < 1.05)")
-    write_bench_json("obs_overhead", {
+    maybe_write_bench_json(request, "obs_overhead", {
         "bare_ms": t_bare * 1e3,
         "instrumented_ms": t_inst * 1e3,
         "ratio": ratio,

@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from _harness import timed, write_bench_json
+from _harness import maybe_write_bench_json, timed
 from conftest import banner
 from repro.nn.layers import Dense, ReLU
 from repro.nn.network import Sequential
@@ -100,12 +100,10 @@ def test_parallel_scaling(request):
     expected_hit_rate = (_REPEATS - 1) / (2 * _REPEATS - 1)
     assert rows[-1]["hit_rate"] == pytest.approx(expected_hit_rate)
 
-    if request.config.getoption("--commit-results"):
-        path = write_bench_json("parallel_scaling", rows, extra={
-            "method": _METHOD,
-            "unique_specs": _UNIQUE_SPECS,
-            "repeats": _REPEATS,
-            "batch_size": len(specs),
-            "speedup_at_4_workers": speedup_at_4,
-        })
-        print(f"\nwrote {path}")
+    maybe_write_bench_json(request, "parallel_scaling", rows, extra={
+        "method": _METHOD,
+        "unique_specs": _UNIQUE_SPECS,
+        "repeats": _REPEATS,
+        "batch_size": len(specs),
+        "speedup_at_4_workers": speedup_at_4,
+    })

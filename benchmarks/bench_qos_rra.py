@@ -8,7 +8,7 @@ the paper's tractability argument rests on.
 
 import numpy as np
 
-from _harness import write_bench_json
+from _harness import maybe_write_bench_json
 from conftest import banner
 from repro.qos import (
     ChannelConfig,
@@ -44,7 +44,7 @@ def _problem(n_users, n_blocks, seed):
                       noise_mw=ch.noise_linear_mw)
 
 
-def test_qos_rra_solver_comparison(benchmark):
+def test_qos_rra_solver_comparison(benchmark, request):
     def run():
         rows = []
         for sc in SCENARIOS:
@@ -75,7 +75,7 @@ def test_qos_rra_solver_comparison(benchmark):
               f"{100 * r['pso_ratio']:5.1f} {r['pso_time']:6.2f} | "
               f"{100 * r['greedy_ratio']:7.1f} {r['greedy_time']:6.2f}")
 
-    write_bench_json("qos_rra", rows, extra={"scenarios": SCENARIOS})
+    maybe_write_bench_json(request, "qos_rra", rows, extra={"scenarios": SCENARIOS})
     for r in rows:
         # a converged exact solve dominates every *feasible* heuristic
         # (an infeasible rounding fallback may trade QoS floors for rate)

@@ -15,6 +15,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.kernels.workspace import ConsensusWorkspace
 from repro.obs import current_span, profiled, record_solver_outcome
 from repro.resilience.budget import Budget
 
@@ -71,28 +72,36 @@ def admm_consensus(
     """
     if rho <= 0.0:
         raise ConfigurationError("ADMM penalty rho must be positive")
-    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
-    z = x.copy()
-    u = np.zeros(n)
+    ws = ConsensusWorkspace(n=n)
+    if x0 is not None:
+        ws.x[...] = np.asarray(x0, dtype=np.float64)
+        ws.z[...] = ws.x
     prim_hist: List[float] = []
     dual_hist: List[float] = []
     for it in range(1, max_iter + 1):
         if budget is not None:
             budget.spend(1, context="admm_consensus")
-        x = prox_f(z - u, 1.0 / rho)
-        z_old = z
-        z = prox_g(x + u, 1.0 / rho)
-        u = u + x - z
-        prim = float(np.linalg.norm(x - z))
-        dual = float(rho * np.linalg.norm(z - z_old))
+        # the prox argument is built in ws.arg; the result is copied into
+        # owned state immediately, because a prox is free to return its
+        # input buffer (aliasing ws.arg, which the next step overwrites)
+        np.subtract(ws.z, ws.u, out=ws.arg)
+        ws.x[...] = prox_f(ws.arg, 1.0 / rho)
+        ws.z_old[...] = ws.z
+        np.add(ws.x, ws.u, out=ws.arg)
+        ws.z[...] = prox_g(ws.arg, 1.0 / rho)
+        ws.u += ws.x
+        ws.u -= ws.z
+        prim = float(np.linalg.norm(ws.x - ws.z))
+        dual = float(rho * np.linalg.norm(ws.z - ws.z_old))
         prim_hist.append(prim)
         dual_hist.append(dual)
-        scale = max(1.0, float(np.linalg.norm(x)), float(np.linalg.norm(z)))
+        scale = max(1.0, float(np.linalg.norm(ws.x)), float(np.linalg.norm(ws.z)))
         if prim <= tol * scale and dual <= tol * scale:
             current_span().set(iterations=it, converged=True, residual=prim)
             record_solver_outcome("admm", it, True, residual=prim)
-            return ADMMResult(x=x, z=z, iterations=it, converged=True,
-                              primal_residuals=prim_hist, dual_residuals=dual_hist)
+            return ADMMResult(x=ws.x.copy(), z=ws.z.copy(), iterations=it,
+                              converged=True, primal_residuals=prim_hist,
+                              dual_residuals=dual_hist)
     current_span().set(iterations=max_iter, converged=False,
                        residual=prim_hist[-1])
     record_solver_outcome("admm", max_iter, False, residual=prim_hist[-1])
@@ -103,8 +112,9 @@ def admm_consensus(
             iterations=max_iter,
             residual=prim_hist[-1],
         )
-    return ADMMResult(x=x, z=z, iterations=max_iter, converged=False,
-                      primal_residuals=prim_hist, dual_residuals=dual_hist)
+    return ADMMResult(x=ws.x.copy(), z=ws.z.copy(), iterations=max_iter,
+                      converged=False, primal_residuals=prim_hist,
+                      dual_residuals=dual_hist)
 
 
 def prox_l1(weight: float = 1.0) -> ProxFn:

@@ -15,6 +15,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.exceptions import DimensionError, NonConvexError
+from repro.linalg.matrix_utils import frobenius_inner
 from repro.linalg.psd import is_psd, min_eigenvalue, symmetrize
 
 __all__ = [
@@ -208,12 +209,13 @@ class SDPProblem:
         return self.c.shape[0]
 
     def objective_value(self, x: np.ndarray) -> float:
-        return float(np.sum(self.c * symmetrize(x)))
+        return frobenius_inner(self.c, symmetrize(x))
 
     def constraint_residual(self, x: np.ndarray) -> float:
         if not self.constraint_mats:
             return 0.0
-        vals = np.array([np.sum(m * x) for m in self.constraint_mats])
+        x = np.asarray(x, dtype=np.float64)
+        vals = np.array([frobenius_inner(m, x) for m in self.constraint_mats])
         return float(np.max(np.abs(vals - self.constraint_rhs)))
 
 

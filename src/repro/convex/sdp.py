@@ -17,6 +17,13 @@ splitting:
 * (Z, t)-update: PSD projection of ``X + U`` and clipping of ``s + v``
   to the nonnegative orthant;
 * scaled dual ascent on both blocks.
+
+The constraint algebra runs on :mod:`repro.kernels.gram` — constraints
+held as one ``(m, n, n)`` stack, the Gram matrix and every operator
+application a single contraction — and the iteration loop works in a
+preallocated :class:`~repro.kernels.workspace.SDPWorkspace`, so a sweep
+performs no Python-level allocation beyond the unavoidable LAPACK calls.
+``backend="reference"`` restores the original per-constraint loops.
 """
 
 from __future__ import annotations
@@ -27,6 +34,16 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, ConvergenceError
 from repro.convex.problem import SDPProblem, Solution
+from repro.kernels.backend import resolve_backend
+from repro.kernels.gram import (
+    apply_adjoint,
+    apply_operator,
+    gram_matrix,
+    gram_matrix_reference,
+    stack_symmetric,
+)
+from repro.kernels.workspace import SDPWorkspace
+from repro.linalg.matrix_utils import frobenius_inner
 from repro.linalg.psd import project_psd, symmetrize
 from repro.obs import current_span, profiled, record_solver_outcome
 from repro.resilience.budget import Budget
@@ -39,17 +56,23 @@ class AffineSubspaceProjector:
 
     Precomputes the Gram matrix of the constraint operators so repeated
     projections inside ADMM cost a single small solve plus one matrix
-    combination.
+    combination.  The backend is resolved at construction time:
+    ``"vectorized"`` (default) assembles the Gram and applies the
+    operator/adjoint as stacked contractions; ``"reference"`` keeps the
+    original ``O(m^2)`` scalar loops.
     """
 
-    def __init__(self, mats: list[np.ndarray], rhs: np.ndarray):
+    def __init__(self, mats: list[np.ndarray], rhs: np.ndarray,
+                 backend: Optional[str] = None):
+        self.backend = resolve_backend(backend)
         self.mats = [symmetrize(m) for m in mats]
         self.rhs = np.asarray(rhs, dtype=np.float64).ravel()
+        self.stack = stack_symmetric(self.mats)
+        if self.backend == "reference":
+            gram = gram_matrix_reference(self.mats)
+        else:
+            gram = gram_matrix(self.stack)
         m = len(self.mats)
-        gram = np.zeros((m, m))
-        for i in range(m):
-            for j in range(i, m):
-                gram[i, j] = gram[j, i] = float(np.sum(self.mats[i] * self.mats[j]))
         # pseudo-inverse tolerates linearly dependent constraints
         self._gram_pinv = np.linalg.pinv(gram) if m else np.zeros((0, 0))
 
@@ -58,17 +81,23 @@ class AffineSubspaceProjector:
         if not self.mats:
             return symmetrize(x)
         x = symmetrize(x)
-        vals = np.array([np.sum(m * x) for m in self.mats])
-        lam = self._gram_pinv @ (vals - self.rhs)
-        out = x.copy()
-        for li, m in zip(lam, self.mats):
-            out -= li * m
-        return out
+        if self.backend == "reference":
+            vals = np.array([np.sum(m * x) for m in self.mats])
+            lam = self._gram_pinv @ (vals - self.rhs)
+            out = x.copy()
+            for li, m in zip(lam, self.mats):
+                out -= li * m
+            return out
+        lam = self._gram_pinv @ (apply_operator(self.stack, x) - self.rhs)
+        return x - apply_adjoint(lam, self.stack)
 
     def residual(self, x: np.ndarray) -> float:
         if not self.mats:
             return 0.0
-        vals = np.array([np.sum(m * x) for m in self.mats])
+        if self.backend == "reference":
+            vals = np.array([np.sum(m * x) for m in self.mats])
+        else:
+            vals = apply_operator(self.stack, np.asarray(x, dtype=np.float64))
         return float(np.max(np.abs(vals - self.rhs)))
 
 
@@ -76,7 +105,9 @@ class _SlackAffineProjector:
     """Projection of ``(X, s)`` onto ``{A(X) = b, B(X) + s = d}``.
 
     Equality rows contribute their Gram entries; inequality rows carry a
-    slack that adds an identity to their Gram block.
+    slack that adds an identity to their Gram block.  ``project_into``
+    is the allocation-free form used by the ADMM sweep — it writes into
+    the caller's :class:`~repro.kernels.workspace.SDPWorkspace` buffers.
     """
 
     def __init__(
@@ -85,7 +116,9 @@ class _SlackAffineProjector:
         eq_rhs: np.ndarray,
         ineq_mats: list[np.ndarray],
         ineq_rhs: np.ndarray,
+        backend: Optional[str] = None,
     ):
+        self.backend = resolve_backend(backend)
         self.eq_mats = [symmetrize(m) for m in eq_mats]
         self.ineq_mats = [symmetrize(m) for m in ineq_mats]
         self.all_mats = self.eq_mats + self.ineq_mats
@@ -95,10 +128,11 @@ class _SlackAffineProjector:
         self.n_eq = len(self.eq_mats)
         self.n_ineq = len(self.ineq_mats)
         k = self.n_eq + self.n_ineq
-        gram = np.zeros((k, k))
-        for i in range(k):
-            for j in range(i, k):
-                gram[i, j] = gram[j, i] = float(np.sum(self.all_mats[i] * self.all_mats[j]))
+        self.stack = stack_symmetric(self.all_mats)
+        if self.backend == "reference":
+            gram = gram_matrix_reference(self.all_mats)
+        else:
+            gram = gram_matrix(self.stack)
         # slacks add identity on the inequality block
         for j in range(self.n_eq, k):
             gram[j, j] += 1.0
@@ -109,14 +143,41 @@ class _SlackAffineProjector:
         if k == 0:
             return symmetrize(x), s
         x = symmetrize(x)
-        vals = np.array([np.sum(m * x) for m in self.all_mats])
-        vals[self.n_eq :] += s
+        if self.backend == "reference":
+            vals = np.array([np.sum(m * x) for m in self.all_mats])
+        else:
+            vals = apply_operator(self.stack, x)
+        vals[self.n_eq:] += s
         lam = self._gram_pinv @ (vals - self.rhs)
-        out = x.copy()
-        for li, m in zip(lam, self.all_mats):
-            out -= li * m
-        s_out = s - lam[self.n_eq :]
+        if self.backend == "reference":
+            out = x.copy()
+            for li, m in zip(lam, self.all_mats):
+                out -= li * m
+        else:
+            out = x - apply_adjoint(lam, self.stack)
+        s_out = s - lam[self.n_eq:]
         return out, s_out
+
+    def project_into(self, x_in: np.ndarray, s_in: np.ndarray,
+                     ws: SDPWorkspace) -> None:
+        """Project ``(x_in, s_in)`` writing the result into ``ws.x`` /
+        ``ws.s`` using only workspace scratch."""
+        np.add(x_in, x_in.T, out=ws.x)
+        ws.x *= 0.5
+        k = self.n_eq + self.n_ineq
+        if k == 0:
+            ws.s[...] = s_in
+            return
+        if self.backend == "reference":
+            ws.x[...], ws.s[...] = self.project(x_in, s_in)
+            return
+        apply_operator(self.stack, ws.x, out=ws.vals)
+        ws.vals[self.n_eq:] += s_in
+        ws.vals -= self.rhs
+        np.matmul(self._gram_pinv, ws.vals, out=ws.lam)
+        apply_adjoint(ws.lam, self.stack, out=ws.corr)
+        ws.x -= ws.corr
+        np.subtract(s_in, ws.lam[self.n_eq:], out=ws.s)
 
 
 @profiled("convex.sdp.solve")
@@ -132,6 +193,7 @@ def solve_sdp_general(
     raise_on_failure: bool = False,
     strict: bool = False,
     budget: Optional[Budget] = None,
+    backend: Optional[str] = None,
 ) -> Solution:
     """Solve ``min <C, X>`` s.t. ``<A_i,X> = b_i``, ``<B_j,X> <= d_j``,
     ``X >= 0`` by two-block ADMM with slack variables.
@@ -139,7 +201,8 @@ def solve_sdp_general(
     Non-convergence follows the ``convex/`` convention: lenient by
     default; ``strict=True`` (or the older ``raise_on_failure``) raises
     :class:`ConvergenceError`.  A cooperative ``budget`` is charged one
-    unit per ADMM sweep.
+    unit per ADMM sweep.  ``backend`` selects the constraint-algebra
+    kernels (``None`` resolves the process-wide switch).
     """
     if rho <= 0.0:
         raise ConfigurationError("ADMM penalty rho must be positive")
@@ -148,39 +211,51 @@ def solve_sdp_general(
     n = c.shape[0]
     ineq_mats = ineq_mats or []
     ineq_rhs = np.zeros(len(ineq_mats)) if ineq_rhs is None else np.asarray(ineq_rhs, dtype=np.float64).ravel()
-    projector = _SlackAffineProjector(eq_mats, np.asarray(eq_rhs, dtype=np.float64).ravel(), ineq_mats, ineq_rhs)
+    projector = _SlackAffineProjector(
+        eq_mats, np.asarray(eq_rhs, dtype=np.float64).ravel(), ineq_mats, ineq_rhs,
+        backend=backend,
+    )
     m_ineq = len(ineq_mats)
 
-    x = np.zeros((n, n))
-    z = np.zeros((n, n))
-    u = np.zeros((n, n))
-    s = np.zeros(m_ineq)
-    t = np.zeros(m_ineq)
-    v = np.zeros(m_ineq)
+    ws = SDPWorkspace(n=n, k=len(eq_mats) + m_ineq, m_ineq=m_ineq)
+    c_over_rho = c / rho
     scale = max(1.0, float(np.linalg.norm(c)))
     prim_res = np.inf
     for it in range(1, max_iter + 1):
         if budget is not None:
             budget.spend(1, context="solve_sdp_general")
-        x, s = projector.project(z - u - c / rho, t - v)
-        z_new = project_psd(x + u)
-        t_new = np.maximum(s + v, 0.0)
+        # (X, s)-update: project (z - u - c/rho, t - v) without allocating
+        np.subtract(ws.z, ws.u, out=ws.mat_in)
+        ws.mat_in -= c_over_rho
+        np.subtract(ws.t, ws.v, out=ws.vec_in)
+        projector.project_into(ws.mat_in, ws.vec_in, ws)
+        # (Z, t)-update: cone projections (eigh allocates internally)
+        np.add(ws.x, ws.u, out=ws.mat_tmp)
+        z_new = project_psd(ws.mat_tmp)
+        t_new = np.maximum(ws.s + ws.v, 0.0)
+        np.subtract(z_new, ws.z, out=ws.mat_tmp)
         dual_res = (
             rho
-            * (float(np.linalg.norm(z_new - z)) + float(np.linalg.norm(t_new - t)))
+            * (float(np.linalg.norm(ws.mat_tmp)) + float(np.linalg.norm(t_new - ws.t)))
             / scale
         )
-        z, t = z_new, t_new
-        u = u + x - z
-        v = v + s - t
+        ws.z[...] = z_new
+        ws.t[...] = t_new
+        # scaled dual ascent
+        ws.u += ws.x
+        ws.u -= ws.z
+        ws.v += ws.s
+        ws.v -= ws.t
+        np.subtract(ws.x, ws.z, out=ws.mat_tmp)
         prim_res = (
-            float(np.linalg.norm(x - z)) + float(np.linalg.norm(s - t))
-        ) / max(1.0, float(np.linalg.norm(x)))
+            float(np.linalg.norm(ws.mat_tmp)) + float(np.linalg.norm(ws.s - ws.t))
+        ) / max(1.0, float(np.linalg.norm(ws.x)))
         if prim_res <= tol and dual_res <= tol:
             current_span().set(iterations=it, converged=True, residual=prim_res)
             record_solver_outcome("sdp", it, True, residual=prim_res)
             return Solution(
-                x=z, objective=float(np.sum(c * z)), iterations=it, converged=True
+                x=ws.z.copy(), objective=frobenius_inner(c, ws.z),
+                iterations=it, converged=True,
             )
     current_span().set(iterations=max_iter, converged=False,
                        residual=float(prim_res))
@@ -188,8 +263,8 @@ def solve_sdp_general(
     if strict:
         raise ConvergenceError("SDP ADMM did not converge", iterations=max_iter, residual=prim_res)
     return Solution(
-        x=z,
-        objective=float(np.sum(c * z)),
+        x=ws.z.copy(),
+        objective=frobenius_inner(c, ws.z),
         iterations=max_iter,
         converged=False,
         status="max_iter",
@@ -204,6 +279,7 @@ def solve_sdp(
     raise_on_failure: bool = False,
     strict: bool = False,
     budget: Optional[Budget] = None,
+    backend: Optional[str] = None,
 ) -> Solution:
     """Solve a standard-form (equality-constrained) :class:`SDPProblem`."""
     return solve_sdp_general(
@@ -215,4 +291,5 @@ def solve_sdp(
         tol=tol,
         strict=strict or raise_on_failure,
         budget=budget,
+        backend=backend,
     )

@@ -1,0 +1,103 @@
+"""Profiling-guided vectorized kernels behind the solver stack's hot paths.
+
+Three hot loops dominated profiles of the repo: the ``O(m^2)``
+Python-loop Gram assembly and per-constraint projections inside the SDP
+ADMM solver, the per-spec/per-neuron bound propagation inside the
+verifier, and the per-particle update arithmetic inside the PSO
+optimizers.  This package rewrites each as whole-batch array
+contractions:
+
+* :mod:`repro.kernels.gram` — the SDP constraint operator, its adjoint,
+  and the Gram matrix as single ``einsum`` contractions over an
+  ``(m, n, n)`` constraint stack.
+* :mod:`repro.kernels.propagation` — batched IBP and matrix-form CROWN
+  bound propagation pushing a whole stack of robustness specs through a
+  network in one set of matrix products.
+* :mod:`repro.kernels.swarm` — whole-swarm PSO velocity/position/decode
+  /sampling updates, bit-identical to the per-particle forms.
+* :mod:`repro.kernels.workspace` — preallocated ADMM buffers so the
+  iteration loops are allocation-free.
+
+Every kernel keeps its reference implementation importable, and consumers
+select between them with the :mod:`repro.kernels.backend` switch
+(``backend="vectorized"`` is the default; ``backend="reference"``
+restores the original loops for equivalence testing and benchmarking).
+"""
+
+from repro.kernels.backend import (
+    BACKENDS,
+    get_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.kernels.gram import (
+    apply_adjoint,
+    apply_adjoint_reference,
+    apply_operator,
+    apply_operator_reference,
+    gram_matrix,
+    gram_matrix_reference,
+    stack_symmetric,
+)
+from repro.kernels.propagation import (
+    AffineStage,
+    crown_ibp_margin_batch,
+    crown_margin_batch,
+    crown_margin_fast,
+    crown_preactivation_fast,
+    extract_affine_stages,
+    ibp_margin_batch,
+    propagate_box_batch,
+    relu_relaxation_arrays,
+)
+from repro.kernels.swarm import (
+    build_decode_table,
+    decode_indices_batch,
+    decode_indices_reference,
+    reflect_box,
+    reflect_box_reference,
+    sample_distribution_swarm,
+    sample_distribution_swarm_reference,
+    velocity_update,
+    velocity_update_reference,
+)
+from repro.kernels.workspace import ConsensusWorkspace, SDPWorkspace
+from repro.linalg.psd import project_psd_batch, symmetrize_batch
+
+__all__ = [
+    "AffineStage",
+    "BACKENDS",
+    "ConsensusWorkspace",
+    "SDPWorkspace",
+    "apply_adjoint",
+    "apply_adjoint_reference",
+    "apply_operator",
+    "apply_operator_reference",
+    "build_decode_table",
+    "crown_ibp_margin_batch",
+    "crown_margin_batch",
+    "crown_margin_fast",
+    "crown_preactivation_fast",
+    "decode_indices_batch",
+    "decode_indices_reference",
+    "extract_affine_stages",
+    "get_backend",
+    "gram_matrix",
+    "project_psd_batch",
+    "gram_matrix_reference",
+    "ibp_margin_batch",
+    "propagate_box_batch",
+    "reflect_box",
+    "reflect_box_reference",
+    "relu_relaxation_arrays",
+    "resolve_backend",
+    "sample_distribution_swarm",
+    "sample_distribution_swarm_reference",
+    "set_backend",
+    "stack_symmetric",
+    "symmetrize_batch",
+    "use_backend",
+    "velocity_update",
+    "velocity_update_reference",
+]

@@ -1,0 +1,65 @@
+"""Process-wide backend switch for the vectorized kernel layer.
+
+Every kernel in :mod:`repro.kernels` exists in two implementations:
+
+* ``"vectorized"`` (the default) — whole-batch numpy array programs
+  (einsum Gram assembly, matrix-form CROWN, whole-swarm PSO updates);
+* ``"reference"`` — the original scalar-at-a-time loops, kept as the
+  executable specification the equivalence suite
+  (``tests/test_kernels_equivalence.py``) checks the fast path against.
+
+Callers that take a ``backend`` argument treat ``None`` as "use the
+process-wide default", so one :func:`set_backend`/:func:`use_backend`
+flips the whole solver stack — the switch the benchmarks and the
+equivalence tests drive.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["BACKENDS", "get_backend", "set_backend", "resolve_backend", "use_backend"]
+
+#: recognised kernel backends
+BACKENDS = ("vectorized", "reference")
+
+_state = threading.local()
+
+
+def get_backend() -> str:
+    """The current process-wide kernel backend (thread-local)."""
+    return getattr(_state, "backend", "vectorized")
+
+
+def set_backend(name: str) -> str:
+    """Set the kernel backend; returns the previous one."""
+    if name not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown kernel backend {name!r}; choose from {BACKENDS}")
+    previous = get_backend()
+    _state.backend = name
+    return previous
+
+
+def resolve_backend(name: Optional[str]) -> str:
+    """Map an explicit ``backend=`` argument (or ``None``) to a backend."""
+    if name is None:
+        return get_backend()
+    if name not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown kernel backend {name!r}; choose from {BACKENDS}")
+    return name
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Temporarily switch the process-wide backend (restores on exit)."""
+    previous = set_backend(name)
+    try:
+        yield name
+    finally:
+        set_backend(previous)

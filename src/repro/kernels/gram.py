@@ -1,0 +1,96 @@
+"""Stacked-tensor kernels for the SDP constraint operator.
+
+The ADMM SDP solver (paper Eqs. 8–10) spends its inner loop applying the
+constraint operator ``A : X -> (<A_i, X>)_i`` and its adjoint
+``A^* : lam -> sum_i lam_i A_i``, and its setup assembling the Gram
+matrix ``G_ij = <A_i, A_j>``.  The reference implementation walks the
+constraint list in Python — ``O(m^2)`` matrix products for the Gram and
+``O(m)`` per projection.  These kernels hold the constraints as one
+``(m, n, n)`` stack and express every operation as a single ``einsum``
+contraction, which is the whole-batch BLAS-backed form.
+
+All functions accept an optional ``out`` buffer so the ADMM iteration
+loop can stay allocation-free (see :mod:`repro.kernels.workspace`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.linalg.matrix_utils import frobenius_inner
+from repro.linalg.psd import symmetrize
+
+__all__ = [
+    "stack_symmetric",
+    "gram_matrix",
+    "gram_matrix_reference",
+    "apply_operator",
+    "apply_operator_reference",
+    "apply_adjoint",
+    "apply_adjoint_reference",
+]
+
+
+def stack_symmetric(mats: Sequence[np.ndarray], n: Optional[int] = None) -> np.ndarray:
+    """Symmetrized constraint matrices as one ``(m, n, n)`` stack.
+
+    ``n`` disambiguates the matrix size when ``mats`` is empty (so the
+    degenerate unconstrained problem still round-trips through the
+    stacked kernels).
+    """
+    if len(mats):
+        return np.stack([symmetrize(m) for m in mats]).astype(np.float64, copy=False)
+    side = 0 if n is None else int(n)
+    return np.zeros((0, side, side))
+
+
+def gram_matrix(stack: np.ndarray) -> np.ndarray:
+    """Gram matrix ``G_ab = <A_a, A_b>`` of a constraint stack, in one
+    ``einsum`` contraction instead of ``O(m^2)`` Python-loop products."""
+    stack = np.asarray(stack, dtype=np.float64)
+    m = stack.shape[0]
+    if m == 0:
+        return np.zeros((0, 0))
+    flat = stack.reshape(m, -1)
+    return flat @ flat.T
+
+
+def gram_matrix_reference(mats: Sequence[np.ndarray]) -> np.ndarray:
+    """The original scalar Gram assembly — the equivalence baseline."""
+    m = len(mats)
+    gram = np.zeros((m, m))
+    for i in range(m):
+        for j in range(i, m):
+            gram[i, j] = gram[j, i] = frobenius_inner(mats[i], mats[j])
+    return gram
+
+
+def apply_operator(stack: np.ndarray, x: np.ndarray,
+                   out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Constraint operator ``(<A_i, X>)_i`` as one contraction."""
+    return np.einsum("kij,ij->k", stack, x, out=out)
+
+
+def apply_operator_reference(mats: Sequence[np.ndarray], x: np.ndarray) -> np.ndarray:
+    """Per-constraint loop form of :func:`apply_operator`."""
+    return np.array([np.sum(m * x) for m in mats]) if len(mats) else np.zeros(0)
+
+
+def apply_adjoint(coeffs: np.ndarray, stack: np.ndarray,
+                  out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Adjoint ``sum_k coeffs_k A_k`` as one contraction."""
+    return np.einsum("k,kij->ij", coeffs, stack, out=out)
+
+
+def apply_adjoint_reference(coeffs: np.ndarray,
+                            mats: Sequence[np.ndarray]) -> np.ndarray:
+    """Accumulation-loop form of :func:`apply_adjoint`."""
+    mats = list(mats)
+    if not mats:
+        raise ValueError("apply_adjoint_reference needs at least one matrix")
+    out = np.zeros_like(np.asarray(mats[0], dtype=np.float64))
+    for c, m in zip(coeffs, mats):
+        out += c * m
+    return out

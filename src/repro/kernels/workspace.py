@@ -1,0 +1,98 @@
+"""Preallocated workspaces for allocation-free ADMM iteration loops.
+
+Profiling the Eq. 8–10 ADMM solvers shows that beyond the BLAS work
+itself, each sweep used to allocate a handful of ``(n, n)`` temporaries
+(``z - u - c/rho``, ``x + u``, the projector's correction matrix, …).
+At the iteration counts the solvers run (thousands of sweeps), the
+allocator traffic is measurable.  These dataclasses own every buffer the
+loops need, so the hot path is pure ``out=`` arithmetic; only the
+inherently allocating LAPACK calls (``eigh``) remain.
+
+Workspaces are plain state holders — the kernels in
+:mod:`repro.kernels.gram` and the solvers in :mod:`repro.convex` do the
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SDPWorkspace", "ConsensusWorkspace"]
+
+
+@dataclass
+class SDPWorkspace:
+    """Every buffer the two-block SDP ADMM sweep touches.
+
+    ``n`` is the matrix side, ``k`` the total constraint-row count
+    (equalities + inequalities), ``m_ineq`` the slack count.
+    """
+
+    n: int
+    k: int
+    m_ineq: int
+    # iteration state
+    x: np.ndarray = field(init=False)
+    z: np.ndarray = field(init=False)
+    u: np.ndarray = field(init=False)
+    s: np.ndarray = field(init=False)
+    t: np.ndarray = field(init=False)
+    v: np.ndarray = field(init=False)
+    # scratch: projector input, PSD-projection input / z-difference, and
+    # the projector's internals (constraint values, multipliers,
+    # adjoint correction)
+    mat_in: np.ndarray = field(init=False)
+    mat_tmp: np.ndarray = field(init=False)
+    vec_in: np.ndarray = field(init=False)
+    vals: np.ndarray = field(init=False)
+    lam: np.ndarray = field(init=False)
+    corr: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        n, k, m = int(self.n), int(self.k), int(self.m_ineq)
+        self.x = np.zeros((n, n))
+        self.z = np.zeros((n, n))
+        self.u = np.zeros((n, n))
+        self.s = np.zeros(m)
+        self.t = np.zeros(m)
+        self.v = np.zeros(m)
+        self.mat_in = np.zeros((n, n))
+        self.mat_tmp = np.zeros((n, n))
+        self.vec_in = np.zeros(m)
+        self.vals = np.zeros(k)
+        self.lam = np.zeros(k)
+        self.corr = np.zeros((n, n))
+
+    def reset(self) -> None:
+        """Zero the iteration state (scratch needs no clearing)."""
+        for buf in (self.x, self.z, self.u, self.s, self.t, self.v):
+            buf.fill(0.0)
+
+
+@dataclass
+class ConsensusWorkspace:
+    """Buffers for the consensus ADMM sweep ``x = prox_f(z - u)`` /
+    ``z = prox_g(x + u)`` / ``u += x - z``.
+
+    Prox operators are user-supplied and may return freshly allocated
+    arrays (or even alias their input buffer) — the solver copies their
+    result into the owned state, so the dual update and residuals always
+    run on stable storage.
+    """
+
+    n: int
+    x: np.ndarray = field(init=False)
+    z: np.ndarray = field(init=False)
+    z_old: np.ndarray = field(init=False)
+    u: np.ndarray = field(init=False)
+    arg: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        n = int(self.n)
+        self.x = np.zeros(n)
+        self.z = np.zeros(n)
+        self.z_old = np.zeros(n)
+        self.u = np.zeros(n)
+        self.arg = np.zeros(n)

@@ -7,6 +7,7 @@ import numpy as np
 from repro.exceptions import ConvergenceError, DimensionError
 
 __all__ = [
+    "frobenius_inner",
     "power_iteration",
     "spectral_norm",
     "numerical_rank",
@@ -17,6 +18,22 @@ __all__ = [
     "unvec",
     "solve_regularized",
 ]
+
+
+def frobenius_inner(a: np.ndarray, b: np.ndarray) -> float:
+    """Frobenius inner product ``<A, B> = sum_ij A_ij B_ij``.
+
+    Computed as a dot product over raveled views, so no ``A * B``
+    temporary matrix is materialized — the form every hot loop in
+    ``convex/`` and ``linalg/`` should use instead of
+    ``float(np.sum(a * b))``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise DimensionError(
+            f"Frobenius inner product needs matching shapes, got {a.shape} vs {b.shape}")
+    return float(np.dot(a.ravel(), b.ravel()))
 
 
 def power_iteration(

@@ -27,6 +27,12 @@ from typing import Callable, List, Sequence
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.kernels.swarm import (
+    build_decode_table,
+    decode_indices_batch,
+    sample_distribution_swarm,
+    velocity_update,
+)
 from repro.obs import ITERATION_BUCKETS, get_metrics, get_tracer
 from repro.parallel import Executor, map_solve
 from repro.pso.inertia import ConstantInertia, InertiaContext, InertiaStrategy
@@ -52,6 +58,8 @@ class DiscreteSpace:
         if not vals or any(len(row) < 1 for row in vals):
             raise ConfigurationError("every coordinate needs at least one value")
         object.__setattr__(self, "values", vals)
+        # padded (d, max_card) lookup table backing the batched decode
+        object.__setattr__(self, "_table", build_decode_table(vals))
 
     @property
     def dim(self) -> int:
@@ -64,6 +72,11 @@ class DiscreteSpace:
     def decode_indices(self, idx: np.ndarray) -> np.ndarray:
         """Map per-coordinate indices to actual values."""
         return np.array([self.values[j][int(i)] for j, i in enumerate(idx)], dtype=np.float64)
+
+    def decode_batch(self, idx: np.ndarray) -> np.ndarray:
+        """Decode a whole ``(n, dim)`` index matrix in one table gather —
+        the same floats :meth:`decode_indices` produces row by row."""
+        return decode_indices_batch(self._table, idx)
 
     def size(self) -> int:
         out = 1
@@ -111,13 +124,11 @@ class RoundingDiscretePSO:
         return self.objective(self.space.decode_indices(idx))
 
     def _evaluate_batch(self, xs: np.ndarray) -> np.ndarray:
-        """Fitness of every particle; decoding stays in-process, only the
-        objective evaluations fan out through the executor."""
-        decoded = [
-            self.space.decode_indices(
-                np.clip(np.round(row), self.lo, self.hi).astype(int))
-            for row in xs
-        ]
+        """Fitness of every particle; the whole swarm is decoded in one
+        table gather, and only the objective evaluations fan out through
+        the executor."""
+        idx = np.clip(np.round(xs), self.lo, self.hi).astype(int)
+        decoded = list(self.space.decode_batch(idx))
         if self.executor is None:
             return np.array([self.objective(d) for d in decoded])
         values = map_solve(self.objective, decoded, executor=self.executor,
@@ -170,11 +181,9 @@ class RoundingDiscretePSO:
             w = self.inertia.weights(ctx)[:, None]
             b1 = self.rng.random((n, d))
             b2 = self.rng.random((n, d))
-            self.v = (
-                w * self.v
-                + cfg.alpha1 * b1 * (self.pb_x - self.x)
-                + cfg.alpha2 * b2 * (self.gb_x[None, :] - self.x)
-            )
+            self.v = velocity_update(self.v, self.x, self.pb_x,
+                                     np.broadcast_to(self.gb_x, self.x.shape),
+                                     w, b1, b2, cfg.alpha1, cfg.alpha2)
             vmax = cfg.velocity_clamp * np.maximum(self.hi - self.lo, 1.0)
             np.clip(self.v, -vmax, vmax, out=self.v)
             if self.hard:
@@ -261,6 +270,8 @@ class DistributionDiscretePSO:
         self.inertia.reset()
 
     def _sample_particle(self, i: int) -> np.ndarray:
+        """One particle's candidate — the per-coordinate ``rng.choice``
+        formulation the vectorized sampling kernel replays bit-for-bit."""
         idx = np.zeros(self.space.dim, dtype=int)
         for j, c in enumerate(self.cards):
             z = self.logits[j][i]
@@ -272,12 +283,15 @@ class DistributionDiscretePSO:
 
     def _evaluate_all(self) -> None:
         n = self.config.swarm_size
-        # sample every candidate first (RNG order is unchanged from the
-        # sequential formulation), then fan the pure objective calls out
-        sampled = [[self._sample_particle(i) for _ in range(self.samples)]
+        # sample every candidate first (the whole-swarm kernel consumes
+        # the RNG stream in the exact order of the sequential
+        # formulation, so seeded runs are bit-identical on both
+        # backends), then fan the pure objective calls out
+        idx3 = sample_distribution_swarm(self.logits, self.samples, self.rng)
+        sampled = [[idx3[i, s] for s in range(self.samples)]
                    for i in range(n)]
-        decoded = [self.space.decode_indices(idx)
-                   for per_particle in sampled for idx in per_particle]
+        decoded = list(self.space.decode_batch(
+            idx3.reshape(n * self.samples, self.space.dim)))
         if self.executor is None:
             values = [self.objective(d) for d in decoded]
         else:

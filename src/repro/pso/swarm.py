@@ -18,6 +18,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.kernels.swarm import reflect_box, velocity_update
 from repro.obs import ITERATION_BUCKETS, get_metrics, get_tracer
 from repro.parallel import Executor, map_solve
 from repro.pso.inertia import ConstantInertia, InertiaContext, InertiaStrategy
@@ -157,27 +158,23 @@ class ParticleSwarm:
 
     def step(self, generation: int) -> None:
         """One synchronous generation: Eq. 2 velocity update, Eq. 1 move,
-        personal/global best bookkeeping."""
+        personal/global best bookkeeping.
+
+        The arithmetic runs on the whole-swarm kernels of
+        :mod:`repro.kernels.swarm`; both backends are bit-identical, so a
+        seeded trajectory never depends on the backend switch."""
         cfg = self.config
         n, d = cfg.swarm_size, self.dim
         w = self.inertia.weights(self._context(generation))[:, None]
         beta1 = self.rng.random((n, d))
         beta2 = self.rng.random((n, d))
         social = self._social_attractor()
-        self.v = (
-            w * self.v
-            + cfg.alpha1 * beta1 * (self.personal_best_x - self.x)
-            + cfg.alpha2 * beta2 * (social - self.x)
-        )
+        self.v = velocity_update(self.v, self.x, self.personal_best_x, social,
+                                 w, beta1, beta2, cfg.alpha1, cfg.alpha2)
         vmax = cfg.velocity_clamp * (self.hi - self.lo)
         np.clip(self.v, -vmax, vmax, out=self.v)
-        self.x = self.x + self.v
         # reflect at the box walls and zero the offending velocity component
-        below = self.x < self.lo
-        above = self.x > self.hi
-        self.x = np.where(below, self.lo, self.x)
-        self.x = np.where(above, self.hi, self.x)
-        self.v = np.where(below | above, 0.0, self.v)
+        self.x, self.v = reflect_box(self.x + self.v, self.v, self.lo, self.hi)
 
         values = self._evaluate(self.x)
         self.evaluations += n

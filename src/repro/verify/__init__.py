@@ -29,6 +29,7 @@ from repro.verify.lp_relax import lp_margin_lower_bound
 from repro.verify.smt import SMTResult, smt_margin_bound
 from repro.verify.specs import RobustnessSpec, classification_spec
 from repro.verify.verifier import (
+    FAST_BATCH_METHODS,
     METHOD_GRADES,
     VerificationResult,
     compare_verifiers,
@@ -40,6 +41,7 @@ from repro.verify.verifier import (
 
 __all__ = [
     "ExactResult",
+    "FAST_BATCH_METHODS",
     "InputSplitResult",
     "LayerBounds",
     "METHOD_GRADES",

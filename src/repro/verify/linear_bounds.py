@@ -18,11 +18,13 @@ Two modes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.exceptions import VerificationError
+from repro.kernels.backend import resolve_backend
+from repro.kernels.propagation import crown_preactivation_fast
 from repro.nn.layers import Dense, LeakyReLU, ReLU
 from repro.nn.network import Sequential
 from repro.verify.interval import LayerBounds, propagate_intervals
@@ -176,19 +178,27 @@ def crown_input_linear_form(
 
 
 def crown_preactivation_bounds(
-    net: Sequential, x0: np.ndarray, eps: float, method: str = "crown"
+    net: Sequential, x0: np.ndarray, eps: float, method: str = "crown",
+    backend: Optional[str] = None,
 ) -> List[Tuple[np.ndarray, np.ndarray]]:
     """Pre-activation bounds for every stage.
 
     ``method='crown-ibp'`` reads them off interval propagation;
     ``method='crown'`` recomputes each layer's box with backward linear
-    bounding (tighter, quadratically more expensive).
+    bounding (tighter, quadratically more expensive).  For the latter,
+    the default ``backend="vectorized"`` bounds all neurons of a layer
+    in one ``[I; -I]`` matrix backward pass
+    (:func:`repro.kernels.propagation.crown_preactivation_fast`);
+    ``backend="reference"`` keeps the original per-neuron recursion.
     """
     x0 = np.asarray(x0, dtype=np.float64).ravel()
     x_lo, x_hi = x0 - eps, x0 + eps
     stages = extract_affine_relu_stack(net)
     if method not in ("crown", "crown-ibp"):
         raise VerificationError(f"unknown CROWN method {method!r}")
+
+    if method == "crown" and resolve_backend(backend) == "vectorized":
+        return crown_preactivation_fast(net, x_lo, x_hi)
 
     if method == "crown-ibp":
         all_bounds = propagate_intervals(net, LayerBounds(x_lo, x_hi))

@@ -19,6 +19,12 @@ import numpy as np
 
 from repro.exceptions import NumericalInstabilityError, VerificationError
 from repro.convex.relaxation import RelaxationGrade
+from repro.kernels.backend import resolve_backend
+from repro.kernels.propagation import (
+    crown_ibp_margin_batch,
+    crown_margin_batch,
+    ibp_margin_batch,
+)
 from repro.nn.network import Sequential
 from repro.obs import MARGIN_BUCKETS, get_metrics, get_tracer
 from repro.parallel import Executor, RelaxationCache, fingerprint, map_solve
@@ -50,10 +56,13 @@ METHOD_GRADES: Dict[str, RelaxationGrade] = {
 #: default degradation order: tightest/most certain first (§II-B-2)
 VERIFICATION_FALLBACK: Tuple[str, ...] = ("exact", "lp", "crown", "ibp")
 
+#: methods with a batched kernel fast path in :func:`verify_batch`
+FAST_BATCH_METHODS: Tuple[str, ...] = ("ibp", "crown-ibp", "crown")
+
 __all__ = ["VerificationResult", "ResilientVerificationResult", "verify",
            "verify_batch", "verification_fingerprint", "verify_resilient",
            "compare_verifiers", "false_negative_rate",
-           "METHOD_GRADES", "VERIFICATION_FALLBACK"]
+           "METHOD_GRADES", "VERIFICATION_FALLBACK", "FAST_BATCH_METHODS"]
 
 
 @dataclass(frozen=True)
@@ -77,11 +86,18 @@ class VerificationResult:
 
 
 def verify(net: Sequential, spec: RobustnessSpec, method: Method = "crown",
-           max_nodes: int = 20000, time_limit: float = float("inf")) -> VerificationResult:
-    """Verify one robustness spec with one method of the ladder."""
+           max_nodes: int = 20000, time_limit: float = float("inf"),
+           clock: Callable[[], float] = time.perf_counter) -> VerificationResult:
+    """Verify one robustness spec with one method of the ladder.
+
+    ``clock`` is the monotonic time source for ``wall_time`` — injectable
+    (e.g. :attr:`repro.resilience.Budget.clock`) so one fake clock can
+    drive deterministic timing in tests; it must never be a wall-clock
+    like ``time.time``, which jumps under NTP adjustment.
+    """
     if method not in METHOD_GRADES:
         raise VerificationError(f"unknown method {method!r}; choose from {sorted(METHOD_GRADES)}")
-    start = time.perf_counter()
+    start = clock()
     complete = method == "exact"
     with get_tracer().span("verify.query", method=method) as span:
         if method == "ibp":
@@ -110,7 +126,7 @@ def verify(net: Sequential, spec: RobustnessSpec, method: Method = "crown",
         method=method,
         verified=verified,
         margin_lower_bound=float(bound),
-        wall_time=time.perf_counter() - start,
+        wall_time=clock() - start,
         complete=complete,
     )
 
@@ -191,7 +207,15 @@ def verify_resilient(
         if m not in METHOD_GRADES:
             raise VerificationError(
                 f"unknown method {m!r}; choose from {sorted(METHOD_GRADES)}")
-    call = verify_fn or verify
+    if verify_fn is not None:
+        call = verify_fn
+    elif budget is not None:
+        # share the budget's injectable monotonic clock so one fake clock
+        # drives both the deadline and the per-query wall times
+        def call(*args, **kwargs):
+            return verify(*args, clock=budget.clock, **kwargs)
+    else:
+        call = verify
     retry = retry or RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
 
     def make_solver(method: str, guaranteed: bool) -> Callable[[], VerificationResult]:
@@ -251,6 +275,46 @@ def _verify_task(task) -> VerificationResult:
     return verify(net, spec, method=method, max_nodes=max_nodes)
 
 
+def _verify_chunk(task) -> List[VerificationResult]:
+    """Module-level worker: one batched-kernel sweep over a spec chunk.
+
+    The whole chunk is flattened to ``(B, n)`` arrays and answered by a
+    single :mod:`repro.kernels.propagation` call; the measured batch time
+    is amortized uniformly over the chunk's ``wall_time`` fields.
+    """
+    net, specs, method = task
+    start = time.perf_counter()
+    x0 = np.stack([s.x0 for s in specs])
+    eps = np.array([s.eps for s in specs])
+    c = np.stack([s.c for s in specs])
+    d = np.array([s.d for s in specs])
+    with get_tracer().span("verify.batch.kernel", method=method,
+                           n_specs=len(specs)) as span:
+        if method == "ibp":
+            margins = ibp_margin_batch(net, x0, eps, c, d)
+        elif method == "crown-ibp":
+            margins = crown_ibp_margin_batch(net, x0, eps, c, d)
+        else:
+            margins = crown_margin_batch(net, x0, eps, c, d)
+        span.set(verified=int(np.sum(margins > 0.0)))
+    per_spec = (time.perf_counter() - start) / max(len(specs), 1)
+    metrics = get_metrics()
+    out: List[VerificationResult] = []
+    for m in margins:
+        bound = float(m)
+        verified = bound > 0.0
+        metrics.counter("verifier.queries", method=method).inc()
+        if verified:
+            metrics.counter("verifier.verified", method=method).inc()
+        if np.isfinite(bound):
+            metrics.histogram("verifier.margin", buckets=MARGIN_BUCKETS,
+                              method=method).observe(bound)
+        out.append(VerificationResult(
+            method=method, verified=verified, margin_lower_bound=bound,
+            wall_time=per_spec, complete=False))
+    return out
+
+
 def verify_batch(
     net: Sequential,
     specs: Sequence[RobustnessSpec],
@@ -260,26 +324,48 @@ def verify_batch(
     cache: Optional[RelaxationCache] = None,
     budget=None,
     chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[VerificationResult]:
     """Verify a whole spec list with one method, fanned out and memoized.
 
-    Results are returned in spec order and are identical to calling
-    :func:`verify` in a loop (wall times excepted) on every backend.
-    With a :class:`~repro.parallel.RelaxationCache`, queries whose
-    fingerprint was already solved — earlier in this batch or in a
-    previous one — are answered from the cache; only the unique misses
-    are dispatched to the executor.  The coordinator owns the cache, so
-    memoization works unchanged with the process backend.
+    Results are returned in spec order, with sound verdicts equal (and
+    margins equal to floating-point round-off) to calling :func:`verify`
+    in a loop, on every backend.  For the relaxed propagation methods in
+    :data:`FAST_BATCH_METHODS` the default ``backend="vectorized"``
+    answers whole chunks with one batched
+    :mod:`repro.kernels.propagation` sweep — chunk boundaries depend only
+    on ``chunk_size`` (default: one chunk), never on the executor, so
+    results are bit-identical across serial/thread/process backends;
+    ``backend="reference"`` restores the per-spec workers.  With a
+    :class:`~repro.parallel.RelaxationCache`, queries whose fingerprint
+    was already solved — earlier in this batch or in a previous one — are
+    answered from the cache; only the unique misses are dispatched.  The
+    coordinator owns the cache, so memoization works unchanged with the
+    process backend.
     """
     specs = list(specs)
-    results: List[Optional[VerificationResult]] = [None] * len(specs)
-    if cache is None:
-        computed = map_solve(
-            _verify_task, [(net, s, method, max_nodes) for s in specs],
+    fast = (resolve_backend(backend) == "vectorized"
+            and method in FAST_BATCH_METHODS)
+
+    def dispatch(todo: List[RobustnessSpec]) -> List[VerificationResult]:
+        if not todo:
+            return []
+        if fast:
+            size = len(todo) if chunk_size is None else max(1, chunk_size)
+            chunks = [todo[i:i + size] for i in range(0, len(todo), size)]
+            grouped = map_solve(
+                _verify_chunk, [(net, ch, method) for ch in chunks],
+                executor=executor, budget=budget, label="verify.batch")
+            return [r for group in grouped for r in group]
+        return list(map_solve(
+            _verify_task, [(net, s, method, max_nodes) for s in todo],
             executor=executor, budget=budget, chunk_size=chunk_size,
-            label="verify.batch")
-        return list(computed)
+            label="verify.batch"))
+
+    if cache is None:
+        return dispatch(specs)
     # fingerprint once per unique query; dispatch only the misses
+    results: List[Optional[VerificationResult]] = [None] * len(specs)
     keys = [verification_fingerprint(net, s, method, max_nodes) for s in specs]
     pending: "OrderedDict[str, List[int]]" = OrderedDict()
     for i, key in enumerate(keys):
@@ -288,10 +374,7 @@ def verify_batch(
             results[i] = hit
         else:
             pending.setdefault(key, []).append(i)
-    tasks = [(net, specs[idxs[0]], method, max_nodes) for idxs in pending.values()]
-    computed = map_solve(_verify_task, tasks, executor=executor,
-                         budget=budget, chunk_size=chunk_size,
-                         label="verify.batch")
+    computed = dispatch([specs[idxs[0]] for idxs in pending.values()])
     for (key, idxs), res in zip(pending.items(), computed):
         cache.put(key, res)
         results[idxs[0]] = res

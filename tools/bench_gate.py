@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Kernel-benchmark regression gate.
+
+Replays the workload of ``benchmarks/bench_kernels.py`` (via its pure
+:func:`measure_kernels`) and compares each family's measured speedup
+against the committed snapshot ``benchmarks/results/BENCH_kernels.json``.
+The gate **fails** (exit 1) when any family's speedup drops more than
+``--threshold`` (default 25%) below the committed value — the signal
+that a kernel silently fell off its vectorized fast path.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/bench_gate.py [--threshold 0.25]
+
+The same check is importable as a ``perf``-marked pytest test
+(``pytest -m perf benchmarks/ tools/``); it is never part of tier-1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+SNAPSHOT = BENCH_DIR / "results" / "BENCH_kernels.json"
+DEFAULT_THRESHOLD = 0.25
+
+
+def _load_bench_module():
+    """Import ``benchmarks/bench_kernels.py`` by path.
+
+    The benchmarks directory is not a package, and bench modules import
+    their siblings (``_harness``, ``conftest``) by bare name, so it goes
+    on ``sys.path`` first.
+    """
+    if str(BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(BENCH_DIR))
+    spec = importlib.util.spec_from_file_location(
+        "bench_kernels", BENCH_DIR / "bench_kernels.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def check_regressions(threshold: float = DEFAULT_THRESHOLD,
+                      retries: int = 2) -> list:
+    """Measure current kernel speedups and diff against the snapshot.
+
+    A family below its floor is re-measured up to ``retries`` times and
+    judged on its best observation — wall-clock micro-benchmarks see
+    ~20% scheduler noise, and a real fast-path regression fails every
+    attempt while a noisy dip does not.  Returns a list of failure
+    strings; empty means the gate passes.
+    """
+    committed = json.loads(SNAPSHOT.read_text())
+    baseline = {row["family"]: row["speedup"] for row in committed["rows"]}
+
+    module = _load_bench_module()
+    current = {row["family"]: row["speedup"] for row in module.measure_kernels()}
+    for attempt in range(retries):
+        floors = {f: s * (1.0 - threshold) for f, s in baseline.items()}
+        if all(current.get(f, 0.0) >= floors[f] for f in baseline):
+            break
+        print(f"(retry {attempt + 1}: re-measuring families below floor)")
+        for row in module.measure_kernels():
+            family = row["family"]
+            current[family] = max(current.get(family, 0.0), row["speedup"])
+
+    failures = []
+    print(f"{'family':<24} {'committed':>10} {'current':>10} {'floor':>10}")
+    for family, committed_speedup in baseline.items():
+        floor = committed_speedup * (1.0 - threshold)
+        measured = current.get(family)
+        if measured is None:
+            failures.append(f"{family}: missing from current measurement")
+            continue
+        print(f"{family:<24} {committed_speedup:>9.1f}x {measured:>9.1f}x "
+              f"{floor:>9.1f}x")
+        if measured < floor:
+            failures.append(
+                f"{family}: speedup {measured:.2f}x regressed more than "
+                f"{100 * threshold:.0f}% below committed {committed_speedup:.2f}x")
+    return failures
+
+
+try:
+    import pytest
+except ImportError:  # CLI-only environments don't need the pytest shim
+    pytest = None
+
+if pytest is not None:
+    @pytest.mark.perf
+    def test_bench_gate():
+        """Perf-marked pytest entry point (``pytest -m perf tools/bench_gate.py``);
+        excluded from tier-1 by both the marker and ``testpaths``."""
+        failures = check_regressions()
+        assert not failures, "; ".join(failures)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="allowed fractional speedup drop before failing (default 0.25)")
+    opts = parser.parse_args(argv)
+    failures = check_regressions(opts.threshold)
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("bench gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
