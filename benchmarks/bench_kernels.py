@@ -75,7 +75,7 @@ def _bench_sdp_gram_projection() -> dict:
     assert np.allclose(ref, fast, atol=1e-8)
     return {"family": "sdp_gram_projection", "m": _GRAM_M, "n": _GRAM_N,
             "reference_s": t_ref, "vectorized_s": t_fast,
-            "speedup": t_ref / t_fast}
+            "speedup": t_ref / t_fast}  # numlint: disable=NL002 -- t_fast is a measured wall time of real work, strictly positive
 
 
 def _bench_verify_batch() -> dict:
@@ -104,7 +104,7 @@ def _bench_verify_batch() -> dict:
     assert np.allclose(ref, fast, atol=1e-8)
     return {"family": "verify_batch_crown_ibp", "batch": _VERIFY_BATCH,
             "reference_s": t_ref, "vectorized_s": t_fast,
-            "speedup": t_ref / t_fast}
+            "speedup": t_ref / t_fast}  # numlint: disable=NL002 -- t_fast is a measured wall time of real work, strictly positive
 
 
 def _bench_swarm_update() -> dict:
@@ -135,7 +135,7 @@ def _bench_swarm_update() -> dict:
     assert np.array_equal(ref[0], fast[0]) and np.array_equal(ref[1], fast[1])
     return {"family": "pso_swarm_update", "swarm": _SWARM_N, "dim": _SWARM_D,
             "steps": _SWARM_STEPS, "reference_s": t_ref,
-            "vectorized_s": t_fast, "speedup": t_ref / t_fast}
+            "vectorized_s": t_fast, "speedup": t_ref / t_fast}  # numlint: disable=NL002 -- t_fast is a measured wall time of real work, strictly positive
 
 
 def measure_kernels() -> list:

@@ -41,9 +41,9 @@ def _bare_admm(prox_f, prox_g, n, rho=1.0, max_iter=_MAX_ITER):
     prim_hist: List[float] = []
     dual_hist: List[float] = []
     for _ in range(1, max_iter + 1):
-        x = prox_f(z - u, 1.0 / rho)
+        x = prox_f(z - u, 1.0 / rho)  # numlint: disable=NL002 -- rho is the fixed positive ADMM penalty of this benchmark
         z_old = z
-        z = prox_g(x + u, 1.0 / rho)
+        z = prox_g(x + u, 1.0 / rho)  # numlint: disable=NL002 -- rho is the fixed positive ADMM penalty of this benchmark
         u = u + x - z
         prim_hist.append(float(np.linalg.norm(x - z)))
         dual_hist.append(float(rho * np.linalg.norm(z - z_old)))

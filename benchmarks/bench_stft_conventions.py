@@ -46,12 +46,12 @@ def test_stft_conventions(benchmark):
             fi_adv = stft(s[half:], g, hop=hop, n_fft=n_fft,
                           convention="frequency_invariant")
             m = np.arange(n_fft)[:, None]
-            corrected = simp.coefficients * np.exp(2j * np.pi * m * half / n_fft)
+            corrected = simp.coefficients * np.exp(2j * np.pi * m * half / n_fft)  # numlint: disable=NL002 -- n_fft is a positive FFT size constant of the benchmark grid
             # trim the frames whose centered framing zero-pads samples the
             # causal framing still sees: half/hop frames at each edge
             margin = half // hop + 2
             nf = min(corrected.shape[1], fi_adv.coefficients.shape[1]) - margin
-            rel = float(np.linalg.norm(corrected[:, margin:nf] - fi_adv.coefficients[:, margin:nf])
+            rel = float(np.linalg.norm(corrected[:, margin:nf] - fi_adv.coefficients[:, margin:nf])  # numlint: disable=NL002 -- reference coefficients of the seeded signal are nonzero by construction
                         / np.linalg.norm(fi_adv.coefficients[:, margin:nf]))
             rows.append({
                 "Lg": lg,

@@ -1,18 +1,23 @@
-"""repro.analysis — AST-based numerical-safety linter ("numlint");
+"""repro.analysis — two-tier static analyzer ("numlint");
 rule catalog and workflow documented in docs/STATIC_ANALYSIS.md.
 
-The paper's Fig. 3 catalogues silent numerical failures in ML toolkits:
-FFT/STFT convention bugs, float round-off, overflow/underflow, unstable
-composed sub-operations.  This package encodes that catalog — plus the
-solver-correctness contracts of :mod:`repro.convex`, :mod:`repro.pso`
-and :mod:`repro.minlp` — as machine-checked static-analysis rules over
-the repository's own source, so numerical hygiene is enforced in CI
-rather than re-audited by hand.
+Tier one (**expression rules**, NL001–NL008) encodes the paper's Fig. 3
+catalog of silent numerical failures — float round-off, unguarded
+division, unstable composed sub-operations — as per-file AST checks.
+Tier two (**flow rules**, DT001–DT004 / RD001–RD003) checks the
+interprocedural contracts the reproduction's reliability rests on:
+determinism under the seeded :mod:`repro.parallel` executor (no global
+RNG reachable from solver entries, no wall-clock-driven control flow,
+no shared-mutable-state closures, no hash-order outputs) and resource
+discipline (:class:`repro.resilience.Budget` cooperation, entered
+tracer spans, recorded fallback rungs), over a project-wide symbol
+table, call graph, and per-function reaching-definitions dataflow.
 
 Usage::
 
-    python -m repro.analysis src            # lint, exit 1 on findings
-    python -m repro.analysis --list-rules   # rule catalog
+    python -m repro.analysis src                    # both tiers
+    python -m repro.analysis src --rule-family flow # one tier
+    python -m repro.analysis --list-rules           # catalog, by tier
 
 Programmatic::
 
@@ -23,25 +28,36 @@ Programmatic::
 from repro.analysis.core import (
     Finding,
     FileContext,
+    FlowRule,
     Rule,
+    SuppressionError,
     all_rules,
     get_rule,
     register_rule,
+    rules_in_family,
 )
 from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.callgraph import CallGraph, ProjectContext, SymbolTable
 from repro.analysis.report import render_json, render_text
 from repro.analysis.runner import AnalysisResult, analyze_paths, analyze_source
 
-# Importing the rule pack registers the NL001–NL008 rules.
+# Importing the rule packs registers the expression tier (NL001–NL008)
+# and the interprocedural flow tier (DT001–DT004, RD001–RD003).
 from repro.analysis import rules as _rules  # noqa: F401
+from repro.analysis import rules_flow as _rules_flow  # noqa: F401
 
 __all__ = [
     "AnalysisResult",
     "Baseline",
     "BaselineEntry",
+    "CallGraph",
     "FileContext",
     "Finding",
+    "FlowRule",
+    "ProjectContext",
     "Rule",
+    "SuppressionError",
+    "SymbolTable",
     "all_rules",
     "analyze_paths",
     "analyze_source",
@@ -49,4 +65,5 @@ __all__ = [
     "register_rule",
     "render_json",
     "render_text",
+    "rules_in_family",
 ]

@@ -97,10 +97,19 @@ class Baseline:
         return finding.fingerprint() in self.entries
 
     def split(
-        self, findings: Iterable[Finding]
+        self,
+        findings: Iterable[Finding],
+        active_rules: "Iterable[str] | None" = None,
+        active_paths: "Iterable[str] | None" = None,
     ) -> "Tuple[List[Finding], List[Finding], List[BaselineEntry]]":
         """Partition findings into (new, baselined); also return stale
-        baseline entries that matched nothing (candidates for deletion)."""
+        baseline entries that matched nothing (candidates for deletion).
+
+        *active_rules* names the rules the run actually executed and
+        *active_paths* the files it actually scanned; entries outside
+        either are exempt from staleness, so a family-, rule-, or
+        path-scoped run (e.g. ``lint.sh --changed-only``) does not
+        misreport entries belonging to the unscanned remainder."""
         new: List[Finding] = []
         matched: List[Finding] = []
         seen: set = set()
@@ -111,5 +120,12 @@ class Baseline:
                 seen.add(fp)
             else:
                 new.append(f)
-        stale = [e for fp, e in self.entries.items() if fp not in seen]
+        rules_set = None if active_rules is None else set(active_rules)
+        paths_set = None if active_paths is None else set(active_paths)
+        stale = [
+            e for fp, e in self.entries.items()
+            if fp not in seen
+            and (rules_set is None or e.rule in rules_set)
+            and (paths_set is None or e.path in paths_set)
+        ]
         return new, matched, stale

@@ -1,0 +1,343 @@
+"""Module-level symbol table and interprocedural call graph.
+
+The flow-rule family (``rules_flow``) checks *cross-function* contracts:
+"is this global-RNG call reachable from a solver entry point?", "does the
+budget this function accepted actually get spent in its loops?".  Those
+questions need a project-wide view, which this module provides in two
+layers:
+
+* :class:`SymbolTable` — every function/method definition in the analyzed
+  file set, keyed by dotted qualified name (``repro.convex.admm.solve`` /
+  ``repro.pso.swarm.ParticleSwarm.step``), plus each module's import
+  aliases.
+* :class:`CallGraph` — a conservative **may-call** relation over those
+  qualified names.  Call targets are resolved through local definitions
+  and import aliases; bare-attribute calls (``obj.method(...)``) fall
+  back to name matching across the project, capped so a ubiquitous name
+  like ``get`` does not connect everything to everything.
+
+The graph is deliberately an over-approximation: flow rules use it for
+*reachability* ("could a solver entry reach this sink?"), where missing
+an edge silently hides a finding but a spurious edge merely asks a human
+to review one suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import FileContext
+from repro.analysis.dataflow import ControlFlowGraph, ReachingDefinitions
+
+__all__ = [
+    "FunctionInfo",
+    "SymbolTable",
+    "CallGraph",
+    "ProjectContext",
+    "module_name_for_path",
+]
+
+#: an attribute call resolved only by its bare name links to at most this
+#: many same-named candidates; beyond that the name is too generic to be
+#: informative and the edge is dropped.
+_MAX_NAME_FALLBACK = 4
+
+#: bare method names so common that name-fallback edges would be noise
+_GENERIC_NAMES = {
+    "get", "set", "add", "pop", "run", "close", "open", "copy", "items",
+    "keys", "values", "update", "append", "extend", "join", "split",
+    "read", "write", "next", "send", "result", "submit", "map",
+}
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``src/repro/convex/admm.py`` → ``repro.convex.admm``;
+    ``benchmarks/bench_kernels.py`` → ``benchmarks.bench_kernels``.
+    An ``src`` segment is stripped so the name matches the import system.
+    """
+    parts = [p for p in re.split(r"[\\/]+", path) if p and p != "."]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    while parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the analyzed file set."""
+
+    qualname: str          # module.func or module.Class.func (nested: a.b)
+    name: str              # bare terminal name
+    module: str
+    node: ast.AST          # FunctionDef / AsyncFunctionDef / Lambda
+    ctx: FileContext
+    params: Tuple[str, ...] = ()
+    is_public: bool = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FunctionInfo({self.qualname})"
+
+
+def _param_names(fn: ast.AST) -> Tuple[str, ...]:
+    args = getattr(fn, "args", None)
+    if args is None:
+        return ()
+    names: List[str] = []
+    for group in (args.posonlyargs, args.args, args.kwonlyargs):
+        names.extend(a.arg for a in group)
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return tuple(names)
+
+
+class SymbolTable:
+    """Every function definition and import alias across the file set."""
+
+    def __init__(self) -> None:
+        #: qualified name -> FunctionInfo
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: bare name -> qualified names sharing it
+        self.by_name: Dict[str, List[str]] = {}
+        #: module -> {local alias -> dotted target}
+        self.imports: Dict[str, Dict[str, str]] = {}
+        #: ast function node -> qualified name (for reverse lookup)
+        self.qualname_of_node: Dict[ast.AST, str] = {}
+
+    @classmethod
+    def build(cls, files: Iterable[FileContext]) -> "SymbolTable":
+        table = cls()
+        for ctx in files:
+            module = module_name_for_path(ctx.path)
+            table.imports[module] = table._collect_imports(ctx.tree)
+            table._collect_functions(ctx, module, ctx.tree, prefix=module)
+        return table
+
+    @staticmethod
+    def _collect_imports(tree: ast.AST) -> Dict[str, str]:
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        return aliases
+
+    def _collect_functions(
+        self, ctx: FileContext, module: str, scope: ast.AST, prefix: str
+    ) -> None:
+        for node in ast.iter_child_nodes(scope):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}.{node.name}"
+                info = FunctionInfo(
+                    qualname=qualname,
+                    name=node.name,
+                    module=module,
+                    node=node,
+                    ctx=ctx,
+                    params=_param_names(node),
+                    is_public=not node.name.startswith("_"),
+                )
+                self.functions[qualname] = info
+                self.by_name.setdefault(node.name, []).append(qualname)
+                self.qualname_of_node[node] = qualname
+                self._collect_functions(ctx, module, node, prefix=qualname)
+            elif isinstance(node, ast.ClassDef):
+                self._collect_functions(
+                    ctx, module, node, prefix=f"{prefix}.{node.name}"
+                )
+
+    def lookup(self, qualname: str) -> Optional[FunctionInfo]:
+        return self.functions.get(qualname)
+
+    def functions_in_module(self, module: str) -> List[FunctionInfo]:
+        return [f for f in self.functions.values() if f.module == module]
+
+
+def _dotted_name(node: ast.AST) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class CallGraph:
+    """Conservative may-call graph over :class:`SymbolTable` functions."""
+
+    def __init__(self, symtab: SymbolTable) -> None:
+        self.symtab = symtab
+        self._edges: Dict[str, Set[str]] = {}
+        self._reverse: Dict[str, Set[str]] = {}
+
+    # ---- construction --------------------------------------------------------
+    @classmethod
+    def build(cls, symtab: SymbolTable) -> "CallGraph":
+        graph = cls(symtab)
+        for info in symtab.functions.values():
+            graph._edges.setdefault(info.qualname, set())
+            for callee in graph._resolve_calls(info):
+                graph._edges[info.qualname].add(callee)
+                graph._reverse.setdefault(callee, set()).add(info.qualname)
+            # defining a nested function counts as a potential call: the
+            # closure escapes through returns/submissions we cannot track
+            for child in ast.iter_child_nodes(info.node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested = symtab.qualname_of_node.get(child)
+                    if nested:
+                        graph._edges[info.qualname].add(nested)
+                        graph._reverse.setdefault(nested, set()).add(
+                            info.qualname
+                        )
+        return graph
+
+    def _resolve_calls(self, info: FunctionInfo) -> Iterator[str]:
+        own_nested = {
+            child.name
+            for child in ast.iter_child_nodes(info.node)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._resolve_target(info, node.func, own_nested)
+            # first-class function arguments (map_solve(fn, ...), retries)
+            for arg in node.args:
+                if isinstance(arg, ast.Name):
+                    yield from self._resolve_target(info, arg, own_nested)
+
+    def _resolve_target(
+        self, info: FunctionInfo, func: ast.AST, own_nested: Set[str]
+    ) -> Iterator[str]:
+        aliases = self.symtab.imports.get(info.module, {})
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in own_nested and f"{info.qualname}.{name}" in (
+                self.symtab.functions
+            ):
+                yield f"{info.qualname}.{name}"
+                return
+            if f"{info.module}.{name}" in self.symtab.functions:
+                yield f"{info.module}.{name}"
+                return
+            target = aliases.get(name)
+            if target and target in self.symtab.functions:
+                yield target
+                return
+            if target:
+                # `from pkg import mod`-style alias of a module: no single
+                # function target; name fallback below would be wrong.
+                return
+            yield from self._name_fallback(name)
+        elif isinstance(func, ast.Attribute):
+            dotted = _dotted_name(func)
+            if dotted:
+                root, _, rest = dotted.partition(".")
+                target_mod = aliases.get(root)
+                if target_mod:
+                    qual = f"{target_mod}.{rest}" if rest else target_mod
+                    if qual in self.symtab.functions:
+                        yield qual
+                        return
+            yield from self._name_fallback(func.attr)
+
+    def _name_fallback(self, name: str) -> Iterator[str]:
+        if name in _GENERIC_NAMES or name.startswith("__"):
+            return
+        candidates = self.symtab.by_name.get(name, [])
+        if 0 < len(candidates) <= _MAX_NAME_FALLBACK:
+            yield from candidates
+
+    # ---- queries -------------------------------------------------------------
+    def callees(self, qualname: str) -> Set[str]:
+        return set(self._edges.get(qualname, ()))
+
+    def callers(self, qualname: str) -> Set[str]:
+        return set(self._reverse.get(qualname, ()))
+
+    def iter_edges(self) -> Iterator[Tuple[str, str]]:
+        for src in sorted(self._edges):
+            for dst in sorted(self._edges[src]):
+                yield src, dst
+
+    def reachable_from(
+        self, roots: Iterable[str]
+    ) -> Dict[str, str]:
+        """BFS closure of *roots*; returns ``{reached: witness_root}``.
+
+        The witness is the root whose BFS first reached the node, so a
+        finding can name one concrete entry point in its message.
+        """
+        witness: Dict[str, str] = {}
+        frontier: List[str] = []
+        for root in roots:
+            if root not in witness:
+                witness[root] = root
+                frontier.append(root)
+        while frontier:
+            cur = frontier.pop(0)
+            for nxt in sorted(self._edges.get(cur, ())):
+                if nxt not in witness:
+                    witness[nxt] = witness[cur]
+                    frontier.append(nxt)
+        return witness
+
+    def to_dot(self, max_label: int = 60) -> str:
+        """GraphViz export for ``--call-graph-dot`` debugging."""
+        lines = ["digraph callgraph {", "  rankdir=LR;", "  node [shape=box];"]
+        for src, dst in self.iter_edges():
+            lines.append(
+                f'  "{src[:max_label]}" -> "{dst[:max_label]}";'
+            )
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+class ProjectContext:
+    """Project-wide view handed to :class:`~repro.analysis.core.FlowRule`.
+
+    Bundles every parsed :class:`FileContext` with the symbol table and
+    call graph built over them, plus lazy caches for per-function CFGs
+    and reaching-definitions so flow rules only pay for the functions
+    they actually inspect.
+    """
+
+    def __init__(self, files: Iterable[FileContext]):
+        self.files: List[FileContext] = list(files)
+        self.symtab = SymbolTable.build(self.files)
+        self.callgraph = CallGraph.build(self.symtab)
+        self._cfgs: Dict[int, ControlFlowGraph] = {}
+        self._reaching: Dict[int, ReachingDefinitions] = {}
+
+    def cfg(self, fn_node: ast.AST) -> ControlFlowGraph:
+        key = id(fn_node)
+        if key not in self._cfgs:
+            self._cfgs[key] = ControlFlowGraph.from_function(fn_node)
+        return self._cfgs[key]
+
+    def reaching(self, fn_node: ast.AST) -> ReachingDefinitions:
+        key = id(fn_node)
+        if key not in self._reaching:
+            self._reaching[key] = ReachingDefinitions(
+                self.cfg(fn_node), fn_node
+            )
+        return self._reaching[key]
+
+    def context_for(self, info: FunctionInfo) -> FileContext:
+        return info.ctx

@@ -11,6 +11,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.core import RULE_FAMILIES
 from repro.analysis.report import render_json, render_rule_catalog, render_text
 from repro.analysis.runner import analyze_paths
 
@@ -52,8 +53,20 @@ def build_parser() -> argparse.ArgumentParser:
              "real review note instead of a placeholder",
     )
     parser.add_argument(
-        "--rules", default=None, metavar="NL001,NL002",
+        "--rules", default=None, metavar="NL001,DT002",
         help="comma-separated subset of rules to run",
+    )
+    parser.add_argument(
+        "--rule-family", choices=RULE_FAMILIES, default=None,
+        dest="rule_family",
+        help="run only one analyzer tier: 'expression' (per-file NL rules) "
+             "or 'flow' (interprocedural DT/RD rules)",
+    )
+    parser.add_argument(
+        "--call-graph-dot", type=Path, default=None, metavar="FILE",
+        dest="call_graph_dot",
+        help="write the interprocedural call graph as GraphViz DOT to FILE "
+             "(debug aid for DT001 reachability; implies the flow tier runs)",
     )
     parser.add_argument(
         "--root", type=Path, default=None,
@@ -101,6 +114,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     rule_ids = None
     if args.rules:
         rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+    families = None
+    if args.rule_family:
+        families = [args.rule_family]
+        if args.call_graph_dot is not None and args.rule_family != "flow":
+            print("error: --call-graph-dot needs the flow tier "
+                  "(drop --rule-family or set it to 'flow')",
+                  file=sys.stderr)
+            return 2
 
     baseline_path = args.baseline
     if baseline_path is None and DEFAULT_BASELINE.is_file():
@@ -115,8 +136,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         baseline = Baseline.load(baseline_path)
 
     result = analyze_paths(
-        args.paths, baseline=baseline, rules=rule_ids, root=args.root
+        args.paths, baseline=baseline, rules=rule_ids,
+        families=families, root=args.root,
     )
+
+    if args.call_graph_dot is not None:
+        if result.project is None:
+            print("error: no call graph was built (no parseable files?)",
+                  file=sys.stderr)
+            return 2
+        args.call_graph_dot.write_text(
+            result.project.callgraph.to_dot(), encoding="utf-8"
+        )
+        print(f"numlint: wrote call graph to {args.call_graph_dot}",
+              file=sys.stderr)
 
     if args.write_baseline:
         target = baseline_path or DEFAULT_BASELINE

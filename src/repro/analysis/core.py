@@ -9,7 +9,9 @@ from __future__ import annotations
 
 import ast
 import hashlib
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
 
@@ -17,13 +19,23 @@ __all__ = [
     "Finding",
     "FileContext",
     "Rule",
+    "FlowRule",
     "Suppressions",
+    "SuppressionError",
     "register_rule",
     "get_rule",
     "all_rules",
+    "rules_in_family",
+    "known_rule_ids",
+    "RULE_FAMILIES",
 ]
 
-RULE_ID_RE = re.compile(r"^NL\d{3}$")
+#: ``NL`` = per-expression numerical rules; ``DT`` = determinism flow
+#: rules; ``RD`` = resource-discipline flow rules.
+RULE_ID_RE = re.compile(r"^(?:NL|DT|RD)\d{3}$")
+
+#: the two analyzer tiers (see docs/STATIC_ANALYSIS.md)
+RULE_FAMILIES = ("expression", "flow")
 
 # ``# numlint: disable=NL001,NL002 -- justification``
 # ``# numlint: disable-file=NL003 -- justification``  (anywhere in the file)
@@ -61,6 +73,45 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col}"
 
 
+class SuppressionError(ValueError):
+    """A ``# numlint:`` pragma names a rule code the registry does not know.
+
+    Unknown codes used to be silently ignored, which meant a typo like
+    ``disable=NL02`` left the finding live while the author believed it
+    suppressed — or worse, kept a stale pragma forever.  The parser now
+    fails loudly; the runner reports it like a parse error (exit 1).
+    """
+
+    def __init__(self, line: int, code: str):
+        self.line = line
+        self.code = code
+        known = ", ".join(sorted(known_rule_ids())) or "<no rules registered>"
+        super().__init__(
+            f"line {line}: unknown rule code {code!r} in numlint suppression "
+            f"(known codes: all, {known})"
+        )
+
+
+def _comment_lines(source: str) -> "Iterator[Tuple[int, str]]":
+    """Yield ``(lineno, comment_text)`` for every real comment token.
+
+    Tokenizing keeps pragma-shaped text inside string literals out of
+    suppression parsing.  If the source does not tokenize (it always does
+    for files the runner already ``ast.parse``d), fall back to the raw
+    line scan so direct callers still get best-effort parsing.
+    """
+    try:
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokenize.generate_tokens(io.StringIO(source).readline)
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        yield from enumerate(source.splitlines(), start=1)
+    else:
+        yield from comments
+
+
 @dataclass
 class Suppressions:
     """Parsed ``# numlint:`` pragmas for one file."""
@@ -74,12 +125,27 @@ class Suppressions:
 
     @classmethod
     def parse(cls, source: str) -> "Suppressions":
+        """Parse every pragma in *source*.
+
+        Raises :class:`SuppressionError` on a rule code the registry does
+        not know (only ``all`` and registered ids are valid), so typo'd
+        pragmas fail loudly instead of silently suppressing nothing.
+
+        Only genuine comment tokens are considered: a pragma-shaped text
+        inside a string literal (e.g. a lint-test fixture) is not a
+        suppression and must not be validated as one.
+        """
         supp = cls()
-        for lineno, line in enumerate(source.splitlines(), start=1):
+        known = known_rule_ids()
+        for lineno, line in _comment_lines(source):
             m = _SUPPRESS_RE.search(line)
             if m is None:
                 continue
             rules = {r.strip() for r in m.group("rules").split(",")}
+            if known:  # registry populated (always true via the package)
+                for code in sorted(rules):
+                    if code != "all" and code not in known:
+                        raise SuppressionError(lineno, code)
             why = m.group("why") or ""
             if m.group("kind") == "disable-file":
                 supp.file_wide |= rules
@@ -148,18 +214,38 @@ class FileContext:
 
 
 class Rule:
-    """Base class for numlint rules.
+    """Base class for per-file **expression** rules.
 
     Subclasses set ``rule_id`` (``NLnnn``), ``title``, ``rationale`` (the
     Fig. 3 / paper grounding shown by ``--list-rules``) and implement
-    :meth:`check`.
+    :meth:`check` over one parsed file.
     """
 
     rule_id: str = ""
     title: str = ""
     rationale: str = ""
+    #: which analyzer tier the rule belongs to (see RULE_FAMILIES)
+    family: str = "expression"
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class FlowRule(Rule):
+    """Base class for interprocedural **flow** rules (``DTnnn``/``RDnnn``).
+
+    Flow rules see the whole analyzed file set at once through a
+    :class:`~repro.analysis.callgraph.ProjectContext` — symbol table,
+    call graph, and per-function CFG/reaching-definitions caches — and
+    implement :meth:`check_project` instead of the per-file :meth:`check`.
+    """
+
+    family = "flow"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project) -> Iterable[Finding]:  # pragma: no cover
         raise NotImplementedError
 
 
@@ -169,7 +255,9 @@ _REGISTRY: Dict[str, Rule] = {}
 def register_rule(cls: Type[Rule]) -> Type[Rule]:
     """Class decorator: instantiate and register a rule by its id."""
     if not RULE_ID_RE.match(cls.rule_id):
-        raise ValueError(f"invalid rule id {cls.rule_id!r} (expected NLnnn)")
+        raise ValueError(
+            f"invalid rule id {cls.rule_id!r} (expected NLnnn, DTnnn or RDnnn)"
+        )
     if cls.rule_id in _REGISTRY:
         raise ValueError(f"duplicate rule id {cls.rule_id}")
     _REGISTRY[cls.rule_id] = cls()
@@ -182,3 +270,17 @@ def get_rule(rule_id: str) -> Rule:
 
 def all_rules() -> List[Rule]:
     return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def rules_in_family(family: str) -> List[Rule]:
+    """Rules of one tier; *family* must be in :data:`RULE_FAMILIES`."""
+    if family not in RULE_FAMILIES:
+        raise ValueError(
+            f"unknown rule family {family!r} (expected one of {RULE_FAMILIES})"
+        )
+    return [r for r in all_rules() if r.family == family]
+
+
+def known_rule_ids() -> set:
+    """Registered rule ids — the vocabulary valid in suppressions."""
+    return set(_REGISTRY)

@@ -1,0 +1,397 @@
+"""Lightweight per-function control-flow graph and reaching definitions.
+
+The flow rules need two classic dataflow facts the plain AST cannot
+answer:
+
+* *which definitions of a name reach a use* (DT002's wall-clock taint,
+  DT003's escape analysis, DT004's set-typed iterables), and
+* *what statements lie inside a loop body, on any path* (RD001's
+  budget-cooperation check).
+
+This is a deliberately small implementation: one :class:`Block` per
+maximal straight-line statement run, edges for ``if``/``while``/``for``/
+``try`` and ``break``/``continue``/``return``/``raise``, and a textbook
+gen/kill worklist for reaching definitions at block granularity with an
+intra-block walk for statement-level precision.  It trades precision for
+robustness — ``match`` statements and exotic constructs degrade to
+sequential edges rather than failing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "Block",
+    "ControlFlowGraph",
+    "ReachingDefinitions",
+    "assigned_names",
+    "free_names",
+]
+
+#: a definition: (variable name, defining AST node)
+Definition = Tuple[str, ast.AST]
+
+
+def assigned_names(stmt: ast.AST) -> List[Tuple[str, ast.AST]]:
+    """Names a statement (re)binds, with the binding node.
+
+    Covers Assign/AnnAssign/AugAssign targets (including tuple/list
+    unpacking and starred elements), ``for`` targets, ``with ... as``,
+    walrus expressions, imports, and ``except ... as``.
+    """
+    out: List[Tuple[str, ast.AST]] = []
+
+    def targets_of(node: ast.AST) -> Iterator[str]:
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            for elt in node.elts:
+                yield from targets_of(elt)
+        elif isinstance(node, ast.Starred):
+            yield from targets_of(node.value)
+        # attribute/subscript targets rebind object state, not names
+
+    if isinstance(stmt, ast.Assign):
+        for t in stmt.targets:
+            out.extend((n, stmt) for n in targets_of(t))
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        out.extend((n, stmt) for n in targets_of(stmt.target))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        out.extend((n, stmt) for n in targets_of(stmt.target))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                out.extend((n, stmt) for n in targets_of(item.optional_vars))
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            out.append(((alias.asname or alias.name.split(".")[0]), stmt))
+    elif isinstance(stmt, ast.ExceptHandler) and stmt.name:
+        out.append((stmt.name, stmt))
+    elif isinstance(
+        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        out.append((stmt.name, stmt))
+    # walrus anywhere in the statement's expressions
+    for sub in ast.walk(stmt):
+        if isinstance(sub, ast.NamedExpr) and isinstance(sub.target, ast.Name):
+            out.append((sub.target.id, sub))
+    return out
+
+
+def free_names(fn: ast.AST) -> Set[str]:
+    """Names a function/lambda reads but neither binds nor receives.
+
+    The closure-capture set used by DT003's escape analysis: loads minus
+    parameters minus local bindings minus builtins-looking globals is
+    approximated as loads minus params minus locals (module globals are
+    filtered by the caller, which knows the enclosing scope).
+    """
+    params: Set[str] = set()
+    args = getattr(fn, "args", None)
+    if args is not None:
+        for group in (args.posonlyargs, args.args, args.kwonlyargs):
+            params.update(a.arg for a in group)
+        if args.vararg:
+            params.add(args.vararg.arg)
+        if args.kwarg:
+            params.add(args.kwarg.arg)
+    bound: Set[str] = set(params)
+    loads: Set[str] = set()
+    body = fn.body if isinstance(fn.body, list) else [fn.body]
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Name):
+                if isinstance(sub.ctx, ast.Load):
+                    loads.add(sub.id)
+                else:
+                    bound.add(sub.id)
+            elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                bound.add(sub.name)
+    return loads - bound
+
+
+@dataclass
+class Block:
+    """One straight-line run of statements."""
+
+    block_id: int
+    statements: List[ast.AST] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+
+    def add_successor(self, block_id: int) -> None:
+        if block_id not in self.successors:
+            self.successors.append(block_id)
+
+
+class ControlFlowGraph:
+    """CFG for one function body (or any statement list)."""
+
+    def __init__(self) -> None:
+        self.blocks: Dict[int, Block] = {}
+        self.entry: int = 0
+        self.exit: int = 0
+        #: statement node -> containing block id
+        self.block_of: Dict[ast.AST, int] = {}
+
+    # ---- construction --------------------------------------------------------
+    @classmethod
+    def from_function(cls, fn: ast.AST) -> "ControlFlowGraph":
+        body = fn.body if isinstance(fn.body, list) else [ast.Return(fn.body)]
+        return cls.from_statements(body)
+
+    @classmethod
+    def from_statements(cls, body: List[ast.stmt]) -> "ControlFlowGraph":
+        cfg = cls()
+        cfg.entry = cfg._new_block().block_id
+        cfg.exit = cfg._new_block().block_id
+        end = cfg._build(body, cfg.entry, loop_stack=[])
+        if end is not None:
+            cfg.blocks[end].add_successor(cfg.exit)
+        return cfg
+
+    def _new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks[block.block_id] = block
+        return block
+
+    def _build(
+        self,
+        body: List[ast.stmt],
+        current: int,
+        loop_stack: List[Tuple[int, int]],
+    ) -> Optional[int]:
+        """Append *body* starting at block *current*.
+
+        Returns the open fall-through block id, or ``None`` when every
+        path terminated (return/raise/break/continue).  *loop_stack*
+        holds (loop-header, loop-exit) pairs for break/continue wiring.
+        """
+        for stmt in body:
+            if current is None:
+                # unreachable code after a terminator; keep mapping
+                # statements so queries never KeyError
+                current = self._new_block().block_id
+            if isinstance(stmt, ast.If):
+                self.blocks[current].statements.append(stmt)
+                self.block_of[stmt] = current
+                then_b = self._new_block().block_id
+                self.blocks[current].add_successor(then_b)
+                then_end = self._build(stmt.body, then_b, loop_stack)
+                if stmt.orelse:
+                    else_b = self._new_block().block_id
+                    self.blocks[current].add_successor(else_b)
+                    else_end = self._build(stmt.orelse, else_b, loop_stack)
+                else:
+                    else_end = current
+                join = self._new_block().block_id
+                for end in (then_end, else_end):
+                    if end is not None:
+                        self.blocks[end].add_successor(join)
+                current = join
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                header = self._new_block().block_id
+                self.blocks[current].add_successor(header)
+                self.blocks[header].statements.append(stmt)
+                self.block_of[stmt] = header
+                exit_b = self._new_block().block_id
+                self.blocks[header].add_successor(exit_b)  # cond false / done
+                body_b = self._new_block().block_id
+                self.blocks[header].add_successor(body_b)
+                loop_stack.append((header, exit_b))
+                body_end = self._build(stmt.body, body_b, loop_stack)
+                loop_stack.pop()
+                if body_end is not None:
+                    self.blocks[body_end].add_successor(header)  # back edge
+                if stmt.orelse:
+                    current = self._build(stmt.orelse, exit_b, loop_stack)
+                    if current is None:
+                        return None
+                else:
+                    current = exit_b
+            elif isinstance(stmt, ast.Try):
+                self.blocks[current].statements.append(stmt)
+                self.block_of[stmt] = current
+                try_b = self._new_block().block_id
+                self.blocks[current].add_successor(try_b)
+                try_end = self._build(stmt.body, try_b, loop_stack)
+                join = self._new_block().block_id
+                ends: List[Optional[int]] = [try_end]
+                for handler in stmt.handlers:
+                    h_b = self._new_block().block_id
+                    # any statement in the try may raise into the handler
+                    self.blocks[try_b].add_successor(h_b)
+                    if try_end is not None:
+                        self.blocks[try_end].add_successor(h_b)
+                    for name, node in assigned_names(handler):
+                        self.blocks[h_b].statements.append(handler)
+                        self.block_of.setdefault(handler, h_b)
+                        break
+                    ends.append(self._build(handler.body, h_b, loop_stack))
+                for end in [e for e in ends if e is not None]:
+                    self.blocks[end].add_successor(join)
+                if stmt.orelse and try_end is not None:
+                    or_end = self._build(stmt.orelse, try_end, loop_stack)
+                    if or_end is not None:
+                        self.blocks[or_end].add_successor(join)
+                if stmt.finalbody:
+                    fin_end = self._build(stmt.finalbody, join, loop_stack)
+                    if fin_end is None:
+                        return None
+                    join = fin_end
+                current = join
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self.blocks[current].statements.append(stmt)
+                self.block_of[stmt] = current
+                inner = self._new_block().block_id
+                self.blocks[current].add_successor(inner)
+                current = self._build(stmt.body, inner, loop_stack)
+                if current is None:
+                    return None
+            elif isinstance(stmt, (ast.Return, ast.Raise)):
+                self.blocks[current].statements.append(stmt)
+                self.block_of[stmt] = current
+                self.blocks[current].add_successor(self.exit)
+                return None
+            elif isinstance(stmt, ast.Break):
+                self.blocks[current].statements.append(stmt)
+                self.block_of[stmt] = current
+                if loop_stack:
+                    self.blocks[current].add_successor(loop_stack[-1][1])
+                return None
+            elif isinstance(stmt, ast.Continue):
+                self.blocks[current].statements.append(stmt)
+                self.block_of[stmt] = current
+                if loop_stack:
+                    self.blocks[current].add_successor(loop_stack[-1][0])
+                return None
+            else:
+                self.blocks[current].statements.append(stmt)
+                self.block_of[stmt] = current
+        return current
+
+    # ---- queries -------------------------------------------------------------
+    def statements_in_loop(self, loop: ast.AST) -> List[ast.AST]:
+        """Every statement on any path through *loop*'s body (nested
+        control flow included) — the domain of RD001's check."""
+        out: List[ast.AST] = []
+        for stmt in getattr(loop, "body", []) + getattr(loop, "orelse", []):
+            out.append(stmt)
+            out.extend(
+                s for s in ast.walk(stmt) if isinstance(s, ast.stmt)
+            )
+        return out
+
+    def predecessors(self) -> Dict[int, Set[int]]:
+        preds: Dict[int, Set[int]] = {b: set() for b in self.blocks}
+        for block in self.blocks.values():
+            for succ in block.successors:
+                preds[succ].add(block.block_id)
+        return preds
+
+
+class ReachingDefinitions:
+    """Textbook gen/kill reaching-definitions over a :class:`ControlFlowGraph`.
+
+    Definitions are ``(name, node)`` pairs.  Function parameters are
+    modelled as entry definitions with the function node itself as the
+    defining node.
+    """
+
+    def __init__(self, cfg: ControlFlowGraph, fn: Optional[ast.AST] = None):
+        self.cfg = cfg
+        self._in: Dict[int, FrozenSet[Definition]] = {}
+        self._out: Dict[int, FrozenSet[Definition]] = {}
+        entry_defs: Set[Definition] = set()
+        if fn is not None:
+            args = getattr(fn, "args", None)
+            if args is not None:
+                for group in (args.posonlyargs, args.args, args.kwonlyargs):
+                    entry_defs.update((a.arg, fn) for a in group)
+                if args.vararg:
+                    entry_defs.add((args.vararg.arg, fn))
+                if args.kwarg:
+                    entry_defs.add((args.kwarg.arg, fn))
+        self._solve(frozenset(entry_defs))
+
+    def _block_gen_kill(
+        self, block: Block
+    ) -> Tuple[Set[Definition], Set[str]]:
+        gen: Dict[str, Definition] = {}
+        killed: Set[str] = set()
+        for stmt in block.statements:
+            for name, node in assigned_names(stmt):
+                gen[name] = (name, node)
+                killed.add(name)
+        return set(gen.values()), killed
+
+    def _solve(self, entry_defs: FrozenSet[Definition]) -> None:
+        gen_kill = {
+            b: self._block_gen_kill(block)
+            for b, block in self.cfg.blocks.items()
+        }
+        preds = self.cfg.predecessors()
+        for b in self.cfg.blocks:
+            self._in[b] = frozenset()
+            self._out[b] = frozenset()
+        self._in[self.cfg.entry] = entry_defs
+        gen, killed = gen_kill[self.cfg.entry]
+        self._out[self.cfg.entry] = frozenset(
+            gen | {d for d in entry_defs if d[0] not in killed}
+        )
+        work = list(self.cfg.blocks)
+        while work:
+            b = work.pop(0)
+            in_set: Set[Definition] = set(
+                entry_defs if b == self.cfg.entry else ()
+            )
+            for p in preds[b]:
+                in_set |= self._out[p]
+            gen, killed = gen_kill[b]
+            out_set = frozenset(
+                gen | {d for d in in_set if d[0] not in killed}
+            )
+            changed = (
+                frozenset(in_set) != self._in[b] or out_set != self._out[b]
+            )
+            self._in[b] = frozenset(in_set)
+            self._out[b] = out_set
+            if changed:
+                work.extend(self.cfg.blocks[b].successors)
+        # termination: def sets only grow and the lattice is finite
+
+    def defs_reaching(self, stmt: ast.AST, name: str) -> List[ast.AST]:
+        """Definitions of *name* live just before *stmt* executes."""
+        block_id = self.cfg.block_of.get(stmt)
+        if block_id is None:
+            # statement nested inside a compound header: find the block
+            # of the nearest mapped ancestor via linear scan
+            for mapped, bid in self.cfg.block_of.items():
+                if stmt in ast.walk(mapped):
+                    block_id = bid
+                    break
+        if block_id is None:
+            return []
+        live: Dict[str, Set[ast.AST]] = {}
+        for n, node in self._in[block_id]:
+            live.setdefault(n, set()).add(node)
+        for s in self.cfg.blocks[block_id].statements:
+            if s is stmt or stmt in ast.walk(s):
+                break
+            for n, node in assigned_names(s):
+                live[n] = {node}
+        return sorted(
+            live.get(name, ()), key=lambda n: getattr(n, "lineno", 0)
+        )
+
+    def all_defs_of(self, name: str) -> List[ast.AST]:
+        """Every definition of *name* anywhere in the function."""
+        out: List[ast.AST] = []
+        for block in self.cfg.blocks.values():
+            for stmt in block.statements:
+                for n, node in assigned_names(stmt):
+                    if n == name and node not in out:
+                        out.append(node)
+        return out

@@ -5,7 +5,7 @@ from __future__ import annotations
 import json
 from typing import TYPE_CHECKING, List
 
-from repro.analysis.core import all_rules
+from repro.analysis.core import RULE_FAMILIES, rules_in_family
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.runner import AnalysisResult
@@ -79,10 +79,24 @@ def render_json(result: "AnalysisResult") -> str:
     return json.dumps(doc, indent=2)
 
 
+_FAMILY_HEADERS = {
+    "expression": "expression rules (per-file, NL···)",
+    "flow": "flow rules (interprocedural, DT···/RD···)",
+}
+
+
 def render_rule_catalog() -> str:
-    """The ``--list-rules`` output: every rule with its paper grounding."""
+    """The ``--list-rules`` output: every rule with its paper grounding,
+    grouped by analyzer tier."""
     lines: List[str] = []
-    for rule in all_rules():
-        lines.append(f"{rule.rule_id}  {rule.title}")
-        lines.append(f"    {rule.rationale}")
+    for family in RULE_FAMILIES:
+        rules = rules_in_family(family)
+        if not rules:
+            continue
+        if lines:
+            lines.append("")
+        lines.append(f"== {_FAMILY_HEADERS.get(family, family)} ==")
+        for rule in rules:
+            lines.append(f"{rule.rule_id}  {rule.title}")
+            lines.append(f"    {rule.rationale}")
     return "\n".join(lines)

@@ -213,7 +213,9 @@ class UnguardedDivisionRule(Rule):
     _CONST_ATTRS = {"pi", "e", "tau", "euler_gamma", "inf"}
 
     def _safe_denominator(self, node: ast.AST) -> bool:
-        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if isinstance(node, ast.JoinedStr) or (
+            isinstance(node, ast.Constant) and isinstance(node.value, str)
+        ):
             return True  # pathlib's `/` operator, not arithmetic
         if _is_const_num(node):
             return not _is_const_num(node, 0.0)
@@ -293,7 +295,8 @@ class UnguardedDivisionRule(Rule):
                 stack.extend(cur.args)
             elif isinstance(cur, ast.Subscript):
                 stack.append(cur.value)
-        return [s for s in seen if s and not s.replace(".", "").isdigit()]
+        # sorted: `seen` is a set, and candidates feed orderable output
+        return sorted(s for s in seen if s and not s.replace(".", "").isdigit())
 
     def _guarded_in_scope(
         self, ctx: FileContext, node: ast.AST, den: ast.AST

@@ -1,0 +1,806 @@
+"""The flow-rule pack: DT001–DT004 (determinism) and RD001–RD003
+(resource discipline).
+
+Where the NL rules check one expression at a time, these rules check the
+*contracts between functions* that the reproduction's reliability rests
+on: solves must be deterministic under the seeded ``repro.parallel``
+executor (golden reports diff bit-for-bit), loops must cooperate with
+``resilience.Budget`` so the fallback ladders can degrade instead of
+hang, and timing must flow through injectable clocks so deadlines are
+testable.  They run over a :class:`~repro.analysis.callgraph.ProjectContext`
+— symbol table, conservative call graph, per-function CFGs with reaching
+definitions — built once per analyzer run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import FunctionInfo, ProjectContext
+from repro.analysis.core import FileContext, Finding, FlowRule, register_rule
+from repro.analysis.dataflow import assigned_names, free_names
+# the RNG vocabularies are shared with the per-expression NL004 rule
+from repro.analysis.rules import (  # noqa: F401
+    _NP_RANDOM_OK,
+    _STDLIB_RANDOM_GLOBALS,
+    _dotted,
+    _func_name,
+)
+
+__all__ = ["ENTRY_SEGMENTS", "WALL_CLOCK_CALLS"]
+
+#: modules whose public functions count as solver/PSO/executor entry
+#: points for DT001 reachability (path segments of the dotted module)
+ENTRY_SEGMENTS = {"convex", "pso", "minlp", "parallel", "qos", "verify", "core"}
+
+#: dotted callables that read the ambient wall clock
+WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+}
+
+#: ``datetime``-style "now" constructors (matched on the terminal attr
+#: so both ``datetime.now`` and ``datetime.datetime.now`` hit)
+_DATETIME_NOW_ATTRS = {"now", "utcnow", "today"}
+
+_LADDERISH_RE = re.compile(
+    r"(rung|ladder|fallback|candidate|backend|solver|strateg)", re.IGNORECASE
+)
+_RECORDING_CALL_RE = re.compile(
+    r"(append|add|record|log|warn|event|inc|observe|note|push|report|mark|"
+    r"fail|counter|emit|debug|info|error|exception)",
+    re.IGNORECASE,
+)
+_FAILURE_NAME_RE = re.compile(
+    r"(fail|error|err|status|reason|skipped|degraded)", re.IGNORECASE
+)
+
+#: receivers that look like executors for DT003 submission sites
+_EXECUTORISH_RE = re.compile(r"(executor|pool|exec\b)", re.IGNORECASE)
+
+#: mutating method names on captured containers
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "clear", "update",
+    "add", "discard", "setdefault", "popitem", "sort", "reverse",
+}
+
+#: calls whose consumption of an iterable is order-insensitive, so a
+#: set-typed argument is fine (DT004)
+_ORDER_INSENSITIVE_CALLS = {
+    "sorted", "set", "frozenset", "sum", "min", "max", "any", "all", "len",
+    "fsum", "mean", "Counter", "dict",
+}
+
+
+def _own_nodes(fn_node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body, *excluding* nested def subtrees (those are
+    separate :class:`FunctionInfo` nodes analyzed on their own)."""
+    stack = list(ast.iter_child_nodes(fn_node))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _enclosing_stmt(ctx: FileContext, node: ast.AST) -> ast.AST:
+    cur: Optional[ast.AST] = node
+    while cur is not None and not isinstance(cur, ast.stmt):
+        cur = ctx.parent(cur)
+    return cur if cur is not None else node
+
+
+def _module_level_names(tree: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in getattr(tree, "body", []):
+        for name, _ in assigned_names(stmt):
+            names.add(name)
+    return names
+
+
+# --------------------------------------------------------------------------
+# DT001 — unseeded global RNG reachable from solver entry points
+# --------------------------------------------------------------------------
+
+
+@register_rule
+class ReachableGlobalRngRule(FlowRule):
+    rule_id = "DT001"
+    title = "global RNG reachable from solver entry point"
+    rationale = (
+        "Determinism contract of repro.parallel: every random stream on a "
+        "solve path must derive from the executor's task-index seeding "
+        "(derive_seed), or golden reports stop diffing bit-for-bit. This "
+        "rule walks the call graph from every public solver/PSO/executor "
+        "entry point and flags hidden global-state RNG (legacy np.random.*, "
+        "stdlib random.*) anywhere on a reachable path — including helpers "
+        "in other modules that the per-file NL004 scan sees without the "
+        "entry-point provenance."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        entries = [
+            info.qualname
+            for info in project.symtab.functions.values()
+            if info.is_public
+            and ENTRY_SEGMENTS & set(info.module.split("."))
+        ]
+        witness = project.callgraph.reachable_from(entries)
+        for info in project.symtab.functions.values():
+            if info.qualname not in witness:
+                continue
+            root = witness[info.qualname]
+            for node, label in self._rng_sites(info):
+                yield info.ctx.finding(
+                    self.rule_id, node,
+                    f"global-state RNG `{label}` reachable from solver entry "
+                    f"`{root}` — thread a seeded np.random.Generator derived "
+                    "via repro.parallel.derive_seed",
+                )
+
+    def _rng_sites(
+        self, info: FunctionInfo
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        stdlib_random = (
+            info.ctx.path.endswith(".py")
+            and "random" in self._stdlib_random_aliases(info)
+        )
+        for node in _own_nodes(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            parts = dotted.split(".")
+            if (
+                len(parts) == 3
+                and parts[0] in {"np", "numpy"}
+                and parts[1] == "random"
+                and parts[2] not in _NP_RANDOM_OK
+            ):
+                yield node, dotted
+            elif (
+                stdlib_random
+                and len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] in _STDLIB_RANDOM_GLOBALS
+            ):
+                yield node, dotted
+
+    @staticmethod
+    def _stdlib_random_aliases(info: FunctionInfo) -> Set[str]:
+        aliases: Set[str] = set()
+        for node in ast.walk(info.ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases.add(alias.asname or "random")
+        return aliases
+
+
+# --------------------------------------------------------------------------
+# DT002 — wall-clock reads feeding control flow
+# --------------------------------------------------------------------------
+
+
+@register_rule
+class WallClockDecisionRule(FlowRule):
+    rule_id = "DT002"
+    title = "wall clock drives control flow"
+    rationale = (
+        "Injectable-clock contract (resilience.Budget, obs.Tracer): timing "
+        "that decides *what the solver does* — deadlines, termination, "
+        "branch selection — must come through an injectable clock so tests "
+        "can drive it deterministically. A hard-coded time.time()/"
+        "perf_counter()/datetime.now() that flows into an if/while test "
+        "makes the solve path depend on machine load. Pure telemetry "
+        "(measuring a wall_time to report) is not flagged."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for info in project.symtab.functions.values():
+            yield from self._check_function(project, info)
+
+    def _check_function(
+        self, project: ProjectContext, info: FunctionInfo
+    ) -> Iterator[Finding]:
+        clock_calls = [
+            node for node in _own_nodes(info.node)
+            if isinstance(node, ast.Call) and self._is_wall_clock(node)
+        ]
+        if not clock_calls:
+            return
+        rd = project.reaching(info.node)
+        tainted = self._tainted_defs(info, rd, clock_calls)
+        reported: Set[int] = set()
+        for test, stmt in self._decision_tests(info):
+            hit = self._clock_in_expr(test)
+            if hit is None:
+                for sub in ast.walk(test):
+                    if (
+                        isinstance(sub, ast.Name)
+                        and isinstance(sub.ctx, ast.Load)
+                        and any(
+                            id(d) in tainted
+                            for d in rd.defs_reaching(stmt, sub.id)
+                        )
+                    ):
+                        hit = sub
+                        break
+            if hit is None or id(stmt) in reported:
+                continue
+            reported.add(id(stmt))
+            label = (
+                f"`{_dotted(hit.func)}(...)`" if isinstance(hit, ast.Call)
+                else f"`{hit.id}`, a value derived from a wall-clock read"
+            )
+            yield info.ctx.finding(
+                self.rule_id, stmt,
+                f"branch decided by {label} — thread an injectable clock "
+                "(cf. resilience.Budget's clock parameter) so the deadline "
+                "is testable",
+            )
+
+    @staticmethod
+    def _is_wall_clock(call: ast.Call) -> bool:
+        dotted = _dotted(call.func)
+        if dotted in WALL_CLOCK_CALLS:
+            return True
+        parts = dotted.split(".")
+        return (
+            len(parts) >= 2
+            and parts[-1] in _DATETIME_NOW_ATTRS
+            and "datetime" in parts[:-1]
+        )
+
+    def _clock_in_expr(self, expr: ast.AST) -> Optional[ast.Call]:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call) and self._is_wall_clock(sub):
+                return sub
+        return None
+
+    def _decision_tests(
+        self, info: FunctionInfo
+    ) -> Iterator[Tuple[ast.AST, ast.AST]]:
+        for node in _own_nodes(info.node):
+            if isinstance(node, (ast.If, ast.While)):
+                yield node.test, node
+            elif isinstance(node, ast.IfExp):
+                yield node.test, _enclosing_stmt(info.ctx, node)
+            elif isinstance(node, ast.Assert):
+                yield node.test, node
+
+    def _tainted_defs(
+        self, info: FunctionInfo, rd, clock_calls: List[ast.Call]
+    ) -> Set[int]:
+        """Fixpoint over definitions: a def is tainted when its RHS reads
+        the wall clock directly or a name whose reaching defs are tainted."""
+        clock_ids = {id(c) for c in clock_calls}
+        defs: List[Tuple[ast.AST, Optional[ast.AST]]] = []
+        for node in _own_nodes(info.node):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                defs.append((node, node.value))
+            elif isinstance(node, ast.NamedExpr):
+                defs.append((node, node.value))
+        tainted: Set[int] = set()
+        changed = True
+        while changed:
+            changed = False
+            for node, value in defs:
+                if value is None or id(node) in tainted:
+                    continue
+                dirty = any(
+                    id(sub) in clock_ids for sub in ast.walk(value)
+                ) or any(
+                    isinstance(sub, ast.Name)
+                    and isinstance(sub.ctx, ast.Load)
+                    and any(
+                        id(d) in tainted
+                        for d in rd.defs_reaching(node, sub.id)
+                    )
+                    for sub in ast.walk(value)
+                )
+                if dirty:
+                    tainted.add(id(node))
+                    changed = True
+        return tainted
+
+
+# --------------------------------------------------------------------------
+# DT003 — closures over mutable state submitted to the executor
+# --------------------------------------------------------------------------
+
+
+@register_rule
+class ExecutorClosureEscapeRule(FlowRule):
+    rule_id = "DT003"
+    title = "executor closure captures mutable state"
+    rationale = (
+        "repro.parallel's determinism contract forbids tasks communicating "
+        "through shared mutable state: a closure handed to map_solve/"
+        "submit/Executor.map that captures a loop variable (late binding) "
+        "or a nonlocal that is reassigned/mutated races with the workers — "
+        "results then depend on scheduling, which the golden-report tests "
+        "cannot tolerate. Bind loop variables as default arguments or pass "
+        "items explicitly."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for info in project.symtab.functions.values():
+            yield from self._check_function(project, info)
+
+    def _check_function(
+        self, project: ProjectContext, info: FunctionInfo
+    ) -> Iterator[Finding]:
+        submit_sites = [
+            node for node in _own_nodes(info.node)
+            if isinstance(node, ast.Call) and self._is_submission(node)
+        ]
+        if not submit_sites:
+            return
+        module_names = _module_level_names(info.ctx.tree)
+        nested_defs = {
+            child.name: child
+            for child in ast.iter_child_nodes(info.node)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        rd = project.reaching(info.node)
+        for site in submit_sites:
+            closure = self._submitted_callable(site, nested_defs)
+            if closure is None:
+                continue
+            captured = free_names(closure) - module_names
+            for name in sorted(captured):
+                verdict = self._capture_hazard(
+                    info, rd, closure, site, name
+                )
+                if verdict:
+                    yield info.ctx.finding(
+                        self.rule_id, site,
+                        f"closure submitted to `{_dotted(site.func) or _func_name(site)}` "
+                        f"captures `{name}`, which {verdict} — bind it as a "
+                        "default argument or pass it through the items",
+                    )
+
+    @staticmethod
+    def _is_submission(call: ast.Call) -> bool:
+        name = _func_name(call)
+        if name == "map_solve":
+            return True
+        if name in {"submit", "map"} and isinstance(call.func, ast.Attribute):
+            try:
+                receiver = ast.unparse(call.func.value)
+            except ValueError:  # pragma: no cover - exotic receiver
+                return False
+            return bool(_EXECUTORISH_RE.search(receiver))
+        return False
+
+    @staticmethod
+    def _submitted_callable(
+        call: ast.Call, nested_defs: Dict[str, ast.AST]
+    ) -> Optional[ast.AST]:
+        if not call.args:
+            return None
+        fn = call.args[0]
+        if isinstance(fn, ast.Lambda):
+            return fn
+        if isinstance(fn, ast.Name) and fn.id in nested_defs:
+            return nested_defs[fn.id]
+        return None
+
+    def _capture_hazard(
+        self, info: FunctionInfo, rd, closure: ast.AST,
+        site: ast.AST, name: str
+    ) -> Optional[str]:
+        closure_line = getattr(closure, "lineno", 0)
+        defs = rd.all_defs_of(name)
+        if not defs:
+            return None  # a true global / builtin; out of scope here
+        # (a) loop-variable capture: the closure lives inside a loop that
+        # rebinds the name on every iteration (classic late binding)
+        for anc in info.ctx.ancestors(closure):
+            if anc is info.node:
+                break
+            if isinstance(anc, (ast.For, ast.AsyncFor, ast.While)):
+                loop_defs = {
+                    id(n) for nm, n in assigned_names(anc) if nm == name
+                }
+                rebinds_in_body = any(
+                    getattr(d, "lineno", 0) >= getattr(anc, "lineno", 0)
+                    and id(d) not in loop_defs
+                    and any(d is s or d in ast.walk(s) for s in anc.body)
+                    for d in defs
+                )
+                if loop_defs or rebinds_in_body:
+                    return "is rebound on every loop iteration (late binding)"
+        # (b) reassigned after the closure is created
+        if any(getattr(d, "lineno", 0) > closure_line for d in defs):
+            return "is reassigned after the closure is created"
+        # (c) mutated in place anywhere in the enclosing function
+        for node in _own_nodes(info.node):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATING_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+            ):
+                return "is mutated in place while workers may read it"
+            if (
+                isinstance(node, (ast.Assign, ast.AugAssign))
+                and any(
+                    isinstance(t, ast.Subscript)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == name
+                    for t in (
+                        node.targets if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                )
+            ):
+                return "is mutated in place while workers may read it"
+        return None
+
+
+# --------------------------------------------------------------------------
+# DT004 — set iteration feeding ordered output
+# --------------------------------------------------------------------------
+
+
+@register_rule
+class UnorderedIterationRule(FlowRule):
+    rule_id = "DT004"
+    title = "set/dict iteration feeds ordered output"
+    rationale = (
+        "PYTHONHASHSEED randomizes str hashing, so iterating a set (or "
+        "keys derived from one) yields a different order per process — "
+        "feeding that into an ordered output (append/yield/write, list "
+        "comprehensions) makes reports and golden files differ run-to-run "
+        "even though the *contents* are equal. Wrap the iterable in "
+        "sorted() or keep it in an order-insensitive reduction."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for info in project.symtab.functions.values():
+            rd = None
+            for node in _own_nodes(info.node):
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    if rd is None:
+                        rd = project.reaching(info.node)
+                    if self._set_valued(node.iter, rd, node) and (
+                        self._loop_feeds_ordered_output(node)
+                    ):
+                        yield info.ctx.finding(
+                            self.rule_id, node,
+                            "iterating a set into an ordered output — wrap "
+                            "the iterable in sorted() to pin the order",
+                        )
+                elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                    if rd is None:
+                        rd = project.reaching(info.node)
+                    stmt = _enclosing_stmt(info.ctx, node)
+                    if not self._set_valued(
+                        node.generators[0].iter, rd, stmt
+                    ):
+                        continue
+                    if self._comp_is_order_sensitive(info.ctx, node):
+                        yield info.ctx.finding(
+                            self.rule_id, node,
+                            "comprehension over a set produces an ordered "
+                            "sequence in hash order — wrap the set in "
+                            "sorted()",
+                        )
+
+    def _set_valued(
+        self, expr: ast.AST, rd, at_stmt: ast.AST, depth: int = 0
+    ) -> bool:
+        if depth > 4:
+            return False
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call):
+            name = _func_name(expr)
+            if name in {"set", "frozenset"}:
+                return True
+            if name in {
+                "union", "intersection", "difference",
+                "symmetric_difference",
+            } and isinstance(expr.func, ast.Attribute):
+                return self._set_valued(
+                    expr.func.value, rd, at_stmt, depth + 1
+                )
+            return False
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._set_valued(
+                expr.left, rd, at_stmt, depth + 1
+            ) and self._set_valued(expr.right, rd, at_stmt, depth + 1)
+        if isinstance(expr, ast.Name):
+            defs = rd.defs_reaching(at_stmt, expr.id)
+            values = [
+                d.value for d in defs
+                if isinstance(d, (ast.Assign, ast.AnnAssign))
+                and d.value is not None
+            ]
+            return bool(values) and len(values) == len(defs) and all(
+                self._set_valued(v, rd, d, depth + 1)
+                for v, d in zip(values, defs)
+            )
+        return False
+
+    @staticmethod
+    def _loop_feeds_ordered_output(loop: ast.AST) -> bool:
+        for sub in ast.walk(loop):
+            if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+                return True
+            if isinstance(sub, ast.Call) and isinstance(
+                sub.func, ast.Attribute
+            ) and sub.func.attr in {"append", "insert", "write", "extend"}:
+                return True
+        return False
+
+    @staticmethod
+    def _comp_is_order_sensitive(ctx: FileContext, comp: ast.AST) -> bool:
+        parent = ctx.parent(comp)
+        if isinstance(parent, ast.Call):
+            name = _func_name(parent)
+            if name in _ORDER_INSENSITIVE_CALLS:
+                return False
+            if isinstance(comp, ast.GeneratorExp):
+                # a generator is only order-sensitive when materialized
+                return name in {"list", "tuple", "join"}
+        if isinstance(comp, ast.GeneratorExp) and not isinstance(
+            parent, ast.Call
+        ):
+            return False
+        return True
+
+
+# --------------------------------------------------------------------------
+# RD001 — budget-taking function whose loops never cooperate
+# --------------------------------------------------------------------------
+
+
+@register_rule
+class UncooperativeLoopRule(FlowRule):
+    rule_id = "RD001"
+    title = "loop ignores the accepted Budget"
+    rationale = (
+        "resilience.Budget is cooperative: a function that accepts a "
+        "budget promises to spend()/check() it inside its iteration so the "
+        "fallback ladder can degrade instead of hang. A while loop (or an "
+        "unbounded for-range loop) in a budget-taking function with no "
+        "budget reference on any path through its body silently opts out "
+        "of that contract — exactly the hang the ladders exist to prevent."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for info in project.symtab.functions.values():
+            budget_param = self._budget_param(info)
+            if budget_param is None:
+                continue
+            for node in _own_nodes(info.node):
+                if isinstance(node, ast.While):
+                    suspicious = True
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    suspicious = self._unbounded_range(node.iter)
+                else:
+                    continue
+                if not suspicious:
+                    continue
+                if self._mentions(node, budget_param):
+                    continue
+                yield info.ctx.finding(
+                    self.rule_id, node,
+                    f"loop never spends/checks the `{budget_param}` this "
+                    "function accepted — call budget.spend() per iteration "
+                    "or pass the budget to the callee",
+                )
+
+    @staticmethod
+    def _budget_param(info: FunctionInfo) -> Optional[str]:
+        args = getattr(info.node, "args", None)
+        if args is None:
+            return None
+        for group in (args.posonlyargs, args.args, args.kwonlyargs):
+            for arg in group:
+                ann = ""
+                if arg.annotation is not None:
+                    try:
+                        ann = ast.unparse(arg.annotation)
+                    except ValueError:  # pragma: no cover
+                        ann = ""
+                if arg.arg == "budget" or "Budget" in ann:
+                    return arg.arg
+        return None
+
+    @staticmethod
+    def _unbounded_range(iter_expr: ast.AST) -> bool:
+        """``range(n)`` with a non-constant bound is an iteration-count
+        solver loop; literal bounds and non-range iterables are not.
+        Data-shaped bounds (``range(len(xs))``, ``range(a.shape[0])``)
+        are loops over the problem data, not convergence loops — the
+        budget contract targets the latter."""
+        if not (
+            isinstance(iter_expr, ast.Call)
+            and _func_name(iter_expr) == "range"
+        ):
+            return False
+        bound = iter_expr.args[1] if len(iter_expr.args) > 1 else (
+            iter_expr.args[0] if iter_expr.args else None
+        )
+        if bound is None or isinstance(bound, ast.Constant):
+            return False
+        if isinstance(bound, ast.Call) and _func_name(bound) == "len":
+            return False
+        if isinstance(bound, ast.Subscript) and isinstance(
+            bound.value, ast.Attribute
+        ) and bound.value.attr == "shape":
+            return False
+        return True
+
+    @staticmethod
+    def _mentions(loop: ast.AST, name: str) -> bool:
+        for sub in ast.walk(loop):
+            if isinstance(sub, ast.Name) and sub.id == name:
+                return True
+        return False
+
+
+# --------------------------------------------------------------------------
+# RD002 — tracer span / profile_block not used as a context manager
+# --------------------------------------------------------------------------
+
+
+@register_rule
+class DanglingSpanRule(FlowRule):
+    rule_id = "RD002"
+    title = "span/profile_block without `with`"
+    rationale = (
+        "obs.Tracer spans only record on __exit__: calling tracer.span(...) "
+        "or profile_block(...) without entering the context manager opens "
+        "nothing — the span silently vanishes from traces and, worse, "
+        "reads as instrumented code that is not. Spans must be entered "
+        "(`with`), returned to a caller who enters them, or handed to an "
+        "ExitStack.enter_context."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for ctx in project.files:
+            yield from self._check_file(ctx)
+
+    def _check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and self._is_span_call(node)):
+                continue
+            if self._consumed_as_context(ctx, node):
+                continue
+            yield ctx.finding(
+                self.rule_id, node,
+                f"`{_dotted(node.func) or _func_name(node)}(...)` result is "
+                "never entered — use `with ...:` (spans record on exit)",
+            )
+
+    @staticmethod
+    def _is_span_call(call: ast.Call) -> bool:
+        name = _func_name(call)
+        if name == "profile_block":
+            return True
+        if name != "span" or not isinstance(call.func, ast.Attribute):
+            return False
+        try:
+            receiver = ast.unparse(call.func.value)
+        except ValueError:  # pragma: no cover - exotic receiver
+            return False
+        return "tracer" in receiver.lower() or "get_tracer" in receiver
+
+    def _consumed_as_context(self, ctx: FileContext, call: ast.Call) -> bool:
+        parent = ctx.parent(call)
+        if isinstance(parent, ast.withitem):
+            return True
+        if isinstance(parent, (ast.Return, ast.Lambda)):
+            return True  # a helper handing the span to its caller
+        if isinstance(parent, ast.Call) and _func_name(parent) in {
+            "enter_context", "push",
+        }:
+            return True
+        if isinstance(parent, ast.Assign):
+            names = {
+                t.id for t in parent.targets if isinstance(t, ast.Name)
+            }
+            if names:
+                fn = ctx.enclosing_function(parent)
+                for sub in ast.walk(fn):
+                    if isinstance(sub, ast.withitem) and isinstance(
+                        sub.context_expr, ast.Name
+                    ) and sub.context_expr.id in names:
+                        return True
+                    if (
+                        isinstance(sub, ast.Call)
+                        and _func_name(sub) in {"enter_context", "push"}
+                        and any(
+                            isinstance(a, ast.Name) and a.id in names
+                            for a in sub.args
+                        )
+                    ):
+                        return True
+        return False
+
+
+# --------------------------------------------------------------------------
+# RD003 — fallback rung failure swallowed without recording
+# --------------------------------------------------------------------------
+
+
+@register_rule
+class UnrecordedRungFailureRule(FlowRule):
+    rule_id = "RD003"
+    title = "fallback rung swallowed without recording"
+    rationale = (
+        "The ladder contract (resilience.run_ladder, §II-B-2) is that a "
+        "degraded answer is honest: every rung that fails must leave a "
+        "trace — appended to a failures list, counted in metrics, logged — "
+        "so the caller knows which certainty grade actually answered. An "
+        "except that just `continue`s to the next rung erases that "
+        "provenance and makes a heuristic answer look exact."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for ctx in project.files:
+            for loop in ast.walk(ctx.tree):
+                if not isinstance(loop, (ast.For, ast.AsyncFor)):
+                    continue
+                if not self._is_ladder_loop(loop):
+                    continue
+                for handler in self._handlers_in(loop):
+                    if self._records_failure(handler):
+                        continue
+                    yield ctx.finding(
+                        self.rule_id, handler,
+                        "rung failure swallowed: the handler moves to the "
+                        "next fallback without recording which rung failed "
+                        "— append to a failures list, log, or count it",
+                    )
+
+    @staticmethod
+    def _is_ladder_loop(loop: ast.AST) -> bool:
+        try:
+            header = ast.unparse(loop.target) + " " + ast.unparse(loop.iter)
+        except ValueError:  # pragma: no cover - exotic loop header
+            return False
+        return bool(_LADDERISH_RE.search(header))
+
+    @staticmethod
+    def _handlers_in(loop: ast.AST) -> Iterator[ast.ExceptHandler]:
+        for sub in ast.walk(loop):
+            if isinstance(sub, ast.ExceptHandler):
+                yield sub
+
+    @staticmethod
+    def _records_failure(handler: ast.ExceptHandler) -> bool:
+        for sub in ast.walk(handler):
+            if isinstance(sub, ast.Raise):
+                return True
+            if isinstance(sub, ast.Call) and _RECORDING_CALL_RE.search(
+                _func_name(sub)
+            ):
+                return True
+            if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign)
+                    else [sub.target]
+                )
+                for t in targets:
+                    terminal = (
+                        t.attr if isinstance(t, ast.Attribute)
+                        else t.id if isinstance(t, ast.Name) else ""
+                    )
+                    if _FAILURE_NAME_RE.search(terminal):
+                        return True
+        return False

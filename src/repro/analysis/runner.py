@@ -1,15 +1,32 @@
-"""Orchestration: walk paths, parse files, run rules, apply suppressions
-and the baseline, and package everything into an :class:`AnalysisResult`."""
+"""Orchestration: walk paths, parse files, run both rule tiers, apply
+suppressions and the baseline, and package everything into an
+:class:`AnalysisResult`.
+
+The analyzer is two-pass.  Pass one parses every file and runs the
+per-file **expression** rules (NL···).  Pass two builds a single
+:class:`~repro.analysis.callgraph.ProjectContext` — symbol table, call
+graph, CFG/reaching-definitions caches — over the whole file set and
+runs the interprocedural **flow** rules (DT···/RD···) against it.
+Suppressions and the baseline apply uniformly to both tiers.
+"""
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.baseline import Baseline, BaselineEntry
-from repro.analysis.core import FileContext, Finding, Suppressions, all_rules
+from repro.analysis.callgraph import ProjectContext
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    Rule,
+    SuppressionError,
+    Suppressions,
+    all_rules,
+)
 
 __all__ = ["AnalysisResult", "analyze_paths", "analyze_source", "iter_python_files"]
 
@@ -27,6 +44,9 @@ class AnalysisResult:
     files_checked: int = 0
     parse_errors: List[Tuple[str, str]] = field(default_factory=list)
     stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    #: the interprocedural view built for the flow tier; ``None`` when the
+    #: run selected expression rules only (callers use it for --call-graph-dot)
+    project: Optional[ProjectContext] = None
 
     @property
     def clean(self) -> bool:
@@ -57,54 +77,75 @@ def _relative_posix(path: Path, root: Optional[Path]) -> str:
     return path.as_posix()
 
 
-def _check_source(
-    source: str,
-    rel_path: str,
+def _select_rules(
     rule_ids: Optional[Sequence[str]],
-) -> Tuple[List[Finding], int]:
-    """Run the rule pack over one source blob; returns (kept, n_suppressed)."""
-    tree = ast.parse(source, filename=rel_path)
-    ctx = FileContext(rel_path, source, tree)
-    suppressions = Suppressions.parse(source)
-    kept: List[Finding] = []
-    n_suppressed = 0
-    for rule in all_rules():
-        if rule_ids is not None and rule.rule_id not in rule_ids:
-            continue
-        for finding in rule.check(ctx):
-            if suppressions.is_suppressed(finding):
-                n_suppressed += 1
-            else:
-                kept.append(finding)
-    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
-    return kept, n_suppressed
+    families: Optional[Sequence[str]],
+) -> List[Rule]:
+    return [
+        rule
+        for rule in all_rules()
+        if (rule_ids is None or rule.rule_id in rule_ids)
+        and (families is None or rule.family in families)
+    ]
+
+
+def _run_rules(
+    files: List[FileContext],
+    rules: List[Rule],
+) -> Tuple[List[Finding], Optional[ProjectContext]]:
+    """Both tiers over the parsed file set; findings are unsorted."""
+    findings: List[Finding] = []
+    expr_rules = [r for r in rules if r.family == "expression"]
+    flow_rules = [r for r in rules if r.family == "flow"]
+    for ctx in files:
+        for rule in expr_rules:
+            findings.extend(rule.check(ctx))
+    project: Optional[ProjectContext] = None
+    if flow_rules and files:
+        project = ProjectContext(files)
+        for rule in flow_rules:
+            findings.extend(rule.check_project(project))
+    return findings, project
 
 
 def analyze_source(
     source: str,
     path: str = "<string>",
     rules: Optional[Sequence[str]] = None,
+    families: Optional[Sequence[str]] = None,
 ) -> List[Finding]:
-    """Lint a source string; the unit-test entry point for single rules."""
-    findings, _ = _check_source(source, path, rules)
-    return findings
+    """Lint a source string; the unit-test entry point for single rules.
+
+    Flow rules see the blob as a one-file project, so fixture corpora can
+    pin DT/RD true positives without touching the filesystem.
+    """
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(path, source, tree)
+    suppressions = Suppressions.parse(source)
+    findings, _ = _run_rules([ctx], _select_rules(rules, families))
+    kept = [f for f in findings if not suppressions.is_suppressed(f)]
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return kept
 
 
 def analyze_paths(
     paths: Sequence["Path | str"],
     baseline: Optional[Baseline] = None,
     rules: Optional[Sequence[str]] = None,
+    families: Optional[Sequence[str]] = None,
     root: "Path | str | None" = None,
 ) -> AnalysisResult:
     """Lint every ``.py`` file under *paths*.
 
     *root* (default: the current directory) anchors the repo-relative
     paths used in reports and baseline fingerprints, so results are
-    identical no matter where the analyzer is invoked from.
+    identical no matter where the analyzer is invoked from.  *families*
+    restricts the run to one tier (``["expression"]`` / ``["flow"]``).
     """
     root_path = Path(root) if root is not None else Path.cwd()
     result = AnalysisResult()
-    raw_findings: List[Finding] = []
+    files: List[FileContext] = []
+    suppressions_by_path: Dict[str, Suppressions] = {}
     for file_path in iter_python_files(paths):
         rel = _relative_posix(file_path, root_path)
         try:
@@ -113,20 +154,39 @@ def analyze_paths(
             result.parse_errors.append((rel, f"unreadable: {exc}"))
             continue
         try:
-            findings, n_suppressed = _check_source(source, rel, rules)
+            tree = ast.parse(source, filename=rel)
         except SyntaxError as exc:
             result.parse_errors.append((rel, f"syntax error: {exc.msg} "
                                              f"(line {exc.lineno})"))
             continue
+        try:
+            suppressions_by_path[rel] = Suppressions.parse(source)
+        except SuppressionError as exc:
+            result.parse_errors.append((rel, str(exc)))
+            continue
+        files.append(FileContext(rel, source, tree))
         result.files_checked += 1
-        result.suppressed += n_suppressed
-        raw_findings.extend(findings)
+
+    selected = _select_rules(rules, families)
+    raw, result.project = _run_rules(files, selected)
+    kept: List[Finding] = []
+    for finding in raw:
+        supp = suppressions_by_path.get(finding.path)
+        if supp is not None and supp.is_suppressed(finding):
+            result.suppressed += 1
+        else:
+            kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
 
     if baseline is not None:
-        new, matched, stale = baseline.split(raw_findings)
+        new, matched, stale = baseline.split(
+            kept,
+            active_rules=[r.rule_id for r in selected],
+            active_paths=[ctx.path for ctx in files],
+        )
         result.findings = new
         result.baselined = matched
         result.stale_baseline = stale
     else:
-        result.findings = raw_findings
+        result.findings = kept
     return result

@@ -148,7 +148,7 @@ def solve_qcqp_barrier(
             # backtracking line search keeping strict feasibility
             step = 1.0
             fx = t * problem.objective.value(x) - float(np.sum(np.log(-vals)))
-            while step > 1e-12:
+            while step > 1e-12:  # numlint: disable=RD001 -- backtracking halves step 1.0→1e-12, ≤40 iterations; the enclosing barrier loop spends the budget
                 x_try = x + step * dx
                 vals_try = problem.constraint_values(x_try)
                 if np.max(vals_try) < 0:

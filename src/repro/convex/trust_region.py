@@ -116,6 +116,8 @@ def solve_trust_region(
     lam = lam_lo
     hi = lam_lo + max(1.0, float(np.linalg.norm(g)) / delta)
     while p_norm(hi) > delta:
+        if budget is not None:
+            budget.spend(1, context="solve_trust_region.bracket")
         hi *= 2.0
         if hi > 1e16:
             raise ConvergenceError("trust-region secular bracketing failed")

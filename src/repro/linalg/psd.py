@@ -8,9 +8,13 @@ negative eigenvalues introduced by round-off.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from repro.exceptions import DimensionError, NonConvexError
+
+_log = logging.getLogger(__name__)
 
 __all__ = [
     "symmetrize",
@@ -126,6 +130,10 @@ def cholesky_with_jitter(a: np.ndarray, max_tries: int = 8) -> np.ndarray:
         try:
             return np.linalg.cholesky(s + jitter * np.eye(n))
         except np.linalg.LinAlgError:
+            _log.debug(
+                "cholesky_with_jitter: rung jitter=%.3e failed, trying next",
+                jitter,
+            )
             continue
     raise NonConvexError(
         f"matrix is not positive definite even with jitter {1e-2 * scale:.3e}"

@@ -81,6 +81,7 @@ def branch_and_bound(
     time_limit: float = float("inf"),
     incumbent_fn: Callable[[np.ndarray, np.ndarray, np.ndarray], Optional[np.ndarray]] | None = None,
     initial_incumbent: Optional[np.ndarray] = None,
+    clock: Callable[[], float] = time.perf_counter,
 ) -> BnBResult:
     """Best-first branch and bound for minimization.
 
@@ -98,7 +99,7 @@ def branch_and_bound(
         (The paper's "hybridizing local and global optimization
         algorithms ... for deriving valid bounds".)
     """
-    start = time.perf_counter()
+    start = clock()
     lo = np.asarray(lo, dtype=np.float64).copy()
     hi = np.asarray(hi, dtype=np.float64).copy()
     counter = itertools.count()
@@ -111,7 +112,7 @@ def branch_and_bound(
     try:
         root_bound, root_x = bound_fn(lo, hi)
     except InfeasibleError:
-        return BnBResult(None, np.inf, np.inf, 0, 0, True, time.perf_counter() - start)
+        return BnBResult(None, np.inf, np.inf, 0, 0, True, clock() - start)
 
     heap: list[BnBNode] = [BnBNode(root_bound, next(counter), lo, hi, 0)]
     global_lower = root_bound
@@ -131,11 +132,11 @@ def branch_and_bound(
         try_incumbent(initial_incumbent)
 
     while heap:
-        if explored >= max_nodes or time.perf_counter() - start > time_limit:
+        if explored >= max_nodes or clock() - start > time_limit:
             global_lower = heap[0].bound if heap else global_lower
             return BnBResult(
                 best_x, best_obj, min(global_lower, best_obj), explored, pruned,
-                False, time.perf_counter() - start,
+                False, clock() - start,
             )
         node = heapq.heappop(heap)
         global_lower = node.bound
@@ -180,5 +181,5 @@ def branch_and_bound(
 
     final_lower = best_obj if best_x is not None else np.inf
     return BnBResult(
-        best_x, best_obj, final_lower, explored, pruned, True, time.perf_counter() - start
+        best_x, best_obj, final_lower, explored, pruned, True, clock() - start
     )

@@ -14,7 +14,7 @@ import heapq
 import itertools
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -48,12 +48,13 @@ def input_split_margin_bound(
     gap_tol: float = 1e-4,
     max_domains: int = 20000,
     time_limit: float = float("inf"),
+    clock: Callable[[], float] = time.perf_counter,
 ) -> InputSplitResult:
     """Minimize ``c^T f(x) + d`` over the eps-ball to within *gap_tol* by
     best-first bisection of the input box with CROWN subdomain bounds."""
     x0 = np.asarray(x0, dtype=np.float64).ravel()
     c = np.asarray(c, dtype=np.float64).ravel()
-    start = time.perf_counter()
+    start = clock()
 
     def network_margin(x: np.ndarray) -> float:
         return float(c @ net.forward(x.reshape(1, -1), training=False).ravel() + d)
@@ -82,7 +83,7 @@ def input_split_margin_bound(
         bound, _, lo, hi = heapq.heappop(heap)
         if best - bound <= gap_tol:
             return report(True, bound)
-        if domains >= max_domains or time.perf_counter() - start > time_limit:
+        if domains >= max_domains or clock() - start > time_limit:
             return report(False, bound)
         # evaluate the center as a candidate, then bisect the widest axis
         center = 0.5 * (lo + hi)

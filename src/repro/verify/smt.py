@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -150,6 +150,7 @@ def smt_margin_bound(
     d: float = 0.0,
     max_splits: int = 10000,
     time_limit: float = float("inf"),
+    clock: Callable[[], float] = time.perf_counter,
 ) -> SMTResult:
     """Exactly minimize ``c^T f(x) + d`` over the eps-ball by DPLL-style
     case splits on ReLU phases (pure-ReLU stacks only)."""
@@ -163,7 +164,7 @@ def smt_margin_bound(
             raise VerificationError("SMT verifier supports pure-ReLU stacks only")
     pre = crown_preactivation_bounds(net, x0, eps, method="crown")
 
-    start = time.perf_counter()
+    start = clock()
     best = np.inf
     best_x: Optional[np.ndarray] = None
     splits = 0
@@ -175,7 +176,7 @@ def smt_margin_bound(
     stack: List[Phase] = [{}]
     exhausted = True
     while stack:
-        if splits >= max_splits or time.perf_counter() - start > time_limit:
+        if splits >= max_splits or clock() - start > time_limit:
             exhausted = False
             break
         phase = stack.pop()

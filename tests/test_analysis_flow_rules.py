@@ -1,0 +1,709 @@
+"""Fixture corpus for the interprocedural flow tier (DT001–DT004,
+RD001–RD003), plus unit tests for the call graph and dataflow layers.
+
+Every rule is pinned by at least two true-positive fixtures and one
+negative (a near-miss the rule must NOT flag), so rule regressions in
+either direction fail loudly.  Fixtures go through
+:func:`repro.analysis.analyze_source`, which wraps the blob as a
+one-file project — the same code path the CLI uses.
+"""
+
+import ast
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import SuppressionError, analyze_paths, analyze_source
+from repro.analysis.callgraph import (
+    CallGraph,
+    ProjectContext,
+    SymbolTable,
+    module_name_for_path,
+)
+from repro.analysis.core import FileContext, Suppressions, rules_in_family
+from repro.analysis.dataflow import (
+    ControlFlowGraph,
+    ReachingDefinitions,
+    assigned_names,
+    free_names,
+)
+
+pytestmark = pytest.mark.static
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: path that places fixtures inside a DT001 entry-point module
+SOLVER_PATH = "src/repro/convex/fixture.py"
+
+
+def _codes(source: str, path: str = SOLVER_PATH) -> set:
+    return {f.rule_id for f in analyze_source(source, path)}
+
+
+# ---------------------------------------------------------------------------
+# DT001 — unseeded global RNG reachable from solver entry points
+# ---------------------------------------------------------------------------
+
+
+def test_dt001_direct_global_rng_in_entry_point():
+    src = (
+        "import numpy as np\n"
+        "def solve(x):\n"
+        "    return x + np.random.rand(3)\n"
+    )
+    assert "DT001" in _codes(src)
+
+
+def test_dt001_rng_in_helper_reached_through_call_graph():
+    src = (
+        "import random\n"
+        "def _jitter():\n"
+        "    return random.random()\n"
+        "def solve(x):\n"
+        "    return x + _jitter()\n"
+    )
+    findings = [
+        f for f in analyze_source(src, SOLVER_PATH) if f.rule_id == "DT001"
+    ]
+    assert findings, "helper RNG should be reachable from the public entry"
+    # the message names the witness entry point, not just the sink
+    assert "solve" in findings[0].message
+
+
+def test_dt001_negative_seeded_generator_and_non_entry_module():
+    seeded = (
+        "import numpy as np\n"
+        "def solve(x, seed):\n"
+        "    rng = np.random.default_rng(seed)\n"
+        "    return x + rng.standard_normal(3)\n"
+    )
+    assert "DT001" not in _codes(seeded)
+    # same RNG call in a module outside the entry segments: no DT001
+    # (NL004 still owns the per-file complaint)
+    unreached = (
+        "import numpy as np\n"
+        "def helper(x):\n"
+        "    return x + np.random.rand(3)\n"
+    )
+    assert "DT001" not in _codes(unreached, "src/repro/io/fixture.py")
+
+
+# ---------------------------------------------------------------------------
+# DT002 — wall clock drives control flow
+# ---------------------------------------------------------------------------
+
+
+def test_dt002_direct_clock_in_loop_condition():
+    src = (
+        "import time\n"
+        "def solve(x):\n"
+        "    start = time.perf_counter()\n"
+        "    while time.perf_counter() - start < 1.0:\n"
+        "        x = 0.5 * x\n"
+        "    return x\n"
+    )
+    assert "DT002" in _codes(src)
+
+
+def test_dt002_clock_taint_through_variable():
+    src = (
+        "import time\n"
+        "def solve(x, limit):\n"
+        "    start = time.perf_counter()\n"
+        "    x = 0.5 * x\n"
+        "    elapsed = time.perf_counter() - start\n"
+        "    if elapsed > limit:\n"
+        "        return None\n"
+        "    return x\n"
+    )
+    assert "DT002" in _codes(src)
+
+
+def test_dt002_negative_telemetry_and_injectable_clock():
+    telemetry = (
+        "import time\n"
+        "def solve(x):\n"
+        "    t0 = time.perf_counter()\n"
+        "    y = 2 * x\n"
+        "    return y, time.perf_counter() - t0\n"
+    )
+    assert "DT002" not in _codes(telemetry)
+    injectable = (
+        "import time\n"
+        "def solve(x, limit, clock=time.perf_counter):\n"
+        "    start = clock()\n"
+        "    while clock() - start < limit:\n"
+        "        x = 0.5 * x\n"
+        "    return x\n"
+    )
+    assert "DT002" not in _codes(injectable)
+
+
+# ---------------------------------------------------------------------------
+# DT003 — closures over mutable state submitted to the executor
+# ---------------------------------------------------------------------------
+
+
+def test_dt003_lambda_captures_loop_variable():
+    src = (
+        "def fanout(executor, items):\n"
+        "    futures = []\n"
+        "    for item in items:\n"
+        "        futures.append(executor.submit(lambda: item))\n"
+        "    return futures\n"
+    )
+    assert "DT003" in _codes(src)
+
+
+def test_dt003_nested_def_captures_mutated_list():
+    src = (
+        "def fanout(executor, items):\n"
+        "    shared = []\n"
+        "    def task():\n"
+        "        return list(shared)\n"
+        "    out = executor.map_solve(task, items)\n"
+        "    shared.append(1)\n"
+        "    return out\n"
+    )
+    assert "DT003" in _codes(src)
+
+
+def test_dt003_negative_default_binding_and_plain_items():
+    bound = (
+        "def fanout(executor, items):\n"
+        "    futures = []\n"
+        "    for item in items:\n"
+        "        futures.append(executor.submit(lambda item=item: item))\n"
+        "    return futures\n"
+    )
+    assert "DT003" not in _codes(bound)
+    explicit = (
+        "def work(item):\n"
+        "    return 2 * item\n"
+        "def fanout(executor, items):\n"
+        "    return executor.map_solve(work, items)\n"
+    )
+    assert "DT003" not in _codes(explicit)
+
+
+# ---------------------------------------------------------------------------
+# DT004 — set/dict iteration feeding ordered outputs
+# ---------------------------------------------------------------------------
+
+
+def test_dt004_loop_over_set_appends():
+    src = (
+        "def order(tags):\n"
+        "    out = []\n"
+        "    for t in {'a', 'b'} | set(tags):\n"
+        "        out.append(t)\n"
+        "    return out\n"
+    )
+    assert "DT004" in _codes(src)
+
+
+def test_dt004_comprehension_over_set_variable():
+    src = (
+        "def order(xs):\n"
+        "    seen = set(xs)\n"
+        "    return [x for x in seen]\n"
+    )
+    assert "DT004" in _codes(src)
+
+
+def test_dt004_negative_sorted_and_reductions():
+    src = (
+        "def order(xs):\n"
+        "    seen = set(xs)\n"
+        "    total = sum(x for x in seen)\n"
+        "    out = []\n"
+        "    for x in sorted(seen):\n"
+        "        out.append(x)\n"
+        "    return out, total\n"
+    )
+    assert "DT004" not in _codes(src)
+
+
+# ---------------------------------------------------------------------------
+# RD001 — budget-taking function whose loops never cooperate
+# ---------------------------------------------------------------------------
+
+
+def test_rd001_while_loop_ignores_budget_param():
+    src = (
+        "def solve(budget, x):\n"
+        "    while x > 1e-9:\n"
+        "        x = 0.5 * x\n"
+        "    return x\n"
+    )
+    assert "RD001" in _codes(src)
+
+
+def test_rd001_unbounded_range_with_annotated_budget():
+    src = (
+        "from repro.resilience import Budget\n"
+        "def solve(b: Budget, n, x):\n"
+        "    for _ in range(n):\n"
+        "        x = 0.5 * x\n"
+        "    return x\n"
+    )
+    assert "RD001" in _codes(src)
+
+
+def test_rd001_negative_spending_data_loops_and_no_budget():
+    spending = (
+        "def solve(budget, x):\n"
+        "    while x > 1e-9:\n"
+        "        budget.spend(1)\n"
+        "        x = 0.5 * x\n"
+        "    return x\n"
+    )
+    assert "RD001" not in _codes(spending)
+    data_loop = (
+        "def solve(budget, xs, a):\n"
+        "    out = 0.0\n"
+        "    for i in range(len(xs)):\n"
+        "        out += xs[i]\n"
+        "    for j in range(a.shape[0]):\n"
+        "        out += a[j, 0]\n"
+        "    budget.spend(1)\n"
+        "    return out\n"
+    )
+    assert "RD001" not in _codes(data_loop)
+    no_budget = (
+        "def solve(x):\n"
+        "    while x > 1e-9:\n"
+        "        x = 0.5 * x\n"
+        "    return x\n"
+    )
+    assert "RD001" not in _codes(no_budget)
+
+
+# ---------------------------------------------------------------------------
+# RD002 — span/profile_block without `with`
+# ---------------------------------------------------------------------------
+
+
+def test_rd002_bare_span_and_profile_block():
+    src = (
+        "def solve(tracer, x):\n"
+        "    tracer.span('solve')\n"
+        "    return 2 * x\n"
+    )
+    assert "RD002" in _codes(src)
+    src2 = (
+        "def solve(x):\n"
+        "    profile_block('solve')\n"
+        "    return 2 * x\n"
+    )
+    assert "RD002" in _codes(src2)
+
+
+def test_rd002_assigned_but_never_entered():
+    src = (
+        "def solve(tracer, x):\n"
+        "    s = tracer.span('solve')\n"
+        "    return 2 * x\n"
+    )
+    assert "RD002" in _codes(src)
+
+
+def test_rd002_negative_with_return_and_enter_context():
+    src = (
+        "def solve(tracer, stack, x):\n"
+        "    with tracer.span('solve'):\n"
+        "        x = 2 * x\n"
+        "    s = tracer.span('tail')\n"
+        "    stack.enter_context(s)\n"
+        "    return x\n"
+        "def make_span(tracer, name):\n"
+        "    return tracer.span(name)\n"
+    )
+    assert "RD002" not in _codes(src)
+
+
+# ---------------------------------------------------------------------------
+# RD003 — fallback rung failures swallowed without recording
+# ---------------------------------------------------------------------------
+
+
+def test_rd003_continue_swallows_rung_failure():
+    src = (
+        "def run(rungs, x):\n"
+        "    for rung in rungs:\n"
+        "        try:\n"
+        "            return rung(x)\n"
+        "        except Exception:\n"
+        "            continue\n"
+        "    return None\n"
+    )
+    assert "RD003" in _codes(src)
+
+
+def test_rd003_pass_swallows_solver_candidate_failure():
+    src = (
+        "def run(candidates, x):\n"
+        "    best = None\n"
+        "    for solver in candidates:\n"
+        "        try:\n"
+        "            best = solver(x)\n"
+        "        except ValueError:\n"
+        "            pass\n"
+        "    return best\n"
+    )
+    assert "RD003" in _codes(src)
+
+
+def test_rd003_negative_recorded_failures():
+    appended = (
+        "def run(rungs, x):\n"
+        "    failures = []\n"
+        "    for rung in rungs:\n"
+        "        try:\n"
+        "            return rung(x)\n"
+        "        except Exception as exc:\n"
+        "            failures.append(exc)\n"
+        "    raise RuntimeError(failures)\n"
+    )
+    assert "RD003" not in _codes(appended)
+    logged = (
+        "import logging\n"
+        "log = logging.getLogger(__name__)\n"
+        "def run(rungs, x):\n"
+        "    for rung in rungs:\n"
+        "        try:\n"
+        "            return rung(x)\n"
+        "        except Exception:\n"
+        "            log.warning('rung failed')\n"
+        "    return None\n"
+    )
+    assert "RD003" not in _codes(logged)
+    # a plain data loop that swallows is NL007's business, not RD003's
+    data_loop = (
+        "def run(xs):\n"
+        "    out = []\n"
+        "    for x in xs:\n"
+        "        try:\n"
+        "            out.append(1 / x)  # numlint: disable=NL002 -- fixture\n"
+        "        except ZeroDivisionError:\n"
+        "            continue\n"
+        "    return out\n"
+    )
+    assert "RD003" not in _codes(data_loop)
+
+
+# ---------------------------------------------------------------------------
+# rule-family selection
+# ---------------------------------------------------------------------------
+
+_MIXED = (
+    "import numpy as np\n"
+    "def solve(budget, a, b):\n"
+    "    while b > 1e-9:\n"
+    "        b = 0.5 * b\n"
+    "    return a == 0.1\n"
+)
+
+
+def test_family_selection_splits_the_tiers():
+    expr_only = {
+        f.rule_id
+        for f in analyze_source(_MIXED, SOLVER_PATH, families=["expression"])
+    }
+    flow_only = {
+        f.rule_id
+        for f in analyze_source(_MIXED, SOLVER_PATH, families=["flow"])
+    }
+    assert "NL001" in expr_only and "RD001" not in expr_only
+    assert "RD001" in flow_only and "NL001" not in flow_only
+    assert {r.family for r in rules_in_family("flow")} == {"flow"}
+
+
+# ---------------------------------------------------------------------------
+# suppression validation (unknown codes fail loudly)
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_suppression_code_raises():
+    with pytest.raises(SuppressionError) as exc:
+        Suppressions.parse("x = 1  # numlint: disable=NL999 -- typo\n")
+    assert "NL999" in str(exc.value)
+    assert "line 1" in str(exc.value)
+
+
+def test_unknown_suppression_code_is_a_parse_error(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("x = 1  # numlint: disable=DT01 -- fat-fingered\n")
+    result = analyze_paths([tmp_path], root=tmp_path)
+    assert result.exit_code() == 1
+    assert any("DT01" in err for _, err in result.parse_errors)
+
+
+def test_known_suppression_codes_still_parse():
+    supp = Suppressions.parse(
+        "x = 1  # numlint: disable=NL001,DT002 -- reviewed\n"
+    )
+    assert supp.by_line[1] == {"NL001", "DT002"}
+    assert supp.justifications[(1, "DT002")] == "reviewed"
+
+
+def test_pragma_inside_string_literal_is_not_a_suppression():
+    """Lint-test fixtures embed pragma-shaped text in strings; only real
+    comment tokens count, so an unknown code in a string must not raise
+    (and a known one must not suppress)."""
+    source = (
+        'FIXTURE = "x = 1  # numlint: disable=ZZ123 -- bogus"\n'
+        "y = 0.1 == z  # a string above, a real comparison here\n"
+    )
+    supp = Suppressions.parse(source)  # no SuppressionError
+    assert supp.by_line == {}
+    assert analyze_source(source, rules=["NL001"])  # string did not suppress
+
+
+# ---------------------------------------------------------------------------
+# CLI: baseline round-trip and call-graph export for the flow tier
+# ---------------------------------------------------------------------------
+
+
+def _run_cli(*args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        cwd=cwd, env=env, capture_output=True, text=True,
+    )
+
+
+def test_cli_baseline_round_trip_for_flow_codes(tmp_path):
+    target = tmp_path / "legacy.py"
+    target.write_text(
+        "def solve(budget, x):\n"
+        "    while x > 1e-9:\n"
+        "        x = 0.5 * x\n"
+        "    return x\n"
+    )
+    bpath = tmp_path / "baseline.json"
+    wrote = _run_cli(
+        "legacy.py", "--baseline", "baseline.json", "--write-baseline",
+        "--justification", "legacy loop predates the budget contract",
+        cwd=tmp_path,
+    )
+    assert wrote.returncode == 0, wrote.stdout + wrote.stderr
+    doc = json.loads(bpath.read_text())
+    entries = list(doc["entries"])
+    assert any(e["rule"] == "RD001" for e in entries)
+    assert all(
+        e["justification"] == "legacy loop predates the budget contract"
+        for e in entries
+    )
+    gated = _run_cli(
+        "legacy.py", "--baseline", "baseline.json", cwd=tmp_path
+    )
+    assert gated.returncode == 0, gated.stdout + gated.stderr
+
+
+def test_family_scoped_run_does_not_stale_other_tier(tmp_path):
+    """A flow-only run must not report the expression tier's baseline
+    entries as stale — those rules never executed."""
+    from repro.analysis import Baseline
+
+    target = tmp_path / "mod.py"
+    target.write_text("def f(a):\n    return a == 0.1\n")
+    full = analyze_paths([tmp_path], root=tmp_path)
+    assert {f.rule_id for f in full.findings} == {"NL001"}
+    bpath = tmp_path / "baseline.json"
+    Baseline.from_findings(full.findings, justification="fixture").save(bpath)
+    scoped = analyze_paths(
+        [tmp_path], baseline=Baseline.load(bpath),
+        families=["flow"], root=tmp_path,
+    )
+    assert scoped.stale_baseline == []
+    assert scoped.exit_code() == 0
+
+
+def test_path_scoped_run_does_not_stale_unscanned_files(tmp_path):
+    """`lint.sh --changed-only` lints a subset of files; baseline entries
+    for files outside that subset are not stale — they were never given a
+    chance to match."""
+    from repro.analysis import Baseline
+
+    baselined = tmp_path / "legacy.py"
+    baselined.write_text("def f(a):\n    return a == 0.1\n")
+    other = tmp_path / "clean.py"
+    other.write_text("def g(a):\n    return a + 1\n")
+    full = analyze_paths([tmp_path], root=tmp_path)
+    bpath = tmp_path / "baseline.json"
+    Baseline.from_findings(full.findings, justification="fixture").save(bpath)
+    scoped = analyze_paths(
+        [other], baseline=Baseline.load(bpath), root=tmp_path
+    )
+    assert scoped.stale_baseline == []
+    assert scoped.exit_code() == 0
+
+
+def test_cli_rule_family_and_call_graph_dot(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "def inner(x):\n"
+        "    return 2 * x\n"
+        "def outer(x):\n"
+        "    return inner(x)\n"
+    )
+    dot = tmp_path / "graph.dot"
+    proc = _run_cli(
+        "mod.py", "--no-baseline", "--rule-family", "flow",
+        "--call-graph-dot", "graph.dot", cwd=tmp_path,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    text = dot.read_text()
+    assert "digraph callgraph" in text
+    assert "mod.outer" in text and "mod.inner" in text
+
+
+def test_cli_call_graph_dot_rejects_expression_only_runs(tmp_path):
+    (tmp_path / "mod.py").write_text("x = 1\n")
+    proc = _run_cli(
+        "mod.py", "--no-baseline", "--rule-family", "expression",
+        "--call-graph-dot", "graph.dot", cwd=tmp_path,
+    )
+    assert proc.returncode == 2
+    assert "flow tier" in proc.stderr
+
+
+# ---------------------------------------------------------------------------
+# call-graph layer
+# ---------------------------------------------------------------------------
+
+
+def _project(source: str, path: str = SOLVER_PATH) -> ProjectContext:
+    tree = ast.parse(source)
+    return ProjectContext([FileContext(path, source, tree)])
+
+
+def test_module_name_for_path_strips_src_and_init():
+    assert module_name_for_path("src/repro/convex/admm.py") == "repro.convex.admm"
+    assert module_name_for_path("src/repro/convex/__init__.py") == "repro.convex"
+    assert module_name_for_path("benchmarks/bench_kernels.py") == (
+        "benchmarks.bench_kernels"
+    )
+
+
+def test_symbol_table_collects_methods_and_nested_defs():
+    project = _project(
+        "class Swarm:\n"
+        "    def step(self):\n"
+        "        def local():\n"
+        "            return 1\n"
+        "        return local()\n"
+        "def free():\n"
+        "    return 2\n"
+    )
+    names = set(project.symtab.functions)
+    assert "repro.convex.fixture.Swarm.step" in names
+    assert "repro.convex.fixture.Swarm.step.local" in names
+    assert "repro.convex.fixture.free" in names
+
+
+def test_call_graph_resolves_local_and_reports_witness():
+    project = _project(
+        "def sink():\n"
+        "    return 1\n"
+        "def mid():\n"
+        "    return sink()\n"
+        "def entry():\n"
+        "    return mid()\n"
+    )
+    cg = project.callgraph
+    entry = "repro.convex.fixture.entry"
+    sink = "repro.convex.fixture.sink"
+    witness = cg.reachable_from([entry])
+    assert witness[sink] == entry
+    assert sink in cg.callees("repro.convex.fixture.mid")
+    assert "repro.convex.fixture.mid" in cg.callers(sink)
+
+
+def test_call_graph_generic_names_do_not_connect():
+    project = _project(
+        "def get():\n"
+        "    return 1\n"
+        "def entry(obj):\n"
+        "    return obj.get()\n"
+    )
+    cg = project.callgraph
+    assert "repro.convex.fixture.get" not in cg.callees(
+        "repro.convex.fixture.entry"
+    )
+
+
+# ---------------------------------------------------------------------------
+# dataflow layer
+# ---------------------------------------------------------------------------
+
+
+def _fn(source: str) -> ast.AST:
+    tree = ast.parse(source)
+    return next(
+        n for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+
+
+def test_cfg_builds_branch_and_loop_edges():
+    fn = _fn(
+        "def f(x):\n"
+        "    if x > 0:\n"
+        "        y = 1\n"
+        "    else:\n"
+        "        y = 2\n"
+        "    while x > 0:\n"
+        "        x -= 1\n"
+        "    return y\n"
+    )
+    cfg = ControlFlowGraph.from_function(fn)
+    assert len(cfg.blocks) >= 4
+    # the loop has a back edge: some block's successor precedes it
+    assert any(
+        succ <= bid
+        for bid, block in cfg.blocks.items()
+        for succ in block.successors
+    )
+
+
+def test_reaching_definitions_merge_at_join():
+    fn = _fn(
+        "def f(cond):\n"
+        "    if cond:\n"
+        "        y = 1\n"
+        "    else:\n"
+        "        y = 2\n"
+        "    return y\n"
+    )
+    rd = ReachingDefinitions(ControlFlowGraph.from_function(fn), fn)
+    ret = fn.body[-1]
+    defs = rd.defs_reaching(ret, "y")
+    assert len(defs) == 2, "both branch definitions must reach the join"
+
+
+def test_reaching_definitions_kill_in_straight_line():
+    fn = _fn(
+        "def f():\n"
+        "    y = 1\n"
+        "    y = 2\n"
+        "    return y\n"
+    )
+    rd = ReachingDefinitions(ControlFlowGraph.from_function(fn), fn)
+    ret = fn.body[-1]
+    defs = rd.defs_reaching(ret, "y")
+    assert len(defs) == 1
+    assert getattr(defs[0], "lineno", 0) == 3
+
+
+def test_assigned_and_free_names():
+    stmt = ast.parse("a, (b, *c) = xs").body[0]
+    assert {name for name, _ in assigned_names(stmt)} == {"a", "b", "c"}
+    lam = ast.parse("f = lambda q: q + captured").body[0].value
+    assert free_names(lam) == {"captured"}

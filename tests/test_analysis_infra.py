@@ -265,4 +265,4 @@ def test_cli_list_rules_covers_the_pack(capsys):
     out = capsys.readouterr().out
     for rule in all_rules():
         assert rule.rule_id in out
-    assert len(all_rules()) == 8
+    assert len(all_rules()) == 15

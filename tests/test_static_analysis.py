@@ -23,9 +23,10 @@ REPO = Path(__file__).resolve().parents[1]
 BASELINE = REPO / "tools" / "numlint-baseline.json"
 
 # one violation of each rule; path places it inside a solver dir so the
-# NL008 while-loop contract applies
+# NL008 while-loop contract and the DT001 entry-point reachability apply
 SEEDED_FIXTURE = """\
 import random
+import time
 import numpy as np
 
 def eq(a):
@@ -60,12 +61,48 @@ def loop(x):
     while x > 1e-9:
         x = 0.5 * x
     return x
+
+def deadline(x):                        # DT002
+    start = time.perf_counter()
+    while time.perf_counter() - start < 1.0:
+        x = 0.5 * x
+    return x
+
+def fanout(executor, items):            # DT003
+    for item in items:
+        executor.submit(lambda: item)
+
+def hash_order():                       # DT004
+    out = []
+    for x in {"a", "b", "c"}:
+        out.append(x)
+    return out
+
+def budgeted(budget, x):                # RD001
+    while x > 1e-9:
+        x = 0.5 * x
+    return x
+
+def trace(tracer, g):                   # RD002
+    tracer.span("solve")
+    return g()
+
+def ladder(rungs, x):                   # RD003
+    for rung in rungs:
+        try:
+            return rung(x)
+        except Exception:
+            continue
+    return None
 """
 
 
 def test_src_is_clean_under_the_baseline():
     baseline = Baseline.load(BASELINE)
-    result = analyze_paths([REPO / "src"], baseline=baseline, root=REPO)
+    result = analyze_paths(
+        [REPO / "src", REPO / "benchmarks", REPO / "tools"],
+        baseline=baseline, root=REPO,
+    )
     assert not result.parse_errors, result.parse_errors
     assert result.findings == [], "\n".join(
         f"{f.location()}: {f.rule_id} {f.message}" for f in result.findings
@@ -100,8 +137,24 @@ def _run_cli(*args, cwd=REPO):
 
 
 def test_cli_gate_exits_zero_on_src():
-    proc = _run_cli("src")
+    proc = _run_cli("src", "benchmarks", "tools")
     assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_every_inline_suppression_carries_a_justification():
+    """The triage contract: a pragma without a recorded reason is a
+    finding hidden, not a finding reviewed."""
+    from repro.analysis.core import Suppressions
+    from repro.analysis.runner import iter_python_files
+
+    for path in iter_python_files(
+        [REPO / "src", REPO / "benchmarks", REPO / "tools"]
+    ):
+        supp = Suppressions.parse(path.read_text(encoding="utf-8"))
+        for (line, rule), why in supp.justifications.items():
+            assert why.strip(), (
+                f"{path}:{line}: suppression of {rule} has no justification"
+            )
 
 
 def test_cli_gate_exits_nonzero_on_seeded_fixture(tmp_path):
@@ -109,5 +162,8 @@ def test_cli_gate_exits_nonzero_on_seeded_fixture(tmp_path):
     bad.write_text(SEEDED_FIXTURE)
     proc = _run_cli(str(bad), "--no-baseline")
     assert proc.returncode == 1, proc.stdout + proc.stderr
-    for rule_id in ("NL001", "NL002", "NL003", "NL004", "NL005", "NL006", "NL007"):
+    for rule_id in (
+        "NL001", "NL002", "NL003", "NL004", "NL005", "NL006", "NL007",
+        "DT002", "DT003", "DT004", "RD001", "RD002", "RD003",
+    ):
         assert rule_id in proc.stdout

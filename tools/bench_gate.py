@@ -27,11 +27,15 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_DIR = REPO_ROOT / "benchmarks"
 SNAPSHOT = BENCH_DIR / "results" / "BENCH_kernels.json"
+ANALYSIS_SNAPSHOT = BENCH_DIR / "results" / "BENCH_analysis.json"
 DEFAULT_THRESHOLD = 0.25
+#: analyzer wall time may grow this fraction above its committed value
+#: before the gate fails (wall clocks are noisier than speedup ratios)
+ANALYSIS_THRESHOLD = 0.5
 
 
-def _load_bench_module():
-    """Import ``benchmarks/bench_kernels.py`` by path.
+def _load_bench_module(name: str = "bench_kernels"):
+    """Import a ``benchmarks/*.py`` module by path.
 
     The benchmarks directory is not a package, and bench modules import
     their siblings (``_harness``, ``conftest``) by bare name, so it goes
@@ -40,7 +44,7 @@ def _load_bench_module():
     if str(BENCH_DIR) not in sys.path:
         sys.path.insert(0, str(BENCH_DIR))
     spec = importlib.util.spec_from_file_location(
-        "bench_kernels", BENCH_DIR / "bench_kernels.py")
+        name, BENCH_DIR / f"{name}.py")
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
@@ -87,6 +91,72 @@ def check_regressions(threshold: float = DEFAULT_THRESHOLD,
     return failures
 
 
+def check_analysis_regressions(
+    threshold: float = ANALYSIS_THRESHOLD, retries: int = 2
+) -> list:
+    """Measure current analyzer wall-clock and diff against the snapshot.
+
+    Two conditions fail the gate: the full-``src/`` two-tier pass breaks
+    the committed hard cap (``cap_s``, the tier-1 acceptance budget), or
+    any scope's wall time grows more than ``threshold`` above its
+    committed value.  Wall clocks regress *upward*, so the sign is the
+    mirror of the kernel-speedup check; retries keep scheduler noise
+    from failing a healthy analyzer.
+    """
+    committed = json.loads(ANALYSIS_SNAPSHOT.read_text())
+    cap_s = float(committed.get("cap_s", 10.0))
+    baseline = {
+        (row["scope"], row["families"]): row["wall_s"]
+        for row in committed["rows"]
+    }
+
+    module = _load_bench_module("bench_analysis")
+    current = {
+        (row["scope"], row["families"]): row["wall_s"]
+        for row in module.measure_analysis()
+    }
+    for attempt in range(retries):
+        ceilings = {k: s * (1.0 + threshold) for k, s in baseline.items()}
+        over = [
+            k for k in baseline
+            if current.get(k, float("inf")) > max(ceilings[k], 0.1)
+        ]
+        if not over and current.get(("src", "both"), float("inf")) < cap_s:
+            break
+        print(f"(retry {attempt + 1}: re-measuring scopes above ceiling)")
+        for key, wall in (
+            ((row["scope"], row["families"]), row["wall_s"])
+            for row in module.measure_analysis()
+        ):
+            current[key] = min(current.get(key, float("inf")), wall)
+
+    failures = []
+    print(f"{'scope':<6} {'families':<12} {'committed':>10} {'current':>10} "
+          f"{'ceiling':>10}")
+    for key, committed_wall in baseline.items():
+        scope, families = key
+        # sub-100ms committed walls get an absolute floor on the ceiling:
+        # a 50% margin on 20ms is pure scheduler noise, not a regression
+        ceiling = max(committed_wall * (1.0 + threshold), 0.1)
+        measured = current.get(key)
+        if measured is None:
+            failures.append(f"{scope}/{families}: missing from measurement")
+            continue
+        print(f"{scope:<6} {families:<12} {committed_wall:>9.3f}s "
+              f"{measured:>9.3f}s {ceiling:>9.3f}s")
+        if measured > ceiling:
+            failures.append(
+                f"{scope}/{families}: wall {measured:.3f}s regressed more "
+                f"than {100 * threshold:.0f}% above committed "
+                f"{committed_wall:.3f}s")
+    full_src = current.get(("src", "both"))
+    if full_src is not None and full_src >= cap_s:
+        failures.append(
+            f"src/both: wall {full_src:.3f}s breaks the {cap_s:.0f}s "
+            "tier-1 acceptance cap")
+    return failures
+
+
 try:
     import pytest
 except ImportError:  # CLI-only environments don't need the pytest shim
@@ -100,14 +170,29 @@ if pytest is not None:
         failures = check_regressions()
         assert not failures, "; ".join(failures)
 
+    @pytest.mark.perf
+    def test_analysis_gate():
+        """Analyzer wall-clock gate against BENCH_analysis.json."""
+        failures = check_analysis_regressions()
+        assert not failures, "; ".join(failures)
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--threshold", type=float, default=DEFAULT_THRESHOLD,
         help="allowed fractional speedup drop before failing (default 0.25)")
+    parser.add_argument(
+        "--analysis-threshold", type=float, default=ANALYSIS_THRESHOLD,
+        help="allowed fractional analyzer wall-clock growth before failing "
+             "(default 0.5)")
     opts = parser.parse_args(argv)
     failures = check_regressions(opts.threshold)
+    if ANALYSIS_SNAPSHOT.is_file():
+        print()
+        failures += check_analysis_regressions(opts.analysis_threshold)
+    else:
+        print("\n(no BENCH_analysis.json snapshot; analyzer gate skipped)")
     if failures:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)

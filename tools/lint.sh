@@ -1,21 +1,76 @@
 #!/usr/bin/env bash
-# Repo lint gate: ruff (when available) + the numlint numerical-safety
-# analyzer.  Exits non-zero on any finding; run from the repo root.
+# Repo lint gate: ruff (when available) + both numlint analyzer tiers —
+# the per-file expression rules (NL···) and the interprocedural flow
+# rules (DT···/RD···).  Exits non-zero on any finding.
+#
+# Usage, from the repo root:
+#   tools/lint.sh                 # full gate: src benchmarks tools
+#   tools/lint.sh --changed-only  # only files touched vs HEAD (fast loop)
+#
+# --changed-only scopes *ruff* and the *expression* tier to the changed
+# files; the flow tier always sees the full gate scope, because its
+# rules are interprocedural — an edit in one module can create a DT/RD
+# finding in another (a new call edge reaches an unseeded RNG), so a
+# diff-scoped flow pass would miss exactly the regressions it exists to
+# catch.
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
 
+changed_only=0
+for arg in "$@"; do
+    case "$arg" in
+        --changed-only) changed_only=1 ;;
+        *) echo "usage: tools/lint.sh [--changed-only]" >&2; exit 2 ;;
+    esac
+done
+
 status=0
+scope=(src benchmarks tools)
+
+changed_files=()
+if [ "$changed_only" -eq 1 ]; then
+    # staged + unstaged + untracked python files under the gate scope
+    while IFS= read -r f; do
+        [ -f "$f" ] && changed_files+=("$f")
+    done < <(
+        {
+            git diff --name-only --diff-filter=d HEAD -- \
+                'src/*.py' 'benchmarks/*.py' 'tools/*.py' 'tests/*.py'
+            git ls-files --others --exclude-standard -- \
+                'src/*.py' 'benchmarks/*.py' 'tools/*.py' 'tests/*.py'
+        } | sort -u
+    )
+    if [ "${#changed_files[@]}" -eq 0 ]; then
+        echo "lint: no python files changed vs HEAD; nothing to do"
+        exit 0
+    fi
+    echo "lint: ${#changed_files[@]} changed file(s)"
+fi
 
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="
-    ruff check src tests || status=1
+    if [ "$changed_only" -eq 1 ]; then
+        ruff check "${changed_files[@]}" || status=1
+    else
+        ruff check src tests || status=1
+    fi
 else
     echo "== ruff == (not installed; skipping — config lives in pyproject.toml)"
 fi
 
-echo "== numlint =="
-PYTHONPATH=src python -m repro.analysis src || status=1
+echo "== numlint: expression tier =="
+if [ "$changed_only" -eq 1 ]; then
+    PYTHONPATH=src python -m repro.analysis --rule-family expression \
+        "${changed_files[@]}" || status=1
+else
+    PYTHONPATH=src python -m repro.analysis --rule-family expression \
+        "${scope[@]}" || status=1
+fi
+
+echo "== numlint: flow tier (always full scope — rules are interprocedural) =="
+PYTHONPATH=src python -m repro.analysis --rule-family flow \
+    "${scope[@]}" || status=1
 
 exit "$status"
