@@ -33,7 +33,7 @@ from __future__ import annotations
 import concurrent.futures
 import hashlib
 import time
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.exceptions import BudgetExceededError, ConfigurationError
 from repro.obs import SECONDS_BUCKETS, get_metrics, get_tracer
@@ -85,6 +85,23 @@ class Executor:
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         raise NotImplementedError
 
+    def map_cancellable(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        should_cancel: Optional[Callable[[], bool]] = None,
+    ) -> Tuple[List[R], int]:
+        """Ordered map that stops dispatching once ``should_cancel()`` fires.
+
+        Returns ``(results, n_skipped)`` where ``results`` is an
+        in-order *prefix* of the item results and ``n_skipped`` counts
+        items whose results were not produced.  Work already running
+        when cancellation fires cannot be interrupted (cooperative
+        cancellation), but queued work is never started — the fix for
+        executed-then-discarded waste under an expired budget.
+        """
+        raise NotImplementedError
+
     def shutdown(self) -> None:
         """Release worker resources (no-op for the serial backend)."""
 
@@ -115,6 +132,21 @@ class SerialExecutor(Executor):
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         return [fn(item) for item in items]
+
+    def map_cancellable(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        should_cancel: Optional[Callable[[], bool]] = None,
+    ) -> Tuple[List[R], int]:
+        if should_cancel is None:
+            return self.map(fn, items), 0
+        results: List[R] = []
+        for item in items:
+            if should_cancel():
+                break
+            results.append(fn(item))
+        return results, len(items) - len(results)
 
 
 class _PoolExecutor(Executor):
@@ -147,6 +179,33 @@ class _PoolExecutor(Executor):
             for f in futures:
                 f.cancel()
             raise
+
+    def map_cancellable(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        should_cancel: Optional[Callable[[], bool]] = None,
+    ) -> Tuple[List[R], int]:
+        if should_cancel is None:
+            return self.map(fn, items), 0
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, item) for item in items]
+        results: List[R] = []
+        try:
+            for index, future in enumerate(futures):
+                if should_cancel():
+                    # still-queued futures are withdrawn from the pool;
+                    # ones already running finish but their results are
+                    # dropped (cooperative cancellation cannot preempt)
+                    for pending in futures[index:]:
+                        pending.cancel()
+                    break
+                results.append(future.result())
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return results, len(items) - len(results)
 
     def shutdown(self) -> None:
         if self._pool is not None:
@@ -204,16 +263,21 @@ def map_solve(
 ) -> List[R]:
     """Chunked fan-out of ``fn`` over ``items`` with cooperative cancellation.
 
-    Items are dispatched in chunks (default: ``4 * max_workers``); the
-    resilience ``budget`` is checked *between* chunks, so an exhausted
-    budget cancels every not-yet-dispatched chunk and raises
-    :class:`~repro.exceptions.BudgetExceededError` instead of hanging —
-    the pending work is never submitted.  One unit of budget is charged
-    per completed task.
+    Items are dispatched in chunks (default: ``4 * max_workers``).  The
+    resilience ``budget`` is checked between chunks *and* between the
+    items of the in-flight chunk (via
+    :meth:`Executor.map_cancellable`), so when the budget expires
+    mid-chunk the still-queued work is withdrawn from the pool rather
+    than executed-then-discarded, and
+    :class:`~repro.exceptions.BudgetExceededError` is raised.  One unit
+    of budget is charged per completed task.
 
     Emits a ``parallel.map`` span and ``parallel.tasks`` /
-    ``parallel.cancelled_tasks`` counters labelled by backend and
-    ``label``; results preserve input order on every backend.
+    ``parallel.cancelled_tasks`` / ``parallel.cancelled_chunks``
+    counters labelled by backend and ``label`` (``cancelled_chunks``
+    counts chunks not fully executed: the partially-run in-flight chunk
+    plus every never-dispatched one); results preserve input order on
+    every backend.
     """
     executor = executor or SerialExecutor()
     items = list(items)
@@ -225,22 +289,40 @@ def map_solve(
     metrics = get_metrics()
     start = time.perf_counter()
     results: List[R] = []
+    chunks = list(_chunks(n, chunk_size))
+    should_cancel = (lambda: budget.expired) if budget is not None else None
+
+    def record_cancelled(chunk_index: int, span) -> None:
+        cancelled = n - len(results)
+        metrics.counter("parallel.cancelled_tasks", backend=executor.backend,
+                        label=label).inc(cancelled)
+        metrics.counter("parallel.cancelled_chunks", backend=executor.backend,
+                        label=label).inc(len(chunks) - chunk_index)
+        span.set(cancelled=cancelled, completed=len(results),
+                 cancelled_chunks=len(chunks) - chunk_index)
+
     with get_tracer().span("parallel.map", backend=executor.backend,
                            label=label, n_tasks=n,
                            max_workers=executor.max_workers) as span:
         try:
-            for chunk in _chunks(n, chunk_size):
+            for chunk_index, chunk in enumerate(chunks):
                 if budget is not None:
                     try:
                         budget.check(context=f"parallel[{label}]")
                     except BudgetExceededError:
-                        cancelled = n - len(results)
-                        metrics.counter("parallel.cancelled_tasks",
-                                        backend=executor.backend,
-                                        label=label).inc(cancelled)
-                        span.set(cancelled=cancelled, completed=len(results))
+                        record_cancelled(chunk_index, span)
                         raise
-                results.extend(executor.map(fn, [items[i] for i in chunk]))
+                chunk_results, skipped = executor.map_cancellable(
+                    fn, [items[i] for i in chunk], should_cancel)
+                results.extend(chunk_results)
+                if skipped:
+                    # the budget expired inside this chunk: queued items
+                    # were withdrawn, remaining chunks never dispatch
+                    record_cancelled(chunk_index, span)
+                    assert budget is not None
+                    budget.check(context=f"parallel[{label}]")
+                    raise BudgetExceededError(  # pragma: no cover - guard
+                        f"parallel[{label}] cancelled mid-chunk")
                 if budget is not None:
                     budget.charge(len(chunk))
         finally:

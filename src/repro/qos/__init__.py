@@ -51,6 +51,8 @@ from repro.qos.slicing import (
 )
 from repro.qos.traffic import (
     DEFAULT_QOS,
+    MMPPConfig,
+    MMPPProcess,
     QoSRequirement,
     ServiceClass,
     TrafficGenerator,
@@ -68,6 +70,8 @@ __all__ = [
     "GilbertElliottChannel",
     "MCS",
     "GilbertElliottConfig",
+    "MMPPConfig",
+    "MMPPProcess",
     "MultiRATProblem",
     "MultiRATResult",
     "PowerControlResult",

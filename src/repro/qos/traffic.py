@@ -12,13 +12,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["ServiceClass", "QoSRequirement", "UserSession", "TrafficGenerator", "DEFAULT_QOS"]
+__all__ = [
+    "ServiceClass",
+    "QoSRequirement",
+    "UserSession",
+    "TrafficGenerator",
+    "DEFAULT_QOS",
+    "MMPPConfig",
+    "MMPPProcess",
+]
 
 
 class ServiceClass(Enum):
@@ -115,3 +123,130 @@ class TrafficGenerator:
         for u in users:
             out[u.service] = out.get(u.service, 0) + 1
         return out
+
+
+@dataclass(frozen=True)
+class MMPPConfig:
+    """Two-state Markov-modulated Poisson process parameters.
+
+    Arrivals are Poisson at ``idle_rate_hz`` in the IDLE state and at
+    ``burst_rate_hz`` during bursts; sojourn times in each state are
+    exponential with means ``mean_idle_s`` / ``mean_burst_s``.  The
+    classic bursty-traffic model: long quiet stretches punctuated by
+    arrival storms, exactly the load shape an admission-controlled
+    serving layer must absorb without shedding URLLC.
+    """
+
+    idle_rate_hz: float = 20.0
+    burst_rate_hz: float = 200.0
+    mean_idle_s: float = 2.0
+    mean_burst_s: float = 0.5
+
+    def __post_init__(self):
+        for name in ("idle_rate_hz", "burst_rate_hz", "mean_idle_s", "mean_burst_s"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.burst_rate_hz < self.idle_rate_hz:
+            raise ConfigurationError("burst_rate_hz must be >= idle_rate_hz")
+
+    @property
+    def burst_fraction(self) -> float:
+        """Steady-state fraction of time spent in the BURST state."""
+        return self.mean_burst_s / (self.mean_burst_s + self.mean_idle_s)  # numlint: disable=NL002 -- __post_init__ rejects nonpositive sojourn means
+
+    @property
+    def mean_rate_hz(self) -> float:
+        """Long-run arrival rate: sojourn-weighted mix of the two rates."""
+        f = self.burst_fraction
+        return f * self.burst_rate_hz + (1.0 - f) * self.idle_rate_hz
+
+
+class MMPPProcess:
+    """Seeded event generator for the two-state MMPP.
+
+    Exact simulation by competing exponentials: in state ``s`` the next
+    arrival is ``Exp(rate_s)`` away; if it would land past the state's
+    sojourn end, the partial draw is discarded (memorylessness makes
+    that exact, not an approximation), the chain toggles, and a fresh
+    sojourn is drawn.  Every draw comes from the injected generator, so
+    the whole event stream is a pure function of the seed.
+    """
+
+    IDLE = 0
+    BURST = 1
+
+    def __init__(self, config: MMPPConfig | None = None,
+                 rng: np.random.Generator | None = None):
+        self.config = config or MMPPConfig()
+        self.rng = rng or np.random.default_rng(0)
+        self._state = self.IDLE
+        self._now = 0.0
+        self._state_end = self._now + self.rng.exponential(self.config.mean_idle_s)
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    def _rate(self) -> float:
+        return (self.config.burst_rate_hz if self._state == self.BURST
+                else self.config.idle_rate_hz)
+
+    def _sojourn(self) -> float:
+        return self.rng.exponential(
+            self.config.mean_burst_s if self._state == self.BURST
+            else self.config.mean_idle_s)
+
+    def arrivals(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Generate the next ``n`` arrivals.
+
+        Returns ``(times, states)``: absolute arrival times (seconds,
+        monotone increasing, continuing from the previous call) and the
+        modulating state (:data:`IDLE`/:data:`BURST`) at each arrival.
+        """
+        if n < 0:
+            raise ConfigurationError("n must be nonnegative")
+        times = np.empty(n, dtype=np.float64)
+        states = np.empty(n, dtype=np.int64)
+        k = 0
+        while k < n:
+            gap = self.rng.exponential(1.0 / self._rate())  # numlint: disable=NL002 -- MMPPConfig.__post_init__ rejects nonpositive rates
+            if self._now + gap < self._state_end:
+                self._now += gap
+                times[k] = self._now
+                states[k] = self._state
+                k += 1
+            else:
+                self._now = self._state_end
+                self._state = self.BURST if self._state == self.IDLE else self.IDLE
+                self._state_end = self._now + self._sojourn()
+        return times, states
+
+    def arrivals_until(self, t_end: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Generate every arrival with time strictly before ``t_end``.
+
+        Chunked wrapper over :meth:`arrivals`; the final partial draw is
+        rolled back so a later call continues the stream exactly where
+        this one stopped admitting events.
+        """
+        out_t: List[float] = []
+        out_s: List[int] = []
+        while True:
+            gap = self.rng.exponential(1.0 / self._rate())  # numlint: disable=NL002 -- MMPPConfig.__post_init__ rejects nonpositive rates
+            if self._now + gap >= self._state_end:
+                if self._state_end >= t_end:
+                    # next event (arrival or toggle) lands past the window;
+                    # leave the clock at the window edge for the caller
+                    self._now = min(self._state_end, t_end)
+                    break
+                self._now = self._state_end
+                self._state = self.BURST if self._state == self.IDLE else self.IDLE
+                self._state_end = self._now + self._sojourn()
+                continue
+            if self._now + gap >= t_end:
+                self._now = t_end
+                break
+            self._now += gap
+            out_t.append(self._now)
+            out_s.append(self._state)
+        return (np.asarray(out_t, dtype=np.float64),
+                np.asarray(out_s, dtype=np.int64))

@@ -39,6 +39,7 @@ class CircuitBreaker:
         half_open_successes: int = 1,
         clock: Callable[[], float] = time.monotonic,
         name: str = "breaker",
+        max_half_open_probes: int = 1,
     ):
         if failure_threshold < 1:
             raise ConfigurationError("failure_threshold must be >= 1")
@@ -46,18 +47,23 @@ class CircuitBreaker:
             raise ConfigurationError("cooldown_s must be positive")
         if half_open_successes < 1:
             raise ConfigurationError("half_open_successes must be >= 1")
+        if max_half_open_probes < 1:
+            raise ConfigurationError("max_half_open_probes must be >= 1")
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
         self.half_open_successes = half_open_successes
+        self.max_half_open_probes = max_half_open_probes
         self.name = name
         self._clock = clock
         self._state = self.CLOSED
         self._consecutive_failures = 0
         self._probe_successes = 0
+        self._probes_inflight = 0
         self._opened_at = 0.0
         # counters for observability
         self.trips = 0
         self.calls_rejected = 0
+        self.probes_rejected = 0
 
     # ---- state ---------------------------------------------------------------
     def _transition(self, to_state: str) -> None:
@@ -80,21 +86,41 @@ class CircuitBreaker:
         ):
             self._transition(self.HALF_OPEN)
             self._probe_successes = 0
+            self._probes_inflight = 0
         return self._state
 
     def allow(self) -> bool:
-        """May a call go to the guarded backend right now?"""
+        """May a call go to the guarded backend right now?
+
+        In HALF_OPEN at most ``max_half_open_probes`` (default 1) calls
+        may be in flight at once: the whole point of the state is to
+        learn from a *controlled* probe, and a thundering herd of
+        concurrent probes can re-knock-over a barely recovered backend
+        before the first verdict lands.  An admitted probe is released
+        by the next :meth:`record_success`/:meth:`record_failure`.
+        """
         state = self.state
         if state == self.OPEN:
             self.calls_rejected += 1
             get_metrics().counter("breaker.rejected", breaker=self.name).inc()
             return False
+        if state == self.HALF_OPEN:
+            if self._probes_inflight >= self.max_half_open_probes:
+                self.probes_rejected += 1
+                self.calls_rejected += 1
+                get_metrics().counter("breaker.probe_rejected",
+                                      breaker=self.name).inc()
+                return False
+            self._probes_inflight += 1
         return True
 
     # ---- outcome feedback ----------------------------------------------------
     def record_success(self) -> None:
         state = self.state
         if state == self.HALF_OPEN:
+            # outcomes may arrive without a prior allow() (e.g. a ladder
+            # feeding primary-rung results straight in), so never underflow
+            self._probes_inflight = max(0, self._probes_inflight - 1)
             self._probe_successes += 1
             if self._probe_successes >= self.half_open_successes:
                 self._transition(self.CLOSED)
@@ -105,6 +131,7 @@ class CircuitBreaker:
     def record_failure(self) -> None:
         state = self.state
         if state == self.HALF_OPEN:
+            self._probes_inflight = max(0, self._probes_inflight - 1)
             self._trip()
             return
         self._consecutive_failures += 1
@@ -116,6 +143,7 @@ class CircuitBreaker:
         self._opened_at = self._clock()
         self._consecutive_failures = 0
         self._probe_successes = 0
+        self._probes_inflight = 0
         self.trips += 1
 
     # ---- convenience wrapper -------------------------------------------------

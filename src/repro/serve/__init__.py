@@ -1,0 +1,65 @@
+"""Long-running, sharded, admission-controlled QoS serving layer.
+
+This package operationalizes the repo's solvers as a *service*: per-cell
+:class:`SchedulerShard` workers behind bounded, QoS-class-aware admission
+queues, an overload state machine that degrades by policy
+(NORMAL -> DEGRADED -> SHEDDING -> BREAKER_OPEN, each capping the
+fallback ladder), seeded MMPP/handover arrival processes, and a
+:class:`QoSService` loop with health snapshots and graceful drain.
+
+Everything runs on a simulated clock with task-identity-derived seeds,
+so a full soak — including chaos injection — is bit-identical across
+the serial/thread/process executor backends.  See docs/SERVING.md.
+"""
+
+from repro.serve.arrivals import ArrivalConfig, ArrivalEvent, ArrivalProcess
+from repro.serve.overload import (
+    BREAKER_OPEN,
+    DEGRADED,
+    NORMAL,
+    SHEDDING,
+    STATES,
+    OverloadConfig,
+    OverloadMachine,
+)
+from repro.serve.queueing import (
+    SERVE_ORDER,
+    SHED_ORDER,
+    Admission,
+    AdmissionQueue,
+    FrameRequest,
+    QueueStats,
+)
+from repro.serve.service import QoSService, ServeConfig, ServeReport
+from repro.serve.shard import (
+    SchedulerShard,
+    ShardConfig,
+    ShardFrameOutcome,
+    solve_shard_task,
+)
+
+__all__ = [
+    "Admission",
+    "AdmissionQueue",
+    "ArrivalConfig",
+    "ArrivalEvent",
+    "ArrivalProcess",
+    "BREAKER_OPEN",
+    "DEGRADED",
+    "FrameRequest",
+    "NORMAL",
+    "OverloadConfig",
+    "OverloadMachine",
+    "QoSService",
+    "QueueStats",
+    "SERVE_ORDER",
+    "SHED_ORDER",
+    "SHEDDING",
+    "STATES",
+    "SchedulerShard",
+    "ServeConfig",
+    "ServeReport",
+    "ShardConfig",
+    "ShardFrameOutcome",
+    "solve_shard_task",
+]

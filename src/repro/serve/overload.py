@@ -1,0 +1,173 @@
+"""Per-shard overload state machine: degrade by policy, not by accident.
+
+Four states, strictly ordered by severity::
+
+    NORMAL -> DEGRADED -> SHEDDING -> BREAKER_OPEN
+
+Each state maps to a *rung floor* on the shard's fallback ladder
+(``exact-bnb -> lp-round -> greedy``, from :data:`repro.qos.rra.RRA_FALLBACK`):
+under pressure the shard first gives up optimality (cheaper rungs),
+then gives up work (the queue sheds by class policy), and only a tripped
+:class:`~repro.resilience.CircuitBreaker` — persistent solver failure,
+not mere load — forces the terminal state where every frame is served
+by the guaranteed greedy rung.
+
+Transitions are driven by the queue's backpressure fraction with
+hysteresis (enter thresholds above exit thresholds, plus a dwell of
+``recover_ticks`` consecutive calm observations), so a load level that
+hovers at a boundary cannot make the shard flap.  Every transition is
+emitted as a structured obs event and counter, mirroring
+``breaker.transition`` — the acceptance criterion that "every
+degradation transition is visible in obs output" is satisfied by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.obs import get_metrics, get_tracer
+from repro.qos.rra import RRA_FALLBACK
+from repro.resilience import CircuitBreaker
+
+__all__ = ["OverloadConfig", "OverloadMachine",
+           "NORMAL", "DEGRADED", "SHEDDING", "BREAKER_OPEN", "STATES"]
+
+NORMAL = "normal"
+DEGRADED = "degraded"
+SHEDDING = "shedding"
+BREAKER_OPEN = "breaker_open"
+
+#: severity order; index doubles as the state gauge value
+STATES: Tuple[str, ...] = (NORMAL, DEGRADED, SHEDDING, BREAKER_OPEN)
+
+#: rung floor per state: index into RRA_FALLBACK of the tightest rung
+#: the shard may attempt while in that state
+_RUNG_FLOOR = {
+    NORMAL: 0,        # full ladder: exact-bnb first
+    DEGRADED: 1,      # skip the exact rung: lp-round first
+    SHEDDING: 2,      # guaranteed rung only: greedy
+    BREAKER_OPEN: 2,  # greedy only, and admission clamps harder
+}
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Thresholds and hysteresis for the state machine.
+
+    ``degrade_at`` / ``shed_at`` are backpressure fractions that *enter*
+    DEGRADED / SHEDDING; the corresponding exit happens only below
+    ``threshold - hysteresis`` sustained for ``recover_ticks``
+    consecutive observations.
+    """
+
+    degrade_at: float = 0.5
+    shed_at: float = 0.85
+    hysteresis: float = 0.15
+    recover_ticks: int = 3
+
+    def __post_init__(self):
+        if not 0.0 < self.degrade_at < self.shed_at <= 1.0:
+            raise ConfigurationError(
+                "need 0 < degrade_at < shed_at <= 1")
+        if not 0.0 <= self.hysteresis < self.degrade_at:
+            raise ConfigurationError("hysteresis must be in [0, degrade_at)")
+        if self.recover_ticks < 1:
+            raise ConfigurationError("recover_ticks must be >= 1")
+
+
+class OverloadMachine:
+    """One shard's degradation state, fed once per service tick."""
+
+    def __init__(self, shard: int, config: OverloadConfig | None = None,
+                 breaker: Optional[CircuitBreaker] = None):
+        self.shard = int(shard)
+        self.config = config or OverloadConfig()
+        self.breaker = breaker
+        self._state = NORMAL
+        self._calm_ticks = 0
+        self.transitions: list = []  # (from, to, pressure, sim time) history
+
+    # ---- state accessors -----------------------------------------------------
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def severity(self) -> int:
+        return STATES.index(self._state)
+
+    @property
+    def rung_floor(self) -> int:
+        """Index of the tightest allowed rung in :data:`RRA_FALLBACK`."""
+        return _RUNG_FLOOR[self._state]
+
+    def allowed_rungs(self) -> Tuple[str, ...]:
+        """The ladder restricted to what this state may afford."""
+        return RRA_FALLBACK[self.rung_floor:]
+
+    @property
+    def shedding(self) -> bool:
+        """In SHEDDING/BREAKER_OPEN the shard also clamps its admission
+        (smaller take per frame), accelerating queue drain by policy."""
+        return self._state in (SHEDDING, BREAKER_OPEN)
+
+    # ---- transitions ---------------------------------------------------------
+    def _transition(self, to_state: str, pressure: float, now_s: float) -> None:
+        from_state = self._state
+        if to_state == from_state:
+            return
+        self._state = to_state
+        self._calm_ticks = 0
+        self.transitions.append((from_state, to_state, pressure, now_s))
+        get_tracer().event("serve.overload.transition", shard=self.shard,
+                           from_state=from_state, to_state=to_state,
+                           pressure=round(pressure, 4), time_s=round(now_s, 4))
+        metrics = get_metrics()
+        metrics.counter("serve.overload.transitions", shard=self.shard,
+                        from_state=from_state, to_state=to_state).inc()
+        metrics.gauge("serve.overload.state",
+                      shard=self.shard).set(STATES.index(to_state))
+
+    def observe(self, pressure: float, now_s: float = 0.0) -> str:
+        """Feed one tick's backpressure fraction; returns the new state.
+
+        Escalation is immediate (overload must be answered now);
+        de-escalation is stepwise, one severity level per sustained calm
+        window, so recovery is visible as a sequence of transitions
+        rather than a cliff.  ``now_s`` is the caller's simulated clock,
+        recorded with each transition.
+        """
+        pressure = float(pressure)
+        cfg = self.config
+        if self.breaker is not None and self.breaker.state == CircuitBreaker.OPEN:
+            self._transition(BREAKER_OPEN, pressure, now_s)
+            return self._state
+        if self._state == BREAKER_OPEN:
+            # breaker recovered (half-open/closed): fall back to load-driven
+            # state at the shedding level and let calm ticks walk it down
+            self._transition(SHEDDING, pressure, now_s)
+            return self._state
+        # escalation: thresholds are entered immediately
+        if pressure >= cfg.shed_at:
+            self._transition(SHEDDING, pressure, now_s)
+            return self._state
+        if pressure >= cfg.degrade_at and self._state == NORMAL:
+            self._transition(DEGRADED, pressure, now_s)
+            return self._state
+        # de-escalation: sustained calm below (threshold - hysteresis)
+        exit_level = {
+            SHEDDING: cfg.shed_at - cfg.hysteresis,
+            DEGRADED: cfg.degrade_at - cfg.hysteresis,
+        }.get(self._state)
+        if exit_level is not None:
+            if pressure < exit_level:
+                self._calm_ticks += 1
+                if self._calm_ticks >= cfg.recover_ticks:
+                    down = STATES[self.severity - 1]
+                    self._transition(down, pressure, now_s)
+            else:
+                self._calm_ticks = 0
+        return self._state

@@ -1,0 +1,380 @@
+"""Per-cell scheduler shards: queue + overload machine + ladder solve.
+
+A :class:`SchedulerShard` owns one cell's admission queue, overload
+state machine, and circuit breaker, and turns admitted demand into RRA
+frame solves.  The split matters for determinism and parallelism:
+
+* all *stateful* work (queue mutation, breaker feedback, overload
+  transitions, channel draws) happens on the coordinator, serially, in
+  cell order;
+* the *solve* itself is a pure function of a picklable task dict
+  (:func:`solve_shard_task`, module-level so the process backend can
+  import it), with any per-frame randomness derived from
+  ``(seed, frame, cell)`` via :func:`repro.parallel.derive_seed`.
+
+Under that contract the service can fan shard frames out through any
+:class:`repro.parallel.Executor` backend and the resulting reports are
+bit-identical — the same contract ``qos.Scheduler`` established, lifted
+to a sharded, long-running service.
+
+Sessions are *aggregated*: one admitted :class:`FrameRequest` (a batch
+of ``n_ues`` same-class sessions) is scheduled as one representative
+:class:`~repro.qos.traffic.UserSession`.  A 10^6-UE soak therefore
+solves thousands of small MILP/LP frames, not one astronomically large
+one — the standard macro-cell abstraction (see docs/SERVING.md).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import (
+    ConfigurationError,
+    InfeasibleError,
+    LadderExhaustedError,
+)
+from repro.obs import SECONDS_BUCKETS, get_metrics
+from repro.parallel import derive_seed
+from repro.qos.channel import ChannelConfig, ChannelModel
+from repro.qos.rra import (
+    RRA_FALLBACK,
+    RRAProblem,
+    RRAResult,
+    solve_rra_exact,
+    solve_rra_greedy,
+    solve_rra_relaxed,
+)
+from repro.qos.traffic import DEFAULT_QOS, QoSRequirement, ServiceClass, UserSession
+from repro.resilience import Budget, ChaosMonkey, CircuitBreaker, FaultSpec, Rung, run_ladder
+from repro.resilience.ladder import LadderResult
+from repro.serve.overload import OverloadConfig, OverloadMachine
+from repro.serve.queueing import AdmissionQueue, FrameRequest
+
+__all__ = ["ShardConfig", "ShardFrameOutcome", "SchedulerShard", "solve_shard_task"]
+
+
+def _no_sleep(_s: float) -> None:
+    """Chaos latency stub (wall-clock sleeps would break cross-backend
+    timing comparability; budget burn still applies)."""
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Static per-shard knobs, shared by every shard of a service.
+
+    ``requests_per_frame`` caps how many queued requests one frame
+    schedules in a non-shedding state; ``shed_requests_per_frame`` is
+    the take while shedding — normally *larger*, because shedding frames
+    run the cheap guaranteed rung only, so the shard can drain its
+    backlog several requests at a time (fast recovery is part of the
+    shedding policy).  ``rate_floor_scale`` downscales class rate floors
+    to the small per-frame grids a shard solves.
+
+    The defaults are calibrated so the exact rung reliably converges in
+    tens of milliseconds (2 users x 4 blocks x 1 power level, 60 B&B
+    nodes) — a NORMAL-state frame is exact, not aspirational.
+    """
+
+    n_blocks: int = 4
+    requests_per_frame: int = 2
+    shed_requests_per_frame: int = 6
+    max_depth: int = 64
+    max_age_s: float = 5.0
+    max_nodes: int = 60
+    frame_budget_s: Optional[float] = None
+    rate_floor_scale: float = 0.02
+    total_power_mw: float = 1000.0
+    power_levels_mw: Tuple[float, ...] = (100.0,)
+    overload: OverloadConfig = field(default_factory=OverloadConfig)
+    breaker_failure_threshold: int = 3
+    breaker_cooldown_s: float = 5.0
+
+    def __post_init__(self):
+        if self.n_blocks < 1:
+            raise ConfigurationError("n_blocks must be >= 1")
+        if self.requests_per_frame < 1 or self.shed_requests_per_frame < 1:
+            raise ConfigurationError("per-frame takes must be >= 1")
+        if not 0.0 < self.rate_floor_scale <= 1.0:
+            raise ConfigurationError("rate_floor_scale must be in (0, 1]")
+
+
+@dataclass
+class ShardFrameOutcome:
+    """What one shard frame produced, after :func:`solve_shard_task`."""
+
+    cell: int
+    frame: int
+    dropped: bool
+    rung: str
+    degraded: bool
+    qos_ok: bool
+    total_rate: float
+    solver_time_s: float
+    primary_failed: bool
+    per_class_satisfaction: Dict[str, float] = field(default_factory=dict)
+    chaos_injections: int = 0
+
+
+def _scaled_session(index: int, svc: ServiceClass, scale: float) -> UserSession:
+    q = DEFAULT_QOS[svc]
+    return UserSession(index, svc, QoSRequirement(
+        min_rate_bps=q.min_rate_bps * scale,
+        max_latency_ms=q.max_latency_ms,
+        reliability=q.reliability,
+        priority=q.priority,
+    ))
+
+
+def solve_shard_task(task: dict) -> dict:
+    """Solve one shard frame (module-level: process-picklable).
+
+    Walks the overload-capped fallback ladder over the frame's
+    :class:`RRAProblem`; the answer plus provenance comes back as a
+    plain dict the coordinator merges.  All randomness derives from the
+    task's ``(seed, frame, cell)`` identity, so the outcome is a pure
+    function of the task — the shard determinism contract.
+    """
+    problem: RRAProblem = task["problem"]
+    cell: int = task["cell"]
+    frame: int = task["frame"]
+    rung_names: Tuple[str, ...] = tuple(task["rungs"])
+    max_nodes: int = task["max_nodes"]
+    frame_budget_s = task["frame_budget_s"]
+    chaos_spec: Optional[FaultSpec] = task.get("chaos")
+    budget = (Budget(wall_clock_s=frame_budget_s)
+              if frame_budget_s is not None else None)
+    time_limit = frame_budget_s if frame_budget_s is not None else float("inf")
+
+    solvers = {
+        "exact-bnb": lambda p: solve_rra_exact(
+            p, max_nodes=max_nodes,
+            time_limit=(min(time_limit, budget.remaining_time)
+                        if budget is not None else time_limit)),
+        "lp-round": solve_rra_relaxed,
+        "greedy": solve_rra_greedy,
+    }
+    monkey = None
+    if chaos_spec is not None:
+        monkey = ChaosMonkey(
+            chaos_spec,
+            seed=derive_seed(task["seed"], frame, f"serve.chaos.{cell}"),
+            sleep=_no_sleep,
+            budget=budget,
+        )
+        solvers = {name: monkey.wrap(fn, name) for name, fn in solvers.items()}
+
+    def make_solve(name: str, guaranteed: bool):
+        def solve() -> RRAResult:
+            if budget is not None:
+                if guaranteed:
+                    budget.charge(1)
+                else:
+                    budget.spend(1, context=f"serve[{name}]")
+            return solvers[name](problem)
+        return solve
+
+    rungs = [
+        Rung(name=name, solve=make_solve(name, i == len(rung_names) - 1),
+             grade=name, guaranteed=(i == len(rung_names) - 1))
+        for i, name in enumerate(rung_names)
+    ]
+    start = time.perf_counter()
+    try:
+        res: LadderResult = run_ladder(
+            rungs, budget=budget, rng=np.random.default_rng(
+                derive_seed(task["seed"], frame, f"serve.frame.{cell}")),
+            sleep=_no_sleep, name="serve")
+    except (InfeasibleError, LadderExhaustedError):
+        return {
+            "cell": cell, "frame": frame, "dropped": True, "rung": "none",
+            "degraded": True, "qos_ok": False, "total_rate": 0.0,
+            "solver_time_s": time.perf_counter() - start,
+            "primary_failed": True, "per_class_satisfaction": {},
+            "chaos_injections": 0 if monkey is None else len(monkey.events),
+        }
+    result = res.value
+    assert isinstance(result, RRAResult)
+    ev = problem.evaluate_assignment(result.choice)
+    per_class: Dict[str, List[bool]] = {}
+    for u, rate in zip(problem.users, ev["user_rates"]):
+        per_class.setdefault(u.service.value, []).append(
+            rate >= u.min_rate_bps - 1e-6)
+    return {
+        "cell": cell,
+        "frame": frame,
+        "dropped": False,
+        "rung": res.rung,
+        # degraded relative to the *full* ladder: a frame answered by
+        # lp-round while the overload cap already excluded exact-bnb is
+        # still a degraded answer
+        "degraded": res.rung != RRA_FALLBACK[0],
+        "qos_ok": bool(ev["qos_ok"] and ev["power_ok"]),
+        "total_rate": float(ev["total_rate"]),
+        "solver_time_s": time.perf_counter() - start,
+        "primary_failed": res.rung_index > 0,
+        "per_class_satisfaction": {
+            svc: float(np.mean(v)) for svc, v in sorted(per_class.items())},
+        "chaos_injections": 0 if monkey is None else len(monkey.events),
+    }
+
+
+class SchedulerShard:
+    """One cell's stateful serving context (coordinator side)."""
+
+    def __init__(self, cell: int, config: ShardConfig | None = None,
+                 seed: int = 0, channel: ChannelConfig | None = None,
+                 clock=None):
+        self.cell = int(cell)
+        self.config = config or ShardConfig()
+        self.seed = int(seed)
+        self.queue = AdmissionQueue(cell, max_depth=self.config.max_depth,
+                                    max_age_s=self.config.max_age_s)
+        # sim-time breaker: the service feeds its simulated clock through
+        # ``clock`` so cooldowns are deterministic ticks, not wall time
+        self._sim_now = 0.0
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+            clock=(clock if clock is not None else lambda: self._sim_now),
+            name=f"serve.shard{cell}",
+        )
+        self.overload = OverloadMachine(cell, self.config.overload,
+                                        breaker=self.breaker)
+        self._channel = ChannelModel(
+            channel or ChannelConfig(n_blocks=self.config.n_blocks),
+            rng=np.random.default_rng(
+                derive_seed(seed, cell, "serve.channel")))
+        self.frames = 0
+        self.frames_dropped = 0
+        self.chaos_injections_total = 0
+        self.rung_counts: Dict[str, int] = {}
+        self.served_ues: Dict[ServiceClass, int] = {}
+        self.latencies_s: List[Tuple[float, float]] = []  # (sim time, latency)
+        self._in_flight: List[FrameRequest] = []
+
+    # ---- tick plumbing -------------------------------------------------------
+    def advance_clock(self, now_s: float) -> None:
+        """Move the shard's simulated clock (drives breaker cooldowns)."""
+        self._sim_now = float(now_s)
+
+    def observe_pressure(self) -> str:
+        """Feed the overload machine this tick's queue backpressure."""
+        return self.overload.observe(self.queue.backpressure(), self._sim_now)
+
+    def build_task(self, now_s: float, frame: int,
+                   chaos: Optional[FaultSpec] = None) -> Optional[dict]:
+        """Dequeue one frame's demand and assemble the solve task.
+
+        Returns ``None`` on an idle tick (empty queue).  The take size
+        clamps down while shedding, and the rung list is the overload
+        machine's allowed ladder suffix.
+        """
+        if self._in_flight:
+            raise ConfigurationError(
+                "previous frame not absorbed; call absorb() first")
+        cfg = self.config
+        take = (cfg.shed_requests_per_frame if self.overload.shedding
+                else cfg.requests_per_frame)
+        batch = self.queue.take(take)
+        if not batch:
+            return None
+        self._in_flight = batch
+        sessions = [
+            _scaled_session(i, r.service, cfg.rate_floor_scale)
+            for i, r in enumerate(batch)
+        ]
+        gains = self._channel.gains(len(sessions))
+        problem = RRAProblem(
+            gains=gains,
+            users=sessions,
+            power_levels_mw=np.asarray(cfg.power_levels_mw, dtype=np.float64),
+            total_power_mw=cfg.total_power_mw,
+            noise_mw=self._channel.noise_linear_mw,
+        )
+        return {
+            "cell": self.cell,
+            "frame": frame,
+            "problem": problem,
+            "rungs": self.overload.allowed_rungs(),
+            "max_nodes": cfg.max_nodes,
+            "frame_budget_s": cfg.frame_budget_s,
+            "seed": self.seed,
+            "chaos": chaos,
+        }
+
+    def absorb(self, outcome: dict, now_s: float) -> ShardFrameOutcome:
+        """Merge one solve outcome back into shard state.
+
+        Feeds the breaker (primary-rung failure counts against it, an
+        un-degraded answer resets it), records per-request service
+        latency in *simulated* seconds, and bumps the shard counters.
+        """
+        batch, self._in_flight = self._in_flight, []
+        out = ShardFrameOutcome(
+            cell=outcome["cell"], frame=outcome["frame"],
+            dropped=outcome["dropped"], rung=outcome["rung"],
+            degraded=outcome["degraded"], qos_ok=outcome["qos_ok"],
+            total_rate=outcome["total_rate"],
+            solver_time_s=outcome["solver_time_s"],
+            primary_failed=outcome["primary_failed"],
+            per_class_satisfaction=dict(outcome["per_class_satisfaction"]),
+            chaos_injections=outcome["chaos_injections"],
+        )
+        self.frames += 1
+        self.chaos_injections_total += out.chaos_injections
+        self.rung_counts[out.rung] = self.rung_counts.get(out.rung, 0) + 1
+        metrics = get_metrics()
+        metrics.counter("serve.frames", rung=out.rung).inc()
+        metrics.histogram("serve.solver_time_s", buckets=SECONDS_BUCKETS,
+                          cell=self.cell).observe(out.solver_time_s)
+        if out.primary_failed:
+            self.breaker.record_failure()
+        else:
+            self.breaker.record_success()
+        if out.dropped:
+            self.frames_dropped += 1
+            metrics.counter("serve.frames_dropped").inc()
+            # the frame's demand was not served: requeue it for retry —
+            # if failures persist, the age limit sheds it by policy
+            self.queue.requeue(batch)
+            return out
+        for r in batch:
+            latency = max(0.0, now_s - r.enqueued_at_s)
+            self.latencies_s.append((now_s, latency))
+            metrics.histogram("serve.frame_latency_s", buckets=SECONDS_BUCKETS,
+                              cell=self.cell,
+                              service=r.service.value).observe(latency)
+            self.served_ues[r.service] = (
+                self.served_ues.get(r.service, 0) + r.n_ues)
+        return out
+
+    # ---- reporting -----------------------------------------------------------
+    def total_served_ues(self) -> int:
+        return sum(self.served_ues.values())
+
+    def snapshot(self, now_s: float) -> dict:
+        """JSON-ready health view of this shard."""
+        return {
+            "cell": self.cell,
+            "state": self.overload.state,
+            "breaker": self.breaker.state,
+            "depth": self.queue.depth(),
+            "backpressure": self.queue.backpressure(),
+            "oldest_age_s": self.queue.oldest_age_s(now_s),
+            "frames": self.frames,
+            "frames_dropped": self.frames_dropped,
+            "served_ues": {svc.value: n for svc, n in
+                           sorted(self.served_ues.items(),
+                                  key=lambda kv: kv[0].value)},
+            "transitions": len(self.overload.transitions),
+        }
+
+    def mean_latency_s(self) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return math.fsum(lat for _, lat in self.latencies_s) / len(self.latencies_s)

@@ -119,6 +119,60 @@ class TestMapSolve:
                                       backend="serial", label="probe") == 8.0
         assert registry.counter_value("parallel.tasks",
                                       backend="serial", label="probe") == 2.0
+        # 4 of the 5 chunks never fully ran: all were cancelled outright
+        assert registry.counter_value("parallel.cancelled_chunks",
+                                      backend="serial", label="probe") == 4.0
+
+    def test_wall_clock_expiry_mid_chunk_skips_queued_items(self):
+        """The budget expiring *inside* a chunk must stop dispatch there.
+
+        Before the fix, the in-flight chunk always ran to completion and
+        its tail results were discarded by the raise at the next chunk
+        boundary — executed-then-discarded waste.
+        """
+        clock = {"now": 0.0}
+        calls = []
+
+        def slow(i):
+            calls.append(i)
+            clock["now"] += 3.0  # each task eats 3s of fake wall time
+            return i
+
+        budget = Budget(wall_clock_s=5.0, clock=lambda: clock["now"])
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            with pytest.raises(BudgetExceededError):
+                map_solve(slow, range(8), budget=budget, chunk_size=4,
+                          label="midchunk")
+        # the budget expired after task 1 (t=6s > 5s): tasks 2..7 were
+        # never executed, including the two still queued in chunk 0
+        assert calls == [0, 1]
+        assert registry.counter_value("parallel.cancelled_tasks",
+                                      backend="serial",
+                                      label="midchunk") == 6.0
+        # chunk 0 partially ran, chunk 1 never dispatched: both count
+        assert registry.counter_value("parallel.cancelled_chunks",
+                                      backend="serial",
+                                      label="midchunk") == 2.0
+
+    def test_map_cancellable_returns_ordered_prefix_on_pools(self):
+        gate = {"open": False}
+
+        def should_cancel():
+            return gate["open"]
+
+        for backend in BACKENDS:
+            with make_executor(backend, max_workers=POOL_WORKERS) as ex:
+                results, skipped = ex.map_cancellable(
+                    _square, range(6), should_cancel)
+                assert (results, skipped) == ([i * i for i in range(6)], 0)
+        # with cancellation requested up-front, nothing new is dispatched
+        gate["open"] = True
+        with make_executor("thread", max_workers=POOL_WORKERS) as ex:
+            results, skipped = ex.map_cancellable(
+                _square, range(6), should_cancel)
+        assert results == []
+        assert skipped == 6
 
 
 class TestDeriveSeed:

@@ -359,6 +359,75 @@ class TestCircuitBreaker:
         assert br.state == CircuitBreaker.OPEN
         assert br.trips == 2
 
+    def test_half_open_admits_one_probe_at_a_time(self):
+        clock = FakeClock()
+        br = CircuitBreaker(failure_threshold=1, cooldown_s=30.0, clock=clock)
+        br.record_failure()
+        clock.advance(30.0)
+        assert br.state == CircuitBreaker.HALF_OPEN
+        assert br.allow()        # the single probe slot
+        assert not br.allow()    # a concurrent probe is rejected
+        assert not br.allow()
+        assert br.probes_rejected == 2
+        br.record_success()      # the probe's verdict frees the slot
+        assert br.state == CircuitBreaker.CLOSED
+        assert br.allow()
+
+    def test_probe_slot_is_reset_when_probe_fails(self):
+        clock = FakeClock()
+        br = CircuitBreaker(failure_threshold=1, cooldown_s=10.0, clock=clock)
+        br.record_failure()
+        clock.advance(10.0)
+        assert br.allow()
+        br.record_failure()      # probe failed: back to OPEN
+        assert br.state == CircuitBreaker.OPEN
+        clock.advance(10.0)
+        # fresh HALF_OPEN window starts with a free probe slot
+        assert br.state == CircuitBreaker.HALF_OPEN
+        assert br.allow()
+
+    def test_half_open_outcomes_without_allow_do_not_underflow(self):
+        clock = FakeClock()
+        br = CircuitBreaker(failure_threshold=1, cooldown_s=10.0, clock=clock,
+                            half_open_successes=2)
+        br.record_failure()
+        clock.advance(10.0)
+        assert br.state == CircuitBreaker.HALF_OPEN
+        # a ladder can feed outcomes straight in without calling allow()
+        br.record_success()
+        assert br.state == CircuitBreaker.HALF_OPEN
+        assert br.allow()        # the slot is still exactly one deep
+        assert not br.allow()
+        br.record_success()
+        assert br.state == CircuitBreaker.CLOSED
+
+    def test_probe_rejected_counter_emitted(self):
+        from repro.obs import MetricsRegistry, use_metrics
+
+        clock = FakeClock()
+        br = CircuitBreaker(failure_threshold=1, cooldown_s=5.0, clock=clock,
+                            name="probe-cap")
+        br.record_failure()
+        clock.advance(5.0)
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            assert br.allow()
+            assert not br.allow()
+        assert registry.counter_value("breaker.probe_rejected",
+                                      breaker="probe-cap") == 1.0
+
+    def test_max_half_open_probes_validation_and_widening(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(max_half_open_probes=0)
+        clock = FakeClock()
+        br = CircuitBreaker(failure_threshold=1, cooldown_s=5.0, clock=clock,
+                            max_half_open_probes=2)
+        br.record_failure()
+        clock.advance(5.0)
+        assert br.allow()
+        assert br.allow()
+        assert not br.allow()
+
     def test_call_wrapper_uses_fallback_when_open(self):
         clock = FakeClock()
         br = CircuitBreaker(failure_threshold=1, cooldown_s=30.0, clock=clock)

@@ -28,10 +28,17 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_DIR = REPO_ROOT / "benchmarks"
 SNAPSHOT = BENCH_DIR / "results" / "BENCH_kernels.json"
 ANALYSIS_SNAPSHOT = BENCH_DIR / "results" / "BENCH_analysis.json"
+SERVE_SNAPSHOT = BENCH_DIR / "results" / "BENCH_serve_soak.json"
 DEFAULT_THRESHOLD = 0.25
 #: analyzer wall time may grow this fraction above its committed value
 #: before the gate fails (wall clocks are noisier than speedup ratios)
 ANALYSIS_THRESHOLD = 0.5
+#: serving-layer p99 simulated latency may grow this fraction above the
+#: committed value; the measurement is deterministic (simulated time),
+#: so the margin absorbs legitimate small calibration shifts, not noise
+SERVE_THRESHOLD = 0.25
+#: absolute slack on per-class shed rates (fractions in [0, 1])
+SERVE_SHED_SLACK = 0.05
 
 
 def _load_bench_module(name: str = "bench_kernels"):
@@ -157,6 +164,59 @@ def check_analysis_regressions(
     return failures
 
 
+def check_serve_regressions(threshold: float = SERVE_THRESHOLD) -> list:
+    """Replay the gate-scale serving soak and diff against the snapshot.
+
+    The serving layer runs on *simulated* time, so the replayed rows are
+    bit-reproducible given the seed — no retries needed.  Three
+    conditions fail the gate: p99 simulated latency grows more than
+    ``threshold`` above its committed value, a best-effort class's shed
+    rate grows more than :data:`SERVE_SHED_SLACK` (absolute), or the
+    URLLC shed rate is nonzero at all — the class-policy invariant is a
+    hard zero, never a ratio.
+    """
+    committed = json.loads(SERVE_SNAPSHOT.read_text())
+    baseline = {row["scenario"]: row for row in committed["rows"]}
+
+    module = _load_bench_module("bench_serve_soak")
+    current = {row["scenario"]: row for row in module.measure_serve_soak()}
+
+    failures = []
+    print(f"{'scenario':<14} {'metric':<16} {'committed':>10} {'current':>10} "
+          f"{'ceiling':>10}")
+    for scenario, base in baseline.items():
+        row = current.get(scenario)
+        if row is None:
+            failures.append(f"{scenario}: missing from current measurement")
+            continue
+        # p99 simulated latency: one tick of absolute slack on top of the
+        # fractional threshold keeps near-zero baselines meaningful
+        ceiling = base["p99_latency_s"] * (1.0 + threshold) + base["tick_s"]
+        measured = row["p99_latency_s"]
+        print(f"{scenario:<14} {'p99_latency_s':<16} "
+              f"{base['p99_latency_s']:>9.3f}s {measured:>9.3f}s "
+              f"{ceiling:>9.3f}s")
+        if measured > ceiling:
+            failures.append(
+                f"{scenario}: p99 sim latency {measured:.3f}s regressed "
+                f"above ceiling {ceiling:.3f}s "
+                f"(committed {base['p99_latency_s']:.3f}s)")
+        if row["shed_rate_URLLC"] != 0.0:
+            failures.append(
+                f"{scenario}: URLLC shed rate {row['shed_rate_URLLC']:.4f} "
+                "!= 0 — class shedding policy violated")
+        for cls in ("eMBB", "mMTC"):
+            key = f"shed_rate_{cls}"
+            shed_ceiling = base[key] + SERVE_SHED_SLACK
+            print(f"{scenario:<14} {key:<16} {base[key]:>10.3f} "
+                  f"{row[key]:>10.3f} {shed_ceiling:>10.3f}")
+            if row[key] > shed_ceiling:
+                failures.append(
+                    f"{scenario}: {cls} shed rate {row[key]:.3f} exceeds "
+                    f"committed {base[key]:.3f} + {SERVE_SHED_SLACK} slack")
+    return failures
+
+
 try:
     import pytest
 except ImportError:  # CLI-only environments don't need the pytest shim
@@ -176,6 +236,12 @@ if pytest is not None:
         failures = check_analysis_regressions()
         assert not failures, "; ".join(failures)
 
+    @pytest.mark.perf
+    def test_serve_gate():
+        """Serving-soak p99/shed-rate gate against BENCH_serve_soak.json."""
+        failures = check_serve_regressions()
+        assert not failures, "; ".join(failures)
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -186,6 +252,10 @@ def main(argv=None) -> int:
         "--analysis-threshold", type=float, default=ANALYSIS_THRESHOLD,
         help="allowed fractional analyzer wall-clock growth before failing "
              "(default 0.5)")
+    parser.add_argument(
+        "--serve-threshold", type=float, default=SERVE_THRESHOLD,
+        help="allowed fractional serving-soak p99 simulated-latency growth "
+             "before failing (default 0.25)")
     opts = parser.parse_args(argv)
     failures = check_regressions(opts.threshold)
     if ANALYSIS_SNAPSHOT.is_file():
@@ -193,6 +263,11 @@ def main(argv=None) -> int:
         failures += check_analysis_regressions(opts.analysis_threshold)
     else:
         print("\n(no BENCH_analysis.json snapshot; analyzer gate skipped)")
+    if SERVE_SNAPSHOT.is_file():
+        print()
+        failures += check_serve_regressions(opts.serve_threshold)
+    else:
+        print("\n(no BENCH_serve_soak.json snapshot; serve gate skipped)")
     if failures:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)
