@@ -1,13 +1,24 @@
-"""OBS — no-op overhead of the observability instrumentation.
+"""OBS — overhead of the observability instrumentation, off and on.
 
-The tracer defaults to a no-op and every solver records at *solve*
-granularity (one span + one metrics call per solve, never per
-iteration), so the promise is: instrumented code with tracing disabled
-costs within a few percent of bare code.  This benchmark measures the
-instrumented :func:`repro.convex.admm.admm_consensus` against a local
-uninstrumented replica of the same loop, with ``tol=0`` forcing every
-run through the full ``max_iter`` sweep so both sides do identical
-numerical work.
+Two promises, two measurements (both replayed by ``tools/bench_gate.py``
+against the committed ``benchmarks/results/BENCH_obs_overhead.json``):
+
+* **no-op** — the tracer defaults to a no-op and every solver records at
+  *solve* granularity (one span + one metrics call per solve, never per
+  iteration), so instrumented code with tracing disabled costs within a
+  few percent of bare code.  Measured as the instrumented
+  :func:`repro.convex.admm.admm_consensus` against a local
+  uninstrumented replica of the same loop, with ``tol=0`` forcing every
+  run through the full ``max_iter`` sweep so both sides do identical
+  numerical work.  Budget: < 5%.
+* **recording-on windowed/sampled** — telemetry v2's full recording
+  path on the serving soak: a :class:`~repro.obs.SampledTracer`, a real
+  metrics registry, and the per-shard windowed instruments
+  (``RollingHistogram``/``HistogramSeries``/``RollingCounter``) all
+  live, versus the same soak under the no-op telemetry.  The solve work
+  dominates, so recording must stay within 15% of the dark run — the
+  "telemetry is not allowed to become the workload" contract for
+  always-on production observability.
 """
 
 from __future__ import annotations
@@ -22,13 +33,28 @@ import pytest
 from _harness import maybe_write_bench_json
 from conftest import banner
 from repro.convex.admm import admm_consensus, prox_box, prox_l2_squared
-from repro.obs import NOOP_TRACER, get_tracer
+from repro.obs import (
+    NOOP_TRACER,
+    MetricsRegistry,
+    SampledTracer,
+    Telemetry,
+    get_tracer,
+)
+from repro.serve import QoSService, ServeConfig
+from repro.serve.arrivals import ArrivalConfig
 
 pytestmark = pytest.mark.obs
 
 _N = 40
 _MAX_ITER = 300
 _ROUNDS = 7
+
+#: overhead budgets the gate holds each mode to (ratio ceilings)
+NOOP_BUDGET = 1.05
+RECORDING_BUDGET = 1.15
+
+_SERVE_DURATION_S = 4.0
+_SERVE_ROUNDS = 5
 
 
 def _bare_admm(prox_f, prox_g, n, rho=1.0, max_iter=_MAX_ITER):
@@ -59,12 +85,14 @@ def _median_time(fn, rounds=_ROUNDS) -> float:
     return statistics.median(times)
 
 
-def test_obs_noop_overhead(benchmark, request):
+def measure_noop_overhead() -> dict:
+    """Instrumented-vs-bare ADMM with tracing disabled (one gate row)."""
     target = np.linspace(-1.0, 1.0, _N)
     prox_f = prox_l2_squared(target)
     prox_g = prox_box(-0.5, 0.5)
 
-    assert get_tracer() is NOOP_TRACER, "tracing must be disabled for this measurement"
+    assert get_tracer() is NOOP_TRACER, \
+        "tracing must be disabled for this measurement"
 
     def bare():
         _bare_admm(prox_f, prox_g, _N)
@@ -76,24 +104,85 @@ def test_obs_noop_overhead(benchmark, request):
     # warm up both paths (JIT-free, but caches/allocators settle)
     bare()
     instrumented()
-
-    t_bare = benchmark.pedantic(lambda: _median_time(bare),
-                                iterations=1, rounds=1)
+    t_bare = _median_time(bare)
     t_inst = _median_time(instrumented)
     ratio = t_inst / max(t_bare, 1e-12)
-
-    banner("OBS", "No-op tracing overhead on an instrumented ADMM solve")
-    print(f"bare ADMM         : {t_bare * 1e3:8.3f} ms  ({_MAX_ITER} iters, n={_N})")
-    print(f"instrumented ADMM : {t_inst * 1e3:8.3f} ms")
-    print(f"overhead ratio    : {ratio:8.4f}  (must be < 1.05)")
-    maybe_write_bench_json(request, "obs_overhead", {
-        "bare_ms": t_bare * 1e3,
-        "instrumented_ms": t_inst * 1e3,
+    return {
+        "mode": "noop",
+        "baseline_ms": t_bare * 1e3,
+        "measured_ms": t_inst * 1e3,
         "ratio": ratio,
+        "budget": NOOP_BUDGET,
         "max_iter": _MAX_ITER,
         "n": _N,
-    })
-    assert ratio < 1.05, (
-        f"disabled instrumentation costs {100 * (ratio - 1):.1f}% "
-        "(> 5% budget) on a full ADMM sweep"
-    )
+    }
+
+
+def _serve_once(telemetry) -> None:
+    """One short deterministic serving soak (the recording workload)."""
+    cfg = ServeConfig(n_cells=2, seed=9, tick_s=0.1,
+                      arrivals=ArrivalConfig(base_rate_hz=6.0, batch_ues=8))
+    svc = QoSService(cfg)
+    if telemetry is None:
+        svc.run(_SERVE_DURATION_S)
+        return
+    with telemetry.install():
+        svc.run(_SERVE_DURATION_S)
+
+
+def measure_recording_overhead() -> dict:
+    """Recording-on (sampled tracer + registry + windowed instruments)
+    vs no-op telemetry on the serving soak (one gate row)."""
+    assert get_tracer() is NOOP_TRACER, \
+        "ambient tracing must be disabled for the dark baseline"
+
+    def dark():
+        _serve_once(None)
+
+    def recording():
+        # production posture: 5% head sampling, full metrics; the
+        # windowed shard instruments record in both runs by design —
+        # they are part of the service, not of the installed telemetry
+        _serve_once(Telemetry(SampledTracer(sample_rate=0.05, seed=1),
+                              MetricsRegistry()))
+
+    dark()
+    recording()
+    t_dark = _median_time(dark, rounds=_SERVE_ROUNDS)
+    t_rec = _median_time(recording, rounds=_SERVE_ROUNDS)
+    ratio = t_rec / max(t_dark, 1e-12)
+    return {
+        "mode": "recording_windowed",
+        "baseline_ms": t_dark * 1e3,
+        "measured_ms": t_rec * 1e3,
+        "ratio": ratio,
+        "budget": RECORDING_BUDGET,
+        "duration_s": _SERVE_DURATION_S,
+        "sample_rate": 0.05,
+    }
+
+
+def measure_obs_overhead() -> List[dict]:
+    """Both gate rows, replayed by ``tools/bench_gate.py``."""
+    return [measure_noop_overhead(), measure_recording_overhead()]
+
+
+def _print_rows(rows: List[dict]) -> None:
+    print(f"{'mode':<22} {'baseline':>10} {'measured':>10} {'ratio':>8} "
+          f"{'budget':>8}")
+    for r in rows:
+        print(f"{r['mode']:<22} {r['baseline_ms']:>8.2f}ms "
+              f"{r['measured_ms']:>8.2f}ms {r['ratio']:>8.4f} "
+              f"{r['budget']:>8.2f}")
+
+
+def test_obs_overhead(benchmark, request):
+    banner("OBS", "Telemetry overhead: no-op tracing and recording-on "
+                  "windowed/sampled paths")
+    rows = benchmark.pedantic(measure_obs_overhead, iterations=1, rounds=1)
+    _print_rows(rows)
+    maybe_write_bench_json(request, "obs_overhead", rows)
+    for r in rows:
+        assert r["ratio"] < r["budget"], (
+            f"{r['mode']}: telemetry costs {100 * (r['ratio'] - 1):.1f}% "
+            f"(> {100 * (r['budget'] - 1):.0f}% budget)")

@@ -18,6 +18,23 @@ package makes that machinery *visible*:
   aggregates, rung usage, and breaker/chaos event counts, as a text
   table or machine-readable JSON.
 
+Telemetry v2 adds the streaming layer a long-running service needs:
+
+* :class:`RollingCounter` / :class:`RollingHistogram` /
+  :class:`HistogramSeries` — windowed rates and percentiles in bounded
+  memory over an injectable clock (``repro.obs.windows``);
+* :class:`SLO` / :class:`SLOSet` — declarative per-QoS-class objectives
+  with SRE-style multi-window error-budget burn-rate monitors emitting
+  ``slo.burn`` events (``repro.obs.slo``);
+* :class:`SampledTracer` — deterministic head sampling with
+  always-sample-on-error and a hard record cap, plus
+  :func:`span_exemplar` linking and bucket-max exemplars
+  (``repro.obs.sampling``);
+* ``python -m repro.obs export|tail|report`` — Prometheus-style text
+  exposition of a registry snapshot, structured-event tailing, and the
+  per-shard ops table from a recorded ``QoSService.health()``
+  (``repro.obs.export``).
+
 Enable everything at once with :class:`Telemetry`::
 
     from repro.obs import Telemetry
@@ -49,7 +66,23 @@ from repro.obs.metrics import (
     set_metrics,
     use_metrics,
 )
+from repro.obs.export import (
+    format_event,
+    iter_events,
+    render_ops_table,
+    render_prometheus,
+    watch,
+)
+from repro.obs.metrics import LATENCY_BUCKETS, bucket_quantile
 from repro.obs.profile import profile_block, profiled
+from repro.obs.sampling import HeadSampler, SampledTracer
+from repro.obs.slo import (
+    DEFAULT_SERVE_SLOS,
+    SLO,
+    SLOMonitor,
+    SLOSet,
+    SLOStatus,
+)
 from repro.obs.summarize import aggregate, load_trace, render_text
 from repro.obs.tracer import (
     NOOP_TRACER,
@@ -63,34 +96,59 @@ from repro.obs.tracer import (
     use_tracer,
 )
 
+from repro.obs.windows import (
+    HistogramSeries,
+    RollingCounter,
+    RollingHistogram,
+    span_exemplar,
+)
+
 __all__ = [
     "Counter",
+    "DEFAULT_SERVE_SLOS",
     "Gauge",
+    "HeadSampler",
     "Histogram",
+    "HistogramSeries",
     "ITERATION_BUCKETS",
+    "LATENCY_BUCKETS",
     "MARGIN_BUCKETS",
     "MetricsRegistry",
     "NOOP_TRACER",
     "NoopTracer",
     "RESIDUAL_BUCKETS",
+    "RollingCounter",
+    "RollingHistogram",
     "SECONDS_BUCKETS",
+    "SLO",
+    "SLOMonitor",
+    "SLOSet",
+    "SLOStatus",
+    "SampledTracer",
     "Span",
     "SpanRecord",
     "Telemetry",
     "Tracer",
     "aggregate",
+    "bucket_quantile",
     "current_span",
+    "format_event",
     "get_metrics",
     "get_tracer",
+    "iter_events",
     "load_trace",
     "profile_block",
     "profiled",
     "record_solver_outcome",
+    "render_ops_table",
+    "render_prometheus",
     "render_text",
     "set_metrics",
     "set_tracer",
+    "span_exemplar",
     "use_metrics",
     "use_tracer",
+    "watch",
 ]
 
 

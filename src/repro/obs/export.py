@@ -1,0 +1,243 @@
+"""Exposition and ops-view rendering for telemetry snapshots.
+
+Three consumers of the same data, three renderings:
+
+* :func:`render_prometheus` — a :meth:`MetricsRegistry.snapshot` dict as
+  Prometheus text exposition (counters as ``_total``, histograms as
+  cumulative ``_bucket{le=...}`` series, windowed instruments as
+  quantile gauges with exemplar comments), so the registry can be
+  scraped or diffed with standard tooling.
+* :func:`iter_events` / :func:`format_event` — tail the structured
+  events (``slo.burn``, breaker flips, overload transitions) out of an
+  exported trace JSONL.
+* :func:`render_ops_table` — the live ops view: a per-shard table
+  (queue depth, overload/breaker state, windowed p50/p95/p99, rung
+  usage) plus the per-SLO burn table, rendered from
+  ``QoSService.health()`` output — live from a running service via
+  :func:`watch`, or post-hoc from a recorded health snapshot through
+  ``python -m repro.obs report``.
+
+Everything here is pure dict-to-text: no service imports, so the obs
+package stays dependency-free of the layers it observes.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+__all__ = [
+    "render_prometheus",
+    "iter_events",
+    "format_event",
+    "render_ops_table",
+    "watch",
+]
+
+_KEY_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
+_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _parse_key(rendered: str):
+    """Split a snapshot key ``name{k=v,...}`` into (name, label dict)."""
+    m = _KEY_RE.match(rendered)
+    if m is None:  # defensive: snapshot keys are always well-formed
+        return rendered, {}
+    labels: Dict[str, str] = {}
+    raw = m.group("labels")
+    if raw:
+        for part in raw.split(","):
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return m.group("name"), labels
+
+
+def _prom_name(name: str) -> str:
+    """Metric names like ``serve.frame_latency_s`` -> Prometheus-safe."""
+    return _BAD_CHARS.sub("_", name.replace(".", "_"))
+
+
+def _prom_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{_prom_name(k)}="{v}"' for k, v in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot dict as Prometheus text exposition."""
+    lines: List[str] = []
+
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = _parse_key(key)
+        pname = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname}{_prom_labels(labels)} {value}")
+
+    for key, value in snapshot.get("gauges", {}).items():
+        name, labels = _parse_key(key)
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname}{_prom_labels(labels)} {value}")
+
+    for key, hist in snapshot.get("histograms", {}).items():
+        name, labels = _parse_key(key)
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} histogram")
+        cum = 0
+        for edge, n in zip(hist.get("buckets", []), hist.get("counts", [])):
+            cum += n
+            lines.append(
+                f"{pname}_bucket{_prom_labels(labels, {'le': repr(float(edge))})} {cum}")
+        lines.append(
+            f"{pname}_bucket{_prom_labels(labels, {'le': '+Inf'})} {hist.get('count', 0)}")
+        lines.append(f"{pname}_sum{_prom_labels(labels)} {hist.get('sum', 0.0)}")
+        lines.append(f"{pname}_count{_prom_labels(labels)} {hist.get('count', 0)}")
+
+    for key, win in snapshot.get("windows", {}).items():
+        name, labels = _parse_key(key)
+        pname = _prom_name(name)
+        kind = win.get("kind")
+        if kind == "rolling_counter":
+            lines.append(f"# TYPE {pname}_rate gauge")
+            lines.append(f"{pname}_rate{_prom_labels(labels)} {win.get('rate', 0.0)}")
+            lines.append(f"# TYPE {pname}_window_total gauge")
+            lines.append(
+                f"{pname}_window_total{_prom_labels(labels)} {win.get('total', 0.0)}")
+        else:  # rolling_histogram / histogram_series both carry percentiles
+            pcts = win.get("percentiles", {})
+            lines.append(f"# TYPE {pname} summary")
+            for label, q in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+                if label in pcts:
+                    lines.append(
+                        f"{pname}{_prom_labels(labels, {'quantile': q})} {pcts[label]}")
+            lines.append(f"{pname}_count{_prom_labels(labels)} {win.get('count', 0)}")
+            exemplar = win.get("exemplar")
+            if exemplar:
+                lines.append(f"# EXEMPLAR {pname}{_prom_labels(labels)} "
+                             f"{json.dumps(exemplar, sort_keys=True)}")
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---- event tailing -----------------------------------------------------------
+
+def iter_events(records: Iterable[dict],
+                name_prefix: Optional[str] = None) -> Iterator[dict]:
+    """The ``kind == "event"`` records, optionally filtered by prefix."""
+    for rec in records:
+        if rec.get("kind") != "event":
+            continue
+        if name_prefix and not str(rec.get("name", "")).startswith(name_prefix):
+            continue
+        yield rec
+
+
+def format_event(rec: dict) -> str:
+    """One event as a grep-friendly line: ``t=12.300 slo.burn k=v ...``."""
+    attrs = rec.get("attrs", {})
+    rendered = " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+    t = rec.get("start_s", 0.0)
+    return f"t={t:.3f} {rec.get('name', '?')} {rendered}".rstrip()
+
+
+# ---- ops view ----------------------------------------------------------------
+
+_SHARD_COLS = ("cell", "state", "breaker", "depth", "press", "p50", "p95",
+               "p99", "rungs", "dropped")
+
+
+def _fmt(v, width: int) -> str:
+    if isinstance(v, float):
+        return f"{v:>{width}.3f}"
+    return f"{v!s:>{width}}"
+
+
+def _shard_row(s: dict) -> List[object]:
+    pcts = s.get("latency", {}) or {}
+    rungs = s.get("rung_usage", {}) or {}
+    rung_str = ",".join(f"{k}:{v}" for k, v in sorted(rungs.items())) or "-"
+    return [
+        s.get("cell", "?"),
+        s.get("state", "?"),
+        s.get("breaker", "?"),
+        s.get("depth", 0),
+        round(float(s.get("backpressure", 0.0)), 2),
+        pcts.get("p50", 0.0),
+        pcts.get("p95", 0.0),
+        pcts.get("p99", 0.0),
+        rung_str,
+        s.get("frames_dropped", 0),
+    ]
+
+
+def render_ops_table(health: dict) -> str:
+    """The per-shard ops table plus the SLO burn table from a
+    ``QoSService.health()`` snapshot (live or recorded)."""
+    out: List[str] = []
+    out.append(
+        f"t={health.get('time_s', 0.0):.1f}s  running={health.get('running')}  "
+        f"healthy={health.get('healthy')}  depth={health.get('depth', 0)}  "
+        f"frames={health.get('frames', 0)}")
+    states = health.get("states", {})
+    if states:
+        out.append("states: " + "  ".join(
+            f"{k}={v}" for k, v in states.items()))
+
+    shards = health.get("shards", [])
+    if shards:
+        widths = [5, 12, 10, 6, 6, 7, 7, 7, 24, 8]
+        out.append("")
+        out.append(" ".join(
+            f"{c:>{w}}" for c, w in zip(_SHARD_COLS, widths)))
+        for s in shards:
+            out.append(" ".join(
+                _fmt(v, w) for v, w in zip(_shard_row(s), widths)))
+
+    slo = health.get("slo", {})
+    statuses = slo.get("status", slo) if isinstance(slo, dict) else {}
+    if statuses:
+        out.append("")
+        out.append(f"{'slo':>16} {'class':>6} {'kind':>10} {'fast':>8} "
+                   f"{'slow':>8} {'budget':>7} {'burning':>8}")
+        for name in sorted(statuses):
+            st = statuses[name]
+            if not isinstance(st, dict):
+                continue
+            out.append(
+                f"{name:>16} {st.get('service_class', '?'):>6} "
+                f"{st.get('kind', '?'):>10} {st.get('fast_burn', 0.0):>8.2f} "
+                f"{st.get('slow_burn', 0.0):>8.2f} "
+                f"{st.get('budget_remaining', 1.0):>7.2f} "
+                f"{'BURN' if st.get('burning') else 'ok':>8}")
+        if slo.get("burning_classes"):
+            out.append("burning classes: " + ", ".join(slo["burning_classes"]))
+
+    return "\n".join(out) + "\n"
+
+
+def watch(service, duration_s: float, every_s: float = 1.0,
+          chaos=None,
+          render: Callable[[dict], str] = render_ops_table,
+          sink: Callable[[str], None] = print):
+    """Run a :class:`~repro.serve.service.QoSService` for ``duration_s``
+    simulated seconds, rendering the ops table every ``every_s`` of sim
+    time via the service's ``on_tick`` hook.  Returns ``(report,
+    snapshots)`` — the same health dicts the CLI's ``report`` mode
+    renders from a recording."""
+    snaps: List[dict] = []
+    last = [-float("inf")]
+
+    def on_tick(svc) -> None:
+        if svc.now_s - last[0] >= every_s - 1e-9:
+            last[0] = svc.now_s
+            snap = svc.health()
+            snaps.append(snap)
+            sink(render(snap))
+
+    report = service.run(duration_s, chaos=chaos, on_tick=on_tick)
+    return report, snaps

@@ -26,11 +26,13 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "bucket_quantile",
     "get_metrics",
     "set_metrics",
     "use_metrics",
     "record_solver_outcome",
     "ITERATION_BUCKETS",
+    "LATENCY_BUCKETS",
     "RESIDUAL_BUCKETS",
     "SECONDS_BUCKETS",
     "MARGIN_BUCKETS",
@@ -47,6 +49,12 @@ SECONDS_BUCKETS: Tuple[float, ...] = (
 #: verifier margin / bound-gap buckets (negative = unverified territory)
 MARGIN_BUCKETS: Tuple[float, ...] = (
     -10.0, -1.0, -0.1, 0.0, 0.1, 1.0, 10.0, 100.0)
+#: simulated queueing-latency buckets for the serving layer: fine around
+#: the tick scale (0.05-0.5 s), coarser toward the age-limit tail, so a
+#: bucket-estimated p99 stays within one tick-ish of the sample p99
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.7, 1.0,
+    1.5, 2.0, 3.0, 5.0, 10.0)
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -60,6 +68,46 @@ def _render_key(name: str, labels: LabelKey) -> str:
         return name
     inner = ",".join(f"{k}={v}" for k, v in labels)
     return f"{name}{{{inner}}}"
+
+
+def bucket_quantile(
+    edges: Tuple[float, ...],
+    counts,
+    count: int,
+    vmin: float,
+    vmax: float,
+    q: float,
+) -> float:
+    """Estimate the ``q``-quantile of a fixed-bucket histogram.
+
+    ``edges`` are ascending inclusive upper bounds; ``counts`` has
+    ``len(edges) + 1`` entries (the last is the overflow bucket).  The
+    estimate interpolates linearly inside the bucket containing the
+    target rank, clamped to the observed ``[vmin, vmax]`` — so it is
+    always within one bucket width of the exact sample quantile (the
+    property tests pin this against ``np.percentile``).  Returns NaN on
+    an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError("quantile q must be in [0, 1]")
+    if count <= 0:
+        return math.nan
+    # fractional 0-indexed target rank, matching np.percentile's default
+    # linear interpolation
+    target = q * (count - 1)
+    cum_before = 0
+    for b, n in enumerate(counts):
+        if n and cum_before + n > target:
+            lo = vmin if b == 0 else edges[b - 1]
+            hi = vmax if b == len(edges) else edges[b]
+            lo = max(lo, vmin)
+            hi = min(hi, vmax)
+            if hi <= lo:
+                return lo
+            frac = (target - cum_before) / max(n, 1)
+            return lo + frac * (hi - lo)
+        cum_before += n
+    return vmax
 
 
 class Counter:
@@ -126,6 +174,16 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / max(self.count, 1)
 
+    def quantile(self, q: float) -> float:
+        """Bucket-estimated ``q``-quantile (see :func:`bucket_quantile`)."""
+        return bucket_quantile(self.buckets, self.counts, self.count,
+                               self.min, self.max, q)
+
+    def percentiles(self) -> Dict[str, float]:
+        """The standard p50/p95/p99 triple plus the sample count."""
+        return {"p50": self.quantile(0.50), "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99), "n": float(self.count)}
+
     def to_dict(self) -> dict:
         return {
             "buckets": list(self.buckets),
@@ -144,6 +202,7 @@ class MetricsRegistry:
         self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
         self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+        self._windows: Dict[Tuple[str, LabelKey], object] = {}
 
     # ---- instrument accessors ------------------------------------------------
     def counter(self, name: str, **labels: object) -> Counter:
@@ -169,6 +228,19 @@ class MetricsRegistry:
         if found is None:
             found = self._histograms[key] = Histogram(
                 SECONDS_BUCKETS if buckets is None else buckets)
+        return found
+
+    def rolling(self, name: str, factory, **labels: object):
+        """Get or create a windowed instrument (a rolling counter or
+        histogram from :mod:`repro.obs.windows` — anything exposing
+        ``to_dict()``).  ``factory`` only runs on first creation, so the
+        series keeps the window/clock it was born with; registered
+        instruments ride along in :meth:`snapshot` under ``"windows"``.
+        """
+        key = (name, _label_key(labels))
+        found = self._windows.get(key)
+        if found is None:
+            found = self._windows[key] = factory()
         return found
 
     # ---- queries -------------------------------------------------------------
@@ -200,12 +272,18 @@ class MetricsRegistry:
                 _render_key(n, labels): h.to_dict()
                 for (n, labels), h in sorted(self._histograms.items())
             },
+            "windows": {
+                _render_key(n, labels): w.to_dict()
+                for (n, labels), w in sorted(self._windows.items(),
+                                             key=lambda kv: kv[0])
+            },
         }
 
     def reset(self) -> None:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+        self._windows.clear()
 
 
 _current_metrics = MetricsRegistry()

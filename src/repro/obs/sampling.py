@@ -1,0 +1,137 @@
+"""Head-sampled tracing: bounded telemetry memory for soak-scale runs.
+
+A 10^6-UE soak opens hundreds of thousands of spans; retaining them all
+is O(events) memory — exactly what a long-running service cannot afford.
+:class:`SampledTracer` keeps the :class:`~repro.obs.tracer.Tracer`
+contract (same span API, same JSONL export, same nesting/ids) while
+bounding retention three ways:
+
+* **Head sampling** — the keep/drop decision is made once, when a *root*
+  span opens, and inherited by everything nested inside it, so a kept
+  trace is always complete.  The decision is a deterministic seeded hash
+  (:class:`HeadSampler`) — no global RNG (the numlint DT001 rule bans
+  that in solver-reachable code), so two runs of the same seeded soak
+  sample identical traces.
+* **Always-sample-on-error** — spans and events still *execute* under an
+  unsampled trace (the stack is maintained, ids advance), and any span
+  that exits with an exception is recorded regardless of the head
+  decision: failures are never invisible.  Structured events
+  (``slo.burn``, breaker flips, overload transitions) are likewise
+  always kept — they are rare and are precisely the records an operator
+  greps for.
+* **A hard record cap** — past ``max_records`` further records are
+  dropped and counted, never buffered.
+
+Exemplars (:func:`~repro.obs.windows.span_exemplar`) only attach span
+ids from sampled traces, so a dashboard exemplar always resolves to a
+span present in the export.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+from repro.obs.tracer import Span, SpanRecord, Tracer
+
+__all__ = ["HeadSampler", "SampledTracer"]
+
+
+class HeadSampler:
+    """Deterministic per-trace sampling decisions.
+
+    Hashes ``(seed, decision index, root span name)`` with CRC32 — stable
+    across processes and runs, unlike :func:`hash` — and keeps the trace
+    when the hash falls under ``rate``.  A rate of 1.0 keeps everything
+    (the default for tests), 0.01 keeps ~1% of traces.
+    """
+
+    _SCALE = float(1 << 32)
+
+    def __init__(self, rate: float = 1.0, seed: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError("sample rate must be in [0, 1]")
+        self.rate = float(rate)
+        self.seed = int(seed)
+        self.decisions = 0
+
+    def sample(self, name: str) -> bool:
+        key = f"{self.seed}:{self.decisions}:{name}".encode("utf-8")
+        self.decisions += 1
+        return zlib.crc32(key) / self._SCALE < self.rate
+
+
+class SampledTracer(Tracer):
+    """A :class:`Tracer` that head-samples traces and caps retention.
+
+    Drop-in for ``Tracer`` everywhere (``use_tracer``, ``Telemetry``,
+    the serving layer): unsampled traces still maintain the span stack
+    and consume span ids — only *retention* changes, so nesting, the
+    ``current`` property, and deterministic id assignment are identical
+    to the unsampled run.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 0.01,
+        seed: int = 0,
+        max_records: int = 100_000,
+        wall_clock: Callable[[], float] = time.perf_counter,
+        cpu_clock: Callable[[], float] = time.process_time,
+    ):
+        if max_records < 1:
+            raise ConfigurationError("max_records must be >= 1")
+        super().__init__(wall_clock=wall_clock, cpu_clock=cpu_clock)
+        self.sampler = HeadSampler(sample_rate, seed)
+        self.max_records = int(max_records)
+        self.dropped = 0
+        self.capped = 0
+        self.sampled_traces = 0
+        self.unsampled_traces = 0
+        self._trace_sampled = True
+
+    @property
+    def trace_sampled(self) -> bool:
+        """Whether the currently open trace (if any) is being kept —
+        exemplar capture consults this before attaching a span id."""
+        return self._trace_sampled
+
+    def span(self, name: str, **attrs: object) -> Span:
+        if not self._stack:
+            # head decision: made once per root span, inherited by the
+            # whole trace beneath it
+            self._trace_sampled = self.sampler.sample(name)
+            if self._trace_sampled:
+                self.sampled_traces += 1
+            else:
+                self.unsampled_traces += 1
+        return super().span(name, **attrs)
+
+    def _append(self, record: SpanRecord) -> None:
+        keep = (
+            record.kind == "event"          # structured marks: always
+            or record.status == "error"     # always-sample-on-error
+            or self._trace_sampled
+        )
+        if not keep:
+            self.dropped += 1
+            return
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            self.capped += 1
+            return
+        self.records.append(record)
+
+    def stats(self) -> dict:
+        """Retention accounting for health endpoints and tests."""
+        return {
+            "kept": len(self.records),
+            "dropped": self.dropped,
+            "capped": self.capped,
+            "sampled_traces": self.sampled_traces,
+            "unsampled_traces": self.unsampled_traces,
+            "sample_rate": self.sampler.rate,
+            "max_records": self.max_records,
+        }

@@ -19,15 +19,25 @@ __all__ = ["load_trace", "aggregate", "render_text", "percentile"]
 
 
 def load_trace(path) -> List[dict]:
-    """Read a JSONL trace; blank lines are tolerated, anything else that
-    fails to parse raises (a truncated trace should be loud, not quietly
-    half-summarized)."""
+    """Read a JSONL trace; blank lines are tolerated, and a *final* line
+    that fails to parse is dropped (a crashed writer truncates mid-line;
+    the rest of the trace is still good).  A malformed line anywhere
+    else raises — that is corruption, not truncation, and should be
+    loud rather than quietly half-summarized."""
     records = []
+    pending_error = None
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            if pending_error is not None:
+                raise pending_error
+            try:
                 records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                # only fatal if another line follows it
+                pending_error = exc
     return records
 
 
@@ -161,29 +171,101 @@ def render_text(report: dict) -> str:
     return "\n".join(lines)
 
 
+def _load_json(path) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
 def main(argv=None) -> int:
     import argparse
 
+    from repro.obs.export import (
+        format_event,
+        iter_events,
+        render_ops_table,
+        render_prometheus,
+    )
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="Aggregate a repro.obs JSONL trace.",
+        description="Inspect repro.obs telemetry: traces, metric "
+                    "snapshots, and serve health recordings.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
     summ = sub.add_parser("summarize", help="aggregate a trace.jsonl file")
     summ.add_argument("trace", help="path to a JSONL trace written by "
                                     "Tracer.export_jsonl")
     summ.add_argument("--json", metavar="PATH", default=None,
                       help="also write the machine-readable report here "
                            "('-' for stdout instead of the text table)")
+
+    exp = sub.add_parser(
+        "export", help="render a MetricsRegistry.snapshot() JSON file as "
+                       "Prometheus text exposition")
+    exp.add_argument("snapshot", help="path to a registry snapshot JSON "
+                                      "(e.g. from QoSService.health or "
+                                      "json.dump(get_metrics().snapshot()))")
+
+    tail = sub.add_parser(
+        "tail", help="print structured events from a trace.jsonl")
+    tail.add_argument("trace", help="path to a JSONL trace")
+    tail.add_argument("--name", default=None, metavar="PREFIX",
+                      help="only events whose name starts with PREFIX "
+                           "(e.g. slo. or breaker.)")
+    tail.add_argument("--limit", type=int, default=0,
+                      help="print at most N events (0 = all)")
+
+    rep = sub.add_parser(
+        "report", help="render the per-shard ops table from a recorded "
+                       "QoSService.health() snapshot (JSON, or JSONL of "
+                       "snapshots — last one is rendered)")
+    rep.add_argument("health", help="path to a health snapshot JSON/JSONL")
+    rep.add_argument("--all", action="store_true",
+                     help="for JSONL recordings, render every snapshot "
+                          "instead of only the last")
+
     args = parser.parse_args(argv)
 
-    report = aggregate(load_trace(args.trace))
-    if args.json == "-":
-        print(json.dumps(report, indent=2, sort_keys=True))
+    if args.command == "summarize":
+        report = aggregate(load_trace(args.trace))
+        if args.json == "-":
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0
+        print(render_text(report))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+            print(f"\nwrote {args.json}")
         return 0
-    print(render_text(report))
-    if args.json:
-        with open(args.json, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
-        print(f"\nwrote {args.json}")
+
+    if args.command == "export":
+        snapshot = _load_json(args.snapshot)
+        # accept either a bare registry snapshot or a health dict that
+        # carries one under "metrics"
+        if "counters" not in snapshot and "metrics" in snapshot:
+            snapshot = snapshot["metrics"]
+        print(render_prometheus(snapshot), end="")
+        return 0
+
+    if args.command == "tail":
+        shown = 0
+        for rec in iter_events(load_trace(args.trace), args.name):
+            print(format_event(rec))
+            shown += 1
+            if args.limit and shown >= args.limit:
+                break
+        return 0
+
+    # report: one JSON object (possibly pretty-printed), or a JSONL
+    # recording of health snapshots
+    try:
+        snaps = [_load_json(args.health)]
+    except json.JSONDecodeError:
+        snaps = load_trace(args.health)
+    if not snaps:
+        print("empty health recording")
+        return 1
+    for snap in snaps if args.all else snaps[-1:]:
+        print(render_ops_table(snap), end="")
     return 0

@@ -216,7 +216,7 @@ class Tracer:
             self._stack.remove(span)
         status = "ok" if exc_type is None else "error"
         error = None if exc_type is None else f"{exc_type.__name__}: {exc}"
-        self.records.append(SpanRecord(
+        self._append(SpanRecord(
             kind="span",
             name=span.name,
             span_id=span.span_id,
@@ -230,6 +230,11 @@ class Tracer:
             attrs=span.attrs,
         ))
 
+    def _append(self, record: SpanRecord) -> None:
+        """Retention hook: subclasses (e.g. ``SampledTracer``) decide
+        here which finished records to keep."""
+        self.records.append(record)
+
     @property
     def current(self) -> Span:
         """The innermost open span (the no-op span when none is open)."""
@@ -242,7 +247,7 @@ class Tracer:
         span_id = self._next_id
         self._next_id += 1
         parent = self._stack[-1] if self._stack else None
-        self.records.append(SpanRecord(
+        self._append(SpanRecord(
             kind="event",
             name=name,
             span_id=span_id,

@@ -1,0 +1,408 @@
+"""Rolling time-windowed counters and histograms for live telemetry.
+
+PR 3's :class:`~repro.obs.metrics.MetricsRegistry` counts *since process
+start* — the right contract for batch jobs and post-hoc summaries, but a
+long-running service asks windowed questions: what is the arrival rate
+*now*, what was p99 latency over the *last ten seconds*, how fast is the
+error budget burning over the last minute.  This module answers them
+with fixed-memory ring buffers over an **injectable clock**:
+
+* :class:`RollingCounter` — a count over the trailing ``window_s``
+  seconds, bucketed into ``n_slots`` ring slots; memory is O(slots),
+  independent of event volume.
+* :class:`RollingHistogram` — a fixed-bucket histogram per ring slot;
+  merging the live slots yields windowed quantiles
+  (:func:`~repro.obs.metrics.bucket_quantile`) and carries the window's
+  **exemplar** — the trace/span id of the bucket-max observation — so a
+  slow outlier on a dashboard points back into the trace that explains
+  it.
+* :class:`HistogramSeries` — the *non-expiring* variant: append-only
+  time-slotted histograms over a whole run, so a soak report can compute
+  percentiles over any ``[t0, t1)`` window afterwards in
+  O(windows x buckets) memory instead of retaining every sample.
+
+All time arithmetic goes through the instrument's clock (default
+``time.monotonic``); the serving layer passes its *simulated* clock, so
+windowed telemetry is exactly as deterministic as the service itself.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.obs.metrics import LATENCY_BUCKETS, bucket_quantile
+from repro.obs.tracer import get_tracer
+
+__all__ = [
+    "RollingCounter",
+    "RollingHistogram",
+    "HistogramSeries",
+    "span_exemplar",
+    "DEFAULT_FAST_WINDOW_S",
+    "DEFAULT_SLOW_WINDOW_S",
+]
+
+#: the SRE-style multi-window pair: a fast window that reacts within
+#: seconds and a slow window that filters transients (see obs.slo)
+DEFAULT_FAST_WINDOW_S = 10.0
+DEFAULT_SLOW_WINDOW_S = 60.0
+
+
+def span_exemplar(value: float, time_s: Optional[float] = None) -> dict:
+    """An exemplar payload linking ``value`` to the innermost open span.
+
+    When tracing is enabled the current span's id rides along, so the
+    bucket-max observation of a windowed histogram stays *explainable*:
+    the ops view or exposition can point at the exact solve that was
+    slow.  Under the no-op tracer only the value (and optional time) is
+    kept.
+    """
+    out: dict = {"value": float(value)}
+    if time_s is not None:
+        out["time_s"] = float(time_s)
+    tracer = get_tracer()
+    span = tracer.current
+    # only link spans that will actually exist in the export: a sampled
+    # tracer's unsampled traces are dropped, so their ids would dangle
+    if getattr(span, "active", False) and getattr(tracer, "trace_sampled", True):
+        out["span_id"] = span.span_id
+    return out
+
+
+class _TimeRing:
+    """Shared ring-slot bookkeeping: ``n_slots`` slots of width
+    ``window_s / n_slots`` seconds, advanced lazily on every access."""
+
+    def __init__(self, window_s: float, n_slots: int,
+                 clock: Callable[[], float]):
+        if window_s <= 0:
+            raise ConfigurationError("window_s must be positive")
+        if n_slots < 1:
+            raise ConfigurationError("n_slots must be >= 1")
+        self.window_s = float(window_s)
+        self.n_slots = int(n_slots)
+        self.slot_s = self.window_s / max(self.n_slots, 1)
+        self._clock = clock
+        self._epoch = clock()
+        self._cur = 0  # absolute index of the newest slot
+
+    def _slot_index(self, now: float) -> int:
+        return int((now - self._epoch) / max(self.slot_s, 1e-12))
+
+    def _advance(self) -> int:
+        """Move to the clock's current slot, clearing expired slots;
+        returns the ring position of the newest slot."""
+        cur = self._slot_index(self._clock())
+        if cur > self._cur:
+            for idx in range(self._cur + 1,
+                             min(cur, self._cur + self.n_slots) + 1):
+                self._clear_slot(idx % self.n_slots)
+            if cur - self._cur > self.n_slots:
+                # the whole window expired; clear everything once
+                for pos in range(self.n_slots):
+                    self._clear_slot(pos)
+            self._cur = cur
+        return self._cur % self.n_slots
+
+    def _live_positions(self) -> Iterable[int]:
+        """Ring positions of every slot still inside the window."""
+        self._advance()
+        lo = max(0, self._cur - self.n_slots + 1)
+        return [idx % self.n_slots for idx in range(lo, self._cur + 1)]
+
+    def _clear_slot(self, pos: int) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class RollingCounter(_TimeRing):
+    """A count over the trailing ``window_s`` seconds.
+
+    ``inc`` lands in the current ring slot; ``total`` sums the live
+    slots; ``rate`` divides by the window length.  Memory is exactly
+    ``n_slots`` floats no matter how many events are recorded — the
+    bounded-telemetry contract a soak run depends on.
+    """
+
+    def __init__(self, window_s: float = DEFAULT_FAST_WINDOW_S,
+                 n_slots: int = 10,
+                 clock: Callable[[], float] = time.monotonic):
+        self._slots = [0.0] * int(max(n_slots, 1))
+        super().__init__(window_s, n_slots, clock)
+
+    def _clear_slot(self, pos: int) -> None:
+        self._slots[pos] = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ConfigurationError("rolling counters only go up")
+        self._slots[self._advance()] += float(n)
+
+    def total(self) -> float:
+        """Sum over the live window."""
+        self._advance()
+        return math.fsum(self._slots)
+
+    def rate(self) -> float:
+        """Events per second over the full window length."""
+        return self.total() / max(self.window_s, 1e-12)
+
+    def to_dict(self) -> dict:
+        return {"kind": "rolling_counter", "window_s": self.window_s,
+                "n_slots": self.n_slots, "total": self.total(),
+                "rate": self.rate()}
+
+
+class _HistSlot:
+    """One slot's histogram state (also the merge accumulator)."""
+
+    __slots__ = ("counts", "count", "sum", "min", "max", "exemplar")
+
+    def __init__(self, n_buckets: int):
+        self.counts = [0] * n_buckets
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.exemplar: Optional[dict] = None
+
+    def clear(self) -> None:
+        for i in range(len(self.counts)):
+            self.counts[i] = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.exemplar = None
+
+    def observe(self, bucket: int, v: float,
+                exemplar: Optional[dict]) -> None:
+        self.counts[bucket] += 1
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            # the slot's exemplar always belongs to its max observation
+            self.max = v
+            if exemplar is not None:
+                self.exemplar = exemplar
+        elif exemplar is not None and self.exemplar is None:
+            self.exemplar = exemplar
+
+    def merge_from(self, other: "_HistSlot") -> None:
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.sum += other.sum
+        if other.count:
+            self.min = min(self.min, other.min)
+            if other.max > self.max:
+                self.max = other.max
+                if other.exemplar is not None:
+                    self.exemplar = other.exemplar
+
+
+class RollingHistogram(_TimeRing):
+    """A fixed-bucket histogram over the trailing ``window_s`` seconds.
+
+    Each ring slot holds its own bucket counts; reads merge the live
+    slots, so quantiles are computed over exactly the window.  Memory is
+    O(n_slots x buckets) regardless of observation volume.  An optional
+    ``exemplar`` dict per observation (see :func:`span_exemplar`) is
+    retained for each slot's max — the "which solve was that spike"
+    pointer.
+    """
+
+    def __init__(self, buckets: Iterable[float] = LATENCY_BUCKETS,
+                 window_s: float = DEFAULT_FAST_WINDOW_S,
+                 n_slots: int = 10,
+                 clock: Callable[[], float] = time.monotonic):
+        edges = tuple(float(b) for b in buckets)
+        if not edges:
+            raise ConfigurationError("histogram needs at least one bucket edge")
+        if any(nxt <= prev for prev, nxt in zip(edges, edges[1:])):
+            raise ConfigurationError("bucket edges must be strictly ascending")
+        self.buckets = edges
+        self._slots = [_HistSlot(len(edges) + 1)
+                       for _ in range(int(max(n_slots, 1)))]
+        super().__init__(window_s, n_slots, clock)
+
+    def _clear_slot(self, pos: int) -> None:
+        self._slots[pos].clear()
+
+    def observe(self, v: float, exemplar: Optional[dict] = None) -> None:
+        v = float(v)
+        pos = self._advance()
+        self._slots[pos].observe(bisect.bisect_left(self.buckets, v), v,
+                                 exemplar)
+
+    # ---- windowed reads ------------------------------------------------------
+    def _merged(self) -> _HistSlot:
+        acc = _HistSlot(len(self.buckets) + 1)
+        for pos in self._live_positions():
+            acc.merge_from(self._slots[pos])
+        return acc
+
+    def count(self) -> int:
+        return self._merged().count
+
+    def quantile(self, q: float) -> float:
+        m = self._merged()
+        return bucket_quantile(self.buckets, m.counts, m.count,
+                               m.min, m.max, q)
+
+    def percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 over the live window (zeros when empty, so report
+        shapes stay stable on idle services)."""
+        m = self._merged()
+        if m.count == 0:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "n": 0.0}
+        return {
+            "p50": bucket_quantile(self.buckets, m.counts, m.count,
+                                   m.min, m.max, 0.50),
+            "p95": bucket_quantile(self.buckets, m.counts, m.count,
+                                   m.min, m.max, 0.95),
+            "p99": bucket_quantile(self.buckets, m.counts, m.count,
+                                   m.min, m.max, 0.99),
+            "n": float(m.count),
+        }
+
+    def exemplar(self) -> Optional[dict]:
+        """The exemplar of the window's max observation, if any."""
+        return self._merged().exemplar
+
+    def to_dict(self) -> dict:
+        m = self._merged()
+        return {
+            "kind": "rolling_histogram",
+            "window_s": self.window_s,
+            "n_slots": self.n_slots,
+            "buckets": list(self.buckets),
+            "counts": list(m.counts),
+            "count": m.count,
+            "sum": m.sum,
+            "min": None if m.count == 0 else m.min,
+            "max": None if m.count == 0 else m.max,
+            "percentiles": self.percentiles(),
+            "exemplar": m.exemplar,
+        }
+
+
+class HistogramSeries:
+    """Append-only time-slotted histograms over a whole run.
+
+    Where :class:`RollingHistogram` forgets, this remembers — one
+    fixed-bucket histogram per ``slot_s`` of *recorded* time, keyed by
+    slot index, so a report can answer ``percentiles(t0, t1)`` for any
+    window after the fact.  Memory is O(active slots x buckets): a
+    10^6-UE soak that serves for 10 simulated seconds stores ~20 slots
+    of ~16 buckets, not 10^6 latency samples.
+
+    Time is supplied by the caller per observation (the serving layer
+    passes its simulated clock's ``now``), so the series never reads a
+    clock at all.
+    """
+
+    def __init__(self, slot_s: float = 0.5,
+                 buckets: Iterable[float] = LATENCY_BUCKETS):
+        if slot_s <= 0:
+            raise ConfigurationError("slot_s must be positive")
+        edges = tuple(float(b) for b in buckets)
+        if not edges:
+            raise ConfigurationError("histogram needs at least one bucket edge")
+        if any(nxt <= prev for prev, nxt in zip(edges, edges[1:])):
+            raise ConfigurationError("bucket edges must be strictly ascending")
+        self.slot_s = float(slot_s)
+        self.buckets = edges
+        self._slots: Dict[int, _HistSlot] = {}
+
+    # ---- writes --------------------------------------------------------------
+    def observe(self, t: float, v: float,
+                exemplar: Optional[dict] = None) -> None:
+        """Record ``v`` at time ``t`` (caller-supplied, e.g. sim time)."""
+        idx = int(float(t) / max(self.slot_s, 1e-12))
+        slot = self._slots.get(idx)
+        if slot is None:
+            slot = self._slots[idx] = _HistSlot(len(self.buckets) + 1)
+        slot.observe(bisect.bisect_left(self.buckets, float(v)), float(v),
+                     exemplar)
+
+    def merge(self, other: "HistogramSeries") -> None:
+        """Fold another series (same slots/buckets) into this one."""
+        if other.slot_s != self.slot_s or other.buckets != self.buckets:
+            raise ConfigurationError(
+                "can only merge series with identical slot_s and buckets")
+        for idx, slot in other._slots.items():
+            mine = self._slots.get(idx)
+            if mine is None:
+                mine = self._slots[idx] = _HistSlot(len(self.buckets) + 1)
+            mine.merge_from(slot)
+
+    # ---- windowed reads ------------------------------------------------------
+    def _merged(self, t0: float, t1: float) -> _HistSlot:
+        acc = _HistSlot(len(self.buckets) + 1)
+        for idx, slot in self._slots.items():
+            # include slots overlapping [t0, t1)
+            if idx * self.slot_s < t1 and (idx + 1) * self.slot_s > t0:
+                acc.merge_from(slot)
+        return acc
+
+    def count(self, t0: float = 0.0, t1: float = math.inf) -> int:
+        return self._merged(t0, t1).count
+
+    def quantile(self, q: float, t0: float = 0.0,
+                 t1: float = math.inf) -> float:
+        m = self._merged(t0, t1)
+        return bucket_quantile(self.buckets, m.counts, m.count,
+                               m.min, m.max, q)
+
+    def percentiles(self, t0: float = 0.0,
+                    t1: float = math.inf) -> Dict[str, float]:
+        """p50/p95/p99 over services in ``[t0, t1)`` (zeros when empty,
+        mirroring ``ServeReport.latency_percentiles``)."""
+        m = self._merged(t0, t1)
+        if m.count == 0:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "n": 0.0}
+        return {
+            "p50": bucket_quantile(self.buckets, m.counts, m.count,
+                                   m.min, m.max, 0.50),
+            "p95": bucket_quantile(self.buckets, m.counts, m.count,
+                                   m.min, m.max, 0.95),
+            "p99": bucket_quantile(self.buckets, m.counts, m.count,
+                                   m.min, m.max, 0.99),
+            "n": float(m.count),
+        }
+
+    def exemplar(self, t0: float = 0.0,
+                 t1: float = math.inf) -> Optional[dict]:
+        return self._merged(t0, t1).exemplar
+
+    # ---- memory accounting ---------------------------------------------------
+    @property
+    def n_slots(self) -> int:
+        return len(self._slots)
+
+    def memory_cells(self) -> int:
+        """Bucket cells held — the quantity the soak acceptance test
+        asserts is O(windows x buckets), independent of event count."""
+        return len(self._slots) * (len(self.buckets) + 1)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "histogram_series",
+            "slot_s": self.slot_s,
+            "buckets": list(self.buckets),
+            "slots": {
+                str(idx): {"counts": list(s.counts), "count": s.count,
+                           "sum": s.sum,
+                           "min": None if s.count == 0 else s.min,
+                           "max": None if s.count == 0 else s.max,
+                           "exemplar": s.exemplar}
+                for idx, s in sorted(self._slots.items())
+            },
+            "percentiles": self.percentiles(),
+        }

@@ -40,6 +40,7 @@ class CircuitBreaker:
         clock: Callable[[], float] = time.monotonic,
         name: str = "breaker",
         max_half_open_probes: int = 1,
+        on_transition: Optional[Callable[[str, str], None]] = None,
     ):
         if failure_threshold < 1:
             raise ConfigurationError("failure_threshold must be >= 1")
@@ -55,6 +56,7 @@ class CircuitBreaker:
         self.max_half_open_probes = max_half_open_probes
         self.name = name
         self._clock = clock
+        self._on_transition = on_transition
         self._state = self.CLOSED
         self._consecutive_failures = 0
         self._probe_successes = 0
@@ -77,6 +79,10 @@ class CircuitBreaker:
                         from_state=from_state, to_state=to_state).inc()
         metrics.gauge("breaker.state", breaker=self.name).set(
             _STATE_INDEX[to_state])
+        if self._on_transition is not None:
+            # owner hookup (e.g. a serve shard feeding its windowed
+            # flip-rate instrument); observers must not raise
+            self._on_transition(from_state, to_state)
 
     @property
     def state(self) -> str:

@@ -131,7 +131,8 @@ class OverloadMachine:
         metrics.gauge("serve.overload.state",
                       shard=self.shard).set(STATES.index(to_state))
 
-    def observe(self, pressure: float, now_s: float = 0.0) -> str:
+    def observe(self, pressure: float, now_s: float = 0.0,
+                slo_burning: bool = False) -> str:
         """Feed one tick's backpressure fraction; returns the new state.
 
         Escalation is immediate (overload must be answered now);
@@ -139,6 +140,15 @@ class OverloadMachine:
         window, so recovery is visible as a sequence of transitions
         rather than a cliff.  ``now_s`` is the caller's simulated clock,
         recorded with each transition.
+
+        ``slo_burning`` is the *leading* signal from the per-class SLO
+        monitors (:mod:`repro.obs.slo`): an error budget burning hard is
+        evidence of trouble the queue has not fully expressed yet, so it
+        escalates NORMAL to DEGRADED ahead of the backpressure
+        threshold (giving up optimality early to protect latency) and
+        holds de-escalation until the burn clears.  It never forces
+        SHEDDING on its own — giving up *work* stays a backpressure
+        decision.
         """
         pressure = float(pressure)
         cfg = self.config
@@ -156,6 +166,15 @@ class OverloadMachine:
             return self._state
         if pressure >= cfg.degrade_at and self._state == NORMAL:
             self._transition(DEGRADED, pressure, now_s)
+            return self._state
+        if slo_burning and self._state == NORMAL:
+            get_metrics().counter("serve.overload.slo_escalations",
+                                  shard=self.shard).inc()
+            self._transition(DEGRADED, pressure, now_s)
+            return self._state
+        if slo_burning:
+            # budget still burning: hold the current severity
+            self._calm_ticks = 0
             return self._state
         # de-escalation: sustained calm below (threshold - hysteresis)
         exit_level = {

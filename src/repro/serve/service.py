@@ -35,7 +35,15 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.exceptions import ConfigurationError
-from repro.obs import get_metrics, get_tracer
+from repro.obs import (
+    DEFAULT_SERVE_SLOS,
+    LATENCY_BUCKETS,
+    SLO,
+    HistogramSeries,
+    SLOSet,
+    get_metrics,
+    get_tracer,
+)
 from repro.parallel import Executor, map_solve
 from repro.qos.channel import ChannelConfig
 from repro.qos.traffic import ServiceClass
@@ -59,6 +67,11 @@ class ServeConfig:
     shard: ShardConfig = field(default_factory=ShardConfig)
     arrivals: ArrivalConfig = field(default_factory=ArrivalConfig)
     channel: Optional[ChannelConfig] = None
+    #: declarative per-class objectives evaluated every tick
+    slos: Tuple[SLO, ...] = DEFAULT_SERVE_SLOS
+    #: feed the SLO burn flag into the overload machines (the
+    #: telemetry-v2 escalation input); off = monitors observe only
+    slo_escalation: bool = True
 
     def __post_init__(self):
         if self.n_cells < 1:
@@ -96,17 +109,29 @@ class ServeReport:
     chaos_injections: int
     drained: bool
     latencies: List[Tuple[float, float]] = field(repr=False, default_factory=list)
+    #: bounded-memory latency record: merged per-shard HistogramSeries,
+    #: O(slots x buckets) regardless of how many UEs were served.  The
+    #: raw ``latencies`` list is populated only when
+    #: ``ShardConfig.retain_latency_samples`` is on.
+    latency_series: Optional[HistogramSeries] = field(repr=False, default=None)
 
     def latency_percentiles(self, t0: float = 0.0,
                             t1: float = float("inf")) -> Dict[str, float]:
-        """p50/p95/p99 simulated latency over services in ``[t0, t1)``."""
+        """p50/p95/p99 simulated latency over services in ``[t0, t1)``.
+
+        Exact sample percentiles when raw samples were retained;
+        otherwise bucket-estimated from the windowed histogram series
+        (within one bucket width — the telemetry-v2 default).
+        """
         window = [lat for t, lat in self.latencies if t0 <= t < t1]
-        if not window:
-            return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "n": 0.0}
-        arr = np.asarray(window, dtype=np.float64)
-        p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
-        return {"p50": float(p50), "p95": float(p95), "p99": float(p99),
-                "n": float(arr.size)}
+        if window:
+            arr = np.asarray(window, dtype=np.float64)
+            p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+            return {"p50": float(p50), "p95": float(p95), "p99": float(p99),
+                    "n": float(arr.size)}
+        if self.latency_series is not None:
+            return self.latency_series.percentiles(t0, t1)
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "n": 0.0}
 
     def to_dict(self) -> dict:
         """JSON-ready summary (raw latency samples reduced to percentiles)."""
@@ -155,6 +180,21 @@ class QoSService:
         self._next_request_id = 0
         self._running = False
         self._drained = True
+        # SLO monitors live on the coordinator, on the simulated clock;
+        # shards route per-class latency/served into them as outcomes
+        # are absorbed (serially, in cell order — deterministic)
+        self.slos = SLOSet(cfg.slos, clock=lambda: self._now)
+        for shard in self.shards:
+            shard.slo = self.slos
+        self._shed_seen: List[Dict[ServiceClass, int]] = [
+            {svc: 0 for svc in SERVE_ORDER} for _ in self.shards]
+        self._slo_burning = False
+        self._on_tick = None
+
+    @property
+    def now_s(self) -> float:
+        """The service's simulated clock (seconds since start)."""
+        return self._now
 
     # ---- health --------------------------------------------------------------
     def liveness(self) -> bool:
@@ -176,11 +216,17 @@ class QoSService:
             "time_s": self._now,
             "running": self._running,
             "live": self.liveness(),
-            "healthy": by_state[NORMAL] * 2 >= len(snaps),
+            "healthy": (by_state[NORMAL] * 2 >= len(snaps)
+                        and not self._slo_burning),
             "states": by_state,
             "depth": sum(s["depth"] for s in snaps),
             "frames": self._frame,
             "shards": snaps,
+            "slo": {
+                "status": self.slos.snapshot(),
+                "burning_classes": self.slos.burning_classes(),
+                "any_burning": self._slo_burning,
+            },
         }
 
     # ---- the loop ------------------------------------------------------------
@@ -196,14 +242,18 @@ class QoSService:
             metrics.counter("serve.arrivals", kind=ev.kind).inc(ev.n_ues)
 
     def _tick(self, events, chaos: Optional[FaultSpec]) -> None:
-        """One service tick: admit, expire, observe, solve, absorb."""
+        """One service tick: admit, expire, observe, solve, absorb,
+        then evaluate SLOs (whose burn flag steers *next* tick's
+        overload observation — a one-tick lag that keeps the loop
+        deterministic across executor backends)."""
         self._now += self.config.tick_s
         now = self._now
         self._offer(events)
+        slo_burning = self._slo_burning and self.config.slo_escalation
         for shard in self.shards:
             shard.advance_clock(now)
             shard.queue.expire(now)
-            shard.observe_pressure()
+            shard.observe_pressure(slo_burning=slo_burning)
         tasks = []
         owners = []
         for shard in self.shards:
@@ -219,17 +269,41 @@ class QoSService:
                                      label="serve.frames")
             for shard, outcome in zip(owners, outcomes):
                 shard.absorb(outcome, now)
+        self._record_sheds()
+        self.slos.evaluate()
+        self._slo_burning = self.slos.any_burning
         self._frame += 1
-        get_metrics().counter("serve.ticks").inc()
+        metrics = get_metrics()
+        metrics.counter("serve.ticks").inc()
+        metrics.gauge("serve.slo_burning").set(1.0 if self._slo_burning else 0.0)
+        if self._on_tick is not None:
+            self._on_tick(self)
+
+    def _record_sheds(self) -> None:
+        """Feed this tick's shed deltas (offer-shed + age-expiry, from
+        the queue stats) into the shed-rate SLO monitors."""
+        for seen, shard in zip(self._shed_seen, self.shards):
+            stats = shard.queue.stats
+            for svc in SERVE_ORDER:
+                total = stats.shed_ues(svc)
+                delta = total - seen[svc]
+                if delta > 0:
+                    seen[svc] = total
+                    self.slos.record_shed(svc.value, delta)
 
     def run(self, duration_s: float,
-            chaos: Optional[FaultSpec] = None) -> ServeReport:
+            chaos: Optional[FaultSpec] = None,
+            on_tick=None) -> ServeReport:
         """Serve ``duration_s`` simulated seconds of arrivals, then drain.
 
         ``chaos`` (a :class:`repro.resilience.FaultSpec`) is threaded
         into every frame task; each frame's :class:`ChaosMonkey` seeds
         from ``(seed, frame, cell)``, so fault schedules are as
         deterministic as the traffic.
+
+        ``on_tick(service)`` — if given — is called after every tick
+        (including drain ticks): the hook :func:`repro.obs.watch` uses
+        to render the live ops view without touching the loop.
         """
         if duration_s <= 0:
             raise ConfigurationError("duration_s must be positive")
@@ -237,6 +311,7 @@ class QoSService:
         arrivals = ArrivalProcess(cfg.n_cells, duration_s, cfg.arrivals,
                                   seed=cfg.seed)
         self._running = True
+        self._on_tick = on_tick
         try:
             n_ticks = int(math.ceil(duration_s / cfg.tick_s))
             for _ in range(n_ticks):
@@ -245,6 +320,7 @@ class QoSService:
             self._drained = self._drain(chaos)
         finally:
             self._running = False
+            self._on_tick = None
         return self._report(duration_s, arrivals)
 
     def _drain(self, chaos: Optional[FaultSpec]) -> bool:
@@ -300,6 +376,10 @@ class QoSService:
             injections += shard.chaos_injections_total
         transitions.sort(key=lambda d: (d["time_s"], d["cell"]))
         latencies.sort()
+        series = HistogramSeries(slot_s=self.config.shard.latency_slot_s,
+                                 buckets=LATENCY_BUCKETS)
+        for shard in self.shards:
+            series.merge(shard.latency_series)
         shed_rate = {}
         for key, n in offered.items():
             shed_rate[key] = (shed.get(key, 0) / n) if n else 0.0
@@ -322,4 +402,5 @@ class QoSService:
             chaos_injections=injections,
             drained=self._drained,
             latencies=latencies,
+            latency_series=series,
         )

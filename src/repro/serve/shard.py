@@ -38,7 +38,15 @@ from repro.exceptions import (
     InfeasibleError,
     LadderExhaustedError,
 )
-from repro.obs import SECONDS_BUCKETS, get_metrics
+from repro.obs import (
+    LATENCY_BUCKETS,
+    SECONDS_BUCKETS,
+    HistogramSeries,
+    RollingCounter,
+    RollingHistogram,
+    get_metrics,
+    span_exemplar,
+)
 from repro.parallel import derive_seed
 from repro.qos.channel import ChannelConfig, ChannelModel
 from repro.qos.rra import (
@@ -93,6 +101,14 @@ class ShardConfig:
     overload: OverloadConfig = field(default_factory=OverloadConfig)
     breaker_failure_threshold: int = 3
     breaker_cooldown_s: float = 5.0
+    #: keep every raw (time, latency) sample on the shard.  Off by
+    #: default: long soaks get bounded O(slots x buckets) memory from
+    #: the latency HistogramSeries instead; tests and goldens that
+    #: assert exact sample lists opt back in.
+    retain_latency_samples: bool = False
+    #: slot width of the shard's append-only latency series (drives the
+    #: resolution of post-hoc windowed percentiles)
+    latency_slot_s: float = 0.5
 
     def __post_init__(self):
         if self.n_blocks < 1:
@@ -101,6 +117,8 @@ class ShardConfig:
             raise ConfigurationError("per-frame takes must be >= 1")
         if not 0.0 < self.rate_floor_scale <= 1.0:
             raise ConfigurationError("rate_floor_scale must be in (0, 1]")
+        if self.latency_slot_s <= 0:
+            raise ConfigurationError("latency_slot_s must be positive")
 
 
 @dataclass
@@ -242,6 +260,7 @@ class SchedulerShard:
             cooldown_s=self.config.breaker_cooldown_s,
             clock=(clock if clock is not None else lambda: self._sim_now),
             name=f"serve.shard{cell}",
+            on_transition=self._on_breaker_transition,
         )
         self.overload = OverloadMachine(cell, self.config.overload,
                                         breaker=self.breaker)
@@ -254,17 +273,39 @@ class SchedulerShard:
         self.chaos_injections_total = 0
         self.rung_counts: Dict[str, int] = {}
         self.served_ues: Dict[ServiceClass, int] = {}
+        # raw samples only when opted in; the series/window below are
+        # the bounded-memory default (telemetry v2)
         self.latencies_s: List[Tuple[float, float]] = []  # (sim time, latency)
+        self.latency_series = HistogramSeries(
+            slot_s=self.config.latency_slot_s, buckets=LATENCY_BUCKETS)
+        self.latency_window = RollingHistogram(
+            buckets=LATENCY_BUCKETS, window_s=10.0, n_slots=10,
+            clock=lambda: self._sim_now)
+        #: SLOSet the owning service routes class outcomes into (set by
+        #: QoSService; stays None for a standalone shard)
+        self.slo = None
         self._in_flight: List[FrameRequest] = []
+
+    def _on_breaker_transition(self, from_state: str, to_state: str) -> None:
+        """Breaker event hookup: feed the windowed flip-rate instrument
+        so the ops view can show "breaker flapping" as a live rate."""
+        get_metrics().rolling(
+            "serve.breaker_flips",
+            lambda: RollingCounter(window_s=60.0, n_slots=30,
+                                   clock=lambda: self._sim_now),
+            cell=self.cell).inc()
 
     # ---- tick plumbing -------------------------------------------------------
     def advance_clock(self, now_s: float) -> None:
         """Move the shard's simulated clock (drives breaker cooldowns)."""
         self._sim_now = float(now_s)
 
-    def observe_pressure(self) -> str:
-        """Feed the overload machine this tick's queue backpressure."""
-        return self.overload.observe(self.queue.backpressure(), self._sim_now)
+    def observe_pressure(self, slo_burning: bool = False) -> str:
+        """Feed the overload machine this tick's queue backpressure plus
+        the service-level SLO burn flag (the additional escalation input
+        — see :meth:`OverloadMachine.observe`)."""
+        return self.overload.observe(self.queue.backpressure(), self._sim_now,
+                                     slo_burning=slo_burning)
 
     def build_task(self, now_s: float, frame: int,
                    chaos: Optional[FaultSpec] = None) -> Optional[dict]:
@@ -345,10 +386,17 @@ class SchedulerShard:
             return out
         for r in batch:
             latency = max(0.0, now_s - r.enqueued_at_s)
-            self.latencies_s.append((now_s, latency))
+            if self.config.retain_latency_samples:
+                self.latencies_s.append((now_s, latency))
+            exemplar = span_exemplar(latency, time_s=now_s)
+            self.latency_series.observe(now_s, latency, exemplar=exemplar)
+            self.latency_window.observe(latency, exemplar=exemplar)
             metrics.histogram("serve.frame_latency_s", buckets=SECONDS_BUCKETS,
                               cell=self.cell,
                               service=r.service.value).observe(latency)
+            if self.slo is not None:
+                self.slo.record_latency(r.service.value, latency)
+                self.slo.record_served(r.service.value, r.n_ues)
             self.served_ues[r.service] = (
                 self.served_ues.get(r.service, 0) + r.n_ues)
         return out
@@ -372,9 +420,15 @@ class SchedulerShard:
                            sorted(self.served_ues.items(),
                                   key=lambda kv: kv[0].value)},
             "transitions": len(self.overload.transitions),
+            "latency": self.latency_window.percentiles(),
+            "exemplar": self.latency_window.exemplar(),
+            "rung_usage": dict(sorted(self.rung_counts.items())),
         }
 
     def mean_latency_s(self) -> float:
-        if not self.latencies_s:
-            return 0.0
-        return math.fsum(lat for _, lat in self.latencies_s) / len(self.latencies_s)
+        if self.latencies_s:
+            return (math.fsum(lat for _, lat in self.latencies_s)
+                    / len(self.latencies_s))
+        # bounded-memory default: mean from the append-only series
+        merged = self.latency_series._merged(0.0, math.inf)
+        return merged.sum / max(merged.count, 1)

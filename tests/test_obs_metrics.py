@@ -128,7 +128,8 @@ class TestRegistry:
         reg.histogram("c").observe(1.0)
         reg.reset()
         snap = reg.snapshot()
-        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {},
+                        "windows": {}}
 
 
 # ---------------------------------------------------------------------------

@@ -260,7 +260,8 @@ class TestShard:
         return shard
 
     def test_roundtrip_serves_requests_and_records_latency(self):
-        shard = self._loaded_shard()
+        # raw samples are opt-in since telemetry v2 (bounded memory)
+        shard = self._loaded_shard(retain_latency_samples=True)
         task = shard.build_task(now_s=0.3, frame=0)
         assert task is not None
         assert tuple(task["rungs"]) == RRA_FALLBACK
@@ -392,7 +393,8 @@ class TestChaosSoak:
     def _run(self, arrivals, chaos, telemetry=None):
         # tight queue bounds so the 10x burst genuinely overflows them
         cfg = ServeConfig(n_cells=3, seed=21, tick_s=0.1, arrivals=arrivals,
-                          shard=ShardConfig(max_depth=20, max_age_s=2.0))
+                          shard=ShardConfig(max_depth=20, max_age_s=2.0,
+                                            retain_latency_samples=True))
         svc = QoSService(cfg)
         if telemetry is None:
             return svc.run(8.0)

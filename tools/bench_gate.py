@@ -29,6 +29,7 @@ BENCH_DIR = REPO_ROOT / "benchmarks"
 SNAPSHOT = BENCH_DIR / "results" / "BENCH_kernels.json"
 ANALYSIS_SNAPSHOT = BENCH_DIR / "results" / "BENCH_analysis.json"
 SERVE_SNAPSHOT = BENCH_DIR / "results" / "BENCH_serve_soak.json"
+OBS_SNAPSHOT = BENCH_DIR / "results" / "BENCH_obs_overhead.json"
 DEFAULT_THRESHOLD = 0.25
 #: analyzer wall time may grow this fraction above its committed value
 #: before the gate fails (wall clocks are noisier than speedup ratios)
@@ -217,6 +218,45 @@ def check_serve_regressions(threshold: float = SERVE_THRESHOLD) -> list:
     return failures
 
 
+def check_obs_regressions(retries: int = 2) -> list:
+    """Replay the telemetry-overhead benchmark against its budgets.
+
+    Unlike the other gates this one compares against *absolute* ratio
+    ceilings (the committed ``budget`` per mode: no-op < 1.05,
+    recording-on windowed/sampled < 1.15), not against the committed
+    measurement — overhead ratios hover near 1.0, where a relative diff
+    is pure noise but the budget is the actual promise.  A mode over
+    budget is re-measured up to ``retries`` times and judged on its best
+    observation.
+    """
+    committed = json.loads(OBS_SNAPSHOT.read_text())
+    budgets = {row["mode"]: float(row["budget"]) for row in committed["rows"]}
+
+    module = _load_bench_module("bench_obs_overhead")
+    current = {row["mode"]: row["ratio"] for row in module.measure_obs_overhead()}
+    for attempt in range(retries):
+        if all(current.get(m, float("inf")) < b for m, b in budgets.items()):
+            break
+        print(f"(retry {attempt + 1}: re-measuring modes over budget)")
+        for row in module.measure_obs_overhead():
+            mode = row["mode"]
+            current[mode] = min(current.get(mode, float("inf")), row["ratio"])
+
+    failures = []
+    print(f"{'mode':<24} {'current':>10} {'budget':>10}")
+    for mode, budget in budgets.items():
+        measured = current.get(mode)
+        if measured is None:
+            failures.append(f"{mode}: missing from current measurement")
+            continue
+        print(f"{mode:<24} {measured:>10.4f} {budget:>10.2f}")
+        if measured >= budget:
+            failures.append(
+                f"{mode}: telemetry overhead ratio {measured:.4f} breaks "
+                f"the {budget:.2f} budget")
+    return failures
+
+
 try:
     import pytest
 except ImportError:  # CLI-only environments don't need the pytest shim
@@ -240,6 +280,12 @@ if pytest is not None:
     def test_serve_gate():
         """Serving-soak p99/shed-rate gate against BENCH_serve_soak.json."""
         failures = check_serve_regressions()
+        assert not failures, "; ".join(failures)
+
+    @pytest.mark.perf
+    def test_obs_gate():
+        """Telemetry-overhead budget gate against BENCH_obs_overhead.json."""
+        failures = check_obs_regressions()
         assert not failures, "; ".join(failures)
 
 
@@ -268,6 +314,11 @@ def main(argv=None) -> int:
         failures += check_serve_regressions(opts.serve_threshold)
     else:
         print("\n(no BENCH_serve_soak.json snapshot; serve gate skipped)")
+    if OBS_SNAPSHOT.is_file():
+        print()
+        failures += check_obs_regressions()
+    else:
+        print("\n(no BENCH_obs_overhead.json snapshot; obs gate skipped)")
     if failures:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)
