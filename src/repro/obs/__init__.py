@@ -71,6 +71,7 @@ from repro.obs.export import (
     iter_events,
     render_ops_table,
     render_prometheus,
+    render_scenario_summary,
     watch,
 )
 from repro.obs.metrics import LATENCY_BUCKETS, bucket_quantile
@@ -141,6 +142,7 @@ __all__ = [
     "profiled",
     "record_solver_outcome",
     "render_ops_table",
+    "render_scenario_summary",
     "render_prometheus",
     "render_text",
     "set_metrics",

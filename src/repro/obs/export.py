@@ -32,6 +32,7 @@ __all__ = [
     "iter_events",
     "format_event",
     "render_ops_table",
+    "render_scenario_summary",
     "watch",
 ]
 
@@ -217,6 +218,54 @@ def render_ops_table(health: dict) -> str:
         if slo.get("burning_classes"):
             out.append("burning classes: " + ", ".join(slo["burning_classes"]))
 
+    return "\n".join(out) + "\n"
+
+
+def render_scenario_summary(canonical: dict) -> str:
+    """Ops-style one-screen summary of a scenario pack's canonical report.
+
+    Consumes the dict ``repro.scenarios.canonical_report`` produces (the
+    same payload the scenario goldens pin) and renders the per-class
+    offered/served/shed table, rung usage, and simulated-latency
+    percentiles — pure dict-to-text, like every renderer in this module,
+    so the scenarios CLI can print it without the obs package importing
+    the scenario layer.
+    """
+    rep = canonical.get("report", canonical)
+    out: List[str] = []
+    out.append(
+        f"scenario {canonical.get('scenario', '?')}  "
+        f"seed={canonical.get('seed', '?')}  "
+        f"duration={rep.get('duration_s', 0.0):.1f}s  "
+        f"cells={rep.get('n_cells', 0)}  drained={rep.get('drained')}")
+    offered = rep.get("offered_ues", {})
+    served = rep.get("served_ues", {})
+    shed = rep.get("shed_ues", {})
+    shed_rate = rep.get("shed_rate", {})
+    if offered:
+        out.append("")
+        out.append(f"{'class':>8} {'offered':>9} {'served':>9} {'shed':>7} "
+                   f"{'shed_rate':>10}")
+        for cls in sorted(offered):
+            out.append(
+                f"{cls:>8} {offered.get(cls, 0):>9} {served.get(cls, 0):>9} "
+                f"{shed.get(cls, 0):>7} {shed_rate.get(cls, 0.0):>10.4f}")
+    rungs = rep.get("rung_counts", {})
+    if rungs:
+        out.append("")
+        out.append("rungs: " + "  ".join(
+            f"{name}={n}" for name, n in sorted(rungs.items())))
+    lat = rep.get("latency_s", {})
+    if lat:
+        out.append(
+            f"sim latency: p50={lat.get('p50', 0.0):.3f}s "
+            f"p95={lat.get('p95', 0.0):.3f}s p99={lat.get('p99', 0.0):.3f}s "
+            f"(n={int(lat.get('n', 0))})")
+    out.append(
+        f"throughput={rep.get('throughput_ues_per_s', 0.0):.1f} UEs/s  "
+        f"frames={rep.get('frames', 0)}  "
+        f"dropped={rep.get('frames_dropped', 0)}  "
+        f"transitions={rep.get('transitions', 0)}")
     return "\n".join(out) + "\n"
 
 

@@ -1,0 +1,49 @@
+"""Named, frozen, seeded scenario packs for the QoS serving layer.
+
+A :class:`ScenarioPack` freezes one reproducible serving workload: an
+arrival process (optionally modulated by a fading trace generated
+through the :mod:`repro.signal` streaming front-end), a
+:class:`~repro.serve.ServeConfig`, and a duration.  Packs are the
+serving stack's fixed yardsticks — the same role Salman et al.'s
+barrier benchmarks play for verification (PAPERS.md): every pack runs
+end-to-end through :class:`repro.serve.QoSService` on simulated time,
+emits a canonical JSON report that is bit-identical across the
+serial/thread/process executor backends, and is golden-pinned under
+``tests/goldens/``.
+
+Run from the command line::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios run urllc_handover_storm --backend process
+
+See docs/SIGNAL_STREAMING.md for the pack registry and the fading
+front-end that feeds it.
+"""
+
+from repro.scenarios.packs import (
+    SCENARIO_PACKS,
+    FadingSpec,
+    ScenarioPack,
+    generate_fading_trace,
+    get_pack,
+    list_packs,
+)
+from repro.scenarios.runner import (
+    canonical_json,
+    canonical_report,
+    run_canonical,
+    run_pack,
+)
+
+__all__ = [
+    "SCENARIO_PACKS",
+    "FadingSpec",
+    "ScenarioPack",
+    "canonical_json",
+    "canonical_report",
+    "generate_fading_trace",
+    "get_pack",
+    "list_packs",
+    "run_canonical",
+    "run_pack",
+]

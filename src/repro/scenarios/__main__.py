@@ -1,0 +1,78 @@
+"""``python -m repro.scenarios run <name>`` — scenario pack CLI.
+
+Two subcommands::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios run mmtc_burst_flood --backend process \
+        --json report.json
+
+``run`` drives the named pack end-to-end through
+:class:`repro.serve.QoSService` on the chosen executor backend, prints
+the ops-style summary (:func:`repro.obs.render_scenario_summary`), and
+optionally writes the canonical JSON report — the byte-identical payload
+the scenario goldens under ``tests/goldens/`` pin.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    from repro.exceptions import ReproError
+    from repro.obs import render_scenario_summary
+    from repro.parallel import BACKENDS
+    from repro.scenarios.packs import SCENARIO_PACKS, list_packs
+    from repro.scenarios.runner import canonical_json, run_canonical
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Run frozen, seeded QoS serving scenario packs and "
+                    "emit their canonical reports.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the registered scenario packs")
+
+    run = sub.add_parser(
+        "run", help="run one pack end-to-end through repro.serve")
+    run.add_argument("name", help="pack name (see `list`)")
+    run.add_argument("--backend", choices=BACKENDS, default="serial",
+                     help="executor backend; reports are byte-identical "
+                          "across all of them (default: serial)")
+    run.add_argument("--max-workers", type=int, default=2,
+                     help="worker count for thread/process backends")
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="also write the canonical JSON report here "
+                          "('-' for stdout instead of the summary)")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in list_packs():
+            pack = SCENARIO_PACKS[name]
+            print(f"{name:>24}  seed={pack.seed:<5} "
+                  f"{pack.duration_s:.1f}s  {pack.description}")
+        return 0
+
+    try:
+        canonical = run_canonical(args.name, backend=args.backend,
+                                  max_workers=args.max_workers)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rendered = canonical_json(canonical)
+    if args.json == "-":
+        sys.stdout.write(rendered)
+        return 0
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(rendered)
+    sys.stdout.write(render_scenario_summary(canonical))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

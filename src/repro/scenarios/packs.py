@@ -1,0 +1,301 @@
+"""The scenario pack registry: four frozen, seeded serving workloads.
+
+Each pack is a pure function of its (frozen-in) seed.  Fading-driven
+packs synthesize their arrival-rate trace through the streaming signal
+front-end — seeded complex white noise, Doppler-shaped by an
+:class:`~repro.signal.streaming.OverlapSaveConvolver` lowpass, envelope
+detected, then decimated to the trace rate by an artifact-gated
+:class:`~repro.signal.decimate.MultiStageDecimator` with its startup
+transient *discarded by construction* (the gates make the transient
+length an explicit number, so the trace never contains ramp-in).
+
+The four packs:
+
+* ``mmtc_burst_flood`` — mMTC-heavy mix under a 10x MMPP burst flood
+  (synchronized sensor wake-ups hammering tight queues).
+* ``urllc_handover_storm`` — URLLC-heavy mix with Gilbert-Elliott
+  handover storms dumping session slugs between cells.
+* ``multirat_failover`` — a mid-run RAT outage: the surviving RAT's
+  cells absorb a step-doubling of load (trace-driven), with handover
+  storms layered on top.
+* ``fading_regime_sweep`` — arrival intensity modulated by a Rayleigh
+  fading envelope swept from slow to fast Doppler, exercising the
+  service across fading regimes in one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.parallel import derive_seed
+from repro.qos.mobility import GilbertElliottConfig
+from repro.qos.traffic import MMPPConfig, ServiceClass
+from repro.serve import ArrivalConfig, RateTrace, ServeConfig, ShardConfig
+from repro.signal.decimate import design_decimator
+from repro.signal.filters import ArtifactGates, design_lowpass
+from repro.signal.streaming import OverlapSaveConvolver
+
+__all__ = [
+    "SCENARIO_PACKS",
+    "FadingSpec",
+    "ScenarioPack",
+    "generate_fading_trace",
+    "get_pack",
+    "list_packs",
+]
+
+
+@dataclass(frozen=True)
+class FadingSpec:
+    """How to synthesize a fading envelope through the streaming front-end.
+
+    White complex noise at ``input_rate_hz`` is Doppler-shaped by a
+    lowpass with cutoff ``doppler_hz`` (Jakes-flat approximation), the
+    Rayleigh envelope is taken, and the result is decimated by
+    ``input_rate_hz / trace_rate_hz`` through an artifact-gated
+    multi-stage chain.  ``scale_lo``/``scale_hi`` clamp the normalized
+    envelope so a deep fade never silences arrivals entirely and a
+    constructive peak cannot explode them.
+    """
+
+    doppler_hz: float = 2.0
+    input_rate_hz: float = 400.0
+    trace_rate_hz: float = 10.0
+    scale_lo: float = 0.3
+    scale_hi: float = 3.0
+
+    def __post_init__(self):
+        if self.doppler_hz <= 0 or self.input_rate_hz <= 0 \
+                or self.trace_rate_hz <= 0:
+            raise ConfigurationError("fading rates must be positive")
+        ratio = self.input_rate_hz / self.trace_rate_hz
+        if abs(ratio - round(ratio)) > 1e-9 or round(ratio) < 1:
+            raise ConfigurationError(
+                "input_rate_hz must be an integer multiple of trace_rate_hz")
+        if not 0.0 < self.scale_lo <= self.scale_hi:
+            raise ConfigurationError("need 0 < scale_lo <= scale_hi")
+        if 2.0 * self.doppler_hz >= self.trace_rate_hz:
+            raise ConfigurationError(
+                "trace_rate_hz must exceed twice the Doppler spread")
+
+    @property
+    def decimation_factor(self) -> int:
+        return int(round(self.input_rate_hz / self.trace_rate_hz))
+
+
+def generate_fading_trace(spec: FadingSpec, duration_s: float,
+                          seed: int) -> RateTrace:
+    """Synthesize a seeded Rayleigh-fading :class:`RateTrace`.
+
+    The generation chain is the streaming front-end end to end:
+    overlap-save Doppler filtering of I/Q noise, envelope detection,
+    artifact-gated polyphase decimation — fed in chunks, exactly the way
+    a live sample transport would.  The decimator's declared startup
+    transient (plus the Doppler filter's warmup) is generated *extra*
+    and discarded, so the returned trace holds only settled envelope.
+    The trace is normalized to unit mean and clamped to the spec's
+    scale band.
+    """
+    if duration_s <= 0:
+        raise ConfigurationError("duration_s must be positive")
+    rng = np.random.default_rng(derive_seed(seed, 0, "scenario.fading"))
+    cutoff = spec.doppler_hz / spec.input_rate_hz  # normalized cycles/sample
+    # Doppler shaping filter: narrow lowpass, gated like any front-end
+    # filter (ripple is irrelevant for a stochastic envelope, so only
+    # the rejection gate applies)
+    taps, _report = design_lowpass(
+        pass_edge=cutoff, stop_edge=min(3.0 * cutoff, 0.45), atten_db=70.0,
+        gates=ArtifactGates(passband_ripple_db=None, stopband_atten_db=55.0,
+                            noise_floor_db=None))
+    decimator = design_decimator(
+        spec.decimation_factor, atten_db=70.0, passband=0.8,
+        gates=ArtifactGates(passband_ripple_db=0.1, stopband_atten_db=55.0,
+                            noise_floor_db=None))
+    warmup = (len(taps) - 1) + decimator.startup_transient_samples
+    # one extra decimation period of margin so the post-warmup slice can
+    # never come up a step short of the requested duration
+    n_samples = (int(np.ceil(duration_s * spec.input_rate_hz))
+                 + warmup + decimator.factor)
+    conv_i = OverlapSaveConvolver(taps)
+    conv_q = OverlapSaveConvolver(taps)
+    env_parts = []
+    chunk = 2048
+    for start in range(0, n_samples, chunk):
+        n = min(chunk, n_samples - start)
+        noise = rng.standard_normal((2, n))
+        i_part = conv_i.process(noise[0])
+        q_part = conv_q.process(noise[1])
+        env_parts.append(decimator.process(
+            np.hypot(i_part, q_part)))
+    env_parts.append(decimator.process(np.hypot(conv_i.flush(),
+                                                conv_q.flush())))
+    envelope = np.concatenate(env_parts)
+    settle = int(np.ceil(warmup / decimator.factor))  # numlint: disable=NL002 -- MultiStageDecimator.factor is a product of stage factors validated >= 1
+    envelope = envelope[settle:]
+    n_steps = int(np.ceil(duration_s * spec.trace_rate_hz))
+    if envelope.size < n_steps:
+        raise ConfigurationError(
+            "fading trace came up short: duration too short for the spec")
+    envelope = envelope[:n_steps]
+    if not np.any(envelope > 0):
+        raise ConfigurationError(
+            "fading trace degenerate: envelope has no positive mass")
+    scales = envelope / np.mean(envelope)  # numlint: disable=NL002 -- guarded: the branch above rejects all-zero envelopes
+    scales = np.clip(scales, spec.scale_lo, spec.scale_hi)
+    return RateTrace(step_s=1.0 / spec.trace_rate_hz,
+                     scales=tuple(float(s) for s in scales))
+
+
+@dataclass(frozen=True)
+class ScenarioPack:
+    """One frozen serving workload: name, duration, and a config factory.
+
+    ``build`` returns a fresh :class:`ServeConfig` (packs are immutable
+    descriptions; services are built per run).  The factory, not a
+    stored config, keeps pack construction lazy — fading packs only
+    synthesize their traces when actually run.
+    """
+
+    name: str
+    description: str
+    duration_s: float
+    seed: int
+    build: Callable[[], ServeConfig] = field(repr=False)
+
+    def __post_init__(self):
+        if self.duration_s <= 0:
+            raise ConfigurationError("pack duration_s must be positive")
+
+
+# one tight shard config shared by the packs: small queues so the storm
+# scenarios genuinely overflow them and the shed policy is exercised
+def _pack_shard() -> ShardConfig:
+    return ShardConfig(max_depth=16, max_age_s=2.0)
+
+
+def _mmtc_burst_flood() -> ServeConfig:
+    arrivals = ArrivalConfig(
+        base_rate_hz=2.0,
+        batch_ues=12,
+        mmpp=MMPPConfig(idle_rate_hz=2.0, burst_rate_hz=20.0,
+                        mean_idle_s=1.5, mean_burst_s=0.8),
+        mix={ServiceClass.EMBB: 0.15, ServiceClass.URLLC: 0.1,
+             ServiceClass.MMTC: 0.75},
+    )
+    return ServeConfig(n_cells=2, seed=101, tick_s=0.1,
+                       arrivals=arrivals, shard=_pack_shard())
+
+
+def _urllc_handover_storm() -> ServeConfig:
+    arrivals = ArrivalConfig(
+        base_rate_hz=2.5,
+        batch_ues=10,
+        handover=GilbertElliottConfig(p_good_to_bad=0.25, p_bad_to_good=0.5),
+        handover_step_s=0.5,
+        storm_ues=40,
+        mix={ServiceClass.EMBB: 0.35, ServiceClass.URLLC: 0.45,
+             ServiceClass.MMTC: 0.2},
+    )
+    return ServeConfig(n_cells=3, seed=202, tick_s=0.1,
+                       arrivals=arrivals, shard=_pack_shard())
+
+
+#: simulated time of the RAT outage in the failover pack
+_FAILOVER_AT_S = 2.0
+_FAILOVER_DURATION_S = 5.0
+
+
+def _multirat_failover() -> ServeConfig:
+    # the failover step: unit load until the outage, then the surviving
+    # RAT absorbs the failed RAT's sessions (2.2x, not 2x — reattach
+    # retries add overhead), decaying slightly as sessions complete
+    step_s = 0.25
+    n_steps = int(_FAILOVER_DURATION_S / step_s)
+    outage_step = int(_FAILOVER_AT_S / step_s)
+    scales = tuple(
+        1.0 if i < outage_step
+        else (2.2 if i < outage_step + 4 else 1.8)
+        for i in range(n_steps))
+    arrivals = ArrivalConfig(
+        base_rate_hz=3.0,
+        batch_ues=10,
+        trace=RateTrace(step_s=step_s, scales=scales),
+        handover=GilbertElliottConfig(p_good_to_bad=0.3, p_bad_to_good=0.4),
+        handover_step_s=0.5,
+        storm_ues=30,
+        mix={ServiceClass.EMBB: 0.4, ServiceClass.URLLC: 0.25,
+             ServiceClass.MMTC: 0.35},
+    )
+    return ServeConfig(n_cells=3, seed=303, tick_s=0.1,
+                       arrivals=arrivals, shard=_pack_shard())
+
+
+_SWEEP_DURATION_S = 5.0
+
+
+def _fading_regime_sweep() -> ServeConfig:
+    # slow fading (pedestrian Doppler) for the first half, fast fading
+    # (vehicular) for the second: two seeded traces stitched end to end
+    half = _SWEEP_DURATION_S / 2.0
+    slow = generate_fading_trace(
+        FadingSpec(doppler_hz=1.0, input_rate_hz=400.0, trace_rate_hz=10.0),
+        half, seed=404)
+    fast = generate_fading_trace(
+        FadingSpec(doppler_hz=4.0, input_rate_hz=400.0, trace_rate_hz=10.0),
+        half, seed=405)
+    trace = RateTrace(step_s=slow.step_s, scales=slow.scales + fast.scales)
+    arrivals = ArrivalConfig(
+        base_rate_hz=3.0,
+        batch_ues=12,
+        trace=trace,
+        mix={ServiceClass.EMBB: 0.5, ServiceClass.URLLC: 0.2,
+             ServiceClass.MMTC: 0.3},
+    )
+    return ServeConfig(n_cells=2, seed=404, tick_s=0.1,
+                       arrivals=arrivals, shard=_pack_shard())
+
+
+SCENARIO_PACKS: Dict[str, ScenarioPack] = {
+    pack.name: pack
+    for pack in (
+        ScenarioPack(
+            name="mmtc_burst_flood",
+            description="mMTC-heavy mix under a 10x MMPP burst flood "
+                        "(synchronized wake-ups against tight queues)",
+            duration_s=5.0, seed=101, build=_mmtc_burst_flood),
+        ScenarioPack(
+            name="urllc_handover_storm",
+            description="URLLC-heavy mix with Gilbert-Elliott handover "
+                        "storms slugging sessions between cells",
+            duration_s=5.0, seed=202, build=_urllc_handover_storm),
+        ScenarioPack(
+            name="multirat_failover",
+            description="mid-run RAT outage: surviving cells absorb a "
+                        "trace-driven load step plus handover storms",
+            duration_s=_FAILOVER_DURATION_S, seed=303,
+            build=_multirat_failover),
+        ScenarioPack(
+            name="fading_regime_sweep",
+            description="arrival intensity modulated by a streamed "
+                        "Rayleigh fading envelope swept slow->fast Doppler",
+            duration_s=_SWEEP_DURATION_S, seed=404,
+            build=_fading_regime_sweep),
+    )
+}
+
+
+def list_packs() -> Tuple[str, ...]:
+    """Registered pack names, sorted for stable CLI/report output."""
+    return tuple(sorted(SCENARIO_PACKS))
+
+
+def get_pack(name: str) -> ScenarioPack:
+    if name not in SCENARIO_PACKS:
+        known = ", ".join(list_packs())
+        raise ConfigurationError(
+            f"unknown scenario pack {name!r}; known packs: {known}")
+    return SCENARIO_PACKS[name]

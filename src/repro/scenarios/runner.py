@@ -1,0 +1,123 @@
+"""Run scenario packs through the serving layer, canonically reported.
+
+:func:`run_pack` builds a pack's :class:`~repro.serve.ServeConfig`,
+drives a fresh :class:`~repro.serve.QoSService` for the pack's
+duration on any executor backend, and emits per-scenario metrics into
+the installed :class:`~repro.obs.MetricsRegistry`.
+:func:`canonical_report` projects the result to a JSON-ready dict whose
+every field is simulated-time-deterministic — no wall-clock values — so
+:func:`canonical_json` is **byte-identical** across the
+serial/thread/process backends and golden-pinnable under
+``tests/goldens/``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.obs import get_metrics, get_tracer
+from repro.parallel import BACKENDS, Executor, make_executor
+from repro.scenarios.packs import ScenarioPack, get_pack
+from repro.serve import QoSService, ServeConfig, ServeReport
+
+__all__ = ["canonical_json", "canonical_report", "run_canonical", "run_pack"]
+
+
+def _config_fingerprint(config: ServeConfig, duration_s: float) -> str:
+    """Stable hash of the knobs that determine a run's event stream.
+
+    Covers the parameters whose silent drift would invalidate a golden:
+    fleet size, seed, tick, arrival shape (including the trace scales),
+    and the shard calibration.  Dataclass reprs are deterministic for
+    these frozen configs, so the repr is a faithful serialization.
+    """
+    payload = repr((config.n_cells, config.seed, config.tick_s,
+                    config.drain_grace_s, config.arrivals, config.shard,
+                    config.channel, duration_s))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def run_pack(pack: ScenarioPack | str,
+             executor: Optional[Executor] = None,
+             ) -> Tuple[ScenarioPack, ServeReport]:
+    """Run one scenario pack end-to-end through :class:`QoSService`.
+
+    ``pack`` may be a registry name or a pack object; ``executor`` any
+    :class:`repro.parallel.Executor` (``None`` = serial in-process).
+    Per-scenario telemetry lands in the installed metrics registry
+    under ``scenario.*`` with a ``scenario=<name>`` label.
+    """
+    if isinstance(pack, str):
+        pack = get_pack(pack)
+    config = pack.build()
+    service = QoSService(config, executor=executor)
+    with get_tracer().span("scenario.run", scenario=pack.name,
+                           seed=pack.seed, duration_s=pack.duration_s):
+        report = service.run(pack.duration_s)
+    metrics = get_metrics()
+    metrics.counter("scenario.runs", scenario=pack.name).inc()
+    metrics.gauge("scenario.offered_ues",
+                  scenario=pack.name).set(float(report.total_offered_ues))
+    metrics.gauge("scenario.served_ues",
+                  scenario=pack.name).set(float(report.total_served_ues))
+    metrics.gauge("scenario.shed_ues", scenario=pack.name).set(
+        float(sum(report.shed_ues.values())))
+    metrics.gauge("scenario.frames", scenario=pack.name).set(
+        float(report.frames))
+    for cls, rate in sorted(report.shed_rate.items()):
+        metrics.gauge("scenario.shed_rate", scenario=pack.name,
+                      service=cls).set(rate)
+    return pack, report
+
+
+def canonical_report(pack: ScenarioPack, report: ServeReport) -> dict:
+    """The golden-pinnable projection of one scenario run.
+
+    Every field is a pure function of the pack (simulated time only):
+    the :meth:`ServeReport.to_dict` summary — whose latency percentiles
+    are *simulated* queueing delays, not wall time — plus the pack
+    identity and a config fingerprint that ties the golden to the exact
+    workload that produced it.
+    """
+    config = pack.build()
+    trace = config.arrivals.trace
+    out = {
+        "scenario": pack.name,
+        "description": pack.description,
+        "seed": pack.seed,
+        "duration_s": pack.duration_s,
+        "config_fingerprint": _config_fingerprint(config, pack.duration_s),
+        "trace": None if trace is None else {
+            "step_s": trace.step_s,
+            "steps": len(trace.scales),
+            "max_scale": trace.max_scale,
+            "fingerprint": hashlib.sha256(
+                repr(trace.scales).encode("utf-8")).hexdigest()[:16],
+        },
+        "report": report.to_dict(),
+    }
+    return out
+
+
+def canonical_json(canonical: dict) -> str:
+    """Byte-stable rendering of a canonical report (sorted keys, fixed
+    indentation, trailing newline) — the exact content of a scenario
+    golden file and of the cross-backend identity assertions."""
+    return json.dumps(canonical, indent=2, sort_keys=True) + "\n"
+
+
+def run_canonical(name: str, backend: Optional[str] = None,
+                  max_workers: int = 2) -> dict:
+    """Name + backend -> canonical report dict (the CLI's workhorse)."""
+    if backend is None or backend == "serial":
+        pack, report = run_pack(name)
+    else:
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}")
+        with make_executor(backend, max_workers=max_workers) as executor:
+            pack, report = run_pack(name, executor=executor)
+    return canonical_report(pack, report)

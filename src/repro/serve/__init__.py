@@ -12,7 +12,12 @@ so a full soak — including chaos injection — is bit-identical across
 the serial/thread/process executor backends.  See docs/SERVING.md.
 """
 
-from repro.serve.arrivals import ArrivalConfig, ArrivalEvent, ArrivalProcess
+from repro.serve.arrivals import (
+    ArrivalConfig,
+    ArrivalEvent,
+    ArrivalProcess,
+    RateTrace,
+)
 from repro.serve.overload import (
     BREAKER_OPEN,
     DEGRADED,
@@ -52,6 +57,7 @@ __all__ = [
     "OverloadMachine",
     "QoSService",
     "QueueStats",
+    "RateTrace",
     "SERVE_ORDER",
     "SHED_ORDER",
     "SHEDDING",

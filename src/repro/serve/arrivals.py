@@ -23,7 +23,7 @@ clock, keeping the DT002 "wall-clock feeds control flow" lint clean).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,7 +32,50 @@ from repro.parallel import derive_seed
 from repro.qos.mobility import GilbertElliottConfig
 from repro.qos.traffic import MMPPConfig, MMPPProcess, ServiceClass
 
-__all__ = ["ArrivalEvent", "ArrivalConfig", "ArrivalProcess"]
+__all__ = ["ArrivalEvent", "ArrivalConfig", "ArrivalProcess", "RateTrace"]
+
+
+@dataclass(frozen=True)
+class RateTrace:
+    """A piecewise-constant arrival-rate modulation trace.
+
+    ``scales[i]`` multiplies the base Poisson rate over the simulated
+    interval ``[i * step_s, (i + 1) * step_s)``; times past the end hold
+    the last value.  Scenario packs build these through the streaming
+    signal front-end (seeded noise -> Doppler-shaped fading envelope ->
+    polyphase decimation to the trace rate), so a trace is a pure
+    function of its seed and the whole arrival stream stays
+    reproducible.  Scales are stored as a tuple: the trace is frozen,
+    hashable, and safely shared across processes.
+    """
+
+    step_s: float
+    scales: Tuple[float, ...]
+
+    def __post_init__(self):
+        if self.step_s <= 0:
+            raise ConfigurationError("trace step_s must be positive")
+        if not self.scales:
+            raise ConfigurationError("trace needs at least one scale")
+        if any(s < 0 for s in self.scales):
+            raise ConfigurationError("trace scales must be nonnegative")
+        if max(self.scales) <= 0:
+            raise ConfigurationError("trace must have positive mass")
+
+    @property
+    def max_scale(self) -> float:
+        return max(self.scales)
+
+    @property
+    def duration_s(self) -> float:
+        return self.step_s * len(self.scales)
+
+    def at(self, t_s: float) -> float:
+        """Scale in effect at simulated time ``t_s`` (clamped to range)."""
+        if t_s < 0:
+            return self.scales[0]
+        idx = min(int(t_s / self.step_s), len(self.scales) - 1)
+        return self.scales[idx]
 
 #: fixed per-class split applied to every arrival batch (mixed macro cell)
 _DEFAULT_MIX = {
@@ -69,6 +112,14 @@ class ArrivalConfig:
     storms (a GOOD->BAD transition of cell ``c`` dumps ``storm_ues``
     sessions onto cell ``(c + 1) % n_cells``).  ``mix`` is the
     service-class split applied to every batch.
+
+    ``trace`` — when set — modulates the base Poisson stream by a
+    :class:`RateTrace` via Lewis-Shedler thinning: candidates are drawn
+    at the trace's peak rate and accepted with probability
+    ``scale(t) / max_scale``, so the stream is an exact inhomogeneous
+    Poisson process and still a pure function of the seed.  The
+    trace-less path is byte-identical to previous releases (the
+    modulated generator is a separate code path).
     """
 
     base_rate_hz: float = 5.0
@@ -77,6 +128,7 @@ class ArrivalConfig:
     handover: Optional[GilbertElliottConfig] = None
     handover_step_s: float = 1.0
     storm_ues: int = 50
+    trace: Optional[RateTrace] = None
     mix: Dict[ServiceClass, float] = field(
         default_factory=lambda: dict(_DEFAULT_MIX))
 
@@ -142,13 +194,32 @@ class ArrivalProcess:
             # base Poisson batches
             rng = np.random.default_rng(
                 derive_seed(self.seed, cell, "serve.arrivals.base"))
-            t = 0.0
-            while True:
-                t += rng.exponential(1.0 / cfg.base_rate_hz)
-                if t >= self.duration_s:
-                    break
-                n = int(rng.geometric(1.0 / cfg.batch_ues))
-                events.extend(self._class_split(n, rng, t, cell, "poisson"))
+            if cfg.trace is None:
+                t = 0.0
+                while True:
+                    t += rng.exponential(1.0 / cfg.base_rate_hz)
+                    if t >= self.duration_s:
+                        break
+                    n = int(rng.geometric(1.0 / cfg.batch_ues))
+                    events.extend(
+                        self._class_split(n, rng, t, cell, "poisson"))
+            else:
+                # Lewis-Shedler thinning against the rate trace: draw at
+                # the peak rate, accept with scale(t)/max_scale.  The
+                # untraced branch above is kept verbatim so existing
+                # seeded streams (goldens, soak snapshots) are untouched.
+                trace = cfg.trace
+                peak_hz = cfg.base_rate_hz * trace.max_scale
+                t = 0.0
+                while True:
+                    t += rng.exponential(1.0 / peak_hz)  # numlint: disable=NL002 -- base_rate_hz > 0 (validated) and max_scale > 0 (RateTrace rejects zero-mass traces)
+                    if t >= self.duration_s:
+                        break
+                    if rng.random() * trace.max_scale > trace.at(t):
+                        continue
+                    n = int(rng.geometric(1.0 / cfg.batch_ues))
+                    events.extend(
+                        self._class_split(n, rng, t, cell, "poisson"))
             # MMPP burst stream
             if cfg.mmpp is not None:
                 mrng = np.random.default_rng(

@@ -1,6 +1,7 @@
 """Signal-processing substrate: FFT family, STFT phase conventions
-(paper Eqs. 5-6), Gabor transform, spectrograms, and the Fig. 3
-numerical-issue detectors."""
+(paper Eqs. 5-6), Gabor transform, spectrograms, the Fig. 3
+numerical-issue detectors, and the streaming front-end (overlap-save
+convolution, streaming STFT, artifact-gated polyphase decimation)."""
 
 from repro.signal.compat import (
     LIBROSA_STFT_SIGNATURE,
@@ -14,7 +15,24 @@ from repro.signal.detection import (
     matched_filter,
     roc_curve,
 )
+from repro.signal.decimate import (
+    DecimatorReport,
+    MultiStageDecimator,
+    PolyphaseStage,
+    decimate_reference,
+    design_decimator,
+    factor_stages,
+)
 from repro.signal.fft import dft_naive, fft, fftfreq, ifft, irfft, next_pow2, rfft
+from repro.signal.filters import (
+    ArtifactGates,
+    FilterReport,
+    design_lowpass,
+    frequency_response,
+    kaiser_beta,
+    kaiser_numtaps,
+    measure_lowpass,
+)
 from repro.signal.gabor import GaborFrame, gabor_transform, gabphasederiv
 from repro.signal.griffin_lim import GriffinLimResult, griffin_lim
 from repro.signal.issues import (
@@ -42,6 +60,11 @@ from repro.signal.spectrogram import (
     spectrogram,
 )
 from repro.signal.stft import STFTResult, frame_signal, istft, num_frames, stft
+from repro.signal.streaming import (
+    OverlapSaveConvolver,
+    StreamingSTFT,
+    streaming_convolve,
+)
 from repro.signal.windows import (
     blackman,
     causal_to_centered,
@@ -56,15 +79,22 @@ from repro.signal.windows import (
 )
 
 __all__ = [
+    "ArtifactGates",
+    "DecimatorReport",
     "DetectionScores",
+    "FilterReport",
     "LIBROSA_STFT_SIGNATURE",
     "GaborFrame",
     "GriffinLimResult",
     "IssueCategory",
     "IssueDetector",
     "IssueSeverity",
+    "MultiStageDecimator",
     "NumericalIssue",
+    "OverlapSaveConvolver",
+    "PolyphaseStage",
     "STFTResult",
+    "StreamingSTFT",
     "auc",
     "blackman",
     "causal_to_centered",
@@ -72,13 +102,18 @@ __all__ = [
     "centered_to_causal",
     "cola_check",
     "convert_convention",
+    "decimate_reference",
     "default_detectors",
     "delay_of_simplified_convention",
+    "design_decimator",
+    "design_lowpass",
     "dft_naive",
     "energy_detector",
+    "factor_stages",
     "fft",
     "fftfreq",
     "frame_signal",
+    "frequency_response",
     "gabor_transform",
     "gabphasederiv",
     "griffin_lim",
@@ -89,11 +124,14 @@ __all__ = [
     "ifft",
     "irfft",
     "istft",
+    "kaiser_beta",
+    "kaiser_numtaps",
     "librosa_style_stft",
     "linear_chirp",
     "matched_filter",
     "log_spectrogram",
     "magnitude_mismatch",
+    "measure_lowpass",
     "multitone",
     "next_pow2",
     "noisy",
@@ -107,6 +145,7 @@ __all__ = [
     "run_detectors",
     "spectrogram",
     "stft",
+    "streaming_convolve",
     "unwrap_phase",
     "window_peak_index",
 ]

@@ -1,0 +1,237 @@
+"""Kaiser windowed-sinc FIR design with first-class artifact gates.
+
+The signal-recorder postmortem catalogued in SNIPPETS.md §2 traced its
+"spectral incursions" not to catastrophic aliasing but to *quiet*
+filter-design artifacts: passband ripple, ±4 Hz spectral leakage bumps,
+a ~10 dB elevated noise floor, and startup transients.  None of those
+show up as exceptions — they show up as slightly wrong spectrograms
+months later.  This module therefore treats the artifact budget as a
+**checked property of the designed filter**, not a comment: every
+designed lowpass carries a measured :class:`FilterReport`, and
+:class:`ArtifactGates` turns the budget into hard pass/fail checks that
+:func:`design_lowpass` (and the decimator factories built on it) can
+enforce at construction time.
+
+Frequencies throughout are *normalized* cycles/sample: Nyquist is 0.5.
+All design math is plain numpy (``np.kaiser`` / ``np.sinc``); scipy is
+deliberately not imported so the module follows the repo's
+numpy-only-in-``src`` discipline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import SignalProcessingError
+
+__all__ = [
+    "ArtifactGates",
+    "FilterReport",
+    "design_lowpass",
+    "frequency_response",
+    "kaiser_beta",
+    "kaiser_numtaps",
+    "measure_lowpass",
+]
+
+
+@dataclass(frozen=True)
+class ArtifactGates:
+    """Artifact budget for a designed filter or decimation chain.
+
+    The defaults encode the SNIPPETS §2 resolution targets: passband
+    ripple under 0.1 dB, stopband/alias rejection beyond 60 dB, noise
+    floor at or below -60 dB, and a bounded startup transient.  A gate
+    set to ``None`` is not checked (e.g. the noise floor only makes
+    sense for an end-to-end measurement, not a tap vector).
+    """
+
+    passband_ripple_db: float | None = 0.1
+    stopband_atten_db: float | None = 60.0
+    noise_floor_db: float | None = -60.0
+    max_startup_transient_samples: int | None = None
+
+    def __post_init__(self):
+        if (self.passband_ripple_db is not None
+                and self.passband_ripple_db <= 0):
+            raise SignalProcessingError("passband_ripple_db must be positive")
+        if (self.stopband_atten_db is not None
+                and self.stopband_atten_db <= 0):
+            raise SignalProcessingError("stopband_atten_db must be positive")
+        if (self.max_startup_transient_samples is not None
+                and self.max_startup_transient_samples < 0):
+            raise SignalProcessingError(
+                "max_startup_transient_samples must be >= 0")
+
+
+@dataclass(frozen=True)
+class FilterReport:
+    """Measured properties of one FIR lowpass (all frequencies normalized).
+
+    ``passband_ripple_db`` is the max deviation of ``|H|`` from unity on
+    ``[0, pass_edge]``; ``stopband_atten_db`` the *minimum* rejection on
+    ``[stop_edge, 0.5]``; ``startup_transient_samples`` the exact FIR
+    warmup ``n_taps - 1`` (the filter's state is all zeros until that
+    many samples have entered, so earlier outputs are ramp-in).
+    """
+
+    n_taps: int
+    pass_edge: float
+    stop_edge: float
+    passband_ripple_db: float
+    stopband_atten_db: float
+    startup_transient_samples: int
+
+    def violations(self, gates: ArtifactGates) -> List[str]:
+        """Every gate this filter breaks, as human-readable strings."""
+        out: List[str] = []
+        if (gates.passband_ripple_db is not None
+                and self.passband_ripple_db > gates.passband_ripple_db):
+            out.append(
+                f"passband ripple {self.passband_ripple_db:.4f} dB exceeds "
+                f"gate {gates.passband_ripple_db:.4f} dB")
+        if (gates.stopband_atten_db is not None
+                and self.stopband_atten_db < gates.stopband_atten_db):
+            out.append(
+                f"stopband attenuation {self.stopband_atten_db:.1f} dB below "
+                f"gate {gates.stopband_atten_db:.1f} dB")
+        if (gates.max_startup_transient_samples is not None
+                and self.startup_transient_samples
+                > gates.max_startup_transient_samples):
+            out.append(
+                f"startup transient {self.startup_transient_samples} samples "
+                f"exceeds gate {gates.max_startup_transient_samples}")
+        return out
+
+    def require(self, gates: ArtifactGates) -> "FilterReport":
+        """Raise :class:`SignalProcessingError` on any gate violation."""
+        problems = self.violations(gates)
+        if problems:
+            raise SignalProcessingError(
+                "filter fails artifact gates: " + "; ".join(problems))
+        return self
+
+
+def kaiser_beta(atten_db: float) -> float:
+    """Kaiser window shape parameter for a target stopband attenuation.
+
+    The standard empirical fit (Oppenheim & Schafer eq. 7.75): zero for
+    soft (<21 dB) specs, piecewise polynomial/linear above.
+    """
+    a = float(atten_db)
+    if a > 50.0:
+        return 0.1102 * (a - 8.7)
+    if a >= 21.0:
+        return 0.5842 * (a - 21.0) ** 0.4 + 0.07886 * (a - 21.0)
+    return 0.0
+
+
+def kaiser_numtaps(atten_db: float, transition: float) -> int:
+    """Estimated FIR length meeting ``atten_db`` over a normalized
+    transition band of width ``transition`` (cycles/sample).
+
+    Kaiser's formula ``N ~= (A - 7.95) / (2.285 * delta_omega)``; the
+    result is rounded up and forced odd so the filter has a well-defined
+    integer group delay ``(N - 1) / 2``.
+    """
+    if transition <= 0:
+        raise SignalProcessingError("transition width must be positive")
+    if transition >= 0.5:
+        raise SignalProcessingError(
+            "transition width must be below Nyquist (0.5)")
+    n = (float(atten_db) - 7.95) / (2.285 * 2.0 * math.pi * transition)
+    n = max(int(math.ceil(n)) + 1, 3)
+    if n % 2 == 0:
+        n += 1
+    return n
+
+
+def frequency_response(
+    taps: np.ndarray, n_points: int = 8192
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(freqs, H)`` of an FIR filter on ``n_points`` bins in [0, 0.5].
+
+    Zero-padded real DFT; frequencies are normalized cycles/sample.
+    """
+    h = np.asarray(taps, dtype=np.float64).ravel()
+    if h.size < 1:
+        raise SignalProcessingError("taps must be non-empty")
+    n_fft = 2 * int(n_points)
+    if n_fft < h.size:
+        raise SignalProcessingError("n_points too small for the tap count")
+    spectrum = np.fft.rfft(h, n_fft)
+    freqs = np.fft.rfftfreq(n_fft, d=1.0)
+    return freqs, spectrum
+
+
+def measure_lowpass(
+    taps: np.ndarray, pass_edge: float, stop_edge: float,
+    n_points: int = 8192,
+) -> FilterReport:
+    """Measure a lowpass against its band edges (normalized frequencies)."""
+    if not 0.0 < pass_edge < stop_edge <= 0.5:
+        raise SignalProcessingError(
+            "need 0 < pass_edge < stop_edge <= 0.5")
+    h = np.asarray(taps, dtype=np.float64).ravel()
+    freqs, spectrum = frequency_response(h, n_points=n_points)
+    mag = np.abs(spectrum)
+    passband = mag[freqs <= pass_edge]
+    stopband = mag[freqs >= stop_edge]
+    if passband.size == 0 or stopband.size == 0:
+        raise SignalProcessingError("band edges leave an empty band")
+    ripple_db = float(np.max(np.abs(
+        20.0 * np.log10(np.maximum(passband, 1e-300)))))
+    atten_db = float(-np.max(
+        20.0 * np.log10(np.maximum(stopband, 1e-300))))
+    return FilterReport(
+        n_taps=int(h.size),
+        pass_edge=float(pass_edge),
+        stop_edge=float(stop_edge),
+        passband_ripple_db=ripple_db,
+        stopband_atten_db=atten_db,
+        startup_transient_samples=int(h.size - 1),
+    )
+
+
+def design_lowpass(
+    pass_edge: float,
+    stop_edge: float,
+    atten_db: float = 80.0,
+    numtaps: int | None = None,
+    gates: ArtifactGates | None = None,
+) -> Tuple[np.ndarray, FilterReport]:
+    """Design a unity-DC-gain Kaiser windowed-sinc lowpass.
+
+    Parameters are normalized frequencies (Nyquist = 0.5).  The cutoff
+    sits mid-transition; ``numtaps`` overrides the Kaiser length
+    estimate when given (it is forced odd).  Returns ``(taps, report)``
+    where the report has already been measured against the band edges —
+    and checked against ``gates`` when provided, so a spec the design
+    cannot meet fails **here**, at design time, not in a spectrogram
+    three months later.
+    """
+    if not 0.0 < pass_edge < stop_edge <= 0.5:
+        raise SignalProcessingError("need 0 < pass_edge < stop_edge <= 0.5")
+    if atten_db <= 0:
+        raise SignalProcessingError("atten_db must be positive")
+    transition = stop_edge - pass_edge
+    n = int(numtaps) if numtaps is not None else kaiser_numtaps(
+        atten_db, transition)
+    if n < 3:
+        raise SignalProcessingError("numtaps must be >= 3")
+    if n % 2 == 0:
+        n += 1
+    cutoff = 0.5 * (pass_edge + stop_edge)
+    mid = (n - 1) / 2.0
+    m = np.arange(n, dtype=np.float64)
+    ideal = 2.0 * cutoff * np.sinc(2.0 * cutoff * (m - mid))
+    taps = ideal * np.kaiser(n, kaiser_beta(atten_db))
+    taps = taps / math.fsum(taps)  # numlint: disable=NL002 -- a windowed sinc's DC gain is ~2*cutoff > 0 by construction
+    report = measure_lowpass(taps, pass_edge, stop_edge)
+    if gates is not None:
+        report.require(gates)
+    return taps, report

@@ -1,0 +1,174 @@
+"""Scenario-pack tests: goldens, cross-backend determinism, and the CLI.
+
+Every registered pack runs end-to-end through ``repro.serve`` and its
+canonical report is pinned byte-for-byte under ``tests/goldens/`` —
+*unscrubbed*, because every field in a canonical scenario report is
+simulated-time-deterministic by contract.  Regenerate after an
+intentional change with::
+
+    PYTHONPATH=src python -m pytest tests/test_scenarios.py --update-goldens
+
+then review ``git diff tests/goldens/`` line by line.
+
+The same canonical JSON must also be byte-identical across the
+serial/thread/process executor backends (the serving layer's
+determinism contract extended up through the scenario layer), and the
+``python -m repro.scenarios`` CLI must round-trip it unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import MetricsRegistry, use_metrics
+from repro.parallel import BACKENDS
+from repro.scenarios import (
+    SCENARIO_PACKS,
+    FadingSpec,
+    canonical_json,
+    canonical_report,
+    generate_fading_trace,
+    get_pack,
+    list_packs,
+    run_canonical,
+    run_pack,
+)
+from repro.scenarios.__main__ import main as scenarios_main
+
+from .conftest import GOLDEN_DIR
+
+pytestmark = [pytest.mark.scenarios, pytest.mark.serve]
+
+ALL_PACKS = list_packs()
+
+
+def _check_golden(name: str, rendered: str, update: bool) -> None:
+    path = GOLDEN_DIR / name
+    if update:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(rendered)
+        return
+    if not path.exists():
+        pytest.fail(f"golden {path} missing — generate it with "
+                    "`pytest tests/test_scenarios.py --update-goldens` "
+                    "and commit the file")
+    assert rendered == path.read_text(), (
+        f"canonical report diverged from golden {name}; if the change is "
+        "intentional rerun with --update-goldens and review the diff")
+
+
+class TestRegistry:
+    def test_four_packs_registered(self):
+        assert ALL_PACKS == ("fading_regime_sweep", "mmtc_burst_flood",
+                             "multirat_failover", "urllc_handover_storm")
+
+    def test_get_pack_unknown_names_known(self):
+        with pytest.raises(ConfigurationError, match="mmtc_burst_flood"):
+            get_pack("nope")
+
+    def test_packs_are_frozen_and_buildable(self):
+        for name in ALL_PACKS:
+            pack = SCENARIO_PACKS[name]
+            assert pack.name == name
+            assert pack.duration_s > 0
+            config = pack.build()
+            assert config.seed == pack.seed
+            with pytest.raises(Exception):
+                pack.seed = 1  # frozen dataclass
+
+    def test_build_is_reproducible(self):
+        """Two builds of the same pack describe the identical workload
+        (same canonical fingerprint inputs, incl. the fading trace)."""
+        pack = get_pack("fading_regime_sweep")
+        a, b = pack.build(), pack.build()
+        assert repr(a.arrivals) == repr(b.arrivals)
+
+
+class TestFadingTrace:
+    def test_deterministic_for_seed(self):
+        spec = FadingSpec(doppler_hz=2.0)
+        a = generate_fading_trace(spec, duration_s=3.0, seed=9)
+        b = generate_fading_trace(spec, duration_s=3.0, seed=9)
+        assert a.scales == b.scales
+        c = generate_fading_trace(spec, duration_s=3.0, seed=10)
+        assert c.scales != a.scales
+
+    def test_unit_mean_and_clipped(self):
+        spec = FadingSpec(doppler_hz=2.0, scale_lo=0.3, scale_hi=3.0)
+        trace = generate_fading_trace(spec, duration_s=4.0, seed=1)
+        scales = np.asarray(trace.scales)
+        assert scales.min() >= 0.3 and scales.max() <= 3.0
+        # unit mean before clipping; clipping perturbs it only slightly
+        assert abs(scales.mean() - 1.0) < 0.35
+
+
+class TestGoldens:
+    @pytest.mark.parametrize("name", ALL_PACKS)
+    def test_scenario_golden(self, name, update_goldens):
+        rendered = canonical_json(run_canonical(name))
+        _check_golden(f"scenario_{name}.json", rendered, update_goldens)
+
+
+@pytest.mark.parallel
+class TestCrossBackend:
+    @pytest.mark.parametrize("name", ALL_PACKS)
+    def test_backends_byte_identical(self, name):
+        rendered = {backend: canonical_json(run_canonical(name, backend))
+                    for backend in BACKENDS}
+        assert rendered["serial"] == rendered["thread"]
+        assert rendered["serial"] == rendered["process"]
+
+
+class TestRunner:
+    def test_run_pack_emits_scenario_metrics(self):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            pack, report = run_pack("mmtc_burst_flood")
+        snap = registry.snapshot()
+        assert snap["counters"][
+            "scenario.runs{scenario=mmtc_burst_flood}"] == 1.0
+        assert snap["gauges"][
+            "scenario.offered_ues{scenario=mmtc_burst_flood}"] == float(
+                report.total_offered_ues)
+
+    def test_canonical_report_fields(self):
+        pack, report = run_pack("urllc_handover_storm")
+        canonical = canonical_report(pack, report)
+        assert canonical["scenario"] == "urllc_handover_storm"
+        assert canonical["seed"] == pack.seed
+        assert canonical["report"]["drained"] in (True, False)
+        assert len(canonical["config_fingerprint"]) == 16
+        # round-trips through JSON without loss
+        assert json.loads(canonical_json(canonical)) == canonical
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert scenarios_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_PACKS:
+            assert name in out
+
+    def test_run_json_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert scenarios_main(
+            ["run", "mmtc_burst_flood", "--json", str(path)]) == 0
+        summary = capsys.readouterr().out
+        assert "mmtc_burst_flood" in summary
+        assert "shed_rate" in summary
+        expected = canonical_json(run_canonical("mmtc_burst_flood"))
+        assert path.read_text() == expected
+
+    def test_run_json_stdout(self, capsys):
+        assert scenarios_main(
+            ["run", "mmtc_burst_flood", "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out)["scenario"] == "mmtc_burst_flood"
+
+    def test_unknown_pack_fails_cleanly(self, capsys):
+        assert scenarios_main(["run", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err

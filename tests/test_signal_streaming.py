@@ -1,0 +1,257 @@
+"""Equivalence properties for the streaming DSP front-end.
+
+The streaming primitives (`repro.signal.streaming`, `repro.signal.decimate`)
+claim exact equivalence with their block oracles *regardless of how the
+input is chunked* — including one sample at a time and one chunk longer
+than the whole signal.  Hypothesis drives seeded signal lengths, filter
+lengths, hops, and chunkings through both paths and asserts agreement to
+1e-9 (the streaming STFT is bit-identical by construction; the property
+asserts the documented bound to leave kernel refactors room).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SignalProcessingError
+from repro.signal import (
+    MultiStageDecimator,
+    OverlapSaveConvolver,
+    PolyphaseStage,
+    StreamingSTFT,
+    decimate_reference,
+    design_decimator,
+    design_lowpass,
+    get_window,
+    num_frames,
+    stft,
+    streaming_convolve,
+)
+
+pytestmark = pytest.mark.signal_streaming
+
+CONVENTIONS = ("time_invariant", "simplified", "frequency_invariant")
+
+
+def _chunks(x: np.ndarray, rng: np.random.Generator, mean: int):
+    """Split ``x`` into random-length chunks (possibly including empties)."""
+    out = []
+    i = 0
+    while i < x.size:
+        step = int(rng.integers(1, max(2 * mean, 2)))
+        out.append(x[i : i + step])
+        i += step
+    return out
+
+
+# ---- overlap-save convolution ------------------------------------------------
+
+class TestOverlapSave:
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 600),
+           n_taps=st.integers(1, 64),
+           chunk=st.integers(1, 700),
+           seed=st.integers(0, 2**31 - 1))
+    def test_matches_direct_convolution(self, n, n_taps, chunk, seed):
+        """Concatenated streaming output == np.convolve(x, h)[:n] to 1e-9
+        for any fixed chunk size — including chunk=1 and chunk > signal."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n)
+        taps = rng.standard_normal(n_taps)
+        expected = np.convolve(x, taps)[:n]
+        got = streaming_convolve(x, taps, chunk_size=chunk)
+        assert got.shape == expected.shape
+        assert np.max(np.abs(got - expected)) < 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(8, 400), seed=st.integers(0, 2**31 - 1))
+    def test_random_chunk_boundaries(self, n, seed):
+        """Irregular chunkings (random lengths, mixed with empty chunks)
+        produce the same stream as one-shot processing."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n)
+        taps, _ = design_lowpass(0.1, 0.2, atten_db=40.0)
+        conv = OverlapSaveConvolver(taps)
+        parts = [conv.process(np.zeros(0))]
+        for piece in _chunks(x, rng, mean=7):
+            parts.append(conv.process(piece))
+        parts.append(conv.flush())
+        got = np.concatenate(parts)
+        expected = np.convolve(x, taps)[:n]
+        assert np.max(np.abs(got - expected)) < 1e-9
+
+    @pytest.mark.parametrize("chunk", [1, 10_000])
+    def test_edge_chunkings_explicit(self, chunk):
+        """The two pathological chunkings the issue names: one sample at
+        a time, and a single chunk longer than the whole signal."""
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal(257)
+        taps = rng.standard_normal(33)
+        got = streaming_convolve(x, taps, chunk_size=chunk)
+        assert np.max(np.abs(got - np.convolve(x, taps)[:257])) < 1e-9
+
+    def test_output_count_equals_input_count(self):
+        conv = OverlapSaveConvolver(np.ones(9) / 9.0)
+        total = conv.process(np.ones(100)).size + conv.flush().size
+        assert total == 100
+        assert conv.samples_in == conv.samples_out == 100
+
+    def test_startup_transient_property(self):
+        taps, report = design_lowpass(0.1, 0.2, atten_db=60.0)
+        conv = OverlapSaveConvolver(taps)
+        assert conv.startup_transient_samples == taps.size - 1
+        assert report.startup_transient_samples == taps.size - 1
+
+    def test_process_after_flush_rejected(self):
+        conv = OverlapSaveConvolver(np.ones(3))
+        conv.flush()
+        with pytest.raises(SignalProcessingError):
+            conv.process(np.ones(4))
+        with pytest.raises(SignalProcessingError):
+            conv.flush()
+
+    def test_empty_taps_rejected(self):
+        with pytest.raises(SignalProcessingError):
+            OverlapSaveConvolver(np.zeros(0))
+
+
+# ---- streaming STFT ----------------------------------------------------------
+
+class TestStreamingSTFT:
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(4, 400),
+           hop=st.integers(1, 24),
+           lg=st.sampled_from([8, 16, 32]),
+           convention=st.sampled_from(CONVENTIONS),
+           chunk=st.integers(1, 500),
+           seed=st.integers(0, 2**31 - 1))
+    def test_matches_block_stft(self, n, hop, lg, convention, chunk, seed):
+        """finalize() agrees with the block transform to 1e-9 for every
+        convention, hop, and fixed chunk size (incl. 1 and > signal)."""
+        rng = np.random.default_rng(seed)
+        s = rng.standard_normal(n)
+        window = get_window("hann", lg)
+        ref = stft(s, window, hop, convention=convention)
+        stream = StreamingSTFT(window, hop, convention=convention)
+        for i in range(0, n, chunk):
+            stream.process(s[i : i + chunk])
+        result = stream.finalize()
+        assert result.coefficients.shape == ref.coefficients.shape
+        assert np.max(np.abs(result.coefficients - ref.coefficients)) < 1e-9
+
+    @settings(max_examples=12, deadline=None)
+    @given(n=st.integers(16, 300), seed=st.integers(0, 2**31 - 1))
+    def test_random_chunk_boundaries(self, n, seed):
+        rng = np.random.default_rng(seed)
+        s = rng.standard_normal(n)
+        window = get_window("hamming", 16)
+        ref = stft(s, window, hop=4, n_fft=32)
+        stream = StreamingSTFT(window, hop=4, n_fft=32)
+        emitted = [stream.process(piece) for piece in _chunks(s, rng, mean=5)]
+        result = stream.finalize()
+        assert np.max(np.abs(result.coefficients - ref.coefficients)) < 1e-9
+        # incrementally emitted frames are a prefix of the final result
+        partial = np.concatenate(emitted, axis=1)
+        assert partial.shape[1] <= result.coefficients.shape[1]
+        if partial.shape[1]:
+            assert np.array_equal(
+                partial, result.coefficients[:, : partial.shape[1]])
+
+    def test_incremental_frames_match_num_frames(self):
+        s = np.random.default_rng(3).standard_normal(256)
+        window = get_window("hann", 32)
+        stream = StreamingSTFT(window, hop=8)
+        stream.process(s)
+        result = stream.finalize()
+        assert result.n_frames == num_frames(256, 8, 16)
+        assert stream.frames_emitted == result.n_frames
+
+    def test_finalize_idempotent_and_closes_stream(self):
+        stream = StreamingSTFT(get_window("hann", 8), hop=2)
+        stream.process(np.ones(32))
+        first = stream.finalize()
+        assert stream.finalize() is first
+        with pytest.raises(SignalProcessingError):
+            stream.process(np.ones(4))
+
+    def test_block_reference_is_block_stft(self):
+        s = np.random.default_rng(4).standard_normal(128)
+        window = get_window("hann", 16)
+        a = StreamingSTFT.block_reference(s, window, 4)
+        b = stft(s, window, 4)
+        assert np.array_equal(a.coefficients, b.coefficients)
+
+    def test_invalid_configs_rejected(self):
+        window = get_window("hann", 16)
+        with pytest.raises(SignalProcessingError):
+            StreamingSTFT(window, hop=0)
+        with pytest.raises(SignalProcessingError):
+            StreamingSTFT(window, hop=4, n_fft=8)
+        with pytest.raises(SignalProcessingError):
+            StreamingSTFT(window, hop=4, convention="weird")
+        with pytest.raises(SignalProcessingError):
+            StreamingSTFT(window, hop=4).finalize()  # empty signal
+
+
+# ---- polyphase decimation ----------------------------------------------------
+
+class TestStreamingDecimation:
+    @settings(max_examples=20, deadline=None)
+    @given(factor=st.sampled_from([1, 2, 3, 4, 6, 8, 12, 20]),
+           n=st.integers(1, 800),
+           chunk=st.integers(1, 900),
+           seed=st.integers(0, 2**31 - 1))
+    def test_matches_block_reference(self, factor, n, chunk, seed):
+        """Streaming chain output == per-stage convolve-then-downsample
+        oracle to 1e-9 for any factor, length, and fixed chunking."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n)
+        dec = design_decimator(factor, atten_db=65.0)
+        expected = decimate_reference(x, dec)
+        parts = [dec.process(x[i : i + chunk]) for i in range(0, n, chunk)]
+        got = np.concatenate(parts) if parts else np.zeros(0)
+        assert got.shape == expected.shape
+        if expected.size:
+            assert np.max(np.abs(got - expected)) < 1e-9
+
+    @settings(max_examples=12, deadline=None)
+    @given(n=st.integers(32, 600), seed=st.integers(0, 2**31 - 1))
+    def test_random_chunk_boundaries(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n)
+        dec = design_decimator(6, atten_db=65.0)
+        expected = decimate_reference(x, dec)
+        parts = [dec.process(piece) for piece in _chunks(x, rng, mean=9)]
+        got = np.concatenate(parts) if parts else np.zeros(0)
+        assert got.shape == expected.shape
+        if expected.size:
+            assert np.max(np.abs(got - expected)) < 1e-9
+
+    def test_fresh_restarts_state_not_taps(self):
+        dec = design_decimator(4, atten_db=65.0)
+        x = np.random.default_rng(5).standard_normal(300)
+        first = dec.process(x)
+        clone = dec.fresh()
+        again = clone.process(x)
+        assert np.array_equal(first, again)
+        assert clone.report is dec.report
+
+    def test_single_stage_downsample_phase(self):
+        """Outputs are the filtered values at input indices 0, M, 2M, ...
+        — the phase never drifts across chunk boundaries."""
+        stage = PolyphaseStage(3, np.array([1.0]))
+        a = stage.process(np.arange(5.0))   # indices 0..4 -> 0, 3
+        b = stage.process(np.arange(5.0, 10.0))  # 5..9 -> 6, 9
+        assert np.array_equal(np.concatenate([a, b]), [0.0, 3.0, 6.0, 9.0])
+
+    def test_identity_decimator(self):
+        dec = design_decimator(1)
+        x = np.random.default_rng(6).standard_normal(64)
+        assert np.array_equal(dec.process(x), x)
+        assert dec.report.startup_transient_samples == 0
+
+    def test_chain_requires_stages(self):
+        with pytest.raises(SignalProcessingError):
+            MultiStageDecimator([])

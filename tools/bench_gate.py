@@ -30,7 +30,12 @@ SNAPSHOT = BENCH_DIR / "results" / "BENCH_kernels.json"
 ANALYSIS_SNAPSHOT = BENCH_DIR / "results" / "BENCH_analysis.json"
 SERVE_SNAPSHOT = BENCH_DIR / "results" / "BENCH_serve_soak.json"
 OBS_SNAPSHOT = BENCH_DIR / "results" / "BENCH_obs_overhead.json"
+SIGNAL_SNAPSHOT = BENCH_DIR / "results" / "BENCH_signal_streaming.json"
 DEFAULT_THRESHOLD = 0.25
+#: streaming-DSP speedups (vs block oracles) may drop this fraction
+#: below the committed value before the gate fails; same noise profile
+#: as the kernel micro-benchmarks
+SIGNAL_THRESHOLD = 0.3
 #: analyzer wall time may grow this fraction above its committed value
 #: before the gate fails (wall clocks are noisier than speedup ratios)
 ANALYSIS_THRESHOLD = 0.5
@@ -257,6 +262,51 @@ def check_obs_regressions(retries: int = 2) -> list:
     return failures
 
 
+def check_signal_streaming_regressions(
+    threshold: float = SIGNAL_THRESHOLD, retries: int = 2
+) -> list:
+    """Replay the streaming-DSP benchmark and diff against the snapshot.
+
+    Each family's speedup over its block oracle must stay within
+    ``threshold`` of the committed value — a drop means the overlap-save
+    blocks, the polyphase evaluation, or the streaming STFT kernel fell
+    off its fast path.  Wall-clock ratios carry scheduler noise, so a
+    family below its floor is re-measured up to ``retries`` times and
+    judged on its best observation, like the kernel gate.
+    """
+    committed = json.loads(SIGNAL_SNAPSHOT.read_text())
+    baseline = {row["family"]: row["speedup"] for row in committed["rows"]}
+
+    module = _load_bench_module("bench_signal_streaming")
+    current = {row["family"]: row["speedup"]
+               for row in module.measure_signal_streaming()}
+    for attempt in range(retries):
+        floors = {f: s * (1.0 - threshold) for f, s in baseline.items()}
+        if all(current.get(f, 0.0) >= floors[f] for f in baseline):
+            break
+        print(f"(retry {attempt + 1}: re-measuring families below floor)")
+        for row in module.measure_signal_streaming():
+            family = row["family"]
+            current[family] = max(current.get(family, 0.0), row["speedup"])
+
+    failures = []
+    print(f"{'family':<24} {'committed':>10} {'current':>10} {'floor':>10}")
+    for family, committed_speedup in baseline.items():
+        floor = committed_speedup * (1.0 - threshold)
+        measured = current.get(family)
+        if measured is None:
+            failures.append(f"{family}: missing from current measurement")
+            continue
+        print(f"{family:<24} {committed_speedup:>9.2f}x {measured:>9.2f}x "
+              f"{floor:>9.2f}x")
+        if measured < floor:
+            failures.append(
+                f"{family}: speedup {measured:.2f}x regressed more than "
+                f"{100 * threshold:.0f}% below committed "
+                f"{committed_speedup:.2f}x")
+    return failures
+
+
 try:
     import pytest
 except ImportError:  # CLI-only environments don't need the pytest shim
@@ -288,6 +338,12 @@ if pytest is not None:
         failures = check_obs_regressions()
         assert not failures, "; ".join(failures)
 
+    @pytest.mark.perf
+    def test_signal_streaming_gate():
+        """Streaming-DSP speedup gate against BENCH_signal_streaming.json."""
+        failures = check_signal_streaming_regressions()
+        assert not failures, "; ".join(failures)
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -302,6 +358,10 @@ def main(argv=None) -> int:
         "--serve-threshold", type=float, default=SERVE_THRESHOLD,
         help="allowed fractional serving-soak p99 simulated-latency growth "
              "before failing (default 0.25)")
+    parser.add_argument(
+        "--signal-threshold", type=float, default=SIGNAL_THRESHOLD,
+        help="allowed fractional streaming-DSP speedup drop before failing "
+             "(default 0.3)")
     opts = parser.parse_args(argv)
     failures = check_regressions(opts.threshold)
     if ANALYSIS_SNAPSHOT.is_file():
@@ -319,6 +379,12 @@ def main(argv=None) -> int:
         failures += check_obs_regressions()
     else:
         print("\n(no BENCH_obs_overhead.json snapshot; obs gate skipped)")
+    if SIGNAL_SNAPSHOT.is_file():
+        print()
+        failures += check_signal_streaming_regressions(opts.signal_threshold)
+    else:
+        print("\n(no BENCH_signal_streaming.json snapshot; "
+              "signal gate skipped)")
     if failures:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)
