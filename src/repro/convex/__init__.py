@@ -36,6 +36,15 @@ from repro.convex.envelopes import (
     relu_envelope,
 )
 from repro.convex.corr import CoRRConfig, CoRRResult, corr_minimize, fit_convex_quadratic
+from repro.convex.firstorder import (
+    BatchQPResult,
+    BatchSDPResult,
+    box_qp_fista,
+    box_qp_fista_batch,
+    solve_qcqp_firstorder,
+    solve_sdp_firstorder,
+    solve_sdp_firstorder_batch,
+)
 from repro.convex.langevin import LangevinConfig, LangevinResult, langevin_minimize
 from repro.convex.lp import simplex_standard_form, solve_lp
 from repro.convex.problem import (
@@ -65,6 +74,8 @@ from repro.convex.trust_region import TrustRegionResult, cauchy_point, solve_tru
 
 __all__ = [
     "ADMMResult",
+    "BatchQPResult",
+    "BatchSDPResult",
     "CoRRConfig",
     "CoRRResult",
     "AffineSubspaceProjector",
@@ -86,6 +97,8 @@ __all__ = [
     "Solution",
     "TrustRegionResult",
     "admm_consensus",
+    "box_qp_fista",
+    "box_qp_fista_batch",
     "cauchy_point",
     "concave_secant",
     "corr_minimize",
@@ -113,8 +126,11 @@ __all__ = [
     "solve_lp",
     "solve_qcqp",
     "solve_qcqp_barrier",
+    "solve_qcqp_firstorder",
     "solve_qp",
     "solve_sdp",
+    "solve_sdp_firstorder",
+    "solve_sdp_firstorder_batch",
     "solve_trust_region",
     "tightness_ratio",
     "trace_minimization",

@@ -55,6 +55,7 @@ def admm_consensus(
     x0: np.ndarray | None = None,
     strict: bool = False,
     budget: Optional[Budget] = None,
+    warm_start: np.ndarray | None = None,
 ) -> ADMMResult:
     """Solve ``min f(x) + g(z) s.t. x = z`` with scaled-dual ADMM.
 
@@ -69,9 +70,17 @@ def admm_consensus(
     resilience retry/fallback machinery hooks into.  A cooperative
     ``budget`` is charged one unit per iteration and aborts the loop with
     :class:`~repro.exceptions.BudgetExceededError` when exhausted.
+
+    ``warm_start`` is the ladder-facing alias for ``x0`` (it wins when
+    both are given): a carried-down iterate of the right shape seeds
+    both consensus blocks, anything else is ignored.
     """
     if rho <= 0.0:
         raise ConfigurationError("ADMM penalty rho must be positive")
+    if warm_start is not None:
+        ws0 = np.asarray(warm_start, dtype=np.float64).ravel()
+        if ws0.shape == (n,) and np.all(np.isfinite(ws0)):
+            x0 = ws0
     ws = ConsensusWorkspace(n=n)
     if x0 is not None:
         ws.x[...] = np.asarray(x0, dtype=np.float64)

@@ -203,7 +203,8 @@ def _lift(form_p: np.ndarray, form_q: np.ndarray, form_r: float, n: int) -> np.n
 
 @profiled("convex.qcqp.shor")
 def shor_relaxation(problem: QCQPProblem, sdp_max_iter: int = 8000,
-                    budget: Optional[Budget] = None) -> ShorResult:
+                    budget: Optional[Budget] = None,
+                    warm_start: Optional[np.ndarray] = None) -> ShorResult:
     """Shor SDP relaxation: lift ``x x^T`` to a PSD matrix variable.
 
     Each quadratic constraint ``f_i(x) <= 0`` becomes the linear
@@ -213,6 +214,10 @@ def shor_relaxation(problem: QCQPProblem, sdp_max_iter: int = 8000,
     relaxation value lower-bounds the nonconvex optimum; a candidate
     point is recovered from the dominant eigenvector of the lifted
     solution.
+
+    ``warm_start`` may be a previously computed lifted matrix of shape
+    ``(n+1, n+1)`` (seeded into the ADMM workspace) or an ``(n,)`` point
+    whose homogenized outer product is used; anything else is ignored.
     """
     n = problem.dim
     obj = _lift(problem.objective.p, problem.objective.q, problem.objective.r, n)
@@ -234,6 +239,15 @@ def shor_relaxation(problem: QCQPProblem, sdp_max_iter: int = 8000,
     ineq_mats = [_lift(c.p, c.q, c.r, n) for c in problem.constraints]
     ineq_rhs = np.zeros(len(ineq_mats))
 
+    y0 = None
+    if warm_start is not None:
+        ws = np.asarray(warm_start, dtype=np.float64)
+        if ws.shape == (n,) and np.all(np.isfinite(ws)):
+            lifted = np.concatenate(([1.0], ws))
+            y0 = np.outer(lifted, lifted)
+        elif ws.shape == (n + 1, n + 1) and np.all(np.isfinite(ws)):
+            y0 = ws
+
     sol = solve_sdp_general(
         obj,
         eq_mats,
@@ -242,6 +256,7 @@ def shor_relaxation(problem: QCQPProblem, sdp_max_iter: int = 8000,
         ineq_rhs=ineq_rhs,
         max_iter=sdp_max_iter,
         budget=budget,
+        warm_start=y0,
     )
     best_bound = sol.objective
     y = sol.x
@@ -297,25 +312,38 @@ def solve_qcqp_resilient(
     budget: Optional[Budget] = None,
     retry: Optional[RetryPolicy] = None,
     sdp_max_iter: int = 8000,
+    firstorder_max_iter: int = 2000,
     rng: Optional[np.random.Generator] = None,
     sleep: Callable[[float], None] = time.sleep,
 ) -> LadderResult:
     """Solve a QCQP through the RCR degradation ladder
-    ``sdp -> qcqp -> qp`` (heuristic).
+    ``sdp -> firstorder -> qcqp -> qp`` (heuristic).
 
     Rung 1 is the Shor SDP relaxation (tightest tractable grade for a
     nonconvex instance; solved strictly so a non-converged ADMM degrades
-    instead of silently lying).  Rung 2 convexifies every Hessian to its
-    nearest PSD matrix and runs the log-barrier method (QCQP grade).
-    Rung 3 — guaranteed — drops the quadratic constraints entirely and
-    solves the convexified objective as an equality-constrained QP: the
-    cheap conservative answer that always exists.
+    instead of silently lying).  Rung 2 solves the *same* Shor lift with
+    the certified first-order Burer–Monteiro fast path
+    (:func:`repro.convex.firstorder.solve_qcqp_firstorder`): it answers
+    only with a dual certificate in hand and otherwise raises
+    :class:`~repro.exceptions.CertificationError`, descending honestly.
+    Rung 3 convexifies every Hessian to its nearest PSD matrix and runs
+    the log-barrier method (QCQP grade).  Rung 4 — guaranteed — drops the
+    quadratic constraints entirely and solves the convexified objective
+    as an equality-constrained QP: the cheap conservative answer that
+    always exists.
+
+    Failed rungs carry their best iterate down the ladder: the SDP
+    rung's lifted matrix warm-starts the Burer–Monteiro factors, and a
+    recovered-but-uncertified first-order point warm-starts the barrier.
 
     Returns the :class:`LadderResult`; ``result.value`` is a
     :class:`Solution` whose ``status`` names the answering rung, and the
     ladder metadata records rung index, attempts, failures, and budget.
     """
+    from repro.convex.firstorder import solve_qcqp_firstorder
     from repro.convex.qp import solve_equality_qp
+
+    n = problem.dim
 
     def rung_sdp() -> Solution:
         res = shor_relaxation(problem, sdp_max_iter=sdp_max_iter, budget=budget)
@@ -324,13 +352,24 @@ def solve_qcqp_resilient(
                 "Shor relaxation recovery is infeasible "
                 f"(rank gap {res.rank_gap:.3e})",
                 residual=res.rank_gap,
+                iterate=res.lifted_matrix,
             )
         return Solution(x=res.x_recovered, objective=res.recovered_objective,
                         iterations=0, converged=True, status="sdp")
 
-    def rung_qcqp() -> Solution:
+    def rung_firstorder(warm_start: Optional[np.ndarray] = None) -> Solution:
+        return solve_qcqp_firstorder(problem, budget=budget,
+                                     warm_start=warm_start,
+                                     max_iter=firstorder_max_iter)
+
+    def rung_qcqp(warm_start: Optional[np.ndarray] = None) -> Solution:
         surrogate = problem if problem.is_convex() else _convexified(problem)
-        sol = solve_qcqp_barrier(surrogate, budget=budget)
+        x0 = None
+        if warm_start is not None:
+            ws = np.asarray(warm_start, dtype=np.float64)
+            if ws.shape == (n,) and np.all(np.isfinite(ws)):
+                x0 = ws
+        sol = solve_qcqp_barrier(surrogate, x0=x0, budget=budget)
         return Solution(x=sol.x, objective=problem.objective.value(sol.x),
                         iterations=sol.iterations, converged=sol.converged,
                         status="qcqp")
@@ -346,20 +385,35 @@ def solve_qcqp_resilient(
     retry = retry or RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
     rungs = (
         Rung("sdp", rung_sdp, grade="semidefinite", retry=retry),
-        Rung("qcqp", rung_qcqp, grade="convex_quadratic", retry=retry),
+        Rung("firstorder", rung_firstorder, grade="semidefinite", retry=retry,
+             accepts_warm_start=True),
+        Rung("qcqp", rung_qcqp, grade="convex_quadratic", retry=retry,
+             accepts_warm_start=True),
         Rung("qp", rung_qp, grade="heuristic", guaranteed=True),
     )
     return run_ladder(rungs, budget=budget, validator=_validate_solution,
                       rng=rng, sleep=sleep, name="qcqp")
 
 
-def solve_qcqp(problem: QCQPProblem) -> Solution:
+def solve_qcqp(problem: QCQPProblem,
+               warm_start: Optional[np.ndarray] = None) -> Solution:
     """Dispatch: convex instances go to the barrier method; nonconvex
     instances are relaxed via :func:`shor_relaxation` (returning the
-    recovered candidate, flagged with ``status='relaxed'``)."""
+    recovered candidate, flagged with ``status='relaxed'``).
+
+    ``warm_start`` seeds whichever backend answers: a finite ``(n,)``
+    point becomes the barrier ``x0`` (if strictly feasible) or the
+    homogenized lift for the SDP; a wrong-shaped iterate is ignored.
+    """
+    n = problem.dim
     if problem.is_convex():
-        return solve_qcqp_barrier(problem)
-    res = shor_relaxation(problem)
+        x0 = None
+        if warm_start is not None:
+            ws = np.asarray(warm_start, dtype=np.float64)
+            if ws.shape == (n,) and np.all(np.isfinite(ws)):
+                x0 = ws
+        return solve_qcqp_barrier(problem, x0=x0)
+    res = shor_relaxation(problem, warm_start=warm_start)
     return Solution(
         x=res.x_recovered,
         objective=res.recovered_objective,

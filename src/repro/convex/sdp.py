@@ -194,6 +194,7 @@ def solve_sdp_general(
     strict: bool = False,
     budget: Optional[Budget] = None,
     backend: Optional[str] = None,
+    warm_start: Optional[np.ndarray] = None,
 ) -> Solution:
     """Solve ``min <C, X>`` s.t. ``<A_i,X> = b_i``, ``<B_j,X> <= d_j``,
     ``X >= 0`` by two-block ADMM with slack variables.
@@ -202,7 +203,10 @@ def solve_sdp_general(
     default; ``strict=True`` (or the older ``raise_on_failure``) raises
     :class:`ConvergenceError`.  A cooperative ``budget`` is charged one
     unit per ADMM sweep.  ``backend`` selects the constraint-algebra
-    kernels (``None`` resolves the process-wide switch).
+    kernels (``None`` resolves the process-wide switch).  ``warm_start``
+    seeds both splitting blocks with a primal matrix ``X0`` (``(n, n)``,
+    e.g. a failed faster rung's best iterate); mismatched shapes are
+    ignored so ladders can hand down whatever they have.
     """
     if rho <= 0.0:
         raise ConfigurationError("ADMM penalty rho must be positive")
@@ -218,6 +222,11 @@ def solve_sdp_general(
     m_ineq = len(ineq_mats)
 
     ws = SDPWorkspace(n=n, k=len(eq_mats) + m_ineq, m_ineq=m_ineq)
+    if warm_start is not None:
+        x0 = np.asarray(warm_start, dtype=np.float64)
+        if x0.shape == (n, n) and np.all(np.isfinite(x0)):
+            ws.x[...] = symmetrize(x0)
+            ws.z[...] = ws.x
     c_over_rho = c / rho
     scale = max(1.0, float(np.linalg.norm(c)))
     prim_res = np.inf
@@ -280,6 +289,7 @@ def solve_sdp(
     strict: bool = False,
     budget: Optional[Budget] = None,
     backend: Optional[str] = None,
+    warm_start: Optional[np.ndarray] = None,
 ) -> Solution:
     """Solve a standard-form (equality-constrained) :class:`SDPProblem`."""
     return solve_sdp_general(
@@ -292,4 +302,5 @@ def solve_sdp(
         strict=strict or raise_on_failure,
         budget=budget,
         backend=backend,
+        warm_start=warm_start,
     )

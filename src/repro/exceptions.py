@@ -31,12 +31,31 @@ class ConvergenceError(ReproError):
         Number of iterations performed before giving up.
     residual:
         Final residual (or ``nan`` when not applicable).
+    iterate:
+        Best iterate reached before giving up (or ``None``).  Fallback
+        ladders forward it to the next rung as a warm start when the
+        shapes line up (see :func:`repro.resilience.run_ladder`).
     """
 
-    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan")):
+    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan"),
+                 iterate=None):
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
+        self.iterate = iterate
+
+
+class CertificationError(ConvergenceError):
+    """A fast approximate solver produced an answer it could not *certify*
+    (duality gap too wide, dual slack indefinite, or recovered point
+    infeasible).
+
+    The first-order fast path (:mod:`repro.convex.firstorder`) raises
+    this instead of returning the uncertified value, so the fallback
+    ladder visibly descends to the exact rung — a rejected answer is
+    never a silently wrong one.  Subclasses :class:`ConvergenceError` so
+    every existing degradation path treats it as a rung failure.
+    """
 
 
 class InfeasibleError(ReproError):

@@ -33,11 +33,19 @@ from repro.kernels.backend import (
 )
 from repro.kernels.gram import (
     apply_adjoint,
+    apply_adjoint_batch,
+    apply_adjoint_batch_reference,
     apply_adjoint_reference,
     apply_operator,
+    apply_operator_batch,
+    apply_operator_batch_reference,
     apply_operator_reference,
     gram_matrix,
     gram_matrix_reference,
+    outer_product_batch,
+    quad_gradient_batch,
+    quad_gradient_batch_reference,
+    quad_value_batch,
     stack_symmetric,
 )
 from repro.kernels.propagation import (
@@ -71,8 +79,12 @@ __all__ = [
     "ConsensusWorkspace",
     "SDPWorkspace",
     "apply_adjoint",
+    "apply_adjoint_batch",
+    "apply_adjoint_batch_reference",
     "apply_adjoint_reference",
     "apply_operator",
+    "apply_operator_batch",
+    "apply_operator_batch_reference",
     "apply_operator_reference",
     "build_decode_table",
     "crown_ibp_margin_batch",
@@ -87,7 +99,11 @@ __all__ = [
     "project_psd_batch",
     "gram_matrix_reference",
     "ibp_margin_batch",
+    "outer_product_batch",
     "propagate_box_batch",
+    "quad_gradient_batch",
+    "quad_gradient_batch_reference",
+    "quad_value_batch",
     "reflect_box",
     "reflect_box_reference",
     "relu_relaxation_arrays",

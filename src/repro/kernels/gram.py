@@ -30,6 +30,14 @@ __all__ = [
     "apply_operator_reference",
     "apply_adjoint",
     "apply_adjoint_reference",
+    "apply_operator_batch",
+    "apply_operator_batch_reference",
+    "apply_adjoint_batch",
+    "apply_adjoint_batch_reference",
+    "quad_gradient_batch",
+    "quad_gradient_batch_reference",
+    "quad_value_batch",
+    "outer_product_batch",
 ]
 
 
@@ -94,3 +102,83 @@ def apply_adjoint_reference(coeffs: np.ndarray,
     for c, m in zip(coeffs, mats):
         out += c * m
     return out
+
+
+# ---------------------------------------------------------------------------
+# batched forms — one leading problem axis, used by repro.convex.firstorder
+# to drive a whole stack of small solves with single contractions.  The
+# einsum calls run with the default ``optimize=False`` path on purpose:
+# its fixed-order accumulation makes row ``b`` of a batched call
+# bit-identical to the same contraction on the ``b``-th problem alone,
+# which is the batched-vs-loop determinism contract the firstorder
+# equivalence tests pin.
+# ---------------------------------------------------------------------------
+
+
+def apply_operator_batch(stacks: np.ndarray, x: np.ndarray,
+                         out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Per-problem constraint operator ``(<A_bi, X_b>)_i``.
+
+    ``stacks`` has shape ``(B, k, n, n)`` and ``x`` shape ``(B, n, n)``;
+    the result is ``(B, k)``.
+    """
+    return np.einsum("bkij,bij->bk", stacks, x, out=out)
+
+
+def apply_operator_batch_reference(stacks: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Per-problem/per-constraint loop form of :func:`apply_operator_batch`."""
+    stacks = np.asarray(stacks, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    b, k = stacks.shape[0], stacks.shape[1]
+    out = np.zeros((b, k))
+    for bi in range(b):
+        out[bi] = apply_operator(stacks[bi], x[bi])
+    return out
+
+
+def apply_adjoint_batch(coeffs: np.ndarray, stacks: np.ndarray,
+                        out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Per-problem adjoint ``sum_k coeffs_bk A_bk`` — ``(B, n, n)``."""
+    return np.einsum("bk,bkij->bij", coeffs, stacks, out=out)
+
+
+def apply_adjoint_batch_reference(coeffs: np.ndarray, stacks: np.ndarray) -> np.ndarray:
+    """Per-problem loop form of :func:`apply_adjoint_batch`."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    stacks = np.asarray(stacks, dtype=np.float64)
+    out = np.zeros((stacks.shape[0], stacks.shape[2], stacks.shape[3]))
+    for bi in range(stacks.shape[0]):
+        out[bi] = apply_adjoint(coeffs[bi], stacks[bi])
+    return out
+
+
+def quad_gradient_batch(p: np.ndarray, x: np.ndarray, q: np.ndarray,
+                        out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Batched quadratic-form gradient ``P_b x_b + q_b`` — ``(B, n)``."""
+    out = np.einsum("bij,bj->bi", p, x, out=out)
+    out += q
+    return out
+
+
+def quad_gradient_batch_reference(p: np.ndarray, x: np.ndarray,
+                                  q: np.ndarray) -> np.ndarray:
+    """Per-problem loop form of :func:`quad_gradient_batch`."""
+    p = np.asarray(p, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    out = np.zeros_like(q)
+    for bi in range(p.shape[0]):
+        out[bi] = np.einsum("ij,j->i", p[bi], x[bi]) + q[bi]
+    return out
+
+
+def quad_value_batch(p: np.ndarray, x: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Batched quadratic value ``0.5 x_b^T P_b x_b + q_b^T x_b`` — ``(B,)``."""
+    px = np.einsum("bij,bj->bi", p, x)
+    return 0.5 * np.einsum("bi,bi->b", x, px) + np.einsum("bi,bi->b", q, x)
+
+
+def outer_product_batch(v: np.ndarray) -> np.ndarray:
+    """Batched Gram factorization product ``V_b V_b^T`` for ``(B, n, r)``
+    factors — the Burer–Monteiro lift ``X = V V^T``."""
+    return np.einsum("bir,bjr->bij", v, v)

@@ -17,8 +17,9 @@ from typing import Callable, Dict, List, Literal
 import numpy as np
 
 from repro.exceptions import ConfigurationError, InfeasibleError, LadderExhaustedError
+from repro.kernels.backend import resolve_backend
 from repro.obs import get_metrics, get_tracer
-from repro.parallel import Executor, derive_seed, map_solve
+from repro.parallel import Executor, RelaxationCache, derive_seed, fingerprint, map_solve
 from repro.qos.channel import ChannelConfig, ChannelModel
 from repro.qos.rra import (
     RRAProblem,
@@ -258,6 +259,7 @@ class Scheduler:
         frame_budget_s: float | None = None,
         rra_solvers: Dict[str, Callable[[RRAProblem], RRAResult]] | None = None,
         max_nodes: int = 4000,
+        cache: RelaxationCache | None = None,
     ):
         """``resilient=True`` routes every frame through the
         :func:`~repro.qos.rra.solve_rra_resilient` fallback ladder instead
@@ -267,6 +269,16 @@ class Scheduler:
         ``rra_solvers`` overrides individual rungs (the chaos-test hook);
         ``max_nodes`` caps the exact rung's branch-and-bound (the
         deterministic cost knob the parallel path relies on).
+
+        ``cache`` memoizes frame solves by content fingerprint (problem
+        bytes + strategy configuration + the resolved kernels backend,
+        same keying discipline as
+        :func:`repro.verify.verification_fingerprint`): a repeated
+        channel realization — block fading, replayed scenario packs, or
+        re-runs under one seed — is answered without re-solving.  The
+        coordinator owns the cache, so memoization works unchanged with
+        the process executor; chaos runs bypass it (an injected fault
+        schedule must not be masked by a memoized healthy answer).
         """
         if strategy not in _SOLVERS:
             raise ConfigurationError(f"unknown strategy {strategy!r}")
@@ -276,6 +288,7 @@ class Scheduler:
         self.frame_budget_s = frame_budget_s
         self.rra_solvers = rra_solvers
         self.max_nodes = int(max_nodes)
+        self.cache = cache
         self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.channel = ChannelModel(channel or ChannelConfig(), rng=self.rng)
@@ -316,6 +329,40 @@ class Scheduler:
             noise_mw=self.channel.noise_linear_mw,
         )
 
+    def _frame_key(self, problem: RRAProblem) -> str:
+        """Content-addressed key of one frame solve: the problem bytes
+        plus every knob that can change the answer, including the
+        resolved kernels backend (a vectorized answer is never served to
+        a reference run)."""
+        return fingerprint(
+            problem.gains, [(u.user_id, u.service.value, u.qos) for u in self.users],
+            self.power_levels, self.total_power, self.strategy,
+            self.resilient, self.frame_budget_s, self.max_nodes,
+            resolve_backend(None), "qos.frame",
+        )
+
+    def _cached_stats(self, frame: int, problem: RRAProblem, hit: dict) -> FrameStats:
+        """Rebuild FrameStats from a memoized frame outcome (the cheap
+        deterministic evaluation re-runs; only the solve is skipped)."""
+        if hit["dropped"]:
+            return FrameStats(frame, 0.0, False,
+                              {svc: 0.0 for svc in set(u.service for u in self.users)},
+                              0.0, rung="none", degraded=True)
+        ev = problem.evaluate_assignment(hit["choice"])
+        per_class: Dict[ServiceClass, List[bool]] = {}
+        for u, rate in zip(self.users, ev["user_rates"]):
+            per_class.setdefault(u.service, []).append(rate >= u.min_rate_bps - 1e-6)
+        return FrameStats(
+            frame=frame,
+            total_rate=ev["total_rate"],
+            qos_ok=ev["qos_ok"] and ev["power_ok"],
+            per_class_satisfaction={svc: float(np.mean(v))
+                                    for svc, v in per_class.items()},
+            solver_time=0.0,
+            rung=hit["rung"],
+            degraded=hit["degraded"],
+        )
+
     def run(self, n_frames: int = 10, executor: Executor | None = None,
             chunk_size: int | None = None,
             chaos: FaultSpec | None = None) -> ScheduleReport:
@@ -344,6 +391,13 @@ class Scheduler:
         metrics = get_metrics()
         for frame in range(n_frames):
             problem = self._frame_problem()
+            key = self._frame_key(problem) if self.cache is not None else None
+            if key is not None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    metrics.counter("scheduler.frames_cached").inc()
+                    report.frames.append(self._cached_stats(frame, problem, hit))
+                    continue
             start = time.perf_counter()
             rung = self.strategy
             degraded = False
@@ -378,6 +432,8 @@ class Scheduler:
                     # rather than crash the control loop.
                     span.set(rung="none", degraded=True)
                     metrics.counter("scheduler.frames_dropped").inc()
+                    if key is not None:
+                        self.cache.put(key, {"dropped": True})
                     report.frames.append(
                         FrameStats(frame, 0.0, False,
                                    {svc: 0.0 for svc in set(u.service for u in self.users)},
@@ -390,6 +446,9 @@ class Scheduler:
                     rung_times = {rung: solver_time}
                 span.set(rung=rung, degraded=degraded)
                 ev = problem.evaluate_assignment(result.choice)
+            if key is not None:
+                self.cache.put(key, {"dropped": False, "choice": result.choice,
+                                     "rung": rung, "degraded": degraded})
             metrics.counter("scheduler.frames", rung=rung).inc()
             if degraded:
                 metrics.counter("scheduler.frames_degraded").inc()
@@ -422,6 +481,18 @@ class Scheduler:
         # channel/traffic randomness stays on the scheduler RNG, drawn
         # serially up front — identical problems regardless of backend
         problems = [self._frame_problem() for _ in range(n_frames)]
+        # the coordinator owns the cache: hits are served here and only
+        # the misses are dispatched, so memoization is backend-agnostic;
+        # chaos runs bypass it (a memoized healthy answer would mask the
+        # injected fault schedule)
+        use_cache = self.cache is not None and chaos is None
+        keys = [self._frame_key(p) for p in problems] if use_cache else []
+        cached: Dict[int, dict] = {}
+        if use_cache:
+            for frame, k in enumerate(keys):
+                hit = self.cache.get(k)
+                if hit is not None:
+                    cached[frame] = hit
         tasks = [
             {
                 "frame": frame,
@@ -435,15 +506,28 @@ class Scheduler:
                 "max_nodes": self.max_nodes,
             }
             for frame, problem in enumerate(problems)
+            if frame not in cached
         ]
         with tracer.span("qos.schedule", backend=executor.backend,
                          n_frames=n_frames, strategy=self.strategy,
                          resilient=self.resilient):
             outcomes = map_solve(_frame_task, tasks, executor=executor,
                                  chunk_size=chunk_size, label="qos.frames")
+        out_by_frame = {out["frame"]: out for out in outcomes}
         report = ScheduleReport()
-        for problem, out in zip(problems, outcomes):
-            frame = out["frame"]
+        for frame, problem in enumerate(problems):
+            if frame in cached:
+                metrics.counter("scheduler.frames_cached").inc()
+                report.frames.append(self._cached_stats(frame, problem,
+                                                        cached[frame]))
+                continue
+            out = out_by_frame[frame]
+            if use_cache:
+                self.cache.put(keys[frame],
+                               {"dropped": True} if out["dropped"] else
+                               {"dropped": False, "choice": out["choice"],
+                                "rung": out["rung"],
+                                "degraded": out["degraded"]})
             if out["dropped"]:
                 metrics.counter("scheduler.frames_dropped").inc()
                 report.frames.append(FrameStats(

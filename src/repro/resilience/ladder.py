@@ -50,13 +50,21 @@ class Rung:
     the zero-argument computation; ``retry`` governs transient failures
     *within* this rung before the ladder descends; ``guaranteed`` marks a
     rung that must run even with an exhausted budget.
+
+    A rung with ``accepts_warm_start=True`` is called as
+    ``solve(warm_start=iterate)`` when the previously failed rung's error
+    carried a best iterate (``err.iterate``) — work a failed tighter rung
+    already paid for seeds the next one instead of being thrown away.
+    The closure owns shape validation: a carried iterate it cannot use
+    must be ignored, never an error.
     """
 
     name: str
-    solve: Callable[[], object]
+    solve: Callable[..., object]
     grade: str = ""
     retry: Optional[RetryPolicy] = None
     guaranteed: bool = False
+    accepts_warm_start: bool = False
 
 
 @dataclass(frozen=True)
@@ -124,6 +132,7 @@ def run_ladder(
     failures: List[Tuple[str, str]] = []
     rung_times: List[Tuple[str, float]] = []
     total_attempts = 0
+    carry: object = None  # best iterate carried down from a failed rung
 
     skip_to_guaranteed = breaker is not None and not breaker.allow()
 
@@ -143,7 +152,10 @@ def run_ladder(
 
             def attempt(rung: Rung = rung, counter: List[int] = attempt_counter) -> object:
                 counter[0] += 1
-                value = rung.solve()
+                if rung.accepts_warm_start and carry is not None:
+                    value = rung.solve(warm_start=carry)
+                else:
+                    value = rung.solve()
                 if validator is not None:
                     validator(value)
                 return value
@@ -192,6 +204,8 @@ def run_ladder(
                 rung_times.append((rung.name, clock() - rung_start))
                 total_attempts += max(attempt_counter[0], 1)
                 failures.append((rung.name, f"{type(err).__name__}: {err}"))
+                if getattr(err, "iterate", None) is not None:
+                    carry = err.iterate
                 tracer.event("ladder.rung_failed", ladder=name, rung=rung.name,
                              error=type(err).__name__)
                 metrics.counter("ladder.rung_failed", ladder=name,

@@ -104,6 +104,10 @@ class ServeReport:
     throughput_ues_per_s: float
     frames: int
     frames_dropped: int
+    #: frames answered per ladder rung, keyed by rung *name* — open-ended
+    #: so the stats widen automatically as ladders gain rungs (e.g. the
+    #: first-order fast path); the overload rung *floor* indexes
+    #: :data:`~repro.qos.rra.RRA_FALLBACK` and is unaffected
     rung_counts: Dict[str, int]
     transitions: List[dict]
     chaos_injections: int

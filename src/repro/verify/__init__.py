@@ -12,6 +12,7 @@ from repro.verify.adversarial import (
     relaxation_guided_attack,
 )
 from repro.verify.exact import ExactResult, exact_margin_bound
+from repro.verify.firstorder_lp import firstorder_margin_lower_bound
 from repro.verify.interval import (
     LayerBounds,
     ibp_margin_lower_bound,
@@ -25,7 +26,7 @@ from repro.verify.linear_bounds import (
     extract_affine_relu_stack,
 )
 from repro.verify.input_split import InputSplitResult, input_split_margin_bound
-from repro.verify.lp_relax import lp_margin_lower_bound
+from repro.verify.lp_relax import build_margin_lp, lp_margin_lower_bound
 from repro.verify.smt import SMTResult, smt_margin_bound
 from repro.verify.specs import RobustnessSpec, classification_spec
 from repro.verify.verifier import (
@@ -49,6 +50,7 @@ __all__ = [
     "RobustnessSpec",
     "SMTResult",
     "VerificationResult",
+    "build_margin_lp",
     "certified_radius",
     "classification_spec",
     "compare_verifiers",
@@ -59,6 +61,7 @@ __all__ = [
     "extract_affine_relu_stack",
     "false_negative_rate",
     "fgsm_attack",
+    "firstorder_margin_lower_bound",
     "ibp_margin_lower_bound",
     "input_split_margin_bound",
     "ibp_output_bounds",

@@ -18,24 +18,30 @@ from repro.exceptions import VerificationError
 from repro.nn.network import Sequential
 from repro.verify.linear_bounds import crown_preactivation_bounds, extract_affine_relu_stack
 
-__all__ = ["lp_margin_lower_bound"]
+__all__ = ["build_margin_lp", "lp_margin_lower_bound"]
 
 
-def lp_margin_lower_bound(
+def build_margin_lp(
     net: Sequential,
     x0: np.ndarray,
     eps: float,
     c: np.ndarray,
-    d: float = 0.0,
     bounds_method: str = "crown",
-) -> float:
-    """Sound lower bound on ``min over ball of c^T f(x) + d`` by a joint
-    LP over all neurons.
+    tight_boxes: bool = False,
+) -> LPProblem:
+    """Assemble the joint triangle-relaxation LP for one margin query.
 
-    Pre-activation boxes come from :func:`crown_preactivation_bounds`
-    (``bounds_method`` selects 'crown' or 'crown-ibp'); only ReLU
-    (``slope == 0``) and LeakyReLU stacks with a linear output layer are
-    supported.
+    The returned :class:`LPProblem` minimizes ``c^T z_last`` over the
+    relaxed network polytope; its optimum (plus the spec offset ``d``)
+    is the sound margin lower bound :func:`lp_margin_lower_bound`
+    reports.  Shared by the simplex rung and the first-order dual-ascent
+    rung (:mod:`repro.verify.firstorder_lp`), so both bound the *same*
+    polytope.
+
+    ``tight_boxes=True`` additionally closes the variable box on
+    *stable* post-activation variables (implied by their equality rows,
+    hence redundant for the simplex) — the first-order dual needs every
+    variable compact so the inner box minimization stays finite.
     """
     x0 = np.asarray(x0, dtype=np.float64).ravel()
     stages = extract_affine_relu_stack(net)
@@ -105,12 +111,18 @@ def lp_margin_lower_bound(
                 row[h_off + j] = 1.0
                 row[z_off + j] = -1.0
                 add_eq(row, 0.0)
+                if tight_boxes:
+                    lo[h_off + j] = l
+                    hi[h_off + j] = u
             elif u <= 0.0:
                 # inactive: h = slope * z
                 row = np.zeros(total)
                 row[h_off + j] = 1.0
                 row[z_off + j] = -slope
                 add_eq(row, 0.0)
+                if tight_boxes:
+                    lo[h_off + j] = min(slope * l, slope * u)
+                    hi[h_off + j] = max(slope * l, slope * u)
             else:
                 # triangle: h >= z ; h >= slope z ; h <= chord
                 row = np.zeros(total)
@@ -136,7 +148,7 @@ def lp_margin_lower_bound(
     z_last = offsets[f"z{len(stages) - 1}"]
     obj[z_last : z_last + stages[-1].b.size] = c
 
-    lp = LPProblem(
+    return LPProblem(
         c=obj,
         g=np.asarray(ineq_rows) if ineq_rows else None,
         h=np.asarray(ineq_rhs) if ineq_rhs else None,
@@ -145,5 +157,24 @@ def lp_margin_lower_bound(
         lo=lo,
         hi=hi,
     )
+
+
+def lp_margin_lower_bound(
+    net: Sequential,
+    x0: np.ndarray,
+    eps: float,
+    c: np.ndarray,
+    d: float = 0.0,
+    bounds_method: str = "crown",
+) -> float:
+    """Sound lower bound on ``min over ball of c^T f(x) + d`` by a joint
+    LP over all neurons.
+
+    Pre-activation boxes come from :func:`crown_preactivation_bounds`
+    (``bounds_method`` selects 'crown' or 'crown-ibp'); only ReLU
+    (``slope == 0``) and LeakyReLU stacks with a linear output layer are
+    supported.
+    """
+    lp = build_margin_lp(net, x0, eps, c, bounds_method=bounds_method)
     sol = solve_lp(lp)
     return float(sol.objective + d)

@@ -38,23 +38,28 @@ from repro.resilience import (
     run_ladder,
 )
 from repro.verify.exact import exact_margin_bound
+from repro.verify.firstorder_lp import firstorder_margin_lower_bound
 from repro.verify.interval import ibp_margin_lower_bound
 from repro.verify.linear_bounds import crown_margin_lower_bound
 from repro.verify.lp_relax import lp_margin_lower_bound
 from repro.verify.specs import RobustnessSpec
 
-Method = Literal["ibp", "crown-ibp", "crown", "lp", "exact"]
+Method = Literal["ibp", "crown-ibp", "crown", "lp", "firstorder", "exact"]
 
 METHOD_GRADES: Dict[str, RelaxationGrade] = {
     "ibp": RelaxationGrade.INTERVAL,
     "crown-ibp": RelaxationGrade.LINEAR,
     "crown": RelaxationGrade.LINEAR,
     "lp": RelaxationGrade.LINEAR,
+    "firstorder": RelaxationGrade.LINEAR,
     "exact": RelaxationGrade.EXACT,
 }
 
-#: default degradation order: tightest/most certain first (§II-B-2)
-VERIFICATION_FALLBACK: Tuple[str, ...] = ("exact", "lp", "crown", "ibp")
+#: default degradation order: tightest/most certain first (§II-B-2).
+#: ``firstorder`` bounds the same triangle polytope as ``lp`` via dual
+#: supergradient ascent — cheaper than the simplex, certify-or-reject —
+#: so it sits between the simplex LP and single-pass CROWN.
+VERIFICATION_FALLBACK: Tuple[str, ...] = ("exact", "lp", "firstorder", "crown", "ibp")
 
 #: methods with a batched kernel fast path in :func:`verify_batch`
 FAST_BATCH_METHODS: Tuple[str, ...] = ("ibp", "crown-ibp", "crown")
@@ -108,6 +113,11 @@ def verify(net: Sequential, spec: RobustnessSpec, method: Method = "crown",
             bound = crown_margin_lower_bound(net, spec.x0, spec.eps, spec.c, spec.d, method="crown")
         elif method == "lp":
             bound = lp_margin_lower_bound(net, spec.x0, spec.eps, spec.c, spec.d)
+        elif method == "firstorder":
+            # certify-or-reject: an uncertified dual bound raises
+            # CertificationError, failing this rung so the ladder descends
+            bound = firstorder_margin_lower_bound(net, spec.x0, spec.eps,
+                                                  spec.c, spec.d)
         else:
             res = exact_margin_bound(net, spec.x0, spec.eps, spec.c, spec.d,
                                      max_nodes=max_nodes, time_limit=time_limit)
@@ -259,14 +269,19 @@ def verify_resilient(
 
 
 def verification_fingerprint(net: Sequential, spec: RobustnessSpec,
-                             method: str, max_nodes: int = 20000) -> str:
+                             method: str, max_nodes: int = 20000,
+                             backend: Optional[str] = None) -> str:
     """Content-addressed key of one verification query.
 
-    Hashes the exact bytes of every network parameter plus the spec and
-    method, so two queries share a key only when the relaxation they
-    induce is bit-identical — a single perturbed weight misses.
+    Hashes the exact bytes of every network parameter plus the spec,
+    method, and the *resolved kernels backend*, so two queries share a
+    key only when the relaxation they induce is bit-identical — a single
+    perturbed weight misses, and a cached ``vectorized`` margin is never
+    served to a ``reference`` run (their float accumulation orders, and
+    hence exact bit patterns, differ).
     """
-    return fingerprint(net.params(), spec, method, int(max_nodes))
+    return fingerprint(net.params(), spec, method, int(max_nodes),
+                       resolve_backend(backend))
 
 
 def _verify_task(task) -> VerificationResult:
@@ -366,7 +381,8 @@ def verify_batch(
         return dispatch(specs)
     # fingerprint once per unique query; dispatch only the misses
     results: List[Optional[VerificationResult]] = [None] * len(specs)
-    keys = [verification_fingerprint(net, s, method, max_nodes) for s in specs]
+    keys = [verification_fingerprint(net, s, method, max_nodes, backend=backend)
+            for s in specs]
     pending: "OrderedDict[str, List[int]]" = OrderedDict()
     for i, key in enumerate(keys):
         hit = cache.get(key)

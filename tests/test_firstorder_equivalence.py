@@ -1,0 +1,245 @@
+"""Equivalence tests for the first-order fast path (repro.convex.firstorder).
+
+The fast path's contract is *certify or reject*: whenever it answers, the
+answer must agree with the interior-point/ADMM reference rungs to
+certification tolerance; whenever it cannot certify, it must raise
+:class:`~repro.exceptions.CertificationError` (carrying its best iterate)
+rather than return a plausible-but-unchecked number.  These tests pin
+both halves, plus the batched-vs-loop bit-identity that makes the batch
+solvers safe to slot behind caches and goldens.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.convex.firstorder import (
+    box_qp_fista,
+    box_qp_fista_batch,
+    solve_qcqp_firstorder,
+    solve_sdp_firstorder,
+    solve_sdp_firstorder_batch,
+)
+from repro.convex.problem import QCQPProblem, QuadraticForm
+from repro.convex.qcqp import solve_qcqp_barrier
+from repro.convex.qp import solve_box_qp
+from repro.convex.sdp import solve_sdp_general
+from repro.exceptions import BudgetExceededError, CertificationError, ConfigurationError
+from repro.resilience import Budget
+
+pytestmark = pytest.mark.convex
+
+
+def _sym(rng, n):
+    m = rng.standard_normal((n, n))
+    return 0.5 * (m + m.T)
+
+
+def _psd(rng, n, ridge=0.5):
+    m = rng.standard_normal((n, n))
+    return m @ m.T + ridge * np.eye(n)
+
+
+# ---------------------------------------------------------------------------
+# box QP: FISTA vs the projected-gradient reference
+# ---------------------------------------------------------------------------
+
+
+class TestBoxQPEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 8))
+    def test_matches_projected_gradient_reference(self, seed, n):
+        rng = np.random.default_rng(seed)
+        p = _psd(rng, n)
+        q = rng.standard_normal(n)
+        lo = -1.0 - rng.uniform(0.0, 1.0, n)
+        hi = 1.0 + rng.uniform(0.0, 1.0, n)
+        fast = box_qp_fista(p, q, lo, hi)
+        ref = solve_box_qp(p, q, lo, hi, max_iter=20000, tol=1e-12)
+        assert fast.objective == pytest.approx(ref.objective, abs=1e-6)
+        np.testing.assert_allclose(fast.x, ref.x, atol=1e-4)
+
+    def test_certificate_gap_reported(self):
+        rng = np.random.default_rng(3)
+        p, q = _psd(rng, 4), rng.standard_normal(4)
+        res = box_qp_fista_batch(p[None], q[None],
+                                 np.full((1, 4), -2.0), np.full((1, 4), 2.0))
+        assert bool(res.certified[0])
+        assert float(res.gap[0]) <= 1e-5
+
+    def test_degenerate_point_box(self):
+        # lo == hi: the feasible set is one point; the dual certificate
+        # must still close on it
+        p = np.eye(3)
+        q = np.array([1.0, -2.0, 0.5])
+        x_fixed = np.array([0.3, -0.1, 0.7])
+        sol = box_qp_fista(p, q, x_fixed, x_fixed)
+        np.testing.assert_allclose(sol.x, x_fixed, atol=1e-12)
+        assert sol.objective == pytest.approx(
+            0.5 * x_fixed @ p @ x_fixed + q @ x_fixed, abs=1e-12)
+
+    def test_single_variable(self):
+        # min 0.5 x^2 - x on [-1, 0.25] -> clamps at 0.25
+        sol = box_qp_fista(np.eye(1), np.array([-1.0]),
+                           np.array([-1.0]), np.array([0.25]))
+        assert sol.x[0] == pytest.approx(0.25, abs=1e-9)
+
+    def test_batched_vs_loop_bit_identical(self):
+        rng = np.random.default_rng(7)
+        B, n = 6, 5
+        p = np.stack([_psd(rng, n) for _ in range(B)])
+        q = rng.standard_normal((B, n))
+        lo = np.full((B, n), -1.5)
+        hi = np.full((B, n), 1.5)
+        batched = box_qp_fista_batch(p, q, lo, hi)
+        for i in range(B):
+            single = box_qp_fista_batch(p[i:i + 1], q[i:i + 1],
+                                        lo[i:i + 1], hi[i:i + 1])
+            assert np.array_equal(batched.x[i], single.x[0])
+            assert batched.objective[i] == single.objective[0]
+
+
+# ---------------------------------------------------------------------------
+# Burer–Monteiro SDP: vs the ADMM interior rung
+# ---------------------------------------------------------------------------
+
+
+def _random_sdp(seed, n=4):
+    """A bounded random SDP: one random equality + a trace pin."""
+    rng = np.random.default_rng(seed)
+    c = _sym(rng, n)
+    eq_mats = [_sym(rng, n), np.eye(n)]
+    eq_rhs = np.array([float(rng.standard_normal()), float(n)])
+    return c, eq_mats, eq_rhs
+
+
+class TestBurerMonteiroEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_certified_objective_matches_admm(self, seed):
+        c, eq_mats, eq_rhs = _random_sdp(seed)
+        try:
+            fast = solve_sdp_firstorder(c, eq_mats, eq_rhs)
+        except CertificationError:
+            # honest rejection is allowed; a wrong answer is not
+            return
+        ref = solve_sdp_general(c, eq_mats, eq_rhs, max_iter=20000, tol=1e-9)
+        assert fast.objective == pytest.approx(ref.objective, abs=5e-4)
+
+    def test_single_constraint_closed_form(self):
+        # min <C, X> s.t. trace(X) = 1, X >= 0  ->  lambda_min(C)
+        rng = np.random.default_rng(1)
+        c = _sym(rng, 4)
+        sol = solve_sdp_firstorder(c, [np.eye(4)], np.array([1.0]))
+        assert sol.objective == pytest.approx(
+            float(np.linalg.eigvalsh(c)[0]), abs=1e-4)
+
+    def test_rank_zero_solution(self):
+        # trace(X) = 0 with X >= 0 forces X = 0: the factors must shrink
+        # to zero and still certify
+        rng = np.random.default_rng(1)
+        c = _sym(rng, 4)
+        sol = solve_sdp_firstorder(c, [np.eye(4)], np.array([0.0]))
+        assert sol.converged
+        assert abs(sol.objective) <= 1e-5
+        assert float(np.max(np.abs(sol.x))) <= 1e-5
+
+    def test_infeasible_is_certified_rejection(self):
+        # trace(X) = -1 with X >= 0 is infeasible: the solver must reject
+        # with its best iterate attached, never emit an answer
+        rng = np.random.default_rng(1)
+        c = _sym(rng, 4)
+        with pytest.raises(CertificationError) as err:
+            solve_sdp_firstorder(c, [np.eye(4)], np.array([-1.0]))
+        assert err.value.iterate is not None
+        assert err.value.iterate.shape == (4, 4)
+
+    def test_invalid_sigma0_rejected(self):
+        c, eq_mats, eq_rhs = _random_sdp(0)
+        with pytest.raises(ConfigurationError):
+            solve_sdp_firstorder(c, eq_mats, eq_rhs, sigma0=0.0)
+
+    def test_budget_charged_per_sweep(self):
+        c, eq_mats, eq_rhs = _random_sdp(0)
+        with pytest.raises(BudgetExceededError):
+            solve_sdp_firstorder(c, eq_mats, eq_rhs,
+                                 budget=Budget(iterations=5))
+
+    def test_batched_vs_loop_bit_identical(self):
+        B, n = 5, 4
+        cs, eqs, rhs = [], [], []
+        for seed in range(B):
+            c, eq_mats, eq_rhs = _random_sdp(seed, n=n)
+            cs.append(c)
+            eqs.append(np.stack(eq_mats))
+            rhs.append(eq_rhs)
+        c_b, eq_b, rhs_b = np.stack(cs), np.stack(eqs), np.stack(rhs)
+        batched = solve_sdp_firstorder_batch(c_b, eq_b, rhs_b)
+        for i in range(B):
+            single = solve_sdp_firstorder_batch(
+                c_b[i:i + 1], eq_b[i:i + 1], rhs_b[i:i + 1])
+            # content-derived seeding: the trajectory of one problem never
+            # depends on its batch position, down to the bit
+            assert np.array_equal(batched.v[i], single.v[0])
+            assert np.array_equal(batched.x[i], single.x[0])
+            assert batched.objective[i] == single.objective[0]
+            assert batched.iterations[i] == single.iterations[0]
+            assert batched.certified[i] == single.certified[0]
+
+    def test_uncertified_answers_never_served(self):
+        # batch API: every answer flagged certified satisfies the
+        # feasibility + gap gates; nothing uncertified sneaks through
+        B = 8
+        cs, eqs, rhs = [], [], []
+        for seed in range(B):
+            c, eq_mats, eq_rhs = _random_sdp(1000 + seed)
+            cs.append(c)
+            eqs.append(np.stack(eq_mats))
+            rhs.append(eq_rhs)
+        res = solve_sdp_firstorder_batch(np.stack(cs), np.stack(eqs),
+                                         np.stack(rhs))
+        scale = 1.0 + np.abs(res.objective)
+        ok = res.certified
+        assert np.all(res.eq_residual[ok] <= 1e-4)
+        assert np.all(np.abs(res.gap[ok]) <= 1e-2 * scale[ok])
+
+
+# ---------------------------------------------------------------------------
+# QCQP rung wrapper
+# ---------------------------------------------------------------------------
+
+
+class TestQCQPFirstorder:
+    def _ball_problem(self, seed=0, n=3):
+        rng = np.random.default_rng(seed)
+        obj = QuadraticForm(p=_psd(rng, n), q=rng.standard_normal(n), r=0.0)
+        ball = QuadraticForm(p=np.eye(n), q=np.zeros(n), r=-4.0)
+        return QCQPProblem(objective=obj, constraints=(ball,))
+
+    def test_matches_barrier_on_convex_instance(self):
+        problem = self._ball_problem()
+        try:
+            fast = solve_qcqp_firstorder(problem)
+        except CertificationError:
+            return  # honest rejection allowed
+        ref = solve_qcqp_barrier(problem)
+        # the Shor lift is tight for a convex instance: the recovered
+        # point's true objective must match the barrier optimum
+        assert fast.objective == pytest.approx(ref.objective, abs=5e-3)
+        assert fast.status == "firstorder"
+
+    def test_warm_start_accepts_point_and_lift(self):
+        problem = self._ball_problem(seed=2)
+        n = problem.dim
+        base = solve_qcqp_firstorder(problem)
+        warm_pt = solve_qcqp_firstorder(problem, warm_start=np.zeros(n))
+        lifted = np.eye(n + 1)
+        warm_lift = solve_qcqp_firstorder(problem, warm_start=lifted)
+        for sol in (warm_pt, warm_lift):
+            assert sol.objective == pytest.approx(base.objective, abs=5e-3)
+
+    def test_bad_warm_start_shape_ignored(self):
+        problem = self._ball_problem(seed=3)
+        base = solve_qcqp_firstorder(problem)
+        sol = solve_qcqp_firstorder(problem, warm_start=np.zeros(17))
+        assert sol.objective == pytest.approx(base.objective, abs=1e-9)

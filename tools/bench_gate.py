@@ -31,6 +31,7 @@ ANALYSIS_SNAPSHOT = BENCH_DIR / "results" / "BENCH_analysis.json"
 SERVE_SNAPSHOT = BENCH_DIR / "results" / "BENCH_serve_soak.json"
 OBS_SNAPSHOT = BENCH_DIR / "results" / "BENCH_obs_overhead.json"
 SIGNAL_SNAPSHOT = BENCH_DIR / "results" / "BENCH_signal_streaming.json"
+FIRSTORDER_SNAPSHOT = BENCH_DIR / "results" / "BENCH_firstorder.json"
 DEFAULT_THRESHOLD = 0.25
 #: streaming-DSP speedups (vs block oracles) may drop this fraction
 #: below the committed value before the gate fails; same noise profile
@@ -45,6 +46,14 @@ ANALYSIS_THRESHOLD = 0.5
 SERVE_THRESHOLD = 0.25
 #: absolute slack on per-class shed rates (fractions in [0, 1])
 SERVE_SHED_SLACK = 0.05
+#: the first-order fast path's headline claim: batches of >= 256 small
+#: solves answer at least this much faster than the per-problem rungs.
+#: A hard floor, not a relative one — dropping under 5x means the batch
+#: backend stopped paying for its certification machinery
+FIRSTORDER_SPEEDUP_FLOOR = 5.0
+#: families without a hard floor (warm-start ratio) may drop this
+#: fraction below their committed speedup before the gate fails
+FIRSTORDER_THRESHOLD = 0.3
 
 
 def _load_bench_module(name: str = "bench_kernels"):
@@ -307,6 +316,71 @@ def check_signal_streaming_regressions(
     return failures
 
 
+def check_firstorder_regressions(
+    threshold: float = FIRSTORDER_THRESHOLD, retries: int = 2
+) -> list:
+    """Replay the first-order fast-path benchmark and diff the snapshot.
+
+    Two invariants fail the gate outright, no retries:
+
+    * ``miscertified`` must be 0 for every family — a certified batch
+      answer that disagrees with the (converged) reference rung means an
+      uncertified answer was served, the one thing the fast path must
+      never do;
+    * the batch families (``*_b256`` except warm starts) must clear the
+      hard :data:`FIRSTORDER_SPEEDUP_FLOOR` of 5x over the per-problem
+      rungs — this is the claim that justifies the rung's existence, so
+      it is pinned absolutely rather than relative to the snapshot.
+
+    On top of the floor, every family must stay within ``threshold`` of
+    its committed speedup; wall-clock ratios carry scheduler noise, so a
+    family below its relative floor is re-measured up to ``retries``
+    times and judged on its best observation.
+    """
+    committed = json.loads(FIRSTORDER_SNAPSHOT.read_text())
+    baseline = {row["family"]: row["speedup"] for row in committed["rows"]}
+
+    module = _load_bench_module("bench_firstorder")
+    rows = {row["family"]: row for row in module.measure_firstorder()}
+    failures = []
+    for family, row in rows.items():
+        if row.get("miscertified", 0) != 0:
+            failures.append(
+                f"{family}: {row['miscertified']} certified answer(s) "
+                "disagree with the reference rung — uncertified answers "
+                "were served")
+    hard = {f: FIRSTORDER_SPEEDUP_FLOOR for f in baseline
+            if not f.startswith("box_qp_warm")}
+    for attempt in range(retries):
+        floors = {f: max(s * (1.0 - threshold), hard.get(f, 0.0))
+                  for f, s in baseline.items()}
+        if all(rows.get(f, {}).get("speedup", 0.0) >= floors[f]
+               for f in baseline):
+            break
+        print(f"(retry {attempt + 1}: re-measuring families below floor)")
+        for row in module.measure_firstorder():
+            family = row["family"]
+            if row["speedup"] > rows.get(family, {}).get("speedup", 0.0):
+                rows[family] = row
+
+    print(f"{'family':<20} {'committed':>10} {'current':>10} {'floor':>10}")
+    for family, committed_speedup in baseline.items():
+        floor = max(committed_speedup * (1.0 - threshold),
+                    hard.get(family, 0.0))
+        row = rows.get(family)
+        if row is None:
+            failures.append(f"{family}: missing from current measurement")
+            continue
+        print(f"{family:<20} {committed_speedup:>9.1f}x "
+              f"{row['speedup']:>9.1f}x {floor:>9.1f}x")
+        if row["speedup"] < floor:
+            failures.append(
+                f"{family}: speedup {row['speedup']:.2f}x below floor "
+                f"{floor:.2f}x (committed {committed_speedup:.2f}x, "
+                f"hard floor {hard.get(family, 0.0):.1f}x)")
+    return failures
+
+
 try:
     import pytest
 except ImportError:  # CLI-only environments don't need the pytest shim
@@ -344,6 +418,13 @@ if pytest is not None:
         failures = check_signal_streaming_regressions()
         assert not failures, "; ".join(failures)
 
+    @pytest.mark.perf
+    def test_firstorder_gate():
+        """First-order fast-path gate against BENCH_firstorder.json:
+        5x speedup floor + zero uncertified answers served."""
+        failures = check_firstorder_regressions()
+        assert not failures, "; ".join(failures)
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -362,6 +443,10 @@ def main(argv=None) -> int:
         "--signal-threshold", type=float, default=SIGNAL_THRESHOLD,
         help="allowed fractional streaming-DSP speedup drop before failing "
              "(default 0.3)")
+    parser.add_argument(
+        "--firstorder-threshold", type=float, default=FIRSTORDER_THRESHOLD,
+        help="allowed fractional first-order fast-path speedup drop before "
+             "failing; the absolute 5x floor always applies (default 0.3)")
     opts = parser.parse_args(argv)
     failures = check_regressions(opts.threshold)
     if ANALYSIS_SNAPSHOT.is_file():
@@ -385,6 +470,11 @@ def main(argv=None) -> int:
     else:
         print("\n(no BENCH_signal_streaming.json snapshot; "
               "signal gate skipped)")
+    if FIRSTORDER_SNAPSHOT.is_file():
+        print()
+        failures += check_firstorder_regressions(opts.firstorder_threshold)
+    else:
+        print("\n(no BENCH_firstorder.json snapshot; firstorder gate skipped)")
     if failures:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)
